@@ -1,0 +1,59 @@
+// Ablation: TTL and piggyback validation in the cache simulation.
+//
+// §4.1.5: "we set ttl to be 1 hour ... Varying ttl to 5, 10, and 15
+// minutes yields similar results." This bench verifies that claim and
+// isolates what PCV contributes at each TTL.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cache/simulation.h"
+#include "core/cluster.h"
+#include "core/detect.h"
+
+int main() {
+  using namespace netclust;
+  bench::PrintHeader(
+      "Ablation — cache TTL and piggyback validation (Nagano)",
+      "ttl of 5/10/15/60 minutes yields similar results; PCV renews stale "
+      "entries for free on server contacts");
+
+  const auto& scenario = bench::GetScenario();
+  const auto generated = bench::MakeLog(bench::LogPreset::kNagano);
+  const core::Clustering raw =
+      core::ClusterNetworkAware(generated.log, scenario.table);
+  const auto detection = core::DetectSpidersAndProxies(generated.log, raw);
+  const weblog::ServerLog log =
+      core::RemoveClients(generated.log, detection.AllAddresses());
+  const core::Clustering clustering =
+      core::ClusterNetworkAware(log, scenario.table);
+
+  std::printf("\n%8s  %6s  %10s  %10s  %14s  %14s\n", "ttl", "pcv",
+              "hit", "byte-hit", "pcv-checks", "pcv-renewals");
+  for (const int minutes : {5, 10, 15, 60}) {
+    for (const bool pcv : {true, false}) {
+      cache::SimulationConfig config;
+      config.proxy.ttl_seconds = minutes * 60;
+      config.proxy.capacity_bytes = 8 << 20;
+      config.proxy.piggyback_validation = pcv;
+      config.min_url_accesses = 10;
+      const auto result =
+          cache::SimulateProxyCaching(log, clustering, config);
+      std::uint64_t checks = 0;
+      std::uint64_t renewals = 0;
+      for (const auto& proxy : result.proxies) {
+        checks += proxy.piggyback_checks;
+        renewals += proxy.piggyback_renewals;
+      }
+      std::printf("%6dmin  %6s  %9.1f%%  %9.1f%%  %14llu  %14llu\n",
+                  minutes, pcv ? "on" : "off",
+                  100.0 * result.ServerHitRatio(),
+                  100.0 * result.ServerByteHitRatio(),
+                  static_cast<unsigned long long>(checks),
+                  static_cast<unsigned long long>(renewals));
+    }
+  }
+  std::printf("\nexpected shape: hit ratios vary only mildly across TTLs "
+              "(the paper's observation); PCV keeps hit ratios near the "
+              "longer-TTL level by renewing entries opportunistically.\n");
+  return 0;
+}

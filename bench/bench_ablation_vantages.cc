@@ -1,0 +1,46 @@
+// Ablation: how many vantage points does the method need?
+//
+// §3.1 argues for merging many routing tables: "none of them contain
+// complete information ... Taking such a union gives us a more complete
+// picture". This bench quantifies that: clustering the Nagano log against
+// the union of the first k sources, for growing k, and scoring coverage
+// and exact accuracy against ground truth.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/cluster.h"
+#include "validate/validation.h"
+
+int main() {
+  using namespace netclust;
+  bench::PrintHeader(
+      "Ablation — cluster quality vs number of merged routing tables",
+      "the union of all 14 sources reaches 99.9% coverage; single tables "
+      "have limited views (§3.1.2)");
+
+  const auto& scenario = bench::GetScenario();
+  const auto generated = bench::MakeLog(bench::LogPreset::kNagano);
+
+  std::printf("\n%8s  %10s  %10s  %10s  %10s  %10s\n", "sources",
+              "prefixes", "clusters", "coverage", "exact", "too-large");
+  for (const std::size_t count : {1u, 2u, 4u, 8u, 12u, 14u}) {
+    bgp::PrefixTable table;
+    for (std::size_t s = 0; s < count; ++s) {
+      table.AddSnapshot(scenario.vantages().MakeSnapshot(s, 0));
+    }
+    const core::Clustering clustering =
+        core::ClusterNetworkAware(generated.log, table);
+    const auto truth =
+        validate::ValidateAgainstTruth(clustering, scenario.internet);
+    std::printf("%8zu  %10zu  %10zu  %9.2f%%  %9.2f%%  %10zu\n", count,
+                table.size(), clustering.cluster_count(),
+                100.0 * clustering.coverage(), 100.0 * truth.ExactRate(),
+                truth.too_large);
+  }
+
+  std::printf(
+      "\nexpected shape: coverage and exactness climb with the union; the\n"
+      "first table alone (AADS, 25%% visibility) leaves many clients\n"
+      "unclustered or coarsely clustered via org aggregates.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace netclust::bench {
+
+const Scenario& GetScenario() {
+  static const Scenario* scenario = [] {
+    const double scale = synth::ScaleFromEnv();
+    synth::InternetConfig config;
+    config.seed = 1999;
+    // Larger than any preset log's cluster demand (Apache activates ~37k
+    // allocations at full scale), so each log touches a strict subset of
+    // the address space — as against the real Internet.
+    config.allocation_count = static_cast<std::size_t>(
+        std::max(2000.0, 48000.0 * scale));
+    // At small scales the default unregistered-org rate often rounds to
+    // zero orgs, hiding the paper's ~0.1% unclusterable clients; keep the
+    // expected count comfortably above zero.
+    config.bgp_dark_org_fraction = 0.015;
+    config.unregistered_fraction = 0.12;
+    auto* s = new Scenario{
+        .scale = scale,
+        .internet = synth::GenerateInternet(config),
+        .table = {},
+        .vantages_ = {},
+    };
+    s->vantages_.emplace(s->internet, synth::DefaultVantageProfiles());
+    for (const auto& snapshot : s->vantages().AllSnapshots(0)) {
+      s->table.AddSnapshot(snapshot);
+    }
+    return s;
+  }();
+  return *scenario;
+}
+
+synth::GeneratedLog MakeLog(LogPreset preset) {
+  const Scenario& scenario = GetScenario();
+  synth::WorkloadConfig config;
+  switch (preset) {
+    case LogPreset::kNagano:
+      config = synth::NaganoConfig(scenario.scale);
+      break;
+    case LogPreset::kApache:
+      config = synth::ApacheConfig(scenario.scale);
+      break;
+    case LogPreset::kEw3:
+      config = synth::Ew3Config(scenario.scale);
+      break;
+    case LogPreset::kSun:
+      config = synth::SunConfig(scenario.scale);
+      break;
+  }
+  return synth::GenerateLog(scenario.internet, config);
+}
+
+const char* PresetName(LogPreset preset) {
+  switch (preset) {
+    case LogPreset::kNagano:
+      return "Nagano";
+    case LogPreset::kApache:
+      return "Apache";
+    case LogPreset::kEw3:
+      return "EW3";
+    case LogPreset::kSun:
+      return "Sun";
+  }
+  return "?";
+}
+
+void PrintHeader(const std::string& artifact, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("scale: %.2f of paper size (set NETCLUST_SCALE to change)\n",
+              GetScenario().scale);
+  std::printf("================================================================\n");
+}
+
+void PrintSeries(const std::string& name, const std::string& x_label,
+                 const std::string& y_label,
+                 const std::vector<std::pair<double, double>>& series,
+                 std::size_t max_points) {
+  std::printf("\n-- %s --\n", name.c_str());
+  std::printf("%16s  %16s\n", x_label.c_str(), y_label.c_str());
+  if (series.empty()) {
+    std::printf("          (empty)\n");
+    return;
+  }
+  // Log-spaced subsample of row indices (figures use log-log axes).
+  std::vector<std::size_t> picks;
+  const double n = static_cast<double>(series.size());
+  for (std::size_t k = 0; k < max_points; ++k) {
+    const double fraction =
+        max_points == 1
+            ? 0.0
+            : static_cast<double>(k) / static_cast<double>(max_points - 1);
+    const auto index = static_cast<std::size_t>(
+        std::min(n - 1.0, std::pow(n, fraction) - 1.0));
+    if (picks.empty() || picks.back() != index) picks.push_back(index);
+  }
+  for (const std::size_t index : picks) {
+    std::printf("%16.6g  %16.6g\n", series[index].first,
+                series[index].second);
+  }
+}
+
+std::string Fmt(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.4g", value);
+  return buffer;
+}
+
+}  // namespace netclust::bench

@@ -1,0 +1,60 @@
+// Shared scaffolding for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper. They
+// share one Scenario: the synthetic Internet at NETCLUST_SCALE (default
+// 0.1 of the paper's ~29k-prefix world), the 14 vantage tables of Table 1
+// merged into one prefix table, and the preset server logs.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "synth/internet.h"
+#include "synth/vantage.h"
+#include "synth/workload.h"
+
+namespace netclust::bench {
+
+struct Scenario {
+  double scale = 0.1;
+  synth::Internet internet;
+  bgp::PrefixTable table;  // all 14 sources at day 0, merged
+
+  /// Vantage-point generator over `internet` (filled after construction —
+  /// it holds a pointer back into this Scenario).
+  [[nodiscard]] const synth::VantageGenerator& vantages() const {
+    return *vantages_;
+  }
+
+  std::optional<synth::VantageGenerator> vantages_;
+};
+
+/// Builds (once per process) the shared scenario.
+const Scenario& GetScenario();
+
+enum class LogPreset { kNagano, kApache, kEw3, kSun };
+
+/// Generates one of the paper's four logs at the scenario's scale.
+synth::GeneratedLog MakeLog(LogPreset preset);
+
+const char* PresetName(LogPreset preset);
+
+/// Banner every bench prints first: what is being reproduced, at what
+/// scale, and the paper's reference numbers.
+void PrintHeader(const std::string& artifact, const std::string& claim);
+
+/// Prints an (x, y) series as aligned columns, downsampled to at most
+/// `max_points` log-spaced rows (the figures' axes are log-log).
+void PrintSeries(const std::string& name, const std::string& x_label,
+                 const std::string& y_label,
+                 const std::vector<std::pair<double, double>>& series,
+                 std::size_t max_points = 24);
+
+/// Convenience: "%.4g" formatting of a double into a std::string.
+std::string Fmt(double value);
+
+}  // namespace netclust::bench

@@ -1,0 +1,62 @@
+// Figure 11: web-server performance vs proxy cache size on the Nagano
+// log — total hit ratio (a) and byte hit ratio (b) observed at the
+// server, for clusters identified by the network-aware and the simple
+// approach.
+//
+// Paper: both ratios rise with cache size; the simple approach
+// under-estimates both by ~10% once caches exceed ~700KB; network-aware
+// hit ratios reach 60-75% (proxies are dedicated to one server).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cache/simulation.h"
+#include "core/cluster.h"
+#include "core/detect.h"
+
+int main() {
+  using namespace netclust;
+  bench::PrintHeader(
+      "Figure 11 — server hit/byte-hit ratio vs proxy cache size (Nagano)",
+      "ratios grow with cache size; simple approach under-estimates by "
+      "~10% beyond ~700KB; network-aware reaches 60-75% hit ratio");
+
+  const auto& scenario = bench::GetScenario();
+  const auto generated = bench::MakeLog(bench::LogPreset::kNagano);
+
+  // §4.1: spiders/proxies eliminated, cold resources filtered (footnote 9).
+  const core::Clustering raw =
+      core::ClusterNetworkAware(generated.log, scenario.table);
+  const auto detection = core::DetectSpidersAndProxies(generated.log, raw);
+  const weblog::ServerLog log =
+      core::RemoveClients(generated.log, detection.AllAddresses());
+
+  const core::Clustering aware =
+      core::ClusterNetworkAware(log, scenario.table);
+  const core::Clustering simple = core::ClusterSimple(log);
+
+  std::printf("\n%12s  %12s %12s  %12s %12s\n", "cache size", "aware-hit",
+              "aware-bhit", "simple-hit", "simple-bhit");
+  for (const std::uint64_t kilobytes :
+       {100ull, 300ull, 700ull, 1000ull, 3000ull, 10000ull, 30000ull,
+        100000ull}) {
+    cache::SimulationConfig config;
+    config.proxy.ttl_seconds = 3600;
+    config.proxy.capacity_bytes = kilobytes << 10;
+    config.min_url_accesses = 10;
+
+    const auto aware_result =
+        cache::SimulateProxyCaching(log, aware, config);
+    const auto simple_result =
+        cache::SimulateProxyCaching(log, simple, config);
+    std::printf("%9lluKB  %11.1f%% %11.1f%%  %11.1f%% %11.1f%%\n",
+                static_cast<unsigned long long>(kilobytes),
+                100.0 * aware_result.ServerHitRatio(),
+                100.0 * aware_result.ServerByteHitRatio(),
+                100.0 * simple_result.ServerHitRatio(),
+                100.0 * simple_result.ServerByteHitRatio());
+  }
+
+  std::printf("\nexpected shape: aware >= simple at every size, with the "
+              "gap widening at large caches (paper: ~10%%).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 7 (plus the §3.3 comparison text): network-aware vs simple
+// clustering of the Nagano log.
+//
+// Paper: 9,853 network-aware clusters vs 23,523 simple clusters; largest
+// cluster 1,343 hosts / 134,963 requests (1.15%) vs 63 hosts / 9,662
+// requests (0.08%); simple clusters are capped at 256 clients and have
+// smaller mean and variance.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/cluster.h"
+#include "core/metrics.h"
+
+namespace {
+
+using namespace netclust;
+
+std::vector<std::pair<double, double>> Ranked(
+    const core::Clustering& clustering,
+    const std::vector<std::size_t>& order, bool clients) {
+  std::vector<std::pair<double, double>> series;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const core::Cluster& cluster = clustering.clusters[order[rank]];
+    series.emplace_back(static_cast<double>(rank + 1),
+                        clients
+                            ? static_cast<double>(cluster.members.size())
+                            : static_cast<double>(cluster.requests));
+  }
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 7 — network-aware vs simple clustering (Nagano)",
+      "simple approach: ~2.4x more clusters, max 256 clients, smaller mean "
+      "and variance; largest network-aware cluster 1,343 hosts");
+
+  const auto& scenario = bench::GetScenario();
+  const auto generated = bench::MakeLog(bench::LogPreset::kNagano);
+  const core::Clustering aware =
+      core::ClusterNetworkAware(generated.log, scenario.table);
+  const core::Clustering simple = core::ClusterSimple(generated.log);
+  // §2 also sketches a classful (Class A/B/C) alternative baseline.
+  const core::Clustering classful = core::ClusterClassful(generated.log);
+
+  for (const auto* clustering : {&aware, &simple, &classful}) {
+    const auto summary = core::Summarize(*clustering);
+    const double mean_clients =
+        static_cast<double>(summary.clients) /
+        static_cast<double>(summary.clusters);
+    std::printf("\n== %s ==\n", clustering->approach.c_str());
+    std::printf("clusters: %zu   mean cluster size: %.2f clients   largest: "
+                "%zu clients (%llu requests, %.2f%% of log)\n",
+                summary.clusters, mean_clients, summary.max_cluster_clients,
+                static_cast<unsigned long long>(summary.max_cluster_requests),
+                100.0 * static_cast<double>(summary.max_cluster_requests) /
+                    static_cast<double>(clustering->total_requests));
+
+    bench::PrintSeries("Fig 7(a): clients per cluster, rank by clients",
+                       "rank", "clients",
+                       Ranked(*clustering, core::OrderByClients(*clustering),
+                              true),
+                       14);
+    bench::PrintSeries("Fig 7(b): clients per cluster, rank by requests",
+                       "rank", "clients",
+                       Ranked(*clustering, core::OrderByRequests(*clustering),
+                              true),
+                       14);
+    bench::PrintSeries("Fig 7(c): requests per cluster, rank by clients",
+                       "rank", "requests",
+                       Ranked(*clustering, core::OrderByClients(*clustering),
+                              false),
+                       14);
+    bench::PrintSeries("Fig 7(d): requests per cluster, rank by requests",
+                       "rank", "requests",
+                       Ranked(*clustering, core::OrderByRequests(*clustering),
+                              false),
+                       14);
+  }
+
+  std::printf("\ncluster-count ratio simple/network-aware: %.2f "
+              "(paper: 23,523/9,853 = 2.39)\n",
+              static_cast<double>(simple.cluster_count()) /
+                  static_cast<double>(aware.cluster_count()));
+  return 0;
+}

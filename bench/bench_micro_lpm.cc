@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark): the longest-prefix-match engines
+// under a realistic merged table — the ablation behind the paper's claim
+// that the method is "computationally non-intensive".
+//
+// Compares: path-compressed Patricia trie (production), uncompressed
+// binary trie, linear scan (oracle), and end-to-end clustering throughput.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cluster.h"
+#include "core/parallel.h"
+#include "core/streaming.h"
+#include "synth/rng.h"
+#include "trie/binary_trie.h"
+#include "trie/linear_lpm.h"
+#include "trie/patricia_trie.h"
+
+namespace {
+
+using namespace netclust;
+
+std::vector<net::Prefix> TablePrefixes() {
+  static const std::vector<net::Prefix> prefixes =
+      bench::GetScenario().table.AllPrefixes();
+  return prefixes;
+}
+
+std::vector<net::IpAddress> ProbeAddresses(std::size_t count) {
+  const auto& internet = bench::GetScenario().internet;
+  synth::Rng rng(77);
+  std::vector<net::IpAddress> probes;
+  probes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& allocation =
+        internet.allocations()[rng.Uniform(internet.allocations().size())];
+    probes.push_back(internet.HostAddress(allocation, rng.Uniform(4096)));
+  }
+  return probes;
+}
+
+void BM_PatriciaBuild(benchmark::State& state) {
+  const auto prefixes = TablePrefixes();
+  for (auto _ : state) {
+    trie::PatriciaTrie<int> trie;
+    for (const auto& prefix : prefixes) trie.Insert(prefix, 1);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * prefixes.size()));
+}
+BENCHMARK(BM_PatriciaBuild);
+
+void BM_BinaryBuild(benchmark::State& state) {
+  const auto prefixes = TablePrefixes();
+  for (auto _ : state) {
+    trie::BinaryTrie<int> trie;
+    for (const auto& prefix : prefixes) trie.Insert(prefix, 1);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * prefixes.size()));
+}
+BENCHMARK(BM_BinaryBuild);
+
+template <typename Lpm>
+void LookupBench(benchmark::State& state) {
+  const auto prefixes = TablePrefixes();
+  Lpm lpm;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    lpm.Insert(prefixes[i], static_cast<int>(i));
+  }
+  const auto probes = ProbeAddresses(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lpm.LongestMatch(probes[i]));
+    i = (i + 1) % probes.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_PatriciaLookup(benchmark::State& state) {
+  LookupBench<trie::PatriciaTrie<int>>(state);
+}
+BENCHMARK(BM_PatriciaLookup);
+
+void BM_BinaryLookup(benchmark::State& state) {
+  LookupBench<trie::BinaryTrie<int>>(state);
+}
+BENCHMARK(BM_BinaryLookup);
+
+void BM_LinearLookup(benchmark::State& state) {
+  LookupBench<trie::LinearLpm<int>>(state);
+}
+BENCHMARK(BM_LinearLookup);
+
+void BM_PrefixTableLookup(benchmark::State& state) {
+  // The production path: primary/secondary semantics over the full union.
+  const auto& table = bench::GetScenario().table;
+  const auto probes = ProbeAddresses(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.LongestMatch(probes[i]));
+    i = (i + 1) % probes.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrefixTableLookup);
+
+void BM_StreamingObserve(benchmark::State& state) {
+  const auto& scenario = bench::GetScenario();
+  static const synth::GeneratedLog generated =
+      bench::MakeLog(bench::LogPreset::kNagano);
+  const auto& requests = generated.log.requests();
+  core::StreamingClusterer streaming("micro");
+  for (std::size_t s = 0; s < scenario.vantages().profiles().size(); ++s) {
+    streaming.SeedSnapshot(scenario.vantages().MakeSnapshot(s, 0));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& request = requests[i];
+    streaming.Observe(request.client, request.url_id,
+                      request.response_bytes, request.timestamp);
+    i = (i + 1) % requests.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StreamingObserve);
+
+void BM_ClusterLogParallel(benchmark::State& state) {
+  const auto& scenario = bench::GetScenario();
+  static const synth::GeneratedLog generated =
+      bench::MakeLog(bench::LogPreset::kNagano);
+  for (auto _ : state) {
+    const core::Clustering clustering = core::ClusterNetworkAwareParallel(
+        generated.log, scenario.table, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(clustering.cluster_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * generated.log.request_count()));
+}
+BENCHMARK(BM_ClusterLogParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ClusterLog(benchmark::State& state) {
+  const auto& scenario = bench::GetScenario();
+  static const synth::GeneratedLog generated =
+      bench::MakeLog(bench::LogPreset::kNagano);
+  for (auto _ : state) {
+    const core::Clustering clustering =
+        core::ClusterNetworkAware(generated.log, scenario.table);
+    benchmark::DoNotOptimize(clustering.cluster_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * generated.log.request_count()));
+}
+BENCHMARK(BM_ClusterLog);
+
+}  // namespace
+
+BENCHMARK_MAIN();

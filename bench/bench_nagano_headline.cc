@@ -1,0 +1,58 @@
+// §3.2.2 headline numbers: clustering the Nagano log.
+//
+// Paper: 11,665,713 requests from 59,582 clients over 33,875 URLs group
+// into 9,853 clusters; cluster sizes 1..1,343 clients; requests per
+// cluster 1..339,632; URLs per cluster 1..8,095; 99.9% of clients
+// clusterable, <1% via network dumps.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/cluster.h"
+#include "core/metrics.h"
+
+int main() {
+  using namespace netclust;
+  bench::PrintHeader(
+      "§3.2.2 — Nagano clustering headline",
+      "59,582 clients -> 9,853 clusters; sizes 1-1,343; requests 1-339,632; "
+      "URLs 1-8,095; 99.9% clustered");
+
+  const auto& scenario = bench::GetScenario();
+  const auto generated = bench::MakeLog(bench::LogPreset::kNagano);
+  const auto& log = generated.log;
+
+  const core::Clustering clustering =
+      core::ClusterNetworkAware(log, scenario.table);
+  const core::ClusteringSummary summary = core::Summarize(clustering);
+
+  std::printf("\n%-34s  %12s  %12s\n", "metric", "measured",
+              "paper (x scale)");
+  const double scale = scenario.scale;
+  std::printf("%-34s  %12zu  %12.0f\n", "requests", log.request_count(),
+              11665713 * scale);
+  std::printf("%-34s  %12zu  %12.0f\n", "clients", log.unique_clients(),
+              59582 * scale);
+  std::printf("%-34s  %12zu  %12.0f\n", "unique URLs", log.unique_urls(),
+              33875 * scale);
+  std::printf("%-34s  %12zu  %12.0f\n", "client clusters", summary.clusters,
+              9853 * scale);
+  std::printf("%-34s  %12zu  %12s\n", "largest cluster (clients)",
+              summary.max_cluster_clients, "1343");
+  std::printf("%-34s  %12zu  %12s\n", "smallest cluster (clients)",
+              summary.min_cluster_clients, "1");
+  std::printf("%-34s  %12llu  %12.0f\n", "max requests in a cluster",
+              static_cast<unsigned long long>(summary.max_cluster_requests),
+              339632 * scale);
+  std::printf("%-34s  %12llu  %12.0f\n", "max URLs in a cluster",
+              static_cast<unsigned long long>(summary.max_cluster_urls),
+              8095 * scale);
+  std::printf("%-34s  %11.2f%%  %12s\n", "clients clustered",
+              100.0 * clustering.coverage(), "99.9%");
+  std::printf("%-34s  %11.2f%%  %12s\n", "clustered via network dumps",
+              100.0 * static_cast<double>(clustering.dump_clustered_clients()) /
+                  static_cast<double>(clustering.client_count()),
+              "<1%");
+  std::printf("%-34s  %12zu  %12s\n", "unclustered clients",
+              clustering.unclustered.size(), "~0.1%");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// §3.6 second-level clustering: grouping client clusters into network
+// clusters by shared upstream path suffix, plus §4.1.4's AS-level proxy
+// clusters over the busy set.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/cluster.h"
+#include "core/network_cluster.h"
+#include "core/proxy_placement.h"
+#include "core/threshold.h"
+#include "validate/oracles.h"
+
+int main() {
+  using namespace netclust;
+  bench::PrintHeader(
+      "§3.6/§4.1.4 — network clusters and AS-level proxy clusters",
+      "client clusters roll up into network clusters by traceroute path "
+      "suffix; proxies group by AS for co-operation");
+
+  const auto& scenario = bench::GetScenario();
+  const auto generated = bench::MakeLog(bench::LogPreset::kNagano);
+  const core::Clustering clustering =
+      core::ClusterNetworkAware(generated.log, scenario.table);
+
+  // Second-level network clusters.
+  const validate::OptimizedTraceroute oracle(scenario.internet);
+  const auto network = core::ClusterClusters(clustering, oracle);
+  std::printf("\n%zu client clusters -> %zu network clusters "
+              "(%zu unresolved; %zu probes, %.0fs modelled)\n",
+              clustering.cluster_count(), network.network_clusters.size(),
+              network.unresolved.size(), network.probes, network.seconds);
+  std::printf("\ntop network clusters by requests:\n");
+  std::printf("%-28s  %9s  %9s  %9s\n", "upstream suffix", "clusters",
+              "clients", "requests");
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(network.network_clusters.size(), 10); ++i) {
+    const auto& cluster = network.network_clusters[i];
+    std::printf("%-28.28s  %9zu  %9zu  %9llu\n",
+                cluster.path_suffix.c_str(), cluster.clusters.size(),
+                cluster.clients,
+                static_cast<unsigned long long>(cluster.requests));
+  }
+
+  // AS-level proxy clusters over the busy set.
+  const auto busy = core::ThresholdBusyClusters(clustering, 0.7);
+  const auto assignments = core::AssignProxies(clustering, busy);
+  const auto groups =
+      core::GroupProxiesByAs(clustering, assignments, scenario.table);
+  int total_proxies = 0;
+  for (const auto& assignment : assignments) {
+    total_proxies += assignment.proxies;
+  }
+  std::printf("\nproxy placement: %zu busy clusters -> %d proxies -> "
+              "%zu AS-level proxy clusters\n",
+              busy.busy.size(), total_proxies, groups.size());
+  std::printf("%-10s  %9s  %9s  %9s  %9s\n", "AS", "clusters", "proxies",
+              "clients", "requests");
+  for (std::size_t i = 0; i < std::min<std::size_t>(groups.size(), 10);
+       ++i) {
+    std::printf("%-10u  %9zu  %9d  %9zu  %9llu\n", groups[i].as_number,
+                groups[i].clusters.size(), groups[i].proxies,
+                groups[i].clients,
+                static_cast<unsigned long long>(groups[i].requests));
+  }
+  return 0;
+}

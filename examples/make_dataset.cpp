@@ -1,0 +1,108 @@
+// Generate an on-disk dataset: the 14 vantage routing tables (text in
+// their native §3.1.2 styles, plus OREGON as MRT TABLE_DUMP_V2 and
+// AT&T-BGP as legacy TABLE_DUMP) and a day's server log in Common Log
+// Format, with the generator's ground truth alongside.
+//
+//   $ ./make_dataset [output_dir]    (default ./dataset)
+//
+// The files feed the other tools end to end:
+//   $ ./netclust_cli cluster --log dataset/access.log
+//         --snapshot dataset/snapshots/aads.txt ... (one per table)
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bgp/io.h"
+#include "synth/internet.h"
+#include "synth/vantage.h"
+#include "synth/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace netclust;
+  namespace fs = std::filesystem;
+
+  const fs::path root = argc > 1 ? argv[1] : "dataset";
+  fs::create_directories(root / "snapshots");
+
+  synth::InternetConfig net_config;
+  net_config.seed = 77;
+  net_config.allocation_count = 5000;
+  const synth::Internet internet = synth::GenerateInternet(net_config);
+  const synth::VantageGenerator vantages(internet,
+                                         synth::DefaultVantageProfiles());
+
+  // Routing tables, each in its own wire/text format.
+  std::size_t table_files = 0;
+  for (std::size_t s = 0; s < vantages.profiles().size(); ++s) {
+    const auto& profile = vantages.profiles()[s];
+    const bgp::Snapshot snapshot = vantages.MakeSnapshot(s, 0);
+    std::string stem = profile.info.name;
+    for (char& c : stem) {
+      c = c == '&' ? '_' : static_cast<char>(std::tolower(c));
+    }
+    bgp::SnapshotFileFormat format = bgp::SnapshotFileFormat::kText;
+    std::string extension = ".txt";
+    if (profile.info.name == "OREGON") {
+      format = bgp::SnapshotFileFormat::kMrtV2;
+      extension = ".mrt";
+    } else if (profile.info.name == "AT&T-BGP") {
+      format = bgp::SnapshotFileFormat::kMrtV1;
+      extension = ".mrt";
+    }
+    const std::string path = (root / "snapshots" / (stem + extension)).string();
+    const auto saved = bgp::SaveSnapshotFile(snapshot, path, format,
+                                             profile.style, 944524800);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.error().c_str());
+      return 1;
+    }
+    std::printf("wrote %-34s  %6zu entries (%s)\n", path.c_str(),
+                snapshot.entries.size(),
+                format == bgp::SnapshotFileFormat::kText
+                    ? "text"
+                    : (format == bgp::SnapshotFileFormat::kMrtV2
+                           ? "MRT TABLE_DUMP_V2"
+                           : "MRT TABLE_DUMP"));
+    ++table_files;
+  }
+
+  // The server log.
+  synth::WorkloadConfig workload;
+  workload.seed = 78;
+  workload.log_name = "dataset";
+  workload.target_clients = 8000;
+  workload.target_requests = 200000;
+  workload.url_count = 5000;
+  workload.spider_count = 1;
+  workload.proxy_count = 1;
+  const synth::GeneratedLog generated =
+      synth::GenerateLog(internet, workload);
+  {
+    std::ofstream out(root / "access.log");
+    const std::size_t lines = generated.log.WriteClfStream(out);
+    std::printf("wrote %-34s  %6zu CLF lines\n",
+                (root / "access.log").string().c_str(), lines);
+  }
+
+  // Ground truth: which allocation every client truly belongs to, and who
+  // the injected actors are.
+  {
+    std::ofstream out(root / "truth_clients.csv");
+    out << "client,true_prefix,spider,proxy\n";
+    for (const auto& [address, allocation] :
+         generated.truth.client_allocation) {
+      out << address.ToString() << ','
+          << internet.allocations()[allocation].prefix.ToString() << ','
+          << (generated.truth.spiders.contains(address) ? 1 : 0) << ','
+          << (generated.truth.proxies.contains(address) ? 1 : 0) << '\n';
+    }
+    std::printf("wrote %-34s  %6zu clients\n",
+                (root / "truth_clients.csv").string().c_str(),
+                generated.truth.client_allocation.size());
+  }
+
+  std::printf("\ndataset ready: %zu routing tables + access.log + ground "
+              "truth under %s\n",
+              table_files, root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,259 @@
+// netclust_cli — the whole pipeline over files.
+//
+//   netclust_cli cluster  --log FILE --snapshot FILE...
+//                         [--simple|--classful] [--parallel N] [--top N]
+//                         [--csv clusters.csv] [--client-map clients.csv]
+//   netclust_cli detect   --log FILE --snapshot FILE...
+//   netclust_cli simulate --log FILE --snapshot FILE...
+//                         [--cache-mb N] [--ttl-min N] [--simple] [--no-pcv]
+//
+// Snapshot files may be text dumps (any §3.1.2 prefix format) or MRT
+// (TABLE_DUMP / TABLE_DUMP_V2); the format is auto-detected. Logs are
+// Common Log Format. Generate a playground with ./make_dataset.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bgp/io.h"
+#include "bgp/prefix_table.h"
+#include "cache/simulation.h"
+#include "core/cluster.h"
+#include "core/detect.h"
+#include "core/metrics.h"
+#include "core/parallel.h"
+#include "core/report.h"
+#include "core/threshold.h"
+#include "weblog/log.h"
+
+namespace {
+
+using namespace netclust;
+
+struct Options {
+  std::string command;
+  std::string log_path;
+  std::vector<std::string> snapshots;
+  std::string approach = "network-aware";
+  std::string csv_path;
+  std::string client_map_path;
+  int parallel = 0;
+  std::size_t top = 15;
+  std::uint64_t cache_mb = 0;  // 0 = infinite
+  int ttl_min = 60;
+  bool pcv = true;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s cluster|detect|simulate --log FILE "
+               "--snapshot FILE... [options]\n",
+               argv0);
+  return 2;
+}
+
+bool LoadInputs(const Options& options, weblog::ServerLog* log,
+                bgp::PrefixTable* table) {
+  for (const std::string& path : options.snapshots) {
+    auto loaded = bgp::LoadSnapshotFile(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.error().c_str());
+      return false;
+    }
+    table->AddSnapshot(loaded.value().snapshot);
+    std::fprintf(stderr, "loaded %s: %zu entries (%zu skipped)\n",
+                 path.c_str(), loaded.value().snapshot.entries.size(),
+                 loaded.value().skipped);
+  }
+  std::ifstream in(options.log_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open log %s\n", options.log_path.c_str());
+    return false;
+  }
+  std::size_t malformed = 0;
+  const std::size_t appended = log->AppendClfStream(in, &malformed);
+  std::fprintf(stderr, "loaded %s: %zu requests (%zu malformed)\n",
+               options.log_path.c_str(), appended, malformed);
+  return true;
+}
+
+core::Clustering Cluster(const Options& options,
+                         const weblog::ServerLog& log,
+                         const bgp::PrefixTable& table) {
+  if (options.approach == "simple") return core::ClusterSimple(log);
+  if (options.approach == "classful") return core::ClusterClassful(log);
+  if (options.parallel != 0) {
+    return core::ClusterNetworkAwareParallel(log, table, options.parallel);
+  }
+  return core::ClusterNetworkAware(log, table);
+}
+
+int RunCluster(const Options& options) {
+  weblog::ServerLog log("cli");
+  bgp::PrefixTable table;
+  if (!LoadInputs(options, &log, &table)) return 1;
+  const core::Clustering clustering = Cluster(options, log, table);
+  const auto summary = core::Summarize(clustering);
+
+  std::printf("approach: %s\n", clustering.approach.c_str());
+  std::printf("%zu clients -> %zu clusters; %.2f%% clustered "
+              "(%zu via dumps, %zu unclustered)\n",
+              clustering.client_count(), summary.clusters,
+              100.0 * clustering.coverage(),
+              clustering.dump_clustered_clients(),
+              clustering.unclustered.size());
+  std::printf("cluster sizes %zu-%zu clients, %llu-%llu requests\n",
+              summary.min_cluster_clients, summary.max_cluster_clients,
+              static_cast<unsigned long long>(summary.min_cluster_requests),
+              static_cast<unsigned long long>(summary.max_cluster_requests));
+
+  std::printf("\ntop %zu clusters by requests:\n", options.top);
+  const auto order = core::OrderByRequests(clustering);
+  for (std::size_t rank = 0;
+       rank < std::min(options.top, order.size()); ++rank) {
+    const core::Cluster& cluster = clustering.clusters[order[rank]];
+    std::printf("  %-20s  %6zu clients  %9llu requests  %6llu urls\n",
+                cluster.key.ToString().c_str(), cluster.members.size(),
+                static_cast<unsigned long long>(cluster.requests),
+                static_cast<unsigned long long>(cluster.unique_urls));
+  }
+
+  if (!options.csv_path.empty()) {
+    std::ofstream out(options.csv_path);
+    core::WriteClusterCsv(out, clustering);
+    std::printf("\nwrote %s\n", options.csv_path.c_str());
+  }
+  if (!options.client_map_path.empty()) {
+    std::ofstream out(options.client_map_path);
+    core::WriteClientMapCsv(out, clustering);
+    std::printf("wrote %s\n", options.client_map_path.c_str());
+  }
+  return 0;
+}
+
+int RunDetect(const Options& options) {
+  weblog::ServerLog log("cli");
+  bgp::PrefixTable table;
+  if (!LoadInputs(options, &log, &table)) return 1;
+  const core::Clustering clustering =
+      core::ClusterNetworkAware(log, table);
+  const auto report = core::DetectSpidersAndProxies(log, clustering);
+
+  if (report.suspects.empty()) {
+    std::printf("no spiders or proxies detected\n");
+    return 0;
+  }
+  std::printf("%-16s  %-7s  %10s  %8s  %7s  %7s  %7s\n", "client", "kind",
+              "requests", "share", "urls", "corr", "agents");
+  for (const auto& suspect : report.suspects) {
+    std::printf("%-16s  %-7s  %10llu  %7.2f%%  %7zu  %7.2f  %7zu\n",
+                suspect.client.ToString().c_str(),
+                suspect.kind == core::SuspectKind::kSpider ? "spider"
+                                                           : "proxy",
+                static_cast<unsigned long long>(suspect.requests),
+                100.0 * suspect.cluster_request_share, suspect.unique_urls,
+                suspect.arrival_correlation, suspect.distinct_agents);
+  }
+  return 0;
+}
+
+int RunSimulate(const Options& options) {
+  weblog::ServerLog raw("cli");
+  bgp::PrefixTable table;
+  if (!LoadInputs(options, &raw, &table)) return 1;
+
+  const core::Clustering pre = core::ClusterNetworkAware(raw, table);
+  const auto detection = core::DetectSpidersAndProxies(raw, pre);
+  const weblog::ServerLog log =
+      core::RemoveClients(raw, detection.AllAddresses());
+  std::printf("eliminated %zu suspect hosts before simulation\n",
+              detection.suspects.size());
+
+  const core::Clustering clustering = options.approach == "simple"
+                                          ? core::ClusterSimple(log)
+                                          : core::ClusterNetworkAware(log, table);
+  const auto busy = core::ThresholdBusyClusters(clustering, 0.7);
+
+  cache::SimulationConfig config;
+  config.proxy.capacity_bytes = options.cache_mb << 20;
+  config.proxy.ttl_seconds = options.ttl_min * 60;
+  config.proxy.piggyback_validation = options.pcv;
+  config.min_url_accesses = 10;
+  const auto result = cache::SimulateProxyCaching(log, clustering, config);
+
+  std::printf("\napproach %s: %zu clusters (%zu busy hold 70%% of load)\n",
+              clustering.approach.c_str(), clustering.cluster_count(),
+              busy.busy.size());
+  std::printf("cache %s, ttl %d min, pcv %s\n",
+              options.cache_mb == 0
+                  ? "infinite"
+                  : (std::to_string(options.cache_mb) + "MB").c_str(),
+              options.ttl_min, options.pcv ? "on" : "off");
+  std::printf("server hit ratio: %.1f%%   byte hit ratio: %.1f%%\n",
+              100.0 * result.ServerHitRatio(),
+              100.0 * result.ServerByteHitRatio());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  Options options;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--log") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.log_path = v;
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.snapshots.push_back(v);
+    } else if (arg == "--simple") {
+      options.approach = "simple";
+    } else if (arg == "--classful") {
+      options.approach = "classful";
+    } else if (arg == "--parallel") {
+      const char* v = next();
+      options.parallel = v != nullptr ? std::atoi(v) : -1;
+    } else if (arg == "--top") {
+      const char* v = next();
+      if (v != nullptr) options.top = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (v != nullptr) options.csv_path = v;
+    } else if (arg == "--client-map") {
+      const char* v = next();
+      if (v != nullptr) options.client_map_path = v;
+    } else if (arg == "--cache-mb") {
+      const char* v = next();
+      if (v != nullptr) {
+        options.cache_mb = static_cast<std::uint64_t>(std::atoll(v));
+      }
+    } else if (arg == "--ttl-min") {
+      const char* v = next();
+      if (v != nullptr) options.ttl_min = std::atoi(v);
+    } else if (arg == "--no-pcv") {
+      options.pcv = false;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (options.log_path.empty()) return Usage(argv[0]);
+  if (options.approach == "network-aware" && options.snapshots.empty()) {
+    std::fprintf(stderr, "network-aware clustering needs --snapshot\n");
+    return 1;
+  }
+
+  if (options.command == "cluster") return RunCluster(options);
+  if (options.command == "detect") return RunDetect(options);
+  if (options.command == "simulate") return RunSimulate(options);
+  return Usage(argv[0]);
+}

@@ -1,0 +1,109 @@
+// Proxy placement study (§4.1.3-4.1.5).
+//
+//   $ ./proxy_placement
+//
+// End-to-end: synthesize a busy day log, cluster it, eliminate spiders/
+// proxies, keep the busy clusters that carry 70% of requests, place one
+// PCV+LRU proxy cache per busy cluster and report what the origin server
+// saves — contrasted against the naive /24 clustering.
+#include <cstdio>
+
+#include "cache/simulation.h"
+#include "core/cluster.h"
+#include "core/detect.h"
+#include "core/proxy_placement.h"
+#include "core/threshold.h"
+#include "synth/internet.h"
+#include "synth/vantage.h"
+#include "synth/workload.h"
+
+int main() {
+  using namespace netclust;
+
+  synth::InternetConfig net_config;
+  net_config.seed = 27;
+  net_config.allocation_count = 4000;
+  const synth::Internet internet = synth::GenerateInternet(net_config);
+  const synth::VantageGenerator vantages(internet,
+                                         synth::DefaultVantageProfiles());
+  bgp::PrefixTable table;
+  for (const auto& snapshot : vantages.AllSnapshots(0)) {
+    table.AddSnapshot(snapshot);
+  }
+
+  synth::WorkloadConfig workload;
+  workload.seed = 28;
+  workload.target_clients = 6000;
+  workload.target_requests = 400000;
+  workload.url_count = 3500;
+  workload.proxy_count = 1;
+  const weblog::ServerLog raw_log =
+      synth::GenerateLog(internet, workload).log;
+
+  // 1. Cluster and clean the log.
+  const core::Clustering raw = core::ClusterNetworkAware(raw_log, table);
+  const auto detection = core::DetectSpidersAndProxies(raw_log, raw);
+  const weblog::ServerLog log =
+      core::RemoveClients(raw_log, detection.AllAddresses());
+  std::printf("log: %zu requests after eliminating %zu suspect hosts\n",
+              log.request_count(), detection.suspects.size());
+
+  const core::Clustering clustering = core::ClusterNetworkAware(log, table);
+
+  // 2. Threshold busy clusters (70% of requests).
+  const core::ThresholdReport busy =
+      core::ThresholdBusyClusters(clustering, 0.7);
+  std::printf("busy clusters: %zu of %zu hold %llu requests "
+              "(threshold: %llu requests/cluster)\n",
+              busy.busy.size(), clustering.cluster_count(),
+              static_cast<unsigned long long>(busy.busy_requests),
+              static_cast<unsigned long long>(busy.threshold_requests));
+  // §4.1.4's two placement flavours: per-cluster proxy pools, then the
+  // AS-level co-operating proxy clusters.
+  const auto assignments = core::AssignProxies(clustering, busy);
+  int proxies = 0;
+  for (const auto& assignment : assignments) proxies += assignment.proxies;
+  const auto groups = core::GroupProxiesByAs(clustering, assignments, table);
+  std::printf("-> %d proxies (load-sized) serving %zu clients, grouped "
+              "into %zu AS-level proxy clusters\n",
+              proxies, busy.busy_clients, groups.size());
+  if (!groups.empty()) {
+    std::printf("   largest proxy cluster: AS%u with %d proxies over %zu "
+                "client clusters (%llu requests)\n",
+                groups.front().as_number, groups.front().proxies,
+                groups.front().clusters.size(),
+                static_cast<unsigned long long>(groups.front().requests));
+  }
+
+  // 3. Simulate proxy caching at a few cache sizes, both approaches.
+  const core::Clustering simple = core::ClusterSimple(log);
+  std::printf("\n%12s  %22s  %22s\n", "cache", "network-aware", "simple");
+  std::printf("%12s  %10s %10s  %10s %10s\n", "", "hit", "byte-hit", "hit",
+              "byte-hit");
+  for (const std::uint64_t megabytes : {1ull, 10ull, 0ull}) {
+    cache::SimulationConfig config;
+    config.proxy.capacity_bytes = megabytes << 20;
+    config.proxy.ttl_seconds = 3600;
+    config.min_url_accesses = 10;
+    const auto aware = cache::SimulateProxyCaching(log, clustering, config);
+    const auto naive = cache::SimulateProxyCaching(log, simple, config);
+    char label[32];
+    if (megabytes == 0) {
+      std::snprintf(label, sizeof label, "infinite");
+    } else {
+      std::snprintf(label, sizeof label, "%lluMB",
+                    static_cast<unsigned long long>(megabytes));
+    }
+    std::printf("%12s  %9.1f%% %9.1f%%  %9.1f%% %9.1f%%\n", label,
+                100.0 * aware.ServerHitRatio(),
+                100.0 * aware.ServerByteHitRatio(),
+                100.0 * naive.ServerHitRatio(),
+                100.0 * naive.ServerByteHitRatio());
+  }
+
+  std::printf("\nreading: every request absorbed by a proxy is latency the "
+              "clients never see and load the origin never carries;\n"
+              "the /24 approximation fragments sharing communities and "
+              "under-estimates both.\n");
+  return 0;
+}

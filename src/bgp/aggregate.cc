@@ -1,0 +1,103 @@
+#include "bgp/aggregate.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+namespace netclust::bgp {
+namespace {
+
+/// Sibling block: same parent, other half.
+net::Prefix Sibling(const net::Prefix& prefix) {
+  const std::uint32_t flipped =
+      prefix.network().bits() ^ (0x80000000u >> (prefix.length() - 1));
+  return net::Prefix(net::IpAddress(flipped), prefix.length());
+}
+
+/// Drops prefixes that have a strict ancestor in the set.
+std::unordered_set<net::Prefix> RemoveCovered(
+    const std::unordered_set<net::Prefix>& prefixes) {
+  std::unordered_set<net::Prefix> kept;
+  for (const net::Prefix& prefix : prefixes) {
+    bool covered = false;
+    net::Prefix walk = prefix;
+    while (walk.length() > 0) {
+      walk = walk.Parent();
+      if (prefixes.contains(walk)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) kept.insert(prefix);
+  }
+  return kept;
+}
+
+/// Merges sibling pairs to fixed point. Input must be ancestor-free;
+/// output remains ancestor-free and disjoint.
+std::unordered_set<net::Prefix> MergeSiblings(
+    std::unordered_set<net::Prefix> prefixes) {
+  std::vector<net::Prefix> worklist(prefixes.begin(), prefixes.end());
+  while (!worklist.empty()) {
+    const net::Prefix prefix = worklist.back();
+    worklist.pop_back();
+    if (prefix.length() == 0 || !prefixes.contains(prefix)) continue;
+    const net::Prefix sibling = Sibling(prefix);
+    if (!prefixes.contains(sibling)) continue;
+    prefixes.erase(prefix);
+    prefixes.erase(sibling);
+    const net::Prefix parent = prefix.Parent();
+    prefixes.insert(parent);
+    worklist.push_back(parent);
+  }
+  return prefixes;
+}
+
+}  // namespace
+
+std::vector<net::Prefix> AggregatePrefixes(
+    std::vector<net::Prefix> prefixes) {
+  std::unordered_set<net::Prefix> set(prefixes.begin(), prefixes.end());
+  set = MergeSiblings(RemoveCovered(set));
+  std::vector<net::Prefix> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RouteEntry> AggregateRoutes(std::vector<RouteEntry> routes) {
+  // Group by attributes that must match for aggregation.
+  using AttrKey = std::pair<std::uint32_t, std::vector<AsNumber>>;
+  std::map<AttrKey, std::vector<RouteEntry>> groups;
+  for (RouteEntry& route : routes) {
+    groups[AttrKey{route.next_hop.bits(), route.as_path}].push_back(
+        std::move(route));
+  }
+
+  std::vector<RouteEntry> out;
+  for (auto& [key, members] : groups) {
+    std::vector<net::Prefix> prefixes;
+    prefixes.reserve(members.size());
+    for (const RouteEntry& member : members) {
+      prefixes.push_back(member.prefix);
+    }
+    for (const net::Prefix& prefix : AggregatePrefixes(std::move(prefixes))) {
+      RouteEntry entry = members.front();
+      entry.prefix = prefix;
+      out.push_back(std::move(entry));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RouteEntry& a, const RouteEntry& b) {
+              return a.prefix < b.prefix;
+            });
+  return out;
+}
+
+bool CoverSameAddresses(const std::vector<net::Prefix>& prefixes,
+                        const std::vector<net::Prefix>& other) {
+  // Aggregation canonicalizes a disjoint cover to its unique minimal form.
+  return AggregatePrefixes(prefixes) == AggregatePrefixes(other);
+}
+
+}  // namespace netclust::bgp

@@ -1,0 +1,37 @@
+// CIDR route aggregation (the mechanism §2 footnote 2 describes: "the
+// routing table can be shrunk by aggregating routing entries with adjacent
+// IP address blocks and same routing path").
+//
+// Two operations real routers perform, both of which shape what the
+// clustering sees:
+//   * sibling aggregation — two adjacent blocks whose union is exactly
+//     their parent collapse into the parent when their attributes match;
+//   * covered-route suppression — a more-specific entry disappears when a
+//     less-specific entry with the same attributes already covers it.
+#pragma once
+
+#include <vector>
+
+#include "bgp/route_entry.h"
+#include "net/prefix.h"
+
+namespace netclust::bgp {
+
+/// Aggregates bare prefixes (attribute-blind): repeatedly merges sibling
+/// pairs into their parent and drops prefixes covered by a present
+/// ancestor. The result is the minimal prefix set covering exactly the
+/// same addresses. Output is sorted.
+std::vector<net::Prefix> AggregatePrefixes(std::vector<net::Prefix> prefixes);
+
+/// Attribute-aware aggregation over route entries: siblings merge and
+/// covered routes are suppressed only when next hop and AS path agree
+/// (descriptions are not compared; the survivor keeps the parent's).
+/// Entries with distinct attributes are left untouched.
+std::vector<RouteEntry> AggregateRoutes(std::vector<RouteEntry> routes);
+
+/// True when `prefixes` covers exactly the same address set as `other`
+/// (order/duplicates ignored) — the invariant AggregatePrefixes preserves.
+bool CoverSameAddresses(const std::vector<net::Prefix>& prefixes,
+                        const std::vector<net::Prefix>& other);
+
+}  // namespace netclust::bgp

@@ -1,0 +1,60 @@
+#include "bgp/dynamics.h"
+
+#include <unordered_map>
+
+namespace netclust::bgp {
+
+PrefixSet UnionPrefixSet(
+    const std::vector<std::vector<net::Prefix>>& snapshots) {
+  PrefixSet all;
+  for (const auto& snapshot : snapshots) {
+    all.insert(snapshot.begin(), snapshot.end());
+  }
+  return all;
+}
+
+PrefixSet DynamicPrefixSet(
+    const std::vector<std::vector<net::Prefix>>& snapshots) {
+  if (snapshots.empty()) return {};
+
+  // Count appearances; a prefix is dynamic unless it appears in every
+  // snapshot. Duplicate prefixes within one snapshot are collapsed first.
+  std::unordered_map<net::Prefix, std::size_t> appearances;
+  for (const auto& snapshot : snapshots) {
+    const PrefixSet distinct(snapshot.begin(), snapshot.end());
+    for (const net::Prefix& prefix : distinct) ++appearances[prefix];
+  }
+  PrefixSet dynamic;
+  for (const auto& [prefix, count] : appearances) {
+    if (count < snapshots.size()) dynamic.insert(prefix);
+  }
+  return dynamic;
+}
+
+DynamicsReport AnalyzeDynamics(
+    const std::vector<std::vector<net::Prefix>>& snapshots) {
+  DynamicsReport report;
+  if (snapshots.empty()) return report;
+
+  report.first_snapshot_size =
+      PrefixSet(snapshots.front().begin(), snapshots.front().end()).size();
+  report.last_snapshot_size =
+      PrefixSet(snapshots.back().begin(), snapshots.back().end()).size();
+
+  const PrefixSet dynamic = DynamicPrefixSet(snapshots);
+  report.union_size = UnionPrefixSet(snapshots).size();
+  report.maximum_effect = dynamic.size();
+  report.intersection_size = report.union_size - dynamic.size();
+  return report;
+}
+
+std::size_t CountAffected(const std::vector<net::Prefix>& used,
+                          const PrefixSet& dynamic) {
+  std::size_t affected = 0;
+  for (const net::Prefix& prefix : used) {
+    if (dynamic.contains(prefix)) ++affected;
+  }
+  return affected;
+}
+
+}  // namespace netclust::bgp

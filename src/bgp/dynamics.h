@@ -1,0 +1,48 @@
+// BGP dynamics analysis (§3.4, Table 4).
+//
+// The paper measures how day-to-day routing-table churn could perturb the
+// clusters: the *dynamic prefix set* over a test period is every prefix that
+// is not present in ALL snapshots of the period (union minus intersection),
+// and the *maximum effect* on a set of clusters is how many cluster-keying
+// prefixes fall in that dynamic set.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace netclust::bgp {
+
+using PrefixSet = std::unordered_set<net::Prefix>;
+
+/// The dynamic prefix set of a period: prefixes seen in some but not all of
+/// `snapshots` (each element is one snapshot's full prefix list).
+PrefixSet DynamicPrefixSet(
+    const std::vector<std::vector<net::Prefix>>& snapshots);
+
+/// Union of all prefixes over the period.
+PrefixSet UnionPrefixSet(
+    const std::vector<std::vector<net::Prefix>>& snapshots);
+
+/// One period row of Table 4 for one routing table.
+struct DynamicsReport {
+  std::size_t first_snapshot_size = 0;
+  std::size_t last_snapshot_size = 0;
+  std::size_t union_size = 0;
+  std::size_t intersection_size = 0;
+  /// |dynamic prefix set| — the paper's "maximum effect" on the table.
+  std::size_t maximum_effect = 0;
+};
+
+DynamicsReport AnalyzeDynamics(
+    const std::vector<std::vector<net::Prefix>>& snapshots);
+
+/// How many of the prefixes in `used` (e.g. the prefixes that actually key
+/// a log's client clusters) are in the dynamic set — the paper's "maximum
+/// effect" rows for each server log and for its busy clusters.
+std::size_t CountAffected(const std::vector<net::Prefix>& used,
+                          const PrefixSet& dynamic);
+
+}  // namespace netclust::bgp

@@ -1,0 +1,85 @@
+#include "bgp/io.h"
+
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+#include "bgp/mrt.h"
+#include "bgp/text_parser.h"
+
+namespace netclust::bgp {
+namespace {
+
+// MRT records open with a 4-byte timestamp and a big-endian type that is
+// 12 (TABLE_DUMP) or 13 (TABLE_DUMP_V2); text dumps start with printable
+// characters, so this sniff cannot misfire on either.
+bool LooksLikeMrt(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 12) return false;
+  const std::uint16_t type =
+      static_cast<std::uint16_t>((bytes[4] << 8) | bytes[5]);
+  return type == 12 || type == 13;
+}
+
+}  // namespace
+
+Result<LoadedSnapshot> LoadSnapshotFile(const std::string& path,
+                                        std::string name) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail("cannot open " + path);
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  LoadedSnapshot loaded;
+  const SnapshotInfo info{name.empty() ? path : std::move(name), "",
+                          SourceKind::kBgpTable, ""};
+  if (LooksLikeMrt(bytes)) {
+    MrtStats stats;
+    auto snapshot = ReadMrt(bytes, info, &stats);
+    if (!snapshot.ok()) return Fail(path + ": " + snapshot.error());
+    loaded.snapshot = std::move(snapshot).value();
+    loaded.skipped = stats.skipped_records;
+    // V2 files open with a PEER_INDEX_TABLE (type 13); V1 with a route.
+    loaded.format = bytes[5] == 13 ? SnapshotFileFormat::kMrtV2
+                                   : SnapshotFileFormat::kMrtV1;
+    return loaded;
+  }
+
+  ParseStats stats;
+  loaded.snapshot = ParseSnapshotText(
+      std::string(bytes.begin(), bytes.end()), info, &stats);
+  loaded.skipped = stats.malformed_lines;
+  loaded.format = SnapshotFileFormat::kText;
+  return loaded;
+}
+
+Result<bool> SaveSnapshotFile(const Snapshot& snapshot,
+                              const std::string& path,
+                              SnapshotFileFormat format,
+                              net::PrefixStyle style,
+                              std::uint32_t timestamp) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Fail("cannot create " + path);
+  switch (format) {
+    case SnapshotFileFormat::kText: {
+      const std::string text = WriteSnapshotText(snapshot, style);
+      out.write(text.data(), static_cast<std::streamsize>(text.size()));
+      break;
+    }
+    case SnapshotFileFormat::kMrtV1: {
+      const auto bytes = WriteMrtV1(snapshot, timestamp);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      break;
+    }
+    case SnapshotFileFormat::kMrtV2: {
+      const auto bytes = WriteMrt(snapshot, timestamp);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      break;
+    }
+  }
+  if (!out.good()) return Fail("short write to " + path);
+  return true;
+}
+
+}  // namespace netclust::bgp

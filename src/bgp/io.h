@@ -1,0 +1,38 @@
+// File I/O helpers: load a routing-table snapshot from disk with format
+// auto-detection (text dump vs binary MRT of either generation), and save
+// in any supported format.
+#pragma once
+
+#include <string>
+
+#include "bgp/route_entry.h"
+#include "net/prefix_format.h"
+#include "net/result.h"
+
+namespace netclust::bgp {
+
+enum class SnapshotFileFormat {
+  kText,       // one entry per line, any §3.1.2 prefix format
+  kMrtV1,      // TABLE_DUMP
+  kMrtV2,      // TABLE_DUMP_V2
+};
+
+struct LoadedSnapshot {
+  Snapshot snapshot;
+  SnapshotFileFormat format = SnapshotFileFormat::kText;
+  std::size_t skipped = 0;  // malformed lines / skipped MRT records
+};
+
+/// Loads `path`, sniffing the format from the first record. `name` becomes
+/// the snapshot's source name (defaults to the path).
+Result<LoadedSnapshot> LoadSnapshotFile(const std::string& path,
+                                        std::string name = {});
+
+/// Saves `snapshot` to `path` in the requested format. Text uses `style`.
+Result<bool> SaveSnapshotFile(const Snapshot& snapshot,
+                              const std::string& path,
+                              SnapshotFileFormat format,
+                              net::PrefixStyle style = net::PrefixStyle::kCidr,
+                              std::uint32_t timestamp = 0);
+
+}  // namespace netclust::bgp

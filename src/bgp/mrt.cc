@@ -1,0 +1,385 @@
+#include "bgp/mrt.h"
+
+#include <cstring>
+
+namespace netclust::bgp {
+namespace {
+
+// --- MRT constants (RFC 6396) ---
+constexpr std::uint16_t kTypeTableDump = 12;  // legacy, one route/record
+constexpr std::uint16_t kTypeTableDumpV2 = 13;
+constexpr std::uint16_t kSubtypeAfiIpv4 = 1;
+constexpr std::uint16_t kSubtypePeerIndexTable = 1;
+constexpr std::uint16_t kSubtypeRibIpv4Unicast = 2;
+constexpr std::uint32_t kAsTrans = 23456;
+
+// BGP path attribute types (RFC 4271).
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+
+constexpr std::uint8_t kAttrFlagTransitive = 0x40;
+constexpr std::uint8_t kAttrFlagExtendedLength = 0x10;
+
+constexpr std::uint8_t kAsPathSegmentSequence = 2;
+
+// --- big-endian encoding ---
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void U32(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 24));
+    out_.push_back(static_cast<std::uint8_t>(v >> 16));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void Bytes(const std::uint8_t* data, std::size_t n) {
+    out_.insert(out_.end(), data, data + n);
+  }
+  void Append(const std::vector<std::uint8_t>& bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return out_; }
+  [[nodiscard]] std::vector<std::uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+// --- big-endian decoding with bounds checks ---
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool Ok() const { return !failed_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool AtEnd() const { return pos_ == size_; }
+
+  std::uint8_t U8() {
+    if (!Require(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t U16() {
+    if (!Require(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t U32() {
+    if (!Require(4)) return 0;
+    const std::uint32_t v = (std::uint32_t{data_[pos_]} << 24) |
+                            (std::uint32_t{data_[pos_ + 1]} << 16) |
+                            (std::uint32_t{data_[pos_ + 2]} << 8) |
+                            std::uint32_t{data_[pos_ + 3]};
+    pos_ += 4;
+    return v;
+  }
+  void Skip(std::size_t n) {
+    if (Require(n)) pos_ += n;
+  }
+  const std::uint8_t* BytesPtr(std::size_t n) {
+    if (!Require(n)) return nullptr;
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+  /// A sub-reader over the next `n` bytes, consumed from this reader.
+  Reader Sub(std::size_t n) {
+    const std::uint8_t* p = BytesPtr(n);
+    if (p == nullptr) return Reader(nullptr, 0);
+    return Reader(p, n);
+  }
+
+ private:
+  bool Require(std::size_t n) {
+    if (failed_ || size_ - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+void WriteMrtHeader(Writer& w, std::uint32_t timestamp, std::uint16_t type,
+                    std::uint16_t subtype, std::uint32_t length) {
+  w.U32(timestamp);
+  w.U16(type);
+  w.U16(subtype);
+  w.U32(length);
+}
+
+// `wide_asn`: TABLE_DUMP_V2 carries 4-byte AS numbers (RFC 6396 §4.3.4);
+// legacy TABLE_DUMP carries the classic 2-byte encoding.
+std::vector<std::uint8_t> EncodePathAttributes(const RouteEntry& entry,
+                                               bool wide_asn) {
+  Writer attrs;
+
+  // ORIGIN: IGP.
+  attrs.U8(kAttrFlagTransitive);
+  attrs.U8(kAttrOrigin);
+  attrs.U8(1);
+  attrs.U8(0);
+
+  // AS_PATH: one AS_SEQUENCE segment.
+  {
+    Writer seg;
+    if (!entry.as_path.empty()) {
+      seg.U8(kAsPathSegmentSequence);
+      seg.U8(static_cast<std::uint8_t>(entry.as_path.size()));
+      for (const AsNumber asn : entry.as_path) {
+        if (wide_asn) {
+          seg.U32(asn);
+        } else {
+          seg.U16(static_cast<std::uint16_t>(asn > 0xFFFF ? kAsTrans : asn));
+        }
+      }
+    }
+    attrs.U8(kAttrFlagTransitive | kAttrFlagExtendedLength);
+    attrs.U8(kAttrAsPath);
+    attrs.U16(static_cast<std::uint16_t>(seg.bytes().size()));
+    attrs.Append(seg.bytes());
+  }
+
+  // NEXT_HOP.
+  attrs.U8(kAttrFlagTransitive);
+  attrs.U8(kAttrNextHop);
+  attrs.U8(4);
+  attrs.U32(entry.next_hop.bits());
+
+  return attrs.Take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> WriteMrt(const Snapshot& snapshot,
+                                   std::uint32_t timestamp) {
+  Writer out;
+
+  // PEER_INDEX_TABLE with a single synthetic peer (index 0).
+  {
+    Writer body;
+    body.U32(0x0A000001);  // collector BGP ID
+    const std::string& view = snapshot.info.name;
+    body.U16(static_cast<std::uint16_t>(view.size()));
+    body.Bytes(reinterpret_cast<const std::uint8_t*>(view.data()),
+               view.size());
+    body.U16(1);           // peer count
+    body.U8(0x02);         // peer type: IPv4 address, 4-byte AS
+    body.U32(0x0A000002);  // peer BGP ID
+    body.U32(0x0A000002);  // peer IPv4 address
+    body.U32(65000);       // peer AS
+    WriteMrtHeader(out, timestamp, kTypeTableDumpV2, kSubtypePeerIndexTable,
+                   static_cast<std::uint32_t>(body.bytes().size()));
+    out.Append(body.bytes());
+  }
+
+  std::uint32_t sequence = 0;
+  for (const RouteEntry& entry : snapshot.entries) {
+    Writer body;
+    body.U32(sequence++);
+    const int len = entry.prefix.length();
+    body.U8(static_cast<std::uint8_t>(len));
+    const std::uint32_t network = entry.prefix.network().bits();
+    for (int i = 0; i < (len + 7) / 8; ++i) {
+      body.U8(static_cast<std::uint8_t>(network >> (24 - 8 * i)));
+    }
+    body.U16(1);  // entry count
+    body.U16(0);  // peer index
+    body.U32(timestamp);
+    const std::vector<std::uint8_t> attrs =
+        EncodePathAttributes(entry, /*wide_asn=*/true);
+    body.U16(static_cast<std::uint16_t>(attrs.size()));
+    body.Append(attrs);
+
+    WriteMrtHeader(out, timestamp, kTypeTableDumpV2, kSubtypeRibIpv4Unicast,
+                   static_cast<std::uint32_t>(body.bytes().size()));
+    out.Append(body.bytes());
+  }
+  return out.Take();
+}
+
+std::vector<std::uint8_t> WriteMrtV1(const Snapshot& snapshot,
+                                     std::uint32_t timestamp) {
+  Writer out;
+  std::uint16_t sequence = 0;
+  for (const RouteEntry& entry : snapshot.entries) {
+    Writer body;
+    body.U16(0);  // view number
+    body.U16(sequence++);
+    body.U32(entry.prefix.network().bits());
+    body.U8(static_cast<std::uint8_t>(entry.prefix.length()));
+    body.U8(1);  // status: valid
+    body.U32(timestamp);  // originated time
+    body.U32(0x0A000002);  // peer IP
+    body.U16(65000);       // peer AS (2-byte in v1)
+    const std::vector<std::uint8_t> attrs =
+        EncodePathAttributes(entry, /*wide_asn=*/false);
+    body.U16(static_cast<std::uint16_t>(attrs.size()));
+    body.Append(attrs);
+
+    WriteMrtHeader(out, timestamp, kTypeTableDump, kSubtypeAfiIpv4,
+                   static_cast<std::uint32_t>(body.bytes().size()));
+    out.Append(body.bytes());
+  }
+  return out.Take();
+}
+
+namespace {
+
+// Decodes the BGP path attributes of one RIB entry into `*entry`.
+bool DecodePathAttributes(Reader attrs, RouteEntry* entry, bool wide_asn) {
+  while (!attrs.AtEnd()) {
+    const std::uint8_t flags = attrs.U8();
+    const std::uint8_t type = attrs.U8();
+    const std::size_t length = (flags & kAttrFlagExtendedLength) != 0
+                                   ? attrs.U16()
+                                   : attrs.U8();
+    if (!attrs.Ok()) return false;
+    Reader value = attrs.Sub(length);
+    if (!attrs.Ok()) return false;
+
+    switch (type) {
+      case kAttrAsPath:
+        while (!value.AtEnd()) {
+          const std::uint8_t seg_type = value.U8();
+          const std::uint8_t count = value.U8();
+          for (int i = 0; i < count && value.Ok(); ++i) {
+            const AsNumber asn = wide_asn ? value.U32() : value.U16();
+            if (seg_type == kAsPathSegmentSequence) {
+              entry->as_path.push_back(asn);
+            }
+          }
+          if (!value.Ok()) return false;
+        }
+        break;
+      case kAttrNextHop:
+        if (length != 4) return false;
+        entry->next_hop = net::IpAddress(value.U32());
+        break;
+      default:
+        break;  // ORIGIN and anything else: ignored.
+    }
+  }
+  return attrs.Ok();
+}
+
+}  // namespace
+
+Result<Snapshot> ReadMrt(const std::vector<std::uint8_t>& bytes,
+                         const SnapshotInfo& info, MrtStats* stats) {
+  Snapshot snapshot;
+  snapshot.info = info;
+  MrtStats local;
+  bool saw_peer_index = false;
+
+  Reader in(bytes.data(), bytes.size());
+  while (!in.AtEnd()) {
+    in.Skip(4);  // timestamp — not used
+    const std::uint16_t type = in.U16();
+    const std::uint16_t subtype = in.U16();
+    const std::uint32_t length = in.U32();
+    if (!in.Ok()) return Fail("truncated MRT header");
+    Reader body = in.Sub(length);
+    if (!in.Ok()) return Fail("truncated MRT record body");
+    ++local.records;
+
+    if (type == kTypeTableDump) {
+      if (subtype != kSubtypeAfiIpv4) {
+        ++local.skipped_records;
+        continue;
+      }
+      body.Skip(2);  // view number
+      body.Skip(2);  // sequence
+      const std::uint32_t network = body.U32();
+      const std::uint8_t prefix_len = body.U8();
+      if (prefix_len > 32) return Fail("bad TABLE_DUMP prefix length");
+      body.Skip(1);  // status
+      body.Skip(4);  // originated time
+      body.Skip(4);  // peer IP
+      body.Skip(2);  // peer AS
+      const std::uint16_t attr_len = body.U16();
+      if (!body.Ok()) return Fail("truncated TABLE_DUMP record");
+      Reader attrs = body.Sub(attr_len);
+      if (!body.Ok()) return Fail("truncated TABLE_DUMP attributes");
+
+      RouteEntry entry;
+      entry.prefix = net::Prefix(net::IpAddress(network), prefix_len);
+      if (!DecodePathAttributes(attrs, &entry, /*wide_asn=*/false)) {
+        return Fail("malformed TABLE_DUMP path attributes");
+      }
+      snapshot.entries.push_back(std::move(entry));
+      ++local.rib_records;
+      continue;
+    }
+    if (type != kTypeTableDumpV2) {
+      ++local.skipped_records;
+      continue;
+    }
+    if (subtype == kSubtypePeerIndexTable) {
+      body.Skip(4);  // collector BGP ID
+      const std::uint16_t view_len = body.U16();
+      body.Skip(view_len);
+      const std::uint16_t peer_count = body.U16();
+      for (std::uint16_t i = 0; i < peer_count && body.Ok(); ++i) {
+        const std::uint8_t peer_type = body.U8();
+        body.Skip(4);                                 // peer BGP ID
+        body.Skip((peer_type & 0x01) != 0 ? 16 : 4);  // peer address
+        body.Skip((peer_type & 0x02) != 0 ? 4 : 2);   // peer AS
+      }
+      if (!body.Ok()) return Fail("truncated PEER_INDEX_TABLE");
+      local.peers = peer_count;
+      saw_peer_index = true;
+      continue;
+    }
+    if (subtype != kSubtypeRibIpv4Unicast) {
+      ++local.skipped_records;
+      continue;
+    }
+
+    if (!saw_peer_index) return Fail("RIB record before PEER_INDEX_TABLE");
+    body.Skip(4);  // sequence number
+    const std::uint8_t prefix_len = body.U8();
+    if (prefix_len > 32) return Fail("bad RIB prefix length");
+    std::uint32_t network = 0;
+    const int prefix_bytes = (prefix_len + 7) / 8;
+    for (int i = 0; i < prefix_bytes; ++i) {
+      network |= std::uint32_t{body.U8()} << (24 - 8 * i);
+    }
+    const std::uint16_t entry_count = body.U16();
+    if (!body.Ok()) return Fail("truncated RIB record");
+
+    for (std::uint16_t i = 0; i < entry_count; ++i) {
+      const std::uint16_t peer_index = body.U16();
+      if (peer_index >= local.peers) return Fail("RIB entry peer out of range");
+      body.Skip(4);  // originated time
+      const std::uint16_t attr_len = body.U16();
+      if (!body.Ok()) return Fail("truncated RIB entry");
+      Reader attrs = body.Sub(attr_len);
+      if (!body.Ok()) return Fail("truncated RIB entry attributes");
+
+      RouteEntry entry;
+      entry.prefix = net::Prefix(net::IpAddress(network), prefix_len);
+      if (!DecodePathAttributes(attrs, &entry, /*wide_asn=*/true)) {
+        return Fail("malformed path attributes");
+      }
+      snapshot.entries.push_back(std::move(entry));
+    }
+    ++local.rib_records;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return snapshot;
+}
+
+}  // namespace netclust::bgp

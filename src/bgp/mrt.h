@@ -1,0 +1,56 @@
+// MRT (Multi-Threaded Routing Toolkit) TABLE_DUMP_V2 reader/writer.
+//
+// Implements the RFC 6396 subset needed to exchange RIB snapshots the way
+// route collectors (Oregon RouteViews, RIPE RIS — the successors of the
+// paper's OREGON/MAE-* sources) publish them today:
+//
+//   * common MRT header (timestamp, type, subtype, length)
+//   * TABLE_DUMP    / AFI_IPv4           (type 12, subtype 1) — the
+//     paper-era format route-views actually served in 1999, one route per
+//     record with 2-byte AS numbers
+//   * TABLE_DUMP_V2 / PEER_INDEX_TABLE   (type 13, subtype 1)
+//   * TABLE_DUMP_V2 / RIB_IPV4_UNICAST   (type 13, subtype 2)
+//   * BGP path attributes ORIGIN, AS_PATH (2- or 4-byte ASNs by format),
+//     NEXT_HOP
+//
+// ReadMrt handles both generations in one stream. Unknown record types and
+// path attributes are skipped, not rejected, so a real RouteViews file
+// with extra records still parses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/route_entry.h"
+#include "net/result.h"
+
+namespace netclust::bgp {
+
+/// MRT decode statistics.
+struct MrtStats {
+  std::size_t records = 0;
+  std::size_t rib_records = 0;
+  std::size_t skipped_records = 0;  // non-TABLE_DUMP_V2 or non-IPv4 subtypes
+  std::size_t peers = 0;
+};
+
+/// Encodes `snapshot` as an MRT TABLE_DUMP_V2 byte stream: one
+/// PEER_INDEX_TABLE record followed by one RIB_IPV4_UNICAST record per
+/// entry. `timestamp` is the UNIX time stamped on every record.
+std::vector<std::uint8_t> WriteMrt(const Snapshot& snapshot,
+                                   std::uint32_t timestamp);
+
+/// Encodes `snapshot` as legacy TABLE_DUMP (v1): one AFI_IPv4 record per
+/// entry. AS numbers above 65535 are clamped to AS_TRANS (23456), as the
+/// 2-byte format requires.
+std::vector<std::uint8_t> WriteMrtV1(const Snapshot& snapshot,
+                                     std::uint32_t timestamp);
+
+/// Decodes an MRT TABLE_DUMP_V2 byte stream produced by WriteMrt or a route
+/// collector. Fails on structural corruption (truncated records, RIB entry
+/// referencing an unknown peer); skips unknown record types.
+Result<Snapshot> ReadMrt(const std::vector<std::uint8_t>& bytes,
+                         const SnapshotInfo& info, MrtStats* stats = nullptr);
+
+}  // namespace netclust::bgp

@@ -1,0 +1,90 @@
+#include "bgp/prefix_table.h"
+
+#include <cassert>
+
+namespace netclust::bgp {
+
+int PrefixTable::AddSource(const SnapshotInfo& info) {
+  assert(sources_.size() < kMaxSources);
+  sources_.push_back(SourceStats{.info = info});
+  return static_cast<int>(sources_.size()) - 1;
+}
+
+void PrefixTable::Insert(const net::Prefix& prefix, int source_id,
+                         AsNumber origin_as) {
+  assert(source_id >= 0 &&
+         source_id < static_cast<int>(sources_.size()));
+  SourceStats& stats = sources_[static_cast<std::size_t>(source_id)];
+  ++stats.entries;
+
+  const std::uint32_t bit = 1u << source_id;
+  const bool is_bgp = stats.info.kind == SourceKind::kBgpTable;
+
+  if (const Origin* existing = trie_.Find(prefix)) {
+    if ((existing->source_mask & bit) == 0) ++stats.unique_prefixes;
+    Origin updated = *existing;
+    updated.source_mask |= bit;
+    updated.from_bgp |= is_bgp;
+    updated.from_dump |= !is_bgp;
+    if (updated.origin_as == 0) updated.origin_as = origin_as;
+    trie_.Insert(prefix, updated);
+    return;
+  }
+  Origin origin;
+  origin.source_mask = bit;
+  origin.from_bgp = is_bgp;
+  origin.from_dump = !is_bgp;
+  origin.origin_as = origin_as;
+  trie_.Insert(prefix, origin);
+  ++stats.unique_prefixes;
+  ++stats.new_prefixes;
+}
+
+AsNumber PrefixTable::OriginAs(const net::Prefix& prefix) const {
+  const Origin* origin = trie_.Find(prefix);
+  return origin == nullptr ? 0 : origin->origin_as;
+}
+
+int PrefixTable::AddSnapshot(const Snapshot& snapshot) {
+  const int id = AddSource(snapshot.info);
+  for (const RouteEntry& entry : snapshot.entries) {
+    Insert(entry.prefix, id,
+           entry.as_path.empty() ? 0 : entry.as_path.back());
+  }
+  return id;
+}
+
+std::optional<PrefixTable::Match> PrefixTable::LongestMatch(
+    net::IpAddress address) const {
+  std::optional<Match> best_bgp;
+  std::optional<Match> best_dump;
+  trie_.AllMatches(address, [&](const net::Prefix& prefix,
+                                const Origin& origin) {
+    // AllMatches visits shortest-first, so the last hit of each kind is the
+    // longest of that kind.
+    if (origin.from_bgp) {
+      best_bgp = Match{prefix, SourceKind::kBgpTable, origin.source_mask,
+                       origin.origin_as};
+    } else {
+      best_dump = Match{prefix, SourceKind::kNetworkDump, origin.source_mask,
+                        origin.origin_as};
+    }
+  });
+  if (best_bgp.has_value()) return best_bgp;
+  return best_dump;
+}
+
+std::vector<net::Prefix> PrefixTable::AllPrefixes() const {
+  std::vector<net::Prefix> prefixes;
+  prefixes.reserve(trie_.size());
+  trie_.Visit([&](const net::Prefix& prefix, const Origin&) {
+    prefixes.push_back(prefix);
+  });
+  return prefixes;
+}
+
+bool PrefixTable::Contains(const net::Prefix& prefix) const {
+  return trie_.Find(prefix) != nullptr;
+}
+
+}  // namespace netclust::bgp

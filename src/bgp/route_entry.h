@@ -1,0 +1,54 @@
+// Routing-table snapshot model.
+//
+// Mirrors Table 2 of the paper: each entry carries prefix, next hop, AS
+// path and free-text descriptions. Only the prefix/netmask is consumed by
+// clustering (§3.1.1), but the rest is kept because the paper notes AS
+// number/path "can also provide hints on the geographical location".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ip_address.h"
+#include "net/prefix.h"
+
+namespace netclust::bgp {
+
+/// Autonomous System number (16-bit in the paper's era; stored wide).
+using AsNumber = std::uint32_t;
+
+/// Where a prefix entry came from (§3.1.1): real BGP tables are the primary
+/// source; ARIN/NLANR-style registry dumps are secondary, consulted only for
+/// clients no BGP prefix covers.
+enum class SourceKind {
+  kBgpTable,
+  kNetworkDump,
+};
+
+/// One row of a routing-table snapshot.
+struct RouteEntry {
+  net::Prefix prefix;
+  net::IpAddress next_hop;
+  std::vector<AsNumber> as_path;
+  std::string prefix_description;  // e.g. "Harvard University"
+  std::string peer_description;
+
+  friend bool operator==(const RouteEntry&, const RouteEntry&) = default;
+};
+
+/// Identity of one routing-table source (one row of Table 1).
+struct SnapshotInfo {
+  std::string name;      // e.g. "MAE-WEST"
+  std::string date;      // e.g. "12/7/1999"
+  SourceKind kind = SourceKind::kBgpTable;
+  std::string comment;   // e.g. "BGP routing table snapshots taken every 2 hours"
+};
+
+/// A full snapshot: source identity plus its entries.
+struct Snapshot {
+  SnapshotInfo info;
+  std::vector<RouteEntry> entries;
+};
+
+}  // namespace netclust::bgp

@@ -1,0 +1,80 @@
+#include "bgp/table_stats.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "bgp/aggregate.h"
+
+namespace netclust::bgp {
+
+TableStats ComputeTableStats(const Snapshot& snapshot) {
+  TableStats stats;
+  stats.entries = snapshot.entries.size();
+
+  std::unordered_set<net::Prefix> unique;
+  std::unordered_set<AsNumber> origins;
+  bool first = true;
+  for (const RouteEntry& entry : snapshot.entries) {
+    if (!unique.insert(entry.prefix).second) continue;
+    const int length = entry.prefix.length();
+    ++stats.length_histogram[static_cast<std::size_t>(length)];
+    if (first) {
+      stats.min_length = stats.max_length = length;
+      first = false;
+    } else {
+      stats.min_length = std::min(stats.min_length, length);
+      stats.max_length = std::max(stats.max_length, length);
+    }
+    if (!entry.as_path.empty()) origins.insert(entry.as_path.back());
+  }
+  stats.unique_prefixes = unique.size();
+  stats.origin_as_count = origins.size();
+  if (stats.unique_prefixes > 0) {
+    stats.slash24_share =
+        static_cast<double>(stats.length_histogram[24]) /
+        static_cast<double>(stats.unique_prefixes);
+  }
+
+  // Coverage and aggregability via the minimal disjoint cover.
+  const std::vector<net::Prefix> aggregated =
+      AggregatePrefixes({unique.begin(), unique.end()});
+  for (const net::Prefix& prefix : aggregated) {
+    stats.covered_addresses += prefix.size();
+  }
+  if (stats.unique_prefixes > 0) {
+    stats.aggregability = static_cast<double>(aggregated.size()) /
+                          static_cast<double>(stats.unique_prefixes);
+  }
+  return stats;
+}
+
+std::string FormatTableStats(const TableStats& stats) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "entries: %zu (%zu unique prefixes, lengths %d-%d)\n",
+                stats.entries, stats.unique_prefixes, stats.min_length,
+                stats.max_length);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "/24 share: %.1f%%   origin ASes: %zu   covered: %.2fM "
+                "addresses\n",
+                100.0 * stats.slash24_share, stats.origin_as_count,
+                static_cast<double>(stats.covered_addresses) / 1e6);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "aggregability: %.2f (minimal cover / table size)\n",
+                stats.aggregability);
+  out += line;
+  out += "length histogram:\n";
+  for (int l = 0; l <= 32; ++l) {
+    const std::size_t count =
+        stats.length_histogram[static_cast<std::size_t>(l)];
+    if (count == 0) continue;
+    std::snprintf(line, sizeof line, "  /%-3d %8zu\n", l, count);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace netclust::bgp

@@ -1,0 +1,36 @@
+// Routing-table statistics: the summary a network operator (or the Figure
+// 1 style analysis) wants from any snapshot — prefix-length histogram,
+// origin-AS spread, address-space coverage and aggregability.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "bgp/route_entry.h"
+
+namespace netclust::bgp {
+
+struct TableStats {
+  std::size_t entries = 0;
+  std::size_t unique_prefixes = 0;
+  std::array<std::size_t, 33> length_histogram{};
+  int min_length = 0;
+  int max_length = 0;
+  /// Share of unique prefixes that are exactly /24 (Figure 1's ~50%).
+  double slash24_share = 0.0;
+  /// Distinct origin ASes (last AS-path hop); 0-hop entries ignored.
+  std::size_t origin_as_count = 0;
+  /// Addresses covered by the union of the prefixes.
+  std::uint64_t covered_addresses = 0;
+  /// |AggregatePrefixes(table)| / unique_prefixes — how much CIDR
+  /// aggregation could shrink the table (1.0 = not at all).
+  double aggregability = 1.0;
+};
+
+TableStats ComputeTableStats(const Snapshot& snapshot);
+
+/// Multi-line human-readable rendering of `stats`.
+std::string FormatTableStats(const TableStats& stats);
+
+}  // namespace netclust::bgp

@@ -1,0 +1,163 @@
+#include "bgp/text_parser.h"
+
+#include <charconv>
+#include <istream>
+#include <sstream>
+#include <vector>
+
+namespace netclust::bgp {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view s) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+    if (i > start) tokens.push_back(s.substr(start, i - start));
+  }
+  return tokens;
+}
+
+// Parses one entry line; returns false (with *error set) when malformed.
+bool ParseLine(std::string_view line, RouteEntry* entry, std::string* error) {
+  // Peel off "| prefix description | peer description" first.
+  std::string_view body = line;
+  const std::size_t bar = body.find('|');
+  if (bar != std::string_view::npos) {
+    std::string_view rest = body.substr(bar + 1);
+    body = Trim(body.substr(0, bar));
+    const std::size_t bar2 = rest.find('|');
+    if (bar2 != std::string_view::npos) {
+      entry->prefix_description = std::string(Trim(rest.substr(0, bar2)));
+      entry->peer_description = std::string(Trim(rest.substr(bar2 + 1)));
+    } else {
+      entry->prefix_description = std::string(Trim(rest));
+    }
+  }
+
+  const auto tokens = SplitWhitespace(body);
+  if (tokens.empty()) {
+    *error = "no prefix on entry line";
+    return false;
+  }
+  auto prefix = net::ParsePrefixEntry(tokens[0]);
+  if (!prefix) {
+    *error = prefix.error();
+    return false;
+  }
+  entry->prefix = prefix.value();
+
+  std::size_t next = 1;
+  if (next < tokens.size() &&
+      tokens[next].find('.') != std::string_view::npos) {
+    auto hop = net::IpAddress::Parse(tokens[next]);
+    if (!hop) {
+      *error = "bad next hop: " + hop.error();
+      return false;
+    }
+    entry->next_hop = hop.value();
+    ++next;
+  }
+  for (; next < tokens.size(); ++next) {
+    AsNumber asn = 0;
+    const std::string_view t = tokens[next];
+    const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), asn);
+    if (ec != std::errc{} || ptr != t.data() + t.size()) {
+      *error = "bad AS number '" + std::string(t) + "'";
+      return false;
+    }
+    entry->as_path.push_back(asn);
+  }
+  return true;
+}
+
+}  // namespace
+
+Snapshot ParseSnapshotText(std::string_view text, const SnapshotInfo& info,
+                           ParseStats* stats) {
+  Snapshot snapshot;
+  snapshot.info = info;
+  ParseStats local;
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view raw =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    ++local.total_lines;
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    RouteEntry entry;
+    std::string error;
+    if (ParseLine(line, &entry, &error)) {
+      snapshot.entries.push_back(std::move(entry));
+      ++local.entry_lines;
+    } else {
+      ++local.malformed_lines;
+      if (local.first_error.empty()) local.first_error = error;
+    }
+  }
+  // When the text ends in a newline the loop counts one phantom empty line
+  // past it; drop that so counts match what a text editor would report.
+  if (local.total_lines > 0 && (text.empty() || text.back() == '\n')) {
+    --local.total_lines;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return snapshot;
+}
+
+Snapshot ParseSnapshotStream(std::istream& in, const SnapshotInfo& info,
+                             ParseStats* stats) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseSnapshotText(buffer.str(), info, stats);
+}
+
+std::string WriteSnapshotText(const Snapshot& snapshot,
+                              net::PrefixStyle style) {
+  std::string out;
+  out.reserve(snapshot.entries.size() * 48);
+  out += "# " + snapshot.info.name + " " + snapshot.info.date + "\n";
+  if (!snapshot.info.comment.empty()) {
+    out += "# " + snapshot.info.comment + "\n";
+  }
+  for (const RouteEntry& entry : snapshot.entries) {
+    out += net::FormatPrefixEntry(entry.prefix, style);
+    if (!entry.next_hop.IsUnspecified()) {
+      out += ' ';
+      out += entry.next_hop.ToString();
+    }
+    for (const AsNumber asn : entry.as_path) {
+      out += ' ';
+      out += std::to_string(asn);
+    }
+    if (!entry.prefix_description.empty() || !entry.peer_description.empty()) {
+      out += " | " + entry.prefix_description;
+      if (!entry.peer_description.empty()) {
+        out += " | " + entry.peer_description;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace netclust::bgp

@@ -1,0 +1,47 @@
+// Text routing-table snapshot parser and writer.
+//
+// The paper's sources arrive as ad-hoc text dumps ("downloading them from
+// well-known Web sites ... or telneting to a particular host to run a
+// script"). The line grammar accepted here is:
+//
+//   # comment and blank lines are skipped
+//   <prefix-entry> [next-hop] [as-path...] [| prefix-desc | peer-desc]
+//
+// where <prefix-entry> is any of the three §3.1.2 formats. Malformed lines
+// are counted, not fatal — real dumps contain noise and the pipeline must
+// keep going.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "bgp/route_entry.h"
+#include "net/prefix_format.h"
+
+namespace netclust::bgp {
+
+/// Outcome of parsing one snapshot.
+struct ParseStats {
+  std::size_t total_lines = 0;
+  std::size_t entry_lines = 0;
+  std::size_t malformed_lines = 0;
+  std::string first_error;  // first malformed line's message, for diagnosis
+};
+
+/// Parses snapshot text. `info` identifies the source; stats are written to
+/// `*stats` if non-null.
+Snapshot ParseSnapshotText(std::string_view text, const SnapshotInfo& info,
+                           ParseStats* stats = nullptr);
+
+/// Reads a snapshot from a stream (e.g. a downloaded dump file).
+Snapshot ParseSnapshotStream(std::istream& in, const SnapshotInfo& info,
+                             ParseStats* stats = nullptr);
+
+/// Writes `snapshot` as text with all prefixes in `style`, reproducing the
+/// format variety of the real sources. Round-trips through
+/// ParseSnapshotText.
+std::string WriteSnapshotText(const Snapshot& snapshot,
+                              net::PrefixStyle style);
+
+}  // namespace netclust::bgp

@@ -1,0 +1,292 @@
+#include "bgp/update.h"
+
+#include <cstring>
+
+namespace netclust::bgp {
+namespace {
+
+constexpr std::uint8_t kTypeUpdate = 2;
+constexpr std::size_t kHeaderSize = 19;  // 16 marker + 2 length + 1 type
+constexpr AsNumber kAsTrans = 23456;
+
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kSegmentSequence = 2;
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// <length(1), prefix bytes> NLRI encoding shared by withdrawn and
+// announced route fields.
+void PutNlri(std::vector<std::uint8_t>& out, const net::Prefix& prefix) {
+  out.push_back(static_cast<std::uint8_t>(prefix.length()));
+  const std::uint32_t network = prefix.network().bits();
+  for (int i = 0; i < (prefix.length() + 7) / 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(network >> (24 - 8 * i)));
+  }
+}
+
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  bool Require(std::size_t n) {
+    if (failed || size - pos < n) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t U8() { return Require(1) ? data[pos++] : 0; }
+  std::uint16_t U16() {
+    if (!Require(2)) return 0;
+    const auto v = static_cast<std::uint16_t>((data[pos] << 8) | data[pos + 1]);
+    pos += 2;
+    return v;
+  }
+  std::uint32_t U32() {
+    if (!Require(4)) return 0;
+    const std::uint32_t v = (std::uint32_t{data[pos]} << 24) |
+                            (std::uint32_t{data[pos + 1]} << 16) |
+                            (std::uint32_t{data[pos + 2]} << 8) |
+                            std::uint32_t{data[pos + 3]};
+    pos += 4;
+    return v;
+  }
+};
+
+// Parses one NLRI element; false on exhaustion or corruption.
+bool ReadNlri(Cursor& in, net::Prefix* prefix) {
+  const std::uint8_t length = in.U8();
+  if (in.failed || length > 32) {
+    in.failed = true;
+    return false;
+  }
+  std::uint32_t network = 0;
+  for (int i = 0; i < (length + 7) / 8; ++i) {
+    network |= std::uint32_t{in.U8()} << (24 - 8 * i);
+  }
+  if (in.failed) return false;
+  *prefix = net::Prefix(net::IpAddress(network), length);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& update) {
+  std::vector<std::uint8_t> withdrawn;
+  for (const net::Prefix& prefix : update.withdrawn) {
+    PutNlri(withdrawn, prefix);
+  }
+
+  std::vector<std::uint8_t> attrs;
+  if (!update.announced.empty()) {
+    // ORIGIN: IGP.
+    attrs.push_back(kFlagTransitive);
+    attrs.push_back(kAttrOrigin);
+    attrs.push_back(1);
+    attrs.push_back(0);
+    // AS_PATH: one AS_SEQUENCE of 2-byte ASNs.
+    attrs.push_back(kFlagTransitive);
+    attrs.push_back(kAttrAsPath);
+    attrs.push_back(static_cast<std::uint8_t>(
+        update.as_path.empty() ? 0 : 2 + 2 * update.as_path.size()));
+    if (!update.as_path.empty()) {
+      attrs.push_back(kSegmentSequence);
+      attrs.push_back(static_cast<std::uint8_t>(update.as_path.size()));
+      for (const AsNumber asn : update.as_path) {
+        PutU16(attrs, static_cast<std::uint16_t>(
+                          asn > 0xFFFF ? kAsTrans : asn));
+      }
+    }
+    // NEXT_HOP.
+    attrs.push_back(kFlagTransitive);
+    attrs.push_back(kAttrNextHop);
+    attrs.push_back(4);
+    PutU32(attrs, update.next_hop.bits());
+  }
+
+  std::vector<std::uint8_t> body;
+  PutU16(body, static_cast<std::uint16_t>(withdrawn.size()));
+  body.insert(body.end(), withdrawn.begin(), withdrawn.end());
+  PutU16(body, static_cast<std::uint16_t>(attrs.size()));
+  body.insert(body.end(), attrs.begin(), attrs.end());
+  for (const net::Prefix& prefix : update.announced) {
+    PutNlri(body, prefix);
+  }
+
+  std::vector<std::uint8_t> message(16, 0xFF);  // marker
+  PutU16(message, static_cast<std::uint16_t>(kHeaderSize + body.size()));
+  message.push_back(kTypeUpdate);
+  message.insert(message.end(), body.begin(), body.end());
+  return message;
+}
+
+Result<UpdateMessage> DecodeUpdate(const std::vector<std::uint8_t>& bytes,
+                                   std::size_t* offset) {
+  if (bytes.size() - *offset < kHeaderSize) {
+    return Fail("truncated BGP header");
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (bytes[*offset + i] != 0xFF) return Fail("bad BGP marker");
+  }
+  const std::size_t length = (static_cast<std::size_t>(bytes[*offset + 16]) << 8) |
+                             bytes[*offset + 17];
+  const std::uint8_t type = bytes[*offset + 18];
+  if (length < kHeaderSize || bytes.size() - *offset < length) {
+    return Fail("bad BGP message length");
+  }
+  if (type != kTypeUpdate) return Fail("not an UPDATE message");
+
+  Cursor in{bytes.data() + *offset + kHeaderSize, length - kHeaderSize};
+  UpdateMessage update;
+
+  const std::uint16_t withdrawn_len = in.U16();
+  if (in.failed || withdrawn_len > in.size - in.pos) {
+    return Fail("bad withdrawn-routes length");
+  }
+  const std::size_t withdrawn_end = in.pos + withdrawn_len;
+  while (in.pos < withdrawn_end) {
+    net::Prefix prefix;
+    if (!ReadNlri(in, &prefix)) return Fail("malformed withdrawn route");
+    update.withdrawn.push_back(prefix);
+  }
+  if (in.pos != withdrawn_end) return Fail("withdrawn routes overrun");
+
+  const std::uint16_t attrs_len = in.U16();
+  if (in.failed || attrs_len > in.size - in.pos) {
+    return Fail("bad attributes length");
+  }
+  const std::size_t attrs_end = in.pos + attrs_len;
+  while (in.pos < attrs_end) {
+    const std::uint8_t flags = in.U8();
+    const std::uint8_t type_code = in.U8();
+    const std::size_t attr_len =
+        (flags & 0x10) != 0 ? in.U16() : in.U8();
+    if (in.failed || attr_len > attrs_end - in.pos) {
+      return Fail("malformed path attribute");
+    }
+    const std::size_t value_end = in.pos + attr_len;
+    switch (type_code) {
+      case kAttrAsPath:
+        while (in.pos < value_end) {
+          const std::uint8_t segment = in.U8();
+          const std::uint8_t count = in.U8();
+          for (int i = 0; i < count && !in.failed; ++i) {
+            const AsNumber asn = in.U16();
+            if (segment == kSegmentSequence) {
+              update.as_path.push_back(asn);
+            }
+          }
+          if (in.failed) return Fail("malformed AS_PATH");
+        }
+        break;
+      case kAttrNextHop:
+        if (attr_len != 4) return Fail("malformed NEXT_HOP");
+        update.next_hop = net::IpAddress(in.U32());
+        break;
+      default:
+        in.pos = value_end;  // ORIGIN / unknown: skip
+        break;
+    }
+    if (in.pos != value_end) return Fail("path attribute overrun");
+  }
+
+  while (in.pos < in.size) {
+    net::Prefix prefix;
+    if (!ReadNlri(in, &prefix)) return Fail("malformed NLRI");
+    update.announced.push_back(prefix);
+  }
+  if (in.failed) return Fail("truncated UPDATE body");
+
+  *offset += length;
+  return update;
+}
+
+Result<std::vector<UpdateMessage>> DecodeUpdateStream(
+    const std::vector<std::uint8_t>& bytes) {
+  std::vector<UpdateMessage> updates;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    auto update = DecodeUpdate(bytes, &offset);
+    if (!update) return Fail(update.error());
+    updates.push_back(std::move(update).value());
+  }
+  return updates;
+}
+
+void LiveRoutingTable::LoadSnapshot(const Snapshot& snapshot) {
+  for (const RouteEntry& entry : snapshot.entries) {
+    trie_.Insert(entry.prefix, Route{entry.next_hop, entry.as_path});
+  }
+}
+
+LiveRoutingTable::ApplyStats LiveRoutingTable::Apply(
+    const UpdateMessage& update) {
+  ApplyStats stats;
+  for (const net::Prefix& prefix : update.withdrawn) {
+    if (trie_.Remove(prefix)) {
+      ++stats.withdrawn;
+    } else {
+      ++stats.spurious_withdraw;
+    }
+  }
+  for (const net::Prefix& prefix : update.announced) {
+    const bool inserted =
+        trie_.Insert(prefix, Route{update.next_hop, update.as_path});
+    if (inserted) {
+      ++stats.announced_new;
+    } else {
+      ++stats.replaced;
+    }
+  }
+  churn_.announced_new += stats.announced_new;
+  churn_.replaced += stats.replaced;
+  churn_.withdrawn += stats.withdrawn;
+  churn_.spurious_withdraw += stats.spurious_withdraw;
+  return stats;
+}
+
+std::optional<std::pair<net::Prefix, LiveRoutingTable::Route>>
+LiveRoutingTable::LongestMatch(net::IpAddress address) const {
+  const auto match = trie_.LongestMatch(address);
+  if (!match.has_value()) return std::nullopt;
+  return std::make_pair(match->prefix, *match->value);
+}
+
+Snapshot LiveRoutingTable::Export(const SnapshotInfo& info) const {
+  Snapshot snapshot;
+  snapshot.info = info;
+  trie_.Visit([&](const net::Prefix& prefix, const Route& route) {
+    RouteEntry entry;
+    entry.prefix = prefix;
+    entry.next_hop = route.next_hop;
+    entry.as_path = route.as_path;
+    snapshot.entries.push_back(std::move(entry));
+  });
+  return snapshot;
+}
+
+std::vector<net::Prefix> LiveRoutingTable::AllPrefixes() const {
+  std::vector<net::Prefix> prefixes;
+  prefixes.reserve(trie_.size());
+  trie_.Visit([&](const net::Prefix& prefix, const Route&) {
+    prefixes.push_back(prefix);
+  });
+  return prefixes;
+}
+
+}  // namespace netclust::bgp

@@ -1,0 +1,92 @@
+// BGP-4 UPDATE messages (RFC 4271, 2-byte AS numbers — the paper-era wire
+// format), and a live routing table that applies them.
+//
+// The paper's "real-time" sources (CANET, CERFNET, OREGON, SINGAREN in
+// Table 1) are route collectors speaking exactly this protocol; §3.5's
+// "real-time cluster identifying" consumes their stream. LiveRoutingTable
+// is that consumer: announcements and withdrawals keep an LPM-queryable
+// table current, with churn accounting for §3.4-style monitoring.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/route_entry.h"
+#include "net/prefix.h"
+#include "net/result.h"
+#include "trie/patricia_trie.h"
+
+namespace netclust::bgp {
+
+/// One decoded UPDATE: routes withdrawn, plus routes announced under one
+/// shared set of path attributes (exactly the RFC 4271 layout).
+struct UpdateMessage {
+  std::vector<net::Prefix> withdrawn;
+  std::vector<net::Prefix> announced;
+  std::vector<AsNumber> as_path;  // AS_SEQUENCE, 2-byte ASNs on the wire
+  net::IpAddress next_hop;
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+/// Encodes `update` as a BGP-4 UPDATE message (16-byte marker, length,
+/// type 2, withdrawn routes, ORIGIN/AS_PATH/NEXT_HOP attributes, NLRI).
+/// AS numbers above 65535 are clamped to AS_TRANS (23456), as a 2-byte
+/// speaker would send.
+std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& update);
+
+/// Decodes one UPDATE message from `bytes` starting at `*offset`, which is
+/// advanced past the message. Fails on malformed framing or attributes.
+Result<UpdateMessage> DecodeUpdate(const std::vector<std::uint8_t>& bytes,
+                                   std::size_t* offset);
+
+/// Decodes a concatenated stream of UPDATE messages.
+Result<std::vector<UpdateMessage>> DecodeUpdateStream(
+    const std::vector<std::uint8_t>& bytes);
+
+/// A routing table kept current by UPDATE messages.
+class LiveRoutingTable {
+ public:
+  struct Route {
+    net::IpAddress next_hop;
+    std::vector<AsNumber> as_path;
+  };
+
+  struct ApplyStats {
+    std::size_t announced_new = 0;  // prefix not previously present
+    std::size_t replaced = 0;       // implicit withdraw (new attributes)
+    std::size_t withdrawn = 0;      // prefix removed
+    std::size_t spurious_withdraw = 0;  // withdraw of an absent prefix
+  };
+
+  /// Seeds the table from a full snapshot (a RIB dump).
+  void LoadSnapshot(const Snapshot& snapshot);
+
+  /// Applies one UPDATE; returns what changed. Cumulative counters are
+  /// available via churn().
+  ApplyStats Apply(const UpdateMessage& update);
+
+  /// Longest-prefix match. nullopt when nothing covers `address`.
+  [[nodiscard]] std::optional<std::pair<net::Prefix, Route>> LongestMatch(
+      net::IpAddress address) const;
+
+  [[nodiscard]] const Route* Find(const net::Prefix& prefix) const {
+    return trie_.Find(prefix);
+  }
+  [[nodiscard]] std::size_t size() const { return trie_.size(); }
+
+  /// Exports the current table as a Snapshot (for re-dump or diffing).
+  [[nodiscard]] Snapshot Export(const SnapshotInfo& info) const;
+
+  /// All current prefixes (for dynamics analysis).
+  [[nodiscard]] std::vector<net::Prefix> AllPrefixes() const;
+
+  [[nodiscard]] const ApplyStats& churn() const { return churn_; }
+
+ private:
+  trie::PatriciaTrie<Route> trie_;
+  ApplyStats churn_;
+};
+
+}  // namespace netclust::bgp

@@ -1,0 +1,62 @@
+// Client-perceived latency model for the caching simulation.
+//
+// The paper's whole motivation: "it is beneficial to move content closer
+// to groups of clients ... This lowers the latency perceived by the
+// clients as well as the load on the Web server." The simulator can
+// account a latency for every request:
+//
+//   fresh hit        rtt(client, proxy)
+//   validated hit    rtt(client, proxy) + rtt(proxy/origin)      (IMS 304)
+//   miss             rtt(client, proxy) + rtt(origin) + transfer
+//   direct           rtt(client, origin) + transfer
+//
+// with the transfer time set by an access-link bandwidth. The model is an
+// interface so the benches can plug in the synthetic Internet's
+// region-based RTTs.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ip_address.h"
+#include "synth/internet.h"
+
+namespace netclust::cache {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// RTT from `client` to the origin server, milliseconds.
+  [[nodiscard]] virtual double OriginRttMs(net::IpAddress client) const = 0;
+
+  /// RTT from `client` to its cluster's proxy (topologically adjacent).
+  [[nodiscard]] virtual double ProxyRttMs(net::IpAddress client) const {
+    (void)client;
+    return 5.0;
+  }
+
+  /// Body transfer time for `bytes`, milliseconds.
+  [[nodiscard]] virtual double TransferMs(std::uint64_t bytes) const {
+    // 1998-era well-connected access path: ~200 KB/s.
+    return static_cast<double>(bytes) / 200.0;
+  }
+};
+
+/// Region-based RTTs from the synthetic ground truth; the origin server
+/// sits in `server_region` (default US-East).
+class SynthLatencyModel final : public LatencyModel {
+ public:
+  explicit SynthLatencyModel(const synth::Internet& internet,
+                             int server_region = 0)
+      : internet_(&internet), server_region_(server_region) {}
+
+  [[nodiscard]] double OriginRttMs(net::IpAddress client) const override {
+    return internet_->RttMs(client, server_region_);
+  }
+
+ private:
+  const synth::Internet* internet_;
+  int server_region_;
+};
+
+}  // namespace netclust::cache

@@ -1,0 +1,102 @@
+// Byte-capacity LRU cache of web resources.
+//
+// The replacement policy of every proxy in the §4.1 simulation ("We use
+// LRU as the cache replacement policy"). Keys are interned URL ids; each
+// entry carries the resource size, the origin version it holds and its
+// TTL expiry.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace netclust::cache {
+
+struct CacheEntry {
+  std::uint64_t size = 0;
+  /// Origin version (modification epoch) this copy represents.
+  std::uint64_t version = 0;
+  /// Time at which the copy goes stale (fetch time + ttl).
+  std::int64_t expires = 0;
+};
+
+/// LRU over bytes. capacity_bytes == 0 means unbounded (the paper's
+/// "infinite cache" proxy experiment).
+class LruByteCache {
+ public:
+  explicit LruByteCache(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Entry for `key`, touching it as most-recently-used. nullptr on miss.
+  CacheEntry* Touch(std::uint32_t key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->entry;
+  }
+
+  /// Entry for `key` without promoting it (for inspection/piggybacking).
+  CacheEntry* Peek(std::uint32_t key) {
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->entry;
+  }
+
+  /// Inserts or replaces `key`, then evicts LRU entries until the cache
+  /// fits. An entry larger than the whole capacity is not admitted.
+  void Insert(std::uint32_t key, const CacheEntry& entry) {
+    if (capacity_ != 0 && entry.size > capacity_) {
+      Erase(key);
+      return;
+    }
+    if (const auto it = index_.find(key); it != index_.end()) {
+      used_ -= it->second->entry.size;
+      it->second->entry = entry;
+      used_ += entry.size;
+      order_.splice(order_.begin(), order_, it->second);
+    } else {
+      order_.push_front(Node{key, entry});
+      index_.emplace(key, order_.begin());
+      used_ += entry.size;
+    }
+    EvictToFit();
+  }
+
+  bool Erase(std::uint32_t key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    used_ -= it->second->entry.size;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::uint64_t used_bytes() const { return used_; }
+  [[nodiscard]] std::uint64_t capacity_bytes() const { return capacity_; }
+
+  /// Least-recently-used key (only meaningful when !empty()).
+  [[nodiscard]] std::uint32_t lru_key() const { return order_.back().key; }
+  [[nodiscard]] bool empty() const { return order_.empty(); }
+
+ private:
+  struct Node {
+    std::uint32_t key;
+    CacheEntry entry;
+  };
+
+  void EvictToFit() {
+    if (capacity_ == 0) return;
+    while (used_ > capacity_ && !order_.empty()) {
+      used_ -= order_.back().entry.size;
+      index_.erase(order_.back().key);
+      order_.pop_back();
+    }
+  }
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::list<Node> order_;  // front = most recent
+  std::unordered_map<std::uint32_t, std::list<Node>::iterator> index_;
+};
+
+}  // namespace netclust::cache

@@ -1,0 +1,46 @@
+// Origin-server resource model.
+//
+// The PCV experiment needs resources that actually change, or validation
+// would be a no-op. Each URL gets a deterministic modification process:
+// a per-URL update interval (heavy-tailed, most pages quasi-static, a few
+// churning hourly) and phase, from which the "version" current at any
+// instant follows. A cached copy is consistent iff its version matches.
+#pragma once
+
+#include <cstdint>
+
+#include "synth/rng.h"
+
+namespace netclust::cache {
+
+class OriginServer {
+ public:
+  /// `mean_update_hours` shifts the whole update-rate distribution.
+  explicit OriginServer(std::uint64_t seed, double mean_update_hours = 24.0)
+      : seed_(seed), mean_update_seconds_(mean_update_hours * 3600.0) {}
+
+  /// Version (modification epoch) of `url` at time `t`.
+  [[nodiscard]] std::uint64_t VersionAt(std::uint32_t url,
+                                        std::int64_t t) const {
+    const std::int64_t interval = UpdateInterval(url);
+    const auto phase = static_cast<std::int64_t>(
+        synth::Mix64(seed_ ^ (url * 2654435761ULL)) %
+        static_cast<std::uint64_t>(interval));
+    return static_cast<std::uint64_t>((t + phase) / interval);
+  }
+
+  /// The update interval of `url` in seconds: log-uniform from ~1/20th of
+  /// the mean to ~5x the mean, so some resources churn and most do not.
+  [[nodiscard]] std::int64_t UpdateInterval(std::uint32_t url) const {
+    const double u = synth::HashToUnit(seed_ ^ 0x4F52, url);  // "OR"
+    const double factor = 0.05 * std::pow(100.0, u);          // 0.05x..5x
+    return std::max<std::int64_t>(
+        60, static_cast<std::int64_t>(mean_update_seconds_ * factor));
+  }
+
+ private:
+  std::uint64_t seed_;
+  double mean_update_seconds_;
+};
+
+}  // namespace netclust::cache

@@ -1,0 +1,73 @@
+#include "cache/proxy_cache.h"
+
+namespace netclust::cache {
+
+RequestOutcome ProxyCache::HandleRequest(std::uint32_t url,
+                                         std::uint64_t size,
+                                         std::int64_t t) {
+  ++stats_.requests;
+  stats_.bytes_requested += size;
+
+  CacheEntry* entry = cache_.Touch(url);
+  if (entry != nullptr && t < entry->expires) {
+    ++stats_.hits;  // fresh copy: the server never sees this request
+    return RequestOutcome::kHit;
+  }
+
+  if (entry != nullptr) {
+    // Stale copy, not yet validated: GET If-Modified-Since.
+    const std::uint64_t current = origin_->VersionAt(url, t);
+    RequestOutcome outcome;
+    if (current == entry->version) {
+      ++stats_.validated_hits;  // 304: renewed without a body transfer
+      entry->expires = t + config_.ttl_seconds;
+      expiry_queue_.emplace(entry->expires, url);
+      outcome = RequestOutcome::kValidatedHit;
+    } else {
+      ++stats_.misses;  // 200: full body replaces the stale copy
+      stats_.bytes_from_server += size;
+      cache_.Insert(url, CacheEntry{size, current,
+                                    t + config_.ttl_seconds});
+      expiry_queue_.emplace(t + config_.ttl_seconds, url);
+      outcome = RequestOutcome::kMiss;
+    }
+    PiggybackValidate(t);
+    return outcome;
+  }
+
+  // Cold miss.
+  ++stats_.misses;
+  stats_.bytes_from_server += size;
+  cache_.Insert(url,
+                CacheEntry{size, origin_->VersionAt(url, t),
+                           t + config_.ttl_seconds});
+  expiry_queue_.emplace(t + config_.ttl_seconds, url);
+  PiggybackValidate(t);
+  return RequestOutcome::kMiss;
+}
+
+void ProxyCache::PiggybackValidate(std::int64_t t) {
+  if (!config_.piggyback_validation) return;
+  int budget = config_.piggyback_limit;
+  while (budget > 0 && !expiry_queue_.empty() &&
+         expiry_queue_.top().first <= t) {
+    const auto [expires, url] = expiry_queue_.top();
+    expiry_queue_.pop();
+    CacheEntry* entry = cache_.Peek(url);
+    if (entry == nullptr || entry->expires != expires) {
+      continue;  // evicted or already renewed; no probe sent
+    }
+    ++stats_.piggyback_checks;
+    const std::uint64_t current = origin_->VersionAt(url, t);
+    if (current == entry->version) {
+      ++stats_.piggyback_renewals;
+      entry->expires = t + config_.ttl_seconds;
+      expiry_queue_.emplace(entry->expires, url);
+    } else {
+      cache_.Erase(url);  // modified upstream: drop the dead copy
+    }
+    --budget;
+  }
+}
+
+}  // namespace netclust::cache

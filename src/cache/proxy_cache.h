@@ -1,0 +1,100 @@
+// A proxy cache implementing fixed-TTL expiry with Piggyback Cache
+// Validation (Krishnamurthy & Wills, USITS'97), as used in §4.1.5:
+//
+//   * a cached resource is considered stale `ttl` after it was fetched or
+//     last validated;
+//   * whenever the proxy must contact the server anyway, it piggybacks
+//     validation checks for up to `piggyback_limit` stale cached resources
+//     (refreshing the unmodified ones for free);
+//   * a stale resource that is requested before any validation happened is
+//     fetched with GET If-Modified-Since: a 304 reply renews it without a
+//     body transfer, a 200 reply replaces it.
+//
+// Accounting distinguishes the two ratios the paper plots: the request hit
+// ratio counts only requests that never reach the server; the byte hit
+// ratio counts body bytes not transferred from the server.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "cache/origin.h"
+
+namespace netclust::cache {
+
+struct ProxyConfig {
+  std::uint64_t capacity_bytes = 0;  // 0 = infinite
+  std::int64_t ttl_seconds = 3600;   // the paper's default expiration
+  bool piggyback_validation = true;
+  int piggyback_limit = 10;          // stale entries validated per contact
+};
+
+struct ProxyStats {
+  std::uint64_t requests = 0;
+  /// Served entirely from cache (fresh copy): the numerator of the
+  /// request hit ratio.
+  std::uint64_t hits = 0;
+  /// Contacted the server with If-Modified-Since and got 304: bytes
+  /// saved, request not.
+  std::uint64_t validated_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t bytes_from_server = 0;
+  std::uint64_t piggyback_checks = 0;
+  std::uint64_t piggyback_renewals = 0;
+
+  [[nodiscard]] double HitRatio() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(requests);
+  }
+  [[nodiscard]] double ByteHitRatio() const {
+    return bytes_requested == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(bytes_from_server) /
+                           static_cast<double>(bytes_requested);
+  }
+};
+
+/// How one request was served — drives both hit accounting and the
+/// latency model.
+enum class RequestOutcome {
+  kHit,           // fresh copy, no server contact
+  kValidatedHit,  // IMS round trip, 304, no body transfer
+  kMiss,          // body fetched from the origin
+};
+
+class ProxyCache {
+ public:
+  ProxyCache(const ProxyConfig& config, const OriginServer* origin)
+      : config_(config), origin_(origin), cache_(config.capacity_bytes) {}
+
+  /// Serves one client request for `url` (body size `size`) at time `t`.
+  /// Requests must arrive in non-decreasing time order.
+  RequestOutcome HandleRequest(std::uint32_t url, std::uint64_t size,
+                               std::int64_t t);
+
+  [[nodiscard]] const ProxyStats& stats() const { return stats_; }
+  [[nodiscard]] const LruByteCache& cache() const { return cache_; }
+
+ private:
+  // Piggybacks validations for stale entries onto a server contact at `t`.
+  void PiggybackValidate(std::int64_t t);
+
+  ProxyConfig config_;
+  const OriginServer* origin_;
+  LruByteCache cache_;
+  ProxyStats stats_;
+  /// (expiry, key) min-heap of cached entries, lazily filtered: an entry
+  /// is validated when its recorded expiry both has passed and still
+  /// matches the cache (otherwise it was evicted or renewed since).
+  using ExpiryItem = std::pair<std::int64_t, std::uint32_t>;
+  std::priority_queue<ExpiryItem, std::vector<ExpiryItem>,
+                      std::greater<ExpiryItem>>
+      expiry_queue_;
+};
+
+}  // namespace netclust::cache

@@ -1,0 +1,112 @@
+#include "cache/simulation.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+namespace netclust::cache {
+
+double SimulationResult::ServerHitRatio() const {
+  std::uint64_t requests = direct_requests;
+  std::uint64_t absorbed = 0;
+  for (const ProxyStats& proxy : proxies) {
+    requests += proxy.requests;
+    absorbed += proxy.hits;
+  }
+  return requests == 0 ? 0.0
+                       : static_cast<double>(absorbed) /
+                             static_cast<double>(requests);
+}
+
+double SimulationResult::ServerByteHitRatio() const {
+  std::uint64_t bytes = direct_bytes;
+  std::uint64_t from_server = direct_bytes;
+  for (const ProxyStats& proxy : proxies) {
+    bytes += proxy.bytes_requested;
+    from_server += proxy.bytes_from_server;
+  }
+  return bytes == 0 ? 0.0
+                    : 1.0 - static_cast<double>(from_server) /
+                                static_cast<double>(bytes);
+}
+
+SimulationResult SimulateProxyCaching(const weblog::ServerLog& log,
+                                      const core::Clustering& clustering,
+                                      const SimulationConfig& config) {
+  SimulationResult result;
+  result.approach = clustering.approach;
+
+  // Resource sizes: the largest body observed per URL (304/404 rows carry
+  // zero bytes but still address the same resource). Also access counts
+  // for the min_url_accesses filter.
+  std::vector<std::uint64_t> url_size(log.unique_urls(), 0);
+  std::vector<std::uint64_t> url_accesses(log.unique_urls(), 0);
+  for (const weblog::CompactRequest& request : log.requests()) {
+    url_size[request.url_id] =
+        std::max<std::uint64_t>(url_size[request.url_id],
+                                request.response_bytes);
+    ++url_accesses[request.url_id];
+  }
+
+  const core::ClusterIndex index(clustering);
+  const OriginServer origin(config.origin_seed,
+                            config.origin_mean_update_hours);
+
+  // Proxies are created lazily: most clusters are small and a dense vector
+  // of caches would dwarf the trace itself at full scale.
+  std::unordered_map<std::uint32_t, std::unique_ptr<ProxyCache>> proxies;
+
+  for (const weblog::CompactRequest& request : log.requests()) {
+    if (config.min_url_accesses > 0 &&
+        url_accesses[request.url_id] < config.min_url_accesses) {
+      ++result.skipped_requests;
+      continue;
+    }
+    const std::uint64_t size = url_size[request.url_id];
+    ++result.total_requests;
+    result.total_bytes += size;
+
+    const auto cluster = index.ClusterOf(request.client);
+    if (!cluster.has_value()) {
+      ++result.direct_requests;
+      result.direct_bytes += size;
+      if (config.latency != nullptr) {
+        result.total_latency_ms +=
+            config.latency->OriginRttMs(request.client) +
+            config.latency->TransferMs(size);
+      }
+      continue;
+    }
+    auto [it, inserted] = proxies.try_emplace(*cluster);
+    if (inserted) {
+      it->second = std::make_unique<ProxyCache>(config.proxy, &origin);
+    }
+    const RequestOutcome outcome =
+        it->second->HandleRequest(request.url_id, size, request.timestamp);
+    if (config.latency != nullptr) {
+      const double proxy_rtt = config.latency->ProxyRttMs(request.client);
+      switch (outcome) {
+        case RequestOutcome::kHit:
+          result.total_latency_ms += proxy_rtt;
+          break;
+        case RequestOutcome::kValidatedHit:
+          result.total_latency_ms +=
+              proxy_rtt + config.latency->OriginRttMs(request.client);
+          break;
+        case RequestOutcome::kMiss:
+          result.total_latency_ms +=
+              proxy_rtt + config.latency->OriginRttMs(request.client) +
+              config.latency->TransferMs(size);
+          break;
+      }
+    }
+  }
+
+  result.proxies.assign(clustering.cluster_count(), ProxyStats{});
+  for (const auto& [cluster, proxy] : proxies) {
+    result.proxies[cluster] = proxy->stats();
+  }
+  return result;
+}
+
+}  // namespace netclust::cache

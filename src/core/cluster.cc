@@ -1,0 +1,164 @@
+#include "core/cluster.h"
+
+#include <functional>
+#include <unordered_set>
+
+namespace netclust::core {
+namespace {
+
+// Shared clustering pipeline: `key_of` maps a client address to its cluster
+// key (nullopt = unclusterable). Walks the log twice: once to accumulate
+// per-client stats and assign clusters, once to count per-cluster unique
+// URLs.
+Clustering ClusterLog(
+    const weblog::ServerLog& log, std::string approach,
+    const std::function<std::optional<std::pair<net::Prefix, bool>>(
+        net::IpAddress)>& key_of) {
+  Clustering result;
+  result.approach = std::move(approach);
+  result.log_name = log.name();
+  result.total_requests = log.request_count();
+
+  std::unordered_map<net::IpAddress, std::uint32_t> client_index;
+  std::unordered_map<net::Prefix, std::uint32_t> cluster_index;
+  client_index.reserve(log.clients().size());
+  // Client id assignment mirrors the log's first-seen order.
+  for (const net::IpAddress address : log.clients()) {
+    const auto id = static_cast<std::uint32_t>(result.clients.size());
+    client_index.emplace(address, id);
+    result.clients.push_back(ClientStats{address, 0, 0});
+  }
+
+  // Map each distinct client to a cluster.
+  std::vector<std::uint32_t> client_cluster(result.clients.size(),
+                                            UINT32_MAX);
+  for (std::uint32_t id = 0; id < result.clients.size(); ++id) {
+    const auto key = key_of(result.clients[id].address);
+    if (!key.has_value()) {
+      result.unclustered.push_back(id);
+      continue;
+    }
+    auto [it, inserted] = cluster_index.emplace(
+        key->first, static_cast<std::uint32_t>(result.clusters.size()));
+    if (inserted) {
+      Cluster cluster;
+      cluster.key = key->first;
+      cluster.from_network_dump = key->second;
+      result.clusters.push_back(std::move(cluster));
+    }
+    client_cluster[id] = it->second;
+    result.clusters[it->second].members.push_back(id);
+  }
+
+  // Accumulate request/byte/URL tallies.
+  std::vector<std::unordered_set<std::uint32_t>> cluster_urls(
+      result.clusters.size());
+  for (const weblog::CompactRequest& request : log.requests()) {
+    const std::uint32_t id = client_index.at(request.client);
+    result.clients[id].requests += 1;
+    result.clients[id].bytes += request.response_bytes;
+    const std::uint32_t cluster = client_cluster[id];
+    if (cluster == UINT32_MAX) continue;
+    Cluster& c = result.clusters[cluster];
+    c.requests += 1;
+    c.bytes += request.response_bytes;
+    cluster_urls[cluster].insert(request.url_id);
+  }
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    result.clusters[i].unique_urls = cluster_urls[i].size();
+  }
+  return result;
+}
+
+}  // namespace
+
+std::size_t Clustering::dump_clustered_clients() const {
+  std::size_t count = 0;
+  for (const Cluster& cluster : clusters) {
+    if (cluster.from_network_dump) count += cluster.members.size();
+  }
+  return count;
+}
+
+Clustering ClusterNetworkAware(const weblog::ServerLog& log,
+                               const bgp::PrefixTable& table) {
+  return ClusterLog(
+      log, "network-aware",
+      [&table](net::IpAddress address)
+          -> std::optional<std::pair<net::Prefix, bool>> {
+        const auto match = table.LongestMatch(address);
+        if (!match.has_value()) return std::nullopt;
+        return std::make_pair(match->prefix,
+                              match->kind == bgp::SourceKind::kNetworkDump);
+      });
+}
+
+Clustering ClusterSimple(const weblog::ServerLog& log) {
+  return ClusterLog(log, "simple",
+                    [](net::IpAddress address)
+                        -> std::optional<std::pair<net::Prefix, bool>> {
+                      return std::make_pair(net::Prefix(address, 24), false);
+                    });
+}
+
+Clustering ClusterClassful(const weblog::ServerLog& log) {
+  return ClusterLog(log, "classful",
+                    [](net::IpAddress address)
+                        -> std::optional<std::pair<net::Prefix, bool>> {
+                      return std::make_pair(net::ClassfulNetwork(address),
+                                            false);
+                    });
+}
+
+Clustering ClusterAddresses(std::string log_name,
+                            const std::vector<AddressLoad>& loads,
+                            const bgp::PrefixTable& table) {
+  Clustering result;
+  result.approach = "network-aware";
+  result.log_name = std::move(log_name);
+
+  std::unordered_map<net::Prefix, std::uint32_t> cluster_index;
+  for (const AddressLoad& load : loads) {
+    const auto id = static_cast<std::uint32_t>(result.clients.size());
+    result.clients.push_back(
+        ClientStats{load.address, load.requests, load.bytes});
+    result.total_requests += load.requests;
+
+    const auto match = table.LongestMatch(load.address);
+    if (!match.has_value()) {
+      result.unclustered.push_back(id);
+      continue;
+    }
+    auto [it, inserted] = cluster_index.emplace(
+        match->prefix, static_cast<std::uint32_t>(result.clusters.size()));
+    if (inserted) {
+      Cluster cluster;
+      cluster.key = match->prefix;
+      cluster.from_network_dump =
+          match->kind == bgp::SourceKind::kNetworkDump;
+      result.clusters.push_back(std::move(cluster));
+    }
+    Cluster& cluster = result.clusters[it->second];
+    cluster.members.push_back(id);
+    cluster.requests += load.requests;
+    cluster.bytes += load.bytes;
+  }
+  return result;
+}
+
+ClusterIndex::ClusterIndex(const Clustering& clustering) {
+  for (std::uint32_t c = 0; c < clustering.clusters.size(); ++c) {
+    for (const std::uint32_t member : clustering.clusters[c].members) {
+      by_client_.emplace(clustering.clients[member].address, c);
+    }
+  }
+}
+
+std::optional<std::uint32_t> ClusterIndex::ClusterOf(
+    net::IpAddress address) const {
+  const auto it = by_client_.find(address);
+  if (it == by_client_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace netclust::core

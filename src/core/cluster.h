@@ -1,0 +1,105 @@
+// Client-cluster identification (§3.2) — the paper's core contribution —
+// plus the two baselines it is evaluated against (§2).
+//
+// A clustering partitions the clients of a server log into groups keyed by
+// a network prefix:
+//   * network-aware: longest-prefix match against the merged BGP table
+//   * simple: the first 24 bits of the address ("/24 assumption")
+//   * classful: the pre-CIDR Class A/B/C network
+//
+// Unmatched clients (no covering prefix) are reported separately — the
+// paper's ~0.1% — and handed to self-correction (self_correct.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "net/ip_address.h"
+#include "net/prefix.h"
+#include "weblog/log.h"
+
+namespace netclust::core {
+
+/// Per-client accounting within a clustering.
+struct ClientStats {
+  net::IpAddress address;
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One identified cluster.
+struct Cluster {
+  net::Prefix key;
+  /// Indices into Clustering::clients, in first-seen order.
+  std::vector<std::uint32_t> members;
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t unique_urls = 0;
+  /// True when the keying prefix came only from a registry dump
+  /// (secondary source) rather than a BGP table.
+  bool from_network_dump = false;
+};
+
+/// The result of clustering one log.
+struct Clustering {
+  std::string approach;  // "network-aware", "simple", "classful"
+  std::string log_name;
+  std::vector<Cluster> clusters;
+  std::vector<ClientStats> clients;
+  /// Client indices that no prefix covered (empty for the baselines,
+  /// which can always form a key).
+  std::vector<std::uint32_t> unclustered;
+  std::uint64_t total_requests = 0;
+
+  [[nodiscard]] std::size_t client_count() const { return clients.size(); }
+  [[nodiscard]] std::size_t cluster_count() const { return clusters.size(); }
+  /// Fraction of clients successfully clustered — the paper's 99.9%.
+  [[nodiscard]] double coverage() const {
+    return clients.empty()
+               ? 1.0
+               : 1.0 - static_cast<double>(unclustered.size()) /
+                           static_cast<double>(clients.size());
+  }
+  /// Clients clustered via a network-dump (secondary) prefix — <1% in the
+  /// paper.
+  [[nodiscard]] std::size_t dump_clustered_clients() const;
+};
+
+/// Network-aware clustering (§3.2.1): LPM of every client against the
+/// merged prefix table.
+Clustering ClusterNetworkAware(const weblog::ServerLog& log,
+                               const bgp::PrefixTable& table);
+
+/// The §2 "simple approach": fixed /24 prefixes.
+Clustering ClusterSimple(const weblog::ServerLog& log);
+
+/// The §2 classful baseline: Class A /8, Class B /16, Class C /24.
+Clustering ClusterClassful(const weblog::ServerLog& log);
+
+/// Weighted-address clustering for non-log inputs (e.g. §3.6 server
+/// clustering of a proxy trace): each address carries a request count.
+struct AddressLoad {
+  net::IpAddress address;
+  std::uint64_t requests = 1;
+  std::uint64_t bytes = 0;
+};
+Clustering ClusterAddresses(std::string log_name,
+                            const std::vector<AddressLoad>& loads,
+                            const bgp::PrefixTable& table);
+
+/// Lookup helper: cluster index containing `address`, if any.
+class ClusterIndex {
+ public:
+  explicit ClusterIndex(const Clustering& clustering);
+  [[nodiscard]] std::optional<std::uint32_t> ClusterOf(
+      net::IpAddress address) const;
+
+ private:
+  std::unordered_map<net::IpAddress, std::uint32_t> by_client_;
+};
+
+}  // namespace netclust::core

@@ -1,0 +1,82 @@
+#include "core/compare.h"
+
+#include <unordered_map>
+
+namespace netclust::core {
+namespace {
+
+// client address -> dense cluster label; unclustered clients get unique
+// singleton labels above the cluster range.
+std::unordered_map<net::IpAddress, std::uint32_t> LabelClients(
+    const Clustering& clustering) {
+  std::unordered_map<net::IpAddress, std::uint32_t> labels;
+  labels.reserve(clustering.clients.size());
+  for (std::uint32_t c = 0; c < clustering.clusters.size(); ++c) {
+    for (const std::uint32_t member : clustering.clusters[c].members) {
+      labels.emplace(clustering.clients[member].address, c);
+    }
+  }
+  auto singleton = static_cast<std::uint32_t>(clustering.clusters.size());
+  for (const std::uint32_t member : clustering.unclustered) {
+    labels.emplace(clustering.clients[member].address, singleton++);
+  }
+  return labels;
+}
+
+double PairCount(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+ClusteringComparison CompareClusterings(const Clustering& left,
+                                        const Clustering& right) {
+  ClusteringComparison comparison;
+  const auto left_labels = LabelClients(left);
+  const auto right_labels = LabelClients(right);
+
+  // Contingency counts over the shared clients.
+  std::unordered_map<std::uint64_t, double> joint;   // (l,r) -> count
+  std::unordered_map<std::uint32_t, double> left_n;  // l -> count
+  std::unordered_map<std::uint32_t, double> right_n; // r -> count
+  for (const auto& [address, l] : left_labels) {
+    const auto it = right_labels.find(address);
+    if (it == right_labels.end()) {
+      ++comparison.only_in_left;
+      continue;
+    }
+    ++comparison.shared_clients;
+    joint[(std::uint64_t{l} << 32) | it->second] += 1.0;
+    left_n[l] += 1.0;
+    right_n[it->second] += 1.0;
+  }
+  comparison.only_in_right = right_labels.size() - comparison.shared_clients;
+
+  const double n = static_cast<double>(comparison.shared_clients);
+  if (comparison.shared_clients < 1) return comparison;
+
+  double precision = 0.0;
+  double recall = 0.0;
+  double joint_pairs = 0.0;
+  for (const auto& [key, count] : joint) {
+    const auto l = static_cast<std::uint32_t>(key >> 32);
+    const auto r = static_cast<std::uint32_t>(key);
+    precision += count * (count / left_n.at(l));
+    recall += count * (count / right_n.at(r));
+    joint_pairs += PairCount(count);
+  }
+  comparison.bcubed_precision = precision / n;
+  comparison.bcubed_recall = recall / n;
+
+  if (comparison.shared_clients >= 2) {
+    double left_pairs = 0.0;
+    for (const auto& [l, count] : left_n) left_pairs += PairCount(count);
+    double right_pairs = 0.0;
+    for (const auto& [r, count] : right_n) right_pairs += PairCount(count);
+    const double total_pairs = PairCount(n);
+    const double disagreements =
+        left_pairs + right_pairs - 2.0 * joint_pairs;
+    comparison.rand_index = 1.0 - disagreements / total_pairs;
+  }
+  return comparison;
+}
+
+}  // namespace netclust::core

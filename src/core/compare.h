@@ -1,0 +1,47 @@
+// Quantitative comparison of two clusterings of the same client set.
+//
+// Used to measure how close a clustering is to a reference: streaming vs
+// batch, before vs after self-correction, day-0 vs day-14 tables, or the
+// simple /24 baseline vs the network-aware result. Two standard measures:
+//
+//   * B-cubed precision/recall — per client, what fraction of its cluster
+//     siblings are true siblings (precision) and what fraction of its true
+//     siblings it retained (recall). Precision drops for too-large
+//     clusters, recall for too-small ones, exactly matching the paper's
+//     two mis-identification modes.
+//   * Rand index — fraction of client pairs on which the clusterings agree
+//     (same-cluster vs different-cluster).
+//
+// Clients present in only one clustering are ignored (reported in the
+// result). Unclustered clients count as singleton clusters.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cluster.h"
+
+namespace netclust::core {
+
+struct ClusteringComparison {
+  std::size_t shared_clients = 0;
+  std::size_t only_in_left = 0;
+  std::size_t only_in_right = 0;
+  /// B-cubed measures of `left` against `right` as the reference.
+  double bcubed_precision = 1.0;
+  double bcubed_recall = 1.0;
+  /// Rand index over shared clients (exact, pair-counted).
+  double rand_index = 1.0;
+
+  [[nodiscard]] double BCubedF1() const {
+    const double denominator = bcubed_precision + bcubed_recall;
+    return denominator == 0.0
+               ? 0.0
+               : 2.0 * bcubed_precision * bcubed_recall / denominator;
+  }
+};
+
+/// Compares `left` against the reference clustering `right`.
+ClusteringComparison CompareClusterings(const Clustering& left,
+                                        const Clustering& right);
+
+}  // namespace netclust::core

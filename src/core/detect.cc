@@ -1,0 +1,179 @@
+#include "core/detect.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/metrics.h"
+#include "weblog/clf.h"
+
+namespace netclust::core {
+namespace {
+
+struct CandidateDetail {
+  std::uint32_t cluster = 0;
+  std::uint64_t requests = 0;
+  double cluster_share = 0.0;
+  std::unordered_set<std::uint32_t> urls;
+  std::unordered_set<std::uint8_t> agents;
+  std::vector<std::uint64_t> histogram;
+  std::int64_t last_timestamp = 0;
+  double interarrival_total = 0.0;
+  std::uint64_t interarrival_count = 0;
+};
+
+}  // namespace
+
+std::unordered_set<net::IpAddress> DetectionReport::SpiderAddresses() const {
+  std::unordered_set<net::IpAddress> out;
+  for (const Suspect& suspect : suspects) {
+    if (suspect.kind == SuspectKind::kSpider) out.insert(suspect.client);
+  }
+  return out;
+}
+
+std::unordered_set<net::IpAddress> DetectionReport::ProxyAddresses() const {
+  std::unordered_set<net::IpAddress> out;
+  for (const Suspect& suspect : suspects) {
+    if (suspect.kind == SuspectKind::kProxy) out.insert(suspect.client);
+  }
+  return out;
+}
+
+std::unordered_set<net::IpAddress> DetectionReport::AllAddresses() const {
+  std::unordered_set<net::IpAddress> out;
+  for (const Suspect& suspect : suspects) out.insert(suspect.client);
+  return out;
+}
+
+DetectionReport DetectSpidersAndProxies(const weblog::ServerLog& log,
+                                        const Clustering& clustering,
+                                        const DetectionConfig& config) {
+  DetectionReport report;
+  if (log.request_count() == 0) return report;
+
+  // Phase 1: pick candidates from the per-client/per-cluster tallies the
+  // clustering already carries — hosts that dominate a busy cluster.
+  const auto min_requests = static_cast<std::uint64_t>(
+      config.min_log_share * static_cast<double>(log.request_count()));
+  std::unordered_map<net::IpAddress, CandidateDetail> candidates;
+  for (std::uint32_t c = 0; c < clustering.clusters.size(); ++c) {
+    const Cluster& cluster = clustering.clusters[c];
+    if (cluster.requests == 0) continue;
+    for (const std::uint32_t member : cluster.members) {
+      const ClientStats& client = clustering.clients[member];
+      if (client.requests < std::max<std::uint64_t>(min_requests, 1)) {
+        continue;
+      }
+      const double share = static_cast<double>(client.requests) /
+                           static_cast<double>(cluster.requests);
+      if (share < config.min_cluster_share) continue;
+      CandidateDetail detail;
+      detail.cluster = c;
+      detail.cluster_share = share;
+      candidates.emplace(client.address, std::move(detail));
+    }
+  }
+  if (candidates.empty()) return report;
+
+  // Phase 2: one pass over the log gathering detail for candidates only.
+  const std::int64_t span = log.end_time() - log.start_time() + 1;
+  const auto buckets = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, (span + config.histogram_bucket_seconds - 1) /
+             config.histogram_bucket_seconds));
+  std::vector<std::uint64_t> log_histogram(buckets, 0);
+
+  for (const weblog::CompactRequest& request : log.requests()) {
+    const auto bucket = std::min(
+        static_cast<std::size_t>((request.timestamp - log.start_time()) /
+                                 config.histogram_bucket_seconds),
+        buckets - 1);
+    ++log_histogram[bucket];
+    const auto it = candidates.find(request.client);
+    if (it == candidates.end()) continue;
+    CandidateDetail& detail = it->second;
+    if (detail.histogram.empty()) detail.histogram.assign(buckets, 0);
+    ++detail.histogram[bucket];
+    ++detail.requests;
+    detail.urls.insert(request.url_id);
+    detail.agents.insert(request.agent_id);
+    if (detail.requests > 1) {
+      // Logs are time-sorted in this library, so consecutive occurrences
+      // of a client give its think time directly.
+      detail.interarrival_total +=
+          static_cast<double>(request.timestamp - detail.last_timestamp);
+      ++detail.interarrival_count;
+    }
+    detail.last_timestamp = request.timestamp;
+  }
+
+  for (auto& [address, detail] : candidates) {
+    const double correlation =
+        HistogramCorrelation(detail.histogram, log_histogram);
+    std::size_t active_buckets = 0;
+    for (const std::uint64_t count : detail.histogram) {
+      if (count > 0) ++active_buckets;
+    }
+    Suspect suspect;
+    suspect.client = address;
+    suspect.cluster = detail.cluster;
+    suspect.requests = detail.requests;
+    suspect.cluster_request_share = detail.cluster_share;
+    suspect.unique_urls = detail.urls.size();
+    suspect.arrival_correlation = correlation;
+    suspect.active_fraction =
+        static_cast<double>(active_buckets) / static_cast<double>(buckets);
+    suspect.distinct_agents = detail.agents.size();
+    suspect.mean_interarrival_seconds =
+        detail.interarrival_count == 0
+            ? 0.0
+            : detail.interarrival_total /
+                  static_cast<double>(detail.interarrival_count);
+
+    const bool burst_like =
+        correlation < config.spider_max_correlation ||
+        suspect.active_fraction <= config.spider_max_active_fraction;
+    const bool spider_like =
+        burst_like && suspect.unique_urls >= config.spider_min_urls;
+    const bool proxy_like =
+        suspect.distinct_agents >= config.proxy_min_agents ||
+        (correlation >= config.proxy_min_correlation &&
+         suspect.mean_interarrival_seconds <= config.proxy_max_think_seconds);
+    if (spider_like) {
+      suspect.kind = SuspectKind::kSpider;
+    } else if (proxy_like) {
+      suspect.kind = SuspectKind::kProxy;
+    } else {
+      continue;  // dominant but unremarkable host: not flagged
+    }
+    report.suspects.push_back(std::move(suspect));
+  }
+
+  std::sort(report.suspects.begin(), report.suspects.end(),
+            [](const Suspect& a, const Suspect& b) {
+              return a.requests > b.requests;
+            });
+  return report;
+}
+
+weblog::ServerLog RemoveClients(
+    const weblog::ServerLog& log,
+    const std::unordered_set<net::IpAddress>& clients) {
+  weblog::ServerLog filtered(log.name());
+  for (const weblog::CompactRequest& request : log.requests()) {
+    if (clients.contains(request.client)) continue;
+    weblog::LogRecord record;
+    record.client = request.client;
+    record.timestamp = request.timestamp;
+    record.method = request.method;
+    record.url = log.url(request.url_id);
+    record.status = request.status;
+    record.response_bytes = request.response_bytes;
+    if (request.agent_id != 0) {
+      record.user_agent = log.agent(static_cast<std::uint8_t>(request.agent_id - 1));
+    }
+    filtered.Append(record);
+  }
+  return filtered;
+}
+
+}  // namespace netclust::core

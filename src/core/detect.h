@@ -1,0 +1,86 @@
+// Spider and proxy identification (§4.1.1-4.1.2).
+//
+// The paper classifies clients as visible clients, hidden clients (behind
+// proxies) and spiders, and identifies the suspects by combining:
+//   * the share of its cluster's requests one host is responsible for
+//     (Figure 10: the Sun spider issued 99.79% of its cluster's requests),
+//   * the request arrival pattern: a proxy mimics the whole log's diurnal
+//     wave, a spider's burst does not (Figure 9),
+//   * the number of unique URLs accessed (spiders sweep the site),
+//   * think time between consecutive requests, and
+//   * the variety of User-Agent values a single host presents.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cluster.h"
+#include "net/ip_address.h"
+#include "weblog/log.h"
+
+namespace netclust::core {
+
+struct DetectionConfig {
+  /// Arrival histograms use buckets of this width.
+  int histogram_bucket_seconds = 3600;
+  /// A candidate must issue at least this fraction of all log requests...
+  double min_log_share = 0.002;
+  /// ...and at least this share of its own cluster's requests.
+  double min_cluster_share = 0.5;
+  /// Arrival correlation below this suggests a spider...
+  double spider_max_correlation = 0.5;
+  /// ...at or above this (the diurnal mimic) suggests a proxy.
+  double proxy_min_correlation = 0.5;
+  /// A host active in at most this fraction of the log's time buckets is
+  /// burst-like (spider crawls are tight sweeps, Figure 9(c)), even when
+  /// the burst happens to overlap the diurnal peak.
+  double spider_max_active_fraction = 0.5;
+  /// A spider must have swept at least this many unique URLs.
+  std::size_t spider_min_urls = 100;
+  /// Hosts presenting at least this many distinct User-Agents are
+  /// proxy-like regardless of correlation.
+  std::size_t proxy_min_agents = 4;
+  /// A diurnal-mimicking host only counts as a proxy if it also "has a
+  /// shorter think time between requests than a client does" (§4.1.2) —
+  /// otherwise it is just a busy ordinary client and is not flagged.
+  double proxy_max_think_seconds = 10.0;
+};
+
+enum class SuspectKind { kSpider, kProxy };
+
+struct Suspect {
+  net::IpAddress client;
+  std::uint32_t cluster = 0;  // index into the Clustering
+  SuspectKind kind = SuspectKind::kSpider;
+  std::uint64_t requests = 0;
+  double cluster_request_share = 0.0;
+  std::size_t unique_urls = 0;
+  double arrival_correlation = 0.0;
+  /// Fraction of the log's time buckets in which this host was active.
+  double active_fraction = 0.0;
+  std::size_t distinct_agents = 0;
+  double mean_interarrival_seconds = 0.0;
+};
+
+struct DetectionReport {
+  std::vector<Suspect> suspects;
+
+  [[nodiscard]] std::unordered_set<net::IpAddress> SpiderAddresses() const;
+  [[nodiscard]] std::unordered_set<net::IpAddress> ProxyAddresses() const;
+  [[nodiscard]] std::unordered_set<net::IpAddress> AllAddresses() const;
+};
+
+/// Scans `log` (already clustered as `clustering`) for spider/proxy
+/// suspects.
+DetectionReport DetectSpidersAndProxies(const weblog::ServerLog& log,
+                                        const Clustering& clustering,
+                                        const DetectionConfig& config = {});
+
+/// A copy of `log` without the requests of `clients` — the §4.1.1
+/// elimination step before thresholding and cache simulation.
+weblog::ServerLog RemoveClients(
+    const weblog::ServerLog& log,
+    const std::unordered_set<net::IpAddress>& clients);
+
+}  // namespace netclust::core

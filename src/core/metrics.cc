@@ -1,0 +1,171 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace netclust::core {
+namespace {
+
+std::vector<std::size_t> SortedOrder(
+    const Clustering& clustering,
+    bool (*before)(const Cluster&, const Cluster&)) {
+  std::vector<std::size_t> order(clustering.clusters.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Cluster& ca = clustering.clusters[a];
+    const Cluster& cb = clustering.clusters[b];
+    if (before(ca, cb) != before(cb, ca)) return before(ca, cb);
+    return ca.key < cb.key;  // total order for determinism
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::size_t> OrderByClients(const Clustering& clustering) {
+  return SortedOrder(clustering, [](const Cluster& a, const Cluster& b) {
+    if (a.members.size() != b.members.size()) {
+      return a.members.size() > b.members.size();
+    }
+    return a.requests > b.requests;
+  });
+}
+
+std::vector<std::size_t> OrderByRequests(const Clustering& clustering) {
+  return SortedOrder(clustering, [](const Cluster& a, const Cluster& b) {
+    if (a.requests != b.requests) return a.requests > b.requests;
+    return a.members.size() > b.members.size();
+  });
+}
+
+std::vector<CdfPoint> CumulativeDistribution(std::vector<double> values) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty()) return cdf;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    cdf.push_back(CdfPoint{values[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+double FractionAtMost(const std::vector<CdfPoint>& cdf, double value) {
+  double fraction = 0.0;
+  for (const CdfPoint& point : cdf) {
+    if (point.value > value) break;
+    fraction = point.cumulative;
+  }
+  return fraction;
+}
+
+ClusteringSummary Summarize(const Clustering& clustering) {
+  ClusteringSummary summary;
+  summary.clusters = clustering.cluster_count();
+  summary.clients = clustering.client_count();
+  summary.requests = clustering.total_requests;
+  summary.coverage = clustering.coverage();
+  bool first = true;
+  for (const Cluster& cluster : clustering.clusters) {
+    if (first) {
+      summary.min_cluster_clients = summary.max_cluster_clients =
+          cluster.members.size();
+      summary.min_cluster_requests = summary.max_cluster_requests =
+          cluster.requests;
+      summary.min_cluster_urls = summary.max_cluster_urls =
+          cluster.unique_urls;
+      first = false;
+      continue;
+    }
+    summary.min_cluster_clients =
+        std::min(summary.min_cluster_clients, cluster.members.size());
+    summary.max_cluster_clients =
+        std::max(summary.max_cluster_clients, cluster.members.size());
+    summary.min_cluster_requests =
+        std::min(summary.min_cluster_requests, cluster.requests);
+    summary.max_cluster_requests =
+        std::max(summary.max_cluster_requests, cluster.requests);
+    summary.min_cluster_urls =
+        std::min(summary.min_cluster_urls, cluster.unique_urls);
+    summary.max_cluster_urls =
+        std::max(summary.max_cluster_urls, cluster.unique_urls);
+  }
+  return summary;
+}
+
+std::vector<std::uint64_t> RequestHistogram(
+    const weblog::ServerLog& log, int bucket_seconds,
+    const std::unordered_set<net::IpAddress>* subset) {
+  const std::int64_t span = log.end_time() - log.start_time() + 1;
+  const auto buckets = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, (span + bucket_seconds - 1) / bucket_seconds));
+  std::vector<std::uint64_t> histogram(buckets, 0);
+  for (const weblog::CompactRequest& request : log.requests()) {
+    if (subset != nullptr && !subset->contains(request.client)) continue;
+    const auto bucket = static_cast<std::size_t>(
+        (request.timestamp - log.start_time()) / bucket_seconds);
+    ++histogram[std::min(bucket, buckets - 1)];
+  }
+  return histogram;
+}
+
+ZipfFit EstimateZipfExponent(std::vector<double> values) {
+  std::erase_if(values, [](double v) { return v <= 0.0; });
+  if (values.size() < 3) return {};
+  std::sort(values.begin(), values.end(), std::greater<>());
+
+  const double n = static_cast<double>(values.size());
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  double sum_yy = 0.0;
+  for (std::size_t rank = 0; rank < values.size(); ++rank) {
+    const double x = std::log(static_cast<double>(rank + 1));
+    const double y = std::log(values[rank]);
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    sum_yy += y * y;
+  }
+  const double var_x = sum_xx - sum_x * sum_x / n;
+  const double var_y = sum_yy - sum_y * sum_y / n;
+  const double cov = sum_xy - sum_x * sum_y / n;
+  if (var_x <= 0.0) return {};
+
+  ZipfFit fit;
+  fit.alpha = -cov / var_x;  // slope is negative for decaying values
+  fit.r_squared = var_y <= 0.0 ? 1.0 : (cov * cov) / (var_x * var_y);
+  return fit;
+}
+
+double HistogramCorrelation(const std::vector<std::uint64_t>& a,
+                            const std::vector<std::uint64_t>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += static_cast<double>(a[i]);
+    mean_b += static_cast<double>(b[i]);
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = static_cast<double>(a[i]) - mean_a;
+    const double db = static_cast<double>(b[i]) - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace netclust::core

@@ -1,0 +1,74 @@
+// Cluster distribution metrics — the quantities plotted in Figures 3-7 and
+// quoted throughout §3.2.2.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cluster.h"
+#include "weblog/log.h"
+
+namespace netclust::core {
+
+/// Cluster indices in reverse (descending) order of member count — the x
+/// axis of Figures 4 and 6(a,b). Ties broken by requests, then key.
+std::vector<std::size_t> OrderByClients(const Clustering& clustering);
+
+/// Cluster indices in reverse order of request count — the x axis of
+/// Figures 5 and 6(c,d).
+std::vector<std::size_t> OrderByRequests(const Clustering& clustering);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value;
+  double cumulative;  // fraction of observations <= value
+};
+
+/// Empirical CDF of `values` (consumed), one point per distinct value —
+/// Figure 3's curves.
+std::vector<CdfPoint> CumulativeDistribution(std::vector<double> values);
+
+/// Fraction of observations <= `value` in a CDF (0 when below support).
+double FractionAtMost(const std::vector<CdfPoint>& cdf, double value);
+
+/// Headline numbers of a clustering (§3.2.2's Nagano paragraph).
+struct ClusteringSummary {
+  std::size_t clusters = 0;
+  std::size_t clients = 0;
+  std::uint64_t requests = 0;
+  double coverage = 1.0;
+  std::size_t min_cluster_clients = 0;
+  std::size_t max_cluster_clients = 0;
+  std::uint64_t min_cluster_requests = 0;
+  std::uint64_t max_cluster_requests = 0;
+  std::uint64_t min_cluster_urls = 0;
+  std::uint64_t max_cluster_urls = 0;
+};
+ClusteringSummary Summarize(const Clustering& clustering);
+
+/// Requests per `bucket_seconds` over the log's time span, optionally
+/// restricted to `subset` clients — the histograms of Figure 9.
+std::vector<std::uint64_t> RequestHistogram(
+    const weblog::ServerLog& log, int bucket_seconds,
+    const std::unordered_set<net::IpAddress>* subset = nullptr);
+
+/// Pearson correlation of two equally-long histograms; the proxy-vs-log
+/// similarity measure behind §4.1.2's "certain correspondences". Returns 0
+/// when either histogram is constant.
+double HistogramCorrelation(const std::vector<std::uint64_t>& a,
+                            const std::vector<std::uint64_t>& b);
+
+/// Least-squares fit of a Zipf exponent to `values` (consumed): sorts
+/// descending and regresses log(value) on log(rank), returning the slope
+/// magnitude alpha and the fit's R^2. The paper leans on "Zipf-like
+/// distributions are common in a variety of Web measurements" — this
+/// quantifies how Zipf-like a distribution actually is. Requires at least
+/// 3 positive values; returns {0, 0} otherwise.
+struct ZipfFit {
+  double alpha = 0.0;
+  double r_squared = 0.0;
+};
+ZipfFit EstimateZipfExponent(std::vector<double> values);
+
+}  // namespace netclust::core

@@ -1,0 +1,97 @@
+#include "core/network_cluster.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace netclust::core {
+namespace {
+
+// Majority element of a small vector of strings (first-seen tie-break).
+std::string Majority(const std::vector<std::string>& values) {
+  std::map<std::string, std::size_t> counts;
+  for (const std::string& value : values) ++counts[value];
+  std::string best;
+  std::size_t best_count = 0;
+  for (const std::string& value : values) {  // first-seen order
+    const std::size_t count = counts[value];
+    if (count > best_count) {
+      best = value;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::string UpstreamSuffix(const std::vector<std::string>& path,
+                           const NetworkClusterConfig& config) {
+  if (path.size() <= static_cast<std::size_t>(config.skip_edge_hops)) {
+    return {};
+  }
+  const std::size_t end = path.size() -
+                          static_cast<std::size_t>(config.skip_edge_hops);
+  const std::size_t take = std::min<std::size_t>(
+      static_cast<std::size_t>(config.suffix_hops), end);
+  std::string suffix;
+  for (std::size_t i = end - take; i < end; ++i) {
+    if (!suffix.empty()) suffix.push_back('|');
+    suffix += path[i];
+  }
+  return suffix;
+}
+
+}  // namespace
+
+NetworkClusteringResult ClusterClusters(const Clustering& clustering,
+                                        const PathOracle& oracle,
+                                        const NetworkClusterConfig& config) {
+  NetworkClusteringResult result;
+  std::unordered_map<std::string, std::size_t> by_suffix;
+
+  for (std::size_t c = 0; c < clustering.clusters.size(); ++c) {
+    const Cluster& cluster = clustering.clusters[c];
+    if (cluster.members.empty()) continue;
+
+    const auto sample_count = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(1, config.samples_per_cluster)),
+        cluster.members.size());
+    std::vector<std::string> suffixes;
+    for (std::size_t s = 0; s < sample_count; ++s) {
+      const std::size_t pick =
+          s * (cluster.members.size() - 1) /
+          std::max<std::size_t>(1, sample_count - 1);
+      const TraceObservation observation = oracle.Trace(
+          clustering.clients[cluster.members[pick]].address);
+      result.probes += static_cast<std::size_t>(observation.probes_sent);
+      result.seconds += observation.seconds;
+      const std::string suffix = UpstreamSuffix(observation.path, config);
+      if (!suffix.empty()) suffixes.push_back(suffix);
+    }
+    if (suffixes.empty()) {
+      result.unresolved.push_back(c);
+      continue;
+    }
+
+    const std::string suffix = Majority(suffixes);
+    const auto [it, inserted] =
+        by_suffix.emplace(suffix, result.network_clusters.size());
+    if (inserted) {
+      NetworkCluster network;
+      network.path_suffix = suffix;
+      result.network_clusters.push_back(std::move(network));
+    }
+    NetworkCluster& network = result.network_clusters[it->second];
+    network.clusters.push_back(c);
+    network.clients += cluster.members.size();
+    network.requests += cluster.requests;
+  }
+
+  std::sort(result.network_clusters.begin(), result.network_clusters.end(),
+            [](const NetworkCluster& a, const NetworkCluster& b) {
+              if (a.requests != b.requests) return a.requests > b.requests;
+              return a.path_suffix < b.path_suffix;
+            });
+  return result;
+}
+
+}  // namespace netclust::core

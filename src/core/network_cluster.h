@@ -1,0 +1,60 @@
+// Second-level "network clusters" (§3.6).
+//
+// "After identifying client clusters based on the BGP routing table
+// information, we can further cluster nearby client clusters into network
+// clusters. We use traceroute to do the higher level clustering.
+// Typically, we run traceroute on a number of (r >= 1) randomly selected
+// clients in each cluster and do suffix matching on the path towards each
+// destination network." Useful for selective content distribution, proxy
+// placement and load balancing.
+//
+// The suffix compared here deliberately *excludes* the destination
+// network's own gateway hop (skip_edge_hops, default 1): two client
+// clusters behind the same upstream border router are "nearby" even
+// though their last hops differ.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/oracles.h"
+
+namespace netclust::core {
+
+struct NetworkClusterConfig {
+  /// Traceroute samples per client cluster (the paper's r >= 1).
+  int samples_per_cluster = 2;
+  /// Hops dropped from the end of each path before suffix matching
+  /// (1 = ignore the destination network's own gateway).
+  int skip_edge_hops = 1;
+  /// Length of the path suffix compared after skipping.
+  int suffix_hops = 1;
+};
+
+struct NetworkCluster {
+  /// Shared upstream path suffix (joined router names).
+  std::string path_suffix;
+  /// Indices into the source Clustering's clusters.
+  std::vector<std::size_t> clusters;
+  std::size_t clients = 0;
+  std::uint64_t requests = 0;
+};
+
+struct NetworkClusteringResult {
+  std::vector<NetworkCluster> network_clusters;
+  /// Client clusters whose probes returned no usable path.
+  std::vector<std::size_t> unresolved;
+  std::size_t probes = 0;
+  double seconds = 0.0;
+};
+
+/// Groups the client clusters of `clustering` into network clusters by
+/// probing `config.samples_per_cluster` members of each (deterministic
+/// spread) and suffix-matching the discovered paths.
+NetworkClusteringResult ClusterClusters(const Clustering& clustering,
+                                        const PathOracle& oracle,
+                                        const NetworkClusterConfig& config = {});
+
+}  // namespace netclust::core

@@ -1,0 +1,58 @@
+// Measurement oracle interfaces.
+//
+// Validation (§3.3) and self-correction (§3.5) interrogate the network via
+// nslookup and traceroute. The algorithms are written against these two
+// interfaces; src/validate provides implementations backed by the synthetic
+// ground truth (and, in a deployment, they would wrap the real tools).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip_address.h"
+
+namespace netclust::core {
+
+/// Reverse-DNS oracle. nullopt models NXDOMAIN/timeouts — which the paper
+/// hit for ~50% of clients.
+class NameOracle {
+ public:
+  virtual ~NameOracle() = default;
+  [[nodiscard]] virtual std::optional<std::string> Resolve(
+      net::IpAddress address) const = 0;
+};
+
+/// One traceroute observation.
+struct TraceObservation {
+  /// The destination's name, when the final hop answered and resolved.
+  std::optional<std::string> host_name;
+  /// Router names on the discovered path (excluding the host), core→edge.
+  /// Never empty for a routable address: even firewalled hosts reveal the
+  /// path up to their gateway, which is why the paper's optimized
+  /// traceroute reaches 100% resolvability (name *or* path).
+  std::vector<std::string> path;
+  /// Probe/latency accounting for the §3.3 cost comparison.
+  int probes_sent = 0;
+  double seconds = 0.0;
+};
+
+/// Traceroute oracle.
+class PathOracle {
+ public:
+  virtual ~PathOracle() = default;
+  [[nodiscard]] virtual TraceObservation Trace(
+      net::IpAddress address) const = 0;
+};
+
+/// Geolocation oracle (§4.1.4 groups proxies by AS *and* geography). In a
+/// deployment this wraps a geo-IP database; the synthetic implementation
+/// reads the ground truth.
+class RegionOracle {
+ public:
+  virtual ~RegionOracle() = default;
+  /// Coarse region id of `address` (negative = unknown).
+  [[nodiscard]] virtual int RegionOf(net::IpAddress address) const = 0;
+};
+
+}  // namespace netclust::core

@@ -1,0 +1,97 @@
+#include "core/parallel.h"
+
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace netclust::core {
+
+Clustering ClusterNetworkAwareParallel(const weblog::ServerLog& log,
+                                       const bgp::PrefixTable& table,
+                                       int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+
+  Clustering result;
+  result.approach = "network-aware";
+  result.log_name = log.name();
+  result.total_requests = log.request_count();
+
+  const auto& order = log.clients();
+  result.clients.reserve(order.size());
+  for (const net::IpAddress address : order) {
+    result.clients.push_back(ClientStats{address, 0, 0});
+  }
+
+  // Phase 1 (parallel): one LPM per distinct client, into a pre-sized
+  // slot array — no synchronization beyond the join.
+  std::vector<std::optional<bgp::PrefixTable::Match>> matches(order.size());
+  {
+    const std::size_t shard =
+        (order.size() + static_cast<std::size_t>(threads) - 1) /
+        static_cast<std::size_t>(threads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t begin = static_cast<std::size_t>(t) * shard;
+      const std::size_t end = std::min(begin + shard, order.size());
+      if (begin >= end) break;
+      workers.emplace_back([&, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          matches[i] = table.LongestMatch(order[i]);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  // Phase 2 (serial): grouping in client order — identical to the batch
+  // clusterer's assignment order, hence identical cluster numbering.
+  std::unordered_map<net::IpAddress, std::uint32_t> client_index;
+  client_index.reserve(order.size());
+  std::unordered_map<net::Prefix, std::uint32_t> cluster_index;
+  std::vector<std::uint32_t> client_cluster(order.size(), UINT32_MAX);
+  for (std::uint32_t id = 0; id < order.size(); ++id) {
+    client_index.emplace(order[id], id);
+    const auto& match = matches[id];
+    if (!match.has_value()) {
+      result.unclustered.push_back(id);
+      continue;
+    }
+    auto [it, inserted] = cluster_index.emplace(
+        match->prefix, static_cast<std::uint32_t>(result.clusters.size()));
+    if (inserted) {
+      Cluster cluster;
+      cluster.key = match->prefix;
+      cluster.from_network_dump =
+          match->kind == bgp::SourceKind::kNetworkDump;
+      result.clusters.push_back(std::move(cluster));
+    }
+    client_cluster[id] = it->second;
+    result.clusters[it->second].members.push_back(id);
+  }
+
+  // Phase 3 (serial): request tallies, as in the batch path.
+  std::vector<std::unordered_set<std::uint32_t>> cluster_urls(
+      result.clusters.size());
+  for (const weblog::CompactRequest& request : log.requests()) {
+    const std::uint32_t id = client_index.at(request.client);
+    result.clients[id].requests += 1;
+    result.clients[id].bytes += request.response_bytes;
+    const std::uint32_t cluster = client_cluster[id];
+    if (cluster == UINT32_MAX) continue;
+    Cluster& c = result.clusters[cluster];
+    c.requests += 1;
+    c.bytes += request.response_bytes;
+    cluster_urls[cluster].insert(request.url_id);
+  }
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    result.clusters[i].unique_urls = cluster_urls[i].size();
+  }
+  return result;
+}
+
+}  // namespace netclust::core

@@ -1,0 +1,22 @@
+// Parallel network-aware clustering.
+//
+// Clustering a paper-scale log is dominated by millions of independent
+// longest-prefix matches; this entry point shards the *distinct clients*
+// across worker threads (the table is immutable and safe to share), then
+// performs the grouping and tallying passes single-threaded so the result
+// is bit-identical to ClusterNetworkAware.
+#pragma once
+
+#include "bgp/prefix_table.h"
+#include "core/cluster.h"
+#include "weblog/log.h"
+
+namespace netclust::core {
+
+/// Identical output to ClusterNetworkAware(log, table); `threads` <= 0
+/// selects the hardware concurrency.
+Clustering ClusterNetworkAwareParallel(const weblog::ServerLog& log,
+                                       const bgp::PrefixTable& table,
+                                       int threads = 0);
+
+}  // namespace netclust::core

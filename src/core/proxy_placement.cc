@@ -1,0 +1,81 @@
+#include "core/proxy_placement.h"
+
+#include <algorithm>
+#include <map>
+
+namespace netclust::core {
+namespace {
+
+std::uint64_t LoadOf(const Cluster& cluster, PlacementMetric metric) {
+  switch (metric) {
+    case PlacementMetric::kRequests:
+      return cluster.requests;
+    case PlacementMetric::kClients:
+      return cluster.members.size();
+    case PlacementMetric::kBytes:
+      return cluster.bytes;
+  }
+  return cluster.requests;
+}
+
+}  // namespace
+
+std::vector<ProxyAssignment> AssignProxies(const Clustering& clustering,
+                                           const ThresholdReport& busy,
+                                           const PlacementConfig& config) {
+  std::vector<ProxyAssignment> assignments;
+  assignments.reserve(busy.busy.size());
+  for (const std::size_t index : busy.busy) {
+    const Cluster& cluster = clustering.clusters[index];
+    ProxyAssignment assignment;
+    assignment.cluster = index;
+    assignment.load = LoadOf(cluster, config.metric);
+    const std::uint64_t per =
+        std::max<std::uint64_t>(config.load_per_proxy, 1);
+    assignment.proxies = static_cast<int>(
+        std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(config.max_proxies_per_cluster),
+            1 + assignment.load / per));
+    assignments.push_back(assignment);
+  }
+  return assignments;
+}
+
+std::vector<ProxyGroup> GroupProxiesByAs(
+    const Clustering& clustering,
+    const std::vector<ProxyAssignment>& assignments,
+    const bgp::PrefixTable& table, const RegionOracle* geo) {
+  std::map<std::pair<bgp::AsNumber, int>, ProxyGroup> groups;
+  for (const ProxyAssignment& assignment : assignments) {
+    const Cluster& cluster = clustering.clusters[assignment.cluster];
+    const bgp::AsNumber as = table.OriginAs(cluster.key);
+    // Regionalize by the cluster's first member (all members share the
+    // network, hence — to any geo-IP granularity — the location).
+    const int region =
+        geo == nullptr || cluster.members.empty()
+            ? -1
+            : geo->RegionOf(
+                  clustering.clients[cluster.members.front()].address);
+    ProxyGroup& group = groups[{as, region}];
+    group.as_number = as;
+    group.region = region;
+    group.clusters.push_back(assignment.cluster);
+    group.proxies += assignment.proxies;
+    group.clients += cluster.members.size();
+    group.requests += cluster.requests;
+  }
+
+  std::vector<ProxyGroup> out;
+  out.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    out.push_back(std::move(group));
+  }
+  std::sort(out.begin(), out.end(), [](const ProxyGroup& a,
+                                       const ProxyGroup& b) {
+    if (a.requests != b.requests) return a.requests > b.requests;
+    return a.as_number < b.as_number;
+  });
+  return out;
+}
+
+}  // namespace netclust::core

@@ -1,0 +1,67 @@
+// Proxy placement and proxy clusters (§4.1.4).
+//
+// "One way to place proxies is to assign one or more proxies for each
+// client cluster based on metrics such as the number of clients, number of
+// requests issued, ... The proxies assigned to clients in the same client
+// cluster form a proxy cluster and would co-operate with each other.
+// Alternatively, ... group proxies into proxy clusters according to their
+// AS numbers and geographical locations."
+//
+// Both flavours are implemented: AssignProxies sizes a per-cluster proxy
+// pool from a load metric; GroupProxiesByAs rolls the assigned proxies up
+// into AS-level co-operating groups using the origin-AS annotation the
+// merged prefix table carries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "core/cluster.h"
+#include "core/oracles.h"
+#include "core/threshold.h"
+
+namespace netclust::core {
+
+enum class PlacementMetric { kRequests, kClients, kBytes };
+
+struct PlacementConfig {
+  PlacementMetric metric = PlacementMetric::kRequests;
+  /// One proxy per this much load (requests, clients or bytes depending
+  /// on the metric); every busy cluster gets at least one.
+  std::uint64_t load_per_proxy = 100000;
+  int max_proxies_per_cluster = 8;
+};
+
+/// One busy cluster's proxy pool.
+struct ProxyAssignment {
+  std::size_t cluster = 0;  // index into the Clustering
+  int proxies = 1;
+  std::uint64_t load = 0;   // in the configured metric
+};
+
+std::vector<ProxyAssignment> AssignProxies(const Clustering& clustering,
+                                           const ThresholdReport& busy,
+                                           const PlacementConfig& config = {});
+
+/// AS-level proxy cluster: all proxies serving client clusters whose
+/// keying prefix originates in the same AS (and, when a RegionOracle is
+/// supplied, the same geographic region — §4.1.4's "belonging to the same
+/// AS and located geographically nearby").
+struct ProxyGroup {
+  bgp::AsNumber as_number = 0;  // 0 = origin unknown
+  int region = -1;              // -1 = not regionalized / unknown
+  std::vector<std::size_t> clusters;
+  int proxies = 0;
+  std::size_t clients = 0;
+  std::uint64_t requests = 0;
+};
+
+/// Groups `assignments` by the origin AS of each cluster's prefix — and by
+/// region when `geo` is non-null — descending by request volume.
+std::vector<ProxyGroup> GroupProxiesByAs(
+    const Clustering& clustering,
+    const std::vector<ProxyAssignment>& assignments,
+    const bgp::PrefixTable& table, const RegionOracle* geo = nullptr);
+
+}  // namespace netclust::core

@@ -1,0 +1,127 @@
+#include "core/report.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace netclust::core {
+namespace {
+
+std::vector<std::string_view> SplitCsv(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool ParseU64(std::string_view text, std::uint64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+void WriteClusterCsv(std::ostream& out, const Clustering& clustering) {
+  out << "prefix,clients,requests,bytes,unique_urls,source\n";
+  for (const std::size_t index : OrderByRequests(clustering)) {
+    const Cluster& cluster = clustering.clusters[index];
+    out << cluster.key.ToString() << ',' << cluster.members.size() << ','
+        << cluster.requests << ',' << cluster.bytes << ','
+        << cluster.unique_urls << ','
+        << (cluster.from_network_dump ? "dump" : "bgp") << '\n';
+  }
+}
+
+void WriteClientMapCsv(std::ostream& out, const Clustering& clustering) {
+  // Per-client cluster keys, materialized once.
+  std::vector<const Cluster*> cluster_of(clustering.clients.size(), nullptr);
+  for (const Cluster& cluster : clustering.clusters) {
+    for (const std::uint32_t member : cluster.members) {
+      cluster_of[member] = &cluster;
+    }
+  }
+  out << "client,cluster,requests,bytes\n";
+  for (std::size_t i = 0; i < clustering.clients.size(); ++i) {
+    const ClientStats& client = clustering.clients[i];
+    out << client.address.ToString() << ','
+        << (cluster_of[i] != nullptr ? cluster_of[i]->key.ToString() : "-")
+        << ',' << client.requests << ',' << client.bytes << '\n';
+  }
+}
+
+Result<Clustering> ImportClientMapCsv(std::istream& in,
+                                      std::string log_name) {
+  Clustering clustering;
+  clustering.approach = "imported";
+  clustering.log_name = std::move(log_name);
+
+  std::unordered_map<net::Prefix, std::uint32_t> cluster_index;
+  std::string line;
+  bool header_seen = false;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (!header_seen) {
+      header_seen = true;
+      if (line.rfind("client,", 0) == 0) continue;  // header row
+    }
+    const auto fields = SplitCsv(line);
+    if (fields.size() != 4) {
+      return Fail("line " + std::to_string(line_number) +
+                  ": expected 4 fields");
+    }
+    const auto address = net::IpAddress::Parse(fields[0]);
+    if (!address.ok()) {
+      return Fail("line " + std::to_string(line_number) + ": " +
+                  address.error());
+    }
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;
+    if (!ParseU64(fields[2], &requests) || !ParseU64(fields[3], &bytes)) {
+      return Fail("line " + std::to_string(line_number) + ": bad counters");
+    }
+
+    const auto id = static_cast<std::uint32_t>(clustering.clients.size());
+    clustering.clients.push_back(
+        ClientStats{address.value(), requests, bytes});
+    clustering.total_requests += requests;
+
+    if (fields[1] == "-") {
+      clustering.unclustered.push_back(id);
+      continue;
+    }
+    const auto prefix = net::Prefix::Parse(fields[1]);
+    if (!prefix.ok()) {
+      return Fail("line " + std::to_string(line_number) + ": " +
+                  prefix.error());
+    }
+    auto [it, inserted] = cluster_index.emplace(
+        prefix.value(), static_cast<std::uint32_t>(clustering.clusters.size()));
+    if (inserted) {
+      Cluster cluster;
+      cluster.key = prefix.value();
+      clustering.clusters.push_back(std::move(cluster));
+    }
+    Cluster& cluster = clustering.clusters[it->second];
+    cluster.members.push_back(id);
+    cluster.requests += requests;
+    cluster.bytes += bytes;
+  }
+  return clustering;
+}
+
+}  // namespace netclust::core

@@ -1,0 +1,31 @@
+// Clustering reports: CSV export/import so results flow into the rest of
+// a measurement pipeline (spreadsheets, plotting, diffing runs).
+//
+// Two artifacts:
+//   * the cluster table  — one row per cluster: prefix, members, requests,
+//     bytes, unique URLs, source kind;
+//   * the client map     — one row per client: address, cluster prefix
+//     ("-" when unclustered), requests, bytes.
+// ImportClientMap rebuilds a Clustering (membership and per-client tallies
+// are exact; per-cluster unique-URL counts are not representable in the
+// map and come back as 0).
+#pragma once
+
+#include <iosfwd>
+
+#include "core/cluster.h"
+#include "net/result.h"
+
+namespace netclust::core {
+
+/// Writes the per-cluster table, busiest first.
+void WriteClusterCsv(std::ostream& out, const Clustering& clustering);
+
+/// Writes the per-client map in client order.
+void WriteClientMapCsv(std::ostream& out, const Clustering& clustering);
+
+/// Rebuilds a Clustering from a client-map CSV. Fails on malformed rows.
+Result<Clustering> ImportClientMapCsv(std::istream& in,
+                                      std::string log_name = "imported");
+
+}  // namespace netclust::core

@@ -1,0 +1,166 @@
+#include "core/self_correct.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trie/bit_ops.h"
+
+namespace netclust::core {
+namespace {
+
+// Joined last-`hops` router names of a path; the cluster-identity signal.
+std::string PathSuffix(const std::vector<std::string>& path, int hops) {
+  std::string suffix;
+  const std::size_t take =
+      std::min<std::size_t>(static_cast<std::size_t>(hops), path.size());
+  for (std::size_t i = path.size() - take; i < path.size(); ++i) {
+    if (!suffix.empty()) suffix.push_back('|');
+    suffix += path[i];
+  }
+  return suffix;
+}
+
+// Smallest prefix covering all of `addresses` — the recomputed cluster key
+// after a merge/split ("the network prefix and netmask will be recomputed
+// accordingly").
+net::Prefix CommonPrefix(const std::vector<net::IpAddress>& addresses) {
+  if (addresses.empty()) return net::Prefix{};
+  int length = 32;
+  const std::uint32_t first = addresses.front().bits();
+  for (const net::IpAddress address : addresses) {
+    length = std::min(length,
+                      trie::CommonPrefixLength(first, address.bits()));
+  }
+  return net::Prefix(addresses.front(), length);
+}
+
+struct WorkingCluster {
+  std::vector<std::uint32_t> members;
+  std::string suffix;  // representative path suffix (majority of samples)
+};
+
+}  // namespace
+
+std::pair<Clustering, SelfCorrectionReport> SelfCorrect(
+    const Clustering& clustering, const PathOracle& oracle,
+    const SelfCorrectionConfig& config) {
+  SelfCorrectionReport report;
+  report.clusters_before = clustering.cluster_count();
+
+  std::size_t probes = 0;
+  double seconds = 0.0;
+  const auto trace = [&](net::IpAddress address) {
+    TraceObservation observation = oracle.Trace(address);
+    probes += static_cast<std::size_t>(observation.probes_sent);
+    seconds += observation.seconds;
+    return observation;
+  };
+
+  std::vector<WorkingCluster> working;
+
+  // Pass 1: sample each cluster; split the inconsistent ones.
+  for (const Cluster& cluster : clustering.clusters) {
+    const auto sample_count = std::min<std::size_t>(
+        static_cast<std::size_t>(config.samples_per_cluster),
+        cluster.members.size());
+    // Spread samples across the member list (front is first-seen, back is
+    // latest) so one busy corner can't hide a split.
+    std::vector<std::string> suffixes;
+    suffixes.reserve(sample_count);
+    bool inconsistent = false;
+    for (std::size_t s = 0; s < sample_count; ++s) {
+      const std::size_t pick =
+          s * (cluster.members.size() - 1) /
+          std::max<std::size_t>(1, sample_count - 1);
+      const auto observation =
+          trace(clustering.clients[cluster.members[pick]].address);
+      suffixes.push_back(PathSuffix(observation.path, config.suffix_hops));
+      if (suffixes.back() != suffixes.front()) inconsistent = true;
+    }
+
+    if (!inconsistent) {
+      working.push_back(
+          WorkingCluster{cluster.members,
+                         suffixes.empty() ? std::string{} : suffixes.front()});
+      continue;
+    }
+
+    // Too-large cluster: trace every member and partition by suffix.
+    std::map<std::string, std::vector<std::uint32_t>> groups;
+    for (const std::uint32_t member : cluster.members) {
+      const auto observation =
+          trace(clustering.clients[member].address);
+      groups[PathSuffix(observation.path, config.suffix_hops)]
+          .push_back(member);
+    }
+    report.splits += 1;
+    for (auto& [suffix, members] : groups) {
+      working.push_back(WorkingCluster{std::move(members), suffix});
+    }
+  }
+
+  // Pass 2: adopt unclustered clients as suffix-keyed singletons.
+  std::map<std::string, std::vector<std::uint32_t>> orphans;
+  for (const std::uint32_t member : clustering.unclustered) {
+    const auto observation = trace(clustering.clients[member].address);
+    const std::string suffix =
+        PathSuffix(observation.path, config.suffix_hops);
+    if (observation.path.empty()) continue;  // truly unreachable
+    orphans[suffix].push_back(member);
+    ++report.adopted;
+  }
+  for (auto& [suffix, members] : orphans) {
+    working.push_back(WorkingCluster{std::move(members), suffix});
+  }
+
+  // Pass 3: merge clusters sharing a path suffix ("more than one cluster
+  // which belongs to the same network").
+  std::unordered_map<std::string, std::size_t> by_suffix;
+  std::vector<WorkingCluster> merged;
+  for (WorkingCluster& cluster : working) {
+    if (cluster.suffix.empty()) {
+      merged.push_back(std::move(cluster));
+      continue;
+    }
+    const auto [it, inserted] =
+        by_suffix.emplace(cluster.suffix, merged.size());
+    if (inserted) {
+      merged.push_back(std::move(cluster));
+    } else {
+      auto& target = merged[it->second].members;
+      target.insert(target.end(), cluster.members.begin(),
+                    cluster.members.end());
+      report.merges += 1;
+    }
+  }
+
+  // Rebuild the clustering.
+  Clustering corrected;
+  corrected.approach = clustering.approach + "+self-corrected";
+  corrected.log_name = clustering.log_name;
+  corrected.clients = clustering.clients;
+  corrected.total_requests = clustering.total_requests;
+  for (const WorkingCluster& cluster : merged) {
+    Cluster out;
+    std::vector<net::IpAddress> addresses;
+    addresses.reserve(cluster.members.size());
+    for (const std::uint32_t member : cluster.members) {
+      addresses.push_back(clustering.clients[member].address);
+      out.requests += clustering.clients[member].requests;
+      out.bytes += clustering.clients[member].bytes;
+    }
+    out.key = CommonPrefix(addresses);
+    out.members = cluster.members;
+    corrected.clusters.push_back(std::move(out));
+  }
+
+  report.clusters_after = corrected.cluster_count();
+  report.probes = probes;
+  report.seconds = seconds;
+  return {std::move(corrected), report};
+}
+
+}  // namespace netclust::core

@@ -1,0 +1,44 @@
+// Self-correction and adaptation (§3.5).
+//
+// Periodic traceroute sampling is used to (i) merge clusters that the
+// routing data artificially split, (ii) split clusters that aggregation
+// made too large, and (iii) adopt the ~0.1% of clients no prefix covered,
+// by growing them into clusters of their own keyed by shared path suffix.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/cluster.h"
+#include "core/oracles.h"
+
+namespace netclust::core {
+
+struct SelfCorrectionConfig {
+  /// Traceroute samples per cluster (the paper probes r >= 1 random
+  /// members; sampling cost grows linearly).
+  int samples_per_cluster = 3;
+  /// Path suffix length compared ("the last few hops ... two in our
+  /// experiments").
+  int suffix_hops = 2;
+};
+
+struct SelfCorrectionReport {
+  std::size_t clusters_before = 0;
+  std::size_t clusters_after = 0;
+  std::size_t splits = 0;        // clusters partitioned as too large
+  std::size_t merges = 0;        // cluster pairs fused as same network
+  std::size_t adopted = 0;       // previously unclustered clients placed
+  std::size_t probes = 0;        // total traceroute probes spent
+  double seconds = 0.0;          // modelled probing time
+};
+
+/// Applies self-correction to `clustering` using `oracle`. Returns the
+/// corrected clustering (keys become the smallest common prefix of each
+/// corrected cluster's members; per-cluster unique-URL counts are not
+/// recomputed) and the report.
+std::pair<Clustering, SelfCorrectionReport> SelfCorrect(
+    const Clustering& clustering, const PathOracle& oracle,
+    const SelfCorrectionConfig& config = {});
+
+}  // namespace netclust::core

@@ -1,0 +1,46 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+namespace netclust::core {
+
+std::vector<weblog::ServerLog> PartitionIntoSessions(
+    const weblog::ServerLog& log, int sessions) {
+  std::vector<weblog::ServerLog> slices;
+  if (sessions <= 0) return slices;
+  slices.reserve(static_cast<std::size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    slices.emplace_back(log.name() + ".session" + std::to_string(s));
+  }
+
+  const std::int64_t span = log.end_time() - log.start_time() + 1;
+  const std::int64_t slice_len =
+      std::max<std::int64_t>(1, (span + sessions - 1) / sessions);
+
+  for (const weblog::CompactRequest& request : log.requests()) {
+    const auto slice = static_cast<std::size_t>(std::min<std::int64_t>(
+        (request.timestamp - log.start_time()) / slice_len, sessions - 1));
+    weblog::LogRecord record;
+    record.client = request.client;
+    record.timestamp = request.timestamp;
+    record.method = request.method;
+    record.url = log.url(request.url_id);
+    record.status = request.status;
+    record.response_bytes = request.response_bytes;
+    if (request.agent_id != 0) {
+      record.user_agent =
+          log.agent(static_cast<std::uint8_t>(request.agent_id - 1));
+    }
+    slices[slice].Append(record);
+  }
+  return slices;
+}
+
+Clustering ClusterServers(const std::vector<AddressLoad>& servers,
+                          const bgp::PrefixTable& table) {
+  Clustering clustering = ClusterAddresses("servers", servers, table);
+  clustering.approach = "server-clustering";
+  return clustering;
+}
+
+}  // namespace netclust::core

@@ -1,0 +1,22 @@
+// Session partitioning and server clustering (§3.6).
+#pragma once
+
+#include <vector>
+
+#include "core/cluster.h"
+#include "weblog/log.h"
+
+namespace netclust::core {
+
+/// Splits `log` into `sessions` equal time slices (the paper uses four
+/// 6-hour sessions of the Nagano day). Requests on the boundary go to the
+/// later slice; each returned log preserves time order.
+std::vector<weblog::ServerLog> PartitionIntoSessions(
+    const weblog::ServerLog& log, int sessions);
+
+/// §3.6 server clustering: treats the *servers* in a proxy/client trace as
+/// the addresses to cluster, weighted by request count.
+Clustering ClusterServers(const std::vector<AddressLoad>& servers,
+                          const bgp::PrefixTable& table);
+
+}  // namespace netclust::core

@@ -1,0 +1,129 @@
+// Real-time (streaming) client clustering.
+//
+// §3.5: "Self-correction and adaptation is also very important to generate
+// client clusters using real-time routing information and producing
+// real-time client cluster identification results. By real-time cluster
+// identifying we mean application of cluster identifying techniques to
+// very recent server log data (within the last few minutes)."
+//
+// StreamingClusterer consumes two event streams incrementally:
+//   * data plane — one Observe() per request, as the server logs it;
+//   * routing plane — Announce/Withdraw (or whole BGP UPDATE messages),
+//     as a route collector feeds them.
+// Cluster membership is kept consistent with the *current* table: a route
+// change re-resolves exactly the clients it can affect (those under the
+// changed prefix), not the whole population.
+//
+// Accounting semantics under routing churn: per-client request/byte
+// tallies are exact and move with the client; per-cluster unique-URL sets
+// are not split on reassignment (they remain a property of the traffic the
+// cluster actually absorbed while it existed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "bgp/update.h"
+#include "core/cluster.h"
+#include "weblog/log.h"
+
+namespace netclust::core {
+
+class StreamingClusterer {
+ public:
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::size_t announce_events = 0;
+    std::size_t withdraw_events = 0;
+    /// Clients moved between clusters by routing churn.
+    std::size_t reassignments = 0;
+  };
+
+  explicit StreamingClusterer(std::string log_name);
+
+  // --- routing plane ---
+
+  /// Registers a source (mirrors bgp::PrefixTable::AddSource).
+  int AddSource(const bgp::SnapshotInfo& info);
+
+  /// Seeds the table from a full snapshot before any traffic (no
+  /// reassignment needed). Returns the source id.
+  int SeedSnapshot(const bgp::Snapshot& snapshot);
+
+  /// Announces `prefix`: clients inside it whose current match is shorter
+  /// are re-resolved.
+  void Announce(const net::Prefix& prefix, int source_id,
+                bgp::AsNumber origin_as = 0);
+
+  /// Withdraws `prefix`: its cluster's members are re-resolved to the
+  /// next-best match (possibly unclustered).
+  void Withdraw(const net::Prefix& prefix);
+
+  /// Applies a decoded BGP UPDATE (withdrawals then announcements).
+  void ApplyUpdate(const bgp::UpdateMessage& update, int source_id);
+
+  // --- data plane ---
+
+  /// Feeds one request.
+  void Observe(net::IpAddress client, std::uint32_t url_id,
+               std::uint32_t bytes, std::int64_t timestamp);
+
+  /// Feeds a whole log (convenience for replay).
+  void ObserveLog(const weblog::ServerLog& log);
+
+  // --- views ---
+
+  [[nodiscard]] std::size_t cluster_count() const { return live_clusters_; }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+  [[nodiscard]] std::size_t unclustered_count() const {
+    return unclustered_.size();
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const bgp::PrefixTable& table() const { return table_; }
+
+  /// Materializes the current state as a batch-compatible Clustering.
+  [[nodiscard]] Clustering ToClustering() const;
+
+ private:
+  struct ClientState {
+    std::uint32_t cluster = kUnclustered;  // index into clusters_
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct StreamCluster {
+    net::Prefix key;
+    bool from_dump = false;
+    bool live = false;  // false once withdrawn/emptied
+    std::unordered_set<net::IpAddress> members;
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;
+    std::unordered_set<std::uint32_t> urls;
+  };
+
+  static constexpr std::uint32_t kUnclustered = 0xFFFFFFFFu;
+
+  /// Cluster index for `prefix`, creating an empty live cluster if new.
+  std::uint32_t ClusterFor(const net::Prefix& prefix, bool from_dump);
+
+  /// Re-resolves one client against the current table, moving its tallies.
+  /// Returns true if the assignment changed.
+  bool Reassign(net::IpAddress client);
+
+  /// Detaches `client` from its current cluster (if any).
+  void Detach(net::IpAddress client, ClientState& state);
+
+  bgp::PrefixTable table_;
+  std::vector<StreamCluster> clusters_;
+  std::unordered_map<net::Prefix, std::uint32_t> cluster_index_;
+  std::unordered_map<net::IpAddress, ClientState> clients_;
+  std::unordered_set<net::IpAddress> unclustered_;
+  std::size_t live_clusters_ = 0;
+  Stats stats_;
+  std::string log_name_;
+};
+
+}  // namespace netclust::core

@@ -1,0 +1,78 @@
+#include "core/threshold.h"
+
+#include <algorithm>
+
+#include "core/metrics.h"
+
+namespace netclust::core {
+
+ThresholdReport ThresholdBusyClusters(const Clustering& clustering,
+                                      double fraction) {
+  ThresholdReport report;
+  report.fraction = fraction;
+  if (clustering.clusters.empty()) return report;
+
+  std::uint64_t clustered_requests = 0;
+  for (const Cluster& cluster : clustering.clusters) {
+    clustered_requests += cluster.requests;
+  }
+  const auto target = static_cast<std::uint64_t>(
+      fraction * static_cast<double>(clustered_requests));
+
+  const std::vector<std::size_t> order = OrderByRequests(clustering);
+  std::uint64_t running = 0;
+  std::size_t cut = 0;
+  while (cut < order.size() && running < target) {
+    running += clustering.clusters[order[cut]].requests;
+    ++cut;
+  }
+  report.busy.assign(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(cut));
+  report.busy_requests = running;
+
+  bool first_busy = true;
+  for (const std::size_t index : report.busy) {
+    const Cluster& cluster = clustering.clusters[index];
+    report.busy_clients += cluster.members.size();
+    if (first_busy) {
+      report.busy_min_requests = report.busy_max_requests = cluster.requests;
+      report.busy_min_clients = report.busy_max_clients =
+          cluster.members.size();
+      first_busy = false;
+    } else {
+      report.busy_min_requests =
+          std::min(report.busy_min_requests, cluster.requests);
+      report.busy_max_requests =
+          std::max(report.busy_max_requests, cluster.requests);
+      report.busy_min_clients =
+          std::min(report.busy_min_clients, cluster.members.size());
+      report.busy_max_clients =
+          std::max(report.busy_max_clients, cluster.members.size());
+    }
+  }
+  report.threshold_requests = report.busy_min_requests;
+
+  bool first_rest = true;
+  for (std::size_t i = cut; i < order.size(); ++i) {
+    const Cluster& cluster = clustering.clusters[order[i]];
+    if (first_rest) {
+      report.less_busy_min_requests = report.less_busy_max_requests =
+          cluster.requests;
+      report.less_busy_min_clients = report.less_busy_max_clients =
+          cluster.members.size();
+      first_rest = false;
+    } else {
+      report.less_busy_min_requests =
+          std::min(report.less_busy_min_requests, cluster.requests);
+      report.less_busy_max_requests =
+          std::max(report.less_busy_max_requests, cluster.requests);
+      report.less_busy_min_clients =
+          std::min(report.less_busy_min_clients, cluster.members.size());
+      report.less_busy_max_clients =
+          std::max(report.less_busy_max_clients, cluster.members.size());
+    }
+  }
+  return report;
+}
+
+}  // namespace netclust::core

@@ -1,0 +1,39 @@
+// Busy-cluster thresholding (§4.1.3, Table 5).
+//
+// After spiders/proxies are removed, clusters are sorted in reverse order
+// of requests and the busiest prefix retained until they jointly account
+// for a target fraction (70% in the paper) of all requests. These "busy"
+// clusters are where proxies get placed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace netclust::core {
+
+struct ThresholdReport {
+  double fraction = 0.7;
+  /// Busy cluster indices, in reverse order of requests.
+  std::vector<std::size_t> busy;
+  std::uint64_t busy_requests = 0;
+  std::size_t busy_clients = 0;
+  /// Requests issued by the smallest busy cluster — "the threshold".
+  std::uint64_t threshold_requests = 0;
+  std::uint64_t busy_min_requests = 0;
+  std::uint64_t busy_max_requests = 0;
+  std::size_t busy_min_clients = 0;
+  std::size_t busy_max_clients = 0;
+  std::uint64_t less_busy_min_requests = 0;
+  std::uint64_t less_busy_max_requests = 0;
+  std::size_t less_busy_min_clients = 0;
+  std::size_t less_busy_max_clients = 0;
+};
+
+/// Retains the busiest clusters covering `fraction` of all clustered
+/// requests.
+ThresholdReport ThresholdBusyClusters(const Clustering& clustering,
+                                      double fraction = 0.7);
+
+}  // namespace netclust::core

@@ -1,0 +1,63 @@
+#include "net/ip_address.h"
+
+#include <charconv>
+#include <ostream>
+
+namespace netclust::net {
+namespace {
+
+// Parses one decimal octet from `text` starting at `pos`, advancing `pos`
+// past the digits. Returns -1 on malformed input (empty, >3 digits, >255,
+// or a leading-zero form like "01" which some spoofed logs use for octal).
+int ParseOctet(std::string_view text, std::size_t& pos) {
+  const std::size_t start = pos;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+  const std::size_t len = pos - start;
+  if (len == 0 || len > 3) return -1;
+  if (len > 1 && text[start] == '0') return -1;
+  int value = 0;
+  std::from_chars(text.data() + start, text.data() + pos, value);
+  return value <= 255 ? value : -1;
+}
+
+}  // namespace
+
+Result<IpAddress> IpAddress::Parse(std::string_view text) {
+  std::size_t pos = 0;
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.') {
+        return Fail("expected '.' in IPv4 address: '" + std::string(text) + "'");
+      }
+      ++pos;
+    }
+    const int octet = ParseOctet(text, pos);
+    if (octet < 0) {
+      return Fail("bad octet in IPv4 address: '" + std::string(text) + "'");
+    }
+    bits = (bits << 8) | static_cast<std::uint32_t>(octet);
+  }
+  if (pos != text.size()) {
+    return Fail("trailing characters in IPv4 address: '" + std::string(text) +
+                "'");
+  }
+  return IpAddress(bits);
+}
+
+std::string IpAddress::ToString() const {
+  const auto o = octets();
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out.append(std::to_string(o[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, IpAddress address) {
+  return os << address.ToString();
+}
+
+}  // namespace netclust::net

@@ -1,0 +1,70 @@
+// IPv4 address value type.
+//
+// The paper's data plane is entirely IPv4 (1999-2000 BGP tables and server
+// logs), so the library models IPv4 only. Addresses are held as host-order
+// uint32 so prefix arithmetic is plain bit manipulation.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "net/result.h"
+
+namespace netclust::net {
+
+/// An IPv4 address. Regular value type: copyable, totally ordered, hashable.
+class IpAddress {
+ public:
+  /// 0.0.0.0 — the paper excludes this address from logs (BOOTP artifact).
+  constexpr IpAddress() = default;
+
+  /// From a host-order 32-bit value, e.g. 0x0C418FDE == 12.65.143.222.
+  constexpr explicit IpAddress(std::uint32_t host_order) : bits_(host_order) {}
+
+  /// From four dotted-quad octets: IpAddress(12, 65, 147, 94).
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parse "a.b.c.d". Rejects anything but a full, in-range dotted quad.
+  static Result<IpAddress> Parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+
+  [[nodiscard]] constexpr std::array<std::uint8_t, 4> octets() const {
+    return {static_cast<std::uint8_t>(bits_ >> 24),
+            static_cast<std::uint8_t>(bits_ >> 16),
+            static_cast<std::uint8_t>(bits_ >> 8),
+            static_cast<std::uint8_t>(bits_)};
+  }
+
+  /// "a.b.c.d"
+  [[nodiscard]] std::string ToString() const;
+
+  /// True for 0.0.0.0, which server logs contain as a BOOTP artifact and the
+  /// paper explicitly drops (§3.2.2 footnote 6).
+  [[nodiscard]] constexpr bool IsUnspecified() const { return bits_ == 0; }
+
+  friend constexpr auto operator<=>(IpAddress, IpAddress) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, IpAddress address);
+
+}  // namespace netclust::net
+
+template <>
+struct std::hash<netclust::net::IpAddress> {
+  std::size_t operator()(netclust::net::IpAddress a) const noexcept {
+    // Fibonacci hashing: addresses from one subnet differ only in low bits,
+    // and identity hashing would pile them into adjacent buckets.
+    return static_cast<std::size_t>(a.bits()) * 0x9E3779B97F4A7C15ULL;
+  }
+};

@@ -1,0 +1,39 @@
+#include "net/prefix.h"
+
+#include <charconv>
+#include <ostream>
+
+namespace netclust::net {
+
+Result<Prefix> Prefix::Parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return Fail("missing '/' in prefix: '" + std::string(text) + "'");
+  }
+  auto address = IpAddress::Parse(text.substr(0, slash));
+  if (!address) return Fail(address.error());
+
+  const std::string_view len_text = text.substr(slash + 1);
+  int length = -1;
+  const auto [ptr, ec] = std::from_chars(
+      len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() ||
+      length < 0 || length > 32) {
+    return Fail("bad prefix length: '" + std::string(text) + "'");
+  }
+  return Prefix(address.value(), length);
+}
+
+std::string Prefix::ToString() const {
+  return network().ToString() + "/" + std::to_string(length_);
+}
+
+std::string Prefix::ToDottedMaskString() const {
+  return network().ToString() + "/" + IpAddress(netmask()).ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix) {
+  return os << prefix.ToString();
+}
+
+}  // namespace netclust::net

@@ -1,0 +1,133 @@
+// IPv4 network prefix (CIDR block) value type.
+//
+// A Prefix is the unit of the paper's whole method: routing-table entries
+// are prefixes, and a client cluster is "all clients whose longest matched
+// prefix is P". Prefixes are stored canonically (host bits zeroed) so that
+// equal blocks compare equal regardless of the textual form they came from.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "net/ip_address.h"
+#include "net/result.h"
+
+namespace netclust::net {
+
+/// Netmask for a prefix length: MaskForLength(19) == 255.255.224.0.
+constexpr std::uint32_t MaskForLength(int length) {
+  return length == 0 ? 0u : ~0u << (32 - length);
+}
+
+/// A canonical CIDR block, e.g. 12.65.128.0/19.
+class Prefix {
+ public:
+  /// 0.0.0.0/0 — matches everything; used as a default route sentinel.
+  constexpr Prefix() = default;
+
+  /// Canonicalizes: host bits of `address` below `length` are cleared.
+  /// `length` must be in [0, 32].
+  constexpr Prefix(IpAddress address, int length)
+      : network_(address.bits() & MaskForLength(length)), length_(length) {}
+
+  /// Parse "a.b.c.d/len" (CIDR). Rejects len outside [0,32].
+  static Result<Prefix> Parse(std::string_view text);
+
+  [[nodiscard]] constexpr IpAddress network() const {
+    return IpAddress(network_);
+  }
+  [[nodiscard]] constexpr int length() const { return length_; }
+  [[nodiscard]] constexpr std::uint32_t netmask() const {
+    return MaskForLength(length_);
+  }
+
+  /// Number of addresses covered: 2^(32-length). /0 reports 2^32.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  [[nodiscard]] constexpr bool Contains(IpAddress address) const {
+    return (address.bits() & netmask()) == network_;
+  }
+
+  /// True if `other` is equal to or nested inside this block.
+  [[nodiscard]] constexpr bool Contains(Prefix other) const {
+    return other.length_ >= length_ &&
+           (other.network_ & netmask()) == network_;
+  }
+
+  /// The enclosing block one bit shorter; /0 returns itself.
+  [[nodiscard]] constexpr Prefix Parent() const {
+    return length_ == 0 ? *this : Prefix(IpAddress(network_), length_ - 1);
+  }
+
+  /// First/last address of the block.
+  [[nodiscard]] constexpr IpAddress first_address() const {
+    return IpAddress(network_);
+  }
+  [[nodiscard]] constexpr IpAddress last_address() const {
+    return IpAddress(network_ | ~netmask());
+  }
+
+  /// "a.b.c.d/len"
+  [[nodiscard]] std::string ToString() const;
+
+  /// "a.b.c.d/m.m.m.m" — the paper's chosen standard format (§3.1.2 (i)).
+  [[nodiscard]] std::string ToDottedMaskString() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  std::uint32_t network_ = 0;
+  int length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix);
+
+/// Pre-CIDR address class of an address (RFC 791 era), which the paper's
+/// "simple" and classful baselines rely on.
+enum class AddressClass { kA, kB, kC, kD, kE };
+
+[[nodiscard]] constexpr AddressClass ClassOf(IpAddress address) {
+  const std::uint32_t b = address.bits();
+  if ((b & 0x80000000u) == 0) return AddressClass::kA;
+  if ((b & 0x40000000u) == 0) return AddressClass::kB;
+  if ((b & 0x20000000u) == 0) return AddressClass::kC;
+  if ((b & 0x10000000u) == 0) return AddressClass::kD;
+  return AddressClass::kE;
+}
+
+/// Default prefix length for the classful network containing `address`:
+/// 8 for Class A, 16 for B, 24 for C (and, as the paper's abbreviated
+/// format (iii) implies, 24 for anything else).
+[[nodiscard]] constexpr int ClassfulPrefixLength(IpAddress address) {
+  switch (ClassOf(address)) {
+    case AddressClass::kA:
+      return 8;
+    case AddressClass::kB:
+      return 16;
+    default:
+      return 24;
+  }
+}
+
+/// The classful network containing `address` (the classful baseline's
+/// cluster key, §2).
+[[nodiscard]] constexpr Prefix ClassfulNetwork(IpAddress address) {
+  return Prefix(address, ClassfulPrefixLength(address));
+}
+
+}  // namespace netclust::net
+
+template <>
+struct std::hash<netclust::net::Prefix> {
+  std::size_t operator()(const netclust::net::Prefix& p) const noexcept {
+    const std::uint64_t key =
+        (std::uint64_t{p.network().bits()} << 6) |
+        static_cast<std::uint64_t>(p.length());
+    return static_cast<std::size_t>(key * 0x9E3779B97F4A7C15ULL);
+  }
+};

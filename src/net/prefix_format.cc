@@ -1,0 +1,148 @@
+#include "net/prefix_format.h"
+
+#include <bit>
+#include <charconv>
+#include <vector>
+
+namespace netclust::net {
+namespace {
+
+// Parses a dotted sequence of 1..4 octets ("12.65.128"), padding dropped
+// trailing octets with zero, as the routing-table dumps do. `octet_count`
+// receives how many octets were explicitly present.
+Result<IpAddress> ParseAbbreviatedQuad(std::string_view text,
+                                       int* octet_count = nullptr) {
+  std::uint32_t bits = 0;
+  int count = 0;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t start = pos;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    const std::size_t len = pos - start;
+    if (len == 0 || len > 3) {
+      return Fail("bad octet in '" + std::string(text) + "'");
+    }
+    int value = 0;
+    std::from_chars(text.data() + start, text.data() + pos, value);
+    if (value > 255) return Fail("octet out of range in '" + std::string(text) + "'");
+    bits = (bits << 8) | static_cast<std::uint32_t>(value);
+    ++count;
+    if (pos == text.size()) break;
+    if (text[pos] != '.' || count == 4) {
+      return Fail("malformed quad '" + std::string(text) + "'");
+    }
+    ++pos;
+    if (pos == text.size()) {
+      return Fail("trailing '.' in '" + std::string(text) + "'");
+    }
+  }
+  bits <<= 8 * (4 - count);
+  if (octet_count != nullptr) *octet_count = count;
+  return IpAddress(bits);
+}
+
+}  // namespace
+
+Result<int> NetmaskToLength(IpAddress mask) {
+  // A valid netmask is a run of ones followed by zeros, so it must equal
+  // the canonical mask for its own popcount.
+  const std::uint32_t bits = mask.bits();
+  const int ones = std::popcount(bits);
+  if (bits != MaskForLength(ones)) {
+    return Fail("non-contiguous netmask " + mask.ToString());
+  }
+  return ones;
+}
+
+Result<Prefix> ParsePrefixEntry(std::string_view text) {
+  // Trim surrounding whitespace; dump lines are often space-padded.
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return Fail("empty prefix entry");
+
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    // Format (iii): bare classful network, possibly abbreviated.
+    auto address = ParseAbbreviatedQuad(text);
+    if (!address) return Fail(address.error());
+    return ClassfulNetwork(address.value());
+  }
+
+  auto address = ParseAbbreviatedQuad(text.substr(0, slash));
+  if (!address) return Fail(address.error());
+  const std::string_view mask_text = text.substr(slash + 1);
+  if (mask_text.empty()) {
+    return Fail("empty mask in '" + std::string(text) + "'");
+  }
+
+  if (mask_text.find('.') != std::string_view::npos) {
+    // Format (i): dotted netmask (itself possibly abbreviated).
+    auto mask = ParseAbbreviatedQuad(mask_text);
+    if (!mask) return Fail(mask.error());
+    auto length = NetmaskToLength(mask.value());
+    if (!length) return Fail(length.error());
+    return Prefix(address.value(), length.value());
+  }
+
+  // Format (ii): CIDR length — but "x.y.z.w/255" style single-number masks
+  // above 32 are dotted masks with all tail octets dropped ("/255" means
+  // 255.0.0.0). Disambiguate by range, as real parsers do.
+  int number = -1;
+  const auto [ptr, ec] = std::from_chars(
+      mask_text.data(), mask_text.data() + mask_text.size(), number);
+  if (ec != std::errc{} || ptr != mask_text.data() + mask_text.size() ||
+      number < 0 || number > 255) {
+    return Fail("bad mask '" + std::string(text) + "'");
+  }
+  if (number <= 32) {
+    return Prefix(address.value(), number);
+  }
+  auto length =
+      NetmaskToLength(IpAddress(static_cast<std::uint32_t>(number) << 24));
+  if (!length) return Fail(length.error());
+  return Prefix(address.value(), length.value());
+}
+
+std::string FormatPrefixEntry(const Prefix& prefix, PrefixStyle style) {
+  switch (style) {
+    case PrefixStyle::kDottedMask: {
+      // Drop trailing zero octets of both prefix and mask, per format (i).
+      const auto drop_tail = [](IpAddress a) {
+        std::string out;
+        const auto o = a.octets();
+        int keep = 4;
+        while (keep > 1 && o[static_cast<std::size_t>(keep - 1)] == 0) --keep;
+        for (int i = 0; i < keep; ++i) {
+          if (i > 0) out.push_back('.');
+          out.append(std::to_string(o[static_cast<std::size_t>(i)]));
+        }
+        return out;
+      };
+      return drop_tail(prefix.network()) + "/" +
+             drop_tail(IpAddress(prefix.netmask()));
+    }
+    case PrefixStyle::kCidr:
+      return prefix.ToString();
+    case PrefixStyle::kClassful: {
+      const int class_len = ClassfulPrefixLength(prefix.network());
+      if (prefix.length() != class_len) {
+        return prefix.ToString();  // Not expressible classfully.
+      }
+      const auto o = prefix.network().octets();
+      std::string out;
+      for (int i = 0; i < class_len / 8; ++i) {
+        if (i > 0) out.push_back('.');
+        out.append(std::to_string(o[static_cast<std::size_t>(i)]));
+      }
+      return out;
+    }
+  }
+  return prefix.ToString();
+}
+
+}  // namespace netclust::net

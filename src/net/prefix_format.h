@@ -1,0 +1,45 @@
+// Parsing and formatting of the three prefix/netmask textual formats that
+// the paper's routing-table sources use (§3.1.2):
+//
+//   (i)   x1.x2.x3.x4/k1.k2.k3.k4   dotted netmask, trailing zero octets of
+//                                   both prefix and mask may be dropped
+//                                   (e.g. "12.65.128/255.255.224")
+//   (ii)  x1.x2.x3.x4/l             CIDR length (e.g. "12.65.128.0/19")
+//   (iii) x1.x2.x3.0                bare classful network, mask implied by
+//                                   address class; trailing zero octets may
+//                                   be dropped (e.g. "18" = 18.0.0.0/8)
+//
+// The paper unifies everything to format (i); we canonicalize to Prefix and
+// can re-emit any style, which the synthetic vantage-point tables use so the
+// parser is exercised on all of them.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/prefix.h"
+#include "net/result.h"
+
+namespace netclust::net {
+
+/// The textual styles of §3.1.2.
+enum class PrefixStyle {
+  kDottedMask,  // (i)   12.65.128.0/255.255.224.0
+  kCidr,        // (ii)  12.65.128.0/19
+  kClassful,    // (iii) 18  /  128.32  /  192.168.1.0 — mask from class
+};
+
+/// Parse a prefix entry in any of the three formats, auto-detected.
+/// Returns an error for empty input, malformed octets, out-of-range lengths,
+/// or non-contiguous netmasks (e.g. 255.0.255.0).
+Result<Prefix> ParsePrefixEntry(std::string_view text);
+
+/// Render `prefix` in the given style. kClassful falls back to kCidr when
+/// the prefix length is not the class-default length (it would otherwise be
+/// ambiguous — exactly why the paper calls format (iii) "abbreviated").
+std::string FormatPrefixEntry(const Prefix& prefix, PrefixStyle style);
+
+/// Convert a dotted netmask to a prefix length; fails if non-contiguous.
+Result<int> NetmaskToLength(IpAddress mask);
+
+}  // namespace netclust::net

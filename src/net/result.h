@@ -1,0 +1,60 @@
+// Minimal result type used by parsers across the library.
+//
+// C++20 has no std::expected, and exceptions are a poor fit for parsing
+// routing-table dumps where malformed lines are common and must be counted,
+// not thrown. Result<T> carries either a value or a human-readable error.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace netclust {
+
+/// Error payload for a failed operation: a short message suitable for logs.
+struct Error {
+  std::string message;
+};
+
+/// Either a T or an Error. Use ok() before value(); error() only if !ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_).message;
+  }
+
+  /// value() if ok, otherwise the supplied fallback.
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Convenience factory so call sites read as `return Fail("bad octet")`.
+inline Error Fail(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace netclust

@@ -1,0 +1,63 @@
+// Buddy allocator over IPv4 CIDR blocks.
+//
+// Used by the ground-truth generator to carve registry org blocks out of
+// /8 roots and leaf allocations out of org blocks, guaranteeing that all
+// allocations are disjoint and properly aligned — the invariant the whole
+// clustering evaluation rests on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace netclust::synth {
+
+class BuddyAllocator {
+ public:
+  /// Adds a free root block. Roots must not overlap.
+  void AddRoot(const net::Prefix& root) {
+    free_[static_cast<std::size_t>(root.length())].push_back(
+        root.network().bits());
+  }
+
+  /// Carves out one /`length` block, splitting larger free blocks as
+  /// needed. Returns nullopt when no free block of length <= `length`
+  /// remains.
+  std::optional<net::Prefix> Allocate(int length) {
+    int have = -1;
+    for (int l = length; l >= 0; --l) {
+      if (!free_[static_cast<std::size_t>(l)].empty()) {
+        have = l;
+        break;
+      }
+    }
+    if (have < 0) return std::nullopt;
+
+    std::uint32_t base = free_[static_cast<std::size_t>(have)].back();
+    free_[static_cast<std::size_t>(have)].pop_back();
+    // Split down to the requested size, freeing the upper halves.
+    for (int l = have; l < length; ++l) {
+      const std::uint32_t sibling = base | (0x80000000u >> l);
+      free_[static_cast<std::size_t>(l + 1)].push_back(sibling);
+    }
+    return net::Prefix(net::IpAddress(base), length);
+  }
+
+  /// Total free address count (for diagnostics and tests).
+  [[nodiscard]] std::uint64_t FreeSpace() const {
+    std::uint64_t total = 0;
+    for (int l = 0; l <= 32; ++l) {
+      total += (std::uint64_t{1} << (32 - l)) *
+               free_[static_cast<std::size_t>(l)].size();
+    }
+    return total;
+  }
+
+ private:
+  std::array<std::vector<std::uint32_t>, 33> free_;
+};
+
+}  // namespace netclust::synth

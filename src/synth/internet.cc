@@ -1,0 +1,321 @@
+#include "synth/internet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "synth/buddy.h"
+#include "synth/rng.h"
+
+namespace netclust::synth {
+namespace {
+
+// Hash-domain separators so independent per-entity draws don't correlate.
+constexpr std::uint64_t kDnsDomain = 0x444E53;    // "DNS"
+constexpr std::uint64_t kProbeDomain = 0x505242;  // "PRB"
+constexpr std::uint64_t kRttDomain = 0x525454;    // "RTT"
+
+// Base round-trip times (ms) between regions. Regions 0-2 are US coasts/
+// center; 3-5 are Europe, Asia-Pacific and South America. Values reflect
+// the paper era's typical WAN latencies.
+constexpr double kRegionRtt[6][6] = {
+    {18, 45, 70, 95, 160, 130},   // US-East
+    {45, 15, 45, 120, 150, 140},  // US-Central
+    {70, 45, 16, 150, 120, 160},  // US-West
+    {95, 120, 150, 25, 280, 220}, // Europe
+    {160, 150, 120, 280, 30, 320},// Asia-Pacific
+    {130, 140, 160, 220, 320, 35},// South America
+};
+
+constexpr const char* kOrgWords[] = {
+    "acme",  "globo", "univ",  "metro", "zenith", "cyber", "nova",
+    "delta", "apex",  "quant", "omni",  "vertex", "pioneer", "summit",
+    "lumen", "argo",  "boreal", "castor", "drift", "ember"};
+
+constexpr const char* kDepartments[] = {
+    "cs", "ee", "math", "phys", "sales", "eng", "hr",   "lab",
+    "it", "ops", "research", "web", "mail", "dial", "lan", "net"};
+
+constexpr const char* kUsTlds[] = {"com", "edu", "net", "org", "gov", "mil"};
+
+// Country suffixes for non-US orgs; a mix of one- and two-component TLDs
+// so the validator's variable-depth suffix rule is exercised.
+constexpr const char* kCcTlds[] = {"ac.za", "co.jp", "fr",     "de",
+                                   "co.uk", "com.br", "ca",    "it",
+                                   "nl",    "se",     "es",    "hr",
+                                   "co.kr", "edu.au", "com.mx"};
+
+template <typename T, std::size_t N>
+const T& PickStable(const T (&table)[N], std::uint64_t key) {
+  return table[Mix64(key) % N];
+}
+
+}  // namespace
+
+const std::vector<double>& PaperPrefixLengthHistogram() {
+  // Figure 1(b) of the paper (Mae-West, 7/3/1999) for lengths 15..24 and 26,
+  // with small tails added for the lengths Figure 1(a)'s histogram shows but
+  // the table omits. Index = prefix length.
+  static const std::vector<double> histogram = [] {
+    std::vector<double> h(33, 0.0);
+    h[8] = 20;
+    h[9] = 5;
+    h[10] = 5;
+    h[11] = 10;
+    h[12] = 25;
+    h[13] = 40;
+    h[14] = 60;
+    h[15] = 111;
+    h[16] = 3098;
+    h[17] = 333;
+    h[18] = 706;
+    h[19] = 2092;
+    h[20] = 1009;
+    h[21] = 1275;
+    h[22] = 1805;
+    h[23] = 2227;
+    h[24] = 13937;
+    h[25] = 40;
+    h[26] = 34;
+    h[27] = 25;
+    h[28] = 30;
+    h[29] = 15;
+    h[30] = 8;
+    return h;
+  }();
+  return histogram;
+}
+
+Internet::Internet(InternetConfig config, std::vector<Allocation> allocations,
+                   std::vector<RegistryOrg> orgs)
+    : config_(config),
+      allocations_(std::move(allocations)),
+      orgs_(std::move(orgs)) {
+  for (const Allocation& allocation : allocations_) {
+    locator_.Insert(allocation.prefix, allocation.index);
+  }
+}
+
+const Allocation* Internet::Locate(net::IpAddress address) const {
+  const auto match = locator_.LongestMatch(address);
+  if (!match.has_value()) return nullptr;
+  return &allocations_[*match->value];
+}
+
+net::IpAddress Internet::HostAddress(const Allocation& allocation,
+                                     std::uint64_t host_index) const {
+  // Skip the network address; wrap within the usable host range. For /31
+  // and /32 blocks (absent from the generator's histogram) this degrades
+  // to the network address itself.
+  const std::uint64_t usable =
+      allocation.prefix.size() > 2 ? allocation.prefix.size() - 2 : 1;
+  return net::IpAddress(allocation.prefix.network().bits() +
+                        1 + static_cast<std::uint32_t>(host_index % usable));
+}
+
+std::optional<std::string> Internet::ResolveName(
+    net::IpAddress address) const {
+  const Allocation* allocation = Locate(address);
+  if (allocation == nullptr) return std::nullopt;
+  if (HashToUnit(config_.seed ^ kDnsDomain, address.bits()) >=
+      allocation->dns_coverage) {
+    return std::nullopt;
+  }
+  const std::uint32_t host_part =
+      address.bits() - allocation->prefix.network().bits();
+  if (allocation->kind == AllocationKind::kIspResale &&
+      !allocation->customer_domains.empty()) {
+    const auto& domains = allocation->customer_domains;
+    const std::string& customer =
+        domains[Mix64(address.bits()) % domains.size()];
+    return "h" + std::to_string(host_part) + "." + customer;
+  }
+  return "h" + std::to_string(host_part) + "." + allocation->domain;
+}
+
+bool Internet::HostAnswersProbe(net::IpAddress address) const {
+  return HashToUnit(config_.seed ^ kProbeDomain, address.bits()) < 0.5;
+}
+
+const std::vector<std::string>* Internet::RouterPath(
+    net::IpAddress address) const {
+  const Allocation* allocation = Locate(address);
+  return allocation == nullptr ? nullptr : &allocation->router_path;
+}
+
+double Internet::RttMs(net::IpAddress address, int from_region) const {
+  const Allocation* allocation = Locate(address);
+  const int to_region =
+      allocation == nullptr ? kRegionCount - 1 : allocation->region;
+  const double base =
+      kRegionRtt[from_region % kRegionCount][to_region % kRegionCount];
+  // Stable per-host jitter: last-mile variation in [0.85, 1.45).
+  const double jitter =
+      0.85 + 0.6 * HashToUnit(config_.seed ^ kRttDomain, address.bits());
+  return base * jitter;
+}
+
+Internet GenerateInternet(const InternetConfig& config) {
+  Rng rng(config.seed);
+  const std::vector<double>& histogram = PaperPrefixLengthHistogram();
+  // Leaf allocations never get the full /8..;/11 blocks (those are org
+  // blocks); clamp the leaf-length sampler accordingly.
+  std::vector<double> leaf_weights(33, 0.0);
+  for (int l = 12; l <= 30; ++l) {
+    leaf_weights[static_cast<std::size_t>(l)] =
+        histogram[static_cast<std::size_t>(l)];
+  }
+  WeightedSampler leaf_sampler(leaf_weights);
+
+  // Roots span all three address classes; shuffled so allocation draws
+  // from Class A, B and C space alike (the buddy allocator consumes roots
+  // LIFO, and an ordered list would confine everything to one class).
+  BuddyAllocator space;
+  {
+    std::vector<int> octets;
+    for (int octet = 4; octet <= 223; ++octet) {
+      if (octet == 10 || octet == 127) continue;  // private / loopback
+      octets.push_back(octet);
+    }
+    std::shuffle(octets.begin(), octets.end(), rng.engine());
+    for (const int octet : octets) {
+      space.AddRoot(net::Prefix(
+          net::IpAddress(static_cast<std::uint8_t>(octet), 0, 0, 0), 8));
+    }
+  }
+
+  std::vector<Allocation> allocations;
+  std::vector<RegistryOrg> orgs;
+  allocations.reserve(config.allocation_count);
+
+  while (allocations.size() < config.allocation_count) {
+    RegistryOrg org;
+    org.index = static_cast<std::uint32_t>(orgs.size());
+    org.national_gateway = rng.Bernoulli(config.national_gateway_org_fraction);
+    org.us_based = !org.national_gateway && rng.Bernoulli(0.72);
+    org.region = org.us_based
+                     ? static_cast<int>(rng.Uniform(3))
+                     : 3 + static_cast<int>(rng.Uniform(3));
+    org.post_1997 = rng.Bernoulli(0.35);
+    org.bgp_dark = rng.Bernoulli(config.bgp_dark_org_fraction);
+    org.unregistered = org.bgp_dark && rng.Bernoulli(config.unregistered_fraction);
+    org.as_number = 100 + org.index;
+
+    // Org naming: "univ17.edu" (US) or "univ17.ac.za" (country-code).
+    const std::string word =
+        std::string(PickStable(kOrgWords, Mix64(config.seed) ^ org.index)) +
+        std::to_string(org.index);
+    const std::string tld =
+        org.us_based
+            ? PickStable(kUsTlds, Mix64(config.seed ^ 7) ^ org.index)
+            : PickStable(kCcTlds, Mix64(config.seed ^ 9) ^ org.index);
+    org.name = word + "." + tld;
+
+    // How many leaf allocations this org subdivides into.
+    std::size_t leaf_count =
+        org.national_gateway
+            ? 15 + rng.Uniform(60)
+            : 1 + static_cast<std::size_t>(rng.Exponential(4.0));
+    leaf_count = std::min(leaf_count,
+                          config.allocation_count - allocations.size() + 8);
+
+    // Sample the leaves, then size the org block to fit them (with slack
+    // for buddy fragmentation).
+    std::vector<int> leaf_lengths(leaf_count);
+    std::uint64_t total_size = 0;
+    for (int& length : leaf_lengths) {
+      length = static_cast<int>(leaf_sampler.Sample(rng));
+      total_size += std::uint64_t{1} << (32 - length);
+    }
+    int org_length = 32;
+    while (org_length > 8 &&
+           (std::uint64_t{1} << (32 - org_length)) <
+               total_size + total_size / 2) {
+      --org_length;
+    }
+    const auto block = space.Allocate(org_length);
+    if (!block.has_value()) break;  // address space exhausted (never at paper scale)
+    org.block = *block;
+
+    BuddyAllocator inside;
+    inside.AddRoot(org.block);
+    // Large leaves first: avoids fragmentation failures inside the block.
+    std::sort(leaf_lengths.begin(), leaf_lengths.end());
+
+    for (const int length : leaf_lengths) {
+      if (allocations.size() >= config.allocation_count) break;
+      const auto leaf = inside.Allocate(std::max(length, org_length));
+      if (!leaf.has_value()) continue;  // slack exhausted; drop this leaf
+
+      Allocation allocation;
+      allocation.index = static_cast<std::uint32_t>(allocations.size());
+      allocation.prefix = *leaf;
+      allocation.org = org.index;
+      allocation.as_number = org.as_number;
+      allocation.us_based = org.us_based;
+      allocation.region = org.region;
+
+      if (org.national_gateway) {
+        allocation.kind = AllocationKind::kNationalGateway;
+        // Distinct institutions directly under the country TLD: a
+        // too-large country cluster mixes suffixes and fails validation.
+        allocation.domain =
+            std::string(PickStable(kOrgWords,
+                                   Mix64(config.seed ^ 11) ^
+                                       allocation.index)) +
+            std::to_string(allocation.index) + "." + tld;
+      } else if (rng.Bernoulli(config.isp_resale_fraction)) {
+        allocation.kind = AllocationKind::kIspResale;
+        allocation.domain =
+            std::string(kDepartments[allocation.index %
+                                     std::size(kDepartments)]) +
+            "." + org.name;
+        const std::size_t customers = 3 + rng.Uniform(6);
+        for (std::size_t c = 0; c < customers; ++c) {
+          allocation.customer_domains.push_back(
+              std::string(PickStable(
+                  kOrgWords, Mix64(config.seed ^ 13) ^
+                                 (allocation.index * 131 + c))) +
+              std::to_string(allocation.index) + std::to_string(c) + ".com");
+        }
+      } else {
+        allocation.kind = AllocationKind::kNormal;
+        allocation.domain =
+            std::string(kDepartments[allocation.index %
+                                     std::size(kDepartments)]) +
+            "." + org.name;
+      }
+
+      allocation.dns_coverage =
+          rng.Bernoulli(config.unresolvable_allocation_fraction)
+              ? 0.0
+              : config.host_dns_coverage;
+
+      // Router path: core transit hops, then the org border, then the
+      // allocation's own gateway. Hosts share their 2-hop path suffix iff
+      // they share an allocation.
+      const int home_transit = static_cast<int>(
+          Mix64(config.seed ^ 17 ^ org.index) %
+          static_cast<std::uint64_t>(config.transit_as_count));
+      const int second_transit =
+          (home_transit + 1 + static_cast<int>(Mix64(org.index) % 3)) %
+          config.transit_as_count;
+      allocation.router_path = {
+          "core" + std::to_string(second_transit) + ".transit.net",
+          "core" + std::to_string(home_transit) + ".transit.net",
+          (org.national_gateway ? "natgw" : "br") + std::to_string(org.index) +
+              ".as" + std::to_string(org.as_number) + ".net",
+          "gw" + std::to_string(allocation.index) + ".as" +
+              std::to_string(org.as_number) + ".net",
+      };
+
+      org.allocations.push_back(allocation.index);
+      allocations.push_back(std::move(allocation));
+    }
+    orgs.push_back(std::move(org));
+  }
+
+  return Internet(config, std::move(allocations), std::move(orgs));
+}
+
+}  // namespace netclust::synth

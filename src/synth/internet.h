@@ -1,0 +1,173 @@
+// Ground-truth synthetic Internet.
+//
+// This is the substitution for the real 1999 Internet behind the paper's
+// data: a hierarchical CIDR allocation of address space to administrative
+// entities, with known domains, AS numbers and router paths. From this
+// ground truth the library derives everything the paper had to observe
+// indirectly: BGP vantage-point tables (vantage.h), registry dumps, DNS
+// answers and traceroute paths — and, unlike the paper, it can score any
+// clustering against the true partition.
+//
+// Terminology:
+//   * RegistryOrg — an organization that obtained a block from a registry
+//     (one row of an ARIN-style network dump). Owns one AS.
+//   * Allocation — a leaf administrative entity inside an org block: one
+//     department/customer network, the paper's notion of a true cluster.
+//     Leaf prefix lengths are sampled from the Mae-West histogram printed
+//     in Figure 1(b) of the paper.
+//   * National-gateway orgs model the paper's Croatia/France/Japan case:
+//     BGP sees only the country-level aggregate, while the allocations
+//     behind the gateway are distinct admin entities.
+//   * ISP-resale allocations model the 151.198.194.x example: the BGP
+//     prefix belongs to an ISP that resells sub-blocks to customers with
+//     unrelated domains.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/route_entry.h"
+#include "net/ip_address.h"
+#include "net/prefix.h"
+#include "trie/patricia_trie.h"
+
+namespace netclust::synth {
+
+/// How an allocation behaves for naming/routing purposes.
+enum class AllocationKind {
+  kNormal,
+  kIspResale,        // hosts carry unrelated customer domains
+  kNationalGateway,  // BGP aggregates the whole country above this network
+};
+
+/// One leaf administrative entity — the ground-truth cluster.
+struct Allocation {
+  std::uint32_t index = 0;
+  net::Prefix prefix;
+  std::uint32_t org = 0;  // index into Internet::orgs()
+  bgp::AsNumber as_number = 0;
+  AllocationKind kind = AllocationKind::kNormal;
+  bool us_based = true;
+  /// Geographic region (inherited from the org): 0-2 US, 3+ elsewhere.
+  int region = 0;
+  std::string domain;  // e.g. "cs.univ17.edu"
+  /// Router names on the path from the core to this network; the last
+  /// entry is the network's own gateway, so two hosts share their path
+  /// suffix iff they share an allocation.
+  std::vector<std::string> router_path;
+  /// Non-empty only for kIspResale: the customer domains hosts rotate
+  /// through instead of `domain`.
+  std::vector<std::string> customer_domains;
+  /// Probability that a host in this allocation has a PTR record at all
+  /// (0 for firewall/unregistered-ISP allocations).
+  double dns_coverage = 1.0;
+};
+
+/// One registry-dump row: the org-level super-block.
+struct RegistryOrg {
+  std::uint32_t index = 0;
+  net::Prefix block;
+  bgp::AsNumber as_number = 0;
+  bool national_gateway = false;
+  bool us_based = true;
+  /// Geographic region: 0-2 US (east/central/west), 3+ other continents.
+  int region = 0;
+  /// Allocated after the (stale) NLANR dump was taken.
+  bool post_1997 = false;
+  /// Never announced by any BGP vantage point — reachable only through a
+  /// default route. Clients here are clusterable only via registry dumps,
+  /// the paper's "99% -> 99.9%" gap (§3.1.1).
+  bool bgp_dark = false;
+  /// Additionally absent from the registry dumps: the paper's ~0.1%
+  /// unclusterable clients.
+  bool unregistered = false;
+  std::string name;  // e.g. "univ17.edu"
+  std::vector<std::uint32_t> allocations;
+};
+
+struct InternetConfig {
+  std::uint64_t seed = 1;
+  /// Target number of leaf allocations (the paper-era default-free zone
+  /// has ~29k visible prefixes; scale this down for fast tests).
+  std::size_t allocation_count = 29000;
+  /// Fraction of orgs that sit behind a national gateway.
+  double national_gateway_org_fraction = 0.02;
+  /// Fraction of allocations that are ISP-resale blocks.
+  double isp_resale_fraction = 0.02;
+  /// Fraction of allocations whose hosts never resolve (firewalls, ISPs
+  /// with no PTR records).
+  double unresolvable_allocation_fraction = 0.25;
+  /// Per-host PTR probability within a resolvable allocation. Combined
+  /// with the above this yields the paper's ~50% nslookup success.
+  double host_dns_coverage = 0.66;
+  /// Number of transit ASes in the synthetic core.
+  int transit_as_count = 12;
+  /// Fraction of orgs invisible to every BGP table (dump-only coverage).
+  double bgp_dark_org_fraction = 0.012;
+  /// Of the dark orgs, the fraction also missing from the registry dumps.
+  double unregistered_fraction = 0.1;
+};
+
+/// The generated ground truth. Immutable after generation.
+class Internet {
+ public:
+  Internet(InternetConfig config, std::vector<Allocation> allocations,
+           std::vector<RegistryOrg> orgs);
+
+  [[nodiscard]] const InternetConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<Allocation>& allocations() const {
+    return allocations_;
+  }
+  [[nodiscard]] const std::vector<RegistryOrg>& orgs() const { return orgs_; }
+
+  /// The allocation containing `address`, or nullptr for unallocated space.
+  [[nodiscard]] const Allocation* Locate(net::IpAddress address) const;
+
+  /// The `host_index`-th usable host address of `allocation`
+  /// (host_index < allocation.prefix.size() - 2; network/broadcast skipped).
+  [[nodiscard]] net::IpAddress HostAddress(const Allocation& allocation,
+                                           std::uint64_t host_index) const;
+
+  /// Ground-truth DNS PTR lookup. nullopt ≈ NXDOMAIN/timeout, which the
+  /// paper observed for ~50% of clients.
+  [[nodiscard]] std::optional<std::string> ResolveName(
+      net::IpAddress address) const;
+
+  /// Whether the host itself answers the final traceroute probe (~50%:
+  /// firewalled hosts yield only the path).
+  [[nodiscard]] bool HostAnswersProbe(net::IpAddress address) const;
+
+  /// Router-level path from the measurement core towards `address`
+  /// (excludes the host). nullptr for unallocated space.
+  [[nodiscard]] const std::vector<std::string>* RouterPath(
+      net::IpAddress address) const;
+
+  /// Number of geographic regions (0-2 are US).
+  static constexpr int kRegionCount = 6;
+
+  /// Round-trip time in milliseconds from a server in `from_region` to
+  /// `address`: a per-region-pair base (intra-region tens of ms,
+  /// cross-continent hundreds) with stable per-host jitter. Unallocated
+  /// space answers at worst-case distance.
+  [[nodiscard]] double RttMs(net::IpAddress address,
+                             int from_region = 0) const;
+
+ private:
+  InternetConfig config_;
+  std::vector<Allocation> allocations_;
+  std::vector<RegistryOrg> orgs_;
+  trie::PatriciaTrie<std::uint32_t> locator_;
+};
+
+/// Generates a ground-truth Internet from `config`. Deterministic in
+/// `config.seed`.
+Internet GenerateInternet(const InternetConfig& config);
+
+/// The Figure 1(b) prefix-length histogram (Mae-West, 7/3/1999), used as
+/// the target distribution for allocation leaf lengths. Index = prefix
+/// length 0..32; zero where the paper reports no entries.
+const std::vector<double>& PaperPrefixLengthHistogram();
+
+}  // namespace netclust::synth

@@ -1,0 +1,129 @@
+// Deterministic random sampling utilities for the synthetic Internet and
+// workload generators.
+//
+// Everything in src/synth is seeded: the same config + seed reproduces the
+// same Internet, the same routing tables and the same server log, which the
+// tests rely on. SplitMix-style hashing is used where per-entity stable
+// "randomness" is needed independent of draw order (e.g. per-host DNS
+// resolvability must not change when an unrelated host is added).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace netclust::synth {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix usable as a stateless
+/// hash of entity ids.
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Stable per-entity uniform double in [0,1) from a seed and entity key.
+inline double HashToUnit(std::uint64_t seed, std::uint64_t key) {
+  return static_cast<double>(Mix64(seed ^ Mix64(key)) >> 11) * 0x1.0p-53;
+}
+
+/// Seeded RNG with the distributions the generators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, n).
+  std::uint64_t Uniform(std::uint64_t n) {
+    assert(n > 0);
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double Unit() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Range(double lo, double hi) { return lo + (hi - lo) * Unit(); }
+
+  bool Bernoulli(double p) { return Unit() < p; }
+
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  double LogNormal(double log_mean, double log_sigma) {
+    return std::lognormal_distribution<double>(log_mean, log_sigma)(engine_);
+  }
+
+  /// Pareto with scale x_min and shape alpha (heavy-tailed sizes/counts).
+  double Pareto(double x_min, double alpha) {
+    return x_min / std::pow(1.0 - Unit(), 1.0 / alpha);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+/// Zipf sampler over ranks 0..n-1 with P(k) ∝ 1/(k+1)^alpha.
+///
+/// Precomputes the CDF once (O(n)) and samples by binary search (O(log n)).
+/// Zipf is the workhorse here: the paper observes its cluster/request/URL
+/// distributions are "Zipf-like ... common in a variety of Web measurements".
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha) : cdf_(n) {
+    assert(n > 0);
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+      cdf_[k] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  [[nodiscard]] std::size_t Sample(Rng& rng) const {
+    const double u = rng.Unit();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Sampler over an explicit discrete weight table (e.g. the Figure 1(b)
+/// prefix-length histogram).
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(std::vector<double> weights)
+      : cdf_(std::move(weights)) {
+    assert(!cdf_.empty());
+    double total = 0.0;
+    for (double& w : cdf_) {
+      assert(w >= 0.0);
+      total += w;
+      w = total;
+    }
+    assert(total > 0.0);
+    for (double& c : cdf_) c /= total;
+  }
+
+  [[nodiscard]] std::size_t Sample(Rng& rng) const {
+    const double u = rng.Unit();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace netclust::synth

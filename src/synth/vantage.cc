@@ -1,0 +1,263 @@
+#include "synth/vantage.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "synth/rng.h"
+
+namespace netclust::synth {
+namespace {
+
+constexpr std::uint64_t kVisibilityDomain = 0x5649;   // "VI"
+constexpr std::uint64_t kFlapDomain = 0x464C;         // "FL"
+constexpr std::uint64_t kAggregationDomain = 0x4147;  // "AG"
+
+std::uint64_t AllocationKey(std::size_t source, std::uint32_t allocation) {
+  return (static_cast<std::uint64_t>(source) << 40) | allocation;
+}
+
+}  // namespace
+
+std::vector<VantageProfile> DefaultVantageProfiles() {
+  using bgp::SourceKind;
+  using net::PrefixStyle;
+  const auto bgp_source = [](std::string name, std::string date,
+                             std::string comment) {
+    return bgp::SnapshotInfo{std::move(name), std::move(date),
+                             SourceKind::kBgpTable, std::move(comment)};
+  };
+  const auto dump_source = [](std::string name, std::string date) {
+    return bgp::SnapshotInfo{std::move(name), std::move(date),
+                             SourceKind::kNetworkDump, "IP network dump"};
+  };
+
+  // Coverages tuned so relative table sizes track Table 1 of the paper
+  // (AT&T-BGP 74K is the largest BGP table; CANET/VBNS are tiny; the
+  // registry dumps are far larger than any BGP table).
+  std::vector<VantageProfile> profiles;
+  profiles.push_back({bgp_source("AADS", "12/7/1999",
+                                 "BGP routing table snapshots updated every 2 hours"),
+                      0.25, 0.18, PrefixStyle::kDottedMask, 0.06, 0.0015, 64001});
+  profiles.push_back({dump_source("ARIN", "10/1999"),
+                      0.97, 0.0, PrefixStyle::kCidr, 0.0, 0.0, 64002});
+  profiles.push_back({bgp_source("AT&T-BGP", "12/15/1999",
+                                 "BGP routing table snapshots"),
+                      0.95, 0.10, PrefixStyle::kCidr, 0.05, 0.0015, 64003});
+  profiles.push_back({bgp_source("AT&T-Forw", "4/28/1999",
+                                 "BGP forwarding table snapshots"),
+                      0.80, 0.12, PrefixStyle::kCidr, 0.05, 0.0015, 64004});
+  profiles.push_back({bgp_source("CANET", "12/1/1999",
+                                 "Real-time BGP routing table snapshots"),
+                      0.022, 0.25, PrefixStyle::kClassful, 0.08, 0.002, 64005});
+  profiles.push_back({bgp_source("CERFNET", "9/29/1999",
+                                 "Real-time BGP routing table snapshots"),
+                      0.65, 0.15, PrefixStyle::kCidr, 0.05, 0.0015, 64006});
+  profiles.push_back({bgp_source("MAE-EAST", "12/7/1999",
+                                 "BGP routing table snapshots taken every 2 hours"),
+                      0.60, 0.15, PrefixStyle::kDottedMask, 0.06, 0.0015, 64007});
+  profiles.push_back({bgp_source("MAE-WEST", "12/7/1999",
+                                 "BGP routing table snapshots taken every 2 hours"),
+                      0.42, 0.15, PrefixStyle::kCidr, 0.06, 0.0015, 64008});
+  profiles.push_back({dump_source("NLANR", "11/1997"),
+                      0.85, 0.0, PrefixStyle::kCidr, 0.0, 0.0, 64009});
+  profiles.push_back({bgp_source("OREGON", "12/7/1999",
+                                 "Real-time BGP routing table snapshots"),
+                      0.90, 0.08, PrefixStyle::kCidr, 0.05, 0.0015, 64010});
+  profiles.push_back({bgp_source("PACBELL", "12/7/1999",
+                                 "BGP routing table snapshots updated every 2 hours"),
+                      0.34, 0.18, PrefixStyle::kDottedMask, 0.06, 0.0015, 64011});
+  profiles.push_back({bgp_source("PAIX", "12/7/1999",
+                                 "BGP routing table snapshots updated every 2 hours"),
+                      0.14, 0.20, PrefixStyle::kClassful, 0.07, 0.0015, 64012});
+  profiles.push_back({bgp_source("SINGAREN", "12/7/1999",
+                                 "Real-time BGP routing table snapshots"),
+                      0.83, 0.12, PrefixStyle::kCidr, 0.05, 0.0015, 64013});
+  profiles.push_back({bgp_source("VBNS", "12/7/1999",
+                                 "BGP routing table snapshots updated every 30 minutes"),
+                      0.025, 0.10, PrefixStyle::kCidr, 0.08, 0.002, 64014});
+  return profiles;
+}
+
+VantageGenerator::VantageGenerator(const Internet& internet,
+                                   std::vector<VantageProfile> profiles)
+    : internet_(&internet), profiles_(std::move(profiles)) {}
+
+bool VantageGenerator::Visible(std::size_t source, const VantageProfile& p,
+                               std::uint32_t allocation_index, int day,
+                               int slot) const {
+  const std::uint64_t seed = internet_->config().seed ^ kVisibilityDomain;
+  const double base = HashToUnit(seed, AllocationKey(source, allocation_index));
+
+  const double stable_cut = p.coverage * (1.0 - p.flap_fraction);
+  if (base < stable_cut) return true;
+  if (base < p.coverage) {
+    // Flapping entry: present or absent depending on the snapshot time.
+    const std::uint64_t flap_seed = internet_->config().seed ^ kFlapDomain;
+    return HashToUnit(flap_seed,
+                      AllocationKey(source, allocation_index) * 1315423911ULL +
+                          static_cast<std::uint64_t>((day + 1000) * 16 + slot)) <
+           0.5;
+  }
+  // Table growth: entries beyond the base coverage appear over time.
+  return base < p.coverage * (1.0 + p.daily_growth * day);
+}
+
+bgp::Snapshot VantageGenerator::MakeSnapshot(std::size_t source, int day,
+                                             int slot) const {
+  const VantageProfile& profile = profiles_.at(source);
+  const std::uint64_t seed = internet_->config().seed;
+
+  bgp::Snapshot snapshot;
+  snapshot.info = profile.info;
+
+  const auto& allocations = internet_->allocations();
+  const auto& orgs = internet_->orgs();
+  const int transit_count = internet_->config().transit_as_count;
+  const net::IpAddress next_hop(198, 18, static_cast<std::uint8_t>(source), 1);
+
+  const auto make_entry = [&](const net::Prefix& prefix,
+                              const RegistryOrg& org,
+                              const std::string& description) {
+    bgp::RouteEntry entry;
+    entry.prefix = prefix;
+    entry.next_hop = next_hop;
+    const auto vantage_transit =
+        1 + static_cast<bgp::AsNumber>(Mix64(seed ^ source) %
+                                       static_cast<std::uint64_t>(transit_count));
+    const auto org_transit =
+        1 + static_cast<bgp::AsNumber>(Mix64(seed ^ 17 ^ org.index) %
+                                       static_cast<std::uint64_t>(transit_count));
+    entry.as_path.push_back(profile.vantage_as);
+    entry.as_path.push_back(vantage_transit);
+    if (org_transit != vantage_transit) entry.as_path.push_back(org_transit);
+    entry.as_path.push_back(org.as_number);
+    entry.prefix_description = description;
+    entry.peer_description = profile.info.name;
+    return entry;
+  };
+
+  if (profile.info.kind == bgp::SourceKind::kNetworkDump) {
+    // Registry dump: coarse org blocks; NLANR predates post-1997 orgs.
+    for (const RegistryOrg& org : orgs) {
+      if (org.unregistered) continue;
+      if (profile.info.name == "NLANR" && org.post_1997) continue;
+      if (HashToUnit(seed ^ kVisibilityDomain,
+                     AllocationKey(source, 0x40000000u + org.index)) >=
+          profile.coverage) {
+        continue;
+      }
+      snapshot.entries.push_back(make_entry(org.block, org, org.name));
+    }
+    return snapshot;
+  }
+
+  std::unordered_set<net::Prefix> emitted;
+  for (const Allocation& allocation : allocations) {
+    const RegistryOrg& org = orgs[allocation.org];
+    if (org.bgp_dark) continue;  // dump-only coverage
+    if (!Visible(source, profile, allocation.index, day, slot)) continue;
+
+    net::Prefix route = allocation.prefix;
+    std::string description = allocation.domain;
+    if (org.national_gateway) {
+      // Only the country aggregate is ever announced (§3.3's
+      // "suspected national gateways/routers").
+      route = org.block;
+      description = org.name;
+    } else if (HashToUnit(seed ^ kAggregationDomain,
+                          AllocationKey(source, allocation.index)) <
+               profile.aggregation) {
+      route = org.block;
+      description = org.name;
+    }
+    if (!emitted.insert(route).second) continue;
+    snapshot.entries.push_back(make_entry(route, org, description));
+  }
+  return snapshot;
+}
+
+std::vector<bgp::UpdateMessage> VantageGenerator::MakeUpdateStream(
+    std::size_t source, int day, int slot, int to_day, int to_slot,
+    std::size_t max_nlri_per_message) const {
+  const bgp::Snapshot before = MakeSnapshot(source, day, slot);
+  const bgp::Snapshot after = MakeSnapshot(source, to_day, to_slot);
+
+  std::unordered_map<net::Prefix, const bgp::RouteEntry*> old_routes;
+  for (const auto& entry : before.entries) {
+    old_routes.emplace(entry.prefix, &entry);
+  }
+  std::unordered_set<net::Prefix> new_prefixes;
+  for (const auto& entry : after.entries) {
+    new_prefixes.insert(entry.prefix);
+  }
+
+  // Withdrawals: present before, absent after.
+  std::vector<net::Prefix> withdrawn;
+  for (const auto& entry : before.entries) {
+    if (!new_prefixes.contains(entry.prefix)) {
+      withdrawn.push_back(entry.prefix);
+    }
+  }
+
+  // Announcements: absent before, or attributes changed. Grouped by the
+  // shared (next hop, AS path) an UPDATE can carry.
+  struct Group {
+    net::IpAddress next_hop;
+    std::vector<bgp::AsNumber> as_path;
+    std::vector<net::Prefix> prefixes;
+  };
+  std::map<std::pair<std::uint32_t, std::vector<bgp::AsNumber>>, Group>
+      groups;
+  for (const auto& entry : after.entries) {
+    const auto it = old_routes.find(entry.prefix);
+    if (it != old_routes.end() && it->second->as_path == entry.as_path &&
+        it->second->next_hop == entry.next_hop) {
+      continue;  // unchanged
+    }
+    auto& group = groups[{entry.next_hop.bits(), entry.as_path}];
+    group.next_hop = entry.next_hop;
+    group.as_path = entry.as_path;
+    group.prefixes.push_back(entry.prefix);
+  }
+
+  std::vector<bgp::UpdateMessage> stream;
+  // Withdrawals ride in their own messages (no attributes required).
+  for (std::size_t i = 0; i < withdrawn.size(); i += max_nlri_per_message) {
+    bgp::UpdateMessage message;
+    message.withdrawn.assign(
+        withdrawn.begin() + static_cast<std::ptrdiff_t>(i),
+        withdrawn.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(i + max_nlri_per_message,
+                                         withdrawn.size())));
+    stream.push_back(std::move(message));
+  }
+  for (auto& [key, group] : groups) {
+    for (std::size_t i = 0; i < group.prefixes.size();
+         i += max_nlri_per_message) {
+      bgp::UpdateMessage message;
+      message.next_hop = group.next_hop;
+      message.as_path = group.as_path;
+      message.announced.assign(
+          group.prefixes.begin() + static_cast<std::ptrdiff_t>(i),
+          group.prefixes.begin() +
+              static_cast<std::ptrdiff_t>(std::min(
+                  i + max_nlri_per_message, group.prefixes.size())));
+      stream.push_back(std::move(message));
+    }
+  }
+  return stream;
+}
+
+std::vector<bgp::Snapshot> VantageGenerator::AllSnapshots(int day) const {
+  std::vector<bgp::Snapshot> snapshots;
+  snapshots.reserve(profiles_.size());
+  for (std::size_t source = 0; source < profiles_.size(); ++source) {
+    snapshots.push_back(MakeSnapshot(source, day));
+  }
+  return snapshots;
+}
+
+}  // namespace netclust::synth

@@ -1,0 +1,86 @@
+// Synthetic web-server-log generator.
+//
+// Substitutes for the paper's real logs (Nagano Olympics, Apache, EW3, Sun):
+// client populations are drawn from the ground-truth allocations with
+// heavy-tailed cluster sizes, URL popularity is Zipf, arrivals are diurnal,
+// and spiders/proxies are injected with exactly the signatures §4.1.2 uses
+// to detect them (spiders: one host, URL sweep, non-diurnal burst; proxies:
+// one host, global-shaped URL mix and arrival pattern, many User-Agents).
+// The generator records the ground truth (who is a spider/proxy, which
+// allocation every client belongs to) so detection and clustering can be
+// scored exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ip_address.h"
+#include "synth/internet.h"
+#include "weblog/log.h"
+
+namespace netclust::synth {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 2;
+  std::string log_name = "nagano";
+  std::size_t target_clients = 59582;
+  std::size_t target_requests = 1166571;  // Nagano / 10
+  std::size_t url_count = 33875;
+  std::int64_t start_time = 887328000;  // 13/Feb/1998:00:00:00 UTC
+  std::int64_t duration_seconds = 86400;
+  /// Zipf exponent for in-cluster client request shares.
+  double client_popularity_alpha = 0.8;
+  /// Zipf exponent for URL popularity.
+  double url_popularity_alpha = 0.85;
+  /// Pareto shape/scale for clients-per-cluster (heavier tail = bigger
+  /// busiest clusters).
+  double cluster_size_shape = 1.2;
+  double cluster_size_scale = 0.8;
+  /// Relative amplitude of the daily request-rate wave in [0,1).
+  double diurnal_amplitude = 0.65;
+  int spider_count = 0;
+  /// Requests each spider issues, as a fraction of target_requests.
+  double spider_request_fraction = 0.05;
+  /// Fraction of the URL space a spider sweeps.
+  double spider_url_fraction = 0.3;
+  int proxy_count = 0;
+  /// Requests each proxy forwards, as a fraction of target_requests.
+  double proxy_request_fraction = 0.028;
+};
+
+/// Ground truth recorded alongside the generated log.
+struct WorkloadTruth {
+  /// allocation index keyed by client address (every generated client).
+  std::unordered_map<net::IpAddress, std::uint32_t> client_allocation;
+  std::unordered_set<net::IpAddress> spiders;
+  std::unordered_set<net::IpAddress> proxies;
+  /// Number of distinct allocations that contributed clients — the true
+  /// cluster count the clusterer should approach.
+  std::size_t active_allocations = 0;
+};
+
+struct GeneratedLog {
+  weblog::ServerLog log = weblog::ServerLog("log");
+  WorkloadTruth truth;
+};
+
+/// Generates a server log against `internet`. Deterministic in
+/// `config.seed`.
+GeneratedLog GenerateLog(const Internet& internet,
+                         const WorkloadConfig& config);
+
+/// Preset configs mirroring the paper's four headline logs, scaled by
+/// `scale` (1.0 = paper size; benches default to NETCLUST_SCALE or 0.1).
+WorkloadConfig NaganoConfig(double scale);
+WorkloadConfig ApacheConfig(double scale);
+WorkloadConfig Ew3Config(double scale);
+WorkloadConfig SunConfig(double scale);
+
+/// Reads the NETCLUST_SCALE environment variable (default 0.1, clamped to
+/// [0.01, 1.0]) — the knob every bench uses to trade fidelity for runtime.
+double ScaleFromEnv();
+
+}  // namespace netclust::synth

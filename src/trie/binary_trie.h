@@ -1,0 +1,155 @@
+// Uncompressed binary (bit-at-a-time) trie for longest-prefix match.
+//
+// One node per prefix bit. Simple and obviously correct; used as the
+// reference structure in tests and as the baseline in the LPM ablation
+// benchmark against the path-compressed PatriciaTrie.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "net/ip_address.h"
+#include "net/prefix.h"
+#include "trie/bit_ops.h"
+
+namespace netclust::trie {
+
+template <typename T>
+class BinaryTrie {
+ public:
+  struct Match {
+    net::Prefix prefix;
+    const T* value;
+  };
+
+  BinaryTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or overwrites the entry at `prefix`. Returns true if new.
+  bool Insert(const net::Prefix& prefix, T value) {
+    Node* node = root_.get();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = BitAt(prefix.network(), depth);
+      auto& child = node->children[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    const bool inserted = !node->value.has_value();
+    node->value = std::move(value);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Removes the entry at exactly `prefix`. Returns true if it existed.
+  /// Empty branches are pruned so memory tracks the live entry set.
+  bool Remove(const net::Prefix& prefix) {
+    return RemoveRec(root_.get(), prefix, 0);
+  }
+
+  /// Value stored at exactly `prefix`, if any.
+  [[nodiscard]] const T* Find(const net::Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      node = node->children[BitAt(prefix.network(), depth)].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node->value.has_value() ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for `address`, like a router's FIB lookup.
+  [[nodiscard]] std::optional<Match> LongestMatch(
+      net::IpAddress address) const {
+    std::optional<Match> best;
+    const Node* node = root_.get();
+    int depth = 0;
+    while (node != nullptr) {
+      if (node->value.has_value()) {
+        best = Match{net::Prefix(address, depth), &*node->value};
+      }
+      if (depth == 32) break;
+      node = node->children[BitAt(address, depth)].get();
+      ++depth;
+    }
+    return best;
+  }
+
+  /// All matching entries for `address`, shortest prefix first.
+  /// `visit(prefix, value)` is called for each.
+  void AllMatches(net::IpAddress address,
+                  const std::function<void(const net::Prefix&, const T&)>&
+                      visit) const {
+    const Node* node = root_.get();
+    int depth = 0;
+    while (node != nullptr) {
+      if (node->value.has_value()) {
+        visit(net::Prefix(address, depth), *node->value);
+      }
+      if (depth == 32) break;
+      node = node->children[BitAt(address, depth)].get();
+      ++depth;
+    }
+  }
+
+  /// In-order traversal of all entries (ascending network, then length).
+  void Visit(const std::function<void(const net::Prefix&, const T&)>& visit)
+      const {
+    VisitRec(root_.get(), 0u, 0, visit);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Total allocated nodes — the ablation benchmark reports this to contrast
+  /// with the Patricia trie's node count.
+  [[nodiscard]] std::size_t node_count() const { return CountRec(root_.get()); }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> children[2];
+    std::optional<T> value;
+  };
+
+  bool RemoveRec(Node* node, const net::Prefix& prefix, int depth) {
+    if (depth == prefix.length()) {
+      if (!node->value.has_value()) return false;
+      node->value.reset();
+      --size_;
+      return true;
+    }
+    const int bit = BitAt(prefix.network(), depth);
+    Node* child = node->children[bit].get();
+    if (child == nullptr) return false;
+    const bool removed = RemoveRec(child, prefix, depth + 1);
+    if (removed && !child->value.has_value() && !child->children[0] &&
+        !child->children[1]) {
+      node->children[bit].reset();
+    }
+    return removed;
+  }
+
+  void VisitRec(const Node* node, std::uint32_t bits, int depth,
+                const std::function<void(const net::Prefix&, const T&)>&
+                    visit) const {
+    if (node == nullptr) return;
+    if (node->value.has_value()) {
+      visit(net::Prefix(net::IpAddress(bits), depth), *node->value);
+    }
+    if (depth == 32) return;
+    VisitRec(node->children[0].get(), bits, depth + 1, visit);
+    VisitRec(node->children[1].get(), bits | (1u << (31 - depth)), depth + 1,
+             visit);
+  }
+
+  std::size_t CountRec(const Node* node) const {
+    if (node == nullptr) return 0;
+    return 1 + CountRec(node->children[0].get()) +
+           CountRec(node->children[1].get());
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace netclust::trie

@@ -1,0 +1,28 @@
+// Bit-level helpers shared by the trie implementations.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "net/ip_address.h"
+#include "net/prefix.h"
+
+namespace netclust::trie {
+
+/// Bit of `bits` at position `index`, where 0 is the most significant bit —
+/// the order in which routing lookups consume address bits.
+[[nodiscard]] constexpr int BitAt(std::uint32_t bits, int index) {
+  return static_cast<int>((bits >> (31 - index)) & 1u);
+}
+
+[[nodiscard]] constexpr int BitAt(net::IpAddress address, int index) {
+  return BitAt(address.bits(), index);
+}
+
+/// Length of the common leading bit run of two 32-bit values.
+[[nodiscard]] constexpr int CommonPrefixLength(std::uint32_t a,
+                                               std::uint32_t b) {
+  return std::countl_zero(a ^ b);
+}
+
+}  // namespace netclust::trie

@@ -1,0 +1,67 @@
+// Linear-scan longest-prefix match.
+//
+// The O(entries) oracle: an unindexed list of prefixes scanned per lookup.
+// Tests use it to cross-check both tries; the LPM microbenchmark uses it
+// as the naive baseline.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ip_address.h"
+#include "net/prefix.h"
+
+namespace netclust::trie {
+
+template <typename T>
+class LinearLpm {
+ public:
+  struct Match {
+    net::Prefix prefix;
+    const T* value;
+  };
+
+  /// Inserts or overwrites the entry at `prefix`. Returns true if new.
+  bool Insert(const net::Prefix& prefix, T value) {
+    for (auto& entry : entries_) {
+      if (entry.first == prefix) {
+        entry.second = std::move(value);
+        return false;
+      }
+    }
+    entries_.emplace_back(prefix, std::move(value));
+    return true;
+  }
+
+  bool Remove(const net::Prefix& prefix) {
+    const auto it = std::find_if(
+        entries_.begin(), entries_.end(),
+        [&](const auto& entry) { return entry.first == prefix; });
+    if (it == entries_.end()) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::optional<Match> LongestMatch(
+      net::IpAddress address) const {
+    const std::pair<net::Prefix, T>* best = nullptr;
+    for (const auto& entry : entries_) {
+      if (entry.first.Contains(address) &&
+          (best == nullptr || entry.first.length() > best->first.length())) {
+        best = &entry;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return Match{best->first, &best->second};
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<net::Prefix, T>> entries_;
+};
+
+}  // namespace netclust::trie

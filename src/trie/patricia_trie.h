@@ -1,0 +1,201 @@
+// Path-compressed radix (Patricia) trie for longest-prefix match.
+//
+// Interior chains with a single descendant are collapsed into one node
+// labelled by its full prefix, so lookups touch O(distinct branch points)
+// nodes instead of O(32). This is the production LPM structure used by
+// PrefixTable; BinaryTrie is the uncompressed reference.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "net/ip_address.h"
+#include "net/prefix.h"
+#include "trie/bit_ops.h"
+
+namespace netclust::trie {
+
+template <typename T>
+class PatriciaTrie {
+ public:
+  struct Match {
+    net::Prefix prefix;
+    const T* value;
+  };
+
+  PatriciaTrie() : root_(std::make_unique<Node>(net::Prefix{})) {}
+
+  /// Inserts or overwrites the entry at `prefix`. Returns true if new.
+  bool Insert(const net::Prefix& prefix, T value) {
+    Node* node = root_.get();
+    while (true) {
+      if (node->prefix == prefix) {
+        const bool inserted = !node->value.has_value();
+        node->value = std::move(value);
+        if (inserted) ++size_;
+        return inserted;
+      }
+      assert(node->prefix.Contains(prefix));
+      const int bit = BitAt(prefix.network(), node->prefix.length());
+      auto& slot = node->children[bit];
+      if (!slot) {
+        slot = std::make_unique<Node>(prefix);
+        slot->value = std::move(value);
+        ++size_;
+        return true;
+      }
+      if (slot->prefix.Contains(prefix)) {
+        node = slot.get();
+        continue;
+      }
+      if (prefix.Contains(slot->prefix)) {
+        // New entry sits on the path to the existing child: splice it in.
+        auto inserted_node = std::make_unique<Node>(prefix);
+        inserted_node->value = std::move(value);
+        const int child_bit =
+            BitAt(slot->prefix.network(), prefix.length());
+        inserted_node->children[child_bit] = std::move(slot);
+        slot = std::move(inserted_node);
+        ++size_;
+        return true;
+      }
+      // Diverging branches: split at the longest common prefix.
+      const int common_bits =
+          CommonPrefixLength(prefix.network().bits(),
+                             slot->prefix.network().bits());
+      const int fork_len =
+          std::min({common_bits, prefix.length(), slot->prefix.length()});
+      assert(fork_len > node->prefix.length());
+      auto fork = std::make_unique<Node>(
+          net::Prefix(prefix.network(), fork_len));
+      auto new_leaf = std::make_unique<Node>(prefix);
+      new_leaf->value = std::move(value);
+      const int old_bit = BitAt(slot->prefix.network(), fork_len);
+      fork->children[old_bit] = std::move(slot);
+      fork->children[1 - old_bit] = std::move(new_leaf);
+      slot = std::move(fork);
+      ++size_;
+      return true;
+    }
+  }
+
+  /// Removes the entry at exactly `prefix`. Returns true if it existed.
+  /// Structural (valueless) nodes left with a single child are re-collapsed
+  /// so the path-compression invariant is preserved.
+  bool Remove(const net::Prefix& prefix) {
+    return RemoveRec(root_.get(), prefix);
+  }
+
+  /// Value stored at exactly `prefix`, if any.
+  [[nodiscard]] const T* Find(const net::Prefix& prefix) const {
+    const Node* node = root_.get();
+    while (node != nullptr && node->prefix.Contains(prefix)) {
+      if (node->prefix == prefix) {
+        return node->value.has_value() ? &*node->value : nullptr;
+      }
+      node =
+          node->children[BitAt(prefix.network(), node->prefix.length())].get();
+    }
+    return nullptr;
+  }
+
+  /// Longest-prefix match for `address`.
+  [[nodiscard]] std::optional<Match> LongestMatch(
+      net::IpAddress address) const {
+    std::optional<Match> best;
+    const Node* node = root_.get();
+    while (node != nullptr && node->prefix.Contains(address)) {
+      if (node->value.has_value()) {
+        best = Match{node->prefix, &*node->value};
+      }
+      if (node->prefix.length() == 32) break;
+      node = node->children[BitAt(address, node->prefix.length())].get();
+    }
+    return best;
+  }
+
+  /// All matching entries for `address`, shortest prefix first.
+  void AllMatches(net::IpAddress address,
+                  const std::function<void(const net::Prefix&, const T&)>&
+                      visit) const {
+    const Node* node = root_.get();
+    while (node != nullptr && node->prefix.Contains(address)) {
+      if (node->value.has_value()) visit(node->prefix, *node->value);
+      if (node->prefix.length() == 32) break;
+      node = node->children[BitAt(address, node->prefix.length())].get();
+    }
+  }
+
+  /// In-order traversal of all entries (ascending network, then length).
+  void Visit(const std::function<void(const net::Prefix&, const T&)>& visit)
+      const {
+    VisitRec(root_.get(), visit);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t node_count() const { return CountRec(root_.get()); }
+
+ private:
+  struct Node {
+    explicit Node(net::Prefix p) : prefix(p) {}
+    net::Prefix prefix;
+    std::optional<T> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  bool RemoveRec(Node* node, const net::Prefix& prefix) {
+    if (node->prefix == prefix) {
+      if (!node->value.has_value()) return false;
+      node->value.reset();
+      --size_;
+      return true;
+    }
+    const int bit = BitAt(prefix.network(), node->prefix.length());
+    auto& slot = node->children[bit];
+    if (!slot || !slot->prefix.Contains(prefix)) return false;
+    if (!RemoveRec(slot.get(), prefix)) return false;
+    Compact(slot);
+    return true;
+  }
+
+  // Restores the compression invariant at `slot` after a removal below it:
+  // a valueless node with zero children disappears; with one child it is
+  // replaced by that child (never the root, whose prefix is fixed at 0/0).
+  static void Compact(std::unique_ptr<Node>& slot) {
+    if (slot->value.has_value()) return;
+    const bool has0 = slot->children[0] != nullptr;
+    const bool has1 = slot->children[1] != nullptr;
+    if (has0 && has1) return;
+    if (!has0 && !has1) {
+      slot.reset();
+    } else {
+      slot = std::move(slot->children[has0 ? 0 : 1]);
+    }
+  }
+
+  void VisitRec(const Node* node,
+                const std::function<void(const net::Prefix&, const T&)>&
+                    visit) const {
+    if (node == nullptr) return;
+    if (node->value.has_value()) visit(node->prefix, *node->value);
+    VisitRec(node->children[0].get(), visit);
+    VisitRec(node->children[1].get(), visit);
+  }
+
+  std::size_t CountRec(const Node* node) const {
+    if (node == nullptr) return 0;
+    return 1 + CountRec(node->children[0].get()) +
+           CountRec(node->children[1].get());
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace netclust::trie

@@ -1,0 +1,72 @@
+#include "validate/oracles.h"
+
+namespace netclust::validate {
+namespace {
+
+// Hop count to the host: the routers on the path plus the final hop.
+int HopsToHost(const std::vector<std::string>& path) {
+  return static_cast<int>(path.size()) + 1;
+}
+
+}  // namespace
+
+core::TraceObservation ClassicTraceroute::Trace(
+    net::IpAddress address) const {
+  core::TraceObservation observation;
+  const std::vector<std::string>* path = internet_->RouterPath(address);
+  if (path == nullptr) {
+    // Unrouted space: every probe up to max_ttl times out.
+    observation.probes_sent = costs_.probes_per_ttl * costs_.max_ttl;
+    observation.seconds =
+        observation.probes_sent * costs_.probe_timeout;
+    return observation;
+  }
+  observation.path = *path;
+
+  const int hops = HopsToHost(*path);
+  if (internet_->HostAnswersProbe(address)) {
+    // One round of q probes per hop; all hops answer promptly.
+    observation.probes_sent = costs_.probes_per_ttl * hops;
+    observation.seconds = observation.probes_sent * costs_.router_reply;
+    observation.host_name = internet_->ResolveName(address);
+    return observation;
+  }
+  // Host never answers: routers reply for the first hops-1 ttls, then
+  // everything out to max_ttl times out.
+  const int router_probes = costs_.probes_per_ttl * (hops - 1);
+  const int timeout_probes =
+      costs_.probes_per_ttl * (costs_.max_ttl - (hops - 1));
+  observation.probes_sent = router_probes + timeout_probes;
+  observation.seconds = router_probes * costs_.router_reply +
+                        timeout_probes * costs_.probe_timeout;
+  return observation;
+}
+
+core::TraceObservation OptimizedTraceroute::Trace(
+    net::IpAddress address) const {
+  core::TraceObservation observation;
+  const std::vector<std::string>* path = internet_->RouterPath(address);
+  if (path == nullptr) {
+    // One long-shot probe, then one walk-back attempt: nothing answers.
+    observation.probes_sent = 2;
+    observation.seconds = 2 * costs_.probe_timeout;
+    return observation;
+  }
+  observation.path = *path;
+
+  if (internet_->HostAnswersProbe(address)) {
+    // Single probe at ttl = Max_ttl reaches the host directly — the ~50%
+    // fast path the paper describes.
+    observation.probes_sent = 1;
+    observation.seconds = costs_.router_reply;
+    observation.host_name = internet_->ResolveName(address);
+    return observation;
+  }
+  // Silent host: the first probe times out, then the ttl walk-back
+  // collects the last two hops with one answering probe each.
+  observation.probes_sent = 3;
+  observation.seconds = costs_.probe_timeout + 2 * costs_.router_reply;
+  return observation;
+}
+
+}  // namespace netclust::validate

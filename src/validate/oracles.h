@@ -1,0 +1,125 @@
+// Oracle implementations over the synthetic ground truth.
+//
+// SynthNameOracle models nslookup; ClassicTraceroute and
+// OptimizedTraceroute model the two probing strategies of §3.3, with a
+// probe/latency cost model that reproduces the paper's "90% of the probes
+// and 80% of the waiting time" saving.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/oracles.h"
+#include "synth/internet.h"
+
+namespace netclust::validate {
+
+/// Reverse DNS against the ground truth: ~50% of clients resolve, exactly
+/// as the paper observed.
+class SynthNameOracle final : public core::NameOracle {
+ public:
+  explicit SynthNameOracle(const synth::Internet& internet)
+      : internet_(&internet) {}
+
+  [[nodiscard]] std::optional<std::string> Resolve(
+      net::IpAddress address) const override {
+    return internet_->ResolveName(address);
+  }
+
+ private:
+  const synth::Internet* internet_;
+};
+
+/// Memoizing decorator for any NameOracle. Real nslookup is expensive
+/// ("simply using nslookup to do clustering is both expensive and unlikely
+/// to yield full results", §5); validation and self-correction revisit the
+/// same clients, so a cache pays for itself immediately.
+class CachingNameOracle final : public core::NameOracle {
+ public:
+  explicit CachingNameOracle(const core::NameOracle& inner)
+      : inner_(&inner) {}
+
+  [[nodiscard]] std::optional<std::string> Resolve(
+      net::IpAddress address) const override {
+    if (const auto it = cache_.find(address); it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    auto result = inner_->Resolve(address);
+    cache_.emplace(address, result);
+    return result;
+  }
+
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+
+ private:
+  const core::NameOracle* inner_;
+  // Resolve() is logically const; the cache is an optimization detail.
+  mutable std::unordered_map<net::IpAddress, std::optional<std::string>>
+      cache_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+/// Ground-truth geolocation (see core::RegionOracle).
+class SynthRegionOracle final : public core::RegionOracle {
+ public:
+  explicit SynthRegionOracle(const synth::Internet& internet)
+      : internet_(&internet) {}
+
+  [[nodiscard]] int RegionOf(net::IpAddress address) const override {
+    const synth::Allocation* allocation = internet_->Locate(address);
+    return allocation == nullptr ? -1 : allocation->region;
+  }
+
+ private:
+  const synth::Internet* internet_;
+};
+
+/// Cost model shared by both traceroute variants (seconds per probe).
+struct ProbeCosts {
+  double router_reply = 0.2;   // a hop that answers TIME_EXCEEDED
+  double probe_timeout = 3.0;  // an unanswered probe
+  int probes_per_ttl = 3;      // classic traceroute's q
+  int max_ttl = 30;            // the paper sets Max_ttl = 30
+};
+
+/// Stock traceroute: q probes per ttl, ttl = 1,2,... until the host
+/// answers or max_ttl. Expensive on firewalled hosts (q * max_ttl
+/// probes, most of them timing out).
+class ClassicTraceroute final : public core::PathOracle {
+ public:
+  explicit ClassicTraceroute(const synth::Internet& internet,
+                             ProbeCosts costs = {})
+      : internet_(&internet), costs_(costs) {}
+
+  [[nodiscard]] core::TraceObservation Trace(
+      net::IpAddress address) const override;
+
+ private:
+  const synth::Internet* internet_;
+  ProbeCosts costs_;
+};
+
+/// The paper's optimized traceroute: first probe goes straight out with
+/// ttl = Max_ttl (resolving ~50% of hosts with a single probe); only when
+/// the host stays silent does it walk ttl back from the edge to recover
+/// the last hops, never sending more than q probes per ttl.
+class OptimizedTraceroute final : public core::PathOracle {
+ public:
+  explicit OptimizedTraceroute(const synth::Internet& internet,
+                               ProbeCosts costs = {})
+      : internet_(&internet), costs_(costs) {}
+
+  [[nodiscard]] core::TraceObservation Trace(
+      net::IpAddress address) const override;
+
+ private:
+  const synth::Internet* internet_;
+  ProbeCosts costs_;
+};
+
+}  // namespace netclust::validate

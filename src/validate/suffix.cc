@@ -1,0 +1,50 @@
+#include "validate/suffix.h"
+
+#include <algorithm>
+
+namespace netclust::validate {
+namespace {
+
+// The last `n` components of `name`, or the full name when it has fewer.
+std::string_view LastComponents(std::string_view name, std::size_t n) {
+  std::size_t pos = name.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t dot = name.rfind('.', pos == 0 ? 0 : pos - 1);
+    if (dot == std::string_view::npos) return name;
+    pos = dot;
+  }
+  return name.substr(pos + 1);
+}
+
+std::size_t SuffixDepth(std::size_t components) {
+  return components >= 4 ? 3 : 2;
+}
+
+}  // namespace
+
+std::size_t ComponentCount(std::string_view name) {
+  if (name.empty()) return 0;
+  return static_cast<std::size_t>(
+             std::count(name.begin(), name.end(), '.')) +
+         1;
+}
+
+std::string NonTrivialSuffix(std::string_view name) {
+  return std::string(LastComponents(name, SuffixDepth(ComponentCount(name))));
+}
+
+bool SharesNonTrivialSuffix(std::string_view a, std::string_view b) {
+  const std::size_t depth =
+      std::min(SuffixDepth(ComponentCount(a)), SuffixDepth(ComponentCount(b)));
+  return LastComponents(a, depth) == LastComponents(b, depth);
+}
+
+bool LooksUsBased(std::string_view name) {
+  const std::size_t dot = name.rfind('.');
+  const std::string_view tld =
+      dot == std::string_view::npos ? name : name.substr(dot + 1);
+  if (tld.size() != 2) return true;  // .com/.edu/... or malformed
+  return tld == "us";
+}
+
+}  // namespace netclust::validate

@@ -1,0 +1,28 @@
+// Domain-name suffix matching (§3.3).
+//
+// Two clients "share a non-trivial suffix" when the last n components of
+// their fully-qualified names agree, with n = 3 when the name has >= 4
+// components and n = 2 otherwise (the paper's footnote 7 rule).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace netclust::validate {
+
+/// Number of '.'-separated components in `name`.
+std::size_t ComponentCount(std::string_view name);
+
+/// The non-trivial suffix of `name` under the paper's rule, e.g.
+/// "macbeth.cs.wits.ac.za" (5 components) -> "wits.ac.za".
+std::string NonTrivialSuffix(std::string_view name);
+
+/// True when the two names share a non-trivial suffix. Uses the shorter
+/// name's depth when the two disagree, so "a.b.com" matches "x.a.b.com".
+bool SharesNonTrivialSuffix(std::string_view a, std::string_view b);
+
+/// Heuristic US/non-US split by TLD (two-letter country codes are non-US,
+/// except "us"); mirrors the paper's per-country mis-identification rows.
+bool LooksUsBased(std::string_view name);
+
+}  // namespace netclust::validate

@@ -1,0 +1,227 @@
+#include "validate/validation.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "synth/rng.h"
+#include "validate/suffix.h"
+
+namespace netclust::validate {
+namespace {
+
+std::string PathSuffix(const std::vector<std::string>& path, int hops) {
+  std::string suffix;
+  const std::size_t take =
+      std::min<std::size_t>(static_cast<std::size_t>(hops), path.size());
+  for (std::size_t i = path.size() - take; i < path.size(); ++i) {
+    if (!suffix.empty()) suffix.push_back('|');
+    suffix += path[i];
+  }
+  return suffix;
+}
+
+}  // namespace
+
+ValidationReport ValidateClustering(const core::Clustering& clustering,
+                                    const core::NameOracle& dns,
+                                    const core::PathOracle& traceroute,
+                                    const ValidationConfig& config) {
+  ValidationReport report;
+  report.total_clusters = clustering.cluster_count();
+
+  bool first_length = true;
+  for (std::size_t c = 0; c < clustering.clusters.size(); ++c) {
+    // Deterministic 1% sample, keyed by the cluster prefix.
+    const net::Prefix key = clustering.clusters[c].key;
+    const std::uint64_t sample_key =
+        (std::uint64_t{key.network().bits()} << 6) |
+        static_cast<std::uint64_t>(key.length());
+    if (synth::HashToUnit(config.seed, sample_key) >= config.sample_fraction) {
+      continue;
+    }
+    const core::Cluster& cluster = clustering.clusters[c];
+    ++report.sampled_clusters;
+    report.sampled_clients += cluster.members.size();
+    if (first_length) {
+      report.min_prefix_length = report.max_prefix_length = key.length();
+      first_length = false;
+    } else {
+      report.min_prefix_length =
+          std::min(report.min_prefix_length, key.length());
+      report.max_prefix_length =
+          std::max(report.max_prefix_length, key.length());
+    }
+    if (key.length() == 24) ++report.length24_clusters;
+
+    // --- nslookup test ---
+    std::vector<std::string> names;
+    for (const std::uint32_t member : cluster.members) {
+      const auto name = dns.Resolve(clustering.clients[member].address);
+      if (name.has_value()) names.push_back(*name);
+    }
+    report.nslookup_resolved_clients += names.size();
+    bool nslookup_fail = false;
+    for (std::size_t i = 1; i < names.size() && !nslookup_fail; ++i) {
+      nslookup_fail = !SharesNonTrivialSuffix(names[0], names[i]);
+    }
+    bool any_non_us = false;
+    for (const std::string& name : names) {
+      if (!LooksUsBased(name)) any_non_us = true;
+    }
+    if (nslookup_fail) {
+      ++report.nslookup_misidentified;
+      if (any_non_us) ++report.nslookup_misidentified_non_us;
+    }
+
+    // --- optimized traceroute test ---
+    std::vector<std::string> trace_names;
+    std::vector<std::string> trace_paths;
+    bool trace_non_us = false;
+    for (const std::uint32_t member : cluster.members) {
+      const core::TraceObservation observation =
+          traceroute.Trace(clustering.clients[member].address);
+      report.traceroute_probes +=
+          static_cast<std::size_t>(observation.probes_sent);
+      report.traceroute_seconds += observation.seconds;
+      if (observation.host_name.has_value()) {
+        trace_names.push_back(*observation.host_name);
+        if (!LooksUsBased(*observation.host_name)) trace_non_us = true;
+        ++report.traceroute_resolved_clients;
+      } else if (!observation.path.empty()) {
+        trace_paths.push_back(
+            PathSuffix(observation.path, config.suffix_hops));
+        ++report.traceroute_resolved_clients;
+      }
+    }
+    bool traceroute_fail = false;
+    for (std::size_t i = 1; i < trace_names.size() && !traceroute_fail; ++i) {
+      traceroute_fail =
+          !SharesNonTrivialSuffix(trace_names[0], trace_names[i]);
+    }
+    for (std::size_t i = 1; i < trace_paths.size() && !traceroute_fail; ++i) {
+      traceroute_fail = trace_paths[i] != trace_paths[0];
+    }
+    if (traceroute_fail) {
+      ++report.traceroute_misidentified;
+      if (trace_non_us) ++report.traceroute_misidentified_non_us;
+    }
+  }
+  return report;
+}
+
+SelectiveValidationReport SelectiveValidate(
+    const core::Clustering& clustering, const core::PathOracle& traceroute,
+    const SelectiveValidationConfig& config) {
+  SelectiveValidationReport report;
+  double consistency_total = 0.0;
+
+  for (const core::Cluster& cluster : clustering.clusters) {
+    const std::uint64_t sample_key =
+        (std::uint64_t{cluster.key.network().bits()} << 6) |
+        static_cast<std::uint64_t>(cluster.key.length());
+    if (synth::HashToUnit(config.seed, sample_key) >= config.sample_fraction) {
+      continue;
+    }
+    ++report.sampled_clusters;
+
+    // Identify every member by name suffix when resolvable, else by path
+    // suffix. Names and paths are incommensurate, so each mode gets its
+    // own majority; the cluster's consistency is the weight agreeing with
+    // its mode's majority over the total weight.
+    std::unordered_map<std::string, double> name_weights;
+    std::unordered_map<std::string, double> path_weights;
+    double total_weight = 0.0;
+    for (const std::uint32_t member : cluster.members) {
+      const core::ClientStats& client = clustering.clients[member];
+      const core::TraceObservation observation =
+          traceroute.Trace(client.address);
+      report.probes += static_cast<std::size_t>(observation.probes_sent);
+      const double weight =
+          config.request_weighted
+              ? static_cast<double>(std::max<std::uint64_t>(client.requests, 1))
+              : 1.0;
+      if (observation.host_name.has_value()) {
+        name_weights[NonTrivialSuffix(*observation.host_name)] += weight;
+      } else {
+        const std::string path =
+            PathSuffix(observation.path, config.suffix_hops);
+        if (path.empty()) continue;
+        path_weights[path] += weight;
+      }
+      total_weight += weight;
+    }
+    const auto majority_of =
+        [](const std::unordered_map<std::string, double>& weights) {
+          double majority = 0.0;
+          for (const auto& [identifier, weight] : weights) {
+            majority = std::max(majority, weight);
+          }
+          return majority;
+        };
+    const double consistency =
+        total_weight == 0.0
+            ? 1.0
+            : (majority_of(name_weights) + majority_of(path_weights)) /
+                  total_weight;
+    consistency_total += consistency;
+    if (consistency >= config.tolerance) ++report.passed;
+  }
+  report.mean_consistency = report.sampled_clusters == 0
+                                ? 1.0
+                                : consistency_total /
+                                      static_cast<double>(
+                                          report.sampled_clusters);
+  return report;
+}
+
+GroundTruthReport ValidateAgainstTruth(const core::Clustering& clustering,
+                                       const synth::Internet& internet) {
+  GroundTruthReport report;
+  report.clusters = clustering.cluster_count();
+  report.clients = clustering.client_count();
+
+  // Map every logged client to its true allocation, and count how many
+  // clusters each allocation's clients ended up in.
+  std::unordered_map<std::uint32_t, std::unordered_set<std::size_t>>
+      allocation_clusters;
+  std::vector<std::vector<std::uint32_t>> member_allocation(
+      clustering.clusters.size());
+  for (std::size_t c = 0; c < clustering.clusters.size(); ++c) {
+    for (const std::uint32_t member : clustering.clusters[c].members) {
+      const synth::Allocation* allocation =
+          internet.Locate(clustering.clients[member].address);
+      const std::uint32_t truth =
+          allocation == nullptr ? 0xFFFFFFFFu : allocation->index;
+      member_allocation[c].push_back(truth);
+      allocation_clusters[truth].insert(c);
+    }
+  }
+
+  for (std::size_t c = 0; c < clustering.clusters.size(); ++c) {
+    const auto& truths = member_allocation[c];
+    if (truths.empty()) continue;
+    const bool spans_multiple =
+        std::any_of(truths.begin(), truths.end(),
+                    [&](std::uint32_t t) { return t != truths[0]; });
+    if (spans_multiple) {
+      ++report.too_large;
+      // Clients outside the cluster's dominant allocation are misplaced.
+      std::unordered_map<std::uint32_t, std::size_t> counts;
+      for (const std::uint32_t t : truths) ++counts[t];
+      std::size_t dominant = 0;
+      for (const auto& [t, n] : counts) dominant = std::max(dominant, n);
+      report.misplaced_clients += truths.size() - dominant;
+      continue;
+    }
+    if (allocation_clusters[truths[0]].size() > 1) {
+      ++report.too_small;
+    } else {
+      ++report.exact;
+    }
+  }
+  return report;
+}
+
+}  // namespace netclust::validate

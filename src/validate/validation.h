@@ -1,0 +1,134 @@
+// Cluster validation (§3.3, Table 3).
+//
+// Samples a fraction of the identified clusters and applies the paper's
+// two tests:
+//   * nslookup test — every resolvable client in the cluster must share a
+//     non-trivial name suffix with the others;
+//   * optimized-traceroute test — clients are identified by name when
+//     resolvable, otherwise by the last two hops of the path towards them;
+//     all identifiers of one kind must agree.
+//
+// Because the substrate is synthetic, ValidateAgainstTruth additionally
+// scores a clustering exactly (too-large / too-small / exact), something
+// the paper could only approximate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/oracles.h"
+#include "synth/internet.h"
+
+namespace netclust::validate {
+
+struct ValidationConfig {
+  /// Fraction of clusters sampled (the paper uses 1%).
+  double sample_fraction = 0.01;
+  /// Path-suffix length for the traceroute test ("two in our experiments").
+  int suffix_hops = 2;
+  /// Sampling seed (hash-based, deterministic).
+  std::uint64_t seed = 0x5641;
+};
+
+/// One column of Table 3.
+struct ValidationReport {
+  std::size_t total_clusters = 0;
+  std::size_t sampled_clusters = 0;
+  std::size_t sampled_clients = 0;
+  int min_prefix_length = 0;
+  int max_prefix_length = 0;
+  /// Sampled clusters whose key is exactly /24 — the fraction of clusters
+  /// the simple approach could have gotten right.
+  std::size_t length24_clusters = 0;
+
+  // DNS nslookup validation.
+  std::size_t nslookup_resolved_clients = 0;
+  std::size_t nslookup_misidentified = 0;
+  std::size_t nslookup_misidentified_non_us = 0;
+
+  // Optimized traceroute validation.
+  std::size_t traceroute_resolved_clients = 0;  // name or path: all of them
+  std::size_t traceroute_misidentified = 0;
+  std::size_t traceroute_misidentified_non_us = 0;
+  std::size_t traceroute_probes = 0;
+  double traceroute_seconds = 0.0;
+
+  [[nodiscard]] double NslookupPassRate() const {
+    return sampled_clusters == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(nslookup_misidentified) /
+                           static_cast<double>(sampled_clusters);
+  }
+  [[nodiscard]] double TraceroutePassRate() const {
+    return sampled_clusters == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(traceroute_misidentified) /
+                           static_cast<double>(sampled_clusters);
+  }
+};
+
+ValidationReport ValidateClustering(const core::Clustering& clustering,
+                                    const core::NameOracle& dns,
+                                    const core::PathOracle& traceroute,
+                                    const ValidationConfig& config = {});
+
+/// Exact scoring against the generator's ground truth.
+struct GroundTruthReport {
+  std::size_t clusters = 0;
+  /// Clusters whose members span >1 true allocation (too large).
+  std::size_t too_large = 0;
+  /// Single-allocation clusters whose allocation is split over several
+  /// clusters (too small).
+  std::size_t too_small = 0;
+  /// Clusters matching one allocation exactly (all its logged clients,
+  /// nothing else).
+  std::size_t exact = 0;
+  /// Clients placed in a cluster dominated by a different allocation.
+  std::size_t misplaced_clients = 0;
+  std::size_t clients = 0;
+
+  [[nodiscard]] double ExactRate() const {
+    return clusters == 0
+               ? 1.0
+               : static_cast<double>(exact) / static_cast<double>(clusters);
+  }
+};
+
+GroundTruthReport ValidateAgainstTruth(const core::Clustering& clustering,
+                                       const synth::Internet& internet);
+
+/// Tolerance-based selective sampling (§3.3's closing proposal): "if 95%
+/// of the clients inside the cluster are correctly identified, we could
+/// consider this cluster to be correct", performed "in either a
+/// client-based or a request-based manner".
+struct SelectiveValidationConfig {
+  double sample_fraction = 0.01;
+  /// Minimum consistent fraction for a cluster to pass.
+  double tolerance = 0.95;
+  /// false: every client weighs 1; true: clients weigh their requests.
+  bool request_weighted = false;
+  int suffix_hops = 2;
+  std::uint64_t seed = 0x53454C;  // "SEL"
+};
+
+struct SelectiveValidationReport {
+  std::size_t sampled_clusters = 0;
+  std::size_t passed = 0;
+  /// Mean consistent-weight fraction across sampled clusters.
+  double mean_consistency = 1.0;
+  std::size_t probes = 0;
+
+  [[nodiscard]] double PassRate() const {
+    return sampled_clusters == 0
+               ? 1.0
+               : static_cast<double>(passed) /
+                     static_cast<double>(sampled_clusters);
+  }
+};
+
+SelectiveValidationReport SelectiveValidate(
+    const core::Clustering& clustering, const core::PathOracle& traceroute,
+    const SelectiveValidationConfig& config = {});
+
+}  // namespace netclust::validate

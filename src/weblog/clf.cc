@@ -1,0 +1,245 @@
+#include "weblog/clf.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace netclust::weblog {
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+// Days from 1970-01-01 to civil date (Howard Hinnant's algorithm).
+constexpr std::int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+// Civil date from days since 1970-01-01 (inverse of the above).
+constexpr void CivilFromDays(std::int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+bool ParseInt(std::string_view text, int* out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+Result<std::int64_t> ParseClfTimestamp(std::string_view text) {
+  // dd/Mon/yyyy:hh:mm:ss +zzzz  (zone optional)
+  if (text.size() < 20) return Fail("timestamp too short: '" + std::string(text) + "'");
+  int day = 0;
+  int year = 0;
+  int hh = 0;
+  int mm = 0;
+  int ss = 0;
+  if (!ParseInt(text.substr(0, 2), &day) || text[2] != '/' ||
+      text[6] != '/' || !ParseInt(text.substr(7, 4), &year) ||
+      text[11] != ':' || !ParseInt(text.substr(12, 2), &hh) ||
+      text[14] != ':' || !ParseInt(text.substr(15, 2), &mm) ||
+      text[17] != ':' || !ParseInt(text.substr(18, 2), &ss)) {
+    return Fail("malformed timestamp: '" + std::string(text) + "'");
+  }
+  const std::string_view month_name = text.substr(3, 3);
+  int month = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (kMonths[static_cast<std::size_t>(i)] == month_name) {
+      month = i + 1;
+      break;
+    }
+  }
+  if (month == 0 || day < 1 || day > 31 || hh > 23 || mm > 59 || ss > 60) {
+    return Fail("timestamp out of range: '" + std::string(text) + "'");
+  }
+
+  std::int64_t seconds =
+      DaysFromCivil(year, month, day) * 86400 + hh * 3600 + mm * 60 + ss;
+
+  // Optional zone: " +hhmm" / " -hhmm". Convert to UTC.
+  std::string_view rest = text.substr(20);
+  if (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (rest.size() == 5 && (rest[0] == '+' || rest[0] == '-')) {
+    int zh = 0;
+    int zm = 0;
+    if (!ParseInt(rest.substr(1, 2), &zh) || !ParseInt(rest.substr(3, 2), &zm)) {
+      return Fail("malformed zone: '" + std::string(text) + "'");
+    }
+    const std::int64_t offset = zh * 3600 + zm * 60;
+    seconds += rest[0] == '+' ? -offset : offset;
+  } else if (!rest.empty()) {
+    return Fail("trailing junk in timestamp: '" + std::string(text) + "'");
+  }
+  return seconds;
+}
+
+std::string FormatClfTimestamp(std::int64_t seconds_since_epoch) {
+  std::int64_t days = seconds_since_epoch / 86400;
+  std::int64_t rem = seconds_since_epoch % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  int y = 0;
+  int m = 0;
+  int d = 0;
+  CivilFromDays(days, &y, &m, &d);
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%02d/%s/%04d:%02d:%02d:%02d +0000", d,
+                kMonths[static_cast<std::size_t>(m - 1)].data(), y,
+                static_cast<int>(rem / 3600), static_cast<int>(rem / 60 % 60),
+                static_cast<int>(rem % 60));
+  return buffer;
+}
+
+namespace {
+
+// Consumes the next CLF field from `line` at `pos`: a bare token, a
+// [bracketed] field, or a "quoted" field. Returns false at end of line.
+bool NextField(std::string_view line, std::size_t& pos,
+               std::string_view* field) {
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return false;
+
+  char closer = 0;
+  if (line[pos] == '[') closer = ']';
+  if (line[pos] == '"') closer = '"';
+  if (closer != 0) {
+    const std::size_t start = pos + 1;
+    const std::size_t end = line.find(closer, start);
+    if (end == std::string_view::npos) return false;
+    *field = line.substr(start, end - start);
+    pos = end + 1;
+    return true;
+  }
+  const std::size_t start = pos;
+  while (pos < line.size() && line[pos] != ' ') ++pos;
+  *field = line.substr(start, pos - start);
+  return true;
+}
+
+Method ParseMethod(std::string_view name) {
+  if (name == "GET") return Method::kGet;
+  if (name == "HEAD") return Method::kHead;
+  if (name == "POST") return Method::kPost;
+  return Method::kOther;
+}
+
+std::string_view MethodName(Method method) {
+  switch (method) {
+    case Method::kGet:
+      return "GET";
+    case Method::kHead:
+      return "HEAD";
+    case Method::kPost:
+      return "POST";
+    case Method::kOther:
+      return "OTHER";
+  }
+  return "GET";
+}
+
+}  // namespace
+
+Result<LogRecord> ParseClfLine(std::string_view line) {
+  LogRecord record;
+  std::size_t pos = 0;
+  std::string_view host;
+  std::string_view ident;
+  std::string_view user;
+  std::string_view date;
+  std::string_view request;
+  std::string_view status;
+  std::string_view bytes;
+  if (!NextField(line, pos, &host) || !NextField(line, pos, &ident) ||
+      !NextField(line, pos, &user) || !NextField(line, pos, &date) ||
+      !NextField(line, pos, &request) || !NextField(line, pos, &status) ||
+      !NextField(line, pos, &bytes)) {
+    return Fail("CLF line has fewer than 7 fields");
+  }
+
+  auto client = net::IpAddress::Parse(host);
+  if (!client) return Fail("bad client address: " + client.error());
+  record.client = client.value();
+
+  auto timestamp = ParseClfTimestamp(date);
+  if (!timestamp) return Fail(timestamp.error());
+  record.timestamp = timestamp.value();
+
+  // "METHOD url HTTP/1.x" — version may be absent in HTTP/0.9-era lines.
+  {
+    const std::size_t sp1 = request.find(' ');
+    if (sp1 == std::string_view::npos) {
+      return Fail("malformed request field: '" + std::string(request) + "'");
+    }
+    record.method = ParseMethod(request.substr(0, sp1));
+    const std::size_t sp2 = request.find(' ', sp1 + 1);
+    record.url = std::string(request.substr(
+        sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos
+                                               : sp2 - sp1 - 1));
+    if (record.url.empty()) return Fail("empty URL in request field");
+  }
+
+  if (!ParseInt(status, &record.status)) {
+    return Fail("bad status: '" + std::string(status) + "'");
+  }
+  if (bytes == "-") {
+    record.response_bytes = 0;
+  } else {
+    const auto [ptr, ec] = std::from_chars(
+        bytes.data(), bytes.data() + bytes.size(), record.response_bytes);
+    if (ec != std::errc{} || ptr != bytes.data() + bytes.size()) {
+      return Fail("bad byte count: '" + std::string(bytes) + "'");
+    }
+  }
+
+  // Combined format: "referer" "user-agent".
+  std::string_view referer;
+  std::string_view agent;
+  if (NextField(line, pos, &referer) && NextField(line, pos, &agent)) {
+    if (agent != "-") record.user_agent = std::string(agent);
+  }
+  return record;
+}
+
+std::string FormatClfLine(const LogRecord& record) {
+  std::string out;
+  out.reserve(96 + record.url.size() + record.user_agent.size());
+  out += record.client.ToString();
+  out += " - - [";
+  out += FormatClfTimestamp(record.timestamp);
+  out += "] \"";
+  out += MethodName(record.method);
+  out += ' ';
+  out += record.url;
+  out += " HTTP/1.0\" ";
+  out += std::to_string(record.status);
+  out += ' ';
+  out += std::to_string(record.response_bytes);
+  if (!record.user_agent.empty()) {
+    out += " \"-\" \"";
+    out += record.user_agent;
+    out += '"';
+  }
+  return out;
+}
+
+}  // namespace netclust::weblog

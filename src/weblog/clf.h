@@ -1,0 +1,33 @@
+// Common Log Format (and Combined Log Format) parsing and writing.
+//
+//   host ident authuser [dd/Mon/yyyy:hh:mm:ss zone] "METHOD url HTTP/v" status bytes
+//   ... "referer" "user-agent"                                  (combined)
+//
+// This is the on-disk format of every server log the paper uses (Apache,
+// Nagano, EW3, Sun). The parser is tolerant: "-" bytes fields, missing
+// protocol versions and unparsable dates degrade gracefully; structurally
+// broken lines are reported as errors and counted by the caller.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/result.h"
+#include "weblog/record.h"
+
+namespace netclust::weblog {
+
+/// Parses one CLF/combined line into a LogRecord.
+Result<LogRecord> ParseClfLine(std::string_view line);
+
+/// Formats `record` as a CLF line (combined format when user_agent is
+/// non-empty). Round-trips through ParseClfLine.
+std::string FormatClfLine(const LogRecord& record);
+
+/// [dd/Mon/yyyy:hh:mm:ss +0000] <-> seconds since the UNIX epoch (UTC).
+/// These are deliberately timezone-naive beyond the explicit offset: log
+/// analysis only needs a consistent timeline, not local-time rendering.
+Result<std::int64_t> ParseClfTimestamp(std::string_view text);
+std::string FormatClfTimestamp(std::int64_t seconds_since_epoch);
+
+}  // namespace netclust::weblog

@@ -1,0 +1,144 @@
+#include "weblog/log.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "weblog/clf.h"
+
+namespace netclust::weblog {
+namespace {
+
+// SplitMix64 finalizer (local copy: weblog sits below synth and cannot
+// use synth::Mix64).
+constexpr std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double UnitHash(std::uint64_t seed, std::uint64_t key) {
+  return static_cast<double>(Mix(seed ^ Mix(key)) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint32_t StringInterner::Intern(std::string_view text) {
+  if (const auto it = index_.find(text); it != index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(text);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+std::uint32_t StringInterner::Find(std::string_view text) const {
+  const auto it = index_.find(text);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+bool ServerLog::Append(const LogRecord& record) {
+  if (record.client.IsUnspecified()) {
+    ++dropped_unspecified_;
+    return false;
+  }
+
+  CompactRequest row;
+  row.client = record.client;
+  row.timestamp = record.timestamp;
+  row.url_id = urls_.Intern(record.url);
+  row.response_bytes = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(record.response_bytes,
+                              std::numeric_limits<std::uint32_t>::max()));
+  row.status = static_cast<std::uint16_t>(record.status);
+  row.method = record.method;
+
+  // Agent ids are a byte; saturate rare overflow into the last slot rather
+  // than rejecting the record (agents only feed a proxy heuristic).
+  const std::uint32_t agent =
+      record.user_agent.empty() ? 0 : agents_.Intern(record.user_agent) + 1;
+  row.agent_id = static_cast<std::uint8_t>(std::min(agent, 255u));
+
+  if (requests_.empty()) {
+    start_time_ = end_time_ = row.timestamp;
+  } else {
+    start_time_ = std::min(start_time_, row.timestamp);
+    end_time_ = std::max(end_time_, row.timestamp);
+  }
+  requests_.push_back(row);
+
+  if (clients_.emplace(row.client, static_cast<std::uint32_t>(
+                                       client_order_.size())).second) {
+    client_order_.push_back(row.client);
+  }
+  return true;
+}
+
+ServerLog ServerLog::Sample(double fraction, SampleMode mode,
+                            std::uint64_t seed) const {
+  ServerLog sampled(name_ + ".sample");
+  for (const CompactRequest& request : requests_) {
+    const bool keep =
+        mode == SampleMode::kByClient
+            ? UnitHash(seed, request.client.bits()) < fraction
+            : UnitHash(seed ^ 0x52, request.client.bits() * 2654435761ULL +
+                                        static_cast<std::uint64_t>(
+                                            request.timestamp) * 31 +
+                                        request.url_id) < fraction;
+    if (!keep) continue;
+    LogRecord record;
+    record.client = request.client;
+    record.timestamp = request.timestamp;
+    record.method = request.method;
+    record.url = urls_.Lookup(request.url_id);
+    record.status = request.status;
+    record.response_bytes = request.response_bytes;
+    if (request.agent_id != 0) {
+      record.user_agent =
+          agents_.Lookup(static_cast<std::uint8_t>(request.agent_id - 1));
+    }
+    sampled.Append(record);
+  }
+  return sampled;
+}
+
+std::size_t ServerLog::WriteClfStream(std::ostream& out) const {
+  std::size_t written = 0;
+  for (const CompactRequest& request : requests_) {
+    LogRecord record;
+    record.client = request.client;
+    record.timestamp = request.timestamp;
+    record.method = request.method;
+    record.url = urls_.Lookup(request.url_id);
+    record.status = request.status;
+    record.response_bytes = request.response_bytes;
+    if (request.agent_id != 0) {
+      record.user_agent =
+          agents_.Lookup(static_cast<std::uint8_t>(request.agent_id - 1));
+    }
+    out << FormatClfLine(record) << '\n';
+    ++written;
+  }
+  return written;
+}
+
+std::size_t ServerLog::AppendClfStream(std::istream& in,
+                                       std::size_t* malformed) {
+  std::size_t appended = 0;
+  std::size_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto record = ParseClfLine(line);
+    if (!record) {
+      ++bad;
+      continue;
+    }
+    if (Append(record.value())) ++appended;
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return appended;
+}
+
+}  // namespace netclust::weblog

@@ -1,0 +1,128 @@
+// Compact in-memory server log.
+//
+// The paper's logs run to tens of millions of requests, so ServerLog interns
+// URLs and User-Agent strings and stores fixed-width request rows. All the
+// clustering, detection and cache-simulation code consumes this type.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <istream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip_address.h"
+#include "weblog/record.h"
+
+namespace netclust::weblog {
+
+/// Interns strings to dense uint32 ids.
+class StringInterner {
+ public:
+  std::uint32_t Intern(std::string_view text);
+  [[nodiscard]] const std::string& Lookup(std::uint32_t id) const {
+    return strings_[id];
+  }
+  /// Id of `text` if already interned, or kNotFound.
+  [[nodiscard]] std::uint32_t Find(std::string_view text) const;
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+  static constexpr std::uint32_t kNotFound = 0xFFFFFFFFu;
+
+ private:
+  // deque: growth never moves existing strings, so the string_view keys in
+  // index_ (which point into these strings) stay valid.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+/// One request row; 24 bytes.
+struct CompactRequest {
+  net::IpAddress client;
+  std::int64_t timestamp = 0;
+  std::uint32_t url_id = 0;
+  std::uint32_t response_bytes = 0;
+  std::uint16_t status = 200;
+  std::uint8_t agent_id = 0;  // 0 = unknown; logs rarely have >255 distinct agents per study
+  Method method = Method::kGet;
+};
+
+/// Sampling modes for SampleLog (§3.3/§3.6: "this selective sampling can
+/// be performed in either a client-based or a request-based manner").
+enum class SampleMode {
+  /// Keep every request of a `fraction` sample of clients — preserves
+  /// per-client behaviour (think times, per-client URL sets).
+  kByClient,
+  /// Keep a `fraction` sample of individual requests — preserves the
+  /// aggregate arrival process.
+  kByRequest,
+};
+
+/// A server log: interned request rows plus summary accounting.
+class ServerLog {
+ public:
+  explicit ServerLog(std::string name = "log") : name_(std::move(name)) {}
+
+  /// Appends one request. 0.0.0.0 clients are dropped, per the paper
+  /// (§3.2.2 footnote: BOOTP artifact). Returns true if appended.
+  bool Append(const LogRecord& record);
+
+  /// Reads CLF lines from a stream, skipping (and counting) malformed ones.
+  /// Returns the number of records appended.
+  std::size_t AppendClfStream(std::istream& in,
+                              std::size_t* malformed = nullptr);
+
+  /// Writes every request as a CLF/combined line (round-trips through
+  /// AppendClfStream). Returns the number of lines written.
+  std::size_t WriteClfStream(std::ostream& out) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<CompactRequest>& requests() const {
+    return requests_;
+  }
+  [[nodiscard]] std::size_t request_count() const { return requests_.size(); }
+  [[nodiscard]] std::size_t unique_clients() const { return clients_.size(); }
+  [[nodiscard]] std::size_t unique_urls() const { return urls_.size(); }
+
+  [[nodiscard]] const std::string& url(std::uint32_t id) const {
+    return urls_.Lookup(id);
+  }
+  [[nodiscard]] const std::string& agent(std::uint8_t id) const {
+    return agents_.Lookup(id);
+  }
+
+  /// Distinct client addresses, in first-seen order.
+  [[nodiscard]] const std::vector<net::IpAddress>& clients() const {
+    return client_order_;
+  }
+
+  /// Log time span [first, last] over appended records; 0,0 when empty.
+  [[nodiscard]] std::int64_t start_time() const { return start_time_; }
+  [[nodiscard]] std::int64_t end_time() const { return end_time_; }
+
+  /// Number of 0.0.0.0 records dropped.
+  [[nodiscard]] std::size_t dropped_unspecified() const {
+    return dropped_unspecified_;
+  }
+
+  /// Deterministic sub-sample of this log (hash-based on `seed`), either
+  /// by client or by request. Time order is preserved.
+  [[nodiscard]] ServerLog Sample(double fraction, SampleMode mode,
+                                 std::uint64_t seed = 0x53414D) const;
+
+ private:
+  std::string name_;
+  std::vector<CompactRequest> requests_;
+  StringInterner urls_;
+  StringInterner agents_;
+  std::unordered_map<net::IpAddress, std::uint32_t> clients_;
+  std::vector<net::IpAddress> client_order_;
+  std::int64_t start_time_ = 0;
+  std::int64_t end_time_ = 0;
+  std::size_t dropped_unspecified_ = 0;
+};
+
+}  // namespace netclust::weblog

@@ -1,0 +1,31 @@
+// Web server log records.
+//
+// Two representations: LogRecord is the parsed, string-bearing form of one
+// Common Log Format line; ServerLog (log.h) holds millions of requests
+// compactly with interned URLs and User-Agents, which is what the paper's
+// logs require (the Nagano log alone is 11.6M requests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ip_address.h"
+
+namespace netclust::weblog {
+
+enum class Method : std::uint8_t { kGet, kHead, kPost, kOther };
+
+/// One parsed log line.
+struct LogRecord {
+  net::IpAddress client;
+  std::int64_t timestamp = 0;  // seconds since epoch
+  Method method = Method::kGet;
+  std::string url;
+  int status = 200;
+  std::uint64_t response_bytes = 0;
+  std::string user_agent;  // empty when the log is plain CLF
+
+  friend bool operator==(const LogRecord&, const LogRecord&) = default;
+};
+
+}  // namespace netclust::weblog

@@ -1,0 +1,143 @@
+#include "bgp/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "synth/rng.h"
+
+namespace netclust::bgp {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+Prefix P(const char* text) { return Prefix::Parse(text).value(); }
+
+TEST(AggregatePrefixes, MergesSiblingPairs) {
+  const auto out = AggregatePrefixes({P("10.0.0.0/9"), P("10.128.0.0/9")});
+  EXPECT_EQ(out, (std::vector<Prefix>{P("10.0.0.0/8")}));
+}
+
+TEST(AggregatePrefixes, MergesRecursively) {
+  // Four /26 quarters collapse all the way to the /24.
+  const auto out = AggregatePrefixes({P("192.0.2.0/26"), P("192.0.2.64/26"),
+                                      P("192.0.2.128/26"),
+                                      P("192.0.2.192/26")});
+  EXPECT_EQ(out, (std::vector<Prefix>{P("192.0.2.0/24")}));
+}
+
+TEST(AggregatePrefixes, NonSiblingAdjacencyDoesNotMerge) {
+  // 10.1.0.0/24 and 10.1.1.0/24 are siblings; 10.1.1.0/24 and
+  // 10.1.2.0/24 are adjacent but in different parents.
+  const auto out = AggregatePrefixes({P("10.1.1.0/24"), P("10.1.2.0/24")});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(AggregatePrefixes, DropsCoveredPrefixes) {
+  const auto out = AggregatePrefixes(
+      {P("10.0.0.0/8"), P("10.1.0.0/16"), P("10.1.2.0/24")});
+  EXPECT_EQ(out, (std::vector<Prefix>{P("10.0.0.0/8")}));
+}
+
+TEST(AggregatePrefixes, CoveredRemovalEnablesNoFalseMerge) {
+  // 10.0.0.0/9 covers 10.0.0.0/10; after suppression the remaining /9
+  // has no sibling, so nothing merges further.
+  const auto out = AggregatePrefixes({P("10.0.0.0/9"), P("10.0.0.0/10")});
+  EXPECT_EQ(out, (std::vector<Prefix>{P("10.0.0.0/9")}));
+}
+
+TEST(AggregatePrefixes, HandlesDuplicatesAndEmpty) {
+  EXPECT_TRUE(AggregatePrefixes({}).empty());
+  const auto out =
+      AggregatePrefixes({P("10.0.0.0/8"), P("10.0.0.0/8")});
+  EXPECT_EQ(out, (std::vector<Prefix>{P("10.0.0.0/8")}));
+}
+
+TEST(AggregatePrefixes, DefaultRouteSwallowsEverything) {
+  const auto out = AggregatePrefixes({P("0.0.0.0/0"), P("10.0.0.0/8")});
+  EXPECT_EQ(out, (std::vector<Prefix>{P("0.0.0.0/0")}));
+}
+
+TEST(AggregatePrefixes, PreservesAddressCoverageOnRandomSets) {
+  synth::Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Prefix> prefixes;
+    for (int i = 0; i < 64; ++i) {
+      prefixes.push_back(Prefix(
+          net::IpAddress(static_cast<std::uint32_t>(rng.Uniform(1ull << 32))),
+          8 + static_cast<int>(rng.Uniform(20))));
+    }
+    const auto aggregated = AggregatePrefixes(prefixes);
+    EXPECT_LE(aggregated.size(), 64u);
+    EXPECT_TRUE(CoverSameAddresses(prefixes, aggregated));
+
+    // Output is ancestor-free and sibling-free (fully aggregated).
+    const std::unordered_set<Prefix> set(aggregated.begin(),
+                                         aggregated.end());
+    for (const Prefix& prefix : aggregated) {
+      Prefix walk = prefix;
+      while (walk.length() > 0) {
+        walk = walk.Parent();
+        EXPECT_FALSE(set.contains(walk)) << prefix.ToString();
+      }
+      if (prefix.length() > 0) {
+        const Prefix sibling(
+            net::IpAddress(prefix.network().bits() ^
+                           (0x80000000u >> (prefix.length() - 1))),
+            prefix.length());
+        EXPECT_FALSE(set.contains(sibling)) << prefix.ToString();
+      }
+    }
+  }
+}
+
+TEST(AggregateRoutes, MergesOnlyMatchingAttributes) {
+  RouteEntry left;
+  left.prefix = P("10.0.0.0/9");
+  left.next_hop = net::IpAddress(1, 1, 1, 1);
+  left.as_path = {7018, 42};
+  RouteEntry right = left;
+  right.prefix = P("10.128.0.0/9");
+  RouteEntry other;
+  other.prefix = P("11.0.0.0/9");
+  other.next_hop = net::IpAddress(2, 2, 2, 2);
+  other.as_path = {7018, 42};
+  RouteEntry other_sibling = other;
+  other_sibling.prefix = P("11.128.0.0/9");
+  other_sibling.next_hop = net::IpAddress(3, 3, 3, 3);  // differs!
+
+  const auto out = AggregateRoutes({left, right, other, other_sibling});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].prefix, P("10.0.0.0/8"));  // merged
+  EXPECT_EQ(out[0].next_hop, net::IpAddress(1, 1, 1, 1));
+  EXPECT_EQ(out[1].prefix, P("11.0.0.0/9"));  // kept apart
+  EXPECT_EQ(out[2].prefix, P("11.128.0.0/9"));
+}
+
+TEST(AggregateRoutes, SuppressesCoveredOnlyWithinGroup) {
+  RouteEntry wide;
+  wide.prefix = P("10.0.0.0/8");
+  wide.next_hop = net::IpAddress(1, 1, 1, 1);
+  RouteEntry narrow_same = wide;
+  narrow_same.prefix = P("10.1.0.0/16");
+  RouteEntry narrow_other;
+  narrow_other.prefix = P("10.2.0.0/16");
+  narrow_other.next_hop = net::IpAddress(9, 9, 9, 9);
+
+  const auto out = AggregateRoutes({wide, narrow_same, narrow_other});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].prefix, P("10.0.0.0/8"));
+  EXPECT_EQ(out[1].prefix, P("10.2.0.0/16"));  // different next hop: kept
+}
+
+TEST(CoverSameAddresses, DetectsDifferences) {
+  EXPECT_TRUE(CoverSameAddresses({P("10.0.0.0/9"), P("10.128.0.0/9")},
+                                 {P("10.0.0.0/8")}));
+  EXPECT_FALSE(CoverSameAddresses({P("10.0.0.0/9")}, {P("10.0.0.0/8")}));
+  EXPECT_TRUE(CoverSameAddresses({}, {}));
+  EXPECT_FALSE(CoverSameAddresses({P("10.0.0.0/8")}, {}));
+}
+
+}  // namespace
+}  // namespace netclust::bgp

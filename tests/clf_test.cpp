@@ -1,0 +1,136 @@
+#include "weblog/clf.h"
+
+#include <gtest/gtest.h>
+
+namespace netclust::weblog {
+namespace {
+
+TEST(ClfTimestamp, ParsesEpoch) {
+  EXPECT_EQ(ParseClfTimestamp("01/Jan/1970:00:00:00 +0000").value(), 0);
+  EXPECT_EQ(ParseClfTimestamp("01/Jan/1970:00:00:01 +0000").value(), 1);
+  EXPECT_EQ(ParseClfTimestamp("02/Jan/1970:00:00:00 +0000").value(), 86400);
+}
+
+TEST(ClfTimestamp, ParsesPaperEraDates) {
+  // 13/Feb/1998 — the Nagano log's day.
+  const auto t = ParseClfTimestamp("13/Feb/1998:00:00:00 +0000");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), 887328000);
+}
+
+TEST(ClfTimestamp, HandlesZoneOffsets) {
+  const auto utc = ParseClfTimestamp("13/Feb/1998:12:00:00 +0000").value();
+  EXPECT_EQ(ParseClfTimestamp("13/Feb/1998:07:00:00 -0500").value(), utc);
+  EXPECT_EQ(ParseClfTimestamp("13/Feb/1998:21:00:00 +0900").value(), utc);
+  // Zone-less form is accepted as UTC.
+  EXPECT_EQ(ParseClfTimestamp("13/Feb/1998:12:00:00").value(), utc);
+}
+
+TEST(ClfTimestamp, LeapYearHandling) {
+  EXPECT_EQ(ParseClfTimestamp("29/Feb/2000:00:00:00 +0000").value() -
+                ParseClfTimestamp("28/Feb/2000:00:00:00 +0000").value(),
+            86400);
+  EXPECT_EQ(ParseClfTimestamp("01/Mar/1999:00:00:00 +0000").value() -
+                ParseClfTimestamp("28/Feb/1999:00:00:00 +0000").value(),
+            86400);
+}
+
+TEST(ClfTimestamp, RejectsMalformed) {
+  for (const char* text :
+       {"", "13/Feb/1998", "32/Feb/1998:00:00:00 +0000",
+        "13/Xxx/1998:00:00:00 +0000", "13/Feb/1998:25:00:00 +0000",
+        "13-Feb-1998:00:00:00 +0000", "13/Feb/1998:00:00:00 junk"}) {
+    EXPECT_FALSE(ParseClfTimestamp(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(ClfTimestamp, FormatRoundTrips) {
+  for (const std::int64_t t :
+       {std::int64_t{0}, std::int64_t{887328000}, std::int64_t{951782400},
+        std::int64_t{1234567890}}) {
+    const std::string text = FormatClfTimestamp(t);
+    EXPECT_EQ(ParseClfTimestamp(text).value(), t) << text;
+  }
+}
+
+TEST(ClfLine, ParsesCommonLogFormat) {
+  const auto record = ParseClfLine(
+      "151.198.194.17 - - [13/Feb/1998:10:15:30 +0000] "
+      "\"GET /index.html HTTP/1.0\" 200 4523");
+  ASSERT_TRUE(record.ok()) << record.error();
+  EXPECT_EQ(record.value().client.ToString(), "151.198.194.17");
+  EXPECT_EQ(record.value().method, Method::kGet);
+  EXPECT_EQ(record.value().url, "/index.html");
+  EXPECT_EQ(record.value().status, 200);
+  EXPECT_EQ(record.value().response_bytes, 4523u);
+  EXPECT_TRUE(record.value().user_agent.empty());
+}
+
+TEST(ClfLine, ParsesCombinedFormatWithAgent) {
+  const auto record = ParseClfLine(
+      "12.65.147.94 - bala [13/Feb/1998:10:15:30 +0000] "
+      "\"POST /cgi/vote HTTP/1.1\" 302 0 "
+      "\"http://ref.example/\" \"Mozilla/4.5 [en] (WinNT; I)\"");
+  ASSERT_TRUE(record.ok()) << record.error();
+  EXPECT_EQ(record.value().method, Method::kPost);
+  EXPECT_EQ(record.value().user_agent, "Mozilla/4.5 [en] (WinNT; I)");
+}
+
+TEST(ClfLine, DashByteCountMeansZero) {
+  const auto record = ParseClfLine(
+      "12.65.147.94 - - [13/Feb/1998:10:15:30 +0000] "
+      "\"GET /x HTTP/1.0\" 304 -");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record.value().response_bytes, 0u);
+  EXPECT_EQ(record.value().status, 304);
+}
+
+TEST(ClfLine, AcceptsVersionlessRequests) {
+  const auto record = ParseClfLine(
+      "12.65.147.94 - - [13/Feb/1998:10:15:30 +0000] \"GET /legacy\" 200 10");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record.value().url, "/legacy");
+}
+
+TEST(ClfLine, UnknownMethodsMapToOther) {
+  const auto record = ParseClfLine(
+      "12.65.147.94 - - [13/Feb/1998:10:15:30 +0000] "
+      "\"OPTIONS /x HTTP/1.1\" 200 10");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record.value().method, Method::kOther);
+}
+
+TEST(ClfLine, RejectsStructurallyBrokenLines) {
+  for (const char* line :
+       {"", "just nonsense", "12.65.147.94 - -",
+        "not-an-ip - - [13/Feb/1998:10:15:30 +0000] \"GET /x HTTP/1.0\" 200 1",
+        "12.65.147.94 - - [not-a-date] \"GET /x HTTP/1.0\" 200 1",
+        "12.65.147.94 - - [13/Feb/1998:10:15:30 +0000] \"GETNOSPACE\" 200 1",
+        "12.65.147.94 - - [13/Feb/1998:10:15:30 +0000] \"GET /x\" xx 1",
+        "12.65.147.94 - - [13/Feb/1998:10:15:30 +0000] \"GET /x\" 200 bad"}) {
+    EXPECT_FALSE(ParseClfLine(line).ok()) << "accepted: " << line;
+  }
+}
+
+TEST(ClfLine, FormatParseRoundTrip) {
+  LogRecord record;
+  record.client = net::IpAddress(24, 48, 3, 87);
+  record.timestamp = 887361330;
+  record.method = Method::kGet;
+  record.url = "/results/speed_skating.html";
+  record.status = 200;
+  record.response_bytes = 8192;
+  record.user_agent = "Mozilla/4.08 [en] (Win98; I)";
+
+  const auto parsed = ParseClfLine(FormatClfLine(record));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value(), record);
+
+  record.user_agent.clear();  // plain CLF path
+  const auto parsed_plain = ParseClfLine(FormatClfLine(record));
+  ASSERT_TRUE(parsed_plain.ok());
+  EXPECT_EQ(parsed_plain.value(), record);
+}
+
+}  // namespace
+}  // namespace netclust::weblog

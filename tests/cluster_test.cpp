@@ -1,0 +1,212 @@
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_fixtures.h"
+#include "weblog/record.h"
+
+namespace netclust::core {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+Prefix P(const char* text) { return Prefix::Parse(text).value(); }
+IpAddress A(const char* text) { return IpAddress::Parse(text).value(); }
+
+weblog::LogRecord Rec(const char* client, std::int64_t t, const char* url,
+                      std::uint64_t bytes = 100) {
+  weblog::LogRecord record;
+  record.client = A(client);
+  record.timestamp = t;
+  record.url = url;
+  record.response_bytes = bytes;
+  return record;
+}
+
+// The §3.2.1 worked example as a full pipeline test.
+class WorkedExample : public ::testing::Test {
+ protected:
+  WorkedExample() : log_("worked-example") {
+    const int bgp = table_.AddSource(
+        {"TEST", "1/1/2000", bgp::SourceKind::kBgpTable, ""});
+    table_.Insert(P("12.65.128.0/19"), bgp);
+    table_.Insert(P("24.48.2.0/23"), bgp);
+
+    std::int64_t t = 0;
+    for (const char* client :
+         {"12.65.147.94", "12.65.147.149", "12.65.146.207", "12.65.144.247",
+          "24.48.3.87", "24.48.2.166"}) {
+      log_.Append(Rec(client, ++t, "/index.html"));
+    }
+  }
+
+  bgp::PrefixTable table_;
+  weblog::ServerLog log_;
+};
+
+TEST_F(WorkedExample, NetworkAwareGroupsPerPaper) {
+  const Clustering clustering = ClusterNetworkAware(log_, table_);
+  EXPECT_EQ(clustering.approach, "network-aware");
+  ASSERT_EQ(clustering.cluster_count(), 2u);
+  EXPECT_EQ(clustering.client_count(), 6u);
+  EXPECT_TRUE(clustering.unclustered.empty());
+  EXPECT_DOUBLE_EQ(clustering.coverage(), 1.0);
+
+  const Cluster* att = nullptr;
+  const Cluster* cable = nullptr;
+  for (const Cluster& cluster : clustering.clusters) {
+    if (cluster.key == P("12.65.128.0/19")) att = &cluster;
+    if (cluster.key == P("24.48.2.0/23")) cable = &cluster;
+  }
+  ASSERT_NE(att, nullptr);
+  ASSERT_NE(cable, nullptr);
+  EXPECT_EQ(att->members.size(), 4u);
+  EXPECT_EQ(att->requests, 4u);
+  EXPECT_EQ(cable->members.size(), 2u);
+  EXPECT_EQ(cable->unique_urls, 1u);
+}
+
+TEST_F(WorkedExample, UnmatchedClientsAreReported) {
+  log_.Append(Rec("99.99.99.99", 100, "/index.html"));
+  const Clustering clustering = ClusterNetworkAware(log_, table_);
+  ASSERT_EQ(clustering.unclustered.size(), 1u);
+  EXPECT_EQ(clustering.clients[clustering.unclustered[0]].address,
+            A("99.99.99.99"));
+  EXPECT_LT(clustering.coverage(), 1.0);
+}
+
+TEST_F(WorkedExample, SimpleApproachSplitsThe19) {
+  const Clustering clustering = ClusterSimple(log_);
+  EXPECT_EQ(clustering.approach, "simple");
+  // 12.65.147.x, 12.65.146.x, 12.65.144.x, 24.48.3.x, 24.48.2.x: 5 keys.
+  EXPECT_EQ(clustering.cluster_count(), 5u);
+  EXPECT_TRUE(clustering.unclustered.empty());
+  for (const Cluster& cluster : clustering.clusters) {
+    EXPECT_EQ(cluster.key.length(), 24);
+  }
+}
+
+TEST_F(WorkedExample, ClassfulUsesClassBoundaries) {
+  const Clustering clustering = ClusterClassful(log_);
+  // 12.x is class A (/8), 24.x is class A (/8): 2 clusters.
+  ASSERT_EQ(clustering.cluster_count(), 2u);
+  for (const Cluster& cluster : clustering.clusters) {
+    EXPECT_EQ(cluster.key.length(), 8);
+  }
+}
+
+TEST_F(WorkedExample, PerClientAndPerClusterTalliesAgree) {
+  log_.Append(Rec("12.65.147.94", 50, "/big", 5000));
+  const Clustering clustering = ClusterNetworkAware(log_, table_);
+
+  std::uint64_t cluster_requests = 0;
+  std::uint64_t client_requests = 0;
+  for (const Cluster& cluster : clustering.clusters) {
+    cluster_requests += cluster.requests;
+  }
+  for (const ClientStats& client : clustering.clients) {
+    client_requests += client.requests;
+  }
+  EXPECT_EQ(cluster_requests, log_.request_count());
+  EXPECT_EQ(client_requests, log_.request_count());
+  EXPECT_EQ(clustering.total_requests, log_.request_count());
+
+  for (const ClientStats& client : clustering.clients) {
+    if (client.address == A("12.65.147.94")) {
+      EXPECT_EQ(client.requests, 2u);
+      EXPECT_EQ(client.bytes, 5100u);
+    }
+  }
+}
+
+TEST_F(WorkedExample, DumpClusteredClientsAreFlagged) {
+  const int dump = table_.AddSource(
+      {"ARIN", "10/1999", bgp::SourceKind::kNetworkDump, ""});
+  table_.Insert(P("99.0.0.0/8"), dump);
+  log_.Append(Rec("99.99.99.99", 100, "/index.html"));
+
+  const Clustering clustering = ClusterNetworkAware(log_, table_);
+  EXPECT_EQ(clustering.dump_clustered_clients(), 1u);
+  EXPECT_TRUE(clustering.unclustered.empty());
+}
+
+TEST_F(WorkedExample, ClusterIndexFindsMembers) {
+  const Clustering clustering = ClusterNetworkAware(log_, table_);
+  const ClusterIndex index(clustering);
+  const auto c1 = index.ClusterOf(A("12.65.147.94"));
+  const auto c2 = index.ClusterOf(A("12.65.144.247"));
+  const auto c3 = index.ClusterOf(A("24.48.3.87"));
+  ASSERT_TRUE(c1.has_value());
+  ASSERT_TRUE(c2.has_value());
+  ASSERT_TRUE(c3.has_value());
+  EXPECT_EQ(*c1, *c2);
+  EXPECT_NE(*c1, *c3);
+  EXPECT_FALSE(index.ClusterOf(A("8.8.8.8")).has_value());
+}
+
+TEST(ClusterAddresses, WeightedServerClustering) {
+  bgp::PrefixTable table;
+  const int bgp = table.AddSource(
+      {"TEST", "1/1/2000", bgp::SourceKind::kBgpTable, ""});
+  table.Insert(P("12.65.128.0/19"), bgp);
+
+  const std::vector<AddressLoad> loads = {
+      {A("12.65.147.94"), 100, 1000},
+      {A("12.65.146.207"), 50, 500},
+      {A("99.1.1.1"), 7, 70},
+  };
+  const Clustering clustering = ClusterAddresses("proxy-trace", loads, table);
+  ASSERT_EQ(clustering.cluster_count(), 1u);
+  EXPECT_EQ(clustering.clusters[0].requests, 150u);
+  EXPECT_EQ(clustering.clusters[0].bytes, 1500u);
+  EXPECT_EQ(clustering.unclustered.size(), 1u);
+  EXPECT_EQ(clustering.total_requests, 157u);
+}
+
+TEST(ClusteringProperty, ClustersPartitionTheClusteredClients) {
+  const auto& world = testing::GetSmallWorld();
+  const Clustering clustering =
+      ClusterNetworkAware(world.generated.log, world.table);
+
+  std::unordered_set<std::uint32_t> seen;
+  for (const Cluster& cluster : clustering.clusters) {
+    EXPECT_FALSE(cluster.members.empty());
+    for (const std::uint32_t member : cluster.members) {
+      EXPECT_TRUE(seen.insert(member).second) << "client in two clusters";
+      // Every member's address is inside the cluster's keying prefix.
+      EXPECT_TRUE(cluster.key.Contains(clustering.clients[member].address));
+    }
+  }
+  for (const std::uint32_t member : clustering.unclustered) {
+    EXPECT_TRUE(seen.insert(member).second);
+  }
+  EXPECT_EQ(seen.size(), clustering.client_count());
+}
+
+TEST(ClusteringProperty, NetworkAwareNeverSplitsAnAllocationAcrossClusters) {
+  // LPM with a fixed table maps all hosts of one allocation to the same
+  // cluster key unless the table has sub-allocation prefixes, which the
+  // vantage generator never emits: so network-aware clusters must be
+  // allocation-aligned or coarser.
+  const auto& world = testing::GetSmallWorld();
+  const Clustering clustering =
+      ClusterNetworkAware(world.generated.log, world.table);
+  const ClusterIndex index(clustering);
+
+  std::unordered_map<std::uint32_t, std::uint32_t> allocation_cluster;
+  for (const auto& [address, allocation] :
+       world.generated.truth.client_allocation) {
+    const auto cluster = index.ClusterOf(address);
+    if (!cluster.has_value()) continue;
+    const auto [it, inserted] =
+        allocation_cluster.emplace(allocation, *cluster);
+    EXPECT_EQ(it->second, *cluster)
+        << "allocation " << allocation << " split across clusters";
+  }
+}
+
+}  // namespace
+}  // namespace netclust::core

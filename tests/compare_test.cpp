@@ -1,0 +1,114 @@
+#include "core/compare.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+#include "validate/oracles.h"
+
+#include "core/self_correct.h"
+
+namespace netclust::core {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+Clustering Make(const std::vector<std::vector<const char*>>& groups,
+                const std::vector<const char*>& loose = {}) {
+  Clustering clustering;
+  std::uint32_t id = 0;
+  std::uint32_t block = 0;
+  for (const auto& group : groups) {
+    Cluster cluster;
+    cluster.key = Prefix(IpAddress(10, 0, static_cast<std::uint8_t>(block++), 0), 24);
+    for (const char* address : group) {
+      clustering.clients.push_back(
+          ClientStats{IpAddress::Parse(address).value(), 1, 0});
+      cluster.members.push_back(id++);
+    }
+    clustering.clusters.push_back(std::move(cluster));
+  }
+  for (const char* address : loose) {
+    clustering.clients.push_back(
+        ClientStats{IpAddress::Parse(address).value(), 1, 0});
+    clustering.unclustered.push_back(id++);
+  }
+  return clustering;
+}
+
+TEST(Compare, IdenticalClusteringsScorePerfect) {
+  const Clustering a =
+      Make({{"1.1.1.1", "1.1.1.2"}, {"2.2.2.1", "2.2.2.2", "2.2.2.3"}});
+  const ClusteringComparison c = CompareClusterings(a, a);
+  EXPECT_EQ(c.shared_clients, 5u);
+  EXPECT_DOUBLE_EQ(c.bcubed_precision, 1.0);
+  EXPECT_DOUBLE_EQ(c.bcubed_recall, 1.0);
+  EXPECT_DOUBLE_EQ(c.rand_index, 1.0);
+  EXPECT_DOUBLE_EQ(c.BCubedF1(), 1.0);
+}
+
+TEST(Compare, SplitLowersRecallNotPrecision) {
+  // Reference: one 4-client cluster. Left: split into two pairs.
+  const Clustering reference =
+      Make({{"1.1.1.1", "1.1.1.2", "1.1.1.3", "1.1.1.4"}});
+  const Clustering split =
+      Make({{"1.1.1.1", "1.1.1.2"}, {"1.1.1.3", "1.1.1.4"}});
+  const ClusteringComparison c = CompareClusterings(split, reference);
+  EXPECT_DOUBLE_EQ(c.bcubed_precision, 1.0);  // siblings are true siblings
+  EXPECT_DOUBLE_EQ(c.bcubed_recall, 0.5);     // half the true siblings lost
+  // Rand: pairs 6 total, 2 in-pair agreements, 4 cross-pair disagreements.
+  EXPECT_NEAR(c.rand_index, 1.0 - 4.0 / 6.0, 1e-12);
+}
+
+TEST(Compare, MergeLowersPrecisionNotRecall) {
+  const Clustering reference =
+      Make({{"1.1.1.1", "1.1.1.2"}, {"1.1.1.3", "1.1.1.4"}});
+  const Clustering merged =
+      Make({{"1.1.1.1", "1.1.1.2", "1.1.1.3", "1.1.1.4"}});
+  const ClusteringComparison c = CompareClusterings(merged, reference);
+  EXPECT_DOUBLE_EQ(c.bcubed_precision, 0.5);
+  EXPECT_DOUBLE_EQ(c.bcubed_recall, 1.0);
+}
+
+TEST(Compare, UnclusteredClientsAreSingletons) {
+  const Clustering a = Make({{"1.1.1.1", "1.1.1.2"}}, {"9.9.9.9"});
+  const Clustering b = Make({{"1.1.1.1", "1.1.1.2"}, {"9.9.9.9"}});
+  const ClusteringComparison c = CompareClusterings(a, b);
+  EXPECT_EQ(c.shared_clients, 3u);
+  EXPECT_DOUBLE_EQ(c.rand_index, 1.0);  // singleton == singleton cluster
+}
+
+TEST(Compare, DisjointClientSetsAreReported) {
+  const Clustering a = Make({{"1.1.1.1"}});
+  const Clustering b = Make({{"2.2.2.2", "2.2.2.3"}});
+  const ClusteringComparison c = CompareClusterings(a, b);
+  EXPECT_EQ(c.shared_clients, 0u);
+  EXPECT_EQ(c.only_in_left, 1u);
+  EXPECT_EQ(c.only_in_right, 2u);
+}
+
+TEST(Compare, SimpleApproachScoresWorseThanSelfCorrected) {
+  // End-to-end sanity: against the batch network-aware clustering, the
+  // /24 baseline must agree less than the self-corrected clustering does.
+  const auto& world = netclust::testing::GetSmallWorld();
+  const Clustering aware =
+      ClusterNetworkAware(world.generated.log, world.table);
+  const Clustering simple = ClusterSimple(world.generated.log);
+  const validate::OptimizedTraceroute oracle(world.internet);
+  const auto [corrected, report] = SelfCorrect(aware, oracle);
+
+  const auto simple_score = CompareClusterings(simple, aware);
+  const auto corrected_score = CompareClusterings(corrected, aware);
+  EXPECT_EQ(simple_score.shared_clients, aware.client_count());
+  EXPECT_LT(simple_score.BCubedF1(), corrected_score.BCubedF1());
+  EXPECT_LT(simple_score.bcubed_recall, 0.9);  // /24 fragments communities
+  // Corrections split the aggregated (too-large) clusters, so recall
+  // against the *raw* clustering dips, but never below the wholesale
+  // damage the /24 heuristic does.
+  EXPECT_GT(corrected_score.BCubedF1(), 0.8);
+  // Near-perfect precision: merges (same-path clusters fused) are rare.
+  EXPECT_GT(corrected_score.bcubed_precision, 0.99);
+}
+
+}  // namespace
+}  // namespace netclust::core

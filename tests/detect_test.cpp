@@ -1,0 +1,150 @@
+#include "core/detect.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "test_fixtures.h"
+
+namespace netclust::core {
+namespace {
+
+class DetectOnSmallWorld : public ::testing::Test {
+ protected:
+  DetectOnSmallWorld()
+      : world_(netclust::testing::GetSmallWorld()),
+        clustering_(ClusterNetworkAware(world_.generated.log, world_.table)),
+        report_(DetectSpidersAndProxies(world_.generated.log, clustering_)) {}
+
+  const netclust::testing::SmallWorld& world_;
+  Clustering clustering_;
+  DetectionReport report_;
+};
+
+TEST_F(DetectOnSmallWorld, FindsTheInjectedSpider) {
+  const auto spiders = report_.SpiderAddresses();
+  ASSERT_EQ(world_.generated.truth.spiders.size(), 1u);
+  const net::IpAddress truth = *world_.generated.truth.spiders.begin();
+  EXPECT_TRUE(spiders.contains(truth))
+      << "spider " << truth.ToString() << " not flagged";
+}
+
+TEST_F(DetectOnSmallWorld, FindsTheInjectedProxy) {
+  const auto proxies = report_.ProxyAddresses();
+  ASSERT_EQ(world_.generated.truth.proxies.size(), 1u);
+  const net::IpAddress truth = *world_.generated.truth.proxies.begin();
+  EXPECT_TRUE(proxies.contains(truth))
+      << "proxy " << truth.ToString() << " not flagged";
+}
+
+TEST_F(DetectOnSmallWorld, DoesNotDrownInFalsePositives) {
+  EXPECT_LE(report_.suspects.size(), 8u);
+  for (const Suspect& suspect : report_.suspects) {
+    // Every suspect dominates its cluster, as required for candidacy.
+    EXPECT_GE(suspect.cluster_request_share, 0.5);
+  }
+}
+
+TEST_F(DetectOnSmallWorld, SpiderAndProxyHaveOpposedArrivalPatterns) {
+  const Suspect* spider = nullptr;
+  const Suspect* proxy = nullptr;
+  for (const Suspect& suspect : report_.suspects) {
+    if (world_.generated.truth.spiders.contains(suspect.client)) {
+      spider = &suspect;
+    }
+    if (world_.generated.truth.proxies.contains(suspect.client)) {
+      proxy = &suspect;
+    }
+  }
+  ASSERT_NE(spider, nullptr);
+  ASSERT_NE(proxy, nullptr);
+  // Figure 9: the proxy tracks the log's diurnal wave all day long; the
+  // spider is a tight burst (low active fraction, weaker correlation).
+  EXPECT_GT(proxy->arrival_correlation, 0.5);
+  EXPECT_GT(proxy->active_fraction, 0.8);
+  EXPECT_LE(spider->active_fraction, 0.5);
+  EXPECT_LT(spider->arrival_correlation, proxy->arrival_correlation);
+}
+
+TEST_F(DetectOnSmallWorld, SpiderDominatesItsClusterLikeFigureTen) {
+  for (const Suspect& suspect : report_.suspects) {
+    if (suspect.kind != SuspectKind::kSpider) continue;
+    // Figure 10: 99.79% of the cluster's requests from the spider host.
+    EXPECT_GT(suspect.cluster_request_share, 0.9);
+    EXPECT_GT(suspect.unique_urls, 100u);
+  }
+}
+
+TEST_F(DetectOnSmallWorld, ProxyPresentsManyUserAgents) {
+  for (const Suspect& suspect : report_.suspects) {
+    if (world_.generated.truth.proxies.contains(suspect.client)) {
+      EXPECT_GE(suspect.distinct_agents, 4u);
+    }
+  }
+}
+
+TEST_F(DetectOnSmallWorld, RemoveClientsStripsAllTheirRequests) {
+  const auto flagged = report_.AllAddresses();
+  ASSERT_FALSE(flagged.empty());
+  const weblog::ServerLog filtered =
+      RemoveClients(world_.generated.log, flagged);
+
+  std::uint64_t flagged_requests = 0;
+  for (const auto& request : world_.generated.log.requests()) {
+    if (flagged.contains(request.client)) ++flagged_requests;
+  }
+  EXPECT_EQ(filtered.request_count(),
+            world_.generated.log.request_count() - flagged_requests);
+  EXPECT_EQ(filtered.unique_clients(),
+            world_.generated.log.unique_clients() - flagged.size());
+  for (const auto& request : filtered.requests()) {
+    EXPECT_FALSE(flagged.contains(request.client));
+  }
+}
+
+TEST(Detect, EmptyLogYieldsNothing) {
+  weblog::ServerLog log("empty");
+  Clustering clustering;
+  const DetectionReport report = DetectSpidersAndProxies(log, clustering);
+  EXPECT_TRUE(report.suspects.empty());
+}
+
+TEST(Detect, QuietLogHasNoSuspects) {
+  // A handful of light clients: nobody crosses the min_log_share bar.
+  weblog::ServerLog log("quiet");
+  for (int i = 0; i < 100; ++i) {
+    weblog::LogRecord record;
+    record.client = net::IpAddress(10, 0, static_cast<std::uint8_t>(i), 1);
+    record.timestamp = i * 60;
+    record.url = "/p" + std::to_string(i % 7);
+    log.Append(record);
+  }
+  bgp::PrefixTable table;
+  const int src = table.AddSource(
+      {"T", "1/1/2000", bgp::SourceKind::kBgpTable, ""});
+  table.Insert(net::Prefix(net::IpAddress(10, 0, 0, 0), 8), src);
+  const Clustering clustering = ClusterNetworkAware(log, table);
+
+  DetectionConfig config;
+  config.min_log_share = 0.1;
+  const DetectionReport report =
+      DetectSpidersAndProxies(log, clustering, config);
+  EXPECT_TRUE(report.suspects.empty());
+}
+
+TEST(Detect, ReportAddressSetsArePartitioned) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const Clustering clustering =
+      ClusterNetworkAware(world.generated.log, world.table);
+  const DetectionReport report =
+      DetectSpidersAndProxies(world.generated.log, clustering);
+  const auto spiders = report.SpiderAddresses();
+  const auto proxies = report.ProxyAddresses();
+  const auto all = report.AllAddresses();
+  EXPECT_EQ(spiders.size() + proxies.size(), all.size());
+  for (const auto& address : spiders) {
+    EXPECT_FALSE(proxies.contains(address));
+  }
+}
+
+}  // namespace
+}  // namespace netclust::core

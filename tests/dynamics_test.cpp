@@ -1,0 +1,87 @@
+#include "bgp/dynamics.h"
+
+#include <gtest/gtest.h>
+
+namespace netclust::bgp {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+Prefix P(const char* text) { return Prefix::Parse(text).value(); }
+
+TEST(Dynamics, EmptyInput) {
+  const DynamicsReport report = AnalyzeDynamics({});
+  EXPECT_EQ(report.maximum_effect, 0u);
+  EXPECT_EQ(report.union_size, 0u);
+  EXPECT_TRUE(DynamicPrefixSet({}).empty());
+}
+
+TEST(Dynamics, StableTableHasNoDynamicPrefixes) {
+  const std::vector<Prefix> day = {P("12.0.0.0/8"), P("18.0.0.0/8")};
+  const DynamicsReport report = AnalyzeDynamics({day, day, day});
+  EXPECT_EQ(report.maximum_effect, 0u);
+  EXPECT_EQ(report.union_size, 2u);
+  EXPECT_EQ(report.intersection_size, 2u);
+}
+
+TEST(Dynamics, DynamicSetIsUnionMinusIntersection) {
+  const std::vector<Prefix> day0 = {P("12.0.0.0/8"), P("18.0.0.0/8"),
+                                    P("24.48.2.0/23")};
+  const std::vector<Prefix> day1 = {P("12.0.0.0/8"), P("18.0.0.0/8"),
+                                    P("151.198.0.0/16")};
+  const std::vector<Prefix> day2 = {P("12.0.0.0/8"), P("24.48.2.0/23"),
+                                    P("151.198.0.0/16")};
+
+  const PrefixSet dynamic = DynamicPrefixSet({day0, day1, day2});
+  // Only 12.0.0.0/8 is in every snapshot.
+  EXPECT_EQ(dynamic.size(), 3u);
+  EXPECT_TRUE(dynamic.contains(P("18.0.0.0/8")));
+  EXPECT_TRUE(dynamic.contains(P("24.48.2.0/23")));
+  EXPECT_TRUE(dynamic.contains(P("151.198.0.0/16")));
+  EXPECT_FALSE(dynamic.contains(P("12.0.0.0/8")));
+
+  const DynamicsReport report = AnalyzeDynamics({day0, day1, day2});
+  EXPECT_EQ(report.first_snapshot_size, 3u);
+  EXPECT_EQ(report.last_snapshot_size, 3u);
+  EXPECT_EQ(report.union_size, 4u);
+  EXPECT_EQ(report.intersection_size, 1u);
+  EXPECT_EQ(report.maximum_effect, 3u);
+}
+
+TEST(Dynamics, DuplicateEntriesWithinOneSnapshotCollapse) {
+  const std::vector<Prefix> day0 = {P("12.0.0.0/8"), P("12.0.0.0/8")};
+  const std::vector<Prefix> day1 = {P("12.0.0.0/8")};
+  EXPECT_TRUE(DynamicPrefixSet({day0, day1}).empty());
+}
+
+TEST(Dynamics, GrowingWindowOnlyGrowsTheDynamicSet) {
+  // More snapshots can only move prefixes out of the intersection — the
+  // reason Table 4's maximum effect increases with the period.
+  std::vector<std::vector<Prefix>> snapshots;
+  std::size_t previous = 0;
+  for (int day = 0; day < 6; ++day) {
+    std::vector<Prefix> snapshot = {P("12.0.0.0/8"), P("18.0.0.0/8")};
+    // A rotating extra prefix differs every day.
+    snapshot.push_back(Prefix(IpAddress(static_cast<std::uint32_t>(
+                                  0x20000000u + (day << 16))),
+                              16));
+    snapshots.push_back(snapshot);
+    const std::size_t effect = DynamicPrefixSet(snapshots).size();
+    EXPECT_GE(effect, previous);
+    previous = effect;
+  }
+  EXPECT_EQ(previous, 6u);
+}
+
+TEST(Dynamics, CountAffectedChecksMembership) {
+  const PrefixSet dynamic = {P("18.0.0.0/8"), P("24.48.2.0/23")};
+  const std::vector<Prefix> used = {P("12.0.0.0/8"), P("18.0.0.0/8"),
+                                    P("99.0.0.0/8")};
+  EXPECT_EQ(CountAffected(used, dynamic), 1u);
+  EXPECT_EQ(CountAffected({}, dynamic), 0u);
+  EXPECT_EQ(CountAffected(used, {}), 0u);
+}
+
+}  // namespace
+}  // namespace netclust::bgp

@@ -1,0 +1,163 @@
+// On-disk round trips: save vantage tables (text + both MRT generations)
+// and a CLF log to a temp directory, load everything back, and require
+// the file-based pipeline to reproduce the in-memory clustering exactly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "bgp/io.h"
+#include "bgp/prefix_table.h"
+#include "core/cluster.h"
+#include "test_fixtures.h"
+
+namespace netclust {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("netclust_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(FileRoundTrip, SnapshotFilesInEveryFormat) {
+  const auto& world = testing::GetSmallWorld();
+  const synth::VantageGenerator vantages(world.internet,
+                                         synth::DefaultVantageProfiles());
+  const bgp::Snapshot original = vantages.MakeSnapshot(9, 0);  // OREGON
+
+  const struct {
+    bgp::SnapshotFileFormat format;
+    const char* name;
+  } cases[] = {
+      {bgp::SnapshotFileFormat::kText, "table.txt"},
+      {bgp::SnapshotFileFormat::kMrtV1, "table.v1.mrt"},
+      {bgp::SnapshotFileFormat::kMrtV2, "table.v2.mrt"},
+  };
+  for (const auto& c : cases) {
+    const std::string path = (dir_ / c.name).string();
+    const auto saved = bgp::SaveSnapshotFile(
+        original, path, c.format, net::PrefixStyle::kDottedMask, 42);
+    ASSERT_TRUE(saved.ok()) << saved.error();
+
+    const auto loaded = bgp::LoadSnapshotFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error();
+    EXPECT_EQ(loaded.value().format, c.format) << c.name;
+    EXPECT_EQ(loaded.value().skipped, 0u);
+    ASSERT_EQ(loaded.value().snapshot.entries.size(),
+              original.entries.size())
+        << c.name;
+    for (std::size_t i = 0; i < original.entries.size(); ++i) {
+      EXPECT_EQ(loaded.value().snapshot.entries[i].prefix,
+                original.entries[i].prefix);
+    }
+  }
+}
+
+TEST_F(FileRoundTrip, LoadRejectsMissingFile) {
+  const auto loaded = bgp::LoadSnapshotFile((dir_ / "absent.txt").string());
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(FileRoundTrip, ClfLogRoundTripsLosslessly) {
+  const auto& world = testing::GetSmallWorld();
+  const auto& original = world.generated.log;
+
+  const fs::path path = dir_ / "access.log";
+  {
+    std::ofstream out(path);
+    EXPECT_EQ(original.WriteClfStream(out), original.request_count());
+  }
+  weblog::ServerLog reloaded("reloaded");
+  {
+    std::ifstream in(path);
+    std::size_t malformed = 0;
+    reloaded.AppendClfStream(in, &malformed);
+    EXPECT_EQ(malformed, 0u);
+  }
+  ASSERT_EQ(reloaded.request_count(), original.request_count());
+  EXPECT_EQ(reloaded.unique_clients(), original.unique_clients());
+  EXPECT_EQ(reloaded.unique_urls(), original.unique_urls());
+  EXPECT_EQ(reloaded.start_time(), original.start_time());
+  EXPECT_EQ(reloaded.end_time(), original.end_time());
+  for (std::size_t i = 0; i < original.requests().size(); i += 997) {
+    const auto& a = original.requests()[i];
+    const auto& b = reloaded.requests()[i];
+    EXPECT_EQ(a.client, b.client);
+    EXPECT_EQ(a.timestamp, b.timestamp);
+    EXPECT_EQ(original.url(a.url_id), reloaded.url(b.url_id));
+    EXPECT_EQ(a.response_bytes, b.response_bytes);
+    EXPECT_EQ(a.status, b.status);
+  }
+}
+
+TEST_F(FileRoundTrip, FileBasedPipelineMatchesInMemoryClustering) {
+  const auto& world = testing::GetSmallWorld();
+  const synth::VantageGenerator vantages(world.internet,
+                                         synth::DefaultVantageProfiles());
+
+  // Persist four representative tables (two text styles, two MRT
+  // generations) and the log.
+  const struct {
+    std::size_t source;
+    bgp::SnapshotFileFormat format;
+    const char* name;
+  } tables[] = {
+      {0, bgp::SnapshotFileFormat::kText, "aads.txt"},
+      {1, bgp::SnapshotFileFormat::kText, "arin.txt"},
+      {2, bgp::SnapshotFileFormat::kMrtV1, "att.mrt"},
+      {9, bgp::SnapshotFileFormat::kMrtV2, "oregon.mrt"},
+  };
+  bgp::PrefixTable direct;
+  bgp::PrefixTable via_files;
+  for (const auto& t : tables) {
+    bgp::Snapshot snapshot = vantages.MakeSnapshot(t.source, 0);
+    // MRT carries no source-kind metadata; mirror the profile's kind.
+    snapshot.info.kind = vantages.profiles()[t.source].info.kind;
+    direct.AddSnapshot(snapshot);
+
+    const std::string path = (dir_ / t.name).string();
+    ASSERT_TRUE(bgp::SaveSnapshotFile(snapshot, path, t.format,
+                                      vantages.profiles()[t.source].style)
+                    .ok());
+    auto loaded = bgp::LoadSnapshotFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error();
+    loaded.value().snapshot.info.kind = snapshot.info.kind;
+    via_files.AddSnapshot(loaded.value().snapshot);
+  }
+
+  const fs::path log_path = dir_ / "access.log";
+  {
+    std::ofstream out(log_path);
+    world.generated.log.WriteClfStream(out);
+  }
+  weblog::ServerLog log("from-file");
+  {
+    std::ifstream in(log_path);
+    log.AppendClfStream(in);
+  }
+
+  const core::Clustering expected =
+      core::ClusterNetworkAware(world.generated.log, direct);
+  const core::Clustering actual = core::ClusterNetworkAware(log, via_files);
+  ASSERT_EQ(actual.cluster_count(), expected.cluster_count());
+  EXPECT_EQ(actual.client_count(), expected.client_count());
+  EXPECT_EQ(actual.unclustered.size(), expected.unclustered.size());
+  for (std::size_t c = 0; c < expected.clusters.size(); ++c) {
+    EXPECT_EQ(actual.clusters[c].key, expected.clusters[c].key);
+    EXPECT_EQ(actual.clusters[c].members.size(),
+              expected.clusters[c].members.size());
+    EXPECT_EQ(actual.clusters[c].requests, expected.clusters[c].requests);
+  }
+}
+
+}  // namespace
+}  // namespace netclust

@@ -1,0 +1,292 @@
+#include "synth/internet.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <unordered_set>
+
+#include "synth/buddy.h"
+
+namespace netclust::synth {
+namespace {
+
+InternetConfig SmallConfig(std::uint64_t seed = 7) {
+  InternetConfig config;
+  config.seed = seed;
+  config.allocation_count = 2000;
+  return config;
+}
+
+TEST(BuddyAllocator, SplitsAndExhausts) {
+  BuddyAllocator buddy;
+  buddy.AddRoot(net::Prefix(net::IpAddress(10, 0, 0, 0), 8));
+  EXPECT_EQ(buddy.FreeSpace(), 1u << 24);
+
+  const auto a = buddy.Allocate(9);
+  const auto b = buddy.Allocate(9);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_FALSE(buddy.Allocate(9).has_value());  // /8 fully consumed
+  EXPECT_EQ(buddy.FreeSpace(), 0u);
+}
+
+TEST(BuddyAllocator, AllocationsAreDisjointAndAligned) {
+  BuddyAllocator buddy;
+  buddy.AddRoot(net::Prefix(net::IpAddress(10, 0, 0, 0), 8));
+  std::vector<net::Prefix> blocks;
+  for (int length : {12, 24, 16, 28, 9, 20, 24, 24, 13}) {
+    const auto block = buddy.Allocate(length);
+    ASSERT_TRUE(block.has_value()) << length;
+    EXPECT_EQ(block->length(), length);
+    // Alignment: network address is a multiple of the block size.
+    EXPECT_EQ(block->network().bits() % block->size(), 0u);
+    blocks.push_back(*block);
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      EXPECT_FALSE(blocks[i].Contains(blocks[j]) ||
+                   blocks[j].Contains(blocks[i]))
+          << blocks[i].ToString() << " vs " << blocks[j].ToString();
+    }
+  }
+}
+
+TEST(BuddyAllocator, CannotAllocateWithoutRoots) {
+  BuddyAllocator buddy;
+  EXPECT_FALSE(buddy.Allocate(24).has_value());
+}
+
+TEST(Internet, GeneratesRequestedAllocationCount) {
+  const Internet internet = GenerateInternet(SmallConfig());
+  EXPECT_EQ(internet.allocations().size(), 2000u);
+  EXPECT_GT(internet.orgs().size(), 100u);
+}
+
+TEST(Internet, GenerationIsDeterministic) {
+  const Internet a = GenerateInternet(SmallConfig(42));
+  const Internet b = GenerateInternet(SmallConfig(42));
+  ASSERT_EQ(a.allocations().size(), b.allocations().size());
+  for (std::size_t i = 0; i < a.allocations().size(); ++i) {
+    EXPECT_EQ(a.allocations()[i].prefix, b.allocations()[i].prefix);
+    EXPECT_EQ(a.allocations()[i].domain, b.allocations()[i].domain);
+  }
+  // A different seed must change the generated world somewhere (the very
+  // first block can coincide — the buddy allocator always starts carving
+  // from the same root — so compare the whole sequence).
+  const Internet c = GenerateInternet(SmallConfig(43));
+  bool any_difference = a.allocations().size() != c.allocations().size();
+  for (std::size_t i = 0;
+       !any_difference && i < std::min(a.allocations().size(),
+                                       c.allocations().size());
+       ++i) {
+    any_difference = a.allocations()[i].prefix != c.allocations()[i].prefix ||
+                     a.allocations()[i].domain != c.allocations()[i].domain;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Internet, AllocationsAreDisjoint) {
+  const Internet internet = GenerateInternet(SmallConfig());
+  // Locate() maps every allocation's first and last host back to itself,
+  // which can only hold if allocations never nest or overlap.
+  for (const Allocation& allocation : internet.allocations()) {
+    const Allocation* first = internet.Locate(allocation.prefix.first_address());
+    const Allocation* last = internet.Locate(allocation.prefix.last_address());
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(last, nullptr);
+    EXPECT_EQ(first->index, allocation.index);
+    EXPECT_EQ(last->index, allocation.index);
+  }
+}
+
+TEST(Internet, AllocationsSitInsideTheirOrgBlock) {
+  const Internet internet = GenerateInternet(SmallConfig());
+  for (const Allocation& allocation : internet.allocations()) {
+    const RegistryOrg& org = internet.orgs()[allocation.org];
+    EXPECT_TRUE(org.block.Contains(allocation.prefix))
+        << org.block.ToString() << " !contains "
+        << allocation.prefix.ToString();
+    EXPECT_EQ(allocation.as_number, org.as_number);
+  }
+}
+
+TEST(Internet, PrefixLengthDistributionPeaksAt24) {
+  // Figure 1: ~50% of prefixes are /24 and /16 is the second mode.
+  const Internet internet = GenerateInternet(SmallConfig());
+  std::map<int, std::size_t> histogram;
+  for (const Allocation& allocation : internet.allocations()) {
+    ++histogram[allocation.prefix.length()];
+  }
+  const double total = static_cast<double>(internet.allocations().size());
+  EXPECT_GT(histogram[24] / total, 0.40);
+  EXPECT_LT(histogram[24] / total, 0.60);
+  EXPECT_GT(histogram[16], histogram[17]);
+  EXPECT_GT(histogram[23], histogram[26]);
+}
+
+TEST(Internet, HostAddressStaysInsideAllocation) {
+  const Internet internet = GenerateInternet(SmallConfig());
+  const Allocation& allocation = internet.allocations()[0];
+  for (std::uint64_t i : {std::uint64_t{0}, std::uint64_t{1},
+                          allocation.prefix.size() - 3,
+                          allocation.prefix.size() * 5 + 7}) {
+    const net::IpAddress host = internet.HostAddress(allocation, i);
+    EXPECT_TRUE(allocation.prefix.Contains(host)) << i;
+    EXPECT_NE(host, allocation.prefix.network());  // network address skipped
+  }
+}
+
+TEST(Internet, DnsResolvesAboutHalfTheHosts) {
+  const Internet internet = GenerateInternet(SmallConfig());
+  std::size_t resolved = 0;
+  std::size_t total = 0;
+  for (const Allocation& allocation : internet.allocations()) {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      ++total;
+      if (internet.ResolveName(internet.HostAddress(allocation, i))) {
+        ++resolved;
+      }
+    }
+  }
+  const double rate = static_cast<double>(resolved) /
+                      static_cast<double>(total);
+  EXPECT_GT(rate, 0.35);  // the paper observed ~50%
+  EXPECT_LT(rate, 0.65);
+}
+
+TEST(Internet, ResolvedNamesCarryTheAllocationDomain) {
+  const Internet internet = GenerateInternet(SmallConfig());
+  std::size_t checked = 0;
+  for (const Allocation& allocation : internet.allocations()) {
+    if (allocation.kind != AllocationKind::kNormal) continue;
+    const auto name =
+        internet.ResolveName(internet.HostAddress(allocation, 0));
+    if (!name.has_value()) continue;
+    EXPECT_NE(name->find(allocation.domain), std::string::npos) << *name;
+    if (++checked > 50) break;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(Internet, IspResaleHostsCarryCustomerDomains) {
+  InternetConfig config = SmallConfig();
+  config.isp_resale_fraction = 0.5;  // make resale common for this test
+  config.unresolvable_allocation_fraction = 0.0;
+  config.host_dns_coverage = 1.0;
+  const Internet internet = GenerateInternet(config);
+
+  bool found_mixed = false;
+  for (const Allocation& allocation : internet.allocations()) {
+    if (allocation.kind != AllocationKind::kIspResale) continue;
+    ASSERT_FALSE(allocation.customer_domains.empty());
+    std::unordered_set<std::string> seen;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const auto name =
+          internet.ResolveName(internet.HostAddress(allocation, i));
+      ASSERT_TRUE(name.has_value());
+      EXPECT_EQ(name->find(allocation.domain), std::string::npos);
+      seen.insert(*name);
+    }
+    if (seen.size() > 1) found_mixed = true;
+  }
+  EXPECT_TRUE(found_mixed);
+}
+
+TEST(Internet, RouterPathsEndAtPerAllocationGateway) {
+  const Internet internet = GenerateInternet(SmallConfig());
+  const Allocation& a = internet.allocations()[0];
+  const Allocation& b = internet.allocations()[1];
+
+  const auto* path_a = internet.RouterPath(internet.HostAddress(a, 0));
+  const auto* path_a2 = internet.RouterPath(internet.HostAddress(a, 7));
+  const auto* path_b = internet.RouterPath(internet.HostAddress(b, 0));
+  ASSERT_NE(path_a, nullptr);
+  ASSERT_NE(path_b, nullptr);
+  EXPECT_EQ(*path_a, *path_a2);          // same allocation, same path
+  EXPECT_NE(path_a->back(), path_b->back());  // distinct gateways
+  EXPECT_GE(path_a->size(), 3u);
+}
+
+TEST(Internet, NationalGatewayOrgsExistAndAreForeign) {
+  InternetConfig config = SmallConfig();
+  config.national_gateway_org_fraction = 0.2;
+  const Internet internet = GenerateInternet(config);
+  std::size_t gateway_allocations = 0;
+  for (const Allocation& allocation : internet.allocations()) {
+    if (allocation.kind == AllocationKind::kNationalGateway) {
+      ++gateway_allocations;
+      EXPECT_FALSE(allocation.us_based);
+      EXPECT_TRUE(internet.orgs()[allocation.org].national_gateway);
+    }
+  }
+  EXPECT_GT(gateway_allocations, 50u);
+}
+
+TEST(Internet, LocateReturnsNullForUnallocatedSpace) {
+  const Internet internet = GenerateInternet(SmallConfig());
+  // 4.0.0.0/8 is a root; its very last address is unlikely to be allocated
+  // with only 2000 allocations — but loopback space is never allocated.
+  EXPECT_EQ(internet.Locate(net::IpAddress(127, 0, 0, 1)), nullptr);
+  EXPECT_EQ(internet.Locate(net::IpAddress(10, 1, 2, 3)), nullptr);
+  EXPECT_EQ(internet.Locate(net::IpAddress(230, 0, 0, 1)), nullptr);
+}
+
+TEST(Internet, RegionsFollowUsFlag) {
+  const Internet internet = GenerateInternet(SmallConfig());
+  for (const Allocation& allocation : internet.allocations()) {
+    const RegistryOrg& org = internet.orgs()[allocation.org];
+    EXPECT_EQ(allocation.region, org.region);
+    if (allocation.us_based) {
+      EXPECT_LT(allocation.region, 3);
+    } else {
+      EXPECT_GE(allocation.region, 3);
+    }
+    EXPECT_LT(allocation.region, Internet::kRegionCount);
+  }
+}
+
+TEST(Internet, RttReflectsGeography) {
+  const Internet internet = GenerateInternet(SmallConfig());
+  double us_total = 0.0;
+  double far_total = 0.0;
+  std::size_t us_count = 0;
+  std::size_t far_count = 0;
+  for (const Allocation& allocation : internet.allocations()) {
+    const double rtt = internet.RttMs(internet.HostAddress(allocation, 0),
+                                      /*from US-East*/ 0);
+    EXPECT_GT(rtt, 5.0);
+    EXPECT_LT(rtt, 500.0);
+    if (allocation.region == 0) {
+      us_total += rtt;
+      ++us_count;
+    } else if (allocation.region >= 3) {
+      far_total += rtt;
+      ++far_count;
+    }
+  }
+  ASSERT_GT(us_count, 0u);
+  ASSERT_GT(far_count, 0u);
+  // Same-region clients are much closer than other continents.
+  EXPECT_LT(us_total / static_cast<double>(us_count),
+            0.5 * far_total / static_cast<double>(far_count));
+
+  // Deterministic per host, worst-case for unrouted space.
+  const net::IpAddress host =
+      internet.HostAddress(internet.allocations()[0], 1);
+  EXPECT_DOUBLE_EQ(internet.RttMs(host), internet.RttMs(host));
+  EXPECT_GT(internet.RttMs(net::IpAddress(127, 0, 0, 1)), 25.0);
+}
+
+TEST(Internet, PaperHistogramIsExposed) {
+  const auto& histogram = PaperPrefixLengthHistogram();
+  ASSERT_EQ(histogram.size(), 33u);
+  EXPECT_EQ(histogram[24], 13937);  // Figure 1(b), 7/3/1999
+  EXPECT_EQ(histogram[16], 3098);
+  EXPECT_EQ(histogram[19], 2092);
+  EXPECT_EQ(histogram[26], 34);
+}
+
+}  // namespace
+}  // namespace netclust::synth

@@ -1,0 +1,90 @@
+#include "net/ip_address.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace netclust::net {
+namespace {
+
+TEST(IpAddress, DefaultIsUnspecified) {
+  IpAddress address;
+  EXPECT_TRUE(address.IsUnspecified());
+  EXPECT_EQ(address.bits(), 0u);
+  EXPECT_EQ(address.ToString(), "0.0.0.0");
+}
+
+TEST(IpAddress, OctetConstructor) {
+  IpAddress address(12, 65, 147, 94);
+  EXPECT_EQ(address.bits(), 0x0C41935Eu);
+  EXPECT_EQ(address.ToString(), "12.65.147.94");
+  const auto octets = address.octets();
+  EXPECT_EQ(octets[0], 12);
+  EXPECT_EQ(octets[1], 65);
+  EXPECT_EQ(octets[2], 147);
+  EXPECT_EQ(octets[3], 94);
+}
+
+TEST(IpAddress, ParseRoundTripsExamplesFromPaper) {
+  // Addresses quoted in §2 and §3.2.1 of the paper.
+  for (const char* text :
+       {"151.198.194.17", "151.198.194.34", "151.198.194.50", "12.65.147.94",
+        "12.65.147.149", "12.65.146.207", "12.65.144.247", "24.48.3.87",
+        "24.48.2.166", "0.0.0.0", "255.255.255.255"}) {
+    const auto parsed = IpAddress::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.error();
+    EXPECT_EQ(parsed.value().ToString(), text);
+  }
+}
+
+TEST(IpAddress, ParseRejectsMalformedInput) {
+  for (const char* text :
+       {"", ".", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.256", "1..2.3",
+        "1.2.3.4 ", " 1.2.3.4", "a.b.c.d", "1.2.3.-4", "01.2.3.4",
+        "1.2.3.04", "1.2.3.4/24", "1.2.3.1000"}) {
+    EXPECT_FALSE(IpAddress::Parse(text).ok()) << "accepted: '" << text << "'";
+  }
+}
+
+TEST(IpAddress, ParseReportsContextInErrors) {
+  const auto result = IpAddress::Parse("999.1.1.1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("999.1.1.1"), std::string::npos);
+}
+
+TEST(IpAddress, OrderingFollowsNumericValue) {
+  EXPECT_LT(IpAddress(9, 255, 255, 255), IpAddress(10, 0, 0, 0));
+  EXPECT_LT(IpAddress(10, 0, 0, 1), IpAddress(10, 0, 0, 2));
+  EXPECT_EQ(IpAddress(12, 0, 0, 0), IpAddress(0x0C000000));
+}
+
+TEST(IpAddress, HashSpreadsAdjacentAddresses) {
+  // Clients from one subnet must not collide; count distinct hash values
+  // for a /24's worth of adjacent addresses.
+  std::unordered_set<std::size_t> hashes;
+  std::hash<IpAddress> hasher;
+  for (int i = 0; i < 256; ++i) {
+    hashes.insert(hasher(IpAddress(10, 1, 2, static_cast<std::uint8_t>(i))));
+  }
+  EXPECT_EQ(hashes.size(), 256u);
+}
+
+TEST(IpAddress, StreamInsertion) {
+  std::ostringstream out;
+  out << IpAddress(198, 18, 3, 1);
+  EXPECT_EQ(out.str(), "198.18.3.1");
+}
+
+TEST(IpAddress, UsableInHashContainers) {
+  std::unordered_set<IpAddress> set;
+  set.insert(IpAddress(1, 2, 3, 4));
+  set.insert(IpAddress(1, 2, 3, 4));
+  set.insert(IpAddress(1, 2, 3, 5));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(IpAddress(1, 2, 3, 4)));
+  EXPECT_FALSE(set.contains(IpAddress(1, 2, 3, 6)));
+}
+
+}  // namespace
+}  // namespace netclust::net

@@ -1,0 +1,141 @@
+#include "cache/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "cache/origin.h"
+
+namespace netclust::cache {
+namespace {
+
+CacheEntry Entry(std::uint64_t size, std::int64_t expires = 0) {
+  return CacheEntry{size, 0, expires};
+}
+
+TEST(LruByteCache, InsertAndTouch) {
+  LruByteCache cache(1000);
+  cache.Insert(1, Entry(100));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  ASSERT_NE(cache.Touch(1), nullptr);
+  EXPECT_EQ(cache.Touch(1)->size, 100u);
+  EXPECT_EQ(cache.Touch(2), nullptr);
+}
+
+TEST(LruByteCache, EvictsLeastRecentlyUsed) {
+  LruByteCache cache(300);
+  cache.Insert(1, Entry(100));
+  cache.Insert(2, Entry(100));
+  cache.Insert(3, Entry(100));
+  cache.Touch(1);              // order now: 1,3,2
+  cache.Insert(4, Entry(100)); // evicts 2
+  EXPECT_EQ(cache.Touch(2), nullptr);
+  EXPECT_NE(cache.Touch(1), nullptr);
+  EXPECT_NE(cache.Touch(3), nullptr);
+  EXPECT_NE(cache.Touch(4), nullptr);
+  EXPECT_LE(cache.used_bytes(), 300u);
+}
+
+TEST(LruByteCache, PeekDoesNotPromote) {
+  LruByteCache cache(200);
+  cache.Insert(1, Entry(100));
+  cache.Insert(2, Entry(100));
+  cache.Peek(1);               // 1 stays least-recently-used
+  cache.Insert(3, Entry(100)); // evicts 1
+  EXPECT_EQ(cache.Touch(1), nullptr);
+  EXPECT_NE(cache.Touch(2), nullptr);
+}
+
+TEST(LruByteCache, ReplacingAnEntryAdjustsBytes) {
+  LruByteCache cache(1000);
+  cache.Insert(1, Entry(100));
+  cache.Insert(1, Entry(400));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.used_bytes(), 400u);
+}
+
+TEST(LruByteCache, OversizedEntryIsNotAdmitted) {
+  LruByteCache cache(100);
+  cache.Insert(1, Entry(50));
+  cache.Insert(2, Entry(500));  // larger than the whole cache
+  EXPECT_EQ(cache.Touch(2), nullptr);
+  EXPECT_NE(cache.Touch(1), nullptr);  // and must not nuke everything else
+}
+
+TEST(LruByteCache, OversizedReplacementErasesOldCopy) {
+  LruByteCache cache(100);
+  cache.Insert(1, Entry(50));
+  cache.Insert(1, Entry(500));  // the stale 50-byte copy must not linger
+  EXPECT_EQ(cache.Touch(1), nullptr);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruByteCache, EraseRemovesAndReportsPresence) {
+  LruByteCache cache(1000);
+  cache.Insert(1, Entry(100));
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(LruByteCache, ZeroCapacityMeansUnbounded) {
+  LruByteCache cache(0);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    cache.Insert(i, Entry(1 << 20));
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_NE(cache.Touch(0), nullptr);
+}
+
+TEST(LruByteCache, LruKeyTracksOrder) {
+  LruByteCache cache(0);
+  cache.Insert(1, Entry(10));
+  cache.Insert(2, Entry(10));
+  EXPECT_EQ(cache.lru_key(), 1u);
+  cache.Touch(1);
+  EXPECT_EQ(cache.lru_key(), 2u);
+}
+
+TEST(OriginServer, VersionsAdvanceMonotonically) {
+  const OriginServer origin(1, 24.0);
+  for (std::uint32_t url = 0; url < 50; ++url) {
+    std::uint64_t previous = origin.VersionAt(url, 0);
+    for (std::int64_t t = 0; t < 7 * 86400; t += 3600) {
+      const std::uint64_t version = origin.VersionAt(url, t);
+      EXPECT_GE(version, previous);
+      previous = version;
+    }
+  }
+}
+
+TEST(OriginServer, UpdateIntervalsAreHeterogeneous) {
+  const OriginServer origin(1, 24.0);
+  std::int64_t min_interval = INT64_MAX;
+  std::int64_t max_interval = 0;
+  for (std::uint32_t url = 0; url < 1000; ++url) {
+    const std::int64_t interval = origin.UpdateInterval(url);
+    min_interval = std::min(min_interval, interval);
+    max_interval = std::max(max_interval, interval);
+  }
+  // log-uniform 0.05x..5x around 24h.
+  EXPECT_LT(min_interval, 3 * 3600);
+  EXPECT_GT(max_interval, 48 * 3600);
+}
+
+TEST(OriginServer, DeterministicAcrossInstances) {
+  const OriginServer a(7, 24.0);
+  const OriginServer b(7, 24.0);
+  const OriginServer c(8, 24.0);
+  bool any_difference = false;
+  for (std::uint32_t url = 0; url < 100; ++url) {
+    EXPECT_EQ(a.VersionAt(url, 1234567), b.VersionAt(url, 1234567));
+    any_difference |= a.UpdateInterval(url) != c.UpdateInterval(url);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace netclust::cache

@@ -1,0 +1,218 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_fixtures.h"
+
+namespace netclust::core {
+namespace {
+
+Clustering ToyClustering() {
+  // Three clusters: sizes 3/1/2 members, requests 10/100/20.
+  Clustering clustering;
+  clustering.approach = "toy";
+  clustering.total_requests = 130;
+  for (int i = 0; i < 6; ++i) {
+    clustering.clients.push_back(
+        ClientStats{net::IpAddress(10, 0, 0, static_cast<std::uint8_t>(i)),
+                    1, 0});
+  }
+  Cluster a;
+  a.key = net::Prefix::Parse("10.0.0.0/30").value();
+  a.members = {0, 1, 2};
+  a.requests = 10;
+  a.unique_urls = 5;
+  Cluster b;
+  b.key = net::Prefix::Parse("10.0.0.4/30").value();
+  b.members = {3};
+  b.requests = 100;
+  b.unique_urls = 50;
+  Cluster c;
+  c.key = net::Prefix::Parse("10.0.0.8/30").value();
+  c.members = {4, 5};
+  c.requests = 20;
+  c.unique_urls = 2;
+  clustering.clusters = {a, b, c};
+  return clustering;
+}
+
+TEST(Order, ByClientsDescending) {
+  const Clustering clustering = ToyClustering();
+  const auto order = OrderByClients(clustering);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(clustering.clusters[order[0]].members.size(), 3u);
+  EXPECT_EQ(clustering.clusters[order[1]].members.size(), 2u);
+  EXPECT_EQ(clustering.clusters[order[2]].members.size(), 1u);
+}
+
+TEST(Order, ByRequestsDescending) {
+  const Clustering clustering = ToyClustering();
+  const auto order = OrderByRequests(clustering);
+  EXPECT_EQ(clustering.clusters[order[0]].requests, 100u);
+  EXPECT_EQ(clustering.clusters[order[1]].requests, 20u);
+  EXPECT_EQ(clustering.clusters[order[2]].requests, 10u);
+}
+
+TEST(Order, TiesAreDeterministic) {
+  Clustering clustering = ToyClustering();
+  clustering.clusters[0].requests = 100;  // tie with cluster 1
+  const auto once = OrderByRequests(clustering);
+  const auto twice = OrderByRequests(clustering);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Cdf, StepsThroughDistinctValues) {
+  const auto cdf = CumulativeDistribution({1, 1, 2, 5, 5, 5});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_NEAR(cdf[0].cumulative, 2.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+  EXPECT_NEAR(cdf[1].cumulative, 3.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 5.0);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative, 1.0);
+}
+
+TEST(Cdf, EmptyAndFractionLookup) {
+  EXPECT_TRUE(CumulativeDistribution({}).empty());
+  const auto cdf = CumulativeDistribution({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(FractionAtMost(cdf, 5), 0.0);
+  EXPECT_DOUBLE_EQ(FractionAtMost(cdf, 10), 0.25);
+  EXPECT_DOUBLE_EQ(FractionAtMost(cdf, 25), 0.5);
+  EXPECT_DOUBLE_EQ(FractionAtMost(cdf, 100), 1.0);
+}
+
+TEST(Summary, MinMaxAcrossClusters) {
+  const ClusteringSummary summary = Summarize(ToyClustering());
+  EXPECT_EQ(summary.clusters, 3u);
+  EXPECT_EQ(summary.clients, 6u);
+  EXPECT_EQ(summary.min_cluster_clients, 1u);
+  EXPECT_EQ(summary.max_cluster_clients, 3u);
+  EXPECT_EQ(summary.min_cluster_requests, 10u);
+  EXPECT_EQ(summary.max_cluster_requests, 100u);
+  EXPECT_EQ(summary.max_cluster_urls, 50u);
+}
+
+TEST(Summary, EmptyClustering) {
+  const ClusteringSummary summary = Summarize(Clustering{});
+  EXPECT_EQ(summary.clusters, 0u);
+  EXPECT_EQ(summary.max_cluster_clients, 0u);
+}
+
+TEST(Histogram, BucketsRequestsOverTime) {
+  weblog::ServerLog log("hist");
+  for (int i = 0; i < 10; ++i) {
+    weblog::LogRecord record;
+    record.client = net::IpAddress(1, 2, 3, 4);
+    record.timestamp = i < 7 ? 100 : 4000;  // two buckets at width 3600
+    record.url = "/x";
+    log.Append(record);
+  }
+  const auto histogram = RequestHistogram(log, 3600);
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram[0], 7u);
+  EXPECT_EQ(histogram[1], 3u);
+}
+
+TEST(Histogram, SubsetFiltering) {
+  weblog::ServerLog log("hist");
+  for (int i = 0; i < 6; ++i) {
+    weblog::LogRecord record;
+    record.client = net::IpAddress(1, 2, 3, i % 2 == 0 ? 4 : 5);
+    record.timestamp = 100;
+    record.url = "/x";
+    log.Append(record);
+  }
+  const std::unordered_set<net::IpAddress> subset = {
+      net::IpAddress(1, 2, 3, 4)};
+  const auto histogram = RequestHistogram(log, 3600, &subset);
+  EXPECT_EQ(histogram[0], 3u);
+}
+
+TEST(Correlation, PerfectAndInverse) {
+  const std::vector<std::uint64_t> a = {1, 2, 3, 4, 5};
+  const std::vector<std::uint64_t> scaled = {10, 20, 30, 40, 50};
+  const std::vector<std::uint64_t> inverse = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(HistogramCorrelation(a, scaled), 1.0, 1e-12);
+  EXPECT_NEAR(HistogramCorrelation(a, inverse), -1.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(HistogramCorrelation({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramCorrelation({3, 3, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramCorrelation({}, {}), 0.0);
+}
+
+TEST(ZipfFit, RecoversKnownExponent) {
+  // Perfect Zipf with alpha = 1.2.
+  std::vector<double> values;
+  for (int rank = 1; rank <= 2000; ++rank) {
+    values.push_back(1e6 / std::pow(rank, 1.2));
+  }
+  const ZipfFit fit = EstimateZipfExponent(std::move(values));
+  EXPECT_NEAR(fit.alpha, 1.2, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(ZipfFit, OrderAndZerosDoNotMatter) {
+  std::vector<double> values = {0.0, 100, 25, 50, -3, 12.5};
+  const ZipfFit fit = EstimateZipfExponent(std::move(values));
+  EXPECT_GT(fit.alpha, 0.5);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(ZipfFit, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(EstimateZipfExponent({}).alpha, 0.0);
+  EXPECT_DOUBLE_EQ(EstimateZipfExponent({5.0, 5.0}).alpha, 0.0);
+  // Constant values: slope 0, perfect fit to a flat line.
+  const ZipfFit flat = EstimateZipfExponent({7.0, 7.0, 7.0, 7.0});
+  EXPECT_NEAR(flat.alpha, 0.0, 1e-12);
+}
+
+TEST(ZipfFit, ClusterRequestsAreZipfLike) {
+  // The paper: "such Zipf-like distributions are common in a variety of
+  // Web measurements".
+  const auto& world = netclust::testing::GetSmallWorld();
+  const Clustering clustering =
+      ClusterNetworkAware(world.generated.log, world.table);
+  std::vector<double> requests;
+  for (const Cluster& cluster : clustering.clusters) {
+    requests.push_back(static_cast<double>(cluster.requests));
+  }
+  const ZipfFit fit = EstimateZipfExponent(std::move(requests));
+  EXPECT_GT(fit.alpha, 0.5);
+  EXPECT_LT(fit.alpha, 3.0);
+  EXPECT_GT(fit.r_squared, 0.8);
+}
+
+TEST(FigureThreeShape, MostClustersAreSmallRequestsHeavierTailed) {
+  // §3.2.2: ">95% of client clusters contain less than 100 clients", and
+  // the request distribution is more heavy-tailed than the client one.
+  const auto& world = netclust::testing::GetSmallWorld();
+  const Clustering clustering =
+      ClusterNetworkAware(world.generated.log, world.table);
+
+  std::vector<double> client_counts;
+  std::vector<double> request_counts;
+  for (const Cluster& cluster : clustering.clusters) {
+    client_counts.push_back(static_cast<double>(cluster.members.size()));
+    request_counts.push_back(static_cast<double>(cluster.requests));
+  }
+  const auto client_cdf = CumulativeDistribution(std::move(client_counts));
+  EXPECT_GT(FractionAtMost(client_cdf, 100.0), 0.95);
+
+  // Heavy tail: the busiest cluster's request share far exceeds the
+  // biggest cluster's client share.
+  const ClusteringSummary summary = Summarize(clustering);
+  const double max_request_share =
+      static_cast<double>(summary.max_cluster_requests) /
+      static_cast<double>(clustering.total_requests);
+  const double max_client_share =
+      static_cast<double>(summary.max_cluster_clients) /
+      static_cast<double>(clustering.client_count());
+  EXPECT_GT(max_request_share, max_client_share);
+}
+
+}  // namespace
+}  // namespace netclust::core

@@ -1,0 +1,179 @@
+#include "bgp/mrt.h"
+
+#include <gtest/gtest.h>
+
+namespace netclust::bgp {
+namespace {
+
+SnapshotInfo Info() {
+  return SnapshotInfo{"OREGON", "12/7/1999", SourceKind::kBgpTable, ""};
+}
+
+Snapshot SampleSnapshot() {
+  Snapshot snapshot;
+  snapshot.info = Info();
+  const struct {
+    const char* prefix;
+    std::vector<AsNumber> path;
+  } rows[] = {
+      {"6.0.0.0/8", {7170, 1455}},
+      {"12.0.48.0/20", {1742}},
+      {"12.6.208.0/20", {1742}},
+      {"18.0.0.0/8", {3}},
+      {"24.48.2.0/23", {7018, 6461, 11456}},
+      {"151.198.194.16/28", {4969}},
+      {"0.0.0.0/0", {}},
+      {"192.0.2.1/32", {64512}},
+  };
+  for (const auto& row : rows) {
+    RouteEntry entry;
+    entry.prefix = net::Prefix::Parse(row.prefix).value();
+    entry.next_hop = net::IpAddress(198, 32, 8, 1);
+    entry.as_path = row.path;
+    snapshot.entries.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+TEST(Mrt, RoundTripPreservesPrefixesPathsAndNextHops) {
+  const Snapshot original = SampleSnapshot();
+  const std::vector<std::uint8_t> bytes = WriteMrt(original, 944524800);
+
+  MrtStats stats;
+  const auto decoded = ReadMrt(bytes, Info(), &stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+
+  EXPECT_EQ(stats.records, original.entries.size() + 1);  // + peer index
+  EXPECT_EQ(stats.rib_records, original.entries.size());
+  EXPECT_EQ(stats.peers, 1u);
+  EXPECT_EQ(stats.skipped_records, 0u);
+
+  ASSERT_EQ(decoded.value().entries.size(), original.entries.size());
+  for (std::size_t i = 0; i < original.entries.size(); ++i) {
+    EXPECT_EQ(decoded.value().entries[i].prefix, original.entries[i].prefix);
+    EXPECT_EQ(decoded.value().entries[i].as_path,
+              original.entries[i].as_path);
+    EXPECT_EQ(decoded.value().entries[i].next_hop,
+              original.entries[i].next_hop);
+  }
+}
+
+TEST(Mrt, EmptySnapshotRoundTrips) {
+  Snapshot empty;
+  empty.info = Info();
+  const auto bytes = WriteMrt(empty, 0);
+  const auto decoded = ReadMrt(bytes, Info());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().entries.empty());
+}
+
+TEST(Mrt, RejectsTruncatedHeader) {
+  auto bytes = WriteMrt(SampleSnapshot(), 1);
+  bytes.resize(6);  // mid-header
+  EXPECT_FALSE(ReadMrt(bytes, Info()).ok());
+}
+
+TEST(Mrt, RejectsTruncatedBody) {
+  auto bytes = WriteMrt(SampleSnapshot(), 1);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(ReadMrt(bytes, Info()).ok());
+}
+
+TEST(Mrt, RejectsRibBeforePeerIndex) {
+  const auto full = WriteMrt(SampleSnapshot(), 1);
+  // Locate the end of the first record (the PEER_INDEX_TABLE) and strip it.
+  const std::size_t first_len = (std::size_t{full[8]} << 24) |
+                                (std::size_t{full[9]} << 16) |
+                                (std::size_t{full[10]} << 8) |
+                                std::size_t{full[11]};
+  const std::vector<std::uint8_t> without_index(
+      full.begin() + static_cast<std::ptrdiff_t>(12 + first_len), full.end());
+  const auto decoded = ReadMrt(without_index, Info());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().find("PEER_INDEX_TABLE"), std::string::npos);
+}
+
+TEST(Mrt, SkipsForeignRecordTypes) {
+  // Splice a bogus record (type 42) between valid ones; decoding must skip
+  // it and still return every RIB entry.
+  const Snapshot original = SampleSnapshot();
+  auto bytes = WriteMrt(original, 1);
+  std::vector<std::uint8_t> foreign = {0, 0, 0, 1, 0, 42, 0,
+                                       0, 0, 0, 0, 4, 9, 9, 9, 9};
+  bytes.insert(bytes.end(), foreign.begin(), foreign.end());
+
+  MrtStats stats;
+  const auto decoded = ReadMrt(bytes, Info(), &stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(stats.skipped_records, 1u);
+  EXPECT_EQ(decoded.value().entries.size(), original.entries.size());
+}
+
+TEST(MrtV1, RoundTripsThroughTableDump) {
+  const Snapshot original = SampleSnapshot();
+  const auto bytes = WriteMrtV1(original, 944524800);
+
+  MrtStats stats;
+  const auto decoded = ReadMrt(bytes, Info(), &stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(stats.records, original.entries.size());  // no peer index in v1
+  EXPECT_EQ(stats.rib_records, original.entries.size());
+  ASSERT_EQ(decoded.value().entries.size(), original.entries.size());
+  for (std::size_t i = 0; i < original.entries.size(); ++i) {
+    EXPECT_EQ(decoded.value().entries[i].prefix, original.entries[i].prefix);
+    EXPECT_EQ(decoded.value().entries[i].next_hop,
+              original.entries[i].next_hop);
+    EXPECT_EQ(decoded.value().entries[i].as_path,
+              original.entries[i].as_path);
+  }
+}
+
+TEST(MrtV1, ClampsWideAsNumbers) {
+  Snapshot snapshot;
+  snapshot.info = Info();
+  RouteEntry entry;
+  entry.prefix = net::Prefix::Parse("10.0.0.0/8").value();
+  entry.as_path = {70000};  // beyond 16 bits
+  snapshot.entries.push_back(entry);
+
+  const auto decoded = ReadMrt(WriteMrtV1(snapshot, 1), Info());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().entries[0].as_path.size(), 1u);
+  EXPECT_EQ(decoded.value().entries[0].as_path[0], 23456u);  // AS_TRANS
+}
+
+TEST(MrtV1, MixedGenerationStreamParses) {
+  // A v1 dump concatenated with a v2 dump: both decode into one snapshot.
+  const Snapshot original = SampleSnapshot();
+  auto bytes = WriteMrtV1(original, 1);
+  const auto v2 = WriteMrt(original, 2);
+  bytes.insert(bytes.end(), v2.begin(), v2.end());
+
+  MrtStats stats;
+  const auto decoded = ReadMrt(bytes, Info(), &stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().entries.size(), 2 * original.entries.size());
+  EXPECT_EQ(stats.rib_records, 2 * original.entries.size());
+}
+
+TEST(MrtV1, RejectsTruncatedRecord) {
+  auto bytes = WriteMrtV1(SampleSnapshot(), 1);
+  bytes.resize(bytes.size() - 2);
+  EXPECT_FALSE(ReadMrt(bytes, Info()).ok());
+}
+
+TEST(Mrt, RejectsCorruptPrefixLength) {
+  auto bytes = WriteMrt(SampleSnapshot(), 1);
+  // The first RIB record's prefix-length byte sits after the peer index
+  // record and the 12-byte header + 4-byte sequence number.
+  const std::size_t peer_len = (std::size_t{bytes[8]} << 24) |
+                               (std::size_t{bytes[9]} << 16) |
+                               (std::size_t{bytes[10]} << 8) |
+                               std::size_t{bytes[11]};
+  const std::size_t rib_prefix_len_at = 12 + peer_len + 12 + 4;
+  bytes[rib_prefix_len_at] = 200;  // > 32
+  EXPECT_FALSE(ReadMrt(bytes, Info()).ok());
+}
+
+}  // namespace
+}  // namespace netclust::bgp

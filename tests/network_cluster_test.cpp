@@ -1,0 +1,149 @@
+#include "core/network_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "test_fixtures.h"
+#include "validate/oracles.h"
+
+namespace netclust::core {
+namespace {
+
+TEST(NetworkClusters, GroupsClientClustersByUpstreamBorder) {
+  // In the ground truth, every allocation's path is
+  // [core, core, br<org>, gw<alloc>]: with skip_edge_hops=1 and
+  // suffix_hops=1 the suffix is the org border router, so network
+  // clusters must correspond to orgs.
+  const auto& world = netclust::testing::GetSmallWorld();
+  const Clustering clustering =
+      ClusterNetworkAware(world.generated.log, world.table);
+  const validate::OptimizedTraceroute oracle(world.internet);
+
+  const NetworkClusteringResult result =
+      ClusterClusters(clustering, oracle);
+  EXPECT_FALSE(result.network_clusters.empty());
+  EXPECT_LT(result.network_clusters.size(), clustering.cluster_count());
+  EXPECT_GT(result.probes, 0u);
+
+  // Every client cluster lands in exactly one network cluster.
+  std::size_t placed = 0;
+  for (const NetworkCluster& network : result.network_clusters) {
+    placed += network.clusters.size();
+  }
+  EXPECT_EQ(placed + result.unresolved.size(), clustering.cluster_count());
+
+  // Cross-check against ground truth: all client clusters inside one
+  // network cluster belong to one org (unless the clusters themselves are
+  // already too large — skip those).
+  std::size_t checked = 0;
+  for (const NetworkCluster& network : result.network_clusters) {
+    std::optional<std::uint32_t> org;
+    bool mixed_cluster = false;
+    for (const std::size_t c : network.clusters) {
+      const Cluster& cluster = clustering.clusters[c];
+      const synth::Allocation* allocation = world.internet.Locate(
+          clustering.clients[cluster.members.front()].address);
+      if (allocation == nullptr) {
+        mixed_cluster = true;
+        break;
+      }
+      if (!org.has_value()) org = allocation->org;
+    }
+    if (mixed_cluster || !org.has_value()) continue;
+    for (const std::size_t c : network.clusters) {
+      const synth::Allocation* allocation = world.internet.Locate(
+          clustering.clients[clustering.clusters[c].members.front()]
+              .address);
+      ASSERT_NE(allocation, nullptr);
+      EXPECT_EQ(allocation->org, *org)
+          << "network cluster mixes orgs: " << network.path_suffix;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(NetworkClusters, AggregatesStatsAndSortsByRequests) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const Clustering clustering =
+      ClusterNetworkAware(world.generated.log, world.table);
+  const validate::OptimizedTraceroute oracle(world.internet);
+  const NetworkClusteringResult result =
+      ClusterClusters(clustering, oracle);
+
+  std::uint64_t total_requests = 0;
+  std::size_t total_clients = 0;
+  for (const NetworkCluster& network : result.network_clusters) {
+    std::uint64_t requests = 0;
+    std::size_t clients = 0;
+    for (const std::size_t c : network.clusters) {
+      requests += clustering.clusters[c].requests;
+      clients += clustering.clusters[c].members.size();
+    }
+    EXPECT_EQ(network.requests, requests);
+    EXPECT_EQ(network.clients, clients);
+    total_requests += requests;
+    total_clients += clients;
+  }
+  for (std::size_t i = 1; i < result.network_clusters.size(); ++i) {
+    EXPECT_GE(result.network_clusters[i - 1].requests,
+              result.network_clusters[i].requests);
+  }
+  EXPECT_GT(total_clients, 0u);
+  EXPECT_GT(total_requests, 0u);
+}
+
+TEST(NetworkClusters, SampleCountIsBoundedByMembers) {
+  // One-member clusters must not trip the sampling index logic.
+  Clustering clustering;
+  clustering.clients.push_back(
+      ClientStats{net::IpAddress(10, 0, 0, 1), 5, 0});
+  Cluster cluster;
+  cluster.key = net::Prefix::Parse("10.0.0.0/24").value();
+  cluster.members = {0};
+  cluster.requests = 5;
+  clustering.clusters.push_back(cluster);
+
+  class FixedOracle final : public PathOracle {
+   public:
+    [[nodiscard]] TraceObservation Trace(net::IpAddress) const override {
+      TraceObservation observation;
+      observation.path = {"core", "br", "gw"};
+      observation.probes_sent = 1;
+      return observation;
+    }
+  } oracle;
+
+  NetworkClusterConfig config;
+  config.samples_per_cluster = 5;
+  const auto result = ClusterClusters(clustering, oracle, config);
+  ASSERT_EQ(result.network_clusters.size(), 1u);
+  EXPECT_EQ(result.network_clusters[0].path_suffix, "br");
+  EXPECT_EQ(result.probes, 1u);
+}
+
+TEST(NetworkClusters, UnresolvableClustersAreReported) {
+  Clustering clustering;
+  clustering.clients.push_back(
+      ClientStats{net::IpAddress(10, 0, 0, 1), 5, 0});
+  Cluster cluster;
+  cluster.key = net::Prefix::Parse("10.0.0.0/24").value();
+  cluster.members = {0};
+  clustering.clusters.push_back(cluster);
+
+  class DeadOracle final : public PathOracle {
+   public:
+    [[nodiscard]] TraceObservation Trace(net::IpAddress) const override {
+      return {};  // no path at all
+    }
+  } oracle;
+
+  const auto result = ClusterClusters(clustering, oracle);
+  EXPECT_TRUE(result.network_clusters.empty());
+  ASSERT_EQ(result.unresolved.size(), 1u);
+  EXPECT_EQ(result.unresolved[0], 0u);
+}
+
+}  // namespace
+}  // namespace netclust::core

@@ -1,0 +1,142 @@
+#include "validate/oracles.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace netclust::validate {
+namespace {
+
+const synth::Internet& World() {
+  return netclust::testing::GetSmallWorld().internet;
+}
+
+net::IpAddress SomeHost(std::size_t allocation, std::uint64_t index = 0) {
+  return World().HostAddress(World().allocations()[allocation], index);
+}
+
+TEST(SynthNameOracle, MirrorsGroundTruthDns) {
+  const SynthNameOracle oracle(World());
+  std::size_t checked = 0;
+  for (std::size_t a = 0; a < 200; ++a) {
+    const net::IpAddress host = SomeHost(a);
+    EXPECT_EQ(oracle.Resolve(host), World().ResolveName(host));
+    ++checked;
+  }
+  EXPECT_EQ(checked, 200u);
+}
+
+TEST(Traceroutes, BothVariantsSeeTheSamePath) {
+  const ClassicTraceroute classic(World());
+  const OptimizedTraceroute optimized(World());
+  for (std::size_t a = 0; a < 100; ++a) {
+    const net::IpAddress host = SomeHost(a);
+    const auto classic_observation = classic.Trace(host);
+    const auto optimized_observation = optimized.Trace(host);
+    EXPECT_EQ(classic_observation.path, optimized_observation.path);
+    EXPECT_EQ(classic_observation.host_name.has_value(),
+              optimized_observation.host_name.has_value());
+  }
+}
+
+TEST(Traceroutes, EveryRoutableHostResolvesNameOrPath) {
+  // §3.3: "resolvability (either name or path) ... improved from 50% to
+  // 100%" with the optimized traceroute.
+  const OptimizedTraceroute optimized(World());
+  for (std::size_t a = 0; a < 300; ++a) {
+    const auto observation = optimized.Trace(SomeHost(a));
+    EXPECT_TRUE(observation.host_name.has_value() ||
+                !observation.path.empty());
+  }
+}
+
+TEST(Traceroutes, AboutHalfTheHostsAnswerDirectly) {
+  const OptimizedTraceroute optimized(World());
+  std::size_t answered = 0;
+  std::size_t total = 0;
+  for (std::size_t a = 0; a < World().allocations().size(); ++a) {
+    for (std::uint64_t i = 0; i < 2; ++i) {
+      const auto observation = optimized.Trace(SomeHost(a, i));
+      ++total;
+      if (observation.probes_sent == 1) ++answered;
+    }
+  }
+  const double rate = static_cast<double>(answered) /
+                      static_cast<double>(total);
+  EXPECT_GT(rate, 0.4);
+  EXPECT_LT(rate, 0.6);
+}
+
+TEST(Traceroutes, OptimizedSavesMostProbesAndWaiting) {
+  // The paper: "we can save 90% of the probes and 80% of the waiting time".
+  const ClassicTraceroute classic(World());
+  const OptimizedTraceroute optimized(World());
+
+  std::uint64_t classic_probes = 0;
+  std::uint64_t optimized_probes = 0;
+  double classic_seconds = 0;
+  double optimized_seconds = 0;
+  for (std::size_t a = 0; a < 500; ++a) {
+    const net::IpAddress host = SomeHost(a, a);
+    const auto c = classic.Trace(host);
+    const auto o = optimized.Trace(host);
+    classic_probes += static_cast<std::uint64_t>(c.probes_sent);
+    optimized_probes += static_cast<std::uint64_t>(o.probes_sent);
+    classic_seconds += c.seconds;
+    optimized_seconds += o.seconds;
+  }
+  const double probe_saving =
+      1.0 - static_cast<double>(optimized_probes) /
+                static_cast<double>(classic_probes);
+  const double time_saving = 1.0 - optimized_seconds / classic_seconds;
+  EXPECT_GT(probe_saving, 0.85);
+  EXPECT_GT(time_saving, 0.75);
+}
+
+TEST(Traceroutes, UnroutedSpaceTimesOutWithoutAPath) {
+  const ClassicTraceroute classic(World());
+  const OptimizedTraceroute optimized(World());
+  const net::IpAddress nowhere(127, 1, 2, 3);
+  const auto c = classic.Trace(nowhere);
+  const auto o = optimized.Trace(nowhere);
+  EXPECT_TRUE(c.path.empty());
+  EXPECT_TRUE(o.path.empty());
+  EXPECT_FALSE(c.host_name.has_value());
+  EXPECT_GT(c.probes_sent, o.probes_sent);
+}
+
+TEST(CachingNameOracle, MemoizesBothHitsAndNxdomains) {
+  const SynthNameOracle inner(World());
+  const CachingNameOracle cached(inner);
+
+  std::size_t resolved = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t a = 0; a < 100; ++a) {
+      const net::IpAddress host = SomeHost(a);
+      const auto name = cached.Resolve(host);
+      EXPECT_EQ(name, inner.Resolve(host));
+      if (round == 0 && name.has_value()) ++resolved;
+    }
+  }
+  EXPECT_EQ(cached.misses(), 100u);   // one real lookup per address
+  EXPECT_EQ(cached.hits(), 200u);     // both NXDOMAIN and names cached
+  EXPECT_GT(resolved, 10u);
+  EXPECT_LT(resolved, 90u);
+}
+
+TEST(Traceroutes, NamesComeWithPaths) {
+  const OptimizedTraceroute optimized(World());
+  std::size_t named = 0;
+  for (std::size_t a = 0; a < 300; ++a) {
+    const auto observation = optimized.Trace(SomeHost(a, 3));
+    if (observation.host_name.has_value()) {
+      ++named;
+      EXPECT_FALSE(observation.path.empty());
+      EXPECT_FALSE(observation.host_name->empty());
+    }
+  }
+  EXPECT_GT(named, 50u);  // ~25-33% have both probe answer and PTR record
+}
+
+}  // namespace
+}  // namespace netclust::validate

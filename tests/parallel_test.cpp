@@ -1,0 +1,72 @@
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace netclust::core {
+namespace {
+
+// The parallel clusterer promises bit-identical output to the serial one.
+void ExpectIdentical(const Clustering& a, const Clustering& b) {
+  ASSERT_EQ(a.cluster_count(), b.cluster_count());
+  ASSERT_EQ(a.client_count(), b.client_count());
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.unclustered, b.unclustered);
+  for (std::size_t c = 0; c < a.clusters.size(); ++c) {
+    EXPECT_EQ(a.clusters[c].key, b.clusters[c].key) << c;
+    EXPECT_EQ(a.clusters[c].members, b.clusters[c].members) << c;
+    EXPECT_EQ(a.clusters[c].requests, b.clusters[c].requests) << c;
+    EXPECT_EQ(a.clusters[c].bytes, b.clusters[c].bytes) << c;
+    EXPECT_EQ(a.clusters[c].unique_urls, b.clusters[c].unique_urls) << c;
+    EXPECT_EQ(a.clusters[c].from_network_dump,
+              b.clusters[c].from_network_dump)
+        << c;
+  }
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    EXPECT_EQ(a.clients[i].address, b.clients[i].address);
+    EXPECT_EQ(a.clients[i].requests, b.clients[i].requests);
+    EXPECT_EQ(a.clients[i].bytes, b.clients[i].bytes);
+  }
+}
+
+class ParallelThreadsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelThreadsSweep, MatchesSerialExactly) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const Clustering serial =
+      ClusterNetworkAware(world.generated.log, world.table);
+  const Clustering parallel = ClusterNetworkAwareParallel(
+      world.generated.log, world.table, GetParam());
+  ExpectIdentical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelThreadsSweep,
+                         ::testing::Values(0, 1, 2, 3, 8, 64));
+
+TEST(Parallel, EmptyLog) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  weblog::ServerLog empty("empty");
+  const Clustering clustering =
+      ClusterNetworkAwareParallel(empty, world.table, 4);
+  EXPECT_EQ(clustering.cluster_count(), 0u);
+  EXPECT_EQ(clustering.client_count(), 0u);
+}
+
+TEST(Parallel, MoreThreadsThanClients) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  weblog::ServerLog tiny("tiny");
+  weblog::LogRecord record;
+  record.client = world.internet.HostAddress(
+      world.internet.allocations()[0], 0);
+  record.timestamp = 100;
+  record.url = "/x";
+  tiny.Append(record);
+  const Clustering clustering =
+      ClusterNetworkAwareParallel(tiny, world.table, 16);
+  EXPECT_EQ(clustering.client_count(), 1u);
+  EXPECT_EQ(clustering.cluster_count(), 1u);
+}
+
+}  // namespace
+}  // namespace netclust::core

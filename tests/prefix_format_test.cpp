@@ -1,0 +1,124 @@
+#include "net/prefix_format.h"
+
+#include <gtest/gtest.h>
+
+namespace netclust::net {
+namespace {
+
+TEST(NetmaskToLength, AcceptsContiguousMasks) {
+  EXPECT_EQ(NetmaskToLength(IpAddress(0, 0, 0, 0)).value(), 0);
+  EXPECT_EQ(NetmaskToLength(IpAddress(255, 0, 0, 0)).value(), 8);
+  EXPECT_EQ(NetmaskToLength(IpAddress(255, 255, 224, 0)).value(), 19);
+  EXPECT_EQ(NetmaskToLength(IpAddress(255, 255, 255, 240)).value(), 28);
+  EXPECT_EQ(NetmaskToLength(IpAddress(255, 255, 255, 255)).value(), 32);
+}
+
+TEST(NetmaskToLength, RejectsNonContiguousMasks) {
+  EXPECT_FALSE(NetmaskToLength(IpAddress(255, 0, 255, 0)).ok());
+  EXPECT_FALSE(NetmaskToLength(IpAddress(0, 255, 0, 0)).ok());
+  EXPECT_FALSE(NetmaskToLength(IpAddress(255, 255, 255, 1)).ok());
+  EXPECT_FALSE(NetmaskToLength(IpAddress(128, 0, 0, 1)).ok());
+}
+
+TEST(ParsePrefixEntry, FormatOneDottedMask) {
+  // §3.1.2 format (i), full and with dropped tail zeroes.
+  EXPECT_EQ(ParsePrefixEntry("12.65.128.0/255.255.224.0").value().ToString(),
+            "12.65.128.0/19");
+  EXPECT_EQ(ParsePrefixEntry("12.65.128/255.255.224").value().ToString(),
+            "12.65.128.0/19");
+  EXPECT_EQ(ParsePrefixEntry("151.198.194.16/255.255.255.240")
+                .value()
+                .ToString(),
+            "151.198.194.16/28");
+  EXPECT_EQ(ParsePrefixEntry("6/255").value().ToString(), "6.0.0.0/8");
+}
+
+TEST(ParsePrefixEntry, FormatTwoCidr) {
+  EXPECT_EQ(ParsePrefixEntry("12.0.48.0/20").value().ToString(),
+            "12.0.48.0/20");
+  EXPECT_EQ(ParsePrefixEntry("24.48.2.0/23").value().ToString(),
+            "24.48.2.0/23");
+  EXPECT_EQ(ParsePrefixEntry("12.65.128/19").value().ToString(),
+            "12.65.128.0/19");
+  EXPECT_EQ(ParsePrefixEntry("0.0.0.0/0").value().ToString(), "0.0.0.0/0");
+}
+
+TEST(ParsePrefixEntry, SingleNumberMaskDisambiguation) {
+  // <=32 is a CIDR length; >32 can only be an abbreviated dotted mask.
+  EXPECT_EQ(ParsePrefixEntry("10.0.0.0/32").value().length(), 32);
+  EXPECT_EQ(ParsePrefixEntry("10.0.0.0/255").value().length(), 8);
+  EXPECT_EQ(ParsePrefixEntry("10.0.0.0/254").value().length(), 7);
+  EXPECT_FALSE(ParsePrefixEntry("10.0.0.0/253").ok());  // non-contiguous
+}
+
+TEST(ParsePrefixEntry, FormatThreeClassful) {
+  // §3.1.2 format (iii): mask from address class, tail zeroes droppable.
+  EXPECT_EQ(ParsePrefixEntry("18.0.0.0").value().ToString(), "18.0.0.0/8");
+  EXPECT_EQ(ParsePrefixEntry("18").value().ToString(), "18.0.0.0/8");
+  EXPECT_EQ(ParsePrefixEntry("151.198").value().ToString(),
+            "151.198.0.0/16");
+  EXPECT_EQ(ParsePrefixEntry("199.5.6.0").value().ToString(),
+            "199.5.6.0/24");
+  EXPECT_EQ(ParsePrefixEntry("199.5.6").value().ToString(), "199.5.6.0/24");
+}
+
+TEST(ParsePrefixEntry, TrimsWhitespace) {
+  EXPECT_EQ(ParsePrefixEntry("  24.48.2.0/23 \t").value().ToString(),
+            "24.48.2.0/23");
+  EXPECT_EQ(ParsePrefixEntry("18\r").value().ToString(), "18.0.0.0/8");
+}
+
+TEST(ParsePrefixEntry, RejectsMalformed) {
+  for (const char* text :
+       {"", "   ", "/24", "1.2.3.4/", "1.2.3.4/255.0.255.0", "1.2.3.4.5/8",
+        "1.2.3.4/24/8", "256/8", "1.2.3.4/33", "18.", "1.2.3.4/a"}) {
+    EXPECT_FALSE(ParsePrefixEntry(text).ok()) << "accepted: '" << text << "'";
+  }
+}
+
+TEST(FormatPrefixEntry, EmitsEachStyle) {
+  const auto block = ParsePrefixEntry("12.65.128.0/19").value();
+  EXPECT_EQ(FormatPrefixEntry(block, PrefixStyle::kCidr), "12.65.128.0/19");
+  EXPECT_EQ(FormatPrefixEntry(block, PrefixStyle::kDottedMask),
+            "12.65.128/255.255.224");
+  // Not class-expressible: falls back to CIDR.
+  EXPECT_EQ(FormatPrefixEntry(block, PrefixStyle::kClassful),
+            "12.65.128.0/19");
+}
+
+TEST(FormatPrefixEntry, ClassfulAbbreviation) {
+  EXPECT_EQ(FormatPrefixEntry(ParsePrefixEntry("18/8").value(),
+                              PrefixStyle::kClassful),
+            "18");
+  EXPECT_EQ(FormatPrefixEntry(ParsePrefixEntry("151.198.0.0/16").value(),
+                              PrefixStyle::kClassful),
+            "151.198");
+  EXPECT_EQ(FormatPrefixEntry(ParsePrefixEntry("199.5.6.0/24").value(),
+                              PrefixStyle::kClassful),
+            "199.5.6");
+}
+
+// Round-trip property over all styles and a sweep of prefixes.
+class PrefixStyleRoundTrip : public ::testing::TestWithParam<PrefixStyle> {};
+
+TEST_P(PrefixStyleRoundTrip, ParseInvertsFormat) {
+  const PrefixStyle style = GetParam();
+  for (std::uint32_t base : {0x0C418000u, 0x97C6C200u, 0x12000000u,
+                             0xC0A80000u, 0x18300200u, 0xDFFFFF00u}) {
+    for (int length = 1; length <= 32; ++length) {
+      const Prefix prefix(IpAddress(base), length);
+      const std::string text = FormatPrefixEntry(prefix, style);
+      const auto parsed = ParsePrefixEntry(text);
+      ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.error();
+      EXPECT_EQ(parsed.value(), prefix) << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStyles, PrefixStyleRoundTrip,
+                         ::testing::Values(PrefixStyle::kDottedMask,
+                                           PrefixStyle::kCidr,
+                                           PrefixStyle::kClassful));
+
+}  // namespace
+}  // namespace netclust::net

@@ -1,0 +1,124 @@
+#include "bgp/prefix_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace netclust::bgp {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+Prefix P(const char* text) { return Prefix::Parse(text).value(); }
+IpAddress A(const char* text) { return IpAddress::Parse(text).value(); }
+
+SnapshotInfo BgpInfo(const char* name) {
+  return SnapshotInfo{name, "12/7/1999", SourceKind::kBgpTable, ""};
+}
+SnapshotInfo DumpInfo(const char* name) {
+  return SnapshotInfo{name, "10/1999", SourceKind::kNetworkDump, ""};
+}
+
+TEST(PrefixTable, MergesSnapshotsAndCountsUniquePrefixes) {
+  PrefixTable table;
+  Snapshot mae;
+  mae.info = BgpInfo("MAE-WEST");
+  mae.entries.push_back(RouteEntry{P("12.65.128.0/19"), {}, {}, "", ""});
+  mae.entries.push_back(RouteEntry{P("24.48.2.0/23"), {}, {}, "", ""});
+  Snapshot aads;
+  aads.info = BgpInfo("AADS");
+  aads.entries.push_back(RouteEntry{P("12.65.128.0/19"), {}, {}, "", ""});
+  aads.entries.push_back(RouteEntry{P("18.0.0.0/8"), {}, {}, "", ""});
+
+  table.AddSnapshot(mae);
+  table.AddSnapshot(aads);
+
+  EXPECT_EQ(table.size(), 3u);  // union, not sum
+  ASSERT_EQ(table.sources().size(), 2u);
+  EXPECT_EQ(table.sources()[0].entries, 2u);
+  EXPECT_EQ(table.sources()[0].new_prefixes, 2u);
+  EXPECT_EQ(table.sources()[1].entries, 2u);
+  EXPECT_EQ(table.sources()[1].new_prefixes, 1u);  // 12.65.128.0/19 was known
+}
+
+TEST(PrefixTable, LongestMatchPicksMostSpecificBgpPrefix) {
+  PrefixTable table;
+  const int source = table.AddSource(BgpInfo("OREGON"));
+  table.Insert(P("12.0.0.0/8"), source);
+  table.Insert(P("12.65.0.0/16"), source);
+  table.Insert(P("12.65.128.0/19"), source);
+
+  const auto match = table.LongestMatch(A("12.65.147.94"));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->prefix, P("12.65.128.0/19"));
+  EXPECT_EQ(match->kind, SourceKind::kBgpTable);
+}
+
+TEST(PrefixTable, NoMatchForUncoveredAddress) {
+  PrefixTable table;
+  const int source = table.AddSource(BgpInfo("OREGON"));
+  table.Insert(P("12.0.0.0/8"), source);
+  EXPECT_FALSE(table.LongestMatch(A("99.1.2.3")).has_value());
+}
+
+TEST(PrefixTable, NetworkDumpIsSecondarySource) {
+  PrefixTable table;
+  const int bgp = table.AddSource(BgpInfo("OREGON"));
+  const int dump = table.AddSource(DumpInfo("ARIN"));
+  // The registry knows a *longer* (more specific) prefix than BGP — the
+  // case §3.1.1 warns about: the dump entry must NOT shadow the BGP route.
+  table.Insert(P("12.65.0.0/16"), bgp);
+  table.Insert(P("12.65.128.0/19"), dump);
+
+  const auto match = table.LongestMatch(A("12.65.147.94"));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->prefix, P("12.65.0.0/16"));
+  EXPECT_EQ(match->kind, SourceKind::kBgpTable);
+}
+
+TEST(PrefixTable, NetworkDumpFillsCoverageHoles) {
+  PrefixTable table;
+  const int bgp = table.AddSource(BgpInfo("OREGON"));
+  const int dump = table.AddSource(DumpInfo("ARIN"));
+  table.Insert(P("12.65.0.0/16"), bgp);
+  table.Insert(P("151.198.0.0/16"), dump);
+
+  const auto match = table.LongestMatch(A("151.198.194.17"));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->prefix, P("151.198.0.0/16"));
+  EXPECT_EQ(match->kind, SourceKind::kNetworkDump);
+}
+
+TEST(PrefixTable, SamePrefixFromBothKindsCountsAsBgp) {
+  PrefixTable table;
+  const int bgp = table.AddSource(BgpInfo("OREGON"));
+  const int dump = table.AddSource(DumpInfo("ARIN"));
+  table.Insert(P("12.65.0.0/16"), dump);
+  table.Insert(P("12.65.0.0/16"), bgp);
+
+  const auto match = table.LongestMatch(A("12.65.1.1"));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->kind, SourceKind::kBgpTable);
+  EXPECT_EQ(match->source_mask, (1u << bgp) | (1u << dump));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PrefixTable, AllPrefixesEnumeratesUnion) {
+  PrefixTable table;
+  const int source = table.AddSource(BgpInfo("OREGON"));
+  table.Insert(P("12.0.0.0/8"), source);
+  table.Insert(P("18.0.0.0/8"), source);
+  table.Insert(P("12.0.0.0/8"), source);  // duplicate
+
+  auto prefixes = table.AllPrefixes();
+  std::sort(prefixes.begin(), prefixes.end());
+  ASSERT_EQ(prefixes.size(), 2u);
+  EXPECT_EQ(prefixes[0], P("12.0.0.0/8"));
+  EXPECT_EQ(prefixes[1], P("18.0.0.0/8"));
+  EXPECT_TRUE(table.Contains(P("18.0.0.0/8")));
+  EXPECT_FALSE(table.Contains(P("18.0.0.0/9")));
+}
+
+}  // namespace
+}  // namespace netclust::bgp

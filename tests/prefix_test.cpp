@@ -1,0 +1,129 @@
+#include "net/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace netclust::net {
+namespace {
+
+TEST(Prefix, CanonicalizesHostBits) {
+  const Prefix prefix(IpAddress(12, 65, 147, 94), 19);
+  EXPECT_EQ(prefix.ToString(), "12.65.128.0/19");
+  EXPECT_EQ(prefix.network(), IpAddress(12, 65, 128, 0));
+  EXPECT_EQ(prefix, Prefix(IpAddress(12, 65, 128, 0), 19));
+}
+
+TEST(Prefix, MaskForLengthEdges) {
+  EXPECT_EQ(MaskForLength(0), 0u);
+  EXPECT_EQ(MaskForLength(1), 0x80000000u);
+  EXPECT_EQ(MaskForLength(8), 0xFF000000u);
+  EXPECT_EQ(MaskForLength(19), 0xFFFFE000u);
+  EXPECT_EQ(MaskForLength(32), 0xFFFFFFFFu);
+}
+
+TEST(Prefix, SizeIsBlockWidth) {
+  EXPECT_EQ(Prefix(IpAddress(10, 0, 0, 0), 8).size(), 1u << 24);
+  EXPECT_EQ(Prefix(IpAddress(10, 0, 0, 0), 24).size(), 256u);
+  EXPECT_EQ(Prefix(IpAddress(10, 0, 0, 0), 32).size(), 1u);
+  EXPECT_EQ(Prefix().size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, ContainsAddress) {
+  // The §3.2.1 worked example: the first four clients match 12.65.128.0/19.
+  const auto block = Prefix::Parse("12.65.128.0/19").value();
+  for (const char* client : {"12.65.147.94", "12.65.147.149", "12.65.146.207",
+                             "12.65.144.247"}) {
+    EXPECT_TRUE(block.Contains(IpAddress::Parse(client).value())) << client;
+  }
+  EXPECT_FALSE(block.Contains(IpAddress(12, 65, 160, 1)));
+  EXPECT_FALSE(block.Contains(IpAddress(24, 48, 3, 87)));
+}
+
+TEST(Prefix, ContainsPrefixIsPartialOrder) {
+  const auto wide = Prefix::Parse("12.0.0.0/8").value();
+  const auto mid = Prefix::Parse("12.65.128.0/19").value();
+  const auto narrow = Prefix::Parse("12.65.144.0/22").value();
+  EXPECT_TRUE(wide.Contains(mid));
+  EXPECT_TRUE(mid.Contains(narrow));
+  EXPECT_TRUE(wide.Contains(narrow));
+  EXPECT_FALSE(mid.Contains(wide));
+  EXPECT_TRUE(mid.Contains(mid));
+  const auto sibling = Prefix::Parse("12.65.160.0/19").value();
+  EXPECT_FALSE(mid.Contains(sibling));
+  EXPECT_FALSE(sibling.Contains(mid));
+}
+
+TEST(Prefix, DefaultRouteContainsEverything) {
+  const Prefix any;
+  EXPECT_TRUE(any.Contains(IpAddress(0, 0, 0, 0)));
+  EXPECT_TRUE(any.Contains(IpAddress(255, 255, 255, 255)));
+  EXPECT_TRUE(any.Contains(Prefix(IpAddress(12, 0, 0, 0), 8)));
+}
+
+TEST(Prefix, ParentWalksTowardRoot) {
+  Prefix p = Prefix::Parse("192.168.192.0/18").value();
+  p = p.Parent();
+  EXPECT_EQ(p.ToString(), "192.168.128.0/17");
+  p = p.Parent();
+  EXPECT_EQ(p.ToString(), "192.168.0.0/16");
+  const Prefix root;
+  EXPECT_EQ(root.Parent(), root);
+}
+
+TEST(Prefix, FirstAndLastAddress) {
+  const auto block = Prefix::Parse("24.48.2.0/23").value();
+  EXPECT_EQ(block.first_address(), IpAddress(24, 48, 2, 0));
+  EXPECT_EQ(block.last_address(), IpAddress(24, 48, 3, 255));
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  for (const char* text : {"", "1.2.3.4", "1.2.3.4/", "1.2.3.4/33",
+                           "1.2.3.4/-1", "1.2.3.4/2x", "bad/8"}) {
+    EXPECT_FALSE(Prefix::Parse(text).ok()) << "accepted: '" << text << "'";
+  }
+}
+
+TEST(Prefix, DottedMaskString) {
+  EXPECT_EQ(Prefix::Parse("12.65.128.0/19").value().ToDottedMaskString(),
+            "12.65.128.0/255.255.224.0");
+  EXPECT_EQ(Prefix::Parse("151.198.194.16/28").value().ToDottedMaskString(),
+            "151.198.194.16/255.255.255.240");
+}
+
+TEST(Prefix, ClassfulLogic) {
+  // §2: Class A /8, Class B /16, Class C /24.
+  EXPECT_EQ(ClassOf(IpAddress(18, 0, 0, 1)), AddressClass::kA);
+  EXPECT_EQ(ClassOf(IpAddress(151, 198, 194, 17)), AddressClass::kB);
+  EXPECT_EQ(ClassOf(IpAddress(199, 1, 1, 1)), AddressClass::kC);
+  EXPECT_EQ(ClassOf(IpAddress(224, 0, 0, 1)), AddressClass::kD);
+  EXPECT_EQ(ClassOf(IpAddress(241, 0, 0, 1)), AddressClass::kE);
+
+  EXPECT_EQ(ClassfulNetwork(IpAddress(18, 26, 0, 100)).ToString(),
+            "18.0.0.0/8");
+  EXPECT_EQ(ClassfulNetwork(IpAddress(151, 198, 194, 17)).ToString(),
+            "151.198.0.0/16");
+  EXPECT_EQ(ClassfulNetwork(IpAddress(199, 5, 6, 7)).ToString(),
+            "199.5.6.0/24");
+}
+
+TEST(Prefix, ClassBoundaries) {
+  EXPECT_EQ(ClassfulPrefixLength(IpAddress(127, 255, 255, 255)), 8);
+  EXPECT_EQ(ClassfulPrefixLength(IpAddress(128, 0, 0, 0)), 16);
+  EXPECT_EQ(ClassfulPrefixLength(IpAddress(191, 255, 0, 0)), 16);
+  EXPECT_EQ(ClassfulPrefixLength(IpAddress(192, 0, 0, 0)), 24);
+  EXPECT_EQ(ClassfulPrefixLength(IpAddress(223, 255, 255, 255)), 24);
+}
+
+TEST(Prefix, HashDistinguishesLengths) {
+  // 10.0.0.0/8 and 10.0.0.0/9 share a network address; the hash (and the
+  // table built on it) must keep them apart.
+  std::unordered_set<Prefix> set;
+  for (int length = 8; length <= 24; ++length) {
+    set.insert(Prefix(IpAddress(10, 0, 0, 0), length));
+  }
+  EXPECT_EQ(set.size(), 17u);
+}
+
+}  // namespace
+}  // namespace netclust::net

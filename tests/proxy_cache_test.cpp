@@ -1,0 +1,149 @@
+#include "cache/proxy_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace netclust::cache {
+namespace {
+
+// An origin whose every resource changes exactly every `interval` seconds
+// would make tests brittle; instead pick URLs whose hashed intervals are
+// known long/short relative to the TTL.
+class ProxyCacheTest : public ::testing::Test {
+ protected:
+  ProxyCacheTest() : origin_(99, 240.0) {  // very slow mean update: 240h
+    config_.capacity_bytes = 0;
+    config_.ttl_seconds = 3600;
+    config_.piggyback_validation = true;
+  }
+
+  ProxyConfig config_;
+  OriginServer origin_;
+};
+
+TEST_F(ProxyCacheTest, ColdMissThenFreshHit) {
+  ProxyCache proxy(config_, &origin_);
+  proxy.HandleRequest(1, 1000, 0);
+  proxy.HandleRequest(1, 1000, 10);
+  const ProxyStats& stats = proxy.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.bytes_requested, 2000u);
+  EXPECT_EQ(stats.bytes_from_server, 1000u);
+  EXPECT_DOUBLE_EQ(stats.HitRatio(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.ByteHitRatio(), 0.5);
+}
+
+TEST_F(ProxyCacheTest, StaleUnmodifiedResourceRevalidatesWithoutBody) {
+  ProxyCache proxy(config_, &origin_);
+  proxy.HandleRequest(1, 1000, 0);
+  // Past the TTL but (with a ~240h update interval) almost surely
+  // unmodified: If-Modified-Since returns 304.
+  proxy.HandleRequest(1, 1000, 4000);
+  const ProxyStats& stats = proxy.stats();
+  EXPECT_EQ(stats.validated_hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.bytes_from_server, 1000u);  // no second body
+  // The 304 renewed the entry: a request within the new TTL is a hit.
+  proxy.HandleRequest(1, 1000, 4100);
+  EXPECT_EQ(proxy.stats().hits, 1u);
+}
+
+TEST_F(ProxyCacheTest, ModifiedResourceIsRefetched) {
+  // Find a URL that changes between t=0 and t=5000.
+  std::uint32_t churning = 0;
+  bool found = false;
+  for (std::uint32_t url = 0; url < 100000; ++url) {
+    if (origin_.VersionAt(url, 0) != origin_.VersionAt(url, 5000)) {
+      churning = url;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  ProxyCache proxy(config_, &origin_);
+  proxy.HandleRequest(churning, 1000, 0);
+  proxy.HandleRequest(churning, 1000, 5000);
+  const ProxyStats& stats = proxy.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.bytes_from_server, 2000u);
+  EXPECT_EQ(stats.validated_hits, 0u);
+}
+
+TEST_F(ProxyCacheTest, PiggybackRenewsStaleEntriesForFree) {
+  ProxyCache proxy(config_, &origin_);
+  // Warm three resources, let them all expire, then touch a fourth: the
+  // server contact piggybacks validations that renew the stale three.
+  proxy.HandleRequest(1, 100, 0);
+  proxy.HandleRequest(2, 100, 1);
+  proxy.HandleRequest(3, 100, 2);
+  proxy.HandleRequest(4, 100, 5000);  // cold miss -> piggyback window
+  const ProxyStats& after_contact = proxy.stats();
+  EXPECT_EQ(after_contact.piggyback_checks, 3u);
+  EXPECT_EQ(after_contact.piggyback_renewals, 3u);
+
+  // All three are fresh again: pure hits, no server traffic.
+  proxy.HandleRequest(1, 100, 5001);
+  proxy.HandleRequest(2, 100, 5002);
+  proxy.HandleRequest(3, 100, 5003);
+  EXPECT_EQ(proxy.stats().hits, 3u);
+  EXPECT_EQ(proxy.stats().validated_hits, 0u);
+}
+
+TEST_F(ProxyCacheTest, PiggybackDisabledLeavesStaleEntries) {
+  config_.piggyback_validation = false;
+  ProxyCache proxy(config_, &origin_);
+  proxy.HandleRequest(1, 100, 0);
+  proxy.HandleRequest(4, 100, 5000);
+  EXPECT_EQ(proxy.stats().piggyback_checks, 0u);
+  // Resource 1 is still stale: the next access costs an IMS round-trip.
+  proxy.HandleRequest(1, 100, 5001);
+  EXPECT_EQ(proxy.stats().validated_hits, 1u);
+  EXPECT_EQ(proxy.stats().hits, 0u);
+}
+
+TEST_F(ProxyCacheTest, PiggybackBudgetIsBounded) {
+  config_.piggyback_limit = 2;
+  ProxyCache proxy(config_, &origin_);
+  for (std::uint32_t url = 1; url <= 5; ++url) {
+    proxy.HandleRequest(url, 100, static_cast<std::int64_t>(url));
+  }
+  proxy.HandleRequest(9, 100, 9000);
+  EXPECT_EQ(proxy.stats().piggyback_checks, 2u);  // limit, not all 5
+}
+
+TEST_F(ProxyCacheTest, EvictionDefeatsCaching) {
+  config_.capacity_bytes = 150;  // fits one 100-byte body only
+  ProxyCache proxy(config_, &origin_);
+  proxy.HandleRequest(1, 100, 0);
+  proxy.HandleRequest(2, 100, 1);  // evicts 1
+  proxy.HandleRequest(1, 100, 2);  // miss again
+  const ProxyStats& stats = proxy.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);
+}
+
+TEST_F(ProxyCacheTest, HitRatioGrowsWithCacheSize) {
+  // A fundamental sanity property the Figure 11 bench depends on.
+  const auto run = [&](std::uint64_t capacity) {
+    ProxyConfig config = config_;
+    config.capacity_bytes = capacity;
+    ProxyCache proxy(config, &origin_);
+    std::int64_t t = 0;
+    for (int round = 0; round < 50; ++round) {
+      for (std::uint32_t url = 0; url < 20; ++url) {
+        proxy.HandleRequest(url, 400, t += 2);
+      }
+    }
+    return proxy.stats().HitRatio();
+  };
+  const double tiny = run(800);     // 2 resources fit
+  const double medium = run(4000);  // 10 fit
+  const double large = run(0);      // everything fits
+  EXPECT_LE(tiny, medium);
+  EXPECT_LE(medium, large);
+  EXPECT_GT(large, 0.9);
+}
+
+}  // namespace
+}  // namespace netclust::cache

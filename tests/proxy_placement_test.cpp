@@ -1,0 +1,137 @@
+#include "core/proxy_placement.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_fixtures.h"
+#include "validate/oracles.h"
+
+namespace netclust::core {
+namespace {
+
+class PlacementOnSmallWorld : public ::testing::Test {
+ protected:
+  PlacementOnSmallWorld()
+      : world_(netclust::testing::GetSmallWorld()),
+        clustering_(ClusterNetworkAware(world_.generated.log, world_.table)),
+        busy_(ThresholdBusyClusters(clustering_, 0.7)) {}
+
+  const netclust::testing::SmallWorld& world_;
+  Clustering clustering_;
+  ThresholdReport busy_;
+};
+
+TEST_F(PlacementOnSmallWorld, EveryBusyClusterGetsAtLeastOneProxy) {
+  const auto assignments = AssignProxies(clustering_, busy_);
+  ASSERT_EQ(assignments.size(), busy_.busy.size());
+  std::unordered_set<std::size_t> assigned;
+  for (const ProxyAssignment& assignment : assignments) {
+    EXPECT_GE(assignment.proxies, 1);
+    EXPECT_LE(assignment.proxies, 8);
+    assigned.insert(assignment.cluster);
+  }
+  for (const std::size_t index : busy_.busy) {
+    EXPECT_TRUE(assigned.contains(index));
+  }
+}
+
+TEST_F(PlacementOnSmallWorld, ProxyCountScalesWithLoad) {
+  PlacementConfig config;
+  config.load_per_proxy = 1000;  // low bar: busy clusters need several
+  const auto assignments = AssignProxies(clustering_, busy_, config);
+  int max_proxies = 0;
+  for (const ProxyAssignment& assignment : assignments) {
+    max_proxies = std::max(max_proxies, assignment.proxies);
+    EXPECT_EQ(assignment.proxies,
+              std::min<int>(8, static_cast<int>(
+                                   1 + assignment.load /
+                                           config.load_per_proxy)));
+  }
+  EXPECT_GT(max_proxies, 1);
+}
+
+TEST_F(PlacementOnSmallWorld, MetricSelectsLoadDefinition) {
+  PlacementConfig by_clients;
+  by_clients.metric = PlacementMetric::kClients;
+  const auto assignments = AssignProxies(clustering_, busy_, by_clients);
+  for (const ProxyAssignment& assignment : assignments) {
+    EXPECT_EQ(assignment.load,
+              clustering_.clusters[assignment.cluster].members.size());
+  }
+}
+
+TEST_F(PlacementOnSmallWorld, AsGroupsPartitionTheAssignments) {
+  const auto assignments = AssignProxies(clustering_, busy_);
+  const auto groups =
+      GroupProxiesByAs(clustering_, assignments, world_.table);
+  ASSERT_FALSE(groups.empty());
+
+  std::size_t grouped_clusters = 0;
+  int grouped_proxies = 0;
+  int assigned_proxies = 0;
+  for (const ProxyAssignment& assignment : assignments) {
+    assigned_proxies += assignment.proxies;
+  }
+  std::unordered_set<bgp::AsNumber> seen_as;
+  for (const ProxyGroup& group : groups) {
+    EXPECT_TRUE(seen_as.insert(group.as_number).second);
+    grouped_clusters += group.clusters.size();
+    grouped_proxies += group.proxies;
+    // Every member cluster's prefix really originates in this AS.
+    for (const std::size_t c : group.clusters) {
+      EXPECT_EQ(world_.table.OriginAs(clustering_.clusters[c].key),
+                group.as_number);
+    }
+  }
+  EXPECT_EQ(grouped_clusters, assignments.size());
+  EXPECT_EQ(grouped_proxies, assigned_proxies);
+  // Grouping by AS is genuinely coarser than per-cluster placement.
+  EXPECT_LT(groups.size(), assignments.size());
+}
+
+TEST_F(PlacementOnSmallWorld, GroupsSortedByRequests) {
+  const auto groups = GroupProxiesByAs(
+      clustering_, AssignProxies(clustering_, busy_), world_.table);
+  for (std::size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_GE(groups[i - 1].requests, groups[i].requests);
+  }
+}
+
+TEST_F(PlacementOnSmallWorld, RegionalizedGroupsAreFiner) {
+  const auto assignments = AssignProxies(clustering_, busy_);
+  const validate::SynthRegionOracle geo(world_.internet);
+  const auto by_as =
+      GroupProxiesByAs(clustering_, assignments, world_.table);
+  const auto by_as_region =
+      GroupProxiesByAs(clustering_, assignments, world_.table, &geo);
+
+  // Splitting by geography can only refine the AS partition.
+  EXPECT_GE(by_as_region.size(), by_as.size());
+  std::size_t known_regions = 0;
+  for (const ProxyGroup& group : by_as_region) {
+    if (group.region >= 0) {
+      ++known_regions;
+      EXPECT_LT(group.region, synth::Internet::kRegionCount);
+      // All clusters in the group really sit in that region.
+      for (const std::size_t c : group.clusters) {
+        EXPECT_EQ(geo.RegionOf(clustering_.clients[clustering_.clusters[c]
+                                                       .members.front()]
+                                   .address),
+                  group.region);
+      }
+    }
+  }
+  EXPECT_GT(known_regions, 0u);
+}
+
+TEST(Placement, EmptyBusySetYieldsNothing) {
+  Clustering clustering;
+  ThresholdReport busy;
+  EXPECT_TRUE(AssignProxies(clustering, busy).empty());
+  bgp::PrefixTable table;
+  EXPECT_TRUE(GroupProxiesByAs(clustering, {}, table).empty());
+}
+
+}  // namespace
+}  // namespace netclust::core

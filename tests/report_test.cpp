@@ -1,0 +1,107 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_fixtures.h"
+
+namespace netclust::core {
+namespace {
+
+TEST(Report, ClusterCsvListsBusiestFirst) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const Clustering clustering =
+      ClusterNetworkAware(world.generated.log, world.table);
+
+  std::ostringstream out;
+  WriteClusterCsv(out, clustering);
+  std::istringstream in(out.str());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "prefix,clients,requests,bytes,unique_urls,source");
+
+  std::string line;
+  std::uint64_t previous = UINT64_MAX;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    // requests is the third field.
+    std::size_t pos = line.find(',');
+    pos = line.find(',', pos + 1);
+    const std::uint64_t requests =
+        std::strtoull(line.c_str() + pos + 1, nullptr, 10);
+    EXPECT_LE(requests, previous);
+    previous = requests;
+  }
+  EXPECT_EQ(rows, clustering.cluster_count());
+}
+
+TEST(Report, ClientMapRoundTripsMembershipAndTallies) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const Clustering original =
+      ClusterNetworkAware(world.generated.log, world.table);
+
+  std::ostringstream out;
+  WriteClientMapCsv(out, original);
+  std::istringstream in(out.str());
+  const auto imported = ImportClientMapCsv(in, "roundtrip");
+  ASSERT_TRUE(imported.ok()) << imported.error();
+  const Clustering& copy = imported.value();
+
+  EXPECT_EQ(copy.client_count(), original.client_count());
+  EXPECT_EQ(copy.cluster_count(), original.cluster_count());
+  EXPECT_EQ(copy.unclustered.size(), original.unclustered.size());
+  EXPECT_EQ(copy.total_requests, original.total_requests);
+
+  // Membership per key must match exactly.
+  const auto keyed = [](const Clustering& clustering) {
+    std::map<net::Prefix, std::multiset<std::uint32_t>> out_map;
+    for (const Cluster& cluster : clustering.clusters) {
+      for (const std::uint32_t member : cluster.members) {
+        out_map[cluster.key].insert(
+            clustering.clients[member].address.bits());
+      }
+    }
+    return out_map;
+  };
+  EXPECT_EQ(keyed(copy), keyed(original));
+
+  // Per-cluster request/byte tallies too.
+  std::map<net::Prefix, std::uint64_t> original_requests;
+  for (const Cluster& cluster : original.clusters) {
+    original_requests[cluster.key] = cluster.requests;
+  }
+  for (const Cluster& cluster : copy.clusters) {
+    EXPECT_EQ(cluster.requests, original_requests.at(cluster.key));
+  }
+}
+
+TEST(Report, ImportRejectsMalformedRows) {
+  const auto expect_fail = [](const char* text) {
+    std::istringstream in(text);
+    EXPECT_FALSE(ImportClientMapCsv(in).ok()) << text;
+  };
+  expect_fail("client,cluster,requests,bytes\n1.2.3.4,10.0.0.0/8,5\n");
+  expect_fail("not-an-ip,10.0.0.0/8,5,100\n");
+  expect_fail("1.2.3.4,not-a-prefix,5,100\n");
+  expect_fail("1.2.3.4,10.0.0.0/8,xx,100\n");
+  expect_fail("1.2.3.4,10.0.0.0/8,5,yy\n");
+}
+
+TEST(Report, ImportHandlesUnclusteredAndHeaderlessInput) {
+  std::istringstream in(
+      "9.9.9.9,-,3,300\n"
+      "1.2.3.4,10.0.0.0/8,5,100\n"
+      "1.2.3.5,10.0.0.0/8,2,40\n");
+  const auto imported = ImportClientMapCsv(in);
+  ASSERT_TRUE(imported.ok()) << imported.error();
+  EXPECT_EQ(imported.value().client_count(), 3u);
+  EXPECT_EQ(imported.value().cluster_count(), 1u);
+  EXPECT_EQ(imported.value().unclustered.size(), 1u);
+  EXPECT_EQ(imported.value().clusters[0].requests, 7u);
+  EXPECT_EQ(imported.value().clusters[0].bytes, 140u);
+}
+
+}  // namespace
+}  // namespace netclust::core

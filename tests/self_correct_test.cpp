@@ -1,0 +1,184 @@
+#include "core/self_correct.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "test_fixtures.h"
+#include "validate/oracles.h"
+#include "validate/validation.h"
+
+namespace netclust::core {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+/// A scripted PathOracle: address -> fixed path.
+class FakePathOracle final : public PathOracle {
+ public:
+  void Set(IpAddress address, std::vector<std::string> path) {
+    paths_[address] = std::move(path);
+  }
+  [[nodiscard]] TraceObservation Trace(IpAddress address) const override {
+    TraceObservation observation;
+    observation.probes_sent = 1;
+    observation.seconds = 0.2;
+    if (const auto it = paths_.find(address); it != paths_.end()) {
+      observation.path = it->second;
+    }
+    return observation;
+  }
+
+ private:
+  std::unordered_map<IpAddress, std::vector<std::string>> paths_;
+};
+
+Clustering TwoClusterFixture() {
+  Clustering clustering;
+  clustering.approach = "network-aware";
+  // Cluster 0: 10.0.0.1-3, all on gwA. Cluster 1: 10.1.0.1-4, first two on
+  // gwB, last two on gwC (too large, must split).
+  for (const char* address :
+       {"10.0.0.1", "10.0.0.2", "10.0.0.3", "10.1.0.1", "10.1.0.2",
+        "10.1.0.3", "10.1.0.4", "172.16.0.9"}) {
+    clustering.clients.push_back(
+        ClientStats{IpAddress::Parse(address).value(), 10, 100});
+    clustering.total_requests += 10;
+  }
+  Cluster a;
+  a.key = Prefix::Parse("10.0.0.0/24").value();
+  a.members = {0, 1, 2};
+  a.requests = 30;
+  Cluster b;
+  b.key = Prefix::Parse("10.1.0.0/24").value();
+  b.members = {3, 4, 5, 6};
+  b.requests = 40;
+  clustering.clusters = {a, b};
+  clustering.unclustered = {7};
+  return clustering;
+}
+
+FakePathOracle FixtureOracle() {
+  FakePathOracle oracle;
+  const auto set = [&](const char* address, const char* gateway) {
+    oracle.Set(IpAddress::Parse(address).value(),
+               {"core1", "br7", gateway});
+  };
+  set("10.0.0.1", "gwA");
+  set("10.0.0.2", "gwA");
+  set("10.0.0.3", "gwA");
+  set("10.1.0.1", "gwB");
+  set("10.1.0.2", "gwB");
+  set("10.1.0.3", "gwC");
+  set("10.1.0.4", "gwC");
+  set("172.16.0.9", "gwD");
+  return oracle;
+}
+
+TEST(SelfCorrect, SplitsTooLargeClusters) {
+  const auto [corrected, report] =
+      SelfCorrect(TwoClusterFixture(), FixtureOracle());
+  EXPECT_EQ(report.clusters_before, 2u);
+  EXPECT_EQ(report.splits, 1u);
+  // 10.0.0.0/24 intact; 10.1.0.0/24 split into gwB+gwC; orphan adopted.
+  EXPECT_EQ(report.clusters_after, 4u);
+
+  // Each corrected cluster is path-pure: collect member sets.
+  std::vector<std::size_t> sizes;
+  for (const Cluster& cluster : corrected.clusters) {
+    sizes.push_back(cluster.members.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2, 2, 3}));
+}
+
+TEST(SelfCorrect, AdoptsUnclusteredClients) {
+  const auto [corrected, report] =
+      SelfCorrect(TwoClusterFixture(), FixtureOracle());
+  EXPECT_EQ(report.adopted, 1u);
+  EXPECT_TRUE(corrected.unclustered.empty());
+  // The orphan is now in some cluster.
+  bool found = false;
+  for (const Cluster& cluster : corrected.clusters) {
+    for (const std::uint32_t member : cluster.members) {
+      if (corrected.clients[member].address ==
+          IpAddress::Parse("172.16.0.9").value()) {
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SelfCorrect, MergesClustersOnTheSameGateway) {
+  Clustering clustering = TwoClusterFixture();
+  // Make both clusters sit behind gwA: they must merge.
+  FakePathOracle oracle;
+  for (const ClientStats& client : clustering.clients) {
+    oracle.Set(client.address, {"core1", "br7", "gwA"});
+  }
+  const auto [corrected, report] = SelfCorrect(clustering, oracle);
+  EXPECT_GE(report.merges, 1u);
+  EXPECT_EQ(corrected.clusters.size(), 1u);
+  EXPECT_EQ(corrected.clusters[0].members.size(), 8u);
+  // Key is recomputed as the common covering prefix.
+  for (const ClientStats& client : corrected.clients) {
+    EXPECT_TRUE(corrected.clusters[0].key.Contains(client.address));
+  }
+}
+
+TEST(SelfCorrect, RequestTalliesSurviveCorrection) {
+  const auto [corrected, report] =
+      SelfCorrect(TwoClusterFixture(), FixtureOracle());
+  std::uint64_t total = 0;
+  for (const Cluster& cluster : corrected.clusters) {
+    total += cluster.requests;
+  }
+  EXPECT_EQ(total, corrected.total_requests);  // all 8 clients placed
+  EXPECT_EQ(corrected.approach, "network-aware+self-corrected");
+  EXPECT_GT(report.probes, 0u);
+  EXPECT_GT(report.seconds, 0.0);
+}
+
+TEST(SelfCorrect, NoopOnConsistentClustering) {
+  Clustering clustering = TwoClusterFixture();
+  clustering.unclustered.clear();
+  clustering.clients.pop_back();
+  FakePathOracle oracle;
+  // Every cluster consistent: cluster 0 on gwA, cluster 1 on gwB.
+  for (int i = 0; i < 3; ++i) {
+    oracle.Set(clustering.clients[static_cast<std::size_t>(i)].address,
+               {"core1", "gwA"});
+  }
+  for (int i = 3; i < 7; ++i) {
+    oracle.Set(clustering.clients[static_cast<std::size_t>(i)].address,
+               {"core1", "gwB"});
+  }
+  const auto [corrected, report] = SelfCorrect(clustering, oracle);
+  EXPECT_EQ(report.splits, 0u);
+  EXPECT_EQ(report.merges, 0u);
+  EXPECT_EQ(report.adopted, 0u);
+  EXPECT_EQ(corrected.clusters.size(), 2u);
+}
+
+TEST(SelfCorrect, ImprovesGroundTruthAccuracyOnSyntheticWorld) {
+  // End-to-end: self-correction must not hurt, and generally improves,
+  // exact-cluster accuracy measured against ground truth.
+  const auto& world = netclust::testing::GetSmallWorld();
+  const Clustering before =
+      ClusterNetworkAware(world.generated.log, world.table);
+  const validate::OptimizedTraceroute oracle(world.internet);
+  const auto [after, report] = SelfCorrect(before, oracle);
+
+  const auto score_before =
+      validate::ValidateAgainstTruth(before, world.internet);
+  const auto score_after =
+      validate::ValidateAgainstTruth(after, world.internet);
+  EXPECT_LE(score_after.too_large, score_before.too_large);
+  EXPECT_GE(score_after.ExactRate(), score_before.ExactRate());
+  EXPECT_EQ(after.unclustered.size(), 0u);
+}
+
+}  // namespace
+}  // namespace netclust::core

@@ -1,0 +1,167 @@
+#include "weblog/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "weblog/clf.h"
+
+namespace netclust::weblog {
+namespace {
+
+LogRecord MakeRecord(const char* client, std::int64_t t, const char* url,
+                     int status = 200, std::uint64_t bytes = 100,
+                     const char* agent = "") {
+  LogRecord record;
+  record.client = net::IpAddress::Parse(client).value();
+  record.timestamp = t;
+  record.url = url;
+  record.status = status;
+  record.response_bytes = bytes;
+  record.user_agent = agent;
+  return record;
+}
+
+TEST(StringInterner, AssignsDenseStableIds) {
+  StringInterner interner;
+  const auto a = interner.Intern("/a");
+  const auto b = interner.Intern("/b");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(interner.Intern("/a"), a);
+  EXPECT_EQ(interner.Lookup(a), "/a");
+  EXPECT_EQ(interner.Find("/b"), b);
+  EXPECT_EQ(interner.Find("/missing"), StringInterner::kNotFound);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(StringInterner, SurvivesRehashing) {
+  // Interned ids and lookups must stay valid as thousands of strings are
+  // added (regression guard for dangling string_view keys).
+  StringInterner interner;
+  for (int i = 0; i < 10000; ++i) {
+    interner.Intern("/url" + std::to_string(i));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    const std::string url = "/url" + std::to_string(i);
+    const auto id = interner.Find(url);
+    ASSERT_NE(id, StringInterner::kNotFound) << url;
+    EXPECT_EQ(interner.Lookup(id), url);
+  }
+}
+
+TEST(ServerLog, AccumulatesSummaryStatistics) {
+  ServerLog log("test");
+  log.Append(MakeRecord("1.2.3.4", 100, "/a"));
+  log.Append(MakeRecord("1.2.3.4", 150, "/b"));
+  log.Append(MakeRecord("5.6.7.8", 120, "/a"));
+
+  EXPECT_EQ(log.request_count(), 3u);
+  EXPECT_EQ(log.unique_clients(), 2u);
+  EXPECT_EQ(log.unique_urls(), 2u);
+  EXPECT_EQ(log.start_time(), 100);
+  EXPECT_EQ(log.end_time(), 150);
+  ASSERT_EQ(log.clients().size(), 2u);
+  EXPECT_EQ(log.clients()[0].ToString(), "1.2.3.4");
+  EXPECT_EQ(log.clients()[1].ToString(), "5.6.7.8");
+}
+
+TEST(ServerLog, DropsUnspecifiedClients) {
+  // §3.2.2 footnote 6: requests from 0.0.0.0 are excluded.
+  ServerLog log("test");
+  EXPECT_FALSE(log.Append(MakeRecord("0.0.0.0", 100, "/a")));
+  EXPECT_TRUE(log.Append(MakeRecord("1.2.3.4", 100, "/a")));
+  EXPECT_EQ(log.request_count(), 1u);
+  EXPECT_EQ(log.dropped_unspecified(), 1u);
+}
+
+TEST(ServerLog, InternsUrlsAndAgents) {
+  ServerLog log("test");
+  log.Append(MakeRecord("1.2.3.4", 100, "/a", 200, 10, "AgentX"));
+  log.Append(MakeRecord("1.2.3.4", 110, "/a", 200, 10, "AgentY"));
+  log.Append(MakeRecord("1.2.3.4", 120, "/b", 200, 10));
+
+  const auto& requests = log.requests();
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_EQ(requests[0].url_id, requests[1].url_id);
+  EXPECT_NE(requests[0].url_id, requests[2].url_id);
+  EXPECT_EQ(log.url(requests[2].url_id), "/b");
+  // Agent id 0 is "none"; interned agents are offset by one.
+  EXPECT_EQ(requests[2].agent_id, 0);
+  ASSERT_NE(requests[0].agent_id, 0);
+  EXPECT_EQ(log.agent(static_cast<std::uint8_t>(requests[0].agent_id - 1)),
+            "AgentX");
+  EXPECT_EQ(log.agent(static_cast<std::uint8_t>(requests[1].agent_id - 1)),
+            "AgentY");
+}
+
+TEST(ServerLog, SaturatesOversizedByteCounts) {
+  ServerLog log("test");
+  log.Append(MakeRecord("1.2.3.4", 100, "/big", 200, 0x1FFFFFFFFull));
+  EXPECT_EQ(log.requests()[0].response_bytes, 0xFFFFFFFFu);
+}
+
+TEST(ServerLog, SampleByClientKeepsWholeClients) {
+  ServerLog log("big");
+  for (int c = 0; c < 200; ++c) {
+    for (int r = 0; r < 5; ++r) {
+      log.Append(MakeRecord(
+          ("10.0." + std::to_string(c) + ".1").c_str(), 100 + r, "/a"));
+    }
+  }
+  const ServerLog sampled = log.Sample(0.3, SampleMode::kByClient);
+  EXPECT_EQ(sampled.name(), "big.sample");
+  // Every surviving client keeps all 5 requests.
+  EXPECT_EQ(sampled.request_count(), sampled.unique_clients() * 5);
+  EXPECT_NEAR(static_cast<double>(sampled.unique_clients()), 60.0, 25.0);
+  // Deterministic.
+  const ServerLog again = log.Sample(0.3, SampleMode::kByClient);
+  EXPECT_EQ(again.request_count(), sampled.request_count());
+}
+
+TEST(ServerLog, SampleByRequestThinsUniformly) {
+  ServerLog log("big");
+  // Time-sorted input (requests interleave across clients, as real logs).
+  for (int r = 0; r < 40; ++r) {
+    for (int c = 0; c < 50; ++c) {
+      log.Append(MakeRecord(("10.1." + std::to_string(c) + ".1").c_str(),
+                            100 + r, ("/u" + std::to_string(r)).c_str()));
+    }
+  }
+  const ServerLog sampled = log.Sample(0.25, SampleMode::kByRequest);
+  EXPECT_NEAR(static_cast<double>(sampled.request_count()),
+              0.25 * static_cast<double>(log.request_count()),
+              0.08 * static_cast<double>(log.request_count()));
+  // Most clients survive with a fraction of their requests.
+  EXPECT_GT(sampled.unique_clients(), 40u);
+  std::int64_t previous = 0;
+  for (const auto& request : sampled.requests()) {
+    EXPECT_GE(request.timestamp, previous);  // order preserved
+    previous = request.timestamp;
+  }
+}
+
+TEST(ServerLog, SampleEdgesAreTotal) {
+  ServerLog log("edge");
+  log.Append(MakeRecord("1.2.3.4", 100, "/a"));
+  EXPECT_EQ(log.Sample(1.0, SampleMode::kByClient).request_count(), 1u);
+  EXPECT_EQ(log.Sample(0.0, SampleMode::kByClient).request_count(), 0u);
+  EXPECT_EQ(log.Sample(1.0, SampleMode::kByRequest).request_count(), 1u);
+}
+
+TEST(ServerLog, AppendClfStreamSkipsGarbage) {
+  std::istringstream stream(
+      "1.2.3.4 - - [13/Feb/1998:00:00:00 +0000] \"GET /a HTTP/1.0\" 200 10\n"
+      "garbage line\n"
+      "\n"
+      "5.6.7.8 - - [13/Feb/1998:00:00:05 +0000] \"GET /b HTTP/1.0\" 200 20\n");
+  ServerLog log("stream");
+  std::size_t malformed = 0;
+  const std::size_t appended = log.AppendClfStream(stream, &malformed);
+  EXPECT_EQ(appended, 2u);
+  EXPECT_EQ(malformed, 1u);
+  EXPECT_EQ(log.unique_clients(), 2u);
+}
+
+}  // namespace
+}  // namespace netclust::weblog

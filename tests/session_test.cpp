@@ -1,0 +1,79 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "test_fixtures.h"
+
+namespace netclust::core {
+namespace {
+
+TEST(Sessions, PartitionPreservesEveryRequest) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const auto slices = PartitionIntoSessions(world.generated.log, 4);
+  ASSERT_EQ(slices.size(), 4u);
+
+  std::size_t total = 0;
+  for (const auto& slice : slices) total += slice.request_count();
+  EXPECT_EQ(total, world.generated.log.request_count());
+  EXPECT_EQ(slices[0].name(), "smallworld.session0");
+}
+
+TEST(Sessions, SlicesAreTimeDisjointAndOrdered) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const auto slices = PartitionIntoSessions(world.generated.log, 4);
+  for (std::size_t s = 1; s < slices.size(); ++s) {
+    if (slices[s - 1].request_count() == 0 ||
+        slices[s].request_count() == 0) {
+      continue;
+    }
+    EXPECT_LE(slices[s - 1].end_time(), slices[s].start_time());
+  }
+}
+
+TEST(Sessions, EachSessionShowsTheSameClusteringShape) {
+  // §3.6: "observations on client cluster distributions obtained from the
+  // entire server log still hold for each session".
+  const auto& world = netclust::testing::GetSmallWorld();
+  const auto slices = PartitionIntoSessions(world.generated.log, 4);
+  for (const auto& slice : slices) {
+    if (slice.request_count() < 1000) continue;
+    const Clustering clustering = ClusterNetworkAware(slice, world.table);
+    EXPECT_GT(clustering.coverage(), 0.99);
+    std::vector<double> sizes;
+    for (const Cluster& cluster : clustering.clusters) {
+      sizes.push_back(static_cast<double>(cluster.members.size()));
+    }
+    const auto cdf = CumulativeDistribution(std::move(sizes));
+    EXPECT_GT(FractionAtMost(cdf, 100.0), 0.9);
+  }
+}
+
+TEST(Sessions, DegenerateCounts) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  EXPECT_TRUE(PartitionIntoSessions(world.generated.log, 0).empty());
+  const auto one = PartitionIntoSessions(world.generated.log, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].request_count(), world.generated.log.request_count());
+}
+
+TEST(ServerClustering, ProxyTraceServersCluster) {
+  // §3.6: server clustering of a proxy log; most servers clusterable and
+  // a few busy server clusters dominate the requests.
+  const auto& world = netclust::testing::GetSmallWorld();
+  std::vector<AddressLoad> servers;
+  const auto& allocations = world.internet.allocations();
+  for (std::size_t i = 0; i < allocations.size(); i += 3) {
+    // Heavy-tailed request counts across server addresses.
+    const std::uint64_t requests = 1 + (i % 7 == 0 ? i * 11 : i % 5);
+    servers.push_back(AddressLoad{
+        world.internet.HostAddress(allocations[i], 9), requests, 0});
+  }
+  const Clustering clustering = ClusterServers(servers, world.table);
+  EXPECT_EQ(clustering.approach, "server-clustering");
+  EXPECT_GT(clustering.coverage(), 0.99);
+  EXPECT_LE(clustering.cluster_count(), servers.size());
+}
+
+}  // namespace
+}  // namespace netclust::core

@@ -1,0 +1,176 @@
+#include "cache/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/detect.h"
+#include "test_fixtures.h"
+
+namespace netclust::cache {
+namespace {
+
+class SimulationOnSmallWorld : public ::testing::Test {
+ protected:
+  SimulationOnSmallWorld()
+      : world_(netclust::testing::GetSmallWorld()),
+        clustering_(
+            core::ClusterNetworkAware(world_.generated.log, world_.table)) {
+    config_.proxy.ttl_seconds = 3600;
+    config_.proxy.capacity_bytes = 0;  // infinite unless a test overrides
+  }
+
+  const netclust::testing::SmallWorld& world_;
+  core::Clustering clustering_;
+  SimulationConfig config_;
+};
+
+TEST_F(SimulationOnSmallWorld, AccountsForEveryRequest) {
+  const SimulationResult result =
+      SimulateProxyCaching(world_.generated.log, clustering_, config_);
+  std::uint64_t proxied = 0;
+  for (const ProxyStats& proxy : result.proxies) {
+    proxied += proxy.requests;
+  }
+  EXPECT_EQ(proxied + result.direct_requests, result.total_requests);
+  EXPECT_EQ(result.total_requests + result.skipped_requests,
+            world_.generated.log.request_count());
+  EXPECT_EQ(result.skipped_requests, 0u);
+}
+
+TEST_F(SimulationOnSmallWorld, HitRatioWithinBounds) {
+  const SimulationResult result =
+      SimulateProxyCaching(world_.generated.log, clustering_, config_);
+  const double hit_ratio = result.ServerHitRatio();
+  const double byte_hit_ratio = result.ServerByteHitRatio();
+  EXPECT_GT(hit_ratio, 0.0);
+  EXPECT_LT(hit_ratio, 1.0);
+  EXPECT_GT(byte_hit_ratio, 0.0);
+  EXPECT_LT(byte_hit_ratio, 1.0);
+}
+
+TEST_F(SimulationOnSmallWorld, HitRatioMonotoneInCacheSize) {
+  // Figure 11's x axis: larger per-proxy caches absorb more requests.
+  double previous = -1.0;
+  for (const std::uint64_t capacity :
+       {std::uint64_t{100} << 10, std::uint64_t{1} << 20,
+        std::uint64_t{10} << 20, std::uint64_t{0}}) {
+    SimulationConfig config = config_;
+    config.proxy.capacity_bytes = capacity;
+    const SimulationResult result =
+        SimulateProxyCaching(world_.generated.log, clustering_, config);
+    EXPECT_GE(result.ServerHitRatio() + 1e-9, previous)
+        << "capacity " << capacity;
+    previous = result.ServerHitRatio();
+  }
+  EXPECT_GT(previous, 0.2);
+}
+
+TEST_F(SimulationOnSmallWorld, NetworkAwareBeatsSimpleAtLargeCaches) {
+  // Figure 11: the simple approach under-estimates the achievable hit
+  // ratio because it fragments real sharing communities.
+  const core::Clustering simple =
+      core::ClusterSimple(world_.generated.log);
+  const SimulationResult aware =
+      SimulateProxyCaching(world_.generated.log, clustering_, config_);
+  const SimulationResult fragmented =
+      SimulateProxyCaching(world_.generated.log, simple, config_);
+  EXPECT_GT(aware.ServerHitRatio(), fragmented.ServerHitRatio());
+}
+
+TEST_F(SimulationOnSmallWorld, UrlAccessFilterSkipsColdResources) {
+  SimulationConfig config = config_;
+  config.min_url_accesses = 10;  // the paper's footnote 9
+  const SimulationResult result =
+      SimulateProxyCaching(world_.generated.log, clustering_, config);
+  EXPECT_GT(result.skipped_requests, 0u);
+  EXPECT_LT(result.total_requests, world_.generated.log.request_count());
+}
+
+TEST_F(SimulationOnSmallWorld, UnclusteredClientsGoDirect) {
+  // Force everyone unclustered by simulating with an empty clustering.
+  core::Clustering empty;
+  empty.approach = "empty";
+  const SimulationResult result =
+      SimulateProxyCaching(world_.generated.log, empty, config_);
+  EXPECT_EQ(result.direct_requests, result.total_requests);
+  EXPECT_DOUBLE_EQ(result.ServerHitRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(result.ServerByteHitRatio(), 0.0);
+}
+
+TEST_F(SimulationOnSmallWorld, RemovingSpidersRaisesProxyValue) {
+  // §4.1.1/Figure 8: a spider's sweep pollutes its cluster's proxy; the
+  // per-proxy hit ratio of that cluster improves once the spider is gone.
+  const auto detection =
+      core::DetectSpidersAndProxies(world_.generated.log, clustering_);
+  const auto spiders = detection.SpiderAddresses();
+  ASSERT_FALSE(spiders.empty());
+
+  const weblog::ServerLog cleaned =
+      core::RemoveClients(world_.generated.log, spiders);
+  const core::Clustering cleaned_clustering =
+      core::ClusterNetworkAware(cleaned, world_.table);
+
+  SimulationConfig small_cache = config_;
+  small_cache.proxy.capacity_bytes = 2 << 20;
+  const SimulationResult with_spider = SimulateProxyCaching(
+      world_.generated.log, clustering_, small_cache);
+  const SimulationResult without_spider =
+      SimulateProxyCaching(cleaned, cleaned_clustering, small_cache);
+  EXPECT_GT(without_spider.ServerHitRatio(),
+            with_spider.ServerHitRatio() - 0.05);
+}
+
+TEST_F(SimulationOnSmallWorld, LatencyAccountingFollowsOutcomes) {
+  const cache::SynthLatencyModel latency(world_.internet, 0);
+  SimulationConfig with_latency = config_;
+  with_latency.latency = &latency;
+
+  const SimulationResult proxied =
+      SimulateProxyCaching(world_.generated.log, clustering_, with_latency);
+  EXPECT_GT(proxied.MeanLatencyMs(), 0.0);
+
+  // No proxies: every request pays the origin RTT + transfer.
+  core::Clustering empty;
+  const SimulationResult direct =
+      SimulateProxyCaching(world_.generated.log, empty, with_latency);
+  EXPECT_GT(direct.MeanLatencyMs(), proxied.MeanLatencyMs());
+
+  // Without a model, no latency is accounted.
+  const SimulationResult silent =
+      SimulateProxyCaching(world_.generated.log, clustering_, config_);
+  EXPECT_DOUBLE_EQ(silent.total_latency_ms, 0.0);
+}
+
+TEST(LatencyModel, TransferAndDefaults) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const cache::SynthLatencyModel model(world.internet, 0);
+  EXPECT_DOUBLE_EQ(model.TransferMs(0), 0.0);
+  EXPECT_GT(model.TransferMs(1 << 20), model.TransferMs(1 << 10));
+  EXPECT_DOUBLE_EQ(model.ProxyRttMs(net::IpAddress(1, 2, 3, 4)), 5.0);
+  const net::IpAddress host = world.internet.HostAddress(
+      world.internet.allocations()[0], 0);
+  EXPECT_DOUBLE_EQ(model.OriginRttMs(host), world.internet.RttMs(host, 0));
+}
+
+TEST_F(SimulationOnSmallWorld, PcvReducesServerBodyTraffic) {
+  SimulationConfig with_pcv = config_;
+  with_pcv.proxy.capacity_bytes = 4 << 20;
+  SimulationConfig without_pcv = with_pcv;
+  without_pcv.proxy.piggyback_validation = false;
+
+  const SimulationResult pcv = SimulateProxyCaching(
+      world_.generated.log, clustering_, with_pcv);
+  const SimulationResult plain = SimulateProxyCaching(
+      world_.generated.log, clustering_, without_pcv);
+
+  std::uint64_t pcv_renewals = 0;
+  for (const ProxyStats& proxy : pcv.proxies) {
+    pcv_renewals += proxy.piggyback_renewals;
+  }
+  EXPECT_GT(pcv_renewals, 0u);
+  // Piggybacking can only help the pure-hit ratio (renewed entries serve
+  // later requests without an IMS round trip).
+  EXPECT_GE(pcv.ServerHitRatio() + 1e-9, plain.ServerHitRatio());
+}
+
+}  // namespace
+}  // namespace netclust::cache

@@ -1,0 +1,201 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_fixtures.h"
+
+namespace netclust::core {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+Prefix P(const char* text) { return Prefix::Parse(text).value(); }
+
+// Canonical (key -> sorted member addresses) form for comparisons.
+std::map<Prefix, std::vector<IpAddress>> Membership(
+    const Clustering& clustering) {
+  std::map<Prefix, std::vector<IpAddress>> out;
+  for (const Cluster& cluster : clustering.clusters) {
+    auto& members = out[cluster.key];
+    for (const std::uint32_t member : cluster.members) {
+      members.push_back(clustering.clients[member].address);
+    }
+    std::sort(members.begin(), members.end());
+  }
+  return out;
+}
+
+TEST(Streaming, MatchesBatchClusteringWithoutChurn) {
+  const auto& world = netclust::testing::GetSmallWorld();
+
+  StreamingClusterer streaming("smallworld");
+  const synth::VantageGenerator vantages(world.internet,
+                                         synth::DefaultVantageProfiles());
+  for (const auto& snapshot : vantages.AllSnapshots(0)) {
+    streaming.SeedSnapshot(snapshot);
+  }
+  streaming.ObserveLog(world.generated.log);
+
+  const Clustering batch =
+      ClusterNetworkAware(world.generated.log, world.table);
+  const Clustering live = streaming.ToClustering();
+
+  EXPECT_EQ(live.cluster_count(), batch.cluster_count());
+  EXPECT_EQ(live.client_count(), batch.client_count());
+  EXPECT_EQ(live.total_requests, batch.total_requests);
+  EXPECT_EQ(live.unclustered.size(), batch.unclustered.size());
+  EXPECT_EQ(Membership(live), Membership(batch));
+
+  // Per-cluster tallies agree too (no churn, so attribution is exact).
+  std::map<Prefix, std::uint64_t> batch_requests;
+  for (const Cluster& cluster : batch.clusters) {
+    batch_requests[cluster.key] = cluster.requests;
+  }
+  for (const Cluster& cluster : live.clusters) {
+    EXPECT_EQ(cluster.requests, batch_requests.at(cluster.key))
+        << cluster.key.ToString();
+  }
+  EXPECT_EQ(streaming.stats().reassignments, 0u);
+}
+
+class StreamingChurn : public ::testing::Test {
+ protected:
+  StreamingChurn() : streaming_("churn") {
+    source_ = streaming_.AddSource(
+        {"TEST", "1/1/2000", bgp::SourceKind::kBgpTable, ""});
+    streaming_.Announce(P("12.0.0.0/8"), source_);
+    // Three clients under 12/8.
+    Observe("12.65.147.94");
+    Observe("12.65.146.207");
+    Observe("12.1.1.1");
+  }
+
+  void Observe(const char* address, int times = 1) {
+    for (int i = 0; i < times; ++i) {
+      streaming_.Observe(IpAddress::Parse(address).value(), 1, 100, 0);
+    }
+  }
+
+  StreamingClusterer streaming_;
+  int source_ = 0;
+};
+
+TEST_F(StreamingChurn, AnnounceSplitsAffectedClientsOnly) {
+  ASSERT_EQ(streaming_.cluster_count(), 1u);
+  streaming_.Announce(P("12.65.128.0/19"), source_);
+
+  const Clustering clustering = streaming_.ToClustering();
+  const auto membership = Membership(clustering);
+  ASSERT_TRUE(membership.contains(P("12.65.128.0/19")));
+  EXPECT_EQ(membership.at(P("12.65.128.0/19")).size(), 2u);
+  EXPECT_EQ(membership.at(P("12.0.0.0/8")).size(), 1u);
+  EXPECT_EQ(streaming_.stats().reassignments, 2u);
+}
+
+TEST_F(StreamingChurn, WithdrawFallsBackToCoveringPrefix) {
+  streaming_.Announce(P("12.65.128.0/19"), source_);
+  streaming_.Withdraw(P("12.65.128.0/19"));
+
+  const Clustering clustering = streaming_.ToClustering();
+  const auto membership = Membership(clustering);
+  ASSERT_TRUE(membership.contains(P("12.0.0.0/8")));
+  EXPECT_EQ(membership.at(P("12.0.0.0/8")).size(), 3u);
+  EXPECT_EQ(clustering.cluster_count(), 1u);
+  EXPECT_TRUE(clustering.unclustered.empty());
+}
+
+TEST_F(StreamingChurn, WithdrawLastRouteUnclustersClients) {
+  streaming_.Withdraw(P("12.0.0.0/8"));
+  EXPECT_EQ(streaming_.unclustered_count(), 3u);
+  EXPECT_EQ(streaming_.cluster_count(), 0u);
+
+  // Re-announcement adopts them back.
+  streaming_.Announce(P("12.0.0.0/8"), source_);
+  EXPECT_EQ(streaming_.unclustered_count(), 0u);
+  EXPECT_EQ(streaming_.cluster_count(), 1u);
+}
+
+TEST_F(StreamingChurn, TalliesMoveWithClients) {
+  Observe("12.65.147.94", 9);  // now 10 requests on this client
+  streaming_.Announce(P("12.65.128.0/19"), source_);
+
+  const Clustering clustering = streaming_.ToClustering();
+  for (const Cluster& cluster : clustering.clusters) {
+    if (cluster.key == P("12.65.128.0/19")) {
+      EXPECT_EQ(cluster.requests, 11u);  // 10 + 1 sibling request
+    }
+    if (cluster.key == P("12.0.0.0/8")) {
+      EXPECT_EQ(cluster.requests, 1u);
+    }
+  }
+  // Per-client stats are authoritative.
+  for (const ClientStats& client : clustering.clients) {
+    if (client.address == IpAddress::Parse("12.65.147.94").value()) {
+      EXPECT_EQ(client.requests, 10u);
+    }
+  }
+}
+
+TEST_F(StreamingChurn, RedundantAnnounceIsANoop) {
+  const auto before = streaming_.stats().reassignments;
+  streaming_.Announce(P("12.0.0.0/8"), source_);  // already present
+  EXPECT_EQ(streaming_.stats().reassignments, before);
+}
+
+TEST_F(StreamingChurn, ApplyUpdateDrivesBothDirections) {
+  bgp::UpdateMessage update;
+  update.withdrawn = {P("12.0.0.0/8")};
+  update.announced = {P("12.65.128.0/19")};
+  update.as_path = {7018};
+  update.next_hop = IpAddress(1, 1, 1, 1);
+  streaming_.ApplyUpdate(update, source_);
+
+  EXPECT_EQ(streaming_.cluster_count(), 1u);
+  EXPECT_EQ(streaming_.unclustered_count(), 1u);  // 12.1.1.1 lost its route
+  const Clustering clustering = streaming_.ToClustering();
+  EXPECT_EQ(Membership(clustering).at(P("12.65.128.0/19")).size(), 2u);
+}
+
+TEST(Streaming, ConvergesToBatchUnderChurn) {
+  // Stream traffic interleaved with a day's worth of routing updates; the
+  // final membership must equal batch clustering against the final table.
+  const auto& world = netclust::testing::GetSmallWorld();
+  const synth::VantageGenerator vantages(world.internet,
+                                         synth::DefaultVantageProfiles());
+
+  StreamingClusterer streaming("churny");
+  const int source = streaming.SeedSnapshot(vantages.MakeSnapshot(0, 0));
+
+  const auto& requests = world.generated.log.requests();
+  const std::size_t half = requests.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    streaming.Observe(requests[i].client, requests[i].url_id,
+                      requests[i].response_bytes, requests[i].timestamp);
+  }
+  for (const auto& update : vantages.MakeUpdateStream(0, 0, 0, 1, 0)) {
+    streaming.ApplyUpdate(update, source);
+  }
+  for (std::size_t i = half; i < requests.size(); ++i) {
+    streaming.Observe(requests[i].client, requests[i].url_id,
+                      requests[i].response_bytes, requests[i].timestamp);
+  }
+
+  // Batch reference: day-1 AADS table only.
+  bgp::PrefixTable reference;
+  reference.AddSnapshot(vantages.MakeSnapshot(0, 1));
+  const Clustering batch =
+      ClusterNetworkAware(world.generated.log, reference);
+  const Clustering live = streaming.ToClustering();
+
+  EXPECT_EQ(Membership(live), Membership(batch));
+  EXPECT_EQ(live.unclustered.size(), batch.unclustered.size());
+  EXPECT_GT(streaming.stats().announce_events +
+                streaming.stats().withdraw_events,
+            0u);
+}
+
+}  // namespace
+}  // namespace netclust::core

@@ -1,0 +1,61 @@
+#include "validate/suffix.h"
+
+#include <gtest/gtest.h>
+
+namespace netclust::validate {
+namespace {
+
+TEST(Suffix, ComponentCount) {
+  EXPECT_EQ(ComponentCount(""), 0u);
+  EXPECT_EQ(ComponentCount("com"), 1u);
+  EXPECT_EQ(ComponentCount("foo.dummy.com"), 3u);  // paper's own example
+  EXPECT_EQ(ComponentCount("macbeth.cs.wits.ac.za"), 5u);
+}
+
+TEST(Suffix, NonTrivialSuffixDepthRule) {
+  // n = 3 when m >= 4, else n = 2 (footnote 7).
+  EXPECT_EQ(NonTrivialSuffix("macbeth.cs.wits.ac.za"), "wits.ac.za");
+  EXPECT_EQ(NonTrivialSuffix("h1.cs.univ7.edu"), "cs.univ7.edu");
+  EXPECT_EQ(NonTrivialSuffix("foo.dummy.com"), "dummy.com");
+  EXPECT_EQ(NonTrivialSuffix("dummy.com"), "dummy.com");
+  EXPECT_EQ(NonTrivialSuffix("com"), "com");
+}
+
+TEST(Suffix, PaperExamplePairMatches) {
+  // macbeth.cs.wits.ac.za and macabre.cs.wits.ac.za are in one cluster.
+  EXPECT_TRUE(SharesNonTrivialSuffix("macbeth.cs.wits.ac.za",
+                                     "macabre.cs.wits.ac.za"));
+}
+
+TEST(Suffix, PaperCounterexamplesDiffer) {
+  // §2: the three 151.198.194.x hosts belong to different entities.
+  EXPECT_FALSE(SharesNonTrivialSuffix(
+      "client-151-198-194-17.bellatlantic.net", "mailsrv1.wakefern.com"));
+  EXPECT_FALSE(SharesNonTrivialSuffix("mailsrv1.wakefern.com",
+                                      "firewall.commonhealthusa.com"));
+}
+
+TEST(Suffix, MixedDepthUsesShallowerRule) {
+  // When depths disagree, the shorter name's depth decides: "a.b.com" is
+  // compared at 2 components even against a 4-component name.
+  EXPECT_TRUE(SharesNonTrivialSuffix("a.b.com", "x.a.b.com"));
+  EXPECT_TRUE(SharesNonTrivialSuffix("a.b.com", "x.c.b.com"));
+  EXPECT_FALSE(SharesNonTrivialSuffix("a.b.com", "x.c.d.com"));
+}
+
+TEST(Suffix, SameDepartmentDifferentHostsMatch) {
+  EXPECT_TRUE(SharesNonTrivialSuffix("h1.cs.univ7.edu", "h9.cs.univ7.edu"));
+  EXPECT_FALSE(SharesNonTrivialSuffix("h1.cs.univ7.edu", "h1.ee.univ7.edu"));
+}
+
+TEST(Suffix, LooksUsBased) {
+  EXPECT_TRUE(LooksUsBased("www.example.com"));
+  EXPECT_TRUE(LooksUsBased("host.agency.gov"));
+  EXPECT_TRUE(LooksUsBased("city.portland.us"));
+  EXPECT_FALSE(LooksUsBased("macbeth.cs.wits.ac.za"));
+  EXPECT_FALSE(LooksUsBased("www.uni-koeln.de"));
+  EXPECT_FALSE(LooksUsBased("site.co.jp"));
+}
+
+}  // namespace
+}  // namespace netclust::validate

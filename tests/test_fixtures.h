@@ -1,0 +1,55 @@
+// Shared fixtures: a small synthetic world (internet + vantage tables +
+// generated log) built once per test binary.
+#pragma once
+
+#include "bgp/prefix_table.h"
+#include "synth/internet.h"
+#include "synth/vantage.h"
+#include "synth/workload.h"
+
+namespace netclust::testing {
+
+struct SmallWorld {
+  synth::Internet internet;
+  bgp::PrefixTable table;
+  synth::GeneratedLog generated;
+};
+
+/// A ~3k-allocation internet, the 14 default vantage tables merged, and a
+/// 60k-request day log with one spider and one proxy injected.
+inline const SmallWorld& GetSmallWorld() {
+  static const SmallWorld* world = [] {
+    auto* w = new SmallWorld{
+        .internet = synth::GenerateInternet([] {
+          synth::InternetConfig config;
+          config.seed = 31;
+          config.allocation_count = 3000;
+          return config;
+        }()),
+        .table = {},
+        .generated = {},
+    };
+    const synth::VantageGenerator vantages(w->internet,
+                                           synth::DefaultVantageProfiles());
+    for (const auto& snapshot : vantages.AllSnapshots(0)) {
+      w->table.AddSnapshot(snapshot);
+    }
+    synth::WorkloadConfig workload;
+    workload.seed = 33;
+    workload.log_name = "smallworld";
+    workload.target_clients = 4000;
+    workload.target_requests = 80000;
+    workload.url_count = 2500;
+    workload.duration_seconds = 86400;
+    workload.spider_count = 1;
+    workload.spider_request_fraction = 0.06;
+    workload.spider_url_fraction = 0.4;
+    workload.proxy_count = 1;
+    workload.proxy_request_fraction = 0.05;
+    w->generated = synth::GenerateLog(w->internet, workload);
+    return w;
+  }();
+  return *world;
+}
+
+}  // namespace netclust::testing

@@ -1,0 +1,139 @@
+#include "bgp/text_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace netclust::bgp {
+namespace {
+
+SnapshotInfo Info() {
+  return SnapshotInfo{"VBNS", "12/7/1999", SourceKind::kBgpTable,
+                      "BGP routing table snapshots updated every 30 minutes"};
+}
+
+TEST(TextParser, ParsesTableTwoStyleEntries) {
+  // The Table 2 example snapshot, rendered in this library's line grammar.
+  const char* text =
+      "# VBNS 12/7/1999\n"
+      "6.0.0.0/8 198.32.8.1 7170 1455 | Army Information Systems Center | AT&T Government Markets\n"
+      "12.0.48.0/20 198.32.8.1 1742 | Harvard University | Harvard University\n"
+      "12.6.208.0/20 198.32.8.1 1742\n"
+      "18.0.0.0/8 198.32.8.1 3 | Massachusetts Institute of Technology\n";
+  ParseStats stats;
+  const Snapshot snapshot = ParseSnapshotText(text, Info(), &stats);
+
+  EXPECT_EQ(stats.total_lines, 5u);
+  EXPECT_EQ(stats.entry_lines, 4u);
+  EXPECT_EQ(stats.malformed_lines, 0u);
+  ASSERT_EQ(snapshot.entries.size(), 4u);
+
+  const RouteEntry& army = snapshot.entries[0];
+  EXPECT_EQ(army.prefix.ToString(), "6.0.0.0/8");
+  EXPECT_EQ(army.next_hop.ToString(), "198.32.8.1");
+  EXPECT_EQ(army.as_path, (std::vector<AsNumber>{7170, 1455}));
+  EXPECT_EQ(army.prefix_description, "Army Information Systems Center");
+  EXPECT_EQ(army.peer_description, "AT&T Government Markets");
+
+  EXPECT_EQ(snapshot.entries[2].prefix_description, "");
+  EXPECT_EQ(snapshot.entries[3].peer_description, "");
+}
+
+TEST(TextParser, AcceptsAllThreePrefixFormats) {
+  const char* text =
+      "12.65.128/255.255.224\n"
+      "24.48.2.0/23\n"
+      "18\n";
+  const Snapshot snapshot = ParseSnapshotText(text, Info());
+  ASSERT_EQ(snapshot.entries.size(), 3u);
+  EXPECT_EQ(snapshot.entries[0].prefix.ToString(), "12.65.128.0/19");
+  EXPECT_EQ(snapshot.entries[1].prefix.ToString(), "24.48.2.0/23");
+  EXPECT_EQ(snapshot.entries[2].prefix.ToString(), "18.0.0.0/8");
+}
+
+TEST(TextParser, CountsMalformedLinesAndKeepsGoing) {
+  const char* text =
+      "12.0.48.0/20 198.32.8.1 1742\n"
+      "not-a-prefix 1.2.3.4\n"
+      "18.0.0.0/8 198.32.8.1 3\n"
+      "1.2.3.4/20 bad.next.hop.x 12\n"
+      "1.2.3.4/20 1.2.3.4 not-an-as\n";
+  ParseStats stats;
+  const Snapshot snapshot = ParseSnapshotText(text, Info(), &stats);
+  EXPECT_EQ(snapshot.entries.size(), 2u);
+  EXPECT_EQ(stats.malformed_lines, 3u);
+  EXPECT_FALSE(stats.first_error.empty());
+}
+
+TEST(TextParser, SkipsCommentsAndBlankLines) {
+  const char* text =
+      "\n"
+      "# comment\n"
+      "   \n"
+      "  # indented comment\n"
+      "18.0.0.0/8\n";
+  ParseStats stats;
+  const Snapshot snapshot = ParseSnapshotText(text, Info(), &stats);
+  EXPECT_EQ(snapshot.entries.size(), 1u);
+  EXPECT_EQ(stats.malformed_lines, 0u);
+}
+
+TEST(TextParser, HandlesMissingTrailingNewlineAndCrLf) {
+  ParseStats stats;
+  const Snapshot snapshot =
+      ParseSnapshotText("18.0.0.0/8 198.32.8.1 3\r\n6.0.0.0/8", Info(),
+                        &stats);
+  EXPECT_EQ(snapshot.entries.size(), 2u);
+  EXPECT_EQ(stats.total_lines, 2u);
+}
+
+TEST(TextParser, EmptyInput) {
+  ParseStats stats;
+  const Snapshot snapshot = ParseSnapshotText("", Info(), &stats);
+  EXPECT_TRUE(snapshot.entries.empty());
+  EXPECT_EQ(stats.total_lines, 0u);
+}
+
+TEST(TextParser, StreamParsingMatchesTextParsing) {
+  const std::string text = "18.0.0.0/8 198.32.8.1 3\n6.0.0.0/8 198.32.8.1 7170\n";
+  std::istringstream stream(text);
+  const Snapshot from_stream = ParseSnapshotStream(stream, Info());
+  const Snapshot from_text = ParseSnapshotText(text, Info());
+  ASSERT_EQ(from_stream.entries.size(), from_text.entries.size());
+  for (std::size_t i = 0; i < from_text.entries.size(); ++i) {
+    EXPECT_EQ(from_stream.entries[i], from_text.entries[i]);
+  }
+}
+
+class WriterRoundTrip : public ::testing::TestWithParam<net::PrefixStyle> {};
+
+TEST_P(WriterRoundTrip, WriteThenParsePreservesEntries) {
+  Snapshot snapshot;
+  snapshot.info = Info();
+  RouteEntry entry;
+  entry.prefix = net::Prefix::Parse("12.65.128.0/19").value();
+  entry.next_hop = net::IpAddress(198, 32, 8, 1);
+  entry.as_path = {7018, 1742};
+  entry.prefix_description = "AT&T ITS";
+  entry.peer_description = "Harvard University";
+  snapshot.entries.push_back(entry);
+  RouteEntry bare;
+  bare.prefix = net::Prefix::Parse("18.0.0.0/8").value();
+  snapshot.entries.push_back(bare);
+
+  const std::string text = WriteSnapshotText(snapshot, GetParam());
+  ParseStats stats;
+  const Snapshot parsed = ParseSnapshotText(text, Info(), &stats);
+  EXPECT_EQ(stats.malformed_lines, 0u);
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.entries[0], snapshot.entries[0]);
+  EXPECT_EQ(parsed.entries[1], snapshot.entries[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStyles, WriterRoundTrip,
+                         ::testing::Values(net::PrefixStyle::kDottedMask,
+                                           net::PrefixStyle::kCidr,
+                                           net::PrefixStyle::kClassful));
+
+}  // namespace
+}  // namespace netclust::bgp

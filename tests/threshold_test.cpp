@@ -1,0 +1,95 @@
+#include "core/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace netclust::core {
+namespace {
+
+Clustering MakeClustering(const std::vector<std::uint64_t>& requests) {
+  Clustering clustering;
+  std::uint32_t next_client = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Cluster cluster;
+    cluster.key = net::Prefix(
+        net::IpAddress(static_cast<std::uint32_t>(0x0A000000 + (i << 8))), 24);
+    cluster.requests = requests[i];
+    cluster.members = {next_client};
+    clustering.clients.push_back(ClientStats{
+        net::IpAddress(static_cast<std::uint32_t>(0x0A000000 + (i << 8) + 1)),
+        requests[i], 0});
+    ++next_client;
+    clustering.total_requests += requests[i];
+    clustering.clusters.push_back(std::move(cluster));
+  }
+  return clustering;
+}
+
+TEST(Threshold, RetainsBusiestClustersCoveringTargetFraction) {
+  // 100+50 = 150 >= 0.7 * 200; the two busiest clusters suffice.
+  const Clustering clustering = MakeClustering({100, 50, 30, 15, 5});
+  const ThresholdReport report = ThresholdBusyClusters(clustering, 0.7);
+  ASSERT_EQ(report.busy.size(), 2u);
+  EXPECT_EQ(clustering.clusters[report.busy[0]].requests, 100u);
+  EXPECT_EQ(clustering.clusters[report.busy[1]].requests, 50u);
+  EXPECT_EQ(report.busy_requests, 150u);
+  EXPECT_EQ(report.threshold_requests, 50u);
+  EXPECT_EQ(report.busy_clients, 2u);
+  EXPECT_EQ(report.less_busy_max_requests, 30u);
+  EXPECT_EQ(report.less_busy_min_requests, 5u);
+}
+
+TEST(Threshold, FullFractionTakesEverything) {
+  const Clustering clustering = MakeClustering({10, 10, 10});
+  const ThresholdReport report = ThresholdBusyClusters(clustering, 1.0);
+  EXPECT_EQ(report.busy.size(), 3u);
+  EXPECT_EQ(report.less_busy_max_requests, 0u);
+}
+
+TEST(Threshold, ZeroFractionTakesNothing) {
+  const Clustering clustering = MakeClustering({10, 10, 10});
+  const ThresholdReport report = ThresholdBusyClusters(clustering, 0.0);
+  EXPECT_TRUE(report.busy.empty());
+  EXPECT_EQ(report.busy_requests, 0u);
+}
+
+TEST(Threshold, EmptyClustering) {
+  const ThresholdReport report = ThresholdBusyClusters(Clustering{}, 0.7);
+  EXPECT_TRUE(report.busy.empty());
+}
+
+TEST(Threshold, SingleClusterDominates) {
+  const Clustering clustering = MakeClustering({1000, 1, 1});
+  const ThresholdReport report = ThresholdBusyClusters(clustering, 0.7);
+  ASSERT_EQ(report.busy.size(), 1u);
+  EXPECT_EQ(report.busy_max_requests, 1000u);
+  EXPECT_EQ(report.busy_min_requests, 1000u);
+}
+
+TEST(Threshold, BusyFractionIsSharpOnRealisticData) {
+  // The busy set must cover >= 70% but over-cover only by at most the
+  // smallest busy cluster (it is the minimal prefix of the sorted order).
+  const auto& world = netclust::testing::GetSmallWorld();
+  const Clustering clustering =
+      ClusterNetworkAware(world.generated.log, world.table);
+  const ThresholdReport report = ThresholdBusyClusters(clustering, 0.7);
+
+  std::uint64_t clustered = 0;
+  for (const Cluster& cluster : clustering.clusters) {
+    clustered += cluster.requests;
+  }
+  const double fraction = static_cast<double>(report.busy_requests) /
+                          static_cast<double>(clustered);
+  EXPECT_GE(fraction, 0.7);
+  EXPECT_LT(report.busy_requests - report.threshold_requests,
+            static_cast<std::uint64_t>(0.7 * static_cast<double>(clustered)));
+
+  // Far fewer busy clusters than clusters (Table 5: 717 of 9,853).
+  EXPECT_LT(report.busy.size(), clustering.cluster_count() / 4);
+  // Every busy cluster is at least as busy as every less-busy one.
+  EXPECT_GE(report.threshold_requests, report.less_busy_max_requests);
+}
+
+}  // namespace
+}  // namespace netclust::core

@@ -1,0 +1,145 @@
+// Property tests: on randomized prefix sets, both tries must agree with
+// the linear-scan oracle on every lookup, under inserts and removals.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "synth/rng.h"
+#include "trie/binary_trie.h"
+#include "trie/linear_lpm.h"
+#include "trie/patricia_trie.h"
+
+namespace netclust::trie {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+struct SweepParams {
+  std::uint64_t seed;
+  int entries;
+  int min_length;
+  int max_length;
+};
+
+class LpmAgreementSweep : public ::testing::TestWithParam<SweepParams> {};
+
+Prefix RandomPrefix(synth::Rng& rng, int min_length, int max_length) {
+  const int length =
+      min_length +
+      static_cast<int>(rng.Uniform(
+          static_cast<std::uint64_t>(max_length - min_length + 1)));
+  const auto bits = static_cast<std::uint32_t>(rng.Uniform(1ull << 32));
+  return Prefix(IpAddress(bits), length);
+}
+
+// Probe addresses biased towards the inserted prefixes (uniform probing
+// would almost never hit a /28).
+std::vector<IpAddress> ProbePoints(const std::vector<Prefix>& prefixes,
+                                   synth::Rng& rng) {
+  std::vector<IpAddress> probes;
+  for (const Prefix& prefix : prefixes) {
+    probes.push_back(prefix.first_address());
+    probes.push_back(prefix.last_address());
+    probes.push_back(IpAddress(static_cast<std::uint32_t>(
+        prefix.network().bits() +
+        rng.Uniform(std::max<std::uint64_t>(prefix.size(), 1)))));
+    // Just outside the block.
+    probes.push_back(IpAddress(prefix.network().bits() - 1));
+    probes.push_back(IpAddress(static_cast<std::uint32_t>(
+        prefix.network().bits() + prefix.size())));
+  }
+  for (int i = 0; i < 64; ++i) {
+    probes.push_back(IpAddress(static_cast<std::uint32_t>(
+        rng.Uniform(1ull << 32))));
+  }
+  return probes;
+}
+
+TEST_P(LpmAgreementSweep, TriesMatchLinearOracle) {
+  const SweepParams params = GetParam();
+  synth::Rng rng(params.seed);
+
+  LinearLpm<int> oracle;
+  BinaryTrie<int> binary;
+  PatriciaTrie<int> patricia;
+
+  std::vector<Prefix> inserted;
+  for (int i = 0; i < params.entries; ++i) {
+    const Prefix prefix =
+        RandomPrefix(rng, params.min_length, params.max_length);
+    inserted.push_back(prefix);
+    oracle.Insert(prefix, i);
+    binary.Insert(prefix, i);
+    patricia.Insert(prefix, i);
+  }
+  EXPECT_EQ(binary.size(), oracle.size());
+  EXPECT_EQ(patricia.size(), oracle.size());
+
+  for (const IpAddress probe : ProbePoints(inserted, rng)) {
+    const auto expected = oracle.LongestMatch(probe);
+    const auto from_binary = binary.LongestMatch(probe);
+    const auto from_patricia = patricia.LongestMatch(probe);
+    ASSERT_EQ(from_binary.has_value(), expected.has_value())
+        << probe.ToString();
+    ASSERT_EQ(from_patricia.has_value(), expected.has_value())
+        << probe.ToString();
+    if (!expected.has_value()) continue;
+    EXPECT_EQ(from_binary->prefix, expected->prefix) << probe.ToString();
+    EXPECT_EQ(*from_binary->value, *expected->value) << probe.ToString();
+    EXPECT_EQ(from_patricia->prefix, expected->prefix) << probe.ToString();
+    EXPECT_EQ(*from_patricia->value, *expected->value) << probe.ToString();
+  }
+}
+
+TEST_P(LpmAgreementSweep, AgreementSurvivesRemovals) {
+  const SweepParams params = GetParam();
+  synth::Rng rng(params.seed ^ 0xDEAD);
+
+  LinearLpm<int> oracle;
+  BinaryTrie<int> binary;
+  PatriciaTrie<int> patricia;
+
+  std::vector<Prefix> inserted;
+  for (int i = 0; i < params.entries; ++i) {
+    const Prefix prefix =
+        RandomPrefix(rng, params.min_length, params.max_length);
+    inserted.push_back(prefix);
+    oracle.Insert(prefix, i);
+    binary.Insert(prefix, i);
+    patricia.Insert(prefix, i);
+  }
+  // Remove half the entries (some duplicates: second removal must fail).
+  for (std::size_t i = 0; i < inserted.size(); i += 2) {
+    const bool expected = oracle.Remove(inserted[i]);
+    EXPECT_EQ(binary.Remove(inserted[i]), expected);
+    EXPECT_EQ(patricia.Remove(inserted[i]), expected);
+  }
+  EXPECT_EQ(binary.size(), oracle.size());
+  EXPECT_EQ(patricia.size(), oracle.size());
+
+  for (const IpAddress probe : ProbePoints(inserted, rng)) {
+    const auto expected = oracle.LongestMatch(probe);
+    const auto from_binary = binary.LongestMatch(probe);
+    const auto from_patricia = patricia.LongestMatch(probe);
+    ASSERT_EQ(from_binary.has_value(), expected.has_value())
+        << probe.ToString();
+    ASSERT_EQ(from_patricia.has_value(), expected.has_value())
+        << probe.ToString();
+    if (!expected.has_value()) continue;
+    EXPECT_EQ(from_binary->prefix, expected->prefix) << probe.ToString();
+    EXPECT_EQ(from_patricia->prefix, expected->prefix) << probe.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweeps, LpmAgreementSweep,
+    ::testing::Values(SweepParams{1, 16, 1, 32}, SweepParams{2, 64, 8, 24},
+                      SweepParams{3, 256, 8, 30}, SweepParams{4, 512, 0, 32},
+                      SweepParams{5, 1024, 16, 24},
+                      SweepParams{6, 128, 24, 32},
+                      SweepParams{7, 512, 1, 8},
+                      SweepParams{8, 2048, 8, 32}));
+
+}  // namespace
+}  // namespace netclust::trie

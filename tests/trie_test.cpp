@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trie/binary_trie.h"
+#include "trie/bit_ops.h"
+#include "trie/patricia_trie.h"
+
+namespace netclust::trie {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+Prefix P(const char* text) { return Prefix::Parse(text).value(); }
+IpAddress A(const char* text) { return IpAddress::Parse(text).value(); }
+
+TEST(BitOps, BitAtMsbFirst) {
+  EXPECT_EQ(BitAt(0x80000000u, 0), 1);
+  EXPECT_EQ(BitAt(0x80000000u, 1), 0);
+  EXPECT_EQ(BitAt(0x00000001u, 31), 1);
+  EXPECT_EQ(BitAt(IpAddress(128, 0, 0, 0), 0), 1);
+  EXPECT_EQ(BitAt(IpAddress(64, 0, 0, 0), 1), 1);
+}
+
+TEST(BitOps, CommonPrefixLength) {
+  EXPECT_EQ(CommonPrefixLength(0, 0), 32);
+  EXPECT_EQ(CommonPrefixLength(0xFFFFFFFFu, 0), 0);
+  EXPECT_EQ(CommonPrefixLength(0x0C418000u, 0x0C41A000u), 18);
+}
+
+// The same behavioural contract is exercised against both trie types.
+template <typename Trie>
+class LpmTrieTest : public ::testing::Test {};
+
+using TrieTypes = ::testing::Types<BinaryTrie<std::string>,
+                                   PatriciaTrie<std::string>>;
+TYPED_TEST_SUITE(LpmTrieTest, TrieTypes);
+
+TYPED_TEST(LpmTrieTest, EmptyTrieMatchesNothing) {
+  TypeParam trie;
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.LongestMatch(A("1.2.3.4")).has_value());
+  EXPECT_EQ(trie.Find(P("10.0.0.0/8")), nullptr);
+}
+
+TYPED_TEST(LpmTrieTest, PaperWorkedExample) {
+  // §3.2.1: six clients, two routes.
+  TypeParam trie;
+  trie.Insert(P("12.65.128.0/19"), "att");
+  trie.Insert(P("24.48.2.0/23"), "cable");
+
+  for (const char* client : {"12.65.147.94", "12.65.147.149",
+                             "12.65.146.207", "12.65.144.247"}) {
+    const auto match = trie.LongestMatch(A(client));
+    ASSERT_TRUE(match.has_value()) << client;
+    EXPECT_EQ(match->prefix, P("12.65.128.0/19")) << client;
+    EXPECT_EQ(*match->value, "att");
+  }
+  for (const char* client : {"24.48.3.87", "24.48.2.166"}) {
+    const auto match = trie.LongestMatch(A(client));
+    ASSERT_TRUE(match.has_value()) << client;
+    EXPECT_EQ(match->prefix, P("24.48.2.0/23")) << client;
+  }
+  EXPECT_FALSE(trie.LongestMatch(A("192.168.1.1")).has_value());
+}
+
+TYPED_TEST(LpmTrieTest, LongestOfNestedPrefixesWins) {
+  TypeParam trie;
+  trie.Insert(P("12.0.0.0/8"), "wide");
+  trie.Insert(P("12.65.0.0/16"), "mid");
+  trie.Insert(P("12.65.128.0/19"), "narrow");
+
+  EXPECT_EQ(*trie.LongestMatch(A("12.65.147.94"))->value, "narrow");
+  EXPECT_EQ(*trie.LongestMatch(A("12.65.1.1"))->value, "mid");
+  EXPECT_EQ(*trie.LongestMatch(A("12.1.1.1"))->value, "wide");
+}
+
+TYPED_TEST(LpmTrieTest, DefaultRouteCatchesAll) {
+  TypeParam trie;
+  trie.Insert(P("0.0.0.0/0"), "default");
+  trie.Insert(P("18.0.0.0/8"), "mit");
+  EXPECT_EQ(*trie.LongestMatch(A("18.26.0.1"))->value, "mit");
+  EXPECT_EQ(*trie.LongestMatch(A("99.99.99.99"))->value, "default");
+}
+
+TYPED_TEST(LpmTrieTest, HostRoutes) {
+  TypeParam trie;
+  trie.Insert(P("10.1.1.1/32"), "host");
+  trie.Insert(P("10.1.1.0/24"), "lan");
+  EXPECT_EQ(*trie.LongestMatch(A("10.1.1.1"))->value, "host");
+  EXPECT_EQ(*trie.LongestMatch(A("10.1.1.2"))->value, "lan");
+}
+
+TYPED_TEST(LpmTrieTest, InsertOverwritesAndReportsNovelty) {
+  TypeParam trie;
+  EXPECT_TRUE(trie.Insert(P("10.0.0.0/8"), "first"));
+  EXPECT_FALSE(trie.Insert(P("10.0.0.0/8"), "second"));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.Find(P("10.0.0.0/8")), "second");
+}
+
+TYPED_TEST(LpmTrieTest, FindIsExact) {
+  TypeParam trie;
+  trie.Insert(P("10.0.0.0/8"), "eight");
+  EXPECT_EQ(trie.Find(P("10.0.0.0/9")), nullptr);
+  EXPECT_EQ(trie.Find(P("10.0.0.0/7")), nullptr);
+  ASSERT_NE(trie.Find(P("10.0.0.0/8")), nullptr);
+}
+
+TYPED_TEST(LpmTrieTest, RemoveRestoresPriorState) {
+  TypeParam trie;
+  trie.Insert(P("12.0.0.0/8"), "wide");
+  trie.Insert(P("12.65.128.0/19"), "narrow");
+  EXPECT_TRUE(trie.Remove(P("12.65.128.0/19")));
+  EXPECT_FALSE(trie.Remove(P("12.65.128.0/19")));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.LongestMatch(A("12.65.147.94"))->value, "wide");
+  EXPECT_FALSE(trie.Remove(P("99.0.0.0/8")));
+}
+
+TYPED_TEST(LpmTrieTest, RemoveInteriorKeepsDescendants) {
+  TypeParam trie;
+  trie.Insert(P("12.0.0.0/8"), "wide");
+  trie.Insert(P("12.65.0.0/16"), "mid");
+  trie.Insert(P("12.65.128.0/19"), "narrow");
+  EXPECT_TRUE(trie.Remove(P("12.65.0.0/16")));
+  EXPECT_EQ(*trie.LongestMatch(A("12.65.147.94"))->value, "narrow");
+  EXPECT_EQ(*trie.LongestMatch(A("12.65.1.1"))->value, "wide");
+}
+
+TYPED_TEST(LpmTrieTest, AllMatchesShortestFirst) {
+  TypeParam trie;
+  trie.Insert(P("12.0.0.0/8"), "a");
+  trie.Insert(P("12.65.0.0/16"), "b");
+  trie.Insert(P("12.65.128.0/19"), "c");
+  trie.Insert(P("99.0.0.0/8"), "unrelated");
+
+  std::vector<std::string> seen;
+  trie.AllMatches(A("12.65.147.94"),
+                  [&](const Prefix&, const std::string& value) {
+                    seen.push_back(value);
+                  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TYPED_TEST(LpmTrieTest, VisitEnumeratesAllEntries) {
+  TypeParam trie;
+  const std::vector<Prefix> entries = {
+      P("12.0.0.0/8"), P("12.65.0.0/16"), P("12.65.128.0/19"),
+      P("24.48.2.0/23"), P("199.5.6.0/24")};
+  for (const Prefix& prefix : entries) {
+    trie.Insert(prefix, prefix.ToString());
+  }
+  std::vector<Prefix> visited;
+  trie.Visit([&](const Prefix& prefix, const std::string& value) {
+    EXPECT_EQ(value, prefix.ToString());
+    visited.push_back(prefix);
+  });
+  EXPECT_EQ(visited.size(), entries.size());
+  for (const Prefix& prefix : entries) {
+    EXPECT_NE(std::find(visited.begin(), visited.end(), prefix),
+              visited.end())
+        << prefix.ToString();
+  }
+}
+
+TYPED_TEST(LpmTrieTest, VisitOrderIsAscendingNetworkThenLength) {
+  TypeParam trie;
+  const std::vector<Prefix> entries = {
+      P("199.5.6.0/24"), P("12.0.0.0/8"),      P("12.65.128.0/19"),
+      P("24.48.2.0/23"), P("12.65.0.0/16"),    P("151.198.194.16/28"),
+      P("12.65.128.0/20")};
+  for (const Prefix& prefix : entries) {
+    trie.Insert(prefix, prefix.ToString());
+  }
+  std::vector<Prefix> visited;
+  trie.Visit([&](const Prefix& prefix, const std::string&) {
+    visited.push_back(prefix);
+  });
+  ASSERT_EQ(visited.size(), entries.size());
+  for (std::size_t i = 1; i < visited.size(); ++i) {
+    const bool ascending =
+        visited[i - 1].network() < visited[i].network() ||
+        (visited[i - 1].network() == visited[i].network() &&
+         visited[i - 1].length() < visited[i].length());
+    EXPECT_TRUE(ascending) << visited[i - 1].ToString() << " before "
+                           << visited[i].ToString();
+  }
+}
+
+TEST(PatriciaTrie, PathCompressionUsesFewerNodes) {
+  BinaryTrie<int> binary;
+  PatriciaTrie<int> patricia;
+  const std::vector<Prefix> entries = {
+      P("12.65.128.0/19"), P("24.48.2.0/23"), P("151.198.194.16/28"),
+      P("199.5.6.0/24"), P("18.0.0.0/8")};
+  for (const Prefix& prefix : entries) {
+    binary.Insert(prefix, 1);
+    patricia.Insert(prefix, 1);
+  }
+  EXPECT_LT(patricia.node_count(), binary.node_count());
+  // Patricia needs at most 2n-1 nodes for n disjoint leaves plus the root.
+  EXPECT_LE(patricia.node_count(), 2 * entries.size());
+}
+
+TEST(PatriciaTrie, SplitAndSpliceSequences) {
+  // Exercises all three insert paths: extend, splice-above, fork.
+  PatriciaTrie<int> trie;
+  trie.Insert(P("10.128.0.0/9"), 1);   // leaf
+  trie.Insert(P("10.0.0.0/8"), 2);     // splice above existing child
+  trie.Insert(P("10.192.0.0/10"), 3);  // extend below
+  trie.Insert(P("10.160.0.0/11"), 4);  // fork against 10.192/10
+  EXPECT_EQ(trie.size(), 4u);
+  EXPECT_EQ(*trie.LongestMatch(A("10.200.0.1"))->value, 3);
+  EXPECT_EQ(*trie.LongestMatch(A("10.170.0.1"))->value, 4);
+  EXPECT_EQ(*trie.LongestMatch(A("10.130.0.1"))->value, 1);
+  EXPECT_EQ(*trie.LongestMatch(A("10.1.0.1"))->value, 2);
+}
+
+}  // namespace
+}  // namespace netclust::trie

@@ -1,0 +1,207 @@
+#include "bgp/update.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "synth/internet.h"
+#include "synth/vantage.h"
+
+namespace netclust::bgp {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+Prefix P(const char* text) { return Prefix::Parse(text).value(); }
+
+UpdateMessage SampleUpdate() {
+  UpdateMessage update;
+  update.withdrawn = {P("151.198.194.16/28"), P("24.48.2.0/23")};
+  update.announced = {P("12.65.128.0/19"), P("12.0.48.0/20"),
+                      P("18.0.0.0/8"), P("0.0.0.0/0")};
+  update.as_path = {7018, 1742, 3};
+  update.next_hop = IpAddress(198, 32, 8, 1);
+  return update;
+}
+
+TEST(UpdateCodec, RoundTripsFullMessage) {
+  const UpdateMessage original = SampleUpdate();
+  const auto bytes = EncodeUpdate(original);
+  std::size_t offset = 0;
+  const auto decoded = DecodeUpdate(bytes, &offset);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), original);
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(UpdateCodec, RoundTripsWithdrawOnly) {
+  UpdateMessage original;
+  original.withdrawn = {P("10.0.0.0/8")};
+  const auto bytes = EncodeUpdate(original);
+  std::size_t offset = 0;
+  const auto decoded = DecodeUpdate(bytes, &offset);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().withdrawn, original.withdrawn);
+  EXPECT_TRUE(decoded.value().announced.empty());
+}
+
+TEST(UpdateCodec, ClampsWideAsNumbersToAsTrans) {
+  UpdateMessage original;
+  original.announced = {P("10.0.0.0/8")};
+  original.as_path = {70000};  // needs 4 bytes
+  original.next_hop = IpAddress(1, 2, 3, 4);
+  const auto bytes = EncodeUpdate(original);
+  std::size_t offset = 0;
+  const auto decoded = DecodeUpdate(bytes, &offset);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().as_path.size(), 1u);
+  EXPECT_EQ(decoded.value().as_path[0], 23456u);  // AS_TRANS
+}
+
+TEST(UpdateCodec, StreamDecoding) {
+  std::vector<std::uint8_t> stream;
+  const auto a = EncodeUpdate(SampleUpdate());
+  UpdateMessage second;
+  second.announced = {P("24.48.2.0/23")};
+  second.as_path = {42};
+  second.next_hop = IpAddress(9, 9, 9, 9);
+  const auto b = EncodeUpdate(second);
+  stream.insert(stream.end(), a.begin(), a.end());
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  const auto decoded = DecodeUpdateStream(stream);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  ASSERT_EQ(decoded.value().size(), 2u);
+  EXPECT_EQ(decoded.value()[0], SampleUpdate());
+  EXPECT_EQ(decoded.value()[1], second);
+}
+
+TEST(UpdateCodec, RejectsCorruptInput) {
+  auto bytes = EncodeUpdate(SampleUpdate());
+  // Bad marker.
+  auto bad_marker = bytes;
+  bad_marker[3] = 0x00;
+  std::size_t offset = 0;
+  EXPECT_FALSE(DecodeUpdate(bad_marker, &offset).ok());
+  // Truncation.
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 4);
+  offset = 0;
+  EXPECT_FALSE(DecodeUpdate(truncated, &offset).ok());
+  // Wrong type.
+  auto keepalive = bytes;
+  keepalive[18] = 4;
+  offset = 0;
+  EXPECT_FALSE(DecodeUpdate(keepalive, &offset).ok());
+  // NLRI length out of range.
+  auto bad_nlri = bytes;
+  bad_nlri[bytes.size() - 1 - 0] = 77;  // last NLRI is 0.0.0.0/0 (1 byte)
+  offset = 0;
+  EXPECT_FALSE(DecodeUpdate(bad_nlri, &offset).ok());
+}
+
+TEST(LiveRoutingTable, ApplyAnnounceWithdraw) {
+  LiveRoutingTable table;
+  UpdateMessage announce;
+  announce.announced = {P("12.65.128.0/19"), P("24.48.2.0/23")};
+  announce.as_path = {7018};
+  announce.next_hop = IpAddress(1, 1, 1, 1);
+  auto stats = table.Apply(announce);
+  EXPECT_EQ(stats.announced_new, 2u);
+  EXPECT_EQ(table.size(), 2u);
+
+  const auto match = table.LongestMatch(IpAddress(12, 65, 147, 94));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, P("12.65.128.0/19"));
+  EXPECT_EQ(match->second.as_path, (std::vector<AsNumber>{7018}));
+
+  // Implicit withdraw: same prefix, new attributes.
+  UpdateMessage replace;
+  replace.announced = {P("12.65.128.0/19")};
+  replace.as_path = {42};
+  replace.next_hop = IpAddress(2, 2, 2, 2);
+  stats = table.Apply(replace);
+  EXPECT_EQ(stats.replaced, 1u);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.LongestMatch(IpAddress(12, 65, 147, 94))->second.as_path,
+            (std::vector<AsNumber>{42}));
+
+  UpdateMessage withdraw;
+  withdraw.withdrawn = {P("12.65.128.0/19"), P("99.0.0.0/8")};
+  stats = table.Apply(withdraw);
+  EXPECT_EQ(stats.withdrawn, 1u);
+  EXPECT_EQ(stats.spurious_withdraw, 1u);
+  EXPECT_FALSE(table.LongestMatch(IpAddress(12, 65, 147, 94)).has_value());
+  EXPECT_EQ(table.churn().withdrawn, 1u);
+}
+
+TEST(LiveRoutingTable, ExportAfterChurnMatchesState) {
+  LiveRoutingTable table;
+  UpdateMessage announce;
+  announce.announced = {P("10.0.0.0/8"), P("18.0.0.0/8")};
+  announce.next_hop = IpAddress(1, 1, 1, 1);
+  table.Apply(announce);
+  UpdateMessage withdraw;
+  withdraw.withdrawn = {P("10.0.0.0/8")};
+  table.Apply(withdraw);
+
+  const Snapshot exported =
+      table.Export({"LIVE", "now", SourceKind::kBgpTable, ""});
+  ASSERT_EQ(exported.entries.size(), 1u);
+  EXPECT_EQ(exported.entries[0].prefix, P("18.0.0.0/8"));
+  EXPECT_EQ(table.AllPrefixes(),
+            (std::vector<Prefix>{P("18.0.0.0/8")}));
+}
+
+TEST(UpdateStream, CarriesVantageTableBetweenDays) {
+  // Seed a live table with day-0 AADS, apply the synthesized UPDATE
+  // stream, and require exact equality with the day-3 snapshot.
+  synth::InternetConfig config;
+  config.seed = 61;
+  config.allocation_count = 3000;
+  const synth::Internet internet = synth::GenerateInternet(config);
+  const synth::VantageGenerator vantages(internet,
+                                         synth::DefaultVantageProfiles());
+
+  const Snapshot day0 = vantages.MakeSnapshot(0, 0);
+  const Snapshot day3 = vantages.MakeSnapshot(0, 3);
+  LiveRoutingTable table;
+  table.LoadSnapshot(day0);
+
+  const auto stream = vantages.MakeUpdateStream(0, 0, 0, 3, 0);
+  EXPECT_FALSE(stream.empty());
+  std::size_t messages_bytes = 0;
+  for (const UpdateMessage& update : stream) {
+    // Also push every message through the wire codec.
+    const auto bytes = EncodeUpdate(update);
+    messages_bytes += bytes.size();
+    std::size_t offset = 0;
+    const auto decoded = DecodeUpdate(bytes, &offset);
+    ASSERT_TRUE(decoded.ok()) << decoded.error();
+    table.Apply(decoded.value());
+  }
+
+  std::unordered_set<Prefix> expected;
+  for (const auto& entry : day3.entries) expected.insert(entry.prefix);
+  const auto live = table.AllPrefixes();
+  EXPECT_EQ(live.size(), expected.size());
+  for (const Prefix& prefix : live) {
+    EXPECT_TRUE(expected.contains(prefix)) << prefix.ToString();
+  }
+  EXPECT_GT(messages_bytes, 0u);
+}
+
+TEST(UpdateStream, EmptyWhenNothingChanges) {
+  synth::InternetConfig config;
+  config.seed = 61;
+  config.allocation_count = 1000;
+  const synth::Internet internet = synth::GenerateInternet(config);
+  const synth::VantageGenerator vantages(internet,
+                                         synth::DefaultVantageProfiles());
+  const auto stream = vantages.MakeUpdateStream(0, 2, 0, 2, 0);
+  EXPECT_TRUE(stream.empty());
+}
+
+}  // namespace
+}  // namespace netclust::bgp

@@ -1,0 +1,177 @@
+#include "validate/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "test_fixtures.h"
+#include "validate/oracles.h"
+
+namespace netclust::validate {
+namespace {
+
+class ValidationOnSmallWorld : public ::testing::Test {
+ protected:
+  ValidationOnSmallWorld()
+      : world_(netclust::testing::GetSmallWorld()),
+        network_aware_(
+            core::ClusterNetworkAware(world_.generated.log, world_.table)),
+        simple_(core::ClusterSimple(world_.generated.log)),
+        dns_(world_.internet),
+        traceroute_(world_.internet) {
+    config_.sample_fraction = 0.25;  // sample plenty at this small scale
+  }
+
+  const netclust::testing::SmallWorld& world_;
+  core::Clustering network_aware_;
+  core::Clustering simple_;
+  SynthNameOracle dns_;
+  OptimizedTraceroute traceroute_;
+  ValidationConfig config_;
+};
+
+TEST_F(ValidationOnSmallWorld, NetworkAwarePassesMostSamples) {
+  const ValidationReport report =
+      ValidateClustering(network_aware_, dns_, traceroute_, config_);
+  ASSERT_GT(report.sampled_clusters, 50u);
+  // Table 3: both tests pass in >= ~90% of sampled clusters.
+  EXPECT_GT(report.NslookupPassRate(), 0.88);
+  EXPECT_GT(report.TraceroutePassRate(), 0.85);
+  EXPECT_GT(report.sampled_clients, report.sampled_clusters);
+}
+
+TEST_F(ValidationOnSmallWorld, NslookupResolvesAboutHalfTheClients) {
+  const ValidationReport report =
+      ValidateClustering(network_aware_, dns_, traceroute_, config_);
+  const double rate = static_cast<double>(report.nslookup_resolved_clients) /
+                      static_cast<double>(report.sampled_clients);
+  EXPECT_GT(rate, 0.35);
+  EXPECT_LT(rate, 0.65);
+}
+
+TEST_F(ValidationOnSmallWorld, TracerouteResolvesEveryone) {
+  const ValidationReport report =
+      ValidateClustering(network_aware_, dns_, traceroute_, config_);
+  EXPECT_EQ(report.traceroute_resolved_clients, report.sampled_clients);
+  EXPECT_GT(report.traceroute_probes, 0u);
+  EXPECT_GT(report.traceroute_seconds, 0.0);
+}
+
+TEST_F(ValidationOnSmallWorld, AboutHalfTheSampledClustersAreSlash24) {
+  // The paper scores the simple approach by how many true clusters have a
+  // /24 key (48.6% for Nagano).
+  const ValidationReport report =
+      ValidateClustering(network_aware_, dns_, traceroute_, config_);
+  const double rate = static_cast<double>(report.length24_clusters) /
+                      static_cast<double>(report.sampled_clusters);
+  EXPECT_GT(rate, 0.3);
+  EXPECT_LT(rate, 0.7);
+  EXPECT_LE(report.min_prefix_length, 16);
+  EXPECT_GE(report.max_prefix_length, 24);
+}
+
+TEST_F(ValidationOnSmallWorld, MisidentificationsSkewNonUs) {
+  // §3.3 blames national gateways (non-US) for a large share of failures.
+  const ValidationReport report =
+      ValidateClustering(network_aware_, dns_, traceroute_, config_);
+  if (report.nslookup_misidentified > 0) {
+    EXPECT_GE(report.nslookup_misidentified_non_us * 2,
+              report.nslookup_misidentified);
+  }
+}
+
+TEST_F(ValidationOnSmallWorld, GroundTruthNetworkAwareBeatsSimple) {
+  const GroundTruthReport aware =
+      ValidateAgainstTruth(network_aware_, world_.internet);
+  const GroundTruthReport simple =
+      ValidateAgainstTruth(simple_, world_.internet);
+
+  // The simple approach fragments every non-/24 allocation.
+  EXPECT_GT(simple.too_small, aware.too_small);
+  EXPECT_GT(aware.ExactRate(), simple.ExactRate());
+  EXPECT_GT(aware.ExactRate(), 0.8);
+  EXPECT_LT(simple.ExactRate(), 0.6);
+}
+
+TEST_F(ValidationOnSmallWorld, SimpleApproachNeverBuildsTooLargeBeyond256) {
+  // A /24 cluster can never span more than 256 addresses, so its failure
+  // mode is "too small"; network-aware's failure mode is "too large".
+  const GroundTruthReport simple =
+      ValidateAgainstTruth(simple_, world_.internet);
+  const GroundTruthReport aware =
+      ValidateAgainstTruth(network_aware_, world_.internet);
+  EXPECT_GE(aware.too_large, simple.too_large);
+}
+
+TEST(Validation, EmptyClusteringProducesEmptyReport) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const SynthNameOracle dns(world.internet);
+  const OptimizedTraceroute traceroute(world.internet);
+  const ValidationReport report =
+      ValidateClustering(core::Clustering{}, dns, traceroute);
+  EXPECT_EQ(report.sampled_clusters, 0u);
+  EXPECT_DOUBLE_EQ(report.NslookupPassRate(), 1.0);
+  EXPECT_DOUBLE_EQ(report.TraceroutePassRate(), 1.0);
+}
+
+TEST_F(ValidationOnSmallWorld, SelectiveSamplingToleratesMinorNoise) {
+  // §3.3's tolerance proposal: with a 95% bar, more clusters pass than
+  // under the strict all-clients test, and the mean consistency is high.
+  SelectiveValidationConfig config;
+  config.sample_fraction = 0.25;
+  config.tolerance = 0.95;
+  const auto selective =
+      SelectiveValidate(network_aware_, traceroute_, config);
+  ASSERT_GT(selective.sampled_clusters, 50u);
+  EXPECT_GT(selective.PassRate(), 0.9);
+  EXPECT_GT(selective.mean_consistency, 0.93);
+  EXPECT_GT(selective.probes, 0u);
+
+  // A perfect bar (tolerance 1.0) can only pass fewer clusters.
+  SelectiveValidationConfig strict = config;
+  strict.tolerance = 1.0;
+  const auto exact = SelectiveValidate(network_aware_, traceroute_, strict);
+  EXPECT_LE(exact.passed, selective.passed);
+}
+
+TEST_F(ValidationOnSmallWorld, RequestWeightedSamplingIsSupported) {
+  SelectiveValidationConfig config;
+  config.sample_fraction = 0.25;
+  config.request_weighted = true;
+  const auto report =
+      SelectiveValidate(network_aware_, traceroute_, config);
+  EXPECT_GT(report.sampled_clusters, 0u);
+  EXPECT_GE(report.mean_consistency, 0.0);
+  EXPECT_LE(report.mean_consistency, 1.0);
+}
+
+TEST(SelectiveValidation, EmptyClustering) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const OptimizedTraceroute traceroute(world.internet);
+  const auto report =
+      SelectiveValidate(core::Clustering{}, traceroute);
+  EXPECT_EQ(report.sampled_clusters, 0u);
+  EXPECT_DOUBLE_EQ(report.PassRate(), 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_consistency, 1.0);
+}
+
+TEST(Validation, SampleFractionScalesSampleSize) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const core::Clustering clustering =
+      core::ClusterNetworkAware(world.generated.log, world.table);
+  const SynthNameOracle dns(world.internet);
+  const OptimizedTraceroute traceroute(world.internet);
+
+  ValidationConfig small;
+  small.sample_fraction = 0.05;
+  ValidationConfig large;
+  large.sample_fraction = 0.5;
+  const auto few = ValidateClustering(clustering, dns, traceroute, small);
+  const auto many = ValidateClustering(clustering, dns, traceroute, large);
+  EXPECT_LT(few.sampled_clusters, many.sampled_clusters);
+  EXPECT_NEAR(static_cast<double>(many.sampled_clusters),
+              0.5 * static_cast<double>(clustering.cluster_count()),
+              0.12 * static_cast<double>(clustering.cluster_count()));
+}
+
+}  // namespace
+}  // namespace netclust::validate

@@ -1,0 +1,215 @@
+#include "synth/vantage.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "bgp/prefix_table.h"
+
+namespace netclust::synth {
+namespace {
+
+const Internet& TestInternet() {
+  static const Internet internet = [] {
+    InternetConfig config;
+    config.seed = 11;
+    config.allocation_count = 3000;
+    return GenerateInternet(config);
+  }();
+  return internet;
+}
+
+TEST(VantageProfiles, MatchTableOneRoster) {
+  const auto profiles = DefaultVantageProfiles();
+  ASSERT_EQ(profiles.size(), 14u);  // the paper's 14 sources
+  std::unordered_set<std::string> names;
+  std::size_t dumps = 0;
+  for (const auto& profile : profiles) {
+    names.insert(profile.info.name);
+    if (profile.info.kind == bgp::SourceKind::kNetworkDump) ++dumps;
+  }
+  EXPECT_EQ(names.size(), 14u);
+  EXPECT_EQ(dumps, 2u);  // ARIN and NLANR
+  EXPECT_TRUE(names.contains("MAE-WEST"));
+  EXPECT_TRUE(names.contains("OREGON"));
+  EXPECT_TRUE(names.contains("ARIN"));
+  EXPECT_TRUE(names.contains("NLANR"));
+}
+
+TEST(VantageGenerator, SnapshotsAreDeterministic) {
+  const VantageGenerator generator(TestInternet(), DefaultVantageProfiles());
+  const bgp::Snapshot a = generator.MakeSnapshot(0, 0);
+  const bgp::Snapshot b = generator.MakeSnapshot(0, 0);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i], b.entries[i]);
+  }
+}
+
+TEST(VantageGenerator, TableSizesTrackCoverage) {
+  const VantageGenerator generator(TestInternet(), DefaultVantageProfiles());
+  const auto snapshots = generator.AllSnapshots(0);
+  std::size_t att_bgp = 0;
+  std::size_t canet = 0;
+  std::size_t aads = 0;
+  for (std::size_t s = 0; s < snapshots.size(); ++s) {
+    const auto& name = snapshots[s].info.name;
+    if (name == "AT&T-BGP") att_bgp = snapshots[s].entries.size();
+    if (name == "CANET") canet = snapshots[s].entries.size();
+    if (name == "AADS") aads = snapshots[s].entries.size();
+  }
+  // Relative sizes per Table 1: AT&T-BGP (74K) >> AADS (17K) >> CANET (1.7K).
+  EXPECT_GT(att_bgp, 2 * aads);
+  EXPECT_GT(aads, 4 * canet);
+  EXPECT_GT(canet, 10u);
+}
+
+TEST(VantageGenerator, NoVantageSeesEverything) {
+  const VantageGenerator generator(TestInternet(), DefaultVantageProfiles());
+  const std::size_t allocations = TestInternet().allocations().size();
+  for (const auto& snapshot : generator.AllSnapshots(0)) {
+    EXPECT_LT(snapshot.entries.size(), allocations)
+        << snapshot.info.name << " has complete information";
+  }
+}
+
+TEST(VantageGenerator, EntriesAreUniquePerSnapshot) {
+  const VantageGenerator generator(TestInternet(), DefaultVantageProfiles());
+  for (const auto& snapshot : generator.AllSnapshots(0)) {
+    std::unordered_set<net::Prefix> seen;
+    for (const auto& entry : snapshot.entries) {
+      EXPECT_TRUE(seen.insert(entry.prefix).second)
+          << snapshot.info.name << " duplicates " << entry.prefix.ToString();
+    }
+  }
+}
+
+TEST(VantageGenerator, NationalGatewaysAreNeverAnnouncedAsLeaves) {
+  const Internet& internet = TestInternet();
+  const VantageGenerator generator(internet, DefaultVantageProfiles());
+
+  std::unordered_set<net::Prefix> gateway_leaves;
+  for (const Allocation& allocation : internet.allocations()) {
+    if (allocation.kind == AllocationKind::kNationalGateway) {
+      gateway_leaves.insert(allocation.prefix);
+    }
+  }
+  ASSERT_FALSE(gateway_leaves.empty());
+  for (const auto& snapshot : generator.AllSnapshots(0)) {
+    for (const auto& entry : snapshot.entries) {
+      EXPECT_FALSE(gateway_leaves.contains(entry.prefix))
+          << snapshot.info.name << " leaked " << entry.prefix.ToString();
+    }
+  }
+}
+
+TEST(VantageGenerator, BgpDarkOrgsOnlyAppearInDumps) {
+  const Internet& internet = TestInternet();
+  const VantageGenerator generator(internet, DefaultVantageProfiles());
+
+  std::unordered_set<net::Prefix> dark_blocks;
+  for (const RegistryOrg& org : internet.orgs()) {
+    if (org.bgp_dark) dark_blocks.insert(org.block);
+  }
+  ASSERT_FALSE(dark_blocks.empty());
+
+  for (const auto& snapshot : generator.AllSnapshots(0)) {
+    if (snapshot.info.kind == bgp::SourceKind::kNetworkDump) continue;
+    for (const auto& entry : snapshot.entries) {
+      EXPECT_FALSE(dark_blocks.contains(entry.prefix))
+          << snapshot.info.name;
+    }
+  }
+}
+
+TEST(VantageGenerator, AsPathsLeadFromVantageToOrg) {
+  const Internet& internet = TestInternet();
+  const VantageGenerator generator(internet, DefaultVantageProfiles());
+  const auto profiles = DefaultVantageProfiles();
+  const bgp::Snapshot snapshot = generator.MakeSnapshot(2, 0);  // AT&T-BGP
+  ASSERT_FALSE(snapshot.entries.empty());
+  for (const auto& entry : snapshot.entries) {
+    ASSERT_GE(entry.as_path.size(), 3u);
+    EXPECT_EQ(entry.as_path.front(), profiles[2].vantage_as);
+    EXPECT_GE(entry.as_path.back(), 100u);  // org AS range
+    EXPECT_FALSE(entry.next_hop.IsUnspecified());
+  }
+}
+
+TEST(VantageGenerator, ChurnIsSmallDayToDay) {
+  const VantageGenerator generator(TestInternet(), DefaultVantageProfiles());
+  const bgp::Snapshot day0 = generator.MakeSnapshot(0, 0);
+  const bgp::Snapshot day1 = generator.MakeSnapshot(0, 1);
+
+  std::unordered_set<net::Prefix> set0;
+  for (const auto& entry : day0.entries) set0.insert(entry.prefix);
+  std::size_t shared = 0;
+  for (const auto& entry : day1.entries) {
+    if (set0.contains(entry.prefix)) ++shared;
+  }
+  // Tables overlap overwhelmingly (BGP churn is a small perturbation)...
+  EXPECT_GT(static_cast<double>(shared),
+            0.9 * static_cast<double>(day0.entries.size()));
+  // ...but they are not identical.
+  EXPECT_LT(shared, std::min(day0.entries.size(), day1.entries.size()));
+}
+
+TEST(VantageGenerator, IntradaySlotsDiffer) {
+  const VantageGenerator generator(TestInternet(), DefaultVantageProfiles());
+  const bgp::Snapshot morning = generator.MakeSnapshot(0, 0, 0);
+  const bgp::Snapshot evening = generator.MakeSnapshot(0, 0, 8);
+  std::unordered_set<net::Prefix> a;
+  for (const auto& entry : morning.entries) a.insert(entry.prefix);
+  std::unordered_set<net::Prefix> b;
+  for (const auto& entry : evening.entries) b.insert(entry.prefix);
+  EXPECT_NE(a, b);  // period-0 churn in Table 4 is intraday
+}
+
+TEST(VantageGenerator, TablesGrowOverTime) {
+  const VantageGenerator generator(TestInternet(), DefaultVantageProfiles());
+  const std::size_t day0 = generator.MakeSnapshot(0, 0).entries.size();
+  const std::size_t day14 = generator.MakeSnapshot(0, 14).entries.size();
+  EXPECT_GT(day14, day0);  // AADS grew 16,595 -> 17,288 over two weeks
+  EXPECT_LT(static_cast<double>(day14),
+            1.15 * static_cast<double>(day0));
+}
+
+TEST(VantageGenerator, MergedTableCoversAllButUnregisteredClients) {
+  // Force a visible population of unregistered orgs at this small scale.
+  InternetConfig config;
+  config.seed = 13;
+  config.allocation_count = 3000;
+  config.bgp_dark_org_fraction = 0.04;
+  config.unregistered_fraction = 0.5;
+  const Internet internet = GenerateInternet(config);
+  const VantageGenerator generator(internet, DefaultVantageProfiles());
+
+  bgp::PrefixTable table;
+  for (const auto& snapshot : generator.AllSnapshots(0)) {
+    table.AddSnapshot(snapshot);
+  }
+
+  std::size_t covered = 0;
+  std::size_t unregistered = 0;
+  for (const Allocation& allocation : internet.allocations()) {
+    const bool has_match =
+        table.LongestMatch(internet.HostAddress(allocation, 0)).has_value();
+    if (internet.orgs()[allocation.org].unregistered) {
+      ++unregistered;
+      // Absent from BGP tables *and* registry dumps: must be uncovered.
+      EXPECT_FALSE(has_match) << allocation.prefix.ToString();
+    } else {
+      // Everything else is covered by some leaf, org block or dump row.
+      EXPECT_TRUE(has_match) << allocation.prefix.ToString();
+      ++covered;
+    }
+  }
+  ASSERT_GT(unregistered, 0u);
+  const double coverage =
+      static_cast<double>(covered) /
+      static_cast<double>(internet.allocations().size());
+  EXPECT_GT(coverage, 0.95);  // ~99.9% at paper scale and default fractions
+}
+
+}  // namespace
+}  // namespace netclust::synth

@@ -1,0 +1,131 @@
+// Degenerate-configuration behaviour of the workload generator and the
+// streaming clusterer: tiny targets, one-URL sites, requests < clients,
+// traffic before any routing state.
+#include <gtest/gtest.h>
+
+#include "core/streaming.h"
+#include "synth/internet.h"
+#include "synth/workload.h"
+
+namespace netclust::synth {
+namespace {
+
+const Internet& TinyInternet() {
+  static const Internet internet = [] {
+    InternetConfig config;
+    config.seed = 91;
+    config.allocation_count = 500;
+    return GenerateInternet(config);
+  }();
+  return internet;
+}
+
+WorkloadConfig Base() {
+  WorkloadConfig config;
+  config.seed = 92;
+  config.log_name = "edge";
+  config.duration_seconds = 3600;
+  return config;
+}
+
+TEST(WorkloadEdge, SingleClientSingleUrl) {
+  WorkloadConfig config = Base();
+  config.target_clients = 1;
+  config.target_requests = 10;
+  config.url_count = 1;
+  const GeneratedLog generated = GenerateLog(TinyInternet(), config);
+  EXPECT_GE(generated.log.request_count(), 1u);
+  EXPECT_GE(generated.log.unique_clients(), 1u);
+  EXPECT_EQ(generated.log.unique_urls(), 1u);
+}
+
+TEST(WorkloadEdge, FewerRequestsThanClientsStillCoversEveryone) {
+  WorkloadConfig config = Base();
+  config.target_clients = 200;
+  config.target_requests = 50;  // less than the client count
+  config.url_count = 20;
+  const GeneratedLog generated = GenerateLog(TinyInternet(), config);
+  // Every materialized client issues at least one request.
+  EXPECT_EQ(generated.log.unique_clients(),
+            generated.truth.client_allocation.size());
+  EXPECT_GE(generated.log.request_count(),
+            generated.log.unique_clients());
+}
+
+TEST(WorkloadEdge, SpiderWithTinyUrlSpace) {
+  WorkloadConfig config = Base();
+  config.target_clients = 100;
+  config.target_requests = 5000;
+  config.url_count = 3;
+  config.spider_count = 1;
+  config.spider_url_fraction = 0.9;
+  const GeneratedLog generated = GenerateLog(TinyInternet(), config);
+  ASSERT_EQ(generated.truth.spiders.size(), 1u);
+  EXPECT_LE(generated.log.unique_urls(), 3u);
+}
+
+TEST(WorkloadEdge, ShortDurationStaysInBounds) {
+  WorkloadConfig config = Base();
+  config.target_clients = 100;
+  config.target_requests = 2000;
+  config.url_count = 50;
+  config.duration_seconds = 60;
+  const GeneratedLog generated = GenerateLog(TinyInternet(), config);
+  for (const auto& request : generated.log.requests()) {
+    EXPECT_GE(request.timestamp, config.start_time);
+    EXPECT_LT(request.timestamp, config.start_time + 60);
+  }
+}
+
+TEST(WorkloadEdge, MoreClientsThanAddressSpaceSaturates) {
+  // Ask for more clients than the 500-allocation world can hold: the
+  // generator saturates gracefully instead of failing.
+  WorkloadConfig config = Base();
+  config.target_clients = 2000000;
+  config.target_requests = 100000;
+  config.url_count = 100;
+  const GeneratedLog generated = GenerateLog(TinyInternet(), config);
+  EXPECT_GT(generated.log.unique_clients(), 1000u);
+  EXPECT_EQ(generated.truth.active_allocations, 500u);
+}
+
+}  // namespace
+}  // namespace netclust::synth
+
+namespace netclust::core {
+namespace {
+
+TEST(StreamingEdge, TrafficBeforeAnyRoutesIsUnclustered) {
+  StreamingClusterer streaming("routeless");
+  streaming.Observe(net::IpAddress(10, 1, 2, 3), 0, 100, 0);
+  streaming.Observe(net::IpAddress(10, 1, 2, 4), 0, 100, 1);
+  EXPECT_EQ(streaming.cluster_count(), 0u);
+  EXPECT_EQ(streaming.unclustered_count(), 2u);
+
+  // The first announcement adopts them.
+  const int source = streaming.AddSource(
+      {"T", "1/1/2000", bgp::SourceKind::kBgpTable, ""});
+  streaming.Announce(net::Prefix::Parse("10.0.0.0/8").value(), source);
+  EXPECT_EQ(streaming.unclustered_count(), 0u);
+  EXPECT_EQ(streaming.cluster_count(), 1u);
+  const Clustering clustering = streaming.ToClustering();
+  EXPECT_EQ(clustering.clusters[0].requests, 2u);
+}
+
+TEST(StreamingEdge, WithdrawOfUnknownPrefixIsHarmless) {
+  StreamingClusterer streaming("noop");
+  streaming.Withdraw(net::Prefix::Parse("99.0.0.0/8").value());
+  EXPECT_EQ(streaming.stats().withdraw_events, 1u);
+  EXPECT_EQ(streaming.cluster_count(), 0u);
+}
+
+TEST(StreamingEdge, EmptyToClustering) {
+  StreamingClusterer streaming("empty");
+  const Clustering clustering = streaming.ToClustering();
+  EXPECT_EQ(clustering.client_count(), 0u);
+  EXPECT_EQ(clustering.cluster_count(), 0u);
+  EXPECT_EQ(clustering.total_requests, 0u);
+}
+
+}  // namespace
+}  // namespace netclust::core

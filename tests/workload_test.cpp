@@ -1,0 +1,182 @@
+#include "synth/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/metrics.h"
+
+namespace netclust::synth {
+namespace {
+
+const Internet& TestInternet() {
+  static const Internet internet = [] {
+    InternetConfig config;
+    config.seed = 21;
+    config.allocation_count = 3000;
+    return GenerateInternet(config);
+  }();
+  return internet;
+}
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig config;
+  config.seed = 5;
+  config.log_name = "small";
+  config.target_clients = 3000;
+  config.target_requests = 60000;
+  config.url_count = 2000;
+  config.duration_seconds = 86400;
+  return config;
+}
+
+TEST(Workload, HitsTargetsApproximately) {
+  const GeneratedLog generated = GenerateLog(TestInternet(), SmallConfig());
+  const auto& log = generated.log;
+  EXPECT_NEAR(static_cast<double>(log.unique_clients()), 3000.0, 450.0);
+  EXPECT_NEAR(static_cast<double>(log.request_count()), 60000.0, 9000.0);
+  EXPECT_GT(log.unique_urls(), 500u);
+  EXPECT_LE(log.unique_urls(), 2000u);
+  EXPECT_EQ(log.name(), "small");
+}
+
+TEST(Workload, IsDeterministic) {
+  const GeneratedLog a = GenerateLog(TestInternet(), SmallConfig());
+  const GeneratedLog b = GenerateLog(TestInternet(), SmallConfig());
+  ASSERT_EQ(a.log.request_count(), b.log.request_count());
+  EXPECT_EQ(a.log.requests()[0].client, b.log.requests()[0].client);
+  EXPECT_EQ(a.log.requests()[100].timestamp, b.log.requests()[100].timestamp);
+}
+
+TEST(Workload, RequestsAreTimeSortedWithinDuration) {
+  const WorkloadConfig config = SmallConfig();
+  const GeneratedLog generated = GenerateLog(TestInternet(), config);
+  std::int64_t previous = 0;
+  for (const auto& request : generated.log.requests()) {
+    EXPECT_GE(request.timestamp, previous);
+    previous = request.timestamp;
+    EXPECT_GE(request.timestamp, config.start_time);
+    EXPECT_LT(request.timestamp, config.start_time + config.duration_seconds);
+  }
+}
+
+TEST(Workload, EveryClientBelongsToItsTrueAllocation) {
+  const GeneratedLog generated = GenerateLog(TestInternet(), SmallConfig());
+  std::size_t checked = 0;
+  for (const auto& [address, allocation_index] :
+       generated.truth.client_allocation) {
+    const Allocation* located = TestInternet().Locate(address);
+    ASSERT_NE(located, nullptr) << address.ToString();
+    EXPECT_EQ(located->index, allocation_index) << address.ToString();
+    ++checked;
+  }
+  EXPECT_EQ(checked, generated.log.unique_clients());
+}
+
+TEST(Workload, ArrivalsAreDiurnal) {
+  const GeneratedLog generated = GenerateLog(TestInternet(), SmallConfig());
+  const auto histogram =
+      core::RequestHistogram(generated.log, 3600, nullptr);
+  std::uint64_t peak = 0;
+  std::uint64_t trough = UINT64_MAX;
+  for (const std::uint64_t count : histogram) {
+    peak = std::max(peak, count);
+    trough = std::min(trough, count);
+  }
+  // diurnal_amplitude 0.65 -> peak/trough well above 2x.
+  EXPECT_GT(peak, 2 * std::max<std::uint64_t>(trough, 1));
+}
+
+TEST(Workload, SpiderSweepsUrlsInABurst) {
+  WorkloadConfig config = SmallConfig();
+  config.spider_count = 1;
+  config.spider_request_fraction = 0.1;
+  config.spider_url_fraction = 0.5;
+  const GeneratedLog generated = GenerateLog(TestInternet(), config);
+
+  ASSERT_EQ(generated.truth.spiders.size(), 1u);
+  const net::IpAddress spider = *generated.truth.spiders.begin();
+
+  std::uint64_t spider_requests = 0;
+  std::unordered_set<std::uint32_t> spider_urls;
+  std::int64_t first = INT64_MAX;
+  std::int64_t last = INT64_MIN;
+  for (const auto& request : generated.log.requests()) {
+    if (request.client != spider) continue;
+    ++spider_requests;
+    spider_urls.insert(request.url_id);
+    first = std::min(first, request.timestamp);
+    last = std::max(last, request.timestamp);
+  }
+  EXPECT_NEAR(static_cast<double>(spider_requests), 6000.0, 900.0);
+  EXPECT_GT(spider_urls.size(), 800u);              // swept half of 2000
+  EXPECT_LE(last - first, 6 * 3600);                // tight burst window
+}
+
+TEST(Workload, ProxyMimicsGlobalPattern) {
+  WorkloadConfig config = SmallConfig();
+  config.proxy_count = 1;
+  config.proxy_request_fraction = 0.08;
+  const GeneratedLog generated = GenerateLog(TestInternet(), config);
+
+  ASSERT_EQ(generated.truth.proxies.size(), 1u);
+  const net::IpAddress proxy = *generated.truth.proxies.begin();
+  const std::unordered_set<net::IpAddress> just_proxy = {proxy};
+
+  const auto log_histogram =
+      core::RequestHistogram(generated.log, 3600, nullptr);
+  const auto proxy_histogram =
+      core::RequestHistogram(generated.log, 3600, &just_proxy);
+  EXPECT_GT(core::HistogramCorrelation(log_histogram, proxy_histogram), 0.6);
+
+  // Many distinct User-Agents — §4.1.2's proxy tell.
+  std::unordered_set<std::uint8_t> agents;
+  for (const auto& request : generated.log.requests()) {
+    if (request.client == proxy) agents.insert(request.agent_id);
+  }
+  EXPECT_GE(agents.size(), 8u);
+}
+
+TEST(Workload, PresetsScaleLinearly) {
+  const WorkloadConfig full = NaganoConfig(1.0);
+  const WorkloadConfig tenth = NaganoConfig(0.1);
+  EXPECT_EQ(full.target_requests, 11665713u);
+  EXPECT_EQ(full.target_clients, 59582u);
+  EXPECT_EQ(full.url_count, 33875u);
+  EXPECT_NEAR(static_cast<double>(tenth.target_requests), 1166571.0, 1.0);
+  EXPECT_EQ(full.spider_count, 0);  // no spiders in the Nagano log
+  EXPECT_EQ(SunConfig(1.0).spider_count, 1);
+  EXPECT_GT(ApacheConfig(1.0).duration_seconds, full.duration_seconds);
+}
+
+TEST(Workload, ScaleFromEnvParsesAndClamps) {
+  ::unsetenv("NETCLUST_SCALE");
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 0.1);
+  ::setenv("NETCLUST_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 0.5);
+  ::setenv("NETCLUST_SCALE", "7", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 1.0);
+  ::setenv("NETCLUST_SCALE", "0.0001", 1);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 0.01);
+  ::unsetenv("NETCLUST_SCALE");
+}
+
+TEST(Workload, ClusterSizesAreHeavyTailed) {
+  const GeneratedLog generated = GenerateLog(TestInternet(), SmallConfig());
+  std::unordered_map<std::uint32_t, std::size_t> sizes;
+  for (const auto& [address, allocation] :
+       generated.truth.client_allocation) {
+    ++sizes[allocation];
+  }
+  std::size_t biggest = 0;
+  for (const auto& [allocation, size] : sizes) {
+    biggest = std::max(biggest, size);
+  }
+  const double mean = static_cast<double>(
+                          generated.truth.client_allocation.size()) /
+                      static_cast<double>(sizes.size());
+  EXPECT_GT(static_cast<double>(biggest), 8.0 * mean);
+}
+
+}  // namespace
+}  // namespace netclust::synth
