@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_selfcorrect.dir/bench_ablation_selfcorrect.cc.o"
+  "CMakeFiles/bench_ablation_selfcorrect.dir/bench_ablation_selfcorrect.cc.o.d"
+  "bench_ablation_selfcorrect"
+  "bench_ablation_selfcorrect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_selfcorrect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

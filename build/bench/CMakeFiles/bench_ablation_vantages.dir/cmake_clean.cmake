@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vantages.dir/bench_ablation_vantages.cc.o"
+  "CMakeFiles/bench_ablation_vantages.dir/bench_ablation_vantages.cc.o.d"
+  "bench_ablation_vantages"
+  "bench_ablation_vantages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vantages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

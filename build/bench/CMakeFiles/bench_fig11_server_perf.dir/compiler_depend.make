@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_server_perf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_prefix_lengths.dir/bench_fig1_prefix_lengths.cc.o"
+  "CMakeFiles/bench_fig1_prefix_lengths.dir/bench_fig1_prefix_lengths.cc.o.d"
+  "bench_fig1_prefix_lengths"
+  "bench_fig1_prefix_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_prefix_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

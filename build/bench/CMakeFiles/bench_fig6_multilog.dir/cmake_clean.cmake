@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_multilog.dir/bench_fig6_multilog.cc.o"
+  "CMakeFiles/bench_fig6_multilog.dir/bench_fig6_multilog.cc.o.d"
+  "bench_fig6_multilog"
+  "bench_fig6_multilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_vs_simple.dir/bench_fig7_vs_simple.cc.o"
+  "CMakeFiles/bench_fig7_vs_simple.dir/bench_fig7_vs_simple.cc.o.d"
+  "bench_fig7_vs_simple"
+  "bench_fig7_vs_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_vs_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

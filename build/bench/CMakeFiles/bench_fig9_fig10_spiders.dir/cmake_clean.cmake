@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_fig10_spiders.dir/bench_fig9_fig10_spiders.cc.o"
+  "CMakeFiles/bench_fig9_fig10_spiders.dir/bench_fig9_fig10_spiders.cc.o.d"
+  "bench_fig9_fig10_spiders"
+  "bench_fig9_fig10_spiders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fig10_spiders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

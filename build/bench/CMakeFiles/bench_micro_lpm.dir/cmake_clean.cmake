@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lpm.dir/bench_micro_lpm.cc.o"
+  "CMakeFiles/bench_micro_lpm.dir/bench_micro_lpm.cc.o.d"
+  "bench_micro_lpm"
+  "bench_micro_lpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nagano_headline.dir/bench_nagano_headline.cc.o"
+  "CMakeFiles/bench_nagano_headline.dir/bench_nagano_headline.cc.o.d"
+  "bench_nagano_headline"
+  "bench_nagano_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nagano_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_clusters.dir/bench_network_clusters.cc.o"
+  "CMakeFiles/bench_network_clusters.dir/bench_network_clusters.cc.o.d"
+  "bench_network_clusters"
+  "bench_network_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_realtime.dir/bench_realtime.cc.o"
+  "CMakeFiles/bench_realtime.dir/bench_realtime.cc.o.d"
+  "bench_realtime"
+  "bench_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

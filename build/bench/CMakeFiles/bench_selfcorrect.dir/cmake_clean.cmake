@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selfcorrect.dir/bench_selfcorrect.cc.o"
+  "CMakeFiles/bench_selfcorrect.dir/bench_selfcorrect.cc.o.d"
+  "bench_selfcorrect"
+  "bench_selfcorrect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selfcorrect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_server_clusters.dir/bench_server_clusters.cc.o"
+  "CMakeFiles/bench_server_clusters.dir/bench_server_clusters.cc.o.d"
+  "bench_server_clusters"
+  "bench_server_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_server_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_dynamics.dir/bench_table4_dynamics.cc.o"
+  "CMakeFiles/bench_table4_dynamics.dir/bench_table4_dynamics.cc.o.d"
+  "bench_table4_dynamics"
+  "bench_table4_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

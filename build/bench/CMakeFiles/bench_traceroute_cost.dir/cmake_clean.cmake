@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traceroute_cost.dir/bench_traceroute_cost.cc.o"
+  "CMakeFiles/bench_traceroute_cost.dir/bench_traceroute_cost.cc.o.d"
+  "bench_traceroute_cost"
+  "bench_traceroute_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traceroute_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_explore.dir/bgp_explore.cpp.o"
+  "CMakeFiles/bgp_explore.dir/bgp_explore.cpp.o.d"
+  "bgp_explore"
+  "bgp_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

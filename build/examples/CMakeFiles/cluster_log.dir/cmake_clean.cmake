@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_log.dir/cluster_log.cpp.o"
+  "CMakeFiles/cluster_log.dir/cluster_log.cpp.o.d"
+  "cluster_log"
+  "cluster_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclust_cli.dir/netclust_cli.cpp.o"
+  "CMakeFiles/netclust_cli.dir/netclust_cli.cpp.o.d"
+  "netclust_cli"
+  "netclust_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclust_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_placement.dir/proxy_placement.cpp.o"
+  "CMakeFiles/proxy_placement.dir/proxy_placement.cpp.o.d"
+  "proxy_placement"
+  "proxy_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_hunt.dir/spider_hunt.cpp.o"
+  "CMakeFiles/spider_hunt.dir/spider_hunt.cpp.o.d"
+  "spider_hunt"
+  "spider_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/aggregate.cc" "src/bgp/CMakeFiles/netclust_bgp.dir/aggregate.cc.o" "gcc" "src/bgp/CMakeFiles/netclust_bgp.dir/aggregate.cc.o.d"
+  "/root/repo/src/bgp/dynamics.cc" "src/bgp/CMakeFiles/netclust_bgp.dir/dynamics.cc.o" "gcc" "src/bgp/CMakeFiles/netclust_bgp.dir/dynamics.cc.o.d"
+  "/root/repo/src/bgp/io.cc" "src/bgp/CMakeFiles/netclust_bgp.dir/io.cc.o" "gcc" "src/bgp/CMakeFiles/netclust_bgp.dir/io.cc.o.d"
+  "/root/repo/src/bgp/mrt.cc" "src/bgp/CMakeFiles/netclust_bgp.dir/mrt.cc.o" "gcc" "src/bgp/CMakeFiles/netclust_bgp.dir/mrt.cc.o.d"
+  "/root/repo/src/bgp/prefix_table.cc" "src/bgp/CMakeFiles/netclust_bgp.dir/prefix_table.cc.o" "gcc" "src/bgp/CMakeFiles/netclust_bgp.dir/prefix_table.cc.o.d"
+  "/root/repo/src/bgp/table_stats.cc" "src/bgp/CMakeFiles/netclust_bgp.dir/table_stats.cc.o" "gcc" "src/bgp/CMakeFiles/netclust_bgp.dir/table_stats.cc.o.d"
+  "/root/repo/src/bgp/text_parser.cc" "src/bgp/CMakeFiles/netclust_bgp.dir/text_parser.cc.o" "gcc" "src/bgp/CMakeFiles/netclust_bgp.dir/text_parser.cc.o.d"
+  "/root/repo/src/bgp/update.cc" "src/bgp/CMakeFiles/netclust_bgp.dir/update.cc.o" "gcc" "src/bgp/CMakeFiles/netclust_bgp.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netclust_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclust_bgp.dir/aggregate.cc.o"
+  "CMakeFiles/netclust_bgp.dir/aggregate.cc.o.d"
+  "CMakeFiles/netclust_bgp.dir/dynamics.cc.o"
+  "CMakeFiles/netclust_bgp.dir/dynamics.cc.o.d"
+  "CMakeFiles/netclust_bgp.dir/io.cc.o"
+  "CMakeFiles/netclust_bgp.dir/io.cc.o.d"
+  "CMakeFiles/netclust_bgp.dir/mrt.cc.o"
+  "CMakeFiles/netclust_bgp.dir/mrt.cc.o.d"
+  "CMakeFiles/netclust_bgp.dir/prefix_table.cc.o"
+  "CMakeFiles/netclust_bgp.dir/prefix_table.cc.o.d"
+  "CMakeFiles/netclust_bgp.dir/table_stats.cc.o"
+  "CMakeFiles/netclust_bgp.dir/table_stats.cc.o.d"
+  "CMakeFiles/netclust_bgp.dir/text_parser.cc.o"
+  "CMakeFiles/netclust_bgp.dir/text_parser.cc.o.d"
+  "CMakeFiles/netclust_bgp.dir/update.cc.o"
+  "CMakeFiles/netclust_bgp.dir/update.cc.o.d"
+  "libnetclust_bgp.a"
+  "libnetclust_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclust_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

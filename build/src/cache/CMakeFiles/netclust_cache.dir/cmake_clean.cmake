@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclust_cache.dir/proxy_cache.cc.o"
+  "CMakeFiles/netclust_cache.dir/proxy_cache.cc.o.d"
+  "CMakeFiles/netclust_cache.dir/simulation.cc.o"
+  "CMakeFiles/netclust_cache.dir/simulation.cc.o.d"
+  "libnetclust_cache.a"
+  "libnetclust_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclust_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/netclust_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/compare.cc" "src/core/CMakeFiles/netclust_core.dir/compare.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/compare.cc.o.d"
+  "/root/repo/src/core/detect.cc" "src/core/CMakeFiles/netclust_core.dir/detect.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/detect.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/netclust_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/network_cluster.cc" "src/core/CMakeFiles/netclust_core.dir/network_cluster.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/network_cluster.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/core/CMakeFiles/netclust_core.dir/parallel.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/parallel.cc.o.d"
+  "/root/repo/src/core/proxy_placement.cc" "src/core/CMakeFiles/netclust_core.dir/proxy_placement.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/proxy_placement.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/netclust_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/report.cc.o.d"
+  "/root/repo/src/core/self_correct.cc" "src/core/CMakeFiles/netclust_core.dir/self_correct.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/self_correct.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/netclust_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/session.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/netclust_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/streaming.cc.o.d"
+  "/root/repo/src/core/threshold.cc" "src/core/CMakeFiles/netclust_core.dir/threshold.cc.o" "gcc" "src/core/CMakeFiles/netclust_core.dir/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netclust_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/netclust_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/weblog/CMakeFiles/netclust_weblog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

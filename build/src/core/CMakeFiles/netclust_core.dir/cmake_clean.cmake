@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclust_core.dir/cluster.cc.o"
+  "CMakeFiles/netclust_core.dir/cluster.cc.o.d"
+  "CMakeFiles/netclust_core.dir/compare.cc.o"
+  "CMakeFiles/netclust_core.dir/compare.cc.o.d"
+  "CMakeFiles/netclust_core.dir/detect.cc.o"
+  "CMakeFiles/netclust_core.dir/detect.cc.o.d"
+  "CMakeFiles/netclust_core.dir/metrics.cc.o"
+  "CMakeFiles/netclust_core.dir/metrics.cc.o.d"
+  "CMakeFiles/netclust_core.dir/network_cluster.cc.o"
+  "CMakeFiles/netclust_core.dir/network_cluster.cc.o.d"
+  "CMakeFiles/netclust_core.dir/parallel.cc.o"
+  "CMakeFiles/netclust_core.dir/parallel.cc.o.d"
+  "CMakeFiles/netclust_core.dir/proxy_placement.cc.o"
+  "CMakeFiles/netclust_core.dir/proxy_placement.cc.o.d"
+  "CMakeFiles/netclust_core.dir/report.cc.o"
+  "CMakeFiles/netclust_core.dir/report.cc.o.d"
+  "CMakeFiles/netclust_core.dir/self_correct.cc.o"
+  "CMakeFiles/netclust_core.dir/self_correct.cc.o.d"
+  "CMakeFiles/netclust_core.dir/session.cc.o"
+  "CMakeFiles/netclust_core.dir/session.cc.o.d"
+  "CMakeFiles/netclust_core.dir/streaming.cc.o"
+  "CMakeFiles/netclust_core.dir/streaming.cc.o.d"
+  "CMakeFiles/netclust_core.dir/threshold.cc.o"
+  "CMakeFiles/netclust_core.dir/threshold.cc.o.d"
+  "libnetclust_core.a"
+  "libnetclust_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclust_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclust_net.dir/ip_address.cc.o"
+  "CMakeFiles/netclust_net.dir/ip_address.cc.o.d"
+  "CMakeFiles/netclust_net.dir/prefix.cc.o"
+  "CMakeFiles/netclust_net.dir/prefix.cc.o.d"
+  "CMakeFiles/netclust_net.dir/prefix_format.cc.o"
+  "CMakeFiles/netclust_net.dir/prefix_format.cc.o.d"
+  "libnetclust_net.a"
+  "libnetclust_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclust_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/internet.cc" "src/synth/CMakeFiles/netclust_synth.dir/internet.cc.o" "gcc" "src/synth/CMakeFiles/netclust_synth.dir/internet.cc.o.d"
+  "/root/repo/src/synth/vantage.cc" "src/synth/CMakeFiles/netclust_synth.dir/vantage.cc.o" "gcc" "src/synth/CMakeFiles/netclust_synth.dir/vantage.cc.o.d"
+  "/root/repo/src/synth/workload.cc" "src/synth/CMakeFiles/netclust_synth.dir/workload.cc.o" "gcc" "src/synth/CMakeFiles/netclust_synth.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netclust_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/netclust_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/weblog/CMakeFiles/netclust_weblog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

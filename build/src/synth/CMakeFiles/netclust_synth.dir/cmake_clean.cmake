@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclust_synth.dir/internet.cc.o"
+  "CMakeFiles/netclust_synth.dir/internet.cc.o.d"
+  "CMakeFiles/netclust_synth.dir/vantage.cc.o"
+  "CMakeFiles/netclust_synth.dir/vantage.cc.o.d"
+  "CMakeFiles/netclust_synth.dir/workload.cc.o"
+  "CMakeFiles/netclust_synth.dir/workload.cc.o.d"
+  "libnetclust_synth.a"
+  "libnetclust_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclust_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validate/oracles.cc" "src/validate/CMakeFiles/netclust_validate.dir/oracles.cc.o" "gcc" "src/validate/CMakeFiles/netclust_validate.dir/oracles.cc.o.d"
+  "/root/repo/src/validate/suffix.cc" "src/validate/CMakeFiles/netclust_validate.dir/suffix.cc.o" "gcc" "src/validate/CMakeFiles/netclust_validate.dir/suffix.cc.o.d"
+  "/root/repo/src/validate/validation.cc" "src/validate/CMakeFiles/netclust_validate.dir/validation.cc.o" "gcc" "src/validate/CMakeFiles/netclust_validate.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/netclust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/netclust_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/netclust_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/weblog/CMakeFiles/netclust_weblog.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netclust_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

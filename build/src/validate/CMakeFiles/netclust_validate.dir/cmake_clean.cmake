@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclust_validate.dir/oracles.cc.o"
+  "CMakeFiles/netclust_validate.dir/oracles.cc.o.d"
+  "CMakeFiles/netclust_validate.dir/suffix.cc.o"
+  "CMakeFiles/netclust_validate.dir/suffix.cc.o.d"
+  "CMakeFiles/netclust_validate.dir/validation.cc.o"
+  "CMakeFiles/netclust_validate.dir/validation.cc.o.d"
+  "libnetclust_validate.a"
+  "libnetclust_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclust_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

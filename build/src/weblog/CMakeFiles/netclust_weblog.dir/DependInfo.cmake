@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/weblog/clf.cc" "src/weblog/CMakeFiles/netclust_weblog.dir/clf.cc.o" "gcc" "src/weblog/CMakeFiles/netclust_weblog.dir/clf.cc.o.d"
+  "/root/repo/src/weblog/log.cc" "src/weblog/CMakeFiles/netclust_weblog.dir/log.cc.o" "gcc" "src/weblog/CMakeFiles/netclust_weblog.dir/log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netclust_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

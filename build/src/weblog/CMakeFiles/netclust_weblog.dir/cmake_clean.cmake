@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclust_weblog.dir/clf.cc.o"
+  "CMakeFiles/netclust_weblog.dir/clf.cc.o.d"
+  "CMakeFiles/netclust_weblog.dir/log.cc.o"
+  "CMakeFiles/netclust_weblog.dir/log.cc.o.d"
+  "libnetclust_weblog.a"
+  "libnetclust_weblog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclust_weblog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetclust_weblog.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clf_test.dir/clf_test.cpp.o"
+  "CMakeFiles/clf_test.dir/clf_test.cpp.o.d"
+  "clf_test"
+  "clf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

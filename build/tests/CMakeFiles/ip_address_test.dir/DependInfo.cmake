@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ip_address_test.cpp" "tests/CMakeFiles/ip_address_test.dir/ip_address_test.cpp.o" "gcc" "tests/CMakeFiles/ip_address_test.dir/ip_address_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netclust_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/netclust_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/weblog/CMakeFiles/netclust_weblog.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/netclust_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/netclust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/validate/CMakeFiles/netclust_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/netclust_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

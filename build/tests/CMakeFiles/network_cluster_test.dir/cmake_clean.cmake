@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_cluster_test.dir/network_cluster_test.cpp.o"
+  "CMakeFiles/network_cluster_test.dir/network_cluster_test.cpp.o.d"
+  "network_cluster_test"
+  "network_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_format_test.dir/prefix_format_test.cpp.o"
+  "CMakeFiles/prefix_format_test.dir/prefix_format_test.cpp.o.d"
+  "prefix_format_test"
+  "prefix_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_table_test.dir/prefix_table_test.cpp.o"
+  "CMakeFiles/prefix_table_test.dir/prefix_table_test.cpp.o.d"
+  "prefix_table_test"
+  "prefix_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

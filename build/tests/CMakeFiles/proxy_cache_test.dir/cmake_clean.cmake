@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_cache_test.dir/proxy_cache_test.cpp.o"
+  "CMakeFiles/proxy_cache_test.dir/proxy_cache_test.cpp.o.d"
+  "proxy_cache_test"
+  "proxy_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_placement_test.dir/proxy_placement_test.cpp.o"
+  "CMakeFiles/proxy_placement_test.dir/proxy_placement_test.cpp.o.d"
+  "proxy_placement_test"
+  "proxy_placement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

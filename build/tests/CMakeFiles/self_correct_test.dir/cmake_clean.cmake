@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_correct_test.dir/self_correct_test.cpp.o"
+  "CMakeFiles/self_correct_test.dir/self_correct_test.cpp.o.d"
+  "self_correct_test"
+  "self_correct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_correct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suffix_test.dir/suffix_test.cpp.o"
+  "CMakeFiles/suffix_test.dir/suffix_test.cpp.o.d"
+  "suffix_test"
+  "suffix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suffix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_stats_test.dir/table_stats_test.cpp.o"
+  "CMakeFiles/table_stats_test.dir/table_stats_test.cpp.o.d"
+  "table_stats_test"
+  "table_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

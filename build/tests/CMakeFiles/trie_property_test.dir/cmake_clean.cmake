@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trie_property_test.dir/trie_property_test.cpp.o"
+  "CMakeFiles/trie_property_test.dir/trie_property_test.cpp.o.d"
+  "trie_property_test"
+  "trie_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trie_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

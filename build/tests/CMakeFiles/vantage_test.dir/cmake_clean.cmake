@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_test.dir/vantage_test.cpp.o"
+  "CMakeFiles/vantage_test.dir/vantage_test.cpp.o.d"
+  "vantage_test"
+  "vantage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_edge_test.dir/workload_edge_test.cpp.o"
+  "CMakeFiles/workload_edge_test.dir/workload_edge_test.cpp.o.d"
+  "workload_edge_test"
+  "workload_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
