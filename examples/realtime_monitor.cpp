@@ -3,17 +3,22 @@
 //
 //   $ ./realtime_monitor
 //
-// Simulates a live deployment: the clusterer is seeded from a RIB dump,
-// then consumes the server's request stream in five-minute windows while
-// a BGP feed delivers UPDATE messages between windows. After each window
-// it prints the operator's view — top clusters by demand in that window —
-// the "global view of where their customers are located and how their
-// demands change from time to time" the paper promises providers.
+// Simulates a live deployment on the concurrent engine: shard workers are
+// seeded from a RIB dump, then consume the server's request stream in
+// half-hour windows while a BGP feed delivers UPDATE messages between
+// windows (each one an RCU snapshot swap). Per-window demand is attributed
+// with the lock-free serving-plane Lookup() — the path a production
+// front-end would call from any thread. After each window it prints the
+// operator's view — top clusters by demand in that window — the "global
+// view of where their customers are located and how their demands change
+// from time to time" the paper promises providers.
 #include <cstdio>
 #include <map>
+#include <sstream>
+#include <string>
 
 #include "bgp/update.h"
-#include "core/streaming.h"
+#include "engine/engine.h"
 #include "synth/internet.h"
 #include "synth/vantage.h"
 #include "synth/workload.h"
@@ -36,15 +41,22 @@ int main() {
   workload.duration_seconds = 4 * 3600;  // a busy four-hour event window
   const weblog::ServerLog log = synth::GenerateLog(internet, workload).log;
 
-  core::StreamingClusterer clusterer("event-live");
+  engine::EngineConfig config;
+  config.shards = 4;
+  config.log_name = "event-live";
+  engine::Engine engine(config);
   int feed_source = -1;
   for (std::size_t s = 0; s < vantages.profiles().size(); ++s) {
-    const int id = clusterer.SeedSnapshot(vantages.MakeSnapshot(s, 0));
+    const int id = engine.SeedSnapshot(vantages.MakeSnapshot(s, 0));
     if (vantages.profiles()[s].info.name == "OREGON") feed_source = id;
   }
+  engine.Start();
   const auto feed = vantages.MakeUpdateStream(9 /*OREGON*/, 0, 0, 0, 4);
-  std::printf("seeded %zu-prefix table; live feed carries %zu UPDATEs\n",
-              clusterer.table().size(), feed.size());
+  std::printf("seeded %zu-prefix table (version %llu) across %d shards; "
+              "live feed carries %zu UPDATEs\n",
+              engine.AcquireTable()->size(),
+              static_cast<unsigned long long>(engine.table_version()),
+              engine.shard_count(), feed.size());
 
   // Replay in 30-minute windows.
   const auto& requests = log.requests();
@@ -55,14 +67,15 @@ int main() {
   for (std::int64_t window_start = log.start_time();
        window_start <= log.end_time(); window_start += window_len, ++window) {
     const std::int64_t window_end = window_start + window_len;
-    // Per-window demand, attributed by the *current* table.
+    // Per-window demand, attributed by the currently published snapshot
+    // via the lock-free serving plane.
     std::map<net::Prefix, std::uint64_t> demand;
     while (cursor < requests.size() &&
            requests[cursor].timestamp < window_end) {
       const auto& request = requests[cursor++];
-      clusterer.Observe(request.client, request.url_id,
-                        request.response_bytes, request.timestamp);
-      const auto match = clusterer.table().LongestMatch(request.client);
+      engine.Observe(request.client, request.url_id, request.response_bytes,
+                     request.timestamp);
+      const auto match = engine.Lookup(request.client);
       if (match.has_value()) ++demand[match->prefix];
     }
 
@@ -84,19 +97,41 @@ int main() {
                 top_prefix ? top_prefix->ToString().c_str() : "-",
                 static_cast<unsigned long long>(top_requests));
 
-    // Between windows, the routing feed ticks.
+    // Between windows, the routing feed ticks; each UPDATE is one RCU
+    // table swap broadcast to the shards.
     const std::size_t until =
         static_cast<std::size_t>(window + 1) * feed.size() / 8;
     for (; feed_cursor < std::min(until, feed.size()); ++feed_cursor) {
-      clusterer.ApplyUpdate(feed[feed_cursor], feed_source);
+      engine.ApplyUpdate(feed[feed_cursor], feed_source);
     }
   }
 
-  const auto& stats = clusterer.stats();
-  std::printf("\ntotals: %llu requests into %zu clusters; churn moved %zu "
-              "clients across clusters; %zu clients currently unclustered\n",
-              static_cast<unsigned long long>(stats.requests),
-              clusterer.cluster_count(), stats.reassignments,
-              clusterer.unclustered_count());
+  const core::Clustering view = engine.Snapshot();
+  const engine::EngineMetrics& metrics = engine.metrics();
+  std::printf("\ntotals: %llu requests into %zu clusters; churn moved %llu "
+              "clients across clusters; %zu clients currently "
+              "unclustered\n",
+              static_cast<unsigned long long>(
+                  metrics.requests_processed.value()),
+              view.cluster_count(),
+              static_cast<unsigned long long>(metrics.reassignments.value()),
+              view.unclustered.size());
+  std::printf("table version %llu after %llu swaps; %llu lock-free lookups "
+              "served\n",
+              static_cast<unsigned long long>(engine.table_version()),
+              static_cast<unsigned long long>(
+                  metrics.swaps_published.value()),
+              static_cast<unsigned long long>(metrics.lookups_served.value()));
+  engine.Stop();
+
+  // The counter section of the embedded exposition, as a scrape would see
+  // it (histogram buckets elided for brevity).
+  std::printf("\nmetrics exposition (counters):\n");
+  std::istringstream exposition(engine.MetricsText());
+  for (std::string line; std::getline(exposition, line);) {
+    if (line.find("_total ") != std::string::npos) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
   return 0;
 }

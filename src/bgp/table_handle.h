@@ -1,0 +1,97 @@
+// Refcounted immutable PrefixTable snapshots with RCU-style publication.
+//
+// The real-time engine (src/engine) never lets a lookup take a lock: the
+// merged table lives behind an RcuTableSlot, writers build a *new* table
+// (clone + apply the UPDATE batch), and publish it with one atomic
+// pointer swap. Readers that acquired the previous snapshot keep a
+// reference count on it, so the old table stays alive until the last
+// in-flight lookup drops it — classic read-copy-update, with shared_ptr
+// refcounts standing in for grace periods.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "bgp/prefix_table.h"
+
+namespace netclust::bgp {
+
+/// A refcounted, versioned, immutable PrefixTable snapshot. Cheap to copy
+/// (one refcount increment); the table itself is never mutated after
+/// publication.
+class TableHandle {
+ public:
+  TableHandle() = default;
+
+  [[nodiscard]] const PrefixTable& operator*() const { return state_->table; }
+  [[nodiscard]] const PrefixTable* operator->() const {
+    return &state_->table;
+  }
+  [[nodiscard]] const PrefixTable* get() const {
+    return state_ == nullptr ? nullptr : &state_->table;
+  }
+  explicit operator bool() const { return state_ != nullptr; }
+
+  /// Monotonic publication sequence number (0 = never published).
+  [[nodiscard]] std::uint64_t version() const {
+    return state_ == nullptr ? 0 : state_->version;
+  }
+
+  /// Number of live references to this snapshot (readers + the slot).
+  [[nodiscard]] long use_count() const { return state_.use_count(); }
+
+  friend bool operator==(const TableHandle& a, const TableHandle& b) {
+    return a.state_ == b.state_;
+  }
+
+ private:
+  friend class RcuTableSlot;
+  struct State {
+    PrefixTable table;
+    std::uint64_t version = 0;
+  };
+  explicit TableHandle(std::shared_ptr<const State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const State> state_;
+};
+
+/// The publication point: writers Publish() a new table, readers Acquire()
+/// the current one. Both sides are wait-free on the fast path
+/// (std::atomic<std::shared_ptr>); neither blocks the other.
+class RcuTableSlot {
+ public:
+  /// Starts with an empty table at version 1, so Acquire() is always valid.
+  RcuTableSlot() {
+    slot_.store(std::make_shared<const TableHandle::State>(
+                    TableHandle::State{PrefixTable{}, 1}),
+                std::memory_order_release);
+  }
+
+  /// The current snapshot. Never null.
+  [[nodiscard]] TableHandle Acquire() const {
+    return TableHandle(slot_.load(std::memory_order_acquire));
+  }
+
+  /// Wraps `table` in a new snapshot one version past the current one and
+  /// swaps it in. Returns the handle just published.
+  TableHandle Publish(PrefixTable table) {
+    const std::uint64_t next =
+        slot_.load(std::memory_order_acquire)->version + 1;
+    auto state = std::make_shared<const TableHandle::State>(
+        TableHandle::State{std::move(table), next});
+    slot_.store(state, std::memory_order_release);
+    return TableHandle(std::move(state));
+  }
+
+  [[nodiscard]] std::uint64_t version() const {
+    return slot_.load(std::memory_order_acquire)->version;
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const TableHandle::State>> slot_;
+};
+
+}  // namespace netclust::bgp

@@ -1,0 +1,103 @@
+// Table-free incremental client→cluster assignment.
+//
+// AssignmentState is the reassignment machinery of the streaming clusterer
+// (§3.5) factored out from table ownership, so two consumers can share it:
+//   * StreamingClusterer — one instance, resolving against its own mutable
+//     PrefixTable;
+//   * engine::ShardWorker — N instances over disjoint client sets, each
+//     resolving against the current RCU-published immutable snapshot.
+// Every method takes the table to resolve against explicitly; the state
+// machine itself only tracks memberships and tallies.
+//
+// Accounting semantics match StreamingClusterer exactly: per-client
+// request/byte tallies move with the client on reassignment; per-cluster
+// unique-URL sets do not split (they are a property of the traffic the
+// cluster absorbed while it existed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "core/cluster.h"
+#include "net/ip_address.h"
+#include "net/prefix.h"
+
+namespace netclust::core {
+
+class AssignmentState {
+ public:
+  static constexpr std::uint32_t kUnclustered = 0xFFFFFFFFu;
+
+  /// Feeds one request; a first-seen client is resolved against `table`.
+  void Observe(net::IpAddress client, std::uint32_t url_id,
+               std::uint32_t bytes, const bgp::PrefixTable& table);
+
+  /// A prefix newly appeared in `table`: re-resolves exactly the clients it
+  /// can affect (members of ancestor-keyed clusters inside it, plus
+  /// unclustered clients inside it). Returns the number of clients moved.
+  std::size_t OnAnnounced(const net::Prefix& prefix,
+                          const bgp::PrefixTable& table);
+
+  /// A prefix left `table`: its cluster's members re-resolve to the
+  /// next-best match (possibly unclustered). Returns the number moved.
+  std::size_t OnWithdrawn(const net::Prefix& prefix,
+                          const bgp::PrefixTable& table);
+
+  [[nodiscard]] std::size_t live_cluster_count() const {
+    return live_clusters_;
+  }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+  [[nodiscard]] std::size_t unclustered_count() const {
+    return unclustered_.size();
+  }
+  /// Requests observed (one per Observe call).
+  [[nodiscard]] std::uint64_t request_count() const { return requests_; }
+
+  /// Materializes one or more states (with pairwise-disjoint client sets —
+  /// the engine's shards, or just {this}) as a single batch-compatible
+  /// Clustering in *canonical* order: clients ascending by address, clusters
+  /// ascending by key, member/unclustered indices ascending. Because the
+  /// order is canonical, a sharded run merges bit-identically to a
+  /// sequential replay of the same event sequence.
+  static Clustering Merge(std::string approach, std::string log_name,
+                          const std::vector<const AssignmentState*>& shards);
+
+ private:
+  struct ClientState {
+    std::uint32_t cluster = kUnclustered;  // index into clusters_
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct StreamCluster {
+    net::Prefix key;
+    bool from_dump = false;
+    bool live = false;  // false once withdrawn/emptied
+    std::unordered_set<net::IpAddress> members;
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;
+    std::unordered_set<std::uint32_t> urls;
+  };
+
+  /// Cluster index for `prefix`, creating an empty live cluster if new.
+  std::uint32_t ClusterFor(const net::Prefix& prefix, bool from_dump);
+
+  /// Re-resolves one client against `table`, moving its tallies.
+  /// Returns true if the assignment changed.
+  bool Reassign(net::IpAddress client, const bgp::PrefixTable& table);
+
+  /// Detaches `client` from its current cluster (if any).
+  void Detach(net::IpAddress client, ClientState& state);
+
+  std::vector<StreamCluster> clusters_;
+  std::unordered_map<net::Prefix, std::uint32_t> cluster_index_;
+  std::unordered_map<net::IpAddress, ClientState> clients_;
+  std::unordered_set<net::IpAddress> unclustered_;
+  std::size_t live_clusters_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace netclust::core

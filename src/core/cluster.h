@@ -29,6 +29,8 @@ struct ClientStats {
   net::IpAddress address;
   std::uint64_t requests = 0;
   std::uint64_t bytes = 0;
+
+  friend bool operator==(const ClientStats&, const ClientStats&) = default;
 };
 
 /// One identified cluster.
@@ -42,6 +44,8 @@ struct Cluster {
   /// True when the keying prefix came only from a registry dump
   /// (secondary source) rather than a BGP table.
   bool from_network_dump = false;
+
+  friend bool operator==(const Cluster&, const Cluster&) = default;
 };
 
 /// The result of clustering one log.
@@ -67,6 +71,8 @@ struct Clustering {
   /// Clients clustered via a network-dump (secondary) prefix — <1% in the
   /// paper.
   [[nodiscard]] std::size_t dump_clustered_clients() const;
+
+  friend bool operator==(const Clustering&, const Clustering&) = default;
 };
 
 /// Network-aware clustering (§3.2.1): LPM of every client against the

@@ -1,5 +1,7 @@
 #include "core/parallel.h"
 
+#include <algorithm>
+#include <climits>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -13,8 +15,14 @@ Clustering ClusterNetworkAwareParallel(const weblog::ServerLog& log,
                                        int threads) {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
   }
+  // Never spawn idle or zero-work threads: degenerate inputs (empty log,
+  // threads >> clients) clamp to [1, distinct clients], which also keeps
+  // the per-thread shards balanced.
+  const auto distinct = static_cast<int>(
+      std::min<std::size_t>(log.clients().size(),
+                            static_cast<std::size_t>(INT_MAX)));
+  threads = std::clamp(threads, 1, std::max(distinct, 1));
 
   Clustering result;
   result.approach = "network-aware";

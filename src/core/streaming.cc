@@ -1,7 +1,5 @@
 #include "core/streaming.h"
 
-#include <algorithm>
-
 namespace netclust::core {
 
 StreamingClusterer::StreamingClusterer(std::string log_name)
@@ -15,111 +13,19 @@ int StreamingClusterer::SeedSnapshot(const bgp::Snapshot& snapshot) {
   return table_.AddSnapshot(snapshot);
 }
 
-std::uint32_t StreamingClusterer::ClusterFor(const net::Prefix& prefix,
-                                             bool from_dump) {
-  const auto [it, inserted] = cluster_index_.emplace(
-      prefix, static_cast<std::uint32_t>(clusters_.size()));
-  if (inserted) {
-    StreamCluster cluster;
-    cluster.key = prefix;
-    cluster.from_dump = from_dump;
-    cluster.live = true;
-    ++live_clusters_;
-    clusters_.push_back(std::move(cluster));
-  } else if (!clusters_[it->second].live) {
-    // A previously withdrawn key re-announced: revive it.
-    clusters_[it->second].live = true;
-    clusters_[it->second].from_dump = from_dump;
-    ++live_clusters_;
-  }
-  return it->second;
-}
-
-void StreamingClusterer::Detach(net::IpAddress client, ClientState& state) {
-  if (state.cluster == kUnclustered) {
-    unclustered_.erase(client);
-    return;
-  }
-  StreamCluster& cluster = clusters_[state.cluster];
-  cluster.members.erase(client);
-  cluster.requests -= state.requests;
-  cluster.bytes -= state.bytes;
-  // An emptied-but-live cluster keeps its registration: its prefix is
-  // still in the table and may refill.
-  state.cluster = kUnclustered;
-}
-
-bool StreamingClusterer::Reassign(net::IpAddress client) {
-  ClientState& state = clients_.at(client);
-  const auto match = table_.LongestMatch(client);
-
-  const std::uint32_t target =
-      match.has_value()
-          ? ClusterFor(match->prefix,
-                       match->kind == bgp::SourceKind::kNetworkDump)
-          : kUnclustered;
-  if (target == state.cluster) return false;
-
-  Detach(client, state);
-  state.cluster = target;
-  if (target == kUnclustered) {
-    unclustered_.insert(client);
-  } else {
-    StreamCluster& cluster = clusters_[target];
-    cluster.members.insert(client);
-    cluster.requests += state.requests;
-    cluster.bytes += state.bytes;
-  }
-  return true;
-}
-
 void StreamingClusterer::Announce(const net::Prefix& prefix, int source_id,
                                   bgp::AsNumber origin_as) {
   ++stats_.announce_events;
   const bool existed = table_.Contains(prefix);
   table_.Insert(prefix, source_id, origin_as);
   if (existed) return;  // attribute refresh: assignments unchanged
-
-  // Only clients inside `prefix` whose current match is an ancestor (or
-  // nothing) can move. Their clusters are keyed by ancestors of `prefix`,
-  // reachable by walking at most 32 parents.
-  std::vector<net::IpAddress> affected;
-  net::Prefix walk = prefix;
-  while (true) {
-    const auto it = cluster_index_.find(walk);
-    if (it != cluster_index_.end() && clusters_[it->second].live) {
-      for (const net::IpAddress member : clusters_[it->second].members) {
-        if (prefix.Contains(member)) affected.push_back(member);
-      }
-    }
-    if (walk.length() == 0) break;
-    walk = walk.Parent();
-  }
-  for (const net::IpAddress client : unclustered_) {
-    if (prefix.Contains(client)) affected.push_back(client);
-  }
-
-  for (const net::IpAddress client : affected) {
-    if (Reassign(client)) ++stats_.reassignments;
-  }
+  stats_.reassignments += state_.OnAnnounced(prefix, table_);
 }
 
 void StreamingClusterer::Withdraw(const net::Prefix& prefix) {
   ++stats_.withdraw_events;
   if (!table_.Remove(prefix)) return;
-
-  const auto it = cluster_index_.find(prefix);
-  if (it == cluster_index_.end()) return;
-  StreamCluster& cluster = clusters_[it->second];
-  if (cluster.live) {
-    cluster.live = false;
-    --live_clusters_;
-  }
-  const std::vector<net::IpAddress> members(cluster.members.begin(),
-                                            cluster.members.end());
-  for (const net::IpAddress client : members) {
-    if (Reassign(client)) ++stats_.reassignments;
-  }
+  stats_.reassignments += state_.OnWithdrawn(prefix, table_);
 }
 
 void StreamingClusterer::ApplyUpdate(const bgp::UpdateMessage& update,
@@ -138,27 +44,7 @@ void StreamingClusterer::Observe(net::IpAddress client, std::uint32_t url_id,
                                  std::uint32_t bytes,
                                  std::int64_t /*timestamp*/) {
   ++stats_.requests;
-  auto [it, inserted] = clients_.try_emplace(client);
-  ClientState& state = it->second;
-  if (inserted) {
-    const auto match = table_.LongestMatch(client);
-    if (match.has_value()) {
-      state.cluster = ClusterFor(
-          match->prefix, match->kind == bgp::SourceKind::kNetworkDump);
-      clusters_[state.cluster].members.insert(client);
-    } else {
-      state.cluster = kUnclustered;
-      unclustered_.insert(client);
-    }
-  }
-  state.requests += 1;
-  state.bytes += bytes;
-  if (state.cluster != kUnclustered) {
-    StreamCluster& cluster = clusters_[state.cluster];
-    cluster.requests += 1;
-    cluster.bytes += bytes;
-    cluster.urls.insert(url_id);
-  }
+  state_.Observe(client, url_id, bytes, table_);
 }
 
 void StreamingClusterer::ObserveLog(const weblog::ServerLog& log) {
@@ -169,38 +55,8 @@ void StreamingClusterer::ObserveLog(const weblog::ServerLog& log) {
 }
 
 Clustering StreamingClusterer::ToClustering() const {
-  Clustering out;
-  out.approach = "network-aware-streaming";
-  out.log_name = log_name_;
-  out.total_requests = stats_.requests;
-
-  std::unordered_map<net::IpAddress, std::uint32_t> client_ids;
-  client_ids.reserve(clients_.size());
-  for (const auto& [address, state] : clients_) {
-    const auto id = static_cast<std::uint32_t>(out.clients.size());
-    client_ids.emplace(address, id);
-    out.clients.push_back(ClientStats{address, state.requests, state.bytes});
-  }
-
-  for (const StreamCluster& cluster : clusters_) {
-    if (cluster.members.empty()) continue;
-    Cluster materialized;
-    materialized.key = cluster.key;
-    materialized.from_network_dump = cluster.from_dump;
-    materialized.requests = cluster.requests;
-    materialized.bytes = cluster.bytes;
-    materialized.unique_urls = cluster.urls.size();
-    for (const net::IpAddress member : cluster.members) {
-      materialized.members.push_back(client_ids.at(member));
-    }
-    std::sort(materialized.members.begin(), materialized.members.end());
-    out.clusters.push_back(std::move(materialized));
-  }
-  for (const net::IpAddress client : unclustered_) {
-    out.unclustered.push_back(client_ids.at(client));
-  }
-  std::sort(out.unclustered.begin(), out.unclustered.end());
-  return out;
+  return AssignmentState::Merge("network-aware-streaming", log_name_,
+                                {&state_});
 }
 
 }  // namespace netclust::core

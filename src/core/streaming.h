@@ -12,7 +12,10 @@
 //     as a route collector feeds them.
 // Cluster membership is kept consistent with the *current* table: a route
 // change re-resolves exactly the clients it can affect (those under the
-// changed prefix), not the whole population.
+// changed prefix), not the whole population. The assignment machinery
+// itself lives in core/assignment.h, shared with the sharded concurrent
+// engine (src/engine), which runs the same state machine per shard against
+// RCU-published table snapshots.
 //
 // Accounting semantics under routing churn: per-client request/byte
 // tallies are exact and move with the client; per-cluster unique-URL sets
@@ -22,12 +25,10 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
 #include "bgp/prefix_table.h"
 #include "bgp/update.h"
+#include "core/assignment.h"
 #include "core/cluster.h"
 #include "weblog/log.h"
 
@@ -77,51 +78,28 @@ class StreamingClusterer {
 
   // --- views ---
 
-  [[nodiscard]] std::size_t cluster_count() const { return live_clusters_; }
-  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+  [[nodiscard]] std::size_t cluster_count() const {
+    return state_.live_cluster_count();
+  }
+  [[nodiscard]] std::size_t client_count() const {
+    return state_.client_count();
+  }
   [[nodiscard]] std::size_t unclustered_count() const {
-    return unclustered_.size();
+    return state_.unclustered_count();
   }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const bgp::PrefixTable& table() const { return table_; }
+  [[nodiscard]] const AssignmentState& assignment() const { return state_; }
 
-  /// Materializes the current state as a batch-compatible Clustering.
+  /// Materializes the current state as a batch-compatible Clustering, in
+  /// the canonical order of AssignmentState::Merge — so it compares
+  /// bit-identically against engine::Engine::Snapshot() of the same event
+  /// sequence.
   [[nodiscard]] Clustering ToClustering() const;
 
  private:
-  struct ClientState {
-    std::uint32_t cluster = kUnclustered;  // index into clusters_
-    std::uint64_t requests = 0;
-    std::uint64_t bytes = 0;
-  };
-  struct StreamCluster {
-    net::Prefix key;
-    bool from_dump = false;
-    bool live = false;  // false once withdrawn/emptied
-    std::unordered_set<net::IpAddress> members;
-    std::uint64_t requests = 0;
-    std::uint64_t bytes = 0;
-    std::unordered_set<std::uint32_t> urls;
-  };
-
-  static constexpr std::uint32_t kUnclustered = 0xFFFFFFFFu;
-
-  /// Cluster index for `prefix`, creating an empty live cluster if new.
-  std::uint32_t ClusterFor(const net::Prefix& prefix, bool from_dump);
-
-  /// Re-resolves one client against the current table, moving its tallies.
-  /// Returns true if the assignment changed.
-  bool Reassign(net::IpAddress client);
-
-  /// Detaches `client` from its current cluster (if any).
-  void Detach(net::IpAddress client, ClientState& state);
-
   bgp::PrefixTable table_;
-  std::vector<StreamCluster> clusters_;
-  std::unordered_map<net::Prefix, std::uint32_t> cluster_index_;
-  std::unordered_map<net::IpAddress, ClientState> clients_;
-  std::unordered_set<net::IpAddress> unclustered_;
-  std::size_t live_clusters_ = 0;
+  AssignmentState state_;
   Stats stats_;
   std::string log_name_;
 };

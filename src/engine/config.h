@@ -1,0 +1,30 @@
+// Engine configuration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace netclust::engine {
+
+/// What the ingest side does when a shard's ring is full.
+enum class BackpressurePolicy {
+  /// Spin/yield until the worker frees a slot — no request is ever lost
+  /// (the default; matches the exactness guarantee vs. the sequential
+  /// clusterer).
+  kBlock,
+  /// Reject the request and account it in requests_dropped — bounded
+  /// ingest latency for overload shedding.
+  kDrop,
+};
+
+struct EngineConfig {
+  /// Worker shard count; <= 0 selects the hardware concurrency.
+  int shards = 0;
+  /// Per-shard ring capacity (rounded up to a power of two).
+  std::size_t ring_capacity = 4096;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Log name stamped on Snapshot() results.
+  std::string log_name = "engine";
+};
+
+}  // namespace netclust::engine

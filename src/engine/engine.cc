@@ -1,0 +1,165 @@
+#include "engine/engine.h"
+
+#include <thread>
+
+namespace netclust::engine {
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  int shards = config_.shards;
+  if (shards <= 0) {
+    shards = static_cast<int>(std::thread::hardware_concurrency());
+    if (shards <= 0) shards = 1;
+  }
+  const bgp::TableHandle initial = slot_.Acquire();
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<ShardWorker>(config_.ring_capacity,
+                                                    initial, &metrics_));
+  }
+}
+
+Engine::~Engine() { Stop(); }
+
+void Engine::Start() {
+  if (running_) return;
+  for (const auto& shard : shards_) shard->Start();
+  running_ = true;
+}
+
+void Engine::Stop() {
+  if (!running_) return;
+  for (const auto& shard : shards_) shard->Stop();
+  running_ = false;
+}
+
+int Engine::AddSource(const bgp::SnapshotInfo& info) {
+  return master_.AddSource(info);
+}
+
+int Engine::SeedSnapshot(const bgp::Snapshot& snapshot) {
+  const int id = master_.AddSnapshot(snapshot);
+  PublishDelta({}, {});
+  return id;
+}
+
+void Engine::Announce(const net::Prefix& prefix, int source_id,
+                      bgp::AsNumber origin_as) {
+  metrics_.updates_ingested.Inc();
+  const bool existed = master_.Contains(prefix);
+  master_.Insert(prefix, source_id, origin_as);
+  // A refresh still publishes (attributes changed) but carries no delta,
+  // so no client is re-resolved — same as StreamingClusterer::Announce.
+  PublishDelta({}, existed ? std::vector<net::Prefix>{}
+                           : std::vector<net::Prefix>{prefix});
+}
+
+void Engine::Withdraw(const net::Prefix& prefix) {
+  metrics_.updates_ingested.Inc();
+  if (!master_.Remove(prefix)) return;  // spurious: table unchanged
+  PublishDelta({prefix}, {});
+}
+
+void Engine::ApplyUpdate(const bgp::UpdateMessage& update, int source_id) {
+  metrics_.updates_ingested.Inc();
+  std::vector<net::Prefix> withdrawn;
+  for (const net::Prefix& prefix : update.withdrawn) {
+    if (master_.Remove(prefix)) withdrawn.push_back(prefix);
+  }
+  const bgp::AsNumber origin =
+      update.as_path.empty() ? 0 : update.as_path.back();
+  std::vector<net::Prefix> announced;
+  for (const net::Prefix& prefix : update.announced) {
+    const bool existed = master_.Contains(prefix);
+    master_.Insert(prefix, source_id, origin);
+    if (!existed) announced.push_back(prefix);
+  }
+  if (withdrawn.empty() && announced.empty() && update.announced.empty()) {
+    return;  // nothing changed at all, not even attributes
+  }
+  PublishDelta(std::move(withdrawn), std::move(announced));
+}
+
+void Engine::PublishDelta(std::vector<net::Prefix> withdrawn,
+                          std::vector<net::Prefix> announced) {
+  const std::uint64_t start = NowNs();
+  bgp::PrefixTable copy = master_;  // deep clone; readers keep the old one
+  const bgp::TableHandle handle = slot_.Publish(std::move(copy));
+  metrics_.swaps_published.Inc();
+  metrics_.swap_build_ns.Record(NowNs() - start);
+
+  const auto delta = std::make_shared<const TableDelta>(
+      TableDelta{handle, std::move(withdrawn), std::move(announced)});
+  for (const auto& shard : shards_) {
+    Event event;
+    event.kind = Event::Kind::kSwap;
+    event.delta = delta;
+    shard->Push(std::move(event));  // control events are never dropped
+  }
+}
+
+int Engine::ShardOf(net::IpAddress client) const {
+  const std::size_t hash = std::hash<net::IpAddress>{}(client);
+  return static_cast<int>((hash >> 33) % shards_.size());
+}
+
+bool Engine::Observe(net::IpAddress client, std::uint32_t url_id,
+                     std::uint32_t bytes, std::int64_t timestamp) {
+  Event event;
+  event.kind = Event::Kind::kRequest;
+  event.client = client;
+  event.url_id = url_id;
+  event.bytes = bytes;
+  event.timestamp = timestamp;
+  ShardWorker& shard = *shards_[static_cast<std::size_t>(ShardOf(client))];
+
+  const std::uint64_t start = NowNs();
+  if (config_.backpressure == BackpressurePolicy::kBlock) {
+    shard.Push(std::move(event));
+  } else if (!shard.TryPush(std::move(event))) {
+    metrics_.requests_dropped.Inc();
+    return false;
+  }
+  metrics_.requests_ingested.Inc();
+  metrics_.ingest_ns.Record(NowNs() - start);
+  return true;
+}
+
+std::size_t Engine::ObserveLog(const weblog::ServerLog& log) {
+  std::size_t accepted = 0;
+  for (const weblog::CompactRequest& request : log.requests()) {
+    if (Observe(request.client, request.url_id, request.response_bytes,
+                request.timestamp)) {
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+std::optional<bgp::PrefixTable::Match> Engine::Lookup(
+    net::IpAddress address) const {
+  metrics_.lookups_served.Inc();
+  return slot_.Acquire()->LongestMatch(address);
+}
+
+void Engine::Drain() {
+  for (const auto& shard : shards_) {
+    const std::uint64_t target = shard->pushed();
+    while (shard->processed() < target) {
+      std::this_thread::yield();
+    }
+  }
+  metrics_.drains.Inc();
+}
+
+core::Clustering Engine::Snapshot() {
+  Drain();
+  std::vector<const core::AssignmentState*> states;
+  states.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    states.push_back(&shard->state());
+  }
+  return core::AssignmentState::Merge("network-aware-streaming",
+                                      config_.log_name, states);
+}
+
+}  // namespace netclust::engine

@@ -1,0 +1,141 @@
+// Concurrent real-time clustering engine (§3.5 at production scale).
+//
+// The sequential StreamingClusterer proves the semantics; this engine runs
+// the same semantics across N worker shards so a CDN-style deployment can
+// sustain concurrent request ingestion while BGP churn mutates the table:
+//
+//   * clients are sharded by IP hash; each shard is fed through a bounded
+//     lock-free SPSC ring with a configurable backpressure policy
+//     (block vs. drop-with-accounting);
+//   * routing updates are applied to an ingest-side working table, then
+//     published as an immutable PrefixTable snapshot via RCU-style atomic
+//     swap (bgp::RcuTableSlot) — lookups never take a lock, and workers
+//     re-resolve only the clients under changed prefixes;
+//   * an embedded metrics layer (engine/metrics.h) counts and times the
+//     ingest, lookup, swap and reassignment paths;
+//   * Drain()/Snapshot() quiesce the shards and merge their states into a
+//     canonical Clustering that is bit-identical to a sequential
+//     StreamingClusterer replay of the same event sequence.
+//
+// Threading contract: the routing- and data-plane ingest methods (Observe,
+// Announce, Withdraw, ApplyUpdate, Seed*) must be called from one thread
+// at a time (the "ingest thread"); Lookup() and metrics reads are safe
+// from any thread at any time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "bgp/table_handle.h"
+#include "bgp/update.h"
+#include "core/cluster.h"
+#include "engine/config.h"
+#include "engine/metrics.h"
+#include "engine/shard.h"
+#include "weblog/log.h"
+
+namespace netclust::engine {
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- lifecycle ---
+
+  /// Spawns the shard workers. Events enqueued before Start() are buffered
+  /// in the rings (subject to backpressure) and processed on start.
+  void Start();
+
+  /// Lets workers drain their rings, then joins them. Ingest must have
+  /// stopped. Idempotent; the destructor calls it.
+  void Stop();
+
+  // --- routing plane (ingest thread) ---
+
+  /// Registers a source (mirrors bgp::PrefixTable::AddSource).
+  int AddSource(const bgp::SnapshotInfo& info);
+
+  /// Seeds the table from a full snapshot, intended before any traffic (no
+  /// client re-resolution — same contract as StreamingClusterer).
+  /// Returns the source id.
+  int SeedSnapshot(const bgp::Snapshot& snapshot);
+
+  /// Announces one prefix and publishes the resulting snapshot.
+  void Announce(const net::Prefix& prefix, int source_id,
+                bgp::AsNumber origin_as = 0);
+
+  /// Withdraws one prefix and publishes the resulting snapshot.
+  void Withdraw(const net::Prefix& prefix);
+
+  /// Applies one BGP UPDATE as a single batch: one new table snapshot, one
+  /// RCU swap, one delta broadcast to every shard.
+  void ApplyUpdate(const bgp::UpdateMessage& update, int source_id);
+
+  // --- data plane (ingest thread) ---
+
+  /// Routes one request to its shard. Returns false when the drop
+  /// backpressure policy rejected it (accounted in requests_dropped).
+  bool Observe(net::IpAddress client, std::uint32_t url_id,
+               std::uint32_t bytes, std::int64_t timestamp);
+
+  /// Feeds a whole log; returns the number of accepted requests.
+  std::size_t ObserveLog(const weblog::ServerLog& log);
+
+  // --- serving plane (any thread, lock-free) ---
+
+  /// Longest-prefix match against the current published snapshot.
+  [[nodiscard]] std::optional<bgp::PrefixTable::Match> Lookup(
+      net::IpAddress address) const;
+
+  /// The current published snapshot (refcounted; callers may hold it as
+  /// long as they like).
+  [[nodiscard]] bgp::TableHandle AcquireTable() const {
+    return slot_.Acquire();
+  }
+
+  // --- quiescence & views (ingest thread) ---
+
+  /// Blocks until every shard has applied every event enqueued so far.
+  void Drain();
+
+  /// Drain() + canonical merge of all shard states. Bit-identical to
+  /// StreamingClusterer::ToClustering() after a sequential replay of the
+  /// same event sequence (same log_name).
+  [[nodiscard]] core::Clustering Snapshot();
+
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(shards_.size());
+  }
+  /// Shard owning `client` (stable hash of the address).
+  [[nodiscard]] int ShardOf(net::IpAddress client) const;
+  [[nodiscard]] std::uint64_t table_version() const {
+    return slot_.version();
+  }
+  [[nodiscard]] const EngineMetrics& metrics() const { return metrics_; }
+  /// Plain-text metrics exposition.
+  [[nodiscard]] std::string MetricsText() const {
+    return metrics_.Exposition();
+  }
+
+ private:
+  /// Clones the working table, publishes it, and broadcasts the delta to
+  /// every shard (control events always block — they are never dropped).
+  void PublishDelta(std::vector<net::Prefix> withdrawn,
+                    std::vector<net::Prefix> announced);
+
+  EngineConfig config_;
+  bgp::PrefixTable master_;  // ingest-side working copy
+  bgp::RcuTableSlot slot_;   // published immutable snapshots
+  mutable EngineMetrics metrics_;
+  std::vector<std::unique_ptr<ShardWorker>> shards_;
+  bool running_ = false;
+};
+
+}  // namespace netclust::engine

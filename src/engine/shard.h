@@ -1,0 +1,156 @@
+// One shard of the concurrent clustering engine.
+//
+// A shard owns the assignment state for the clients hashed to it and a
+// worker thread that consumes the shard's SPSC ring. Two event kinds flow
+// through the ring, in ingest order:
+//   * requests — resolved against the worker-local table snapshot and
+//     accounted exactly as core::AssignmentState::Observe;
+//   * table swaps — the worker adopts the new RCU-published snapshot and
+//     re-resolves only the clients under the delta's changed prefixes.
+// Because the ring preserves the ingest thread's order, each shard sees
+// the global event sequence restricted to (its clients + all routing
+// events) — which is what makes the merged Snapshot() bit-identical to a
+// sequential replay.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bgp/table_handle.h"
+#include "core/assignment.h"
+#include "engine/metrics.h"
+#include "engine/spsc_ring.h"
+#include "net/ip_address.h"
+#include "net/prefix.h"
+
+namespace netclust::engine {
+
+/// One published routing change: the new immutable snapshot plus the
+/// effective prefix delta, so workers re-resolve only affected clients.
+struct TableDelta {
+  bgp::TableHandle table;
+  std::vector<net::Prefix> withdrawn;  // actually removed
+  std::vector<net::Prefix> announced;  // genuinely new (refreshes excluded)
+};
+
+/// One ring slot.
+struct Event {
+  enum class Kind : std::uint8_t { kRequest, kSwap };
+  Kind kind = Kind::kRequest;
+  net::IpAddress client;
+  std::uint32_t url_id = 0;
+  std::uint32_t bytes = 0;
+  std::int64_t timestamp = 0;
+  std::shared_ptr<const TableDelta> delta;  // kSwap only
+};
+
+class ShardWorker {
+ public:
+  ShardWorker(std::size_t ring_capacity, bgp::TableHandle initial_table,
+              EngineMetrics* metrics)
+      : ring_(ring_capacity),
+        table_(std::move(initial_table)),
+        metrics_(metrics) {}
+
+  ~ShardWorker() { Stop(); }
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  void Start() {
+    if (thread_.joinable()) return;
+    stop_.store(false, std::memory_order_release);
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  /// Lets the worker drain the ring, then joins it. The producer must have
+  /// stopped pushing.
+  void Stop() {
+    if (!thread_.joinable()) return;
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+
+  // --- producer side (engine ingest thread only) ---
+
+  /// Non-blocking enqueue; false when the ring is full.
+  [[nodiscard]] bool TryPush(Event event) {
+    if (!ring_.TryPush(std::move(event))) return false;
+    ++pushed_;
+    return true;
+  }
+
+  /// Blocking enqueue (spin + yield until the worker frees a slot).
+  void Push(Event event) {
+    while (!ring_.TryPush(std::move(event))) {
+      std::this_thread::yield();
+    }
+    ++pushed_;
+  }
+
+  /// Events successfully enqueued (producer-thread view).
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+  /// Events fully applied by the worker.
+  [[nodiscard]] std::uint64_t processed() const {
+    return processed_.load(std::memory_order_acquire);
+  }
+
+  /// The shard's assignment state. Safe to read only at a quiescent point
+  /// (processed() == pushed() and no pushes in flight) — Engine::Drain()
+  /// establishes one.
+  [[nodiscard]] const core::AssignmentState& state() const { return state_; }
+
+  /// The worker-local table snapshot (same quiescence contract).
+  [[nodiscard]] const bgp::TableHandle& table() const { return table_; }
+
+ private:
+  void Run() {
+    Event event;
+    while (true) {
+      if (ring_.TryPop(event)) {
+        Apply(event);
+        processed_.fetch_add(1, std::memory_order_release);
+        continue;
+      }
+      if (stop_.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+    }
+  }
+
+  void Apply(Event& event) {
+    const std::uint64_t start = NowNs();
+    if (event.kind == Event::Kind::kRequest) {
+      state_.Observe(event.client, event.url_id, event.bytes, *table_);
+      metrics_->requests_processed.Inc();
+      metrics_->lookup_ns.Record(NowNs() - start);
+      return;
+    }
+    // Table swap: adopt the new snapshot, then re-resolve exactly the
+    // clients under changed prefixes (withdrawals first, like
+    // StreamingClusterer::ApplyUpdate).
+    table_ = event.delta->table;
+    std::size_t moved = 0;
+    for (const net::Prefix& prefix : event.delta->withdrawn) {
+      moved += state_.OnWithdrawn(prefix, *table_);
+    }
+    for (const net::Prefix& prefix : event.delta->announced) {
+      moved += state_.OnAnnounced(prefix, *table_);
+    }
+    if (moved > 0) metrics_->reassignments.Inc(moved);
+    metrics_->swap_apply_ns.Record(NowNs() - start);
+  }
+
+  SpscRing<Event> ring_;
+  bgp::TableHandle table_;       // worker-local; replaced on swap events
+  core::AssignmentState state_;  // this shard's clients only
+  EngineMetrics* metrics_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::uint64_t pushed_ = 0;  // producer-owned
+  alignas(64) std::atomic<std::uint64_t> processed_{0};
+};
+
+}  // namespace netclust::engine

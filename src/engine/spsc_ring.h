@@ -1,0 +1,70 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// The engine's ingest thread is the producer; one shard worker is the
+// consumer. Each side owns one index and keeps a cached copy of the
+// other's, so the steady-state push/pop touches no shared cache line at
+// all; the atomics are only consulted when the cached view says
+// full/empty. Capacity is rounded up to a power of two.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace netclust::engine {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(T&& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_cache_ > mask_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    slots_[tail & mask_] = T{};  // drop payload refs (e.g. table handles) now
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate occupancy (exact when the other side is idle).
+  [[nodiscard]] std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // written by producer
+  alignas(64) std::size_t tail_cache_ = 0;        // producer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};  // written by consumer
+  alignas(64) std::size_t head_cache_ = 0;        // consumer's view of head_
+};
+
+}  // namespace netclust::engine

@@ -30,6 +30,21 @@ class PatriciaTrie {
 
   PatriciaTrie() : root_(std::make_unique<Node>(net::Prefix{})) {}
 
+  /// Deep copy. Snapshot-based consumers (the RCU-published PrefixTable of
+  /// the real-time engine) clone the trie, mutate the clone, and publish it
+  /// as an immutable snapshot while readers keep using the original.
+  PatriciaTrie(const PatriciaTrie& other)
+      : root_(CloneRec(other.root_.get())), size_(other.size_) {}
+  PatriciaTrie& operator=(const PatriciaTrie& other) {
+    if (this != &other) {
+      root_ = CloneRec(other.root_.get());
+      size_ = other.size_;
+    }
+    return *this;
+  }
+  PatriciaTrie(PatriciaTrie&&) noexcept = default;
+  PatriciaTrie& operator=(PatriciaTrie&&) noexcept = default;
+
   /// Inserts or overwrites the entry at `prefix`. Returns true if new.
   bool Insert(const net::Prefix& prefix, T value) {
     Node* node = root_.get();
@@ -186,6 +201,15 @@ class PatriciaTrie {
     if (node->value.has_value()) visit(node->prefix, *node->value);
     VisitRec(node->children[0].get(), visit);
     VisitRec(node->children[1].get(), visit);
+  }
+
+  static std::unique_ptr<Node> CloneRec(const Node* node) {
+    if (node == nullptr) return nullptr;
+    auto copy = std::make_unique<Node>(node->prefix);
+    copy->value = node->value;
+    copy->children[0] = CloneRec(node->children[0].get());
+    copy->children[1] = CloneRec(node->children[1].get());
+    return copy;
   }
 
   std::size_t CountRec(const Node* node) const {

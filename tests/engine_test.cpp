@@ -1,0 +1,271 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bgp/table_handle.h"
+#include "core/streaming.h"
+#include "engine/spsc_ring.h"
+#include "synth/vantage.h"
+#include "test_fixtures.h"
+
+namespace netclust::engine {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+Prefix P(const char* text) { return Prefix::Parse(text).value(); }
+
+// ---------------------------------------------------------------------------
+// Building blocks: the SPSC ring and the RCU table slot.
+
+TEST(SpscRing, FifoOrderAndCapacity) {
+  SpscRing<int> ring(6);  // rounds up to 8
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.TryPush(int{i}));
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.TryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(out));  // empty
+  // Wraps around.
+  EXPECT_TRUE(ring.TryPush(42));
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_EQ(out, 42);
+}
+
+TEST(RcuTableSlot, PublishedSnapshotsAreImmutableAndRefcounted) {
+  bgp::RcuTableSlot slot;
+  EXPECT_EQ(slot.version(), 1u);
+  EXPECT_EQ(slot.Acquire()->size(), 0u);
+
+  bgp::PrefixTable table;
+  const int source = table.AddSource({"T", "1/1/2000",
+                                      bgp::SourceKind::kBgpTable, ""});
+  table.Insert(P("12.0.0.0/8"), source);
+
+  // Publish clones: the old handle keeps serving the old table.
+  const bgp::TableHandle v1 = slot.Acquire();
+  slot.Publish(table);  // deep copy in
+  const bgp::TableHandle v2 = slot.Acquire();
+  EXPECT_EQ(v2.version(), 2u);
+  EXPECT_EQ(v1->size(), 0u);
+  EXPECT_EQ(v2->size(), 1u);
+
+  // Mutating the writer's working table does not leak into the snapshot.
+  table.Insert(P("12.65.128.0/19"), source);
+  EXPECT_EQ(v2->size(), 1u);
+  EXPECT_TRUE(v2->LongestMatch(IpAddress(12, 65, 147, 94)).has_value());
+  EXPECT_EQ(v2->LongestMatch(IpAddress(12, 65, 147, 94))->prefix,
+            P("12.0.0.0/8"));
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract: Engine::Snapshot() after a fixed interleaved
+// request/update script is bit-identical to a sequential StreamingClusterer
+// replay of the same script, for 1, 2 and 8 shards.
+
+template <typename OnRequest, typename OnUpdate>
+void ReplayScript(const std::vector<weblog::CompactRequest>& requests,
+                  const std::vector<bgp::UpdateMessage>& updates,
+                  OnRequest&& on_request, OnUpdate&& on_update) {
+  // Fixed interleaving: the update feed ticks every kBurst requests.
+  constexpr std::size_t kBurst = 256;
+  std::size_t next_update = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    on_request(requests[i]);
+    if ((i + 1) % kBurst == 0 && next_update < updates.size()) {
+      on_update(updates[next_update++]);
+    }
+  }
+  for (; next_update < updates.size(); ++next_update) {
+    on_update(updates[next_update]);
+  }
+}
+
+TEST(Engine, SnapshotBitIdenticalToSequentialReplay) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const synth::VantageGenerator vantages(world.internet,
+                                         synth::DefaultVantageProfiles());
+  const bgp::Snapshot seed = vantages.MakeSnapshot(0, 0);
+  const auto updates = vantages.MakeUpdateStream(0, 0, 0, 1, 0);
+  const auto& requests = world.generated.log.requests();
+  ASSERT_GT(updates.size(), 0u);
+
+  core::StreamingClusterer sequential("script");
+  const int source = sequential.SeedSnapshot(seed);
+  ReplayScript(
+      requests, updates,
+      [&](const weblog::CompactRequest& r) {
+        sequential.Observe(r.client, r.url_id, r.response_bytes, r.timestamp);
+      },
+      [&](const bgp::UpdateMessage& u) {
+        sequential.ApplyUpdate(u, source);
+      });
+  const core::Clustering reference = sequential.ToClustering();
+  ASSERT_GT(reference.cluster_count(), 0u);
+  ASSERT_GT(sequential.stats().reassignments, 0u);
+
+  for (const int shards : {1, 2, 8}) {
+    EngineConfig config;
+    config.shards = shards;
+    config.log_name = "script";
+    Engine engine(config);
+    const int engine_source = engine.SeedSnapshot(seed);
+    engine.Start();
+    ReplayScript(
+        requests, updates,
+        [&](const weblog::CompactRequest& r) {
+          engine.Observe(r.client, r.url_id, r.response_bytes, r.timestamp);
+        },
+        [&](const bgp::UpdateMessage& u) {
+          engine.ApplyUpdate(u, engine_source);
+        });
+    const core::Clustering live = engine.Snapshot();
+    engine.Stop();
+
+    EXPECT_EQ(live.client_count(), reference.client_count()) << shards;
+    EXPECT_EQ(live.cluster_count(), reference.cluster_count()) << shards;
+    EXPECT_EQ(live.unclustered.size(), reference.unclustered.size())
+        << shards;
+    EXPECT_TRUE(live == reference)
+        << "engine with " << shards
+        << " shard(s) diverged from the sequential replay";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Churn under load: heavy interleaving with small rings, so the blocking
+// backpressure path and the swap path run concurrently with lookups.
+
+TEST(Engine, ChurnUnderLoadStaysConsistent) {
+  const auto& world = netclust::testing::GetSmallWorld();
+  const synth::VantageGenerator vantages(world.internet,
+                                         synth::DefaultVantageProfiles());
+  const auto updates = vantages.MakeUpdateStream(0, 0, 0, 1, 0);
+  const auto& requests = world.generated.log.requests();
+
+  EngineConfig config;
+  config.shards = 8;
+  config.ring_capacity = 64;  // forces the blocking path under load
+  config.log_name = "churny";
+  Engine engine(config);
+  const int source = engine.SeedSnapshot(vantages.MakeSnapshot(0, 0));
+  engine.Start();
+  ReplayScript(
+      requests, updates,
+      [&](const weblog::CompactRequest& r) {
+        engine.Observe(r.client, r.url_id, r.response_bytes, r.timestamp);
+      },
+      [&](const bgp::UpdateMessage& u) { engine.ApplyUpdate(u, source); });
+  const core::Clustering live = engine.Snapshot();
+  engine.Stop();
+
+  const EngineMetrics& metrics = engine.metrics();
+  EXPECT_EQ(metrics.requests_ingested.value(), requests.size());
+  EXPECT_EQ(metrics.requests_processed.value(), requests.size());
+  EXPECT_EQ(metrics.requests_dropped.value(), 0u);
+  EXPECT_GT(metrics.reassignments.value(), 0u);
+  // Every publication bumps the slot version once (seed included).
+  EXPECT_EQ(engine.table_version(),
+            1 + metrics.swaps_published.value());
+  EXPECT_EQ(live.total_requests, requests.size());
+  EXPECT_EQ(live.client_count(),
+            live.unclustered.size() +
+                [&] {
+                  std::size_t members = 0;
+                  for (const auto& cluster : live.clusters) {
+                    members += cluster.members.size();
+                  }
+                  return members;
+                }());
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: with the drop policy and stopped workers, the ring fills
+// deterministically and every rejected request is accounted.
+
+TEST(Engine, DropBackpressureAccountsRejectedRequests) {
+  EngineConfig config;
+  config.shards = 1;
+  config.ring_capacity = 16;
+  config.backpressure = BackpressurePolicy::kDrop;
+  Engine engine(config);
+
+  std::size_t accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    accepted += engine.Observe(IpAddress(10, 0, 0, static_cast<uint8_t>(i)),
+                               1, 10, i)
+                    ? 1
+                    : 0;
+  }
+  EXPECT_EQ(accepted, 16u);
+  EXPECT_EQ(engine.metrics().requests_ingested.value(), 16u);
+  EXPECT_EQ(engine.metrics().requests_dropped.value(), 84u);
+
+  engine.Start();
+  const core::Clustering snapshot = engine.Snapshot();
+  EXPECT_EQ(engine.metrics().requests_processed.value(), 16u);
+  EXPECT_EQ(snapshot.total_requests, 16u);
+  // No table was ever seeded: everything is unclustered.
+  EXPECT_EQ(snapshot.unclustered.size(), snapshot.client_count());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: counters and histograms are wired and exposed as plain text.
+
+TEST(Engine, MetricsExpositionCoversAllPaths) {
+  EngineConfig config;
+  config.shards = 2;
+  config.log_name = "metrics";
+  Engine engine(config);
+  const int source = engine.AddSource(
+      {"FEED", "1/1/2000", bgp::SourceKind::kBgpTable, ""});
+  engine.Start();
+  engine.Announce(P("12.0.0.0/8"), source);
+  for (int i = 0; i < 5; ++i) {
+    engine.Observe(IpAddress(12, 0, 0, static_cast<uint8_t>(i)), 7, 100, i);
+  }
+  engine.Announce(P("12.0.0.0/9"), source);  // splits all five clients
+  for (int i = 0; i < 3; ++i) {
+    engine.Lookup(IpAddress(12, 0, 0, 1));
+  }
+  engine.Drain();
+
+  const EngineMetrics& metrics = engine.metrics();
+  EXPECT_EQ(metrics.requests_ingested.value(), 5u);
+  EXPECT_EQ(metrics.requests_processed.value(), 5u);
+  EXPECT_EQ(metrics.updates_ingested.value(), 2u);
+  EXPECT_EQ(metrics.swaps_published.value(), 2u);
+  EXPECT_EQ(metrics.lookups_served.value(), 3u);
+  EXPECT_EQ(metrics.reassignments.value(), 5u);
+  EXPECT_EQ(metrics.lookup_ns.count(), 5u);
+  EXPECT_GT(metrics.swap_build_ns.count(), 0u);
+  EXPECT_GT(metrics.swap_apply_ns.count(), 0u);
+
+  const std::string text = engine.MetricsText();
+  EXPECT_NE(text.find("netclust_engine_requests_ingested_total 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("netclust_engine_swaps_published_total 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("netclust_engine_reassignments_total 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("netclust_engine_lookup_ns_count 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("netclust_engine_lookup_ns_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+
+  const core::Clustering snapshot = engine.Snapshot();
+  engine.Stop();
+  ASSERT_EQ(snapshot.cluster_count(), 1u);
+  EXPECT_EQ(snapshot.clusters[0].key, P("12.0.0.0/9"));
+  EXPECT_EQ(snapshot.clusters[0].members.size(), 5u);
+}
+
+}  // namespace
+}  // namespace netclust::engine

@@ -53,6 +53,32 @@ TEST(Parallel, EmptyLog) {
   EXPECT_EQ(clustering.client_count(), 0u);
 }
 
+// Degenerate inputs must clamp the thread count rather than spawn idle or
+// zero-work threads, and stay bit-identical to the serial path.
+TEST(Parallel, ThreadClampOnDegenerateInputs) {
+  const auto& world = netclust::testing::GetSmallWorld();
+
+  // Empty log with an absurd thread request: no crash, empty result.
+  weblog::ServerLog empty("empty");
+  const Clustering none =
+      ClusterNetworkAwareParallel(empty, world.table, 4096);
+  EXPECT_EQ(none.client_count(), 0u);
+  EXPECT_EQ(none.cluster_count(), 0u);
+
+  // Three distinct clients, 64 threads requested: identical to serial.
+  weblog::ServerLog tiny("tiny");
+  for (int i = 0; i < 3; ++i) {
+    weblog::LogRecord record;
+    record.client = world.internet.HostAddress(
+        world.internet.allocations()[static_cast<std::size_t>(i)], 0);
+    record.timestamp = 100 + i;
+    record.url = "/x";
+    tiny.Append(record);
+  }
+  ExpectIdentical(ClusterNetworkAware(tiny, world.table),
+                  ClusterNetworkAwareParallel(tiny, world.table, 64));
+}
+
 TEST(Parallel, MoreThreadsThanClients) {
   const auto& world = netclust::testing::GetSmallWorld();
   weblog::ServerLog tiny("tiny");

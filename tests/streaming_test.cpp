@@ -159,6 +159,73 @@ TEST_F(StreamingChurn, ApplyUpdateDrivesBothDirections) {
   EXPECT_EQ(Membership(clustering).at(P("12.65.128.0/19")).size(), 2u);
 }
 
+TEST_F(StreamingChurn, WithdrawOnlyRouteFallsBackToRegistryDump) {
+  // A secondary (registry dump) super-block must catch clients whose only
+  // BGP route disappears — §3.1's 99% → 99.9% coverage rule, live.
+  const int dump = streaming_.AddSource(
+      {"ARIN", "1/1/2000", bgp::SourceKind::kNetworkDump, ""});
+  streaming_.Announce(P("12.0.0.0/6"), dump);
+  streaming_.Withdraw(P("12.0.0.0/8"));
+
+  EXPECT_EQ(streaming_.unclustered_count(), 0u);
+  const auto membership = Membership(streaming_.ToClustering());
+  ASSERT_TRUE(membership.contains(P("12.0.0.0/6")));
+  EXPECT_EQ(membership.at(P("12.0.0.0/6")).size(), 3u);
+  for (const Cluster& cluster : streaming_.ToClustering().clusters) {
+    if (cluster.key == P("12.0.0.0/6")) {
+      EXPECT_TRUE(cluster.from_network_dump);
+    }
+  }
+}
+
+TEST_F(StreamingChurn, ReAnnounceSamePrefixWithNewOriginAs) {
+  streaming_.Withdraw(P("12.0.0.0/8"));
+  ASSERT_EQ(streaming_.unclustered_count(), 3u);
+
+  // Same prefix comes back from a different origin AS: the cluster key is
+  // identical, members return, and the table records the new origin.
+  streaming_.Announce(P("12.0.0.0/8"), source_, 1239);
+  EXPECT_EQ(streaming_.unclustered_count(), 0u);
+  EXPECT_EQ(streaming_.cluster_count(), 1u);
+  EXPECT_EQ(streaming_.table().OriginAs(P("12.0.0.0/8")), 1239u);
+  const auto membership = Membership(streaming_.ToClustering());
+  EXPECT_EQ(membership.at(P("12.0.0.0/8")).size(), 3u);
+  // 3 moves out + 3 moves back.
+  EXPECT_EQ(streaming_.stats().reassignments, 6u);
+}
+
+TEST_F(StreamingChurn, InterleavedNestedAnnounceWithdraw) {
+  // Build a 3-deep nest under churn and peel it back layer by layer:
+  // every step must re-resolve exactly the clients under the changed
+  // prefix to the next-best (or no) match.
+  streaming_.Announce(P("12.65.128.0/19"), source_);  // takes .147.94/.146.207
+  streaming_.Announce(P("12.65.147.0/24"), source_);  // takes .147.94
+  auto membership = Membership(streaming_.ToClustering());
+  EXPECT_EQ(membership.at(P("12.65.147.0/24")).size(), 1u);
+  EXPECT_EQ(membership.at(P("12.65.128.0/19")).size(), 1u);
+  EXPECT_EQ(membership.at(P("12.0.0.0/8")).size(), 1u);
+
+  streaming_.Withdraw(P("12.0.0.0/8"));  // only 12.1.1.1 is exposed
+  EXPECT_EQ(streaming_.unclustered_count(), 1u);
+
+  streaming_.Withdraw(P("12.65.128.0/19"));  // .146.207 falls two levels
+  EXPECT_EQ(streaming_.unclustered_count(), 2u);
+  membership = Membership(streaming_.ToClustering());
+  ASSERT_TRUE(membership.contains(P("12.65.147.0/24")));
+  EXPECT_EQ(membership.at(P("12.65.147.0/24")).size(), 1u);
+
+  streaming_.Announce(P("12.0.0.0/8"), source_);  // re-adopts the fallen two
+  EXPECT_EQ(streaming_.unclustered_count(), 0u);
+  membership = Membership(streaming_.ToClustering());
+  EXPECT_EQ(membership.at(P("12.0.0.0/8")).size(), 2u);
+  EXPECT_EQ(membership.at(P("12.65.147.0/24")).size(), 1u);
+
+  streaming_.Withdraw(P("12.65.147.0/24"));  // last nest level collapses
+  membership = Membership(streaming_.ToClustering());
+  EXPECT_EQ(membership.at(P("12.0.0.0/8")).size(), 3u);
+  EXPECT_EQ(streaming_.cluster_count(), 1u);
+}
+
 TEST(Streaming, ConvergesToBatchUnderChurn) {
   // Stream traffic interleaved with a day's worth of routing updates; the
   // final membership must equal batch clustering against the final table.
