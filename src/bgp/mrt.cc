@@ -1,6 +1,8 @@
 #include "bgp/mrt.h"
 
+#include <algorithm>
 #include <cstring>
+#include <string_view>
 
 namespace netclust::bgp {
 namespace {
@@ -119,10 +121,27 @@ void WriteMrtHeader(Writer& w, std::uint32_t timestamp, std::uint16_t type,
   w.U32(length);
 }
 
+// AS_SEQUENCE segments carry at most 255 ASNs (the count is one byte).
+constexpr std::size_t kMaxSegmentAsns = 255;
+// The attribute block's length field is 16-bit; ORIGIN (4) + the AS_PATH
+// attribute header (4) + NEXT_HOP (7) leave this many bytes for segments.
+constexpr std::size_t kAsPathSegmentBudget = 0xFFFF - 15;
+
+// Longest AS path whose segments fit in `kAsPathSegmentBudget` bytes at
+// `asn_size` bytes per ASN (each segment adds a 2-byte header).
+std::size_t MaxEncodableAsPath(std::size_t asn_size) {
+  const std::size_t full_segment = 2 + kMaxSegmentAsns * asn_size;
+  std::size_t max = (kAsPathSegmentBudget / full_segment) * kMaxSegmentAsns;
+  const std::size_t leftover = kAsPathSegmentBudget % full_segment;
+  if (leftover > 2) max += (leftover - 2) / asn_size;
+  return max;
+}
+
 // `wide_asn`: TABLE_DUMP_V2 carries 4-byte AS numbers (RFC 6396 §4.3.4);
 // legacy TABLE_DUMP carries the classic 2-byte encoding.
 std::vector<std::uint8_t> EncodePathAttributes(const RouteEntry& entry,
-                                               bool wide_asn) {
+                                               bool wide_asn,
+                                               MrtWriteStats* stats) {
   Writer attrs;
 
   // ORIGIN: IGP.
@@ -131,13 +150,23 @@ std::vector<std::uint8_t> EncodePathAttributes(const RouteEntry& entry,
   attrs.U8(1);
   attrs.U8(0);
 
-  // AS_PATH: one AS_SEQUENCE segment.
+  // AS_PATH: AS_SEQUENCE segments of at most 255 ASNs each (RFC 4271
+  // §4.3). Paths too long for the attribute's 16-bit length are clamped —
+  // a truncated-but-decodable record instead of a corrupt one.
   {
+    const std::size_t asn_size = wide_asn ? 4 : 2;
+    std::size_t count = entry.as_path.size();
+    if (count > MaxEncodableAsPath(asn_size)) {
+      count = MaxEncodableAsPath(asn_size);
+      if (stats != nullptr) ++stats->clamped_as_paths;
+    }
     Writer seg;
-    if (!entry.as_path.empty()) {
+    for (std::size_t start = 0; start < count; start += kMaxSegmentAsns) {
+      const std::size_t n = std::min(kMaxSegmentAsns, count - start);
       seg.U8(kAsPathSegmentSequence);
-      seg.U8(static_cast<std::uint8_t>(entry.as_path.size()));
-      for (const AsNumber asn : entry.as_path) {
+      seg.U8(static_cast<std::uint8_t>(n));
+      for (std::size_t i = start; i < start + n; ++i) {
+        const AsNumber asn = entry.as_path[i];
         if (wide_asn) {
           seg.U32(asn);
         } else {
@@ -163,14 +192,21 @@ std::vector<std::uint8_t> EncodePathAttributes(const RouteEntry& entry,
 }  // namespace
 
 std::vector<std::uint8_t> WriteMrt(const Snapshot& snapshot,
-                                   std::uint32_t timestamp) {
+                                   std::uint32_t timestamp,
+                                   MrtWriteStats* stats) {
   Writer out;
 
   // PEER_INDEX_TABLE with a single synthetic peer (index 0).
   {
     Writer body;
     body.U32(0x0A000001);  // collector BGP ID
-    const std::string& view = snapshot.info.name;
+    // The view-name length field is 16-bit; clamp the name rather than
+    // writing more bytes than the length admits to.
+    std::string_view view = snapshot.info.name;
+    if (view.size() > 0xFFFF) {
+      view = view.substr(0, 0xFFFF);
+      if (stats != nullptr) ++stats->clamped_view_names;
+    }
     body.U16(static_cast<std::uint16_t>(view.size()));
     body.Bytes(reinterpret_cast<const std::uint8_t*>(view.data()),
                view.size());
@@ -198,7 +234,7 @@ std::vector<std::uint8_t> WriteMrt(const Snapshot& snapshot,
     body.U16(0);  // peer index
     body.U32(timestamp);
     const std::vector<std::uint8_t> attrs =
-        EncodePathAttributes(entry, /*wide_asn=*/true);
+        EncodePathAttributes(entry, /*wide_asn=*/true, stats);
     body.U16(static_cast<std::uint16_t>(attrs.size()));
     body.Append(attrs);
 
@@ -210,7 +246,8 @@ std::vector<std::uint8_t> WriteMrt(const Snapshot& snapshot,
 }
 
 std::vector<std::uint8_t> WriteMrtV1(const Snapshot& snapshot,
-                                     std::uint32_t timestamp) {
+                                     std::uint32_t timestamp,
+                                     MrtWriteStats* stats) {
   Writer out;
   std::uint16_t sequence = 0;
   for (const RouteEntry& entry : snapshot.entries) {
@@ -224,7 +261,7 @@ std::vector<std::uint8_t> WriteMrtV1(const Snapshot& snapshot,
     body.U32(0x0A000002);  // peer IP
     body.U16(65000);       // peer AS (2-byte in v1)
     const std::vector<std::uint8_t> attrs =
-        EncodePathAttributes(entry, /*wide_asn=*/false);
+        EncodePathAttributes(entry, /*wide_asn=*/false, stats);
     body.U16(static_cast<std::uint16_t>(attrs.size()));
     body.Append(attrs);
 

@@ -35,17 +35,36 @@ struct MrtStats {
   std::size_t peers = 0;
 };
 
+/// MRT encode accounting. The wire format caps the view-name length and the
+/// path-attribute block length at 16 bits; rather than silently truncating
+/// a length field while writing the full payload (which yields undecodable
+/// records), the writers clamp the payload itself and count it here.
+struct MrtWriteStats {
+  /// View names longer than 65535 bytes, written truncated to 65535.
+  std::size_t clamped_view_names = 0;
+  /// Entries whose AS_PATH was cut short so the encoded attribute block
+  /// still fits its 16-bit length field (~16000 ASNs in v2; real BGP paths
+  /// are under a hundred).
+  std::size_t clamped_as_paths = 0;
+};
+
 /// Encodes `snapshot` as an MRT TABLE_DUMP_V2 byte stream: one
 /// PEER_INDEX_TABLE record followed by one RIB_IPV4_UNICAST record per
-/// entry. `timestamp` is the UNIX time stamped on every record.
+/// entry. `timestamp` is the UNIX time stamped on every record. AS paths
+/// longer than 255 hops are split across multiple AS_SEQUENCE segments, as
+/// RFC 4271 prescribes. Oversized inputs are clamped, never mis-encoded;
+/// pass `stats` to detect clamping.
 std::vector<std::uint8_t> WriteMrt(const Snapshot& snapshot,
-                                   std::uint32_t timestamp);
+                                   std::uint32_t timestamp,
+                                   MrtWriteStats* stats = nullptr);
 
 /// Encodes `snapshot` as legacy TABLE_DUMP (v1): one AFI_IPv4 record per
 /// entry. AS numbers above 65535 are clamped to AS_TRANS (23456), as the
-/// 2-byte format requires.
+/// 2-byte format requires. Same segment-splitting and clamp accounting as
+/// WriteMrt.
 std::vector<std::uint8_t> WriteMrtV1(const Snapshot& snapshot,
-                                     std::uint32_t timestamp);
+                                     std::uint32_t timestamp,
+                                     MrtWriteStats* stats = nullptr);
 
 /// Decodes an MRT TABLE_DUMP_V2 byte stream produced by WriteMrt or a route
 /// collector. Fails on structural corruption (truncated records, RIB entry

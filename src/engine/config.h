@@ -20,7 +20,8 @@ enum class BackpressurePolicy {
 struct EngineConfig {
   /// Worker shard count; <= 0 selects the hardware concurrency.
   int shards = 0;
-  /// Per-shard ring capacity (rounded up to a power of two).
+  /// Per-shard ring capacity (rounded up to a power of two); 0 selects
+  /// this default rather than degenerating to a minimum-size ring.
   std::size_t ring_capacity = 4096;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   /// Log name stamped on Snapshot() results.

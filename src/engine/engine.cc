@@ -10,6 +10,11 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
     shards = static_cast<int>(std::thread::hardware_concurrency());
     if (shards <= 0) shards = 1;
   }
+  // ring_capacity = 0 would otherwise round up to a nearly useless
+  // min-size ring; treat it like shards <= 0 and fall back to the default.
+  if (config_.ring_capacity == 0) {
+    config_.ring_capacity = EngineConfig{}.ring_capacity;
+  }
   const bgp::TableHandle initial = slot_.Acquire();
   shards_.reserve(static_cast<std::size_t>(shards));
   for (int s = 0; s < shards; ++s) {
@@ -98,8 +103,14 @@ void Engine::PublishDelta(std::vector<net::Prefix> withdrawn,
 }
 
 int Engine::ShardOf(net::IpAddress client) const {
-  const std::size_t hash = std::hash<net::IpAddress>{}(client);
-  return static_cast<int>((hash >> 33) % shards_.size());
+  // Finalize the full hash width (murmur3 fmix64) before reducing: a plain
+  // shift would be UB where size_t is 32-bit and discards half the entropy
+  // everywhere else.
+  std::uint64_t h = std::hash<net::IpAddress>{}(client);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return static_cast<int>(h % shards_.size());
 }
 
 bool Engine::Observe(net::IpAddress client, std::uint32_t url_id,

@@ -4,7 +4,8 @@
 // consumer. Each side owns one index and keeps a cached copy of the
 // other's, so the steady-state push/pop touches no shared cache line at
 // all; the atomics are only consulted when the cached view says
-// full/empty. Capacity is rounded up to a power of two.
+// full/empty. Capacity is rounded up to a power of two, with a floor of 2
+// slots (a 0- or 1-slot ring would serialize producer and consumer).
 #pragma once
 
 #include <atomic>
@@ -18,7 +19,7 @@ template <typename T>
 class SpscRing {
  public:
   explicit SpscRing(std::size_t capacity) {
-    std::size_t cap = 1;
+    std::size_t cap = 2;
     while (cap < capacity) cap <<= 1;
     slots_.resize(cap);
     mask_ = cap - 1;

@@ -1,0 +1,9 @@
+// libFuzzer target: the weblog CLF/combined parser over arbitrary lines,
+// plus the format/re-parse identity property (see harness.h).
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  netclust::fuzz::FuzzClf(data, size);
+  return 0;
+}

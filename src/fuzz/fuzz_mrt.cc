@@ -1,0 +1,10 @@
+// libFuzzer target: bgp::ReadMrt over arbitrary bytes, plus the
+// re-encode/re-decode property (see harness.h). Built by NETCLUST_FUZZERS=ON;
+// links libFuzzer under Clang and standalone_main.cc elsewhere.
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  netclust::fuzz::FuzzMrt(data, size);
+  return 0;
+}

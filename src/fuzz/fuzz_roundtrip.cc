@@ -1,0 +1,10 @@
+// libFuzzer target: the differential round-trip property — any accepted
+// input re-serializes via WriteMrt/WriteMrtV1/WriteSnapshotText and
+// re-parses to an identical Snapshot (see harness.h).
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  netclust::fuzz::FuzzRoundtrip(data, size);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// libFuzzer target: bgp::ParseSnapshotText + net::ParsePrefixEntry over
+// arbitrary text, plus the re-serialization and quad-consistency properties
+// (see harness.h).
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  netclust::fuzz::FuzzTextParser(data, size);
+  return 0;
+}

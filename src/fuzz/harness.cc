@@ -1,0 +1,209 @@
+#include "fuzz/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/mrt.h"
+#include "bgp/text_parser.h"
+#include "net/ip_address.h"
+#include "net/prefix_format.h"
+#include "weblog/clf.h"
+
+// Property checks must fire in every build mode (fuzzers run optimized, the
+// corpus replay runs RelWithDebInfo), so this does not compile away like
+// assert().
+#define NETCLUST_FUZZ_ASSERT(cond, what)                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "fuzz property violated at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, what);                                \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+namespace netclust::fuzz {
+namespace {
+
+constexpr std::uint32_t kTimestamp = 946684800;  // 1/1/2000
+constexpr bgp::AsNumber kAsTrans = 23456;
+
+bgp::SnapshotInfo Info() {
+  return bgp::SnapshotInfo{"FUZZ", "1/1/2000", bgp::SourceKind::kBgpTable, ""};
+}
+
+// Any decoded snapshot must re-encode into byte streams that decode back to
+// the same entries. Clamping (accounted in MrtWriteStats) may shorten an
+// AS path, but never corrupt a record.
+void CheckMrtRoundtrip(const bgp::Snapshot& s1) {
+  {
+    bgp::MrtWriteStats wstats;
+    const auto bytes = bgp::WriteMrt(s1, kTimestamp, &wstats);
+    const auto s2 = bgp::ReadMrt(bytes, s1.info);
+    NETCLUST_FUZZ_ASSERT(s2.ok(), "re-encoded MRT v2 stream failed to decode");
+    NETCLUST_FUZZ_ASSERT(s2.value().entries.size() == s1.entries.size(),
+                         "MRT v2 round trip changed the entry count");
+    for (std::size_t i = 0; i < s1.entries.size(); ++i) {
+      const bgp::RouteEntry& a = s1.entries[i];
+      const bgp::RouteEntry& b = s2.value().entries[i];
+      NETCLUST_FUZZ_ASSERT(a.prefix == b.prefix,
+                           "MRT v2 round trip changed a prefix");
+      NETCLUST_FUZZ_ASSERT(a.next_hop == b.next_hop,
+                           "MRT v2 round trip changed a next hop");
+      if (b.as_path.size() != a.as_path.size()) {
+        // Only the documented clamp may shorten a path — and then the
+        // decoded path must be a strict prefix of the original.
+        NETCLUST_FUZZ_ASSERT(wstats.clamped_as_paths > 0,
+                             "MRT v2 AS path changed without clamping");
+        NETCLUST_FUZZ_ASSERT(b.as_path.size() < a.as_path.size(),
+                             "MRT v2 clamp grew an AS path");
+      }
+      for (std::size_t k = 0; k < b.as_path.size(); ++k) {
+        NETCLUST_FUZZ_ASSERT(b.as_path[k] == a.as_path[k],
+                             "MRT v2 round trip changed an AS path hop");
+      }
+    }
+  }
+  {
+    bgp::MrtWriteStats wstats;
+    const auto bytes = bgp::WriteMrtV1(s1, kTimestamp, &wstats);
+    const auto s2 = bgp::ReadMrt(bytes, s1.info);
+    NETCLUST_FUZZ_ASSERT(s2.ok(), "re-encoded MRT v1 stream failed to decode");
+    NETCLUST_FUZZ_ASSERT(s2.value().entries.size() == s1.entries.size(),
+                         "MRT v1 round trip changed the entry count");
+    for (std::size_t i = 0; i < s1.entries.size(); ++i) {
+      const bgp::RouteEntry& a = s1.entries[i];
+      const bgp::RouteEntry& b = s2.value().entries[i];
+      NETCLUST_FUZZ_ASSERT(a.prefix == b.prefix,
+                           "MRT v1 round trip changed a prefix");
+      NETCLUST_FUZZ_ASSERT(a.next_hop == b.next_hop,
+                           "MRT v1 round trip changed a next hop");
+      if (b.as_path.size() != a.as_path.size()) {
+        NETCLUST_FUZZ_ASSERT(wstats.clamped_as_paths > 0,
+                             "MRT v1 AS path changed without clamping");
+        NETCLUST_FUZZ_ASSERT(b.as_path.size() < a.as_path.size(),
+                             "MRT v1 clamp grew an AS path");
+      }
+      for (std::size_t k = 0; k < b.as_path.size(); ++k) {
+        const bgp::AsNumber want =
+            a.as_path[k] > 0xFFFF ? kAsTrans : a.as_path[k];
+        NETCLUST_FUZZ_ASSERT(b.as_path[k] == want,
+                             "MRT v1 2-byte ASN clamp mismatch");
+      }
+    }
+  }
+}
+
+// Any parsed snapshot must re-serialize in every §3.1.2 style into text
+// that parses with zero malformed lines and identical entries.
+void CheckTextRoundtrip(const bgp::Snapshot& s1) {
+  for (const net::PrefixStyle style :
+       {net::PrefixStyle::kCidr, net::PrefixStyle::kDottedMask,
+        net::PrefixStyle::kClassful}) {
+    const std::string text = bgp::WriteSnapshotText(s1, style);
+    bgp::ParseStats stats;
+    const bgp::Snapshot s2 = bgp::ParseSnapshotText(text, s1.info, &stats);
+    NETCLUST_FUZZ_ASSERT(stats.malformed_lines == 0,
+                         "re-serialized snapshot text has malformed lines");
+    NETCLUST_FUZZ_ASSERT(s2.entries == s1.entries,
+                         "snapshot text round trip changed the entries");
+  }
+}
+
+// ParsePrefixEntry and IpAddress::Parse consume the same dump tokens and
+// must agree on full dotted quads (the leading-zero/octal-spoof class of
+// disagreement).
+void CheckQuadConsistency(std::string_view token) {
+  int dots = 0;
+  for (const char c : token) {
+    if (c == '.') {
+      ++dots;
+    } else if (c < '0' || c > '9') {
+      return;  // not a bare quad — the parsers legitimately diverge
+    }
+  }
+  if (dots != 3) return;
+  const auto as_entry = net::ParsePrefixEntry(token);
+  const auto as_address = net::IpAddress::Parse(token);
+  NETCLUST_FUZZ_ASSERT(as_entry.ok() == as_address.ok(),
+                       "ParsePrefixEntry and IpAddress::Parse disagree on a "
+                       "dotted quad");
+  if (as_entry.ok()) {
+    NETCLUST_FUZZ_ASSERT(as_entry.value().Contains(as_address.value()),
+                         "classful network does not contain its own address");
+  }
+}
+
+}  // namespace
+
+void FuzzMrt(const std::uint8_t* data, std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  bgp::MrtStats stats;
+  const auto snapshot = bgp::ReadMrt(bytes, Info(), &stats);
+  if (!snapshot.ok()) return;
+  NETCLUST_FUZZ_ASSERT(stats.rib_records <= stats.records,
+                       "MRT stats count more RIB records than records");
+  CheckMrtRoundtrip(snapshot.value());
+}
+
+void FuzzTextParser(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  bgp::ParseStats stats;
+  const bgp::Snapshot snapshot = bgp::ParseSnapshotText(text, Info(), &stats);
+  NETCLUST_FUZZ_ASSERT(snapshot.entries.size() == stats.entry_lines,
+                       "entry_lines disagrees with the parsed entry count");
+  NETCLUST_FUZZ_ASSERT(
+      stats.entry_lines + stats.malformed_lines <= stats.total_lines,
+      "line accounting exceeds the total line count");
+  CheckTextRoundtrip(snapshot);
+  CheckQuadConsistency(text);
+}
+
+void FuzzClf(const std::uint8_t* data, std::size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  while (!text.empty()) {
+    const std::size_t eol = text.find('\n');
+    const std::string_view line =
+        text.substr(0, eol == std::string_view::npos ? text.size() : eol);
+    text.remove_prefix(eol == std::string_view::npos ? text.size() : eol + 1);
+
+    const auto ts = weblog::ParseClfTimestamp(line);
+    if (ts.ok()) {
+      const auto again =
+          weblog::ParseClfTimestamp(weblog::FormatClfTimestamp(ts.value()));
+      NETCLUST_FUZZ_ASSERT(again.ok(),
+                           "formatted CLF timestamp failed to re-parse");
+      NETCLUST_FUZZ_ASSERT(again.value() == ts.value(),
+                           "CLF timestamp round trip changed the instant");
+    }
+
+    const auto record = weblog::ParseClfLine(line);
+    if (!record.ok()) continue;
+    const std::string formatted = weblog::FormatClfLine(record.value());
+    const auto reparsed = weblog::ParseClfLine(formatted);
+    if (!reparsed.ok() || !(reparsed.value() == record.value())) {
+      std::fprintf(stderr, "offending CLF line: [[%.*s]]\nformatted: [[%s]]\n",
+                   static_cast<int>(line.size()), line.data(),
+                   formatted.c_str());
+    }
+    NETCLUST_FUZZ_ASSERT(reparsed.ok(), "formatted CLF line failed to re-parse");
+    NETCLUST_FUZZ_ASSERT(reparsed.value() == record.value(),
+                         "CLF line round trip changed the record");
+  }
+}
+
+void FuzzRoundtrip(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return;
+  // Byte 0 routes the payload: even = binary MRT pipeline, odd = §3.1.2
+  // text pipeline. Both end in the same differential re-serialization
+  // checks.
+  if (data[0] % 2 == 0) {
+    FuzzMrt(data + 1, size - 1);
+  } else {
+    FuzzTextParser(data + 1, size - 1);
+  }
+}
+
+}  // namespace netclust::fuzz

@@ -1,0 +1,38 @@
+// Fuzz-harness entry points for the untrusted-input decoders.
+//
+// Each function consumes arbitrary bytes, exercises one decode path, and
+// aborts (via NETCLUST_FUZZ_ASSERT) when a correctness property is
+// violated — under a fuzzer that registers as a crash, under the
+// corpus_regression_test it fails the test. The properties are:
+//
+//   FuzzMrt         ReadMrt never crashes; any accepted stream re-encodes
+//                   via WriteMrt/WriteMrtV1 into streams that decode back
+//                   to the same entries (modulo documented clamping).
+//   FuzzTextParser  ParseSnapshotText never crashes, its stats are
+//                   internally consistent, and ParsePrefixEntry agrees
+//                   with IpAddress::Parse on full dotted quads.
+//   FuzzClf         ParseClfLine never crashes; any accepted line formats
+//                   via FormatClfLine back into a line that re-parses to
+//                   an identical record.
+//   FuzzRoundtrip   The §3.1.2 differential: byte 0 routes the payload to
+//                   the MRT or the text pipeline, re-serializes every
+//                   accepted snapshot in all styles/generations, and
+//                   demands an identical re-parse.
+//
+// This library is always built (it has no fuzzer or sanitizer
+// dependencies) so the corpus replay runs in the tier-1 ctest suite on any
+// compiler; the libFuzzer executables wrapping these functions are gated
+// behind -DNETCLUST_FUZZERS=ON.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace netclust::fuzz {
+
+void FuzzMrt(const std::uint8_t* data, std::size_t size);
+void FuzzTextParser(const std::uint8_t* data, std::size_t size);
+void FuzzClf(const std::uint8_t* data, std::size_t size);
+void FuzzRoundtrip(const std::uint8_t* data, std::size_t size);
+
+}  // namespace netclust::fuzz

@@ -1,0 +1,266 @@
+// Regenerates the checked-in fuzz seed corpus (tests/corpus/).
+//
+//   make_corpus <output-dir>
+//
+// Seeds come from the synth writers — the same generators the benches use —
+// so every harness starts from structurally valid MRT, §3.1.2 text and CLF
+// inputs, plus crafted "crasher" inputs, one per decode/ingest bug fixed in
+// the repo, named crash-*. The corpus is committed; rerun this only to
+// extend it, and review the diff.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/mrt.h"
+#include "bgp/text_parser.h"
+#include "synth/internet.h"
+#include "synth/vantage.h"
+#include "synth/workload.h"
+#include "weblog/log.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using netclust::bgp::Snapshot;
+
+void WriteBytes(const fs::path& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) {
+    std::cerr << "failed to write " << path << "\n";
+    std::exit(1);
+  }
+}
+
+void WriteText(const fs::path& path, const std::string& text) {
+  WriteBytes(path, std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+// Payload prefixed with the fuzz_roundtrip mode byte (0 = MRT, 1 = text).
+std::vector<std::uint8_t> WithMode(std::uint8_t mode,
+                                   std::vector<std::uint8_t> payload) {
+  payload.insert(payload.begin(), mode);
+  return payload;
+}
+
+// Minimal big-endian byte writer for crafting raw MRT crashers.
+struct ByteWriter {
+  std::vector<std::uint8_t> bytes;
+  void U8(std::uint8_t v) { bytes.push_back(v); }
+  void U16(std::uint16_t v) {
+    U8(static_cast<std::uint8_t>(v >> 8));
+    U8(static_cast<std::uint8_t>(v));
+  }
+  void U32(std::uint32_t v) {
+    U16(static_cast<std::uint16_t>(v >> 16));
+    U16(static_cast<std::uint16_t>(v));
+  }
+  void Append(const ByteWriter& other) {
+    bytes.insert(bytes.end(), other.bytes.begin(), other.bytes.end());
+  }
+  void Header(std::uint16_t type, std::uint16_t subtype, std::uint32_t len) {
+    U32(0);  // timestamp
+    U16(type);
+    U16(subtype);
+    U32(len);
+  }
+};
+
+// A TABLE_DUMP_V2 stream whose single RIB entry carries a 305-hop AS path
+// split over two AS_SEQUENCE segments. Decodes fine; the pre-fix WriteMrt
+// truncated the segment count byte on re-encode, so the round-trip
+// property catches any regression of that bug.
+std::vector<std::uint8_t> AsPathOverflowMrt() {
+  ByteWriter peer;
+  peer.U32(0x0A000001);  // collector BGP ID
+  peer.U16(4);
+  for (const char c : {'F', 'U', 'Z', 'Z'}) {
+    peer.U8(static_cast<std::uint8_t>(c));
+  }
+  peer.U16(1);           // peer count
+  peer.U8(0x02);         // IPv4 peer, 4-byte AS
+  peer.U32(0x0A000002);  // peer BGP ID
+  peer.U32(0x0A000002);  // peer address
+  peer.U32(65000);       // peer AS
+
+  ByteWriter attrs;
+  attrs.U8(0x40);  // ORIGIN: transitive
+  attrs.U8(1);
+  attrs.U8(1);
+  attrs.U8(0);
+  ByteWriter seg;
+  seg.U8(2);  // AS_SEQUENCE
+  seg.U8(255);
+  for (std::uint32_t i = 0; i < 255; ++i) seg.U32(i + 1);
+  seg.U8(2);
+  seg.U8(50);
+  for (std::uint32_t i = 0; i < 50; ++i) seg.U32(70000 + i);
+  attrs.U8(0x50);  // AS_PATH: transitive + extended length
+  attrs.U8(2);
+  attrs.U16(static_cast<std::uint16_t>(seg.bytes.size()));
+  attrs.Append(seg);
+  attrs.U8(0x40);  // NEXT_HOP
+  attrs.U8(3);
+  attrs.U8(4);
+  attrs.U32(0x0A000002);
+
+  ByteWriter rib;
+  rib.U32(0);  // sequence
+  rib.U8(24);  // prefix 10.0.1.0/24
+  rib.U8(10);
+  rib.U8(0);
+  rib.U8(1);
+  rib.U16(1);  // entry count
+  rib.U16(0);  // peer index
+  rib.U32(0);  // originated time
+  rib.U16(static_cast<std::uint16_t>(attrs.bytes.size()));
+  rib.Append(attrs);
+
+  ByteWriter out;
+  out.Header(13, 1, static_cast<std::uint32_t>(peer.bytes.size()));
+  out.Append(peer);
+  out.Header(13, 2, static_cast<std::uint32_t>(rib.bytes.size()));
+  out.Append(rib);
+  return out.bytes;
+}
+
+std::string FirstLines(const std::string& text, std::size_t count) {
+  std::size_t pos = 0;
+  while (count > 0 && pos < text.size()) {
+    pos = text.find('\n', pos);
+    if (pos == std::string::npos) return text;
+    ++pos;
+    --count;
+  }
+  return text.substr(0, pos);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: make_corpus <output-dir>\n";
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  for (const char* dir : {"mrt", "text", "clf", "roundtrip"}) {
+    fs::create_directories(root / dir);
+  }
+
+  using namespace netclust;
+
+  // --- Structurally valid seeds from the synth generators. ---
+  synth::InternetConfig internet_config;
+  internet_config.seed = 7;
+  internet_config.allocation_count = 220;
+  const synth::Internet internet = synth::GenerateInternet(internet_config);
+  const synth::VantageGenerator vantages(internet,
+                                         synth::DefaultVantageProfiles());
+
+  Snapshot small = vantages.MakeSnapshot(0, 0);
+  if (small.entries.size() > 64) small.entries.resize(64);
+  Snapshot tiny = vantages.MakeSnapshot(3, 1);
+  if (tiny.entries.size() > 24) tiny.entries.resize(24);
+  const Snapshot empty{small.info, {}};
+
+  WriteBytes(root / "mrt" / "seed-tabledump-v2", bgp::WriteMrt(small, 1));
+  WriteBytes(root / "mrt" / "seed-tabledump-v1", bgp::WriteMrtV1(tiny, 2));
+  WriteBytes(root / "mrt" / "seed-empty", bgp::WriteMrt(empty, 3));
+  {
+    // Both generations in one stream, as ReadMrt supports.
+    std::vector<std::uint8_t> mixed = bgp::WriteMrt(tiny, 4);
+    const std::vector<std::uint8_t> v1 = bgp::WriteMrtV1(tiny, 4);
+    mixed.insert(mixed.end(), v1.begin(), v1.end());
+    WriteBytes(root / "mrt" / "seed-mixed-generations", mixed);
+  }
+
+  WriteText(root / "text" / "seed-cidr",
+            bgp::WriteSnapshotText(small, net::PrefixStyle::kCidr));
+  WriteText(root / "text" / "seed-dotted-mask",
+            bgp::WriteSnapshotText(small, net::PrefixStyle::kDottedMask));
+  WriteText(root / "text" / "seed-classful",
+            bgp::WriteSnapshotText(tiny, net::PrefixStyle::kClassful));
+
+  synth::WorkloadConfig workload_config;
+  workload_config.seed = 11;
+  workload_config.target_clients = 40;
+  workload_config.target_requests = 160;
+  workload_config.url_count = 48;
+  workload_config.spider_count = 1;
+  workload_config.proxy_count = 1;
+  const synth::GeneratedLog generated =
+      synth::GenerateLog(internet, workload_config);
+  std::ostringstream clf;
+  generated.log.WriteClfStream(clf);
+  WriteText(root / "clf" / "seed-synth-log", FirstLines(clf.str(), 40));
+
+  WriteBytes(root / "roundtrip" / "seed-mrt-v2",
+             WithMode(0, bgp::WriteMrt(tiny, 5)));
+  WriteBytes(root / "roundtrip" / "seed-mrt-v1",
+             WithMode(0, bgp::WriteMrtV1(tiny, 6)));
+  {
+    const std::string text =
+        bgp::WriteSnapshotText(tiny, net::PrefixStyle::kDottedMask);
+    WriteBytes(root / "roundtrip" / "seed-text-dotted",
+               WithMode(1, std::vector<std::uint8_t>(text.begin(), text.end())));
+  }
+
+  // --- Hand-written seeds exercising grammar corners. ---
+  WriteText(root / "text" / "seed-grammar-corners",
+            "# comment line\n"
+            "\n"
+            "12.65.128/255.255.224 198.32.8.1 7018 1742 | AT&T | peer-east\n"
+            "18 3 | MIT\n"
+            "128.32/16\n"
+            "192.0.2.0/24 64512\n"
+            "0/0\n"
+            "10.0.0.0/255.0.255.0 this line is malformed\n"
+            "not-a-prefix either\n"
+            "151.198.194.16/28 4969 | ISP resale block\n");
+  WriteText(root / "clf" / "seed-grammar-corners",
+            "12.65.143.222 - - [13/Feb/1998:02:03:04 +0900] "
+            "\"GET /index.html HTTP/1.0\" 200 4521\n"
+            "198.32.8.1 - alice [01/Jan/1999:23:59:60 -0130] "
+            "\"POST /cgi/form HTTP/1.1\" 302 -\n"
+            "10.1.2.3 - - [28/Feb/2000:12:00:00 +0000] \"HEAD /x\" 404 0 "
+            "\"http://ref/\" \"Mozilla/4.0 (compatible)\"\n"
+            "0.0.0.0 - - [13/Feb/1998:00:00:01 +0000] \"GET / HTTP/1.0\" 200 1\n"
+            "broken line without enough fields\n");
+
+  // --- Named crashers: one per decode/ingest bug fixed in this repo. ---
+  // ParseAbbreviatedQuad accepted leading-zero octets that
+  // IpAddress::Parse rejects (octal-spoof disagreement). No trailing
+  // newline: the quad-consistency check wants a bare token.
+  WriteText(root / "text" / "crash-leading-zero-octet", "012.65.3.4");
+  WriteText(root / "text" / "seed-leading-zero-prefix", "012.65/16\n");
+  // WriteMrt truncated the AS_PATH segment count byte for paths > 255 hops.
+  WriteBytes(root / "mrt" / "crash-mrt-aspath-overflow", AsPathOverflowMrt());
+  WriteBytes(root / "roundtrip" / "crash-roundtrip-aspath-overflow",
+             WithMode(0, AsPathOverflowMrt()));
+  // ParseClfTimestamp accepted a zone-shifted instant in year 10000, which
+  // FormatClfTimestamp renders 5-digit and the parser then rejects.
+  WriteText(root / "clf" / "crash-clf-year-10000",
+            "1.2.3.4 - - [31/Dec/9999:23:59:59 -0200] "
+            "\"GET /x HTTP/1.0\" 200 17\n");
+  // NextField let junk glue onto a closing quote, shifting later field
+  // boundaries so the agent value swallowed a '"' that FormatClfLine then
+  // emitted as an unparseable line. Found by the smoke fuzzer.
+  WriteText(root / "clf" / "crash-clf-glued-quote",
+            "176.49.142.30 - - [13/Feb/1998:02:19:43 +0000] "
+            "\"GET /p14.html HTTP/1.0\" 200 3152 "
+            "\"-\"!\"Mozilla/4.0 (compatible; MSIE 5.0; Windows 98)\"\n");
+  // ParseClfTimestamp accepted negative hh/mm/ss fields ("-1" parses); the
+  // acceptance bug itself is pinned by a unit test, this seed keeps the
+  // shape in the mutation pool.
+  WriteText(root / "clf" / "seed-negative-time",
+            "1.2.3.4 - - [01/Jan/1999:-1:-1:-1 +0000] "
+            "\"GET / HTTP/1.0\" 200 0\n");
+
+  std::cout << "corpus written under " << root << "\n";
+  return 0;
+}

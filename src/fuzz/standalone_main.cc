@@ -1,0 +1,108 @@
+// Standalone driver for the fuzz targets on toolchains without libFuzzer
+// (GCC has no -fsanitize=fuzzer). Linked instead of libFuzzer when the
+// compiler is not Clang, so `fuzz_mrt corpus/file...` works everywhere.
+//
+//   fuzz_<target> FILE...                 replay each file once and exit
+//   fuzz_<target> --smoke N SEED FILE...  additionally run N deterministic
+//                                         mutations of the corpus (a cheap
+//                                         coverage-blind smoke fuzz)
+//
+// Exit status is 0 unless a harness property aborts the process, matching
+// libFuzzer's crash-on-failure contract.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> ReadFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(2);
+  }
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+// xorshift64*: small, deterministic, good enough to perturb corpus bytes.
+std::uint64_t NextRandom(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+// One random edit: flip, overwrite, truncate or duplicate a slice.
+void Mutate(std::vector<std::uint8_t>& bytes, std::uint64_t& rng) {
+  if (bytes.empty()) {
+    bytes.push_back(static_cast<std::uint8_t>(NextRandom(rng)));
+    return;
+  }
+  const std::size_t at = NextRandom(rng) % bytes.size();
+  switch (NextRandom(rng) % 4) {
+    case 0:
+      bytes[at] ^= static_cast<std::uint8_t>(1u << (NextRandom(rng) % 8));
+      break;
+    case 1:
+      bytes[at] = static_cast<std::uint8_t>(NextRandom(rng));
+      break;
+    case 2:
+      bytes.resize(at + 1);
+      break;
+    default: {
+      const std::size_t n = 1 + NextRandom(rng) % 16;
+      const std::size_t len = std::min(n, bytes.size() - at);
+      bytes.insert(bytes.end(), bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(at + len));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long smoke_iterations = 0;
+  std::uint64_t seed = 1;
+  int first_file = 1;
+  if (argc >= 4 && std::strcmp(argv[1], "--smoke") == 0) {
+    smoke_iterations = std::strtol(argv[2], nullptr, 10);
+    seed = std::strtoull(argv[3], nullptr, 10);
+    first_file = 4;
+  }
+  if (first_file >= argc) {
+    std::fprintf(stderr, "usage: %s [--smoke N SEED] FILE...\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (int i = first_file; i < argc; ++i) {
+    corpus.push_back(ReadFile(argv[i]));
+    const auto& bytes = corpus.back();
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  std::printf("replayed %zu corpus file(s)\n", corpus.size());
+
+  std::uint64_t rng = seed ? seed : 1;
+  for (long i = 0; i < smoke_iterations; ++i) {
+    std::vector<std::uint8_t> bytes = corpus[NextRandom(rng) % corpus.size()];
+    const std::size_t edits = 1 + NextRandom(rng) % 8;
+    for (std::size_t e = 0; e < edits; ++e) Mutate(bytes, rng);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  if (smoke_iterations > 0) {
+    std::printf("ran %ld smoke mutation(s), seed %llu\n", smoke_iterations,
+                static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

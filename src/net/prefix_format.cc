@@ -22,6 +22,11 @@ Result<IpAddress> ParseAbbreviatedQuad(std::string_view text,
     if (len == 0 || len > 3) {
       return Fail("bad octet in '" + std::string(text) + "'");
     }
+    // Leading-zero forms ("012") are octal-spoof bait; IpAddress::Parse
+    // rejects them, and both parsers must agree on the same dump token.
+    if (len > 1 && text[start] == '0') {
+      return Fail("leading zero octet in '" + std::string(text) + "'");
+    }
     int value = 0;
     std::from_chars(text.data() + start, text.data() + pos, value);
     if (value > 255) return Fail("octet out of range in '" + std::string(text) + "'");

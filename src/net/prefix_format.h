@@ -30,8 +30,10 @@ enum class PrefixStyle {
 };
 
 /// Parse a prefix entry in any of the three formats, auto-detected.
-/// Returns an error for empty input, malformed octets, out-of-range lengths,
-/// or non-contiguous netmasks (e.g. 255.0.255.0).
+/// Returns an error for empty input, malformed octets (including
+/// leading-zero octal-spoof forms like "012", which IpAddress::Parse also
+/// rejects), out-of-range lengths, or non-contiguous netmasks
+/// (e.g. 255.0.255.0).
 Result<Prefix> ParsePrefixEntry(std::string_view text);
 
 /// Render `prefix` in the given style. kClassful falls back to kCidr when

@@ -42,6 +42,13 @@ bool ParseInt(std::string_view text, int* out) {
   return ec == std::errc{} && ptr == text.data() + text.size();
 }
 
+// The dd/Mon/yyyy rendering holds years 1..9999 only; timestamps outside
+// [01/Jan/0001:00:00:00, 31/Dec/9999:23:59:59] UTC cannot round-trip
+// through FormatClfTimestamp, so the parser rejects them (a zone offset on
+// a year-9999 date can otherwise push the instant into year 10000).
+constexpr std::int64_t kMinClfSeconds = -62135596800;  // 01/Jan/0001:00:00:00
+constexpr std::int64_t kMaxClfSeconds = 253402300799;  // 31/Dec/9999:23:59:59
+
 }  // namespace
 
 Result<std::int64_t> ParseClfTimestamp(std::string_view text) {
@@ -67,7 +74,10 @@ Result<std::int64_t> ParseClfTimestamp(std::string_view text) {
       break;
     }
   }
-  if (month == 0 || day < 1 || day > 31 || hh > 23 || mm > 59 || ss > 60) {
+  // from_chars accepts a leading '-', so "-1" fields parse; reject them
+  // here (day < 1 already covers negative days).
+  if (month == 0 || day < 1 || day > 31 || hh < 0 || hh > 23 || mm < 0 ||
+      mm > 59 || ss < 0 || ss > 60) {
     return Fail("timestamp out of range: '" + std::string(text) + "'");
   }
 
@@ -80,13 +90,18 @@ Result<std::int64_t> ParseClfTimestamp(std::string_view text) {
   if (rest.size() == 5 && (rest[0] == '+' || rest[0] == '-')) {
     int zh = 0;
     int zm = 0;
-    if (!ParseInt(rest.substr(1, 2), &zh) || !ParseInt(rest.substr(3, 2), &zm)) {
+    if (!ParseInt(rest.substr(1, 2), &zh) || !ParseInt(rest.substr(3, 2), &zm) ||
+        zh < 0 || zm < 0) {
       return Fail("malformed zone: '" + std::string(text) + "'");
     }
     const std::int64_t offset = zh * 3600 + zm * 60;
     seconds += rest[0] == '+' ? -offset : offset;
   } else if (!rest.empty()) {
     return Fail("trailing junk in timestamp: '" + std::string(text) + "'");
+  }
+  if (seconds < kMinClfSeconds || seconds > kMaxClfSeconds) {
+    return Fail("timestamp outside renderable range: '" + std::string(text) +
+                "'");
   }
   return seconds;
 }
@@ -126,12 +141,17 @@ bool NextField(std::string_view line, std::size_t& pos,
     const std::size_t start = pos + 1;
     const std::size_t end = line.find(closer, start);
     if (end == std::string_view::npos) return false;
+    // The closing delimiter must end the field: '"-"!"Mozilla..."' would
+    // otherwise shift every later field boundary and let a quote character
+    // into a field value, which FormatClfLine cannot re-serialize.
+    if (end + 1 < line.size() && line[end + 1] != ' ') return false;
     *field = line.substr(start, end - start);
     pos = end + 1;
     return true;
   }
   const std::size_t start = pos;
-  while (pos < line.size() && line[pos] != ' ') ++pos;
+  while (pos < line.size() && line[pos] != ' ' && line[pos] != '"') ++pos;
+  if (pos < line.size() && line[pos] == '"') return false;  // embedded quote
   *field = line.substr(start, pos - start);
   return true;
 }

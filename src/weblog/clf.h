@@ -27,6 +27,9 @@ std::string FormatClfLine(const LogRecord& record);
 /// [dd/Mon/yyyy:hh:mm:ss +0000] <-> seconds since the UNIX epoch (UTC).
 /// These are deliberately timezone-naive beyond the explicit offset: log
 /// analysis only needs a consistent timeline, not local-time rendering.
+/// Parsing rejects instants outside years 1..9999 UTC — anything else has
+/// no dd/Mon/yyyy rendering and could not round-trip through
+/// FormatClfTimestamp.
 Result<std::int64_t> ParseClfTimestamp(std::string_view text);
 std::string FormatClfTimestamp(std::int64_t seconds_since_epoch);
 

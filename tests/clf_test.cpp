@@ -44,6 +44,33 @@ TEST(ClfTimestamp, RejectsMalformed) {
   }
 }
 
+TEST(ClfTimestamp, RejectsNegativeComponents) {
+  // std::from_chars happily parses "-1"; the parser must not let signed
+  // fields slip through the fixed-position layout.
+  for (const char* text :
+       {"01/Jan/1999:-1:-1:-1 +0000", "01/Jan/1999:12:-5:00 +0000",
+        "01/Jan/1999:12:00:-9 +0000", "-1/Jan/1999:12:00:00 +0000",
+        "01/Jan/1999:12:00:00 +-100", "01/Jan/1999:12:00:00 -0-30"}) {
+    EXPECT_FALSE(ParseClfTimestamp(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(ClfTimestamp, RejectsInstantsOutsideRenderableYears) {
+  // A zone offset can push an in-range wall-clock date into year 10000 (or
+  // year 0), which FormatClfTimestamp cannot render re-parseably.
+  EXPECT_FALSE(ParseClfTimestamp("31/Dec/9999:23:59:59 -0200").ok());
+  EXPECT_FALSE(ParseClfTimestamp("01/Jan/0001:00:00:00 +0100").ok());
+  // The extremes themselves stay accepted and round-trip.
+  const auto max = ParseClfTimestamp("31/Dec/9999:23:59:59 +0000");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(ParseClfTimestamp(FormatClfTimestamp(max.value())).value(),
+            max.value());
+  const auto min = ParseClfTimestamp("01/Jan/0001:00:00:00 +0000");
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(ParseClfTimestamp(FormatClfTimestamp(min.value())).value(),
+            min.value());
+}
+
 TEST(ClfTimestamp, FormatRoundTrips) {
   for (const std::int64_t t :
        {std::int64_t{0}, std::int64_t{887328000}, std::int64_t{951782400},
@@ -74,6 +101,29 @@ TEST(ClfLine, ParsesCombinedFormatWithAgent) {
   ASSERT_TRUE(record.ok()) << record.error();
   EXPECT_EQ(record.value().method, Method::kPost);
   EXPECT_EQ(record.value().user_agent, "Mozilla/4.5 [en] (WinNT; I)");
+}
+
+TEST(ClfLine, RejectsJunkGluedToQuotedFields) {
+  // A character glued to a closing quote used to shift every later field
+  // boundary; here the agent field would swallow a '"', which
+  // FormatClfLine then emits as an unparseable line.
+  const auto glued = ParseClfLine(
+      "176.49.142.30 - - [13/Feb/1998:02:19:43 +0000] "
+      "\"GET /p14.html HTTP/1.0\" 200 3152 "
+      "\"-\"!\"Mozilla/4.0 (compatible; MSIE 5.0; Windows 98)\"");
+  // The mandatory fields are intact, so the line still parses — but the
+  // malformed combined tail must be dropped, not mis-tokenized.
+  ASSERT_TRUE(glued.ok()) << glued.error();
+  EXPECT_TRUE(glued.value().user_agent.empty());
+
+  // Glued junk inside the mandatory fields rejects the whole line.
+  EXPECT_FALSE(ParseClfLine("1.2.3.4 - - [13/Feb/1998:00:00:00 +0000] "
+                            "\"GET /a HTTP/1.0\"200 10")
+                   .ok());
+  // A bare token must not carry an embedded quote into a field value.
+  EXPECT_FALSE(ParseClfLine("1.2.3.4 - - [13/Feb/1998:00:00:00 +0000] "
+                            "\"GET /a HTTP/1.0\" 2\"00 10")
+                   .ok());
 }
 
 TEST(ClfLine, DashByteCountMeansZero) {

@@ -1,0 +1,65 @@
+// Replays every checked-in fuzz corpus file (tests/corpus/) through every
+// fuzz harness entry point. The harnesses abort on any violated decode or
+// round-trip property, so this test keeps the whole bug crop fixed in the
+// default ctest run even on toolchains without libFuzzer.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/harness.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> CorpusFiles() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(
+           fs::path(NETCLUST_CORPUS_DIR))) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::uint8_t> ReadAll(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+using Harness = void (*)(const std::uint8_t*, std::size_t);
+
+// Every file goes through every harness: the harnesses must be robust to
+// foreign-format bytes (an MRT stream fed to the CLF parser is just a
+// malformed log), and cross-replay has caught real over-strict asserts.
+void ReplayAll(Harness harness) {
+  const std::vector<fs::path> files = CorpusFiles();
+  ASSERT_GT(files.size(), 10u) << "corpus missing; regenerate with make_corpus";
+  for (const auto& file : files) {
+    SCOPED_TRACE(file.string());
+    const std::vector<std::uint8_t> bytes = ReadAll(file);
+    harness(bytes.data(), bytes.size());
+  }
+}
+
+TEST(CorpusRegressionTest, Mrt) { ReplayAll(netclust::fuzz::FuzzMrt); }
+
+TEST(CorpusRegressionTest, TextParser) {
+  ReplayAll(netclust::fuzz::FuzzTextParser);
+}
+
+TEST(CorpusRegressionTest, Clf) { ReplayAll(netclust::fuzz::FuzzClf); }
+
+TEST(CorpusRegressionTest, Roundtrip) {
+  ReplayAll(netclust::fuzz::FuzzRoundtrip);
+}
+
+}  // namespace

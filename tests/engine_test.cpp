@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,19 @@ TEST(SpscRing, FifoOrderAndCapacity) {
   EXPECT_TRUE(ring.TryPush(42));
   ASSERT_TRUE(ring.TryPop(out));
   EXPECT_EQ(out, 42);
+}
+
+TEST(SpscRing, ZeroCapacityGetsUsableFloor) {
+  // Capacity 0 used to round up to a single slot, which the full/empty
+  // index arithmetic treats as permanently full.
+  SpscRing<int> ring(0);
+  EXPECT_EQ(ring.capacity(), 2u);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_FALSE(ring.TryPush(3));
+  int out = -1;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_EQ(out, 1);
 }
 
 TEST(RcuTableSlot, PublishedSnapshotsAreImmutableAndRefcounted) {
@@ -214,6 +229,62 @@ TEST(Engine, DropBackpressureAccountsRejectedRequests) {
   EXPECT_EQ(snapshot.total_requests, 16u);
   // No table was ever seeded: everything is unclustered.
   EXPECT_EQ(snapshot.unclustered.size(), snapshot.client_count());
+}
+
+TEST(Engine, ZeroRingCapacityFallsBackToDefault) {
+  // ring_capacity = 0 used to degenerate into a 1-slot ring that rejected
+  // every burst; it must select the default capacity instead, like
+  // shards <= 0 does.
+  EngineConfig config;
+  config.shards = 1;
+  config.ring_capacity = 0;
+  config.backpressure = BackpressurePolicy::kDrop;
+  Engine engine(config);
+
+  const std::size_t default_capacity = EngineConfig{}.ring_capacity;
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < default_capacity; ++i) {
+    accepted += engine.Observe(IpAddress(10, 0,
+                                         static_cast<uint8_t>(i >> 8),
+                                         static_cast<uint8_t>(i)),
+                               1, 10, static_cast<std::int64_t>(i))
+                    ? 1
+                    : 0;
+  }
+  EXPECT_EQ(accepted, default_capacity);
+  engine.Start();
+  engine.Drain();
+  EXPECT_EQ(engine.metrics().requests_processed.value(), default_capacity);
+}
+
+TEST(Engine, ShardAssignmentSpreadsHashCollidingClients) {
+  // Pre-finalizer ShardOf reduced the raw std::hash value with
+  // (hash >> 33) % shards, so clients colliding in those bits all landed on
+  // one shard. Pick clients that collide under that reduction and verify,
+  // via drop-policy ring occupancy, that they now spread across shards.
+  constexpr int kShards = 8;
+  constexpr std::size_t kRing = 2;  // SpscRing floor; kept tiny on purpose
+  EngineConfig config;
+  config.shards = kShards;
+  config.ring_capacity = kRing;
+  config.backpressure = BackpressurePolicy::kDrop;
+  Engine engine(config);
+
+  std::size_t accepted = 0;
+  std::size_t fed = 0;
+  for (std::uint32_t i = 0; i < 1 << 16 && fed < 256; ++i) {
+    const IpAddress client(10, 1, static_cast<uint8_t>(i >> 8),
+                           static_cast<uint8_t>(i));
+    const std::uint64_t hash = std::hash<IpAddress>{}(client);
+    if ((hash >> 33) % kShards != 0) continue;  // old-scheme collider
+    ++fed;
+    accepted += engine.Observe(client, 1, 10, 0) ? 1 : 0;
+  }
+  ASSERT_EQ(fed, 256u);
+  // Under the old scheme all 256 land on shard 0 and only its ring's 2
+  // slots accept. A finalized hash fills every shard's ring.
+  EXPECT_EQ(accepted, kShards * kRing);
+  engine.Start();
 }
 
 // ---------------------------------------------------------------------------

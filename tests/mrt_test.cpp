@@ -1,5 +1,7 @@
 #include "bgp/mrt.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace netclust::bgp {
@@ -160,6 +162,61 @@ TEST(MrtV1, RejectsTruncatedRecord) {
   auto bytes = WriteMrtV1(SampleSnapshot(), 1);
   bytes.resize(bytes.size() - 2);
   EXPECT_FALSE(ReadMrt(bytes, Info()).ok());
+}
+
+TEST(Mrt, LongAsPathSplitsIntoSegmentsAndRoundTrips) {
+  // AS_SEQUENCE carries a one-byte ASN count; paths past 255 hops must be
+  // split across segments, not have their count byte truncated mod 256.
+  Snapshot snapshot;
+  snapshot.info = Info();
+  RouteEntry entry;
+  entry.prefix = net::Prefix::Parse("10.0.1.0/24").value();
+  entry.next_hop = net::IpAddress(198, 32, 8, 1);
+  for (std::uint32_t i = 0; i < 300; ++i) entry.as_path.push_back(i + 1);
+  snapshot.entries.push_back(entry);
+
+  for (const bool wide : {true, false}) {
+    MrtWriteStats wstats;
+    const auto bytes = wide ? WriteMrt(snapshot, 1, &wstats)
+                            : WriteMrtV1(snapshot, 1, &wstats);
+    EXPECT_EQ(wstats.clamped_as_paths, 0u);
+    const auto decoded = ReadMrt(bytes, Info());
+    ASSERT_TRUE(decoded.ok()) << decoded.error();
+    ASSERT_EQ(decoded.value().entries.size(), 1u);
+    EXPECT_EQ(decoded.value().entries[0].as_path, entry.as_path);
+  }
+}
+
+TEST(Mrt, OverlongViewNameIsClampedNotTruncatedSilently) {
+  Snapshot snapshot;
+  snapshot.info = Info();
+  snapshot.info.name.assign(0x10000 + 50, 'v');  // beyond the 16-bit field
+  MrtWriteStats wstats;
+  const auto bytes = WriteMrt(snapshot, 1, &wstats);
+  EXPECT_EQ(wstats.clamped_view_names, 1u);
+  EXPECT_TRUE(ReadMrt(bytes, Info()).ok());
+}
+
+TEST(Mrt, AbsurdAsPathClampsWithAccounting) {
+  // Even segment splitting cannot fit ~20k hops in a 16-bit attribute
+  // block; the writer must clamp and account rather than emit garbage.
+  Snapshot snapshot;
+  snapshot.info = Info();
+  RouteEntry entry;
+  entry.prefix = net::Prefix::Parse("10.0.0.0/8").value();
+  for (std::uint32_t i = 0; i < 20000; ++i) entry.as_path.push_back(i + 1);
+  snapshot.entries.push_back(entry);
+
+  MrtWriteStats wstats;
+  const auto bytes = WriteMrt(snapshot, 1, &wstats);
+  EXPECT_EQ(wstats.clamped_as_paths, 1u);
+  const auto decoded = ReadMrt(bytes, Info());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  const auto& path = decoded.value().entries[0].as_path;
+  ASSERT_FALSE(path.empty());
+  EXPECT_LT(path.size(), entry.as_path.size());
+  // What survives is a prefix of the original path.
+  EXPECT_TRUE(std::equal(path.begin(), path.end(), entry.as_path.begin()));
 }
 
 TEST(Mrt, RejectsCorruptPrefixLength) {

@@ -76,6 +76,19 @@ TEST(ParsePrefixEntry, RejectsMalformed) {
   }
 }
 
+TEST(ParsePrefixEntry, RejectsLeadingZeroOctets) {
+  // "012" reads as octal in many tools; IpAddress::Parse rejects it, and
+  // the abbreviated-quad parser must agree rather than read it as 12.
+  for (const char* text :
+       {"012.65.3.4", "012.65/16", "12.065.3.0/24", "12.65.128.00/19",
+        "12.65.128.0/255.255.0224.0", "00/8"}) {
+    EXPECT_FALSE(ParsePrefixEntry(text).ok()) << "accepted: '" << text << "'";
+  }
+  // A bare zero octet is not a leading-zero form.
+  EXPECT_EQ(ParsePrefixEntry("0/0").value().ToString(), "0.0.0.0/0");
+  EXPECT_EQ(ParsePrefixEntry("10.0.0.0/8").value().ToString(), "10.0.0.0/8");
+}
+
 TEST(FormatPrefixEntry, EmitsEachStyle) {
   const auto block = ParsePrefixEntry("12.65.128.0/19").value();
   EXPECT_EQ(FormatPrefixEntry(block, PrefixStyle::kCidr), "12.65.128.0/19");
