@@ -1,0 +1,119 @@
+// Annotated synchronization primitives.
+//
+// Thin wrappers over the std primitives that carry Clang Thread Safety
+// Analysis capabilities (base/thread_annotations.h), so `-Wthread-safety
+// -Werror=thread-safety` turns lock-contract violations into compile
+// errors on Clang builds. Zero overhead over the std types on the lock
+// path; the wrappers exist only to be annotatable (std::mutex itself
+// cannot carry attributes).
+//
+// Two capability families:
+//   * Mutex / MutexLock / CondVar — real locks, fully checked: a read of
+//     a GUARDED_BY(mu_) member without holding mu_ is a compile error.
+//   * ThreadRole / AssumeThreadRole / ONLY_THREAD — zero-byte "role"
+//     capabilities for single-threaded ownership protocols (SPSC ring
+//     producer/consumer sides, the RCU slot's single publisher). A role
+//     has no runtime state: AssumeThreadRole is the *explicit, greppable
+//     assertion* that the current scope is running on the role's thread
+//     (or at a quiescent point that transfers the role, e.g. after
+//     Engine::Drain()). The analysis then enforces that role-owned state
+//     is never touched by code that has not made that assertion.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.h"
+
+namespace netclust::base {
+
+/// std::mutex with thread-safety-analysis attributes. Lowercase
+/// lock()/unlock() aliases keep it usable as a C++ Lockable (std::lock_guard,
+/// std::condition_variable_any).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Lockable interface (same capabilities, std spelling).
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for a Mutex (the only way this codebase takes one; bare
+/// Lock()/Unlock() pairs are reserved for adapters).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with base::Mutex. Wait() requires the mutex
+/// held, like std::condition_variable_any — the analysis sees the REQUIRES
+/// contract, the runtime sees a normal cv wait.
+class CondVar {
+ public:
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait; returns false on timeout. Used where the wakeup signal is
+  /// advisory (e.g. SPSC backpressure) so a lost notify costs one slice,
+  /// never a deadlock.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// A zero-byte capability standing for "code running on a particular
+/// thread" (producer side, consumer side, publisher). Guard
+/// single-thread-owned members with ONLY_THREAD(role); annotate functions
+/// that must run on that thread with REQUIRES(role).
+class CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+};
+
+/// Marks a data member as owned by one thread role: only code holding the
+/// role (via AssumeThreadRole at a documented entry point) may touch it.
+#define ONLY_THREAD(role) GUARDED_BY(role)
+
+/// Scoped assertion that this code runs on the role's thread. Purely a
+/// compile-time construct (no runtime effect): it must appear only at the
+/// entry points where the threading contract is established — a worker
+/// thread's main loop, the documented single-ingest-thread API surface,
+/// or a quiescent point that hands ownership over (Engine::Drain()).
+class SCOPED_CAPABILITY AssumeThreadRole {
+ public:
+  explicit AssumeThreadRole(const ThreadRole& role) ACQUIRE(role) {
+    (void)role;
+  }
+  ~AssumeThreadRole() RELEASE() {}
+  AssumeThreadRole(const AssumeThreadRole&) = delete;
+  AssumeThreadRole& operator=(const AssumeThreadRole&) = delete;
+};
+
+}  // namespace netclust::base

@@ -1,0 +1,92 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to Clang's `capability` attributes when the compiler
+// supports them (any recent Clang) and to nothing elsewhere, so the
+// annotated tree stays a plain C++20 build under GCC/MSVC while Clang
+// builds get `-Wthread-safety` checking (promoted to an error by the
+// top-level CMakeLists when the compiler is Clang). The macro set and
+// spellings follow the Clang documentation / Abseil conventions:
+//   https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+//
+// Two kinds of capability are used in this codebase:
+//   * real locks — base::Mutex in base/sync.h, checked end to end;
+//   * thread roles — zero-byte base::ThreadRole capabilities that encode
+//     "this member / function belongs to the producer (or consumer, or
+//     publisher) thread". Roles cannot be verified across threads by the
+//     analysis, but they force every access to role-owned state to be
+//     explicitly marked with the role, turning silent contract breaches
+//     into compile errors. See DESIGN.md "Static analysis".
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define NETCLUST_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NETCLUST_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (lockable / role) type.
+#define CAPABILITY(x) NETCLUST_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY NETCLUST_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be accessed while holding the given capability.
+#define GUARDED_BY(x) NETCLUST_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointed-to* data is protected by the capability.
+#define PT_GUARDED_BY(x) NETCLUST_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability (exclusively) on entry, and does not
+/// release it.
+#define REQUIRES(...) \
+  NETCLUST_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires at least shared (reader) access on entry.
+#define REQUIRES_SHARED(...) \
+  NETCLUST_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define ACQUIRE(...) \
+  NETCLUST_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires shared (reader) access and holds it past return.
+#define ACQUIRE_SHARED(...) \
+  NETCLUST_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define RELEASE(...) \
+  NETCLUST_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases shared (reader) access.
+#define RELEASE_SHARED(...) \
+  NETCLUST_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; the first argument is the
+/// return value that indicates success.
+#define TRY_ACQUIRE(...) \
+  NETCLUST_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (anti-deadlock annotation).
+#define EXCLUDES(...) NETCLUST_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares a required acquisition order between capabilities.
+#define ACQUIRED_BEFORE(...) \
+  NETCLUST_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  NETCLUST_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability; lets call sites
+/// name a private capability through an accessor (the GetMu() pattern from
+/// the Clang docs).
+#define RETURN_CAPABILITY(x) NETCLUST_THREAD_ANNOTATION(lock_returned(x))
+
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to believe it from here on.
+#define ASSERT_CAPABILITY(x) \
+  NETCLUST_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables analysis for one function. Every use must carry
+/// a comment explaining why the contract cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NETCLUST_THREAD_ANNOTATION(no_thread_safety_analysis)

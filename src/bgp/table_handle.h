@@ -7,6 +7,14 @@
 // reference count on it, so the old table stays alive until the last
 // in-flight lookup drops it — classic read-copy-update, with shared_ptr
 // refcounts standing in for grace periods.
+//
+// Sides of the slot (machine-checked on Clang, see base/sync.h):
+//   * read side — Acquire()/version(): wait-free, any thread, any time;
+//   * publish side — Publish(): a non-atomic read-modify-write of the
+//     version sequence, so it belongs to exactly one publisher thread.
+//     That contract is a ThreadRole capability: Publish() REQUIRES the
+//     publisher role, and callers assert it at their single-writer entry
+//     point (Engine::PublishDelta).
 #pragma once
 
 #include <atomic>
@@ -14,13 +22,14 @@
 #include <memory>
 #include <utility>
 
+#include "base/sync.h"
 #include "bgp/prefix_table.h"
 
 namespace netclust::bgp {
 
 /// A refcounted, versioned, immutable PrefixTable snapshot. Cheap to copy
 /// (one refcount increment); the table itself is never mutated after
-/// publication.
+/// publication, so handles are safe to read from any thread.
 class TableHandle {
  public:
   TableHandle() = default;
@@ -65,33 +74,55 @@ class RcuTableSlot {
  public:
   /// Starts with an empty table at version 1, so Acquire() is always valid.
   RcuTableSlot() {
+    // order: release — pairs with the acquire in Acquire()/Publish();
+    // publishes the initial State before any handle to the slot escapes.
     slot_.store(std::make_shared<const TableHandle::State>(
                     TableHandle::State{PrefixTable{}, 1}),
                 std::memory_order_release);
   }
 
-  /// The current snapshot. Never null.
+  /// Read side: the current snapshot. Never null; any thread, any time.
   [[nodiscard]] TableHandle Acquire() const {
+    // order: acquire — pairs with Publish()'s release store; a reader that
+    // sees the new pointer sees the fully built table behind it.
     return TableHandle(slot_.load(std::memory_order_acquire));
   }
 
-  /// Wraps `table` in a new snapshot one version past the current one and
-  /// swaps it in. Returns the handle just published.
-  TableHandle Publish(PrefixTable table) {
+  /// Publish side: wraps `table` in a new snapshot one version past the
+  /// current one and swaps it in. Returns the handle just published.
+  /// The version bump is a non-atomic read-modify-write, hence the single
+  /// publisher role.
+  TableHandle Publish(PrefixTable table) REQUIRES(publisher_role_) {
+    // order: acquire — the publisher reads its own previous release store
+    // (or the constructor's), for which relaxed would be admissible under
+    // the single-publisher contract; acquire keeps this correct even if
+    // the contract is ever widened to externally-locked multi-writer.
     const std::uint64_t next =
         slot_.load(std::memory_order_acquire)->version + 1;
     auto state = std::make_shared<const TableHandle::State>(
         TableHandle::State{std::move(table), next});
+    // order: release — pairs with Acquire(); readers must see the complete
+    // State (table contents + version) before the pointer swap is visible.
     slot_.store(state, std::memory_order_release);
     return TableHandle(std::move(state));
   }
 
+  /// Read side: the version of the currently published snapshot.
   [[nodiscard]] std::uint64_t version() const {
+    // order: acquire — same pairing as Acquire(); the State read below
+    // must not be torn from before the pointer became visible.
     return slot_.load(std::memory_order_acquire)->version;
+  }
+
+  /// The single-publisher thread role for Publish().
+  [[nodiscard]] const base::ThreadRole& publisher_role() const
+      RETURN_CAPABILITY(publisher_role_) {
+    return publisher_role_;
   }
 
  private:
   std::atomic<std::shared_ptr<const TableHandle::State>> slot_;
+  base::ThreadRole publisher_role_;
 };
 
 }  // namespace netclust::bgp

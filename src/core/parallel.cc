@@ -10,20 +10,38 @@
 
 namespace netclust::core {
 
-Clustering ClusterNetworkAwareParallel(const weblog::ServerLog& log,
-                                       const bgp::PrefixTable& table,
-                                       int threads) {
+void ParallelFor(std::size_t n, int threads,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
   }
-  // Never spawn idle or zero-work threads: degenerate inputs (empty log,
-  // threads >> clients) clamp to [1, distinct clients], which also keeps
-  // the per-thread shards balanced.
-  const auto distinct = static_cast<int>(
-      std::min<std::size_t>(log.clients().size(),
-                            static_cast<std::size_t>(INT_MAX)));
-  threads = std::clamp(threads, 1, std::max(distinct, 1));
+  // Never spawn idle or zero-work threads: degenerate inputs (empty range,
+  // threads >> n) clamp to [1, n], which also keeps the chunks balanced.
+  const auto cap = static_cast<int>(
+      std::min<std::size_t>(n, static_cast<std::size_t>(INT_MAX)));
+  threads = std::clamp(threads, 1, cap);
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(threads) - 1) /
+      static_cast<std::size_t>(threads);
+  if (threads == 1) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    workers.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
 
+Clustering ClusterNetworkAwareParallel(const weblog::ServerLog& log,
+                                       const bgp::PrefixTable& table,
+                                       int threads) {
   Clustering result;
   result.approach = "network-aware";
   result.log_name = log.name();
@@ -36,25 +54,14 @@ Clustering ClusterNetworkAwareParallel(const weblog::ServerLog& log,
   }
 
   // Phase 1 (parallel): one LPM per distinct client, into a pre-sized
-  // slot array — no synchronization beyond the join.
+  // slot array — no synchronization beyond ParallelFor's join.
   std::vector<std::optional<bgp::PrefixTable::Match>> matches(order.size());
-  {
-    const std::size_t shard =
-        (order.size() + static_cast<std::size_t>(threads) - 1) /
-        static_cast<std::size_t>(threads);
-    std::vector<std::thread> workers;
-    for (int t = 0; t < threads; ++t) {
-      const std::size_t begin = static_cast<std::size_t>(t) * shard;
-      const std::size_t end = std::min(begin + shard, order.size());
-      if (begin >= end) break;
-      workers.emplace_back([&, begin, end] {
-        for (std::size_t i = begin; i < end; ++i) {
-          matches[i] = table.LongestMatch(order[i]);
-        }
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
-  }
+  ParallelFor(order.size(), threads,
+              [&order, &table, &matches](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  matches[i] = table.LongestMatch(order[i]);
+                }
+              });
 
   // Phase 2 (serial): grouping in client order — identical to the batch
   // clusterer's assignment order, hence identical cluster numbering.

@@ -5,13 +5,31 @@
 // across worker threads (the table is immutable and safe to share), then
 // performs the grouping and tallying passes single-threaded so the result
 // is bit-identical to ClusterNetworkAware.
+//
+// ParallelFor is the repo's one sanctioned place (together with the
+// engine's shard workers) that spawns raw std::threads — netclust_lint
+// enforces that rule — so other modules (core/session.cc) parallelize
+// through it instead of rolling their own thread management.
 #pragma once
+
+#include <cstddef>
+#include <functional>
 
 #include "bgp/prefix_table.h"
 #include "core/cluster.h"
 #include "weblog/log.h"
 
 namespace netclust::core {
+
+/// Runs `body(begin, end)` over disjoint contiguous chunks of [0, n) on
+/// up to `threads` worker threads and joins them all before returning.
+/// `threads` <= 0 selects the hardware concurrency; the effective count is
+/// clamped to [1, n] so no idle or zero-work thread is ever spawned
+/// (threads == 1 or n <= 1 runs inline). `body` must be safe to invoke
+/// concurrently on disjoint ranges; writes to shared state must target
+/// per-index slots (the callers here pre-size result arrays).
+void ParallelFor(std::size_t n, int threads,
+                 const std::function<void(std::size_t, std::size_t)>& body);
 
 /// Identical output to ClusterNetworkAware(log, table); `threads` <= 0
 /// selects the hardware concurrency.

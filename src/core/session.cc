@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
+
 namespace netclust::core {
 
 std::vector<weblog::ServerLog> PartitionIntoSessions(
-    const weblog::ServerLog& log, int sessions) {
+    const weblog::ServerLog& log, int sessions, int threads) {
   std::vector<weblog::ServerLog> slices;
   if (sessions <= 0) return slices;
   slices.reserve(static_cast<std::size_t>(sessions));
@@ -17,22 +19,33 @@ std::vector<weblog::ServerLog> PartitionIntoSessions(
   const std::int64_t slice_len =
       std::max<std::int64_t>(1, (span + sessions - 1) / sessions);
 
-  for (const weblog::CompactRequest& request : log.requests()) {
-    const auto slice = static_cast<std::size_t>(std::min<std::int64_t>(
-        (request.timestamp - log.start_time()) / slice_len, sessions - 1));
-    weblog::LogRecord record;
-    record.client = request.client;
-    record.timestamp = request.timestamp;
-    record.method = request.method;
-    record.url = log.url(request.url_id);
-    record.status = request.status;
-    record.response_bytes = request.response_bytes;
-    if (request.agent_id != 0) {
-      record.user_agent =
-          log.agent(static_cast<std::uint8_t>(request.agent_id - 1));
-    }
-    slices[slice].Append(record);
-  }
+  // Each slice is built by one worker scanning the whole (shared, read-only)
+  // log and appending only its own requests — no cross-thread writes, and
+  // each slice preserves the log's time order, so the result is
+  // bit-identical to a sequential partition.
+  ParallelFor(
+      slices.size(), threads,
+      [&log, &slices, slice_len, sessions](std::size_t begin,
+                                           std::size_t end) {
+        for (const weblog::CompactRequest& request : log.requests()) {
+          const auto slice = static_cast<std::size_t>(std::min<std::int64_t>(
+              (request.timestamp - log.start_time()) / slice_len,
+              sessions - 1));
+          if (slice < begin || slice >= end) continue;
+          weblog::LogRecord record;
+          record.client = request.client;
+          record.timestamp = request.timestamp;
+          record.method = request.method;
+          record.url = log.url(request.url_id);
+          record.status = request.status;
+          record.response_bytes = request.response_bytes;
+          if (request.agent_id != 0) {
+            record.user_agent =
+                log.agent(static_cast<std::uint8_t>(request.agent_id - 1));
+          }
+          slices[slice].Append(record);
+        }
+      });
   return slices;
 }
 

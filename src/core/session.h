@@ -10,9 +10,12 @@ namespace netclust::core {
 
 /// Splits `log` into `sessions` equal time slices (the paper uses four
 /// 6-hour sessions of the Nagano day). Requests on the boundary go to the
-/// later slice; each returned log preserves time order.
+/// later slice; each returned log preserves time order. Slices are built
+/// in parallel (one worker per slice, via core::ParallelFor) but the
+/// output is bit-identical regardless of `threads` (<= 0 selects the
+/// hardware concurrency, clamped to the slice count).
 std::vector<weblog::ServerLog> PartitionIntoSessions(
-    const weblog::ServerLog& log, int sessions);
+    const weblog::ServerLog& log, int sessions, int threads = 0);
 
 /// §3.6 server clustering: treats the *servers* in a proxy/client trace as
 /// the addresses to cluster, weighted by request count.

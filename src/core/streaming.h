@@ -21,11 +21,21 @@
 // tallies are exact and move with the client; per-cluster unique-URL sets
 // are not split on reassignment (they remain a property of the traffic the
 // cluster actually absorbed while it existed).
+//
+// Thread safety: every public method is safe to call concurrently — a
+// route-collector thread may feed the routing plane while a log-tailing
+// thread feeds the data plane. One base::Mutex guards the table, the
+// assignment state and the stats (annotated GUARDED_BY, enforced at
+// compile time on Clang builds); the sharded engine (src/engine) is the
+// lock-free path for workloads where this coarse lock would contend.
+// table()/assignment() return references and are the exception: they are
+// only meaningful once mutators have quiesced.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "base/sync.h"
 #include "bgp/prefix_table.h"
 #include "bgp/update.h"
 #include "core/assignment.h"
@@ -76,20 +86,38 @@ class StreamingClusterer {
   /// Feeds a whole log (convenience for replay).
   void ObserveLog(const weblog::ServerLog& log);
 
-  // --- views ---
+  // --- views (each takes the lock; consistent point-in-time reads) ---
 
   [[nodiscard]] std::size_t cluster_count() const {
+    base::MutexLock lock(&mu_);
     return state_.live_cluster_count();
   }
   [[nodiscard]] std::size_t client_count() const {
+    base::MutexLock lock(&mu_);
     return state_.client_count();
   }
   [[nodiscard]] std::size_t unclustered_count() const {
+    base::MutexLock lock(&mu_);
     return state_.unclustered_count();
   }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
-  [[nodiscard]] const bgp::PrefixTable& table() const { return table_; }
-  [[nodiscard]] const AssignmentState& assignment() const { return state_; }
+  /// Snapshot of the event/reassignment counters (by value: the caller's
+  /// copy stays consistent even while mutators keep running).
+  [[nodiscard]] Stats stats() const {
+    base::MutexLock lock(&mu_);
+    return stats_;
+  }
+  /// Direct reference to the live table. Only meaningful once mutators
+  /// have quiesced; concurrent Announce/Withdraw invalidate the view.
+  [[nodiscard]] const bgp::PrefixTable& table() const {
+    base::MutexLock lock(&mu_);
+    return table_;
+  }
+  /// Direct reference to the live assignment state (same quiescence
+  /// contract as table()).
+  [[nodiscard]] const AssignmentState& assignment() const {
+    base::MutexLock lock(&mu_);
+    return state_;
+  }
 
   /// Materializes the current state as a batch-compatible Clustering, in
   /// the canonical order of AssignmentState::Merge — so it compares
@@ -98,10 +126,17 @@ class StreamingClusterer {
   [[nodiscard]] Clustering ToClustering() const;
 
  private:
-  bgp::PrefixTable table_;
-  AssignmentState state_;
-  Stats stats_;
-  std::string log_name_;
+  /// Announce/Withdraw logic shared by the public routing-plane methods;
+  /// ApplyUpdate batches both under one lock acquisition.
+  void AnnounceLocked(const net::Prefix& prefix, int source_id,
+                      bgp::AsNumber origin_as) REQUIRES(mu_);
+  void WithdrawLocked(const net::Prefix& prefix) REQUIRES(mu_);
+
+  mutable base::Mutex mu_;
+  bgp::PrefixTable table_ GUARDED_BY(mu_);
+  AssignmentState state_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
+  std::string log_name_;  // immutable after construction
 };
 
 }  // namespace netclust::core

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "base/sync.h"
+
 namespace netclust::engine {
 
 Engine::Engine(EngineConfig config) : config_(std::move(config)) {
@@ -26,22 +28,26 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
 Engine::~Engine() { Stop(); }
 
 void Engine::Start() {
+  base::AssumeThreadRole ingest(ingest_role_);
   if (running_) return;
   for (const auto& shard : shards_) shard->Start();
   running_ = true;
 }
 
 void Engine::Stop() {
+  base::AssumeThreadRole ingest(ingest_role_);
   if (!running_) return;
   for (const auto& shard : shards_) shard->Stop();
   running_ = false;
 }
 
 int Engine::AddSource(const bgp::SnapshotInfo& info) {
+  base::AssumeThreadRole ingest(ingest_role_);
   return master_.AddSource(info);
 }
 
 int Engine::SeedSnapshot(const bgp::Snapshot& snapshot) {
+  base::AssumeThreadRole ingest(ingest_role_);
   const int id = master_.AddSnapshot(snapshot);
   PublishDelta({}, {});
   return id;
@@ -49,6 +55,7 @@ int Engine::SeedSnapshot(const bgp::Snapshot& snapshot) {
 
 void Engine::Announce(const net::Prefix& prefix, int source_id,
                       bgp::AsNumber origin_as) {
+  base::AssumeThreadRole ingest(ingest_role_);
   metrics_.updates_ingested.Inc();
   const bool existed = master_.Contains(prefix);
   master_.Insert(prefix, source_id, origin_as);
@@ -59,12 +66,14 @@ void Engine::Announce(const net::Prefix& prefix, int source_id,
 }
 
 void Engine::Withdraw(const net::Prefix& prefix) {
+  base::AssumeThreadRole ingest(ingest_role_);
   metrics_.updates_ingested.Inc();
   if (!master_.Remove(prefix)) return;  // spurious: table unchanged
   PublishDelta({prefix}, {});
 }
 
 void Engine::ApplyUpdate(const bgp::UpdateMessage& update, int source_id) {
+  base::AssumeThreadRole ingest(ingest_role_);
   metrics_.updates_ingested.Inc();
   std::vector<net::Prefix> withdrawn;
   for (const net::Prefix& prefix : update.withdrawn) {
@@ -88,6 +97,8 @@ void Engine::PublishDelta(std::vector<net::Prefix> withdrawn,
                           std::vector<net::Prefix> announced) {
   const std::uint64_t start = NowNs();
   bgp::PrefixTable copy = master_;  // deep clone; readers keep the old one
+  // The ingest thread is the slot's one publisher.
+  base::AssumeThreadRole publisher(slot_.publisher_role());
   const bgp::TableHandle handle = slot_.Publish(std::move(copy));
   metrics_.swaps_published.Inc();
   metrics_.swap_build_ns.Record(NowNs() - start);
@@ -95,6 +106,7 @@ void Engine::PublishDelta(std::vector<net::Prefix> withdrawn,
   const auto delta = std::make_shared<const TableDelta>(
       TableDelta{handle, std::move(withdrawn), std::move(announced)});
   for (const auto& shard : shards_) {
+    base::AssumeThreadRole producer(shard->producer_role());
     Event event;
     event.kind = Event::Kind::kSwap;
     event.delta = delta;
@@ -115,6 +127,7 @@ int Engine::ShardOf(net::IpAddress client) const {
 
 bool Engine::Observe(net::IpAddress client, std::uint32_t url_id,
                      std::uint32_t bytes, std::int64_t timestamp) {
+  base::AssumeThreadRole ingest(ingest_role_);
   Event event;
   event.kind = Event::Kind::kRequest;
   event.client = client;
@@ -122,6 +135,7 @@ bool Engine::Observe(net::IpAddress client, std::uint32_t url_id,
   event.bytes = bytes;
   event.timestamp = timestamp;
   ShardWorker& shard = *shards_[static_cast<std::size_t>(ShardOf(client))];
+  base::AssumeThreadRole producer(shard.producer_role());
 
   const std::uint64_t start = NowNs();
   if (config_.backpressure == BackpressurePolicy::kBlock) {
@@ -153,7 +167,10 @@ std::optional<bgp::PrefixTable::Match> Engine::Lookup(
 }
 
 void Engine::Drain() {
+  base::AssumeThreadRole ingest(ingest_role_);
   for (const auto& shard : shards_) {
+    // The ingest thread is the producer, so pushed() is its own counter.
+    base::AssumeThreadRole producer(shard->producer_role());
     const std::uint64_t target = shard->pushed();
     while (shard->processed() < target) {
       std::this_thread::yield();
@@ -164,9 +181,14 @@ void Engine::Drain() {
 
 core::Clustering Engine::Snapshot() {
   Drain();
+  base::AssumeThreadRole ingest(ingest_role_);
   std::vector<const core::AssignmentState*> states;
   states.reserve(shards_.size());
   for (const auto& shard : shards_) {
+    // Drain() quiesced the worker: its release of processed_ has been
+    // observed, so the consumer role is safely assumed by this thread
+    // until the next push.
+    base::AssumeThreadRole consumer(shard->consumer_role());
     states.push_back(&shard->state());
   }
   return core::AssignmentState::Merge("network-aware-streaming",

@@ -18,9 +18,14 @@
 //     StreamingClusterer replay of the same event sequence.
 //
 // Threading contract: the routing- and data-plane ingest methods (Observe,
-// Announce, Withdraw, ApplyUpdate, Seed*) must be called from one thread
+// Announce, Withdraw, ApplyUpdate, Seed*) and the lifecycle/quiescence
+// methods (Start, Stop, Drain, Snapshot) must be called from one thread
 // at a time (the "ingest thread"); Lookup() and metrics reads are safe
-// from any thread at any time.
+// from any thread at any time. On Clang builds the contract is
+// machine-checked (base/sync.h thread roles): ingest-side state is
+// ONLY_THREAD(ingest_role_)-guarded, and each public entry point asserts
+// the role — new code touching that state from an unannotated path is a
+// compile error under -Werror=thread-safety.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "base/sync.h"
 #include "bgp/prefix_table.h"
 #include "bgp/table_handle.h"
 #include "bgp/update.h"
@@ -128,14 +134,20 @@ class Engine {
   /// Clones the working table, publishes it, and broadcasts the delta to
   /// every shard (control events always block — they are never dropped).
   void PublishDelta(std::vector<net::Prefix> withdrawn,
-                    std::vector<net::Prefix> announced);
+                    std::vector<net::Prefix> announced)
+      REQUIRES(ingest_role_);
 
-  EngineConfig config_;
-  bgp::PrefixTable master_;  // ingest-side working copy
-  bgp::RcuTableSlot slot_;   // published immutable snapshots
+  // The single ingest/control thread's role; every public ingest-side
+  // entry point asserts it (base::AssumeThreadRole) before touching the
+  // guarded members below.
+  base::ThreadRole ingest_role_;
+  EngineConfig config_ ONLY_THREAD(ingest_role_);
+  bgp::PrefixTable master_
+      ONLY_THREAD(ingest_role_);  // ingest-side working copy
+  bgp::RcuTableSlot slot_;        // published immutable snapshots
   mutable EngineMetrics metrics_;
   std::vector<std::unique_ptr<ShardWorker>> shards_;
-  bool running_ = false;
+  bool running_ ONLY_THREAD(ingest_role_) = false;
 };
 
 }  // namespace netclust::engine

@@ -21,9 +21,13 @@ namespace netclust::engine {
 class Counter {
  public:
   void Inc(std::uint64_t n = 1) {
+    // order: relaxed — a pure statistic; no reader derives cross-thread
+    // invariants from it, and scrape reads tolerate any interleaving.
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t value() const {
+    // order: relaxed — scrape-style read; monotonic-but-unsynchronized is
+    // the documented contract for the whole metrics layer.
     return value_.load(std::memory_order_relaxed);
   }
 
@@ -46,18 +50,24 @@ class LatencyHistogram {
   void Record(std::uint64_t ns) {
     std::size_t bucket = 0;
     while (bucket < kFiniteBuckets && ns > BucketBound(bucket)) ++bucket;
+    // order: relaxed ×3 — the three adds are not a transaction; a scraper
+    // may observe bucket/count/sum mid-update, which the exposition format
+    // explicitly tolerates (counts are each individually monotonic).
     buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(ns, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t count() const {
+    // order: relaxed — scrape read; see Record().
     return count_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t sum() const {
+    // order: relaxed — scrape read; see Record().
     return sum_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    // order: relaxed — scrape read; see Record().
     return buckets_[i].load(std::memory_order_relaxed);
   }
 

@@ -11,15 +11,29 @@
 // the global event sequence restricted to (its clients + all routing
 // events) — which is what makes the merged Snapshot() bit-identical to a
 // sequential replay.
+//
+// Threading contract (machine-checked on Clang, see base/sync.h):
+//   * Push/TryPush/pushed() require the ring's producer role — the one
+//     ingest thread;
+//   * state()/table() require the consumer role — held by the worker
+//     thread, and transferable to the ingest thread at a quiescent point
+//     (Engine::Drain() publishes the worker's writes via the release
+//     store of processed_, so asserting the role there is sound);
+//   * the blocking-backpressure path spins briefly, then parks on an
+//     annotated Mutex/CondVar pair instead of burning a core; the wakeup
+//     is advisory (timed wait), so a lost notify costs one wait slice,
+//     never a hang.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "base/sync.h"
 #include "bgp/table_handle.h"
 #include "core/assignment.h"
 #include "engine/metrics.h"
@@ -62,7 +76,10 @@ class ShardWorker {
 
   void Start() {
     if (thread_.joinable()) return;
-    stop_.store(false, std::memory_order_release);
+    // order: relaxed — the std::thread constructor below synchronizes-with
+    // the new thread's start, which orders this store before any load in
+    // Run().
+    stop_.store(false, std::memory_order_relaxed);
     thread_ = std::thread([this] { Run(); });
   }
 
@@ -70,57 +87,120 @@ class ShardWorker {
   /// stopped pushing.
   void Stop() {
     if (!thread_.joinable()) return;
-    stop_.store(true, std::memory_order_release);
+    // order: relaxed — stop_ is a pure control flag carrying no payload;
+    // all data the worker reads travels through the ring's release/acquire
+    // protocol, and join() below gives the full happens-before edge back.
+    stop_.store(true, std::memory_order_relaxed);
     thread_.join();
   }
 
   // --- producer side (engine ingest thread only) ---
 
   /// Non-blocking enqueue; false when the ring is full.
-  [[nodiscard]] bool TryPush(Event event) {
+  [[nodiscard]] bool TryPush(Event event) REQUIRES(ring_.producer_role()) {
     if (!ring_.TryPush(std::move(event))) return false;
     ++pushed_;
     return true;
   }
 
-  /// Blocking enqueue (spin + yield until the worker frees a slot).
-  void Push(Event event) {
-    while (!ring_.TryPush(std::move(event))) {
+  /// Blocking enqueue: spins briefly, then parks on the backpressure
+  /// condvar until the worker frees a slot. The notify is advisory — the
+  /// timed wait re-polls, so the slow path is stall-bounded by
+  /// kBackpressureWaitSlice even if a wakeup is lost.
+  void Push(Event event) REQUIRES(ring_.producer_role()) {
+    for (int spin = 0; spin < kPushSpinIterations; ++spin) {
+      if (ring_.TryPush(std::move(event))) {
+        ++pushed_;
+        return;
+      }
       std::this_thread::yield();
+    }
+    {
+      base::MutexLock lock(&backpressure_mu_);
+      for (;;) {
+        if (ring_.TryPush(std::move(event))) break;
+        // order: relaxed — the flag is advisory (it only gates whether the
+        // consumer bothers to notify); the timed wait below bounds the
+        // stall if the consumer's read races past this store.
+        producer_waiting_.store(true, std::memory_order_relaxed);
+        // Re-check after raising the flag: a pop that completed between
+        // the failed TryPush and the store would otherwise strand us for
+        // a full wait slice.
+        if (ring_.TryPush(std::move(event))) break;
+        ring_not_full_.WaitFor(backpressure_mu_, kBackpressureWaitSlice);
+      }
+      // order: relaxed — see above; stale true costs one spurious notify.
+      producer_waiting_.store(false, std::memory_order_relaxed);
     }
     ++pushed_;
   }
 
   /// Events successfully enqueued (producer-thread view).
-  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
-  /// Events fully applied by the worker.
+  [[nodiscard]] std::uint64_t pushed() const
+      REQUIRES(ring_.producer_role()) {
+    return pushed_;
+  }
+  /// Events fully applied by the worker. Safe from any thread.
   [[nodiscard]] std::uint64_t processed() const {
+    // order: acquire — pairs with the worker's release increment; once the
+    // caller observes processed() == pushed(), every effect of those
+    // events (state_, table_) is visible, which is what makes the
+    // role handover in Engine::Drain()/Snapshot() sound.
     return processed_.load(std::memory_order_acquire);
   }
 
-  /// The shard's assignment state. Safe to read only at a quiescent point
-  /// (processed() == pushed() and no pushes in flight) — Engine::Drain()
-  /// establishes one.
-  [[nodiscard]] const core::AssignmentState& state() const { return state_; }
+  /// The shard's assignment state. Requires the consumer role: held by the
+  /// worker thread, or assumed by the ingest thread at a quiescent point
+  /// (processed() == pushed() and no pushes in flight — Engine::Drain()
+  /// establishes one).
+  [[nodiscard]] const core::AssignmentState& state() const
+      REQUIRES(ring_.consumer_role()) {
+    return state_;
+  }
 
   /// The worker-local table snapshot (same quiescence contract).
-  [[nodiscard]] const bgp::TableHandle& table() const { return table_; }
+  [[nodiscard]] const bgp::TableHandle& table() const
+      REQUIRES(ring_.consumer_role()) {
+    return table_;
+  }
+
+  /// The ring's producer-side role (the single ingest thread).
+  [[nodiscard]] const base::ThreadRole& producer_role() const
+      RETURN_CAPABILITY(ring_.producer_role()) {
+    return ring_.producer_role();
+  }
+  /// The ring's consumer-side role (the worker thread, or a quiesced
+  /// caller — see state()).
+  [[nodiscard]] const base::ThreadRole& consumer_role() const
+      RETURN_CAPABILITY(ring_.consumer_role()) {
+    return ring_.consumer_role();
+  }
 
  private:
+  static constexpr int kPushSpinIterations = 256;
+  static constexpr std::chrono::milliseconds kBackpressureWaitSlice{1};
+
   void Run() {
+    // The worker thread is the ring's one consumer for its whole lifetime.
+    base::AssumeThreadRole consumer(ring_.consumer_role());
     Event event;
     while (true) {
       if (ring_.TryPop(event)) {
         Apply(event);
+        // order: release — pairs with the acquire in processed(); publishes
+        // the Apply() effects (state_, table_) together with the count, so
+        // a quiesced reader that sees the count sees the state.
         processed_.fetch_add(1, std::memory_order_release);
+        MaybeWakeProducer();
         continue;
       }
-      if (stop_.load(std::memory_order_acquire)) break;
+      // order: relaxed — control flag only; see Stop().
+      if (stop_.load(std::memory_order_relaxed)) break;
       std::this_thread::yield();
     }
   }
 
-  void Apply(Event& event) {
+  void Apply(Event& event) REQUIRES(ring_.consumer_role()) {
     const std::uint64_t start = NowNs();
     if (event.kind == Event::Kind::kRequest) {
       state_.Observe(event.client, event.url_id, event.bytes, *table_);
@@ -143,14 +223,31 @@ class ShardWorker {
     metrics_->swap_apply_ns.Record(NowNs() - start);
   }
 
+  /// Nudges a producer parked in Push(). Taking the mutex before the
+  /// notify closes the set-flag/park race; the common (no waiter) case is
+  /// one relaxed load.
+  void MaybeWakeProducer() {
+    // order: relaxed — advisory flag; a missed true is repaired by the
+    // producer's timed wait, a stale true costs one uncontended lock.
+    if (!producer_waiting_.load(std::memory_order_relaxed)) return;
+    base::MutexLock lock(&backpressure_mu_);
+    ring_not_full_.NotifyOne();
+  }
+
   SpscRing<Event> ring_;
-  bgp::TableHandle table_;       // worker-local; replaced on swap events
-  core::AssignmentState state_;  // this shard's clients only
+  bgp::TableHandle table_
+      ONLY_THREAD(ring_.consumer_role());  // replaced on swap events
+  core::AssignmentState state_
+      ONLY_THREAD(ring_.consumer_role());  // this shard's clients only
   EngineMetrics* metrics_;
   std::thread thread_;
   std::atomic<bool> stop_{false};
-  std::uint64_t pushed_ = 0;  // producer-owned
+  std::uint64_t pushed_ ONLY_THREAD(ring_.producer_role()) = 0;
   alignas(64) std::atomic<std::uint64_t> processed_{0};
+  // Blocking-backpressure parking lot (slow path of Push() only).
+  base::Mutex backpressure_mu_;
+  base::CondVar ring_not_full_;
+  std::atomic<bool> producer_waiting_{false};
 };
 
 }  // namespace netclust::engine

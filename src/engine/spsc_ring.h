@@ -6,12 +6,20 @@
 // all; the atomics are only consulted when the cached view says
 // full/empty. Capacity is rounded up to a power of two, with a floor of 2
 // slots (a 0- or 1-slot ring would serialize producer and consumer).
+//
+// The single-producer/single-consumer contract is machine-checked on
+// Clang builds: TryPush requires the producer ThreadRole, TryPop the
+// consumer ThreadRole, and each side's index cache is ONLY_THREAD-guarded
+// by its role. Callers assert the role once at their thread entry point
+// (see base/sync.h and ShardWorker).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <utility>
 #include <vector>
+
+#include "base/sync.h"
 
 namespace netclust::engine {
 
@@ -25,27 +33,43 @@ class SpscRing {
     mask_ = cap - 1;
   }
 
-  /// Producer side. Returns false when the ring is full.
-  bool TryPush(T&& value) {
+  /// Producer side. Returns false when the ring is full (the value is left
+  /// intact so the caller may retry).
+  bool TryPush(T&& value) REQUIRES(producer_role_) {
+    // order: relaxed — head_ is producer-owned; only this thread writes it,
+    // so its own last value needs no synchronization to re-read.
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head - tail_cache_ > mask_) {
+      // order: acquire — pairs with the consumer's release store of tail_;
+      // makes the consumer's slot clear (payload release) visible before
+      // we overwrite the slot it freed.
       tail_cache_ = tail_.load(std::memory_order_acquire);
       if (head - tail_cache_ > mask_) return false;
     }
     slots_[head & mask_] = std::move(value);
+    // order: release — publishes the slot write above to the consumer's
+    // acquire load of head_; the consumer must never read a half-written
+    // slot.
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
 
   /// Consumer side. Returns false when the ring is empty.
-  bool TryPop(T& out) {
+  bool TryPop(T& out) REQUIRES(consumer_role_) {
+    // order: relaxed — tail_ is consumer-owned; re-reading our own last
+    // store needs no synchronization.
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_cache_) {
+      // order: acquire — pairs with the producer's release store of head_;
+      // makes the producer's slot write visible before we move from it.
       head_cache_ = head_.load(std::memory_order_acquire);
       if (tail == head_cache_) return false;
     }
     out = std::move(slots_[tail & mask_]);
     slots_[tail & mask_] = T{};  // drop payload refs (e.g. table handles) now
+    // order: release — publishes the slot clear above to the producer's
+    // acquire load of tail_, so the producer never overwrites a slot whose
+    // payload is still being destroyed.
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
@@ -54,18 +78,39 @@ class SpscRing {
 
   /// Approximate occupancy (exact when the other side is idle).
   [[nodiscard]] std::size_t size() const {
+    // order: acquire ×2 — monotonic snapshot of both indices; acquire is
+    // enough because the result is advisory (no payload is read from it).
     return head_.load(std::memory_order_acquire) -
            tail_.load(std::memory_order_acquire);
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
 
+  /// The producer-side thread role: held by the one thread that pushes.
+  [[nodiscard]] const base::ThreadRole& producer_role() const
+      RETURN_CAPABILITY(producer_role_) {
+    return producer_role_;
+  }
+  /// The consumer-side thread role: held by the one thread that pops.
+  [[nodiscard]] const base::ThreadRole& consumer_role() const
+      RETURN_CAPABILITY(consumer_role_) {
+    return consumer_role_;
+  }
+
  private:
+  // slots_ is written by both sides, but never the same slot at the same
+  // time: the head_/tail_ release/acquire protocol above hands each slot
+  // back and forth. The analysis cannot express per-slot ownership, so
+  // slots_ is deliberately unguarded.
   std::vector<T> slots_;
   std::size_t mask_ = 0;
+  base::ThreadRole producer_role_;  // the single ingest thread
+  base::ThreadRole consumer_role_;  // the single worker thread
   alignas(64) std::atomic<std::size_t> head_{0};  // written by producer
-  alignas(64) std::size_t tail_cache_ = 0;        // producer's view of tail_
+  alignas(64) std::size_t tail_cache_
+      ONLY_THREAD(producer_role_) = 0;  // producer's view of tail_
   alignas(64) std::atomic<std::size_t> tail_{0};  // written by consumer
-  alignas(64) std::size_t head_cache_ = 0;        // consumer's view of head_
+  alignas(64) std::size_t head_cache_
+      ONLY_THREAD(consumer_role_) = 0;  // consumer's view of head_
 };
 
 }  // namespace netclust::engine

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "base/sync.h"
 #include "bgp/table_handle.h"
 #include "core/streaming.h"
 #include "engine/spsc_ring.h"
@@ -26,6 +27,9 @@ Prefix P(const char* text) { return Prefix::Parse(text).value(); }
 
 TEST(SpscRing, FifoOrderAndCapacity) {
   SpscRing<int> ring(6);  // rounds up to 8
+  // Single-threaded test: this thread legitimately plays both SPSC roles.
+  base::AssumeThreadRole producer(ring.producer_role());
+  base::AssumeThreadRole consumer(ring.consumer_role());
   EXPECT_EQ(ring.capacity(), 8u);
   for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.TryPush(int{i}));
   EXPECT_FALSE(ring.TryPush(99));  // full
@@ -45,6 +49,8 @@ TEST(SpscRing, ZeroCapacityGetsUsableFloor) {
   // Capacity 0 used to round up to a single slot, which the full/empty
   // index arithmetic treats as permanently full.
   SpscRing<int> ring(0);
+  base::AssumeThreadRole producer(ring.producer_role());
+  base::AssumeThreadRole consumer(ring.consumer_role());
   EXPECT_EQ(ring.capacity(), 2u);
   EXPECT_TRUE(ring.TryPush(1));
   EXPECT_TRUE(ring.TryPush(2));
@@ -56,6 +62,8 @@ TEST(SpscRing, ZeroCapacityGetsUsableFloor) {
 
 TEST(RcuTableSlot, PublishedSnapshotsAreImmutableAndRefcounted) {
   bgp::RcuTableSlot slot;
+  // This test thread is the slot's single publisher.
+  base::AssumeThreadRole publisher(slot.publisher_role());
   EXPECT_EQ(slot.version(), 1u);
   EXPECT_EQ(slot.Acquire()->size(), 0u);
 
@@ -304,7 +312,7 @@ TEST(Engine, MetricsExpositionCoversAllPaths) {
   }
   engine.Announce(P("12.0.0.0/9"), source);  // splits all five clients
   for (int i = 0; i < 3; ++i) {
-    engine.Lookup(IpAddress(12, 0, 0, 1));
+    EXPECT_TRUE(engine.Lookup(IpAddress(12, 0, 0, 1)).has_value());
   }
   engine.Drain();
 

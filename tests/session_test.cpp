@@ -49,6 +49,26 @@ TEST(Sessions, EachSessionShowsTheSameClusteringShape) {
   }
 }
 
+TEST(Sessions, ParallelPartitioningIsDeterministic) {
+  // The slice-build fan-out must be invisible: any thread count yields the
+  // same sessions, request for request, as the single-threaded walk.
+  const auto& world = netclust::testing::GetSmallWorld();
+  const auto sequential = PartitionIntoSessions(world.generated.log, 5, 1);
+  const auto parallel = PartitionIntoSessions(world.generated.log, 5, 4);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t s = 0; s < sequential.size(); ++s) {
+    EXPECT_EQ(sequential[s].name(), parallel[s].name());
+    const auto& a = sequential[s].requests();
+    const auto& b = parallel[s].requests();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].client, b[i].client);
+      EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+      EXPECT_EQ(a[i].url_id, b[i].url_id);
+    }
+  }
+}
+
 TEST(Sessions, DegenerateCounts) {
   const auto& world = netclust::testing::GetSmallWorld();
   EXPECT_TRUE(PartitionIntoSessions(world.generated.log, 0).empty());

@@ -1,0 +1,321 @@
+#include "lint_rules.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace netclust::lint {
+namespace {
+
+/// One physical line split into its code text and its comment text, with
+/// string/char literal contents blanked out of the code part (so tokens
+/// inside literals never match a rule).
+struct ScannedLine {
+  std::string code;
+  std::string comment;
+};
+
+/// Splits `content` into lines while tracking /* */ blocks, // comments,
+/// string/char literals and raw strings across line boundaries.
+std::vector<ScannedLine> ScanLines(std::string_view content) {
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  std::vector<ScannedLine> lines;
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the )delim" terminator
+  ScannedLine current;
+
+  const auto flush = [&] {
+    lines.push_back(std::move(current));
+    current = ScannedLine{};
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      // A // comment ends with the line; block comments and raw strings
+      // continue.
+      flush();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          // Line comment: capture its text (order-comment reads it).
+          std::size_t end = content.find('\n', i);
+          if (end == std::string_view::npos) end = content.size();
+          current.comment.append(content.substr(i, end - i));
+          i = end - 1;  // loop ++ lands on '\n'
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t paren = content.find('(', i + 2);
+          if (paren == std::string_view::npos) {
+            current.code.push_back(c);
+            break;
+          }
+          raw_delim = ")";
+          raw_delim.append(content.substr(i + 2, paren - (i + 2)));
+          raw_delim.push_back('"');
+          current.code.append("R\"\"");
+          state = State::kRawString;
+          i = paren;
+        } else if (c == '"') {
+          current.code.push_back('"');
+          state = State::kString;
+        } else if (c == '\'') {
+          current.code.push_back('\'');
+          state = State::kChar;
+        } else {
+          current.code.push_back(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          current.comment.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char (an escaped newline is not code anyway)
+        } else if (c == '"') {
+          current.code.push_back('"');
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          current.code.push_back('\'');
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == raw_delim[0] &&
+            content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          current.code.push_back('"');
+          state = State::kCode;
+          i += raw_delim.size() - 1;
+        }
+        break;
+    }
+  }
+  flush();
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `token` occurs in `text` as a whole identifier (not as a
+/// substring of a longer identifier).
+bool HasToken(std::string_view text, std::string_view token) {
+  std::size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const std::size_t after = pos + token.size();
+    const bool right_ok = after >= text.size() || !IsIdentChar(text[after]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+/// Collapses whitespace so `#  include < iostream >` still matches.
+std::string StripSpaces(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out;
+}
+
+// How far above a memory_order_* use its `order:` comment may sit. Covers
+// a multi-line rationale block directly above a multi-line statement.
+constexpr int kOrderCommentWindow = 6;
+
+void CheckOrderComment(std::string_view path,
+                       const std::vector<ScannedLine>& lines,
+                       std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!HasToken(lines[i].code, "memory_order_relaxed") &&
+        !HasToken(lines[i].code, "memory_order_acquire") &&
+        !HasToken(lines[i].code, "memory_order_release") &&
+        !HasToken(lines[i].code, "memory_order_acq_rel") &&
+        !HasToken(lines[i].code, "memory_order_seq_cst") &&
+        !HasToken(lines[i].code, "memory_order_consume")) {
+      continue;
+    }
+    bool justified = false;
+    const std::size_t first =
+        i >= kOrderCommentWindow ? i - kOrderCommentWindow : 0;
+    for (std::size_t j = first; j <= i && !justified; ++j) {
+      justified = lines[j].comment.find("order:") != std::string::npos;
+    }
+    if (!justified) {
+      findings->push_back(
+          {std::string(path), static_cast<int>(i + 1), "order-comment",
+           "memory_order_* use without an adjacent '// order:' rationale "
+           "comment"});
+    }
+  }
+}
+
+void CheckParserInt(std::string_view path,
+                    const std::vector<ScannedLine>& lines,
+                    std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/bgp/") && !StartsWith(path, "src/weblog/")) {
+    return;
+  }
+  static constexpr std::string_view kBanned[] = {
+      "atoi", "atol", "atoll", "stoi", "stol", "stoul",
+      "stoull", "sscanf", "strtol", "strtoul", "strtoll", "strtoull"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::string_view fn : kBanned) {
+      if (HasToken(lines[i].code, fn)) {
+        findings->push_back(
+            {std::string(path), static_cast<int>(i + 1), "parser-int",
+             "'" + std::string(fn) +
+                 "' in parser code — use std::from_chars (locale-free, "
+                 "overflow-checked)"});
+      }
+    }
+  }
+}
+
+void CheckNakedThread(std::string_view path,
+                      const std::vector<ScannedLine>& lines,
+                      std::vector<Finding>* findings) {
+  if (StartsWith(path, "src/engine/") || path == "src/core/parallel.cc") {
+    return;
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    std::size_t pos = 0;
+    while ((pos = code.find("std::thread", pos)) != std::string::npos) {
+      const std::size_t after = pos + std::string_view("std::thread").size();
+      // Longer identifiers and nested names (std::thread::
+      // hardware_concurrency) are not thread *spawns*; flag the bare type
+      // only.
+      if (after >= code.size() ||
+          (!IsIdentChar(code[after]) && code.compare(after, 2, "::") != 0)) {
+        findings->push_back(
+            {std::string(path), static_cast<int>(i + 1), "naked-thread",
+             "raw std::thread outside src/engine/ and src/core/parallel.cc "
+             "— use core::ParallelFor or the engine's shard workers"});
+        break;  // one finding per line is enough
+      }
+      pos = after;
+    }
+  }
+}
+
+void CheckIostreamInclude(std::string_view path,
+                          const std::vector<ScannedLine>& lines,
+                          std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (StripSpaces(lines[i].code).find("#include<iostream>") !=
+        std::string::npos) {
+      findings->push_back(
+          {std::string(path), static_cast<int>(i + 1), "iostream-include",
+           "#include <iostream> in library code — use <cstdio>/<ostream> "
+           "or move the I/O to a tool target"});
+    }
+  }
+}
+
+void CheckHeaderGuard(std::string_view path,
+                      const std::vector<ScannedLine>& lines,
+                      std::vector<Finding>* findings) {
+  if (path.size() < 2 || path.substr(path.size() - 2) != ".h") return;
+  bool pragma_once = false;
+  int ifndef_guard_line = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = StripSpaces(lines[i].code);
+    if (code.find("#pragmaonce") != std::string::npos) pragma_once = true;
+    if (ifndef_guard_line == 0 && StartsWith(code, "#ifndef") &&
+        i + 1 < lines.size() &&
+        StartsWith(StripSpaces(lines[i + 1].code), "#define")) {
+      ifndef_guard_line = static_cast<int>(i + 1);
+    }
+  }
+  if (!pragma_once) {
+    findings->push_back({std::string(path), 1, "header-guard",
+                         "header missing #pragma once (repo convention)"});
+  }
+  if (ifndef_guard_line != 0) {
+    findings->push_back(
+        {std::string(path), ifndef_guard_line, "header-guard",
+         "#ifndef-style include guard — this repo uses #pragma once"});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> LintFile(std::string_view path,
+                              std::string_view content) {
+  const std::vector<ScannedLine> lines = ScanLines(content);
+  std::vector<Finding> findings;
+  CheckOrderComment(path, lines, &findings);
+  CheckParserInt(path, lines, &findings);
+  CheckNakedThread(path, lines, &findings);
+  CheckIostreamInclude(path, lines, &findings);
+  CheckHeaderGuard(path, lines, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line < b.line;
+            });
+  return findings;
+}
+
+std::vector<Suppression> ParseSuppressions(std::string_view text) {
+  std::vector<Suppression> suppressions;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    // Trim and drop comments / blanks.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                                line.front()))) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           std::isspace(static_cast<unsigned char>(line.back()))) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;  // malformed: ignore
+    suppressions.push_back({std::string(line.substr(0, colon)),
+                            std::string(line.substr(colon + 1))});
+  }
+  return suppressions;
+}
+
+bool IsSuppressed(const Finding& finding,
+                  const std::vector<Suppression>& suppressions) {
+  for (const Suppression& s : suppressions) {
+    if (s.rule == finding.rule && s.file == finding.file) return true;
+  }
+  return false;
+}
+
+}  // namespace netclust::lint

@@ -1,0 +1,60 @@
+// netclust_lint — repo-specific, dependency-free static checks.
+//
+// A token-level checker for the project rules that clang-tidy and
+// -Wthread-safety cannot express (see DESIGN.md "Static analysis" for the
+// rule catalog and rationale). The rule engine is a pure function of
+// (path, file content) so the self-test can feed it snippets directly;
+// netclust_lint.cc wraps it in a filesystem walk + suppression file.
+//
+// Rules (ids are stable; the suppression file references them):
+//   order-comment   every memory_order_* use carries an adjacent
+//                   `// order:` rationale comment (same line or within
+//                   the preceding comment block).
+//   parser-int      no atoi / std::stoi / sscanf / strtol-family in
+//                   parser code (src/bgp/, src/weblog/) — use
+//                   std::from_chars; locale- and overflow-unsafe parsing
+//                   was the PR 2 bug class.
+//   naked-thread    no std::thread outside src/engine/ and
+//                   src/core/parallel.cc — thread management goes through
+//                   the engine's ShardWorker or core::ParallelFor.
+//   iostream-include no #include <iostream> in library code under src/
+//                   (iostream pulls in static init + locale machinery;
+//                   CLI tools are vetted via the suppression file).
+//   header-guard    every header under src/ uses #pragma once (the repo
+//                   convention), not #ifndef guards.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netclust::lint {
+
+struct Finding {
+  std::string file;  // repo-relative path, e.g. "src/engine/shard.h"
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Runs every rule over one file. `path` must be repo-relative with '/'
+/// separators — rule scoping (parser dirs, engine allowance) matches on it.
+std::vector<Finding> LintFile(std::string_view path,
+                              std::string_view content);
+
+/// One suppression: exempts `rule` findings in `file` (exact
+/// repo-relative path match).
+struct Suppression {
+  std::string rule;
+  std::string file;
+};
+
+/// Parses the suppression file format: one `rule:path` per line,
+/// '#' comments and blank lines ignored.
+std::vector<Suppression> ParseSuppressions(std::string_view text);
+
+/// True when `finding` is covered by an entry in `suppressions`.
+bool IsSuppressed(const Finding& finding,
+                  const std::vector<Suppression>& suppressions);
+
+}  // namespace netclust::lint

@@ -1,0 +1,209 @@
+// Self-test for the netclust_lint rule engine: feeds each rule a known-bad
+// snippet and asserts the rule fires (with the right rule id and line),
+// and a known-good variant and asserts silence. Runs as the
+// `lint.selftest` ctest; dependency-free on purpose (no gtest) so the
+// lint toolchain stays buildable in minimal environments.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace {
+
+int g_failures = 0;
+
+#define CHECK(cond)                                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond); \
+      ++g_failures;                                                       \
+    }                                                                     \
+  } while (0)
+
+using netclust::lint::Finding;
+using netclust::lint::LintFile;
+
+/// Findings for `rule` only (other rules may legitimately fire on the
+/// same snippet, e.g. header-guard on .h test inputs).
+std::vector<Finding> Of(const std::vector<Finding>& findings,
+                        const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+void TestOrderComment() {
+  // Bad: relaxed load with no rationale.
+  const auto bad = Of(LintFile("src/x/a.cc",
+                               "int f(std::atomic<int>& a) {\n"
+                               "  return a.load(std::memory_order_relaxed);\n"
+                               "}\n"),
+                      "order-comment");
+  CHECK(bad.size() == 1);
+  CHECK(!bad.empty() && bad[0].line == 2);
+
+  // Good: same-line and preceding-comment rationales.
+  CHECK(Of(LintFile("src/x/a.cc",
+                    "int f(std::atomic<int>& a) {\n"
+                    "  // order: counter is advisory.\n"
+                    "  return a.load(std::memory_order_relaxed);\n"
+                    "}\n"),
+           "order-comment")
+            .empty());
+  CHECK(Of(LintFile("src/x/a.cc",
+                    "int v = a.load(std::memory_order_acquire);"
+                    "  // order: pairs with release in Push\n"),
+           "order-comment")
+            .empty());
+
+  // A memory_order token inside a string literal is not a use.
+  CHECK(Of(LintFile("src/x/a.cc",
+                    "const char* s = \"memory_order_relaxed\";\n"),
+           "order-comment")
+            .empty());
+  // ... but a commented rationale more than the window away does not count.
+  std::string far = "// order: too far away\n";
+  for (int i = 0; i < 8; ++i) far += "int pad" + std::to_string(i) + ";\n";
+  far += "int v = a.load(std::memory_order_relaxed);\n";
+  CHECK(Of(LintFile("src/x/a.cc", far), "order-comment").size() == 1);
+}
+
+void TestParserInt() {
+  // Bad: stoi in parser code.
+  const auto bad = Of(LintFile("src/bgp/p.cc",
+                               "int v = std::stoi(field);\n"),
+                      "parser-int");
+  CHECK(bad.size() == 1);
+  CHECK(!bad.empty() && bad[0].line == 1);
+  CHECK(Of(LintFile("src/weblog/q.cc", "sscanf(buf, \"%d\", &v);\n"),
+           "parser-int")
+            .size() == 1);
+  // Good: from_chars, and the same token outside parser dirs.
+  CHECK(Of(LintFile("src/bgp/p.cc",
+                    "auto r = std::from_chars(b, e, v);\n"),
+           "parser-int")
+            .empty());
+  CHECK(Of(LintFile("src/core/p.cc", "int v = std::stoi(field);\n"),
+           "parser-int")
+            .empty());
+  // Substrings of longer identifiers are not matches.
+  CHECK(Of(LintFile("src/bgp/p.cc", "int my_atoi_count = 0;\n"),
+           "parser-int")
+            .empty());
+}
+
+void TestNakedThread() {
+  const auto bad = Of(LintFile("src/core/streaming.cc",
+                               "std::thread t([] {});\n"),
+                      "naked-thread");
+  CHECK(bad.size() == 1);
+  // Allowed homes.
+  CHECK(Of(LintFile("src/engine/shard.h", "std::thread thread_;\n"),
+           "naked-thread")
+            .empty());
+  CHECK(Of(LintFile("src/core/parallel.cc",
+                    "std::vector<std::thread> workers;\n"),
+           "naked-thread")
+            .empty());
+  // Nested names are not spawns.
+  CHECK(Of(LintFile("src/core/streaming.cc",
+                    "int n = std::thread::hardware_concurrency();\n"),
+           "naked-thread")
+            .empty());
+  CHECK(Of(LintFile("src/core/streaming.cc",
+                    "std::this_thread::yield();\n"),
+           "naked-thread")
+            .empty());
+}
+
+void TestIostreamInclude() {
+  const auto bad = Of(LintFile("src/net/x.cc",
+                               "#include <iostream>\n"),
+                      "iostream-include");
+  CHECK(bad.size() == 1);
+  CHECK(Of(LintFile("src/net/x.cc", "#include <ostream>\n"),
+           "iostream-include")
+            .empty());
+  CHECK(Of(LintFile("src/net/x.cc", "// #include <iostream>\n"),
+           "iostream-include")
+            .empty());
+  // Whitespace variants still match.
+  CHECK(Of(LintFile("src/net/x.cc", "#  include <iostream>\n"),
+           "iostream-include")
+            .size() == 1);
+}
+
+void TestHeaderGuard() {
+  CHECK(Of(LintFile("src/net/x.h", "#pragma once\nint f();\n"),
+           "header-guard")
+            .empty());
+  // Missing pragma once.
+  CHECK(Of(LintFile("src/net/x.h", "int f();\n"), "header-guard").size() ==
+        1);
+  // #ifndef-style guard: flagged twice (missing pragma + guard style).
+  CHECK(Of(LintFile("src/net/x.h",
+                    "#ifndef NET_X_H_\n#define NET_X_H_\n#endif\n"),
+           "header-guard")
+            .size() == 2);
+  // Rule only applies to headers.
+  CHECK(Of(LintFile("src/net/x.cc", "int f() { return 0; }\n"),
+           "header-guard")
+            .empty());
+}
+
+void TestSuppressions() {
+  const auto suppressions = netclust::lint::ParseSuppressions(
+      "# vetted exceptions\n"
+      "iostream-include:src/fuzz/make_corpus.cc\n"
+      "\n"
+      "malformed line without colon\n");
+  CHECK(suppressions.size() == 1);
+  Finding hit{"src/fuzz/make_corpus.cc", 13, "iostream-include", ""};
+  Finding other_file{"src/net/x.cc", 1, "iostream-include", ""};
+  Finding other_rule{"src/fuzz/make_corpus.cc", 13, "parser-int", ""};
+  CHECK(netclust::lint::IsSuppressed(hit, suppressions));
+  CHECK(!netclust::lint::IsSuppressed(other_file, suppressions));
+  CHECK(!netclust::lint::IsSuppressed(other_rule, suppressions));
+}
+
+void TestCommentAndStringScanner() {
+  // Rules must ignore code inside block comments and raw strings.
+  CHECK(Of(LintFile("src/bgp/p.cc",
+                    "/* std::stoi(field) is banned here */\n"),
+           "parser-int")
+            .empty());
+  CHECK(Of(LintFile("src/bgp/p.cc",
+                    "const char* s = R\"(std::stoi(x))\";\n"),
+           "parser-int")
+            .empty());
+  // A block comment spanning lines does not hide following code.
+  const auto after_block = Of(LintFile("src/bgp/p.cc",
+                                       "/* banner\n"
+                                       "   banner */\n"
+                                       "int v = std::stoi(s);\n"),
+                              "parser-int");
+  CHECK(after_block.size() == 1);
+  CHECK(!after_block.empty() && after_block[0].line == 3);
+}
+
+}  // namespace
+
+int main() {
+  TestOrderComment();
+  TestParserInt();
+  TestNakedThread();
+  TestIostreamInclude();
+  TestHeaderGuard();
+  TestSuppressions();
+  TestCommentAndStringScanner();
+  if (g_failures != 0) {
+    std::fprintf(stderr, "lint_selftest: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::printf("lint_selftest: all rules fire and stay silent as expected\n");
+  return 0;
+}

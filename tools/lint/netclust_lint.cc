@@ -1,0 +1,90 @@
+// netclust_lint driver: walks src/ under --root, runs the rule engine
+// (lint_rules.h) on every .h/.cc, subtracts the checked-in suppressions,
+// and exits non-zero when findings remain. Registered as the `lint.netclust`
+// ctest so `ctest -R lint` enforces the rules locally, without CI.
+//
+// Usage: netclust_lint --root <repo-root> [--suppressions <file>]
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// `path` relative to `root`, with '/' separators.
+std::string RelativePath(const fs::path& path, const fs::path& root) {
+  return fs::relative(path, root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root;
+  fs::path suppressions_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--suppressions" && i + 1 < argc) {
+      suppressions_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: netclust_lint --root <repo-root> "
+                   "[--suppressions <file>]\n");
+      return 2;
+    }
+  }
+  if (root.empty() || !fs::is_directory(root / "src")) {
+    std::fprintf(stderr, "netclust_lint: --root must contain a src/ tree\n");
+    return 2;
+  }
+
+  std::vector<netclust::lint::Suppression> suppressions;
+  if (!suppressions_path.empty()) {
+    suppressions =
+        netclust::lint::ParseSuppressions(ReadFile(suppressions_path));
+  }
+
+  // Deterministic order: collect, then sort.
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  int reported = 0;
+  int suppressed = 0;
+  for (const fs::path& file : files) {
+    const std::string rel = RelativePath(file, root);
+    for (const netclust::lint::Finding& finding :
+         netclust::lint::LintFile(rel, ReadFile(file))) {
+      if (netclust::lint::IsSuppressed(finding, suppressions)) {
+        ++suppressed;
+        continue;
+      }
+      std::printf("%s:%d: [%s] %s\n", finding.file.c_str(), finding.line,
+                  finding.rule.c_str(), finding.message.c_str());
+      ++reported;
+    }
+  }
+  std::printf("netclust_lint: %zu files, %d finding(s), %d suppressed\n",
+              files.size(), reported, suppressed);
+  return reported == 0 ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every src/
+# translation unit in a build directory's compile_commands.json.
+#
+# Usage: tools/lint/run_tidy.sh [build-dir]   (default: build)
+#
+# Exits 0 when clean, 1 on findings, 77 (the automake/ctest SKIP code)
+# when clang-tidy or the compilation database is unavailable — so local
+# runs on GCC-only machines skip gracefully while CI enforces.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD_DIR="${1:-build}"
+case "$BUILD_DIR" in
+  /*) ;;
+  *) BUILD_DIR="$ROOT/$BUILD_DIR" ;;
+esac
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_tidy.sh: $TIDY not found; skipping (install clang-tidy to run)" >&2
+  exit 77
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy.sh: $BUILD_DIR/compile_commands.json missing;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 77
+fi
+
+# Library and tool sources only (tests/benches inherit the rules through
+# the headers they include), restricted to TUs actually present in the
+# compilation database — optional targets (e.g. fuzzers) may not be
+# configured in this build dir.
+FILES=$(sed -n 's/.*"file": *"\(.*\)".*/\1/p' \
+          "$BUILD_DIR/compile_commands.json" |
+        grep -E "^$ROOT/(src|tools)/" | sort -u)
+if [ -z "$FILES" ]; then
+  echo "run_tidy.sh: no src/ or tools/ TUs in the compilation database" >&2
+  exit 77
+fi
+
+STATUS=0
+for f in $FILES; do
+  # --quiet keeps the output to actual findings; the config lives in the
+  # repo-root .clang-tidy.
+  "$TIDY" --quiet -p "$BUILD_DIR" "$f" || STATUS=1
+done
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "run_tidy.sh: clang-tidy clean over $(echo "$FILES" | wc -l) files"
+fi
+exit $STATUS

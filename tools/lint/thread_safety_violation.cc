@@ -1,0 +1,39 @@
+// Seed for the thread-safety compile-fail check.
+//
+// Compiled two ways by tools/lint/CMakeLists.txt on Clang:
+//   * default — the seeded unguarded write below MUST be rejected by
+//     -Wthread-safety -Werror=thread-safety (negative case: proves the
+//     analysis is actually on and the annotations are live);
+//   * -DNETCLUST_TSA_EXPECT_CLEAN — the properly locked variant MUST
+//     compile (positive control: proves the negative case fails for the
+//     seeded violation, not for an unrelated reason).
+// On non-Clang compilers the annotations are no-ops and this file is not
+// exercised.
+
+#include "base/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+#ifdef NETCLUST_TSA_EXPECT_CLEAN
+    netclust::base::MutexLock lock(&mu_);
+    balance_ += amount;
+#else
+    balance_ += amount;  // seeded violation: GUARDED_BY member, no lock
+#endif
+  }
+
+ private:
+  netclust::base::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}
