@@ -1,0 +1,119 @@
+// Service-layer latency: what does putting netclustd's wire protocol and
+// a real TCP round-trip in front of Engine::Lookup cost?
+//
+// Spins up the daemon in-process on an ephemeral loopback port (one
+// reader thread — the conservative configuration), replays the Nagano
+// preset log's per-request client stream through the loadgen core
+// (BATCH_LOOKUP frames over concurrent connections), and reports
+// end-to-end queries/s with p50/p99 round-trip latency. The same report
+// is written as BENCH_server.json so CI can trend it.
+//
+// Floor: the single-reader daemon must clear 50k lookups/s on loopback —
+// far below what the lock-free read path delivers (§3.5's
+// "computationally non-intensive" claim extends to the service layer),
+// so a failure here means a serialization bug, not a slow machine.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/engine.h"
+#include "loadgen.h"
+#include "server/server.h"
+
+int main() {
+  using namespace netclust;
+  bench::PrintHeader(
+      "service layer — netclustd end-to-end lookup latency",
+      "the epoll daemon adds a wire round-trip but no locks: cluster "
+      "lookups stay cheap enough to answer online, per request");
+
+  const auto& scenario = bench::GetScenario();
+  const auto generated = bench::MakeLog(bench::LogPreset::kNagano);
+  const auto& log = generated.log;
+  const bgp::Snapshot seed = scenario.vantages().MakeSnapshot(0, 0);
+
+  engine::EngineConfig config;
+  config.shards = 1;
+  config.log_name = "nagano";
+  engine::Engine engine(config);
+  engine.SeedSnapshot(seed);
+  engine.Start();
+
+  server::ServerConfig server_config;
+  server_config.port = 0;  // ephemeral
+  server_config.reader_threads = 1;
+  server::Server daemon(&engine, server_config);
+  const Result<std::uint16_t> port = daemon.Serve();
+  if (!port.ok()) {
+    std::fprintf(stderr, "bench_server_latency: serve: %s\n",
+                 port.error().c_str());
+    return 1;
+  }
+
+  // The paper's input artifact is a web log; replay its client stream
+  // (repeats preserved) exactly as `loadgen --clf` would.
+  loadgen::Options options;
+  options.port = port.value();
+  options.connections = 2;
+  options.total_frames = 20'000;
+  options.batch_size = 8;
+  for (const auto& request : log.requests()) {
+    options.addresses.push_back(request.client);
+  }
+  std::printf("\ndaemon: 127.0.0.1:%u, 1 reader thread, table %zu prefixes\n",
+              port.value(), seed.entries.size());
+  std::printf("load:   %zu clients cycled from %zu log requests, "
+              "%d connections x %zu-address batches, %zu frames\n",
+              log.clients().size(), options.addresses.size(),
+              options.connections, options.batch_size,
+              options.total_frames);
+
+  const Result<loadgen::Report> run = loadgen::Run(options);
+  daemon.Stop();
+  engine.Stop();
+  if (!run.ok()) {
+    std::fprintf(stderr, "bench_server_latency: loadgen: %s\n",
+                 run.error().c_str());
+    return 1;
+  }
+  const loadgen::Report& report = run.value();
+
+  std::printf("\n  %-28s %s\n", "lookups served",
+              bench::Fmt(static_cast<double>(report.lookups_done)).c_str());
+  std::printf("  %-28s %s (of lookups)\n", "covered by a prefix",
+              bench::Fmt(static_cast<double>(report.found)).c_str());
+  std::printf("  %-28s %s lookups/s\n", "end-to-end throughput",
+              bench::Fmt(report.qps).c_str());
+  std::printf("  %-28s %.1f us\n", "round-trip p50",
+              static_cast<double>(report.p50_ns) / 1000.0);
+  std::printf("  %-28s %.1f us\n", "round-trip p99",
+              static_cast<double>(report.p99_ns) / 1000.0);
+  std::printf("  %-28s %zu\n", "errors", report.errors);
+
+  const std::string json = report.ToJson();
+  std::FILE* out = std::fopen("BENCH_server.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_server_latency: cannot write "
+                 "BENCH_server.json\n");
+    return 1;
+  }
+  std::fprintf(out, "%s\n", json.c_str());
+  std::fclose(out);
+  std::printf("\nwrote BENCH_server.json: %s\n", json.c_str());
+
+  if (report.errors != 0) {
+    std::fprintf(stderr, "bench_server_latency: %zu request errors "
+                 "(first: %s)\n",
+                 report.errors, report.first_error.c_str());
+    return 1;
+  }
+  if (report.qps < 50'000.0) {
+    std::fprintf(stderr, "bench_server_latency: %.0f lookups/s is below "
+                 "the 50k single-reader floor\n",
+                 report.qps);
+    return 1;
+  }
+  std::printf("single-reader floor (50k lookups/s): cleared\n");
+  return 0;
+}

@@ -97,6 +97,16 @@ class Engine {
   // --- serving plane (any thread, lock-free) ---
 
   /// Longest-prefix match against the current published snapshot.
+  ///
+  /// This is the engine's public serving API: safe to call from ANY thread
+  /// at ANY time, concurrently with ingest — it takes no lock and blocks
+  /// on nothing (one acquire-load of the RCU slot plus a read-only trie
+  /// walk over an immutable snapshot). netclustd's reader threads call it
+  /// directly per request frame; the contract is witnessed under TSan by
+  /// Engine.ConcurrentLookupVsIngestIsRaceFree (tests/engine_test.cpp).
+  /// A lookup races only with the *publication* of a new snapshot, never
+  /// with its construction: it sees the old table or the new one, complete
+  /// either way.
   [[nodiscard]] std::optional<bgp::PrefixTable::Match> Lookup(
       net::IpAddress address) const;
 

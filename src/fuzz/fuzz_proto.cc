@@ -1,0 +1,12 @@
+// libFuzzer target: the netclustd wire-protocol decoder (server/proto.h)
+// over arbitrary bytes — truncated frames, oversized lengths, bad
+// version/opcode bytes — plus the chunking-independence and re-encode
+// properties (see harness.h). Built by NETCLUST_FUZZERS=ON; links
+// libFuzzer under Clang and standalone_main.cc elsewhere.
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  netclust::fuzz::FuzzProto(data, size);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "fuzz/harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -10,6 +11,7 @@
 #include "bgp/text_parser.h"
 #include "net/ip_address.h"
 #include "net/prefix_format.h"
+#include "server/proto.h"
 #include "weblog/clf.h"
 
 // Property checks must fire in every build mode (fuzzers run optimized, the
@@ -191,6 +193,156 @@ void FuzzClf(const std::uint8_t* data, std::size_t size) {
     NETCLUST_FUZZ_ASSERT(reparsed.ok(), "formatted CLF line failed to re-parse");
     NETCLUST_FUZZ_ASSERT(reparsed.value() == record.value(),
                          "CLF line round trip changed the record");
+  }
+}
+
+namespace {
+
+/// Payload-level checks for one accepted frame: run the opcode's decoder;
+/// when it accepts, demand re-encode byte-identity (or, for the embedded
+/// BGP UPDATE, a one-step fixed point — bgp::EncodeUpdate may legitimately
+/// canonicalize what bgp::DecodeUpdate accepted).
+void CheckProtoPayload(const server::Frame& frame) {
+  using server::Opcode;
+  const std::uint8_t* payload = frame.payload.data();
+  const std::size_t size = frame.payload.size();
+  switch (frame.header.opcode) {
+    case Opcode::kLookup: {
+      const auto req = server::DecodeLookup(payload, size);
+      if (!req.ok()) return;
+      NETCLUST_FUZZ_ASSERT(server::EncodeLookup(req.value()) == frame.payload,
+                           "LOOKUP payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kBatchLookup: {
+      const auto req = server::DecodeBatchLookup(payload, size);
+      if (!req.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeBatchLookup(req.value()) == frame.payload,
+          "BATCH_LOOKUP payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kIngestUpdate: {
+      const auto req = server::DecodeIngest(payload, size);
+      if (!req.ok()) return;
+      const std::vector<std::uint8_t> once = server::EncodeIngest(req.value());
+      const auto again = server::DecodeIngest(once.data(), once.size());
+      NETCLUST_FUZZ_ASSERT(again.ok(),
+                           "re-encoded INGEST payload failed to decode");
+      NETCLUST_FUZZ_ASSERT(again.value() == req.value(),
+                           "INGEST round trip changed the decoded request");
+      NETCLUST_FUZZ_ASSERT(server::EncodeIngest(again.value()) == once,
+                           "INGEST encoding is not a one-step fixed point");
+      return;
+    }
+    case Opcode::kLookupResult: {
+      const auto record = server::DecodeLookupRecord(payload, size);
+      if (!record.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeLookupRecord(record.value()) == frame.payload,
+          "LOOKUP_RESULT record round trip changed bytes");
+      // Match conversion must be lossless both ways.
+      NETCLUST_FUZZ_ASSERT(
+          server::LookupRecord::FromMatch(record.value().ToMatch()) ==
+              record.value(),
+          "LookupRecord <-> Match conversion is lossy");
+      return;
+    }
+    case Opcode::kBatchResult: {
+      const auto records = server::DecodeBatchResult(payload, size);
+      if (!records.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeBatchResult(records.value()) == frame.payload,
+          "BATCH_RESULT payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kIngestAck: {
+      const auto ack = server::DecodeIngestAck(payload, size);
+      if (!ack.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeIngestAck(ack.value()) == frame.payload,
+          "INGEST_ACK payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kError: {
+      const auto error = server::DecodeError(payload, size);
+      if (!error.ok()) return;
+      NETCLUST_FUZZ_ASSERT(server::EncodeError(error.value()) == frame.payload,
+                           "ERROR payload round trip changed bytes");
+      return;
+    }
+    default:
+      return;  // PING/PONG/STATS/STATS_TEXT/BUSY payloads are free-form
+  }
+}
+
+}  // namespace
+
+void FuzzProto(const std::uint8_t* data, std::size_t size) {
+  using server::Frame;
+  using server::FrameDecoder;
+
+  // Pass 1: whole buffer at once.
+  FrameDecoder whole;
+  whole.Feed(data, size);
+  std::vector<Frame> frames;
+  bool failed = false;
+  std::string error;
+  for (;;) {
+    auto next = whole.Next();
+    if (!next.ok()) {
+      failed = true;
+      error = next.error();
+      break;
+    }
+    if (!next.value().has_value()) break;
+    frames.push_back(std::move(*next.value()));
+  }
+
+  // Pass 2: byte-at-a-time feeding must produce the identical frame
+  // sequence and the identical verdict — framing cannot depend on how the
+  // TCP stream happened to chunk.
+  FrameDecoder chunked;
+  std::vector<Frame> frames2;
+  bool failed2 = false;
+  std::size_t fed = 0;
+  while (!failed2) {
+    auto next = chunked.Next();
+    if (!next.ok()) {
+      failed2 = true;
+      NETCLUST_FUZZ_ASSERT(next.error() == error,
+                           "chunked decode failed with a different error");
+      break;
+    }
+    if (next.value().has_value()) {
+      frames2.push_back(std::move(*next.value()));
+      continue;
+    }
+    if (fed == size) break;
+    chunked.Feed(data + fed, 1);
+    ++fed;
+  }
+  NETCLUST_FUZZ_ASSERT(failed == failed2,
+                       "chunked and whole-buffer decode verdicts disagree");
+  NETCLUST_FUZZ_ASSERT(frames == frames2,
+                       "chunked and whole-buffer decode frames disagree");
+
+  for (const Frame& frame : frames) {
+    // Frame-level byte identity: header + payload re-encode exactly.
+    const std::vector<std::uint8_t> wire =
+        server::EncodeFrame(frame.header.opcode, frame.payload);
+    NETCLUST_FUZZ_ASSERT(wire.size() == server::kHeaderSize +
+                                            frame.payload.size(),
+                         "re-encoded frame has the wrong length");
+    const auto header = server::DecodeFrameHeader(wire.data(), wire.size());
+    NETCLUST_FUZZ_ASSERT(header.ok(), "re-encoded frame header rejected");
+    NETCLUST_FUZZ_ASSERT(header.value() == frame.header,
+                         "frame header round trip changed fields");
+    NETCLUST_FUZZ_ASSERT(
+        std::equal(frame.payload.begin(), frame.payload.end(),
+                   wire.begin() + server::kHeaderSize),
+        "frame payload round trip changed bytes");
+    CheckProtoPayload(frame);
   }
 }
 

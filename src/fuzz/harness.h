@@ -18,6 +18,13 @@
 //                   the MRT or the text pipeline, re-serializes every
 //                   accepted snapshot in all styles/generations, and
 //                   demands an identical re-parse.
+//   FuzzProto       The netclustd wire decoder (server/proto.h) never
+//                   crashes on truncated frames, oversized lengths or bad
+//                   version/opcode bytes; chunked and whole-buffer decodes
+//                   agree; every accepted frame and payload re-encodes to
+//                   the identical byte string (INGEST payloads, which
+//                   embed a BGP UPDATE whose encoder canonicalizes, must
+//                   instead reach a fixed point after one re-encode).
 //
 // This library is always built (it has no fuzzer or sanitizer
 // dependencies) so the corpus replay runs in the tier-1 ctest suite on any
@@ -34,5 +41,6 @@ void FuzzMrt(const std::uint8_t* data, std::size_t size);
 void FuzzTextParser(const std::uint8_t* data, std::size_t size);
 void FuzzClf(const std::uint8_t* data, std::size_t size);
 void FuzzRoundtrip(const std::uint8_t* data, std::size_t size);
+void FuzzProto(const std::uint8_t* data, std::size_t size);
 
 }  // namespace netclust::fuzz

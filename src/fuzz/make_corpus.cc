@@ -17,6 +17,8 @@
 
 #include "bgp/mrt.h"
 #include "bgp/text_parser.h"
+#include "bgp/update.h"
+#include "server/proto.h"
 #include "synth/internet.h"
 #include "synth/vantage.h"
 #include "synth/workload.h"
@@ -148,7 +150,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const fs::path root(argv[1]);
-  for (const char* dir : {"mrt", "text", "clf", "roundtrip"}) {
+  for (const char* dir : {"mrt", "text", "clf", "roundtrip", "proto"}) {
     fs::create_directories(root / dir);
   }
 
@@ -260,6 +262,136 @@ int main(int argc, char** argv) {
   WriteText(root / "clf" / "seed-negative-time",
             "1.2.3.4 - - [01/Jan/1999:-1:-1:-1 +0000] "
             "\"GET / HTTP/1.0\" 200 0\n");
+
+  // --- netclustd wire-protocol seeds (fuzz_proto). ---
+  {
+    using server::EncodeFrame;
+    using server::Opcode;
+
+    WriteBytes(root / "proto" / "seed-ping",
+               EncodeFrame(Opcode::kPing, {0xDE, 0xAD, 0xBE, 0xEF}));
+    WriteBytes(root / "proto" / "seed-stats", EncodeFrame(Opcode::kStats, {}));
+    WriteBytes(root / "proto" / "seed-lookup",
+               EncodeFrame(Opcode::kLookup,
+                           server::EncodeLookup(
+                               {net::IpAddress(12, 65, 143, 222)})));
+    {
+      server::BatchLookupRequest batch;
+      batch.addresses = {net::IpAddress(10, 0, 1, 7),
+                         net::IpAddress(151, 198, 194, 17),
+                         net::IpAddress(198, 32, 8, 1)};
+      // A stream of two frames: the batch, then a ping — exercises the
+      // incremental decoder's multi-frame path from the first mutation.
+      std::vector<std::uint8_t> stream = EncodeFrame(
+          Opcode::kBatchLookup, server::EncodeBatchLookup(batch));
+      const std::vector<std::uint8_t> ping =
+          EncodeFrame(Opcode::kPing, {0x01});
+      stream.insert(stream.end(), ping.begin(), ping.end());
+      WriteBytes(root / "proto" / "seed-batch-then-ping", stream);
+    }
+    {
+      bgp::UpdateMessage update;
+      update.withdrawn = {net::Prefix::Parse("192.0.2.0/24").value()};
+      update.announced = {net::Prefix::Parse("10.0.1.0/24").value(),
+                          net::Prefix::Parse("151.198.192.0/18").value()};
+      update.as_path = {7018, 1742, 4969};
+      WriteBytes(root / "proto" / "seed-ingest",
+                 EncodeFrame(Opcode::kIngestUpdate,
+                             server::EncodeIngest({1, update})));
+    }
+    {
+      server::LookupRecord found;
+      found.found = true;
+      found.prefix = net::Prefix::Parse("12.65.128.0/19").value();
+      found.kind = bgp::SourceKind::kBgpTable;
+      found.origin_as = 7018;
+      found.source_mask = 0x5;
+      WriteBytes(root / "proto" / "seed-lookup-result",
+                 EncodeFrame(Opcode::kLookupResult,
+                             server::EncodeLookupRecord(found)));
+      WriteBytes(root / "proto" / "seed-batch-result",
+                 EncodeFrame(Opcode::kBatchResult,
+                             server::EncodeBatchResult(
+                                 {found, server::LookupRecord{}})));
+    }
+    WriteBytes(root / "proto" / "seed-ingest-ack",
+               EncodeFrame(Opcode::kIngestAck,
+                           server::EncodeIngestAck({42})));
+    WriteBytes(root / "proto" / "seed-error",
+               EncodeFrame(Opcode::kError,
+                           server::EncodeError(
+                               {server::ErrorCode::kMalformedPayload,
+                                "BATCH_LOOKUP length disagrees"})));
+
+    // Crafted rejects: each pins one framing bound. None may crash, and
+    // chunked/whole decode must agree on the verdict.
+    {
+      ByteWriter bad_magic;
+      bad_magic.U16(0x4E44);  // "ND", off by one
+      bad_magic.U8(1);
+      bad_magic.U8(0x01);
+      bad_magic.U32(0);
+      WriteBytes(root / "proto" / "seed-bad-magic", bad_magic.bytes);
+
+      ByteWriter bad_version;
+      bad_version.U16(0x4E43);
+      bad_version.U8(9);
+      bad_version.U8(0x01);
+      bad_version.U32(0);
+      WriteBytes(root / "proto" / "seed-bad-version", bad_version.bytes);
+
+      ByteWriter bad_opcode;
+      bad_opcode.U16(0x4E43);
+      bad_opcode.U8(1);
+      bad_opcode.U8(0x7F);
+      bad_opcode.U32(0);
+      WriteBytes(root / "proto" / "seed-bad-opcode", bad_opcode.bytes);
+
+      // Hostile length field: 2 GiB payload claim in an 8-byte input. The
+      // decoder must reject at the header, before any allocation.
+      ByteWriter oversized;
+      oversized.U16(0x4E43);
+      oversized.U8(1);
+      oversized.U8(0x02);
+      oversized.U32(0x7FFFFFFF);
+      WriteBytes(root / "proto" / "seed-oversized-length", oversized.bytes);
+
+      // Truncated: a valid LOOKUP header whose 4-byte payload never
+      // arrives (the decoder must park, not crash or accept).
+      ByteWriter truncated;
+      truncated.U16(0x4E43);
+      truncated.U8(1);
+      truncated.U8(0x02);
+      truncated.U32(4);
+      truncated.U8(12);
+      WriteBytes(root / "proto" / "seed-truncated-payload", truncated.bytes);
+
+      // Batch whose count disagrees with its length (payload decoder
+      // reject, framing accept).
+      ByteWriter liar;
+      liar.U16(0x4E43);
+      liar.U8(1);
+      liar.U8(0x03);
+      liar.U32(8);
+      liar.U32(7);  // claims 7 addresses, carries one
+      liar.U32(0x0A000001);
+      WriteBytes(root / "proto" / "seed-batch-count-lies", liar.bytes);
+
+      // Absent lookup record with a non-zero origin AS: violates the
+      // canonical-form rule the byte-exact round trip depends on.
+      ByteWriter noncanonical;
+      noncanonical.U16(0x4E43);
+      noncanonical.U8(1);
+      noncanonical.U8(0x82);
+      noncanonical.U32(16);
+      noncanonical.U32(0);  // found=0, len=0, kind=0, reserved=0
+      noncanonical.U32(0);  // network
+      noncanonical.U32(7018);  // origin AS must be zero when absent
+      noncanonical.U32(0);  // source mask
+      WriteBytes(root / "proto" / "seed-noncanonical-absent",
+                 noncanonical.bytes);
+    }
+  }
 
   std::cout << "corpus written under " << root << "\n";
   return 0;

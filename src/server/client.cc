@@ -1,0 +1,158 @@
+#include "server/client.h"
+
+#include <utility>
+
+#include "server/io_util.h"
+
+namespace netclust::server {
+
+bool Client::IsBusy(const std::string& error) {
+  return error.rfind(kBusyPrefix, 0) == 0;
+}
+
+Result<Client> Client::Connect(const std::string& host, std::uint16_t port,
+                               int timeout_ms) {
+  auto fd = ConnectTcp(host, port, timeout_ms);
+  if (!fd.ok()) return Fail(fd.error());
+  Client client;
+  client.fd_ = fd.value();
+  client.timeout_ms_ = timeout_ms;
+  return client;
+}
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), timeout_ms_(other.timeout_ms_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    timeout_ms_ = other.timeout_ms_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+Result<Frame> Client::RoundTrip(Opcode opcode,
+                                const std::vector<std::uint8_t>& payload,
+                                Opcode expected_reply) {
+  if (fd_ < 0) return Fail("client is not connected");
+  const std::vector<std::uint8_t> wire = EncodeFrame(opcode, payload);
+  auto written = WriteFull(fd_, wire.data(), wire.size(), timeout_ms_);
+  if (!written.ok()) {
+    Close();
+    return Fail("send failed: " + written.error());
+  }
+  if (written.value() != IoStatus::kOk) {
+    Close();
+    return Fail(written.value() == IoStatus::kClosed
+                    ? "connection closed by server"
+                    : "send timed out");
+  }
+
+  std::uint8_t header_bytes[kHeaderSize];
+  auto got = ReadFull(fd_, header_bytes, kHeaderSize, timeout_ms_);
+  if (!got.ok() || got.value() != IoStatus::kOk) {
+    Close();
+    if (!got.ok()) return Fail("receive failed: " + got.error());
+    return Fail(got.value() == IoStatus::kClosed
+                    ? "connection closed by server"
+                    : "receive timed out");
+  }
+  auto header = DecodeFrameHeader(header_bytes, kHeaderSize);
+  if (!header.ok()) {
+    Close();
+    return Fail("bad response header: " + header.error());
+  }
+  Frame frame;
+  frame.header = header.value();
+  frame.payload.resize(frame.header.payload_size);
+  if (frame.header.payload_size > 0) {
+    auto body = ReadFull(fd_, frame.payload.data(), frame.payload.size(),
+                         timeout_ms_);
+    if (!body.ok() || body.value() != IoStatus::kOk) {
+      Close();
+      return Fail("truncated response payload");
+    }
+  }
+
+  if (frame.header.opcode == Opcode::kBusy) {
+    // Deliberately NOT a transport failure: the connection stays usable
+    // and the caller may retry after backing off.
+    return Fail(std::string(kBusyPrefix) + ": server overloaded");
+  }
+  if (frame.header.opcode == Opcode::kError) {
+    auto reply = DecodeError(frame.payload.data(), frame.payload.size());
+    if (!reply.ok()) {
+      Close();
+      return Fail("undecodable ERROR response");
+    }
+    return Fail("server error: " + reply.value().message);
+  }
+  if (frame.header.opcode != expected_reply) {
+    Close();
+    return Fail(std::string("unexpected response opcode: ") +
+                OpcodeName(frame.header.opcode));
+  }
+  return frame;
+}
+
+Result<std::vector<std::uint8_t>> Client::Ping(
+    const std::vector<std::uint8_t>& echo) {
+  if (echo.size() > kMaxPingEcho) return Fail("PING echo too large");
+  auto frame = RoundTrip(Opcode::kPing, echo, Opcode::kPong);
+  if (!frame.ok()) return Fail(frame.error());
+  return std::move(frame).value().payload;
+}
+
+Result<LookupRecord> Client::Lookup(net::IpAddress address) {
+  auto frame = RoundTrip(Opcode::kLookup, EncodeLookup(LookupRequest{address}),
+                         Opcode::kLookupResult);
+  if (!frame.ok()) return Fail(frame.error());
+  return DecodeLookupRecord(frame.value().payload.data(),
+                            frame.value().payload.size());
+}
+
+Result<std::vector<LookupRecord>> Client::BatchLookup(
+    const std::vector<net::IpAddress>& addresses) {
+  if (addresses.size() > kMaxBatch) return Fail("batch too large");
+  auto frame =
+      RoundTrip(Opcode::kBatchLookup, EncodeBatchLookup({addresses}),
+                Opcode::kBatchResult);
+  if (!frame.ok()) return Fail(frame.error());
+  auto records = DecodeBatchResult(frame.value().payload.data(),
+                                   frame.value().payload.size());
+  if (!records.ok()) return Fail(records.error());
+  if (records.value().size() != addresses.size()) {
+    return Fail("batch result count mismatch");
+  }
+  return records;
+}
+
+Result<IngestAck> Client::IngestUpdate(std::uint32_t source_id,
+                                       const bgp::UpdateMessage& update) {
+  auto frame = RoundTrip(Opcode::kIngestUpdate,
+                         EncodeIngest(IngestRequest{source_id, update}),
+                         Opcode::kIngestAck);
+  if (!frame.ok()) return Fail(frame.error());
+  return DecodeIngestAck(frame.value().payload.data(),
+                         frame.value().payload.size());
+}
+
+Result<std::string> Client::Stats() {
+  auto frame = RoundTrip(Opcode::kStats, {}, Opcode::kStatsText);
+  if (!frame.ok()) return Fail(frame.error());
+  return std::string(frame.value().payload.begin(),
+                     frame.value().payload.end());
+}
+
+}  // namespace netclust::server

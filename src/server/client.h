@@ -1,0 +1,78 @@
+// Blocking client for the netclustd wire protocol.
+//
+// One TCP connection, one request in flight at a time (the protocol is
+// strictly request/response per connection). Every call round-trips a
+// frame under the configured deadline and surfaces failures as Result
+// errors; a BUSY response comes back as an error whose message starts
+// with kBusyPrefix so callers (the load generator, retry loops) can
+// distinguish "overloaded, retry" from "broken, give up".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/update.h"
+#include "net/ip_address.h"
+#include "net/result.h"
+#include "server/proto.h"
+
+namespace netclust::server {
+
+class Client {
+ public:
+  /// Error-message prefix for BUSY (retryable backpressure) responses.
+  static constexpr const char* kBusyPrefix = "BUSY";
+  [[nodiscard]] static bool IsBusy(const std::string& error);
+
+  /// Connects to a dotted-quad `host`:`port`. `timeout_ms` bounds the
+  /// handshake and every subsequent per-call read/write.
+  [[nodiscard]] static Result<Client> Connect(const std::string& host,
+                                              std::uint16_t port,
+                                              int timeout_ms = 5'000);
+
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// PING with an optional echo payload (<= kMaxPingEcho); returns the
+  /// echoed bytes.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> Ping(
+      const std::vector<std::uint8_t>& echo = {});
+
+  /// Longest-prefix match for one address.
+  [[nodiscard]] Result<LookupRecord> Lookup(net::IpAddress address);
+
+  /// One round trip for up to kMaxBatch addresses; records come back in
+  /// request order.
+  [[nodiscard]] Result<std::vector<LookupRecord>> BatchLookup(
+      const std::vector<net::IpAddress>& addresses);
+
+  /// Feeds one BGP UPDATE into the server's ingest path. On success the
+  /// returned ack's table_version is already published: lookups issued
+  /// after this call observe the update.
+  [[nodiscard]] Result<IngestAck> IngestUpdate(std::uint32_t source_id,
+                                               const bgp::UpdateMessage& update);
+
+  /// Plain-text metrics exposition (server + engine counters).
+  [[nodiscard]] Result<std::string> Stats();
+
+ private:
+  /// Writes one request frame and reads exactly one response frame.
+  /// Folds BUSY and ERROR responses into Result errors; on any transport
+  /// error the connection is closed (the stream may be unsynchronized).
+  [[nodiscard]] Result<Frame> RoundTrip(Opcode opcode,
+                                        const std::vector<std::uint8_t>& payload,
+                                        Opcode expected_reply);
+
+  int fd_ = -1;
+  int timeout_ms_ = 5'000;
+};
+
+}  // namespace netclust::server

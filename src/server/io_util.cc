@@ -1,0 +1,220 @@
+#include "server/io_util.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace netclust::server {
+
+namespace {
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Remaining budget of a deadline started `start_ms` with `timeout_ms`;
+/// clamped to >= 0. A negative timeout means "no deadline" (-1 for poll).
+int Remaining(std::int64_t start_ms, int timeout_ms) {
+  if (timeout_ms < 0) return -1;
+  const std::int64_t left = start_ms + timeout_ms - NowMs();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
+
+ssize_t RetryRead(int fd, void* buffer, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, size);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+ssize_t RetryWrite(int fd, const void* buffer, std::size_t size) {
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as EPIPE,
+    // not kill the process with SIGPIPE. Falls back to write(2) for
+    // non-socket descriptors (ENOTSOCK), e.g. when a test points at a pipe.
+    ssize_t n = ::send(fd, buffer, size, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, buffer, size);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+int RetryAccept(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+int PollOne(int fd, short events, int timeout_ms) {
+  const std::int64_t start = NowMs();
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, Remaining(start, timeout_ms));
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+bool SetNonBlocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<int> CreateListener(std::uint16_t port, int backlog,
+                           std::uint32_t bind_address) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Fail(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(bind_address);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    CloseFd(fd);
+    return Fail("bind: " + error);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const std::string error = std::strerror(errno);
+    CloseFd(fd);
+    return Fail("listen: " + error);
+  }
+  if (!SetNonBlocking(fd, true)) {
+    CloseFd(fd);
+    return Fail("fcntl(O_NONBLOCK) on listener failed");
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& host, std::uint16_t port,
+                       int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Fail("ConnectTcp needs a dotted-quad host, got '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Fail(std::string("socket: ") + std::strerror(errno));
+  // Connect non-blocking so the deadline applies to the handshake too,
+  // then flip back to blocking for the caller.
+  if (!SetNonBlocking(fd, true)) {
+    CloseFd(fd);
+    return Fail("fcntl(O_NONBLOCK) failed");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      const std::string error = std::strerror(errno);
+      CloseFd(fd);
+      return Fail("connect: " + error);
+    }
+    if (PollOne(fd, POLLOUT, timeout_ms) <= 0) {
+      CloseFd(fd);
+      return Fail("connect: handshake timed out");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      CloseFd(fd);
+      return Fail(std::string("connect: ") + std::strerror(soerr));
+    }
+  }
+  if (!SetNonBlocking(fd, false)) {
+    CloseFd(fd);
+    return Fail("fcntl(clear O_NONBLOCK) failed");
+  }
+  SetNoDelay(fd);
+  return fd;
+}
+
+Result<std::uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Fail(std::string("getsockname: ") + std::strerror(errno));
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<IoStatus> ReadFull(int fd, void* buffer, std::size_t size,
+                          int timeout_ms) {
+  auto* at = static_cast<std::uint8_t*>(buffer);
+  std::size_t done = 0;
+  const std::int64_t start = NowMs();
+  while (done < size) {
+    // Poll BEFORE reading: on a blocking descriptor read(2) would never
+    // return EAGAIN, so polling afterwards would let a stalled peer hang
+    // the caller past its deadline.
+    const int ready = PollOne(fd, POLLIN, Remaining(start, timeout_ms));
+    if (ready == 0) return IoStatus::kTimedOut;
+    if (ready < 0) return Fail(std::string("poll: ") + std::strerror(errno));
+    const ssize_t n = RetryRead(fd, at + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (done == 0) return IoStatus::kClosed;
+      return Fail("connection closed mid-frame");
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Fail(std::string("read: ") + std::strerror(errno));
+    }
+    // EAGAIN after POLLIN is a spurious wakeup; re-poll with the budget.
+  }
+  return IoStatus::kOk;
+}
+
+Result<IoStatus> WriteFull(int fd, const void* buffer, std::size_t size,
+                           int timeout_ms) {
+  const auto* at = static_cast<const std::uint8_t*>(buffer);
+  std::size_t done = 0;
+  const std::int64_t start = NowMs();
+  while (done < size) {
+    // Same ordering as ReadFull: the deadline must bind even when the
+    // descriptor is blocking and the peer's window is closed.
+    const int ready = PollOne(fd, POLLOUT, Remaining(start, timeout_ms));
+    if (ready == 0) return IoStatus::kTimedOut;
+    if (ready < 0) return Fail(std::string("poll: ") + std::strerror(errno));
+    const ssize_t n = RetryWrite(fd, at + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return IoStatus::kClosed;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Fail(std::string("write: ") + std::strerror(errno));
+    }
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace netclust::server

@@ -1,0 +1,83 @@
+// EINTR-safe socket/file-descriptor helpers for the service layer.
+//
+// This is the only place in the tree where the raw POSIX I/O syscalls
+// (read/write/accept/recv/send) may appear — the netclust_lint `raw-io`
+// rule enforces it, and tools/lint/lint_suppressions.txt vets exactly this
+// file. Everything here retries EINTR, and the Full variants add a
+// deadline (poll-based, so they work on blocking and non-blocking
+// descriptors alike) — a slow or stalled peer costs a bounded wait, never
+// a hung thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include <sys/types.h>
+
+#include "net/result.h"
+
+namespace netclust::server {
+
+/// Outcome of a bounded full-buffer I/O attempt.
+enum class IoStatus {
+  kOk,        // the whole buffer was transferred
+  kClosed,    // orderly EOF before any byte (reads) / EPIPE (writes)
+  kTimedOut,  // the deadline expired mid-transfer
+};
+
+// --- EINTR-retrying syscall wrappers ---
+
+/// read(2), retried on EINTR.
+ssize_t RetryRead(int fd, void* buffer, std::size_t size);
+
+/// write(2), retried on EINTR. SIGPIPE is avoided via send(MSG_NOSIGNAL)
+/// when `fd` is a socket-capable descriptor; plain write(2) otherwise.
+ssize_t RetryWrite(int fd, const void* buffer, std::size_t size);
+
+/// accept4(2) with SOCK_CLOEXEC, retried on EINTR.
+int RetryAccept(int listen_fd);
+
+/// close(2); EINTR is NOT retried (POSIX leaves the fd state unspecified,
+/// and Linux always releases it).
+void CloseFd(int fd);
+
+/// poll(2) on one descriptor, retried on EINTR with the remaining budget.
+/// Returns >0 when ready, 0 on timeout, <0 on error.
+int PollOne(int fd, short events, int timeout_ms);
+
+// --- descriptor plumbing ---
+
+/// O_NONBLOCK on/off. Returns false on fcntl failure.
+bool SetNonBlocking(int fd, bool enabled);
+
+/// TCP_NODELAY — a lookup RPC is one small frame each way; Nagle only adds
+/// latency. Best-effort (non-TCP descriptors just ignore it).
+void SetNoDelay(int fd);
+
+/// Listening IPv4 TCP socket on `port` (0 = ephemeral) bound to
+/// `bind_address` (host order; defaults to loopback). Non-blocking,
+/// SO_REUSEADDR. Returns the descriptor.
+Result<int> CreateListener(std::uint16_t port, int backlog,
+                           std::uint32_t bind_address = 0x7F000001);
+
+/// Blocking TCP connect to a dotted-quad `host`:`port` with a deadline.
+Result<int> ConnectTcp(const std::string& host, std::uint16_t port,
+                       int timeout_ms);
+
+/// Local port a bound socket ended up on (resolves port 0 after bind).
+Result<std::uint16_t> LocalPort(int fd);
+
+// --- bounded full-buffer transfers ---
+
+/// Reads exactly `size` bytes. kClosed only on EOF before the first byte;
+/// EOF mid-buffer is an error (a torn frame). Works on blocking and
+/// non-blocking descriptors (EAGAIN waits on poll within the deadline).
+Result<IoStatus> ReadFull(int fd, void* buffer, std::size_t size,
+                          int timeout_ms);
+
+/// Writes exactly `size` bytes under the same deadline contract.
+Result<IoStatus> WriteFull(int fd, const void* buffer, std::size_t size,
+                           int timeout_ms);
+
+}  // namespace netclust::server

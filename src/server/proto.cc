@@ -1,0 +1,330 @@
+#include "server/proto.h"
+
+namespace netclust::server {
+
+bool IsRequestOpcode(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing:
+    case Opcode::kLookup:
+    case Opcode::kBatchLookup:
+    case Opcode::kIngestUpdate:
+    case Opcode::kStats:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsKnownOpcode(std::uint8_t raw) {
+  switch (static_cast<Opcode>(raw)) {
+    case Opcode::kPing:
+    case Opcode::kLookup:
+    case Opcode::kBatchLookup:
+    case Opcode::kIngestUpdate:
+    case Opcode::kStats:
+    case Opcode::kPong:
+    case Opcode::kLookupResult:
+    case Opcode::kBatchResult:
+    case Opcode::kIngestAck:
+    case Opcode::kStatsText:
+    case Opcode::kBusy:
+    case Opcode::kError:
+      return true;
+  }
+  return false;
+}
+
+const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing:
+      return "PING";
+    case Opcode::kLookup:
+      return "LOOKUP";
+    case Opcode::kBatchLookup:
+      return "BATCH_LOOKUP";
+    case Opcode::kIngestUpdate:
+      return "INGEST_UPDATE";
+    case Opcode::kStats:
+      return "STATS";
+    case Opcode::kPong:
+      return "PONG";
+    case Opcode::kLookupResult:
+      return "LOOKUP_RESULT";
+    case Opcode::kBatchResult:
+      return "BATCH_RESULT";
+    case Opcode::kIngestAck:
+      return "INGEST_ACK";
+    case Opcode::kStatsText:
+      return "STATS_TEXT";
+    case Opcode::kBusy:
+      return "BUSY";
+    case Opcode::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+void PutU16(std::vector<std::uint8_t>* out, std::uint16_t value) {
+  out->push_back(static_cast<std::uint8_t>(value >> 8));
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t value) {
+  PutU16(out, static_cast<std::uint16_t>(value >> 16));
+  PutU16(out, static_cast<std::uint16_t>(value));
+}
+
+void PutU64(std::vector<std::uint8_t>* out, std::uint64_t value) {
+  PutU32(out, static_cast<std::uint32_t>(value >> 32));
+  PutU32(out, static_cast<std::uint32_t>(value));
+}
+
+std::uint16_t GetU16(const std::uint8_t* data) {
+  return static_cast<std::uint16_t>((std::uint16_t{data[0]} << 8) | data[1]);
+}
+
+std::uint32_t GetU32(const std::uint8_t* data) {
+  return (std::uint32_t{GetU16(data)} << 16) | GetU16(data + 2);
+}
+
+std::uint64_t GetU64(const std::uint8_t* data) {
+  return (std::uint64_t{GetU32(data)} << 32) | GetU32(data + 4);
+}
+
+std::vector<std::uint8_t> EncodeFrame(
+    Opcode opcode, const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size());
+  PutU16(&out, kMagic);
+  out.push_back(kProtoVersion);
+  out.push_back(static_cast<std::uint8_t>(opcode));
+  PutU32(&out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < kHeaderSize) return Fail("frame header truncated");
+  if (GetU16(data) != kMagic) return Fail("bad frame magic");
+  const std::uint8_t version = data[2];
+  if (version != kProtoVersion) return Fail("unsupported protocol version");
+  if (!IsKnownOpcode(data[3])) return Fail("unknown opcode");
+  const std::uint32_t payload_size = GetU32(data + 4);
+  if (payload_size > kMaxPayload) return Fail("payload length exceeds bound");
+  return FrameHeader{version, static_cast<Opcode>(data[3]), payload_size};
+}
+
+void FrameDecoder::Feed(const std::uint8_t* data, std::size_t size) {
+  // Compact before growing: consumed_ bytes at the front are dead.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderSize) return std::optional<Frame>{};
+  const std::uint8_t* at = buffer_.data() + consumed_;
+  auto header = DecodeFrameHeader(at, available);
+  if (!header.ok()) return Fail(header.error());
+  const std::size_t total = kHeaderSize + header.value().payload_size;
+  if (available < total) return std::optional<Frame>{};
+  Frame frame;
+  frame.header = header.value();
+  frame.payload.assign(at + kHeaderSize, at + total);
+  consumed_ += total;
+  return std::optional<Frame>{std::move(frame)};
+}
+
+std::vector<std::uint8_t> EncodeLookup(const LookupRequest& req) {
+  std::vector<std::uint8_t> out;
+  PutU32(&out, req.address.bits());
+  return out;
+}
+
+Result<LookupRequest> DecodeLookup(const std::uint8_t* data,
+                                   std::size_t size) {
+  if (size != 4) return Fail("LOOKUP payload must be exactly 4 bytes");
+  return LookupRequest{net::IpAddress(GetU32(data))};
+}
+
+std::vector<std::uint8_t> EncodeBatchLookup(const BatchLookupRequest& req) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 4 * req.addresses.size());
+  PutU32(&out, static_cast<std::uint32_t>(req.addresses.size()));
+  for (const net::IpAddress address : req.addresses) {
+    PutU32(&out, address.bits());
+  }
+  return out;
+}
+
+Result<BatchLookupRequest> DecodeBatchLookup(const std::uint8_t* data,
+                                             std::size_t size) {
+  if (size < 4) return Fail("BATCH_LOOKUP payload truncated");
+  const std::uint32_t count = GetU32(data);
+  if (count > kMaxBatch) return Fail("BATCH_LOOKUP count exceeds bound");
+  if (size != 4 + std::size_t{count} * 4) {
+    return Fail("BATCH_LOOKUP length disagrees with its count");
+  }
+  BatchLookupRequest req;
+  req.addresses.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    req.addresses.emplace_back(GetU32(data + 4 + std::size_t{i} * 4));
+  }
+  return req;
+}
+
+std::vector<std::uint8_t> EncodeIngest(const IngestRequest& req) {
+  std::vector<std::uint8_t> out;
+  PutU32(&out, req.source_id);
+  const std::vector<std::uint8_t> update = bgp::EncodeUpdate(req.update);
+  out.insert(out.end(), update.begin(), update.end());
+  return out;
+}
+
+Result<IngestRequest> DecodeIngest(const std::uint8_t* data,
+                                   std::size_t size) {
+  if (size < 4) return Fail("INGEST_UPDATE payload truncated");
+  IngestRequest req;
+  req.source_id = GetU32(data);
+  const std::vector<std::uint8_t> bytes(data + 4, data + size);
+  std::size_t offset = 0;
+  auto update = bgp::DecodeUpdate(bytes, &offset);
+  if (!update.ok()) return Fail(update.error());
+  if (offset != bytes.size()) {
+    return Fail("trailing bytes after the embedded BGP UPDATE");
+  }
+  req.update = std::move(update).value();
+  return req;
+}
+
+LookupRecord LookupRecord::FromMatch(
+    const std::optional<bgp::PrefixTable::Match>& match) {
+  LookupRecord record;
+  if (!match.has_value()) return record;
+  record.found = true;
+  record.prefix = match->prefix;
+  record.kind = match->kind;
+  record.origin_as = match->origin_as;
+  record.source_mask = match->source_mask;
+  return record;
+}
+
+std::optional<bgp::PrefixTable::Match> LookupRecord::ToMatch() const {
+  if (!found) return std::nullopt;
+  return bgp::PrefixTable::Match{prefix, kind, source_mask, origin_as};
+}
+
+std::vector<std::uint8_t> EncodeLookupRecord(const LookupRecord& record) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kLookupRecordSize);
+  out.push_back(record.found ? 1 : 0);
+  out.push_back(
+      record.found ? static_cast<std::uint8_t>(record.prefix.length()) : 0);
+  out.push_back(record.found ? static_cast<std::uint8_t>(record.kind) : 0);
+  out.push_back(0);  // reserved
+  PutU32(&out, record.found ? record.prefix.network().bits() : 0);
+  PutU32(&out, record.found ? record.origin_as : 0);
+  PutU32(&out, record.found ? record.source_mask : 0);
+  return out;
+}
+
+Result<LookupRecord> DecodeLookupRecord(const std::uint8_t* data,
+                                        std::size_t size) {
+  if (size != kLookupRecordSize) {
+    return Fail("LOOKUP_RESULT record must be exactly 16 bytes");
+  }
+  if (data[0] > 1) return Fail("LOOKUP_RESULT found flag must be 0 or 1");
+  if (data[3] != 0) return Fail("LOOKUP_RESULT reserved byte must be zero");
+  LookupRecord record;
+  record.found = data[0] == 1;
+  const std::uint8_t length = data[1];
+  const std::uint8_t kind = data[2];
+  const std::uint32_t network = GetU32(data + 4);
+  const std::uint32_t origin_as = GetU32(data + 8);
+  const std::uint32_t source_mask = GetU32(data + 12);
+  if (!record.found) {
+    // Canonical absent record: all fields zero, so encode(decode(x)) == x.
+    if (length != 0 || kind != 0 || network != 0 || origin_as != 0 ||
+        source_mask != 0) {
+      return Fail("absent LOOKUP_RESULT record carries non-zero fields");
+    }
+    return record;
+  }
+  if (length > 32) return Fail("LOOKUP_RESULT prefix length exceeds 32");
+  if (kind > 1) return Fail("LOOKUP_RESULT source kind out of range");
+  record.prefix = net::Prefix(net::IpAddress(network), length);
+  if (record.prefix.network().bits() != network) {
+    return Fail("LOOKUP_RESULT prefix has host bits set");
+  }
+  record.kind = static_cast<bgp::SourceKind>(kind);
+  record.origin_as = origin_as;
+  record.source_mask = source_mask;
+  return record;
+}
+
+std::vector<std::uint8_t> EncodeBatchResult(
+    const std::vector<LookupRecord>& records) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + kLookupRecordSize * records.size());
+  PutU32(&out, static_cast<std::uint32_t>(records.size()));
+  for (const LookupRecord& record : records) {
+    const std::vector<std::uint8_t> encoded = EncodeLookupRecord(record);
+    out.insert(out.end(), encoded.begin(), encoded.end());
+  }
+  return out;
+}
+
+Result<std::vector<LookupRecord>> DecodeBatchResult(const std::uint8_t* data,
+                                                    std::size_t size) {
+  if (size < 4) return Fail("BATCH_RESULT payload truncated");
+  const std::uint32_t count = GetU32(data);
+  if (count > kMaxBatch) return Fail("BATCH_RESULT count exceeds bound");
+  if (size != 4 + std::size_t{count} * kLookupRecordSize) {
+    return Fail("BATCH_RESULT length disagrees with its count");
+  }
+  std::vector<LookupRecord> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto record = DecodeLookupRecord(
+        data + 4 + std::size_t{i} * kLookupRecordSize, kLookupRecordSize);
+    if (!record.ok()) return Fail(record.error());
+    records.push_back(std::move(record).value());
+  }
+  return records;
+}
+
+std::vector<std::uint8_t> EncodeIngestAck(const IngestAck& ack) {
+  std::vector<std::uint8_t> out;
+  PutU64(&out, ack.table_version);
+  return out;
+}
+
+Result<IngestAck> DecodeIngestAck(const std::uint8_t* data, std::size_t size) {
+  if (size != 8) return Fail("INGEST_ACK payload must be exactly 8 bytes");
+  return IngestAck{GetU64(data)};
+}
+
+std::vector<std::uint8_t> EncodeError(const ErrorReply& error) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + error.message.size());
+  out.push_back(static_cast<std::uint8_t>(error.code));
+  out.insert(out.end(), error.message.begin(), error.message.end());
+  return out;
+}
+
+Result<ErrorReply> DecodeError(const std::uint8_t* data, std::size_t size) {
+  if (size < 1) return Fail("ERROR payload truncated");
+  const std::uint8_t code = data[0];
+  if (code < 1 || code > 4) return Fail("ERROR code out of range");
+  ErrorReply error;
+  error.code = static_cast<ErrorCode>(code);
+  error.message.assign(reinterpret_cast<const char*>(data + 1), size - 1);
+  return error;
+}
+
+}  // namespace netclust::server

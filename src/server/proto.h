@@ -1,0 +1,227 @@
+// netclustd wire protocol: length-prefixed binary frames over TCP.
+//
+// Every message is one frame: an 8-byte big-endian header followed by an
+// opcode-specific payload. The framing is deliberately minimal — a CDN
+// edge asking "which cluster is this client in?" needs one round trip of
+// a few dozen bytes, not a general RPC system:
+//
+//   offset  size  field
+//   0       2     magic 0x4E43 ("NC")
+//   2       1     version (kProtoVersion)
+//   3       1     opcode
+//   4       4     payload length (<= kMaxPayload)
+//
+// Requests: PING, LOOKUP, BATCH_LOOKUP, INGEST_UPDATE, STATS.
+// Responses mirror them (PONG, LOOKUP_RESULT, ...) plus ERROR and BUSY —
+// BUSY is the explicit backpressure signal (connection or in-flight-frame
+// limit hit), distinct from ERROR so clients can retry instead of failing.
+//
+// Decoders are written in the library's Result<T> style (no exceptions,
+// strict bounds, canonical-form checks) so the whole grammar is fuzzable
+// exactly like the MRT/CLF parsers: src/fuzz/harness.cc FuzzProto demands
+// that every accepted frame re-encodes to the identical byte string.
+// INGEST_UPDATE payloads embed a standard BGP-4 UPDATE message
+// (bgp::EncodeUpdate / bgp::DecodeUpdate), so a route-collector bridge
+// can forward the wire bytes it already has.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "bgp/update.h"
+#include "net/ip_address.h"
+#include "net/prefix.h"
+#include "net/result.h"
+
+namespace netclust::server {
+
+inline constexpr std::uint16_t kMagic = 0x4E43;  // "NC"
+inline constexpr std::uint8_t kProtoVersion = 1;
+inline constexpr std::size_t kHeaderSize = 8;
+/// Frame payloads are bounded so a hostile length field cannot make the
+/// server allocate gigabytes before reading a single payload byte.
+inline constexpr std::uint32_t kMaxPayload = 1u << 20;  // 1 MiB
+/// BATCH_LOOKUP address count bound (fits well under kMaxPayload).
+inline constexpr std::uint32_t kMaxBatch = 4096;
+/// PING echo payloads are capped: the echo exists for liveness probing,
+/// not bulk transfer.
+inline constexpr std::uint32_t kMaxPingEcho = 64;
+
+/// Request opcodes occupy 0x01-0x7F; their responses set the high bit.
+enum class Opcode : std::uint8_t {
+  kPing = 0x01,
+  kLookup = 0x02,
+  kBatchLookup = 0x03,
+  kIngestUpdate = 0x04,
+  kStats = 0x05,
+
+  kPong = 0x81,
+  kLookupResult = 0x82,
+  kBatchResult = 0x83,
+  kIngestAck = 0x84,
+  kStatsText = 0x85,
+  kBusy = 0xE0,
+  kError = 0xE1,
+};
+
+[[nodiscard]] bool IsRequestOpcode(Opcode opcode);
+[[nodiscard]] bool IsKnownOpcode(std::uint8_t raw);
+[[nodiscard]] const char* OpcodeName(Opcode opcode);
+
+/// Error payload discriminator (first payload byte of an ERROR frame).
+enum class ErrorCode : std::uint8_t {
+  kMalformedFrame = 1,    // framing violated; the connection will be closed
+  kMalformedPayload = 2,  // header fine, payload grammar violated
+  kUnsupportedOpcode = 3,
+  kShuttingDown = 4,
+};
+
+// --- big-endian primitives (shared by the codecs and their tests) ---
+
+void PutU16(std::vector<std::uint8_t>* out, std::uint16_t value);
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t value);
+void PutU64(std::vector<std::uint8_t>* out, std::uint64_t value);
+[[nodiscard]] std::uint16_t GetU16(const std::uint8_t* data);
+[[nodiscard]] std::uint32_t GetU32(const std::uint8_t* data);
+[[nodiscard]] std::uint64_t GetU64(const std::uint8_t* data);
+
+// --- frame layer ---
+
+struct FrameHeader {
+  std::uint8_t version = kProtoVersion;
+  Opcode opcode = Opcode::kPing;
+  std::uint32_t payload_size = 0;
+
+  friend bool operator==(const FrameHeader&, const FrameHeader&) = default;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Serializes a complete frame (header + payload). The payload must not
+/// exceed kMaxPayload.
+[[nodiscard]] std::vector<std::uint8_t> EncodeFrame(
+    Opcode opcode, const std::vector<std::uint8_t>& payload);
+
+/// Decodes the 8-byte header. `size` must be >= kHeaderSize. Rejects bad
+/// magic, unknown version, unknown opcode and oversized payload lengths.
+[[nodiscard]] Result<FrameHeader> DecodeFrameHeader(const std::uint8_t* data,
+                                                    std::size_t size);
+
+/// Incremental frame decoder for a TCP byte stream. Feed() raw reads,
+/// then drain Next() until it reports "need more". A decode error is
+/// sticky: the stream is unsynchronized and the connection must be closed.
+class FrameDecoder {
+ public:
+  void Feed(const std::uint8_t* data, std::size_t size);
+
+  /// ok(frame)    — one complete frame, removed from the buffer;
+  /// ok(nullopt)  — the buffer holds only a partial frame; feed more bytes;
+  /// error        — protocol violation (bad magic/version/opcode/length).
+  [[nodiscard]] Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // compacted lazily
+};
+
+// --- payload codecs ---
+
+struct LookupRequest {
+  net::IpAddress address;
+
+  friend bool operator==(const LookupRequest&, const LookupRequest&) = default;
+};
+
+struct BatchLookupRequest {
+  std::vector<net::IpAddress> addresses;  // size <= kMaxBatch
+
+  friend bool operator==(const BatchLookupRequest&,
+                         const BatchLookupRequest&) = default;
+};
+
+struct IngestRequest {
+  std::uint32_t source_id = 0;
+  bgp::UpdateMessage update;  // standard BGP-4 encoding on the wire
+
+  friend bool operator==(const IngestRequest&, const IngestRequest&) = default;
+};
+
+/// One lookup answer, 16 bytes on the wire:
+///   [0] found  [1] prefix_len  [2] kind  [3] reserved(0)
+///   [4..7] prefix network  [8..11] origin AS  [12..15] source mask
+/// When found == 0 every other field must be zero (canonical form — the
+/// strictness is what makes the fuzz round-trip property byte-exact).
+struct LookupRecord {
+  bool found = false;
+  net::Prefix prefix;
+  bgp::SourceKind kind = bgp::SourceKind::kBgpTable;
+  bgp::AsNumber origin_as = 0;
+  std::uint32_t source_mask = 0;
+
+  [[nodiscard]] static LookupRecord FromMatch(
+      const std::optional<bgp::PrefixTable::Match>& match);
+  [[nodiscard]] std::optional<bgp::PrefixTable::Match> ToMatch() const;
+
+  friend bool operator==(const LookupRecord&, const LookupRecord&) = default;
+};
+inline constexpr std::size_t kLookupRecordSize = 16;
+
+struct IngestAck {
+  /// RCU table version after the update was applied: lookups issued after
+  /// this ack observe a snapshot at least this new.
+  std::uint64_t table_version = 0;
+
+  friend bool operator==(const IngestAck&, const IngestAck&) = default;
+};
+
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kMalformedPayload;
+  std::string message;
+
+  friend bool operator==(const ErrorReply&, const ErrorReply&) = default;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeLookup(const LookupRequest& req);
+[[nodiscard]] Result<LookupRequest> DecodeLookup(const std::uint8_t* data,
+                                                 std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeBatchLookup(
+    const BatchLookupRequest& req);
+[[nodiscard]] Result<BatchLookupRequest> DecodeBatchLookup(
+    const std::uint8_t* data, std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeIngest(const IngestRequest& req);
+[[nodiscard]] Result<IngestRequest> DecodeIngest(const std::uint8_t* data,
+                                                 std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeLookupRecord(
+    const LookupRecord& record);
+[[nodiscard]] Result<LookupRecord> DecodeLookupRecord(const std::uint8_t* data,
+                                                      std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeBatchResult(
+    const std::vector<LookupRecord>& records);
+[[nodiscard]] Result<std::vector<LookupRecord>> DecodeBatchResult(
+    const std::uint8_t* data, std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeIngestAck(const IngestAck& ack);
+[[nodiscard]] Result<IngestAck> DecodeIngestAck(const std::uint8_t* data,
+                                                std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeError(const ErrorReply& error);
+[[nodiscard]] Result<ErrorReply> DecodeError(const std::uint8_t* data,
+                                             std::size_t size);
+
+}  // namespace netclust::server

@@ -1,0 +1,513 @@
+#include "server/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+
+#include "server/io_util.h"
+
+namespace netclust::server {
+
+namespace {
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int EpollWait(int epoll_fd, epoll_event* events, int max_events) {
+  for (;;) {
+    const int n = ::epoll_wait(epoll_fd, events, max_events, -1);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+}  // namespace
+
+Server::Server(engine::Engine* engine, ServerConfig config)
+    : engine_(engine), config_(std::move(config)) {}
+
+Server::~Server() { Stop(); }
+
+Result<std::uint16_t> Server::Serve() {
+  if (serving_) return Fail("Serve() called twice");
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Fail(std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  auto listener = CreateListener(config_.port, config_.listen_backlog);
+  if (!listener.ok()) {
+    CloseFd(epoll_fd_);
+    epoll_fd_ = -1;
+    return Fail(listener.error());
+  }
+  listen_fd_ = listener.value();
+  auto port = LocalPort(listen_fd_);
+  if (!port.ok()) {
+    Stop();
+    return Fail(port.error());
+  }
+  port_ = port.value();
+
+  // The wake descriptor is written once at Stop() and never read, so it
+  // stays readable: every reader's epoll_wait returns, sees stopping_ and
+  // exits — no per-thread wakeup bookkeeping.
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    Stop();
+    return Fail(std::string("eventfd: ") + std::strerror(errno));
+  }
+
+  epoll_event wake_ev{};
+  wake_ev.events = EPOLLIN;
+  wake_ev.data.fd = wake_fd_;
+  epoll_event listen_ev{};
+  // EPOLLONESHOT on the listener too: exactly one reader runs the accept
+  // loop at a time, rearming when it drains to EAGAIN.
+  listen_ev.events = EPOLLIN | EPOLLONESHOT;
+  listen_ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_ev) != 0 ||
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &listen_ev) != 0) {
+    Stop();
+    return Fail(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  }
+
+  stopping_.store(false);
+  serving_ = true;
+  const int readers = config_.reader_threads > 0 ? config_.reader_threads : 2;
+  readers_.reserve(static_cast<std::size_t>(readers));
+  for (int i = 0; i < readers; ++i) {
+    readers_.emplace_back([this] { ReaderLoop(); });
+  }
+  ingest_thread_ = std::thread([this] { IngestLoop(); });
+  if (config_.idle_timeout_ms > 0) {
+    reaper_thread_ = std::thread([this] { ReaperLoop(); });
+  }
+  return port_;
+}
+
+void Server::Stop() {
+  if (!serving_) {
+    // Partial Serve() failure cleanup: no threads were spawned yet.
+    CloseFd(listen_fd_);
+    CloseFd(wake_fd_);
+    CloseFd(epoll_fd_);
+    listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+    return;
+  }
+  serving_ = false;
+
+  // 1. Stop accepting: pull the listener out of the interest set (its
+  //    oneshot event may already be claimed — AcceptNew checks stopping_).
+  stopping_.store(true);
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+
+  // 2. Wake every reader. They finish the frames they have claimed
+  //    (including waiting out queued ingest acks) and exit.
+  const std::uint64_t one = 1;
+  (void)RetryWrite(wake_fd_, &one, sizeof(one));
+  for (std::thread& t : readers_) t.join();
+  readers_.clear();
+
+  // 3. With the readers gone, no job is left waiting: the ingest queue is
+  //    empty or holds only jobs whose readers already got their acks.
+  //    Signal shutdown and let the loop drain what remains.
+  {
+    base::MutexLock lock(&ingest_mu_);
+    ingest_stopping_ = true;
+  }
+  ingest_cv_.NotifyAll();
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+
+  // 4. Close whatever connections survived the drain.
+  {
+    base::MutexLock lock(&conn_mu_);
+    for (auto& [fd, conn] : connections_) {
+      (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      CloseFd(fd);
+      metrics_.connections_closed.Inc();
+      // order: relaxed — gauge bookkeeping only.
+      metrics_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+    }
+    connections_.clear();
+  }
+
+  CloseFd(listen_fd_);
+  CloseFd(wake_fd_);
+  CloseFd(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+}
+
+std::string Server::StatsText() const {
+  return metrics_.Exposition() + engine_->MetricsText();
+}
+
+void Server::ReaderLoop() {
+  constexpr int kMaxEvents = 32;
+  epoll_event events[kMaxEvents];
+  for (;;) {
+    const int n = EpollWait(epoll_fd_, events, kMaxEvents);
+    if (n < 0) return;  // epoll descriptor gone: shutdown
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) return;  // Stop() was called
+      if (fd == listen_fd_) {
+        if (!stopping_.load()) AcceptNew();
+        continue;
+      }
+      std::shared_ptr<Connection> conn;
+      {
+        base::MutexLock lock(&conn_mu_);
+        auto it = connections_.find(fd);
+        if (it != connections_.end()) conn = it->second;
+      }
+      if (!conn) continue;  // raced with a close; stale event
+      bool expected = false;
+      if (!conn->busy.compare_exchange_strong(expected, true)) {
+        continue;  // the reaper claimed it first
+      }
+      ServiceConnection(conn);
+    }
+    if (stopping_.load()) return;
+  }
+}
+
+void Server::AcceptNew() {
+  for (;;) {
+    const int fd = RetryAccept(listen_fd_);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      break;  // transient accept error; the listener stays armed
+    }
+    bool over_limit = false;
+    {
+      base::MutexLock lock(&conn_mu_);
+      over_limit = connections_.size() >= config_.max_connections;
+    }
+    if (over_limit || stopping_.load()) {
+      // Explicit backpressure: tell the client we are full, then close.
+      metrics_.connections_rejected.Inc();
+      metrics_.busy_replies.Inc();
+      const std::vector<std::uint8_t> busy = EncodeFrame(Opcode::kBusy, {});
+      (void)WriteFull(fd, busy.data(), busy.size(), config_.write_timeout_ms);
+      CloseFd(fd);
+      continue;
+    }
+    if (!SetNonBlocking(fd, true)) {
+      CloseFd(fd);
+      continue;
+    }
+    SetNoDelay(fd);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->last_activity_ms.store(NowMs());
+    {
+      base::MutexLock lock(&conn_mu_);
+      connections_.emplace(fd, conn);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLONESHOT | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      base::MutexLock lock(&conn_mu_);
+      connections_.erase(fd);
+      CloseFd(fd);
+      continue;
+    }
+    metrics_.connections_accepted.Inc();
+    // order: relaxed — gauge bookkeeping only.
+    metrics_.connections_active.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!stopping_.load()) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLONESHOT;
+    ev.data.fd = listen_fd_;
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev);
+  }
+}
+
+void Server::ServiceConnection(const std::shared_ptr<Connection>& conn) {
+  std::uint8_t buffer[16384];
+  for (;;) {
+    const ssize_t n = RetryRead(conn->fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      metrics_.bytes_read.Inc(static_cast<std::uint64_t>(n));
+      conn->last_activity_ms.store(NowMs());
+      conn->decoder.Feed(buffer, static_cast<std::size_t>(n));
+      for (;;) {
+        auto next = conn->decoder.Next();
+        if (!next.ok()) {
+          // The stream is unsynchronized; report and hang up.
+          metrics_.frames_rejected.Inc();
+          (void)SendError(conn, ErrorCode::kMalformedFrame, next.error());
+          CloseConnection(conn, nullptr);
+          return;
+        }
+        if (!next.value().has_value()) break;  // partial frame; read more
+        if (!DispatchFrame(conn, *next.value())) {
+          CloseConnection(conn, nullptr);
+          return;
+        }
+      }
+      continue;
+    }
+    if (n == 0) {  // orderly EOF
+      CloseConnection(conn, nullptr);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn, nullptr);  // hard socket error
+    return;
+  }
+  // Drained to EAGAIN: release the claim, then rearm for the next event.
+  // Release-before-rearm, or a new event could land while busy is still
+  // set and be dropped by the CAS (oneshot events are not redelivered).
+  conn->busy.store(false);
+  if (!RearmConnection(*conn)) {
+    // Benign race with the reaper closing the descriptor under us.
+    return;
+  }
+}
+
+bool Server::RearmConnection(const Connection& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLONESHOT | EPOLLRDHUP;
+  ev.data.fd = conn.fd;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0;
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn,
+                             engine::Counter* reason) {
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  {
+    base::MutexLock lock(&conn_mu_);
+    connections_.erase(conn->fd);
+  }
+  CloseFd(conn->fd);
+  metrics_.connections_closed.Inc();
+  if (reason != nullptr) reason->Inc();
+  // order: relaxed — gauge bookkeeping only.
+  metrics_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Server::SendFrame(const std::shared_ptr<Connection>& conn, Opcode opcode,
+                       const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> wire = EncodeFrame(opcode, payload);
+  auto written =
+      WriteFull(conn->fd, wire.data(), wire.size(), config_.write_timeout_ms);
+  if (!written.ok() || written.value() != IoStatus::kOk) return false;
+  metrics_.bytes_written.Inc(wire.size());
+  conn->last_activity_ms.store(NowMs());
+  return true;
+}
+
+bool Server::SendError(const std::shared_ptr<Connection>& conn, ErrorCode code,
+                       const std::string& message) {
+  metrics_.errors_sent.Inc();
+  return SendFrame(conn, Opcode::kError,
+                   EncodeError(ErrorReply{code, message}));
+}
+
+bool Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                           const Frame& frame) {
+  metrics_.frames_decoded.Inc();
+  const std::uint64_t start_ns = engine::NowNs();
+  // order: relaxed ×2 — approximate load-shedding threshold; an off-by-one
+  // under contention only shifts where BUSY kicks in.
+  const std::int64_t inflight =
+      inflight_frames_.fetch_add(1, std::memory_order_relaxed) + 1;
+  struct InflightGuard {
+    std::atomic<std::int64_t>* counter;
+    ~InflightGuard() {
+      counter->fetch_sub(1, std::memory_order_relaxed);  // order: relaxed
+    }
+  } guard{&inflight_frames_};
+
+  if (inflight > static_cast<std::int64_t>(config_.max_inflight_frames)) {
+    metrics_.busy_replies.Inc();
+    return SendFrame(conn, Opcode::kBusy, {});
+  }
+
+  switch (frame.header.opcode) {
+    case Opcode::kPing: {
+      if (frame.payload.size() > kMaxPingEcho) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload,
+                         "PING echo payload too large");
+      }
+      metrics_.pings_served.Inc();
+      return SendFrame(conn, Opcode::kPong, frame.payload);
+    }
+
+    case Opcode::kLookup: {
+      auto req = DecodeLookup(frame.payload.data(), frame.payload.size());
+      if (!req.ok()) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload, req.error());
+      }
+      const LookupRecord record =
+          LookupRecord::FromMatch(engine_->Lookup(req.value().address));
+      if (!SendFrame(conn, Opcode::kLookupResult, EncodeLookupRecord(record))) {
+        return false;
+      }
+      metrics_.lookups_served.Inc();
+      metrics_.lookup_service_ns.Record(engine::NowNs() - start_ns);
+      return true;
+    }
+
+    case Opcode::kBatchLookup: {
+      auto req = DecodeBatchLookup(frame.payload.data(), frame.payload.size());
+      if (!req.ok()) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload, req.error());
+      }
+      std::vector<LookupRecord> records;
+      records.reserve(req.value().addresses.size());
+      for (const net::IpAddress address : req.value().addresses) {
+        records.push_back(LookupRecord::FromMatch(engine_->Lookup(address)));
+      }
+      if (!SendFrame(conn, Opcode::kBatchResult, EncodeBatchResult(records))) {
+        return false;
+      }
+      metrics_.lookups_served.Inc(records.size());
+      metrics_.lookup_service_ns.Record(engine::NowNs() - start_ns);
+      return true;
+    }
+
+    case Opcode::kIngestUpdate: {
+      auto req = DecodeIngest(frame.payload.data(), frame.payload.size());
+      if (!req.ok()) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload, req.error());
+      }
+      if (req.value().source_id >=
+          static_cast<std::uint32_t>(
+              config_.source_count < 0 ? 0 : config_.source_count)) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload,
+                         "unknown ingest source id");
+      }
+      IngestJob job;
+      job.request = std::move(req).value();
+      {
+        base::MutexLock lock(&ingest_mu_);
+        if (ingest_stopping_) {
+          return SendError(conn, ErrorCode::kShuttingDown,
+                           "server is draining");
+        }
+        if (ingest_queue_.size() >= config_.max_inflight_frames) {
+          metrics_.busy_replies.Inc();
+          return SendFrame(conn, Opcode::kBusy, {});
+        }
+        ingest_queue_.push_back(&job);
+      }
+      ingest_cv_.NotifyOne();
+      std::uint64_t version = 0;
+      {
+        base::MutexLock lock(&job.mu);
+        while (!job.done) job.cv.Wait(job.mu);
+        version = job.table_version;
+      }
+      if (!SendFrame(conn, Opcode::kIngestAck,
+                     EncodeIngestAck(IngestAck{version}))) {
+        return false;
+      }
+      metrics_.ingests_applied.Inc();
+      return true;
+    }
+
+    case Opcode::kStats: {
+      if (!frame.payload.empty()) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload,
+                         "STATS takes no payload");
+      }
+      const std::string text = StatsText();
+      metrics_.stats_served.Inc();
+      return SendFrame(
+          conn, Opcode::kStatsText,
+          std::vector<std::uint8_t>(text.begin(), text.end()));
+    }
+
+    default: {
+      metrics_.frames_rejected.Inc();
+      return SendError(conn, ErrorCode::kUnsupportedOpcode,
+                       std::string("not a request opcode: ") +
+                           OpcodeName(frame.header.opcode));
+    }
+  }
+}
+
+void Server::IngestLoop() {
+  for (;;) {
+    IngestJob* job = nullptr;
+    {
+      base::MutexLock lock(&ingest_mu_);
+      while (ingest_queue_.empty() && !ingest_stopping_) {
+        ingest_cv_.Wait(ingest_mu_);
+      }
+      if (ingest_queue_.empty()) return;  // stopping and fully drained
+      job = ingest_queue_.front();
+      ingest_queue_.pop_front();
+    }
+    // This thread is the engine's single routing-plane caller while the
+    // server runs (Engine's documented ingest-thread contract).
+    engine_->ApplyUpdate(job->request.update,
+                         static_cast<int>(job->request.source_id));
+    const std::uint64_t version = engine_->table_version();
+    {
+      base::MutexLock lock(&job->mu);
+      job->done = true;
+      job->table_version = version;
+    }
+    job->cv.NotifyAll();
+  }
+}
+
+void Server::ReaperLoop() {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    const std::int64_t now = NowMs();
+    std::vector<std::shared_ptr<Connection>> victims;
+    {
+      base::MutexLock lock(&conn_mu_);
+      for (auto& [fd, conn] : connections_) {
+        // Cheap pre-filter on the shorter threshold (the decoder cannot be
+        // inspected before claiming the connection).
+        if (now - conn->last_activity_ms.load() < config_.read_timeout_ms) {
+          continue;
+        }
+        bool expected = false;
+        // Claiming makes the inspection and close exclusive: a reader that
+        // loses this CAS drops its event, so the descriptor cannot be
+        // mid-service underneath us.
+        if (!conn->busy.compare_exchange_strong(expected, true)) continue;
+        // A stalled mid-frame peer is cut off on the (shorter) read
+        // timeout; a merely quiet one on the idle timeout.
+        const std::int64_t limit = conn->decoder.buffered() > 0
+                                       ? config_.read_timeout_ms
+                                       : config_.idle_timeout_ms;
+        if (now - conn->last_activity_ms.load() >= limit) {
+          victims.push_back(conn);
+          continue;
+        }
+        // Not expired after all: release the claim and rearm, recovering
+        // any oneshot event a reader dropped while we held the claim.
+        conn->busy.store(false);
+        (void)RearmConnection(*conn);
+      }
+    }
+    for (const auto& conn : victims) {
+      CloseConnection(conn, &metrics_.connections_reaped);
+    }
+  }
+}
+
+}  // namespace netclust::server

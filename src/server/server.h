@@ -1,0 +1,179 @@
+// netclustd service core: a TCP daemon serving cluster lookups from an
+// engine::Engine over the src/server/proto.h wire protocol.
+//
+// Threading model (see DESIGN.md "Service layer" for the diagram):
+//
+//   * N reader threads share one epoll instance. Connection descriptors
+//     are armed EPOLLONESHOT, so at most one reader services a connection
+//     at a time — all I/O for a connection happens on whichever reader
+//     claimed its event, and no per-frame locking is needed.
+//   * LOOKUP / BATCH_LOOKUP are answered directly on the reader thread via
+//     Engine::Lookup() — lock-free reads of the RCU-published PrefixTable
+//     snapshot, never blocking on ingest.
+//   * INGEST_UPDATE frames are forwarded to ONE ingest thread through a
+//     bounded queue (the engine's routing-plane API is single-threaded by
+//     contract). The reader blocks until the ingest thread has applied the
+//     update, then writes the IngestAck itself — so an ack in hand
+//     guarantees later lookups see a table version >= the acked one.
+//   * A reaper thread closes connections idle past the configured timeout.
+//
+// Backpressure is explicit, never silent: over max_connections the
+// listener accepts, writes one BUSY frame and closes; a full ingest queue
+// or too many in-flight frames answers the offending frame with BUSY and
+// keeps the connection open so the client can retry.
+//
+// Shutdown (Stop(), or SIGTERM in the daemon) is a graceful drain: stop
+// accepting, let every claimed frame finish (including queued ingests),
+// join the threads, then close what remains.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/sync.h"
+#include "engine/engine.h"
+#include "net/result.h"
+#include "server/metrics.h"
+#include "server/proto.h"
+
+namespace netclust::server {
+
+struct ServerConfig {
+  /// TCP port to bind on loopback; 0 picks an ephemeral port (read it back
+  /// with Server::port()).
+  std::uint16_t port = 0;
+  /// Reader thread count; <= 0 selects 2.
+  int reader_threads = 2;
+  /// Accepted-connection ceiling; the listener BUSY+closes beyond it.
+  std::size_t max_connections = 64;
+  /// Decoded-but-unanswered frame ceiling across all connections (this
+  /// bounds the ingest queue too); excess frames get BUSY replies.
+  std::size_t max_inflight_frames = 128;
+  /// Idle-connection reap threshold. <= 0 disables the reaper.
+  int idle_timeout_ms = 30'000;
+  /// Per-connection deadline for writing one response.
+  int write_timeout_ms = 5'000;
+  /// Deadline for draining a partially received frame once its first bytes
+  /// have arrived (a peer that stalls mid-frame is cut off).
+  int read_timeout_ms = 5'000;
+  int listen_backlog = 64;
+  /// Engine source ids in [0, source_count) are accepted from
+  /// INGEST_UPDATE frames; others get a malformed-payload ERROR. The
+  /// daemon sets this to the number of sources it registered.
+  int source_count = 0;
+};
+
+class Server {
+ public:
+  /// `engine` must outlive the server and must already be Start()ed; once
+  /// Serve() returns OK the server's ingest thread is the engine's single
+  /// routing-plane caller until Stop() completes.
+  Server(engine::Engine* engine, ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, arms the epoll loop and spawns the reader/ingest/reaper
+  /// threads. Returns the bound port.
+  [[nodiscard]] Result<std::uint16_t> Serve();
+
+  /// Graceful drain: stop accepting, finish in-flight frames, join all
+  /// threads, close remaining connections. Idempotent; the destructor
+  /// calls it.
+  void Stop();
+
+  /// Bound port (valid after Serve()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] const ServerMetrics& metrics() const { return metrics_; }
+
+  /// Plain-text STATS body: server exposition + engine exposition.
+  [[nodiscard]] std::string StatsText() const;
+
+ private:
+  /// One accepted connection. Owned by connections_; serviced by at most
+  /// one reader at a time (EPOLLONESHOT).
+  struct Connection {
+    int fd = -1;
+    FrameDecoder decoder;
+    /// Last activity stamp (ms, steady clock) for the idle reaper.
+    std::atomic<std::int64_t> last_activity_ms{0};
+    /// Set while a reader services the connection; the reaper skips busy
+    /// connections so it never closes a descriptor mid-frame.
+    std::atomic<bool> busy{false};
+  };
+
+  /// A decoded INGEST_UPDATE parked for the ingest thread. The reader
+  /// waits on `done` and then writes the ack itself.
+  struct IngestJob {
+    IngestRequest request;
+    base::Mutex mu;
+    base::CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    std::uint64_t table_version GUARDED_BY(mu) = 0;
+  };
+
+  void ReaderLoop();
+  void IngestLoop();
+  void ReaperLoop();
+
+  /// Accepts until EAGAIN; enforces max_connections with BUSY+close.
+  void AcceptNew();
+
+  /// Services one readable connection: drain the socket, decode and answer
+  /// every complete frame, then rearm (or close on error/EOF).
+  void ServiceConnection(const std::shared_ptr<Connection>& conn);
+
+  /// Dispatches one decoded frame. Returns false when the connection must
+  /// be closed (write failure or protocol violation).
+  [[nodiscard]] bool DispatchFrame(const std::shared_ptr<Connection>& conn,
+                                   const Frame& frame);
+
+  [[nodiscard]] bool SendFrame(const std::shared_ptr<Connection>& conn,
+                               Opcode opcode,
+                               const std::vector<std::uint8_t>& payload);
+  [[nodiscard]] bool SendError(const std::shared_ptr<Connection>& conn,
+                               ErrorCode code, const std::string& message);
+
+  /// Removes the connection from epoll + the table and closes it.
+  void CloseConnection(const std::shared_ptr<Connection>& conn,
+                       engine::Counter* reason);
+
+  /// Rearms an EPOLLONESHOT descriptor for the next readable event.
+  [[nodiscard]] bool RearmConnection(const Connection& conn);
+
+  engine::Engine* const engine_;
+  const ServerConfig config_;
+  mutable ServerMetrics metrics_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd; written once at Stop() to wake all readers
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool serving_ = false;  // main-thread lifecycle flag (Serve()/Stop())
+
+  base::Mutex conn_mu_;
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_
+      GUARDED_BY(conn_mu_);
+
+  base::Mutex ingest_mu_;
+  base::CondVar ingest_cv_;
+  std::deque<IngestJob*> ingest_queue_ GUARDED_BY(ingest_mu_);
+  bool ingest_stopping_ GUARDED_BY(ingest_mu_) = false;
+
+  /// Decoded-but-unanswered frames across all connections (backpressure).
+  std::atomic<std::int64_t> inflight_frames_{0};
+
+  std::vector<std::thread> readers_;
+  std::thread ingest_thread_;
+  std::thread reaper_thread_;
+};
+
+}  // namespace netclust::server

@@ -62,4 +62,6 @@ TEST(CorpusRegressionTest, Roundtrip) {
   ReplayAll(netclust::fuzz::FuzzRoundtrip);
 }
 
+TEST(CorpusRegressionTest, Proto) { ReplayAll(netclust::fuzz::FuzzProto); }
+
 }  // namespace

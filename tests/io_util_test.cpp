@@ -1,0 +1,138 @@
+// Tests for the EINTR-safe I/O wrappers (src/server/io_util.h) over real
+// descriptors: loopback listener/connect plumbing, bounded full-buffer
+// transfers, deadline expiry and orderly-EOF vs torn-frame distinction.
+#include "server/io_util.h"
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace netclust::server {
+namespace {
+
+/// A connected loopback (client fd, server fd) pair via a real listener.
+struct TcpPair {
+  int client = -1;
+  int server = -1;
+  ~TcpPair() {
+    if (client >= 0) CloseFd(client);
+    if (server >= 0) CloseFd(server);
+  }
+};
+
+TcpPair MakePair() {
+  TcpPair pair;
+  const Result<int> listener = CreateListener(0, 4);
+  EXPECT_TRUE(listener.ok()) << listener.error();
+  if (!listener.ok()) return pair;
+  const Result<std::uint16_t> port = LocalPort(listener.value());
+  EXPECT_TRUE(port.ok());
+  const Result<int> client = ConnectTcp("127.0.0.1", port.value(), 2'000);
+  EXPECT_TRUE(client.ok()) << client.error();
+  if (client.ok()) pair.client = client.value();
+  pair.server = RetryAccept(listener.value());
+  EXPECT_GE(pair.server, 0);
+  CloseFd(listener.value());
+  return pair;
+}
+
+TEST(IoUtil, ListenerConnectAcceptRoundTrip) {
+  TcpPair pair = MakePair();
+  ASSERT_GE(pair.client, 0);
+  ASSERT_GE(pair.server, 0);
+
+  const char out[] = "netclust";
+  ASSERT_EQ(RetryWrite(pair.client, out, sizeof out),
+            static_cast<ssize_t>(sizeof out));
+  char in[sizeof out] = {};
+  const Result<IoStatus> got = ReadFull(pair.server, in, sizeof in, 2'000);
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_EQ(got.value(), IoStatus::kOk);
+  EXPECT_STREQ(in, "netclust");
+}
+
+TEST(IoUtil, ReadFullReportsOrderlyEofAsClosed) {
+  TcpPair pair = MakePair();
+  ASSERT_GE(pair.server, 0);
+  CloseFd(pair.client);
+  pair.client = -1;
+  char buffer[4];
+  const Result<IoStatus> got = ReadFull(pair.server, buffer, 4, 2'000);
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_EQ(got.value(), IoStatus::kClosed);
+}
+
+TEST(IoUtil, ReadFullTreatsMidBufferEofAsTornFrame) {
+  TcpPair pair = MakePair();
+  ASSERT_GE(pair.server, 0);
+  const char partial[] = {0x4E, 0x43};
+  ASSERT_EQ(RetryWrite(pair.client, partial, 2), 2);
+  CloseFd(pair.client);
+  pair.client = -1;
+  char buffer[8];
+  const Result<IoStatus> got = ReadFull(pair.server, buffer, 8, 2'000);
+  EXPECT_FALSE(got.ok()) << "EOF after 2 of 8 bytes must be an error";
+}
+
+TEST(IoUtil, ReadFullTimesOutWhenThePeerStalls) {
+  TcpPair pair = MakePair();
+  ASSERT_GE(pair.server, 0);
+  char buffer[4];
+  const Result<IoStatus> got = ReadFull(pair.server, buffer, 4, 50);
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_EQ(got.value(), IoStatus::kTimedOut);
+}
+
+TEST(IoUtil, WriteFullDeliversAcrossNonBlockingDescriptors) {
+  TcpPair pair = MakePair();
+  ASSERT_GE(pair.client, 0);
+  ASSERT_TRUE(SetNonBlocking(pair.client, true));
+  // Push well past the socket buffers so WriteFull has to poll.
+  const std::vector<std::uint8_t> big(1u << 20, 0x42);
+  Result<IoStatus> sent = Fail("unset");
+  std::vector<std::uint8_t> got;
+  got.reserve(big.size());
+  // Drain on the server side while writing from this thread would need a
+  // helper thread; instead interleave bounded chunks.
+  std::size_t offset = 0;
+  while (offset < big.size()) {
+    const std::size_t chunk = std::min<std::size_t>(64 * 1024,
+                                                    big.size() - offset);
+    sent = WriteFull(pair.client, big.data() + offset, chunk, 2'000);
+    ASSERT_TRUE(sent.ok()) << sent.error();
+    ASSERT_EQ(sent.value(), IoStatus::kOk);
+    offset += chunk;
+    std::vector<std::uint8_t> buffer(chunk);
+    const Result<IoStatus> read =
+        ReadFull(pair.server, buffer.data(), buffer.size(), 2'000);
+    ASSERT_TRUE(read.ok()) << read.error();
+    got.insert(got.end(), buffer.begin(), buffer.end());
+  }
+  EXPECT_EQ(got, big);
+}
+
+TEST(IoUtil, ConnectTcpRejectsBadInputs) {
+  EXPECT_FALSE(ConnectTcp("not-an-ip", 80, 100).ok());
+  // Reserved port 1 on loopback: nothing listens there in the test
+  // container, so the connect must fail (refused) rather than hang.
+  EXPECT_FALSE(ConnectTcp("127.0.0.1", 1, 500).ok());
+}
+
+TEST(IoUtil, PollOneTimesOutOnQuietDescriptor) {
+  TcpPair pair = MakePair();
+  ASSERT_GE(pair.server, 0);
+  EXPECT_EQ(PollOne(pair.server, POLLIN, 20), 0);
+  const char byte = 'x';
+  ASSERT_EQ(RetryWrite(pair.client, &byte, 1), 1);
+  EXPECT_GT(PollOne(pair.server, POLLIN, 2'000), 0);
+}
+
+}  // namespace
+}  // namespace netclust::server

@@ -1,0 +1,299 @@
+// Unit tests for the netclustd wire protocol (src/server/proto.h): frame
+// layout, the incremental stream decoder, and every payload codec's
+// round-trip + strictness properties. The fuzz harness (FuzzProto)
+// enforces the same invariants over arbitrary bytes; these tests pin the
+// concrete byte layouts and the specific rejection reasons.
+#include "server/proto.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/update.h"
+#include "net/ip_address.h"
+#include "net/prefix.h"
+
+namespace netclust::server {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+Prefix P(const char* text) { return Prefix::Parse(text).value(); }
+
+std::vector<std::uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(ProtoPrimitives, BigEndianRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  PutU16(&buf, 0x4E43);
+  PutU32(&buf, 0xDEADBEEF);
+  PutU64(&buf, 0x0123456789ABCDEFull);
+  ASSERT_EQ(buf.size(), 14u);
+  EXPECT_EQ(GetU16(buf.data()), 0x4E43);
+  EXPECT_EQ(GetU32(buf.data() + 2), 0xDEADBEEFu);
+  EXPECT_EQ(GetU64(buf.data() + 6), 0x0123456789ABCDEFull);
+  // Network byte order on the wire: most significant byte first.
+  EXPECT_EQ(buf[0], 0x4E);
+  EXPECT_EQ(buf[1], 0x43);
+  EXPECT_EQ(buf[2], 0xDE);
+}
+
+TEST(FrameCodec, EncodesTheDocumentedLayout) {
+  const auto frame = EncodeFrame(Opcode::kPing, Bytes({0xAA, 0xBB}));
+  EXPECT_EQ(frame, Bytes({0x4E, 0x43, 0x01, 0x01, 0, 0, 0, 2, 0xAA, 0xBB}));
+}
+
+TEST(FrameCodec, HeaderRoundTrips) {
+  const auto frame = EncodeFrame(Opcode::kBatchLookup, Bytes({0, 0, 0, 0}));
+  const auto header = DecodeFrameHeader(frame.data(), frame.size());
+  ASSERT_TRUE(header.ok()) << header.error();
+  EXPECT_EQ(header.value().version, kProtoVersion);
+  EXPECT_EQ(header.value().opcode, Opcode::kBatchLookup);
+  EXPECT_EQ(header.value().payload_size, 4u);
+}
+
+TEST(FrameCodec, RejectsBadHeaders) {
+  auto frame = EncodeFrame(Opcode::kPing, {});
+  EXPECT_FALSE(DecodeFrameHeader(frame.data(), 7).ok()) << "truncated";
+
+  auto bad_magic = frame;
+  bad_magic[1] = 0x44;
+  EXPECT_FALSE(DecodeFrameHeader(bad_magic.data(), bad_magic.size()).ok());
+
+  auto bad_version = frame;
+  bad_version[2] = 9;
+  EXPECT_FALSE(DecodeFrameHeader(bad_version.data(), bad_version.size()).ok());
+
+  auto bad_opcode = frame;
+  bad_opcode[3] = 0x7F;
+  EXPECT_FALSE(DecodeFrameHeader(bad_opcode.data(), bad_opcode.size()).ok());
+
+  auto oversized = frame;
+  oversized[4] = 0x7F;  // payload length 0x7F000000 > kMaxPayload
+  EXPECT_FALSE(DecodeFrameHeader(oversized.data(), oversized.size()).ok());
+}
+
+TEST(FrameDecoderTest, ReassemblesFramesFedOneByteAtATime) {
+  std::vector<std::uint8_t> stream =
+      EncodeFrame(Opcode::kLookup, EncodeLookup({IpAddress(12, 65, 143, 222)}));
+  const auto ping = EncodeFrame(Opcode::kPing, Bytes({0x01}));
+  stream.insert(stream.end(), ping.begin(), ping.end());
+
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const std::uint8_t byte : stream) {
+    decoder.Feed(&byte, 1);
+    auto next = decoder.Next();
+    ASSERT_TRUE(next.ok()) << next.error();
+    if (next.value().has_value()) frames.push_back(*std::move(next).value());
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].header.opcode, Opcode::kLookup);
+  EXPECT_EQ(frames[1].header.opcode, Opcode::kPing);
+  EXPECT_EQ(frames[1].payload, Bytes({0x01}));
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, DrainsMultipleFramesFromOneFeed) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 3; ++i) {
+    const auto frame = EncodeFrame(Opcode::kStats, {});
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  for (int i = 0; i < 3; ++i) {
+    auto next = decoder.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next.value().has_value());
+    EXPECT_EQ(next.value()->header.opcode, Opcode::kStats);
+  }
+  auto done = decoder.Next();
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(done.value().has_value());
+}
+
+TEST(FrameDecoderTest, SurfacesProtocolViolations) {
+  FrameDecoder decoder;
+  const auto junk = Bytes({0xFF, 0xFF, 0, 0, 0, 0, 0, 0});
+  decoder.Feed(junk.data(), junk.size());
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(LookupCodec, RoundTripsAndRejectsWrongSize) {
+  const LookupRequest req{IpAddress(198, 32, 8, 1)};
+  const auto bytes = EncodeLookup(req);
+  ASSERT_EQ(bytes.size(), 4u);
+  const auto decoded = DecodeLookup(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), req);
+  EXPECT_FALSE(DecodeLookup(bytes.data(), 3).ok());
+}
+
+TEST(BatchLookupCodec, RoundTripsIncludingEmpty) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{3}}) {
+    BatchLookupRequest req;
+    for (std::size_t i = 0; i < n; ++i) {
+      req.addresses.emplace_back(static_cast<std::uint32_t>(0x0A000000 + i));
+    }
+    const auto bytes = EncodeBatchLookup(req);
+    const auto decoded = DecodeBatchLookup(bytes.data(), bytes.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.error();
+    EXPECT_EQ(decoded.value(), req);
+  }
+}
+
+TEST(BatchLookupCodec, RejectsCountAndLengthDisagreement) {
+  BatchLookupRequest req;
+  req.addresses.emplace_back(std::uint32_t{1});
+  auto bytes = EncodeBatchLookup(req);
+  // Count claims 7 addresses, payload carries one.
+  bytes[3] = 7;
+  EXPECT_FALSE(DecodeBatchLookup(bytes.data(), bytes.size()).ok());
+  // Count above the bound is rejected before any length math.
+  std::vector<std::uint8_t> huge;
+  PutU32(&huge, kMaxBatch + 1);
+  EXPECT_FALSE(DecodeBatchLookup(huge.data(), huge.size()).ok());
+}
+
+TEST(IngestCodec, RoundTripsAnEmbeddedBgpUpdate) {
+  IngestRequest req;
+  req.source_id = 3;
+  req.update.withdrawn = {P("192.0.2.0/24")};
+  req.update.announced = {P("10.0.1.0/24"), P("151.198.192.0/18")};
+  req.update.as_path = {7018, 1742};
+  const auto bytes = EncodeIngest(req);
+  const auto decoded = DecodeIngest(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().source_id, 3u);
+  EXPECT_EQ(decoded.value().update.withdrawn, req.update.withdrawn);
+  EXPECT_EQ(decoded.value().update.announced, req.update.announced);
+}
+
+TEST(IngestCodec, RejectsTrailingBytes) {
+  IngestRequest req;
+  req.update.announced = {P("10.0.0.0/8")};
+  req.update.as_path = {65000};
+  auto bytes = EncodeIngest(req);
+  bytes.push_back(0x00);
+  EXPECT_FALSE(DecodeIngest(bytes.data(), bytes.size()).ok());
+  EXPECT_FALSE(DecodeIngest(bytes.data(), 3).ok()) << "truncated";
+}
+
+TEST(LookupRecordCodec, RoundTripsFoundAndAbsent) {
+  LookupRecord found;
+  found.found = true;
+  found.prefix = P("12.65.128.0/19");
+  found.kind = bgp::SourceKind::kNetworkDump;
+  found.origin_as = 7018;
+  found.source_mask = 0x5;
+  const auto bytes = EncodeLookupRecord(found);
+  ASSERT_EQ(bytes.size(), kLookupRecordSize);
+  const auto decoded = DecodeLookupRecord(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), found);
+
+  const LookupRecord absent;
+  const auto absent_bytes = EncodeLookupRecord(absent);
+  EXPECT_EQ(absent_bytes, std::vector<std::uint8_t>(kLookupRecordSize, 0));
+  const auto absent_decoded =
+      DecodeLookupRecord(absent_bytes.data(), absent_bytes.size());
+  ASSERT_TRUE(absent_decoded.ok());
+  EXPECT_EQ(absent_decoded.value(), absent);
+}
+
+TEST(LookupRecordCodec, RejectsNonCanonicalForms) {
+  std::vector<std::uint8_t> absent(kLookupRecordSize, 0);
+  auto sneaky = absent;
+  sneaky[8] = 0x1B;  // origin AS on an absent record
+  EXPECT_FALSE(DecodeLookupRecord(sneaky.data(), sneaky.size()).ok());
+
+  LookupRecord found;
+  found.found = true;
+  found.prefix = P("10.0.0.0/8");
+  const auto bytes = EncodeLookupRecord(found);
+  auto host_bits = bytes;
+  host_bits[7] = 0x01;  // 10.0.0.1/8 — host bits below the mask
+  EXPECT_FALSE(DecodeLookupRecord(host_bits.data(), host_bits.size()).ok());
+  auto bad_kind = bytes;
+  bad_kind[2] = 2;
+  EXPECT_FALSE(DecodeLookupRecord(bad_kind.data(), bad_kind.size()).ok());
+  auto bad_len = bytes;
+  bad_len[1] = 33;
+  EXPECT_FALSE(DecodeLookupRecord(bad_len.data(), bad_len.size()).ok());
+  auto reserved = bytes;
+  reserved[3] = 1;
+  EXPECT_FALSE(DecodeLookupRecord(reserved.data(), reserved.size()).ok());
+  auto bad_flag = bytes;
+  bad_flag[0] = 2;
+  EXPECT_FALSE(DecodeLookupRecord(bad_flag.data(), bad_flag.size()).ok());
+  EXPECT_FALSE(DecodeLookupRecord(bytes.data(), 15).ok()) << "short";
+}
+
+TEST(LookupRecordCodec, ConvertsToAndFromEngineMatches) {
+  EXPECT_EQ(LookupRecord::FromMatch(std::nullopt).ToMatch(), std::nullopt);
+  const bgp::PrefixTable::Match match{P("24.48.0.0/13"),
+                                      bgp::SourceKind::kBgpTable, 0x3, 1742};
+  const LookupRecord record = LookupRecord::FromMatch(match);
+  ASSERT_TRUE(record.found);
+  const auto back = record.ToMatch();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->prefix, match.prefix);
+  EXPECT_EQ(back->kind, match.kind);
+  EXPECT_EQ(back->source_mask, match.source_mask);
+  EXPECT_EQ(back->origin_as, match.origin_as);
+}
+
+TEST(BatchResultCodec, RoundTripsAndValidatesEveryRecord) {
+  LookupRecord found;
+  found.found = true;
+  found.prefix = P("128.6.0.0/16");
+  found.origin_as = 46;
+  const std::vector<LookupRecord> records{found, LookupRecord{}};
+  const auto bytes = EncodeBatchResult(records);
+  const auto decoded = DecodeBatchResult(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), records);
+
+  auto lying = bytes;
+  lying[3] = 9;  // count disagrees with the byte length
+  EXPECT_FALSE(DecodeBatchResult(lying.data(), lying.size()).ok());
+  auto corrupt = bytes;
+  corrupt[4 + 3] = 1;  // first record's reserved byte
+  EXPECT_FALSE(DecodeBatchResult(corrupt.data(), corrupt.size()).ok());
+}
+
+TEST(IngestAckCodec, RoundTrips) {
+  const IngestAck ack{0x1122334455667788ull};
+  const auto bytes = EncodeIngestAck(ack);
+  ASSERT_EQ(bytes.size(), 8u);
+  const auto decoded = DecodeIngestAck(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), ack);
+  EXPECT_FALSE(DecodeIngestAck(bytes.data(), 7).ok());
+}
+
+TEST(ErrorCodec, RoundTripsAndBoundsTheCode) {
+  const ErrorReply error{ErrorCode::kUnsupportedOpcode, "no such opcode"};
+  const auto bytes = EncodeError(error);
+  const auto decoded = DecodeError(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), error);
+
+  auto bad = bytes;
+  bad[0] = 0;
+  EXPECT_FALSE(DecodeError(bad.data(), bad.size()).ok());
+  bad[0] = 5;
+  EXPECT_FALSE(DecodeError(bad.data(), bad.size()).ok());
+  EXPECT_FALSE(DecodeError(bad.data(), 0).ok());
+}
+
+}  // namespace
+}  // namespace netclust::server

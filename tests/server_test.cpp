@@ -1,0 +1,329 @@
+// End-to-end tests for netclustd's service layer (src/server/): a real
+// Server on an ephemeral loopback port, driven through the blocking
+// Client and raw sockets. Covers the acceptance contract of the daemon:
+//
+//   * wire lookups are bit-identical to direct Engine::Lookup calls;
+//   * an INGEST_UPDATE acked mid-test is visible to subsequent lookups;
+//   * backpressure surfaces as BUSY (retryable), not as dropped bytes;
+//   * malformed frames draw an ERROR and close only that connection;
+//   * Stop() drains gracefully with clients still connected.
+//
+// The whole file is run under TSan in CI (reader threads, the ingest
+// thread, and the reaper all cross the engine's RCU boundary here).
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/update.h"
+#include "engine/engine.h"
+#include "loadgen.h"
+#include "net/ip_address.h"
+#include "net/prefix.h"
+#include "server/client.h"
+#include "server/io_util.h"
+#include "server/proto.h"
+
+namespace netclust::server {
+namespace {
+
+using net::IpAddress;
+using net::Prefix;
+
+Prefix P(const char* text) { return Prefix::Parse(text).value(); }
+
+/// Engine with two registered sources (0 = seed, 1 = live ingest) and a
+/// small seeded table, started and ready to serve.
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_.emplace();
+    seed_source_ = engine_->AddSource(
+        {"SEED", "1/1/2000", bgp::SourceKind::kBgpTable, ""});
+    live_source_ = engine_->AddSource(
+        {"LIVE", "1/1/2000", bgp::SourceKind::kBgpTable, ""});
+    engine_->Announce(P("10.0.0.0/8"), seed_source_, 65000);
+    engine_->Announce(P("151.198.0.0/16"), seed_source_, 7018);
+    engine_->Announce(P("151.198.192.0/18"), seed_source_, 1742);
+    engine_->Start();
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+    engine_->Stop();
+  }
+
+  std::uint16_t Serve(ServerConfig config = {}) {
+    config.port = 0;
+    config.source_count = 2;
+    server_.emplace(&*engine_, config);
+    const Result<std::uint16_t> port = server_->Serve();
+    EXPECT_TRUE(port.ok()) << (port.ok() ? "" : port.error());
+    return port.value_or(0);
+  }
+
+  Client ConnectOrDie(std::uint16_t port) {
+    Result<Client> client = Client::Connect("127.0.0.1", port, 2'000);
+    EXPECT_TRUE(client.ok()) << (client.ok() ? "" : client.error());
+    return std::move(client).value();
+  }
+
+  std::optional<engine::Engine> engine_;
+  std::optional<Server> server_;
+  int seed_source_ = -1;
+  int live_source_ = -1;
+};
+
+TEST_F(ServerTest, WireLookupsAreBitIdenticalToDirectEngineLookups) {
+  const std::uint16_t port = Serve();
+  Client client = ConnectOrDie(port);
+
+  const std::vector<IpAddress> probes{
+      IpAddress(10, 1, 2, 3),        // /8 hit
+      IpAddress(151, 198, 10, 1),    // /16 hit
+      IpAddress(151, 198, 200, 40),  // longest-match /18 hit
+      IpAddress(192, 0, 2, 55),      // miss
+      IpAddress(0, 0, 0, 0),         // miss (edge)
+      IpAddress(255, 255, 255, 255),
+  };
+  for (const IpAddress probe : probes) {
+    const Result<LookupRecord> wire = client.Lookup(probe);
+    ASSERT_TRUE(wire.ok()) << wire.error();
+    EXPECT_EQ(wire.value(), LookupRecord::FromMatch(engine_->Lookup(probe)))
+        << "lookup diverged for " << probe.bits();
+  }
+
+  // One BATCH_LOOKUP must answer exactly like N single lookups, in order.
+  const Result<std::vector<LookupRecord>> batch = client.BatchLookup(probes);
+  ASSERT_TRUE(batch.ok()) << batch.error();
+  ASSERT_EQ(batch.value().size(), probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(batch.value()[i],
+              LookupRecord::FromMatch(engine_->Lookup(probes[i])));
+  }
+
+  const Result<std::vector<std::uint8_t>> pong =
+      client.Ping({0xDE, 0xAD, 0xBE, 0xEF});
+  ASSERT_TRUE(pong.ok()) << pong.error();
+  EXPECT_EQ(pong.value(), (std::vector<std::uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST_F(ServerTest, AckedIngestIsVisibleToSubsequentLookups) {
+  const std::uint16_t port = Serve();
+  Client client = ConnectOrDie(port);
+  const IpAddress probe(192, 0, 2, 55);
+
+  const Result<LookupRecord> before = client.Lookup(probe);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before.value().found);
+
+  bgp::UpdateMessage update;
+  update.announced = {P("192.0.2.0/24")};
+  update.as_path = {4969};
+  const Result<IngestAck> ack = client.IngestUpdate(
+      static_cast<std::uint32_t>(live_source_), update);
+  ASSERT_TRUE(ack.ok()) << ack.error();
+  EXPECT_GT(ack.value().table_version, 0u);
+
+  // The ack means the snapshot is published: this lookup (same connection
+  // or any other) must see the announced prefix.
+  const Result<LookupRecord> after = client.Lookup(probe);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after.value().found);
+  EXPECT_EQ(after.value().prefix, P("192.0.2.0/24"));
+  EXPECT_EQ(after.value().origin_as, 4969u);
+
+  Client other = ConnectOrDie(port);
+  const Result<LookupRecord> cross = other.Lookup(probe);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ(cross.value(), after.value());
+
+  // Withdraw it again and the miss comes back.
+  bgp::UpdateMessage withdraw;
+  withdraw.withdrawn = {P("192.0.2.0/24")};
+  const Result<IngestAck> ack2 = client.IngestUpdate(
+      static_cast<std::uint32_t>(live_source_), withdraw);
+  ASSERT_TRUE(ack2.ok()) << ack2.error();
+  EXPECT_GT(ack2.value().table_version, ack.value().table_version);
+  const Result<LookupRecord> gone = client.Lookup(probe);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone.value().found);
+}
+
+TEST_F(ServerTest, StatsExposeServerAndEngineCounters) {
+  const std::uint16_t port = Serve();
+  Client client = ConnectOrDie(port);
+  ASSERT_TRUE(client.Lookup(IpAddress(10, 0, 0, 1)).ok());
+
+  const Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  EXPECT_NE(stats.value().find("netclust_server_lookups_served_total"),
+            std::string::npos);
+  EXPECT_NE(stats.value().find("netclust_server_connections_active"),
+            std::string::npos);
+  EXPECT_NE(stats.value().find("netclust_server_lookup_service_p99_ns"),
+            std::string::npos);
+  EXPECT_NE(stats.value().find("netclust_engine_"), std::string::npos)
+      << "engine exposition missing from STATS";
+  EXPECT_GE(server_->metrics().lookups_served.value(), 1u);
+}
+
+TEST_F(ServerTest, UnknownIngestSourceIsRejectedWithoutClosing) {
+  const std::uint16_t port = Serve();
+  Client client = ConnectOrDie(port);
+  bgp::UpdateMessage update;
+  update.announced = {P("198.51.100.0/24")};
+  update.as_path = {65001};
+  const Result<IngestAck> ack = client.IngestUpdate(99, update);
+  ASSERT_FALSE(ack.ok());
+  EXPECT_NE(ack.error().find("unknown ingest source id"), std::string::npos)
+      << ack.error();
+  // The connection survives a payload-level error.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, MalformedFramesDrawAnErrorAndCloseTheConnection) {
+  const std::uint16_t port = Serve();
+  const Result<int> fd = ConnectTcp("127.0.0.1", port, 2'000);
+  ASSERT_TRUE(fd.ok()) << fd.error();
+
+  const std::vector<std::uint8_t> junk{0xFF, 0xFF, 0xFF, 0xFF,
+                                       0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE(WriteFull(fd.value(), junk.data(), junk.size(), 2'000).ok());
+
+  std::vector<std::uint8_t> header(kHeaderSize);
+  const Result<IoStatus> got =
+      ReadFull(fd.value(), header.data(), header.size(), 2'000);
+  ASSERT_TRUE(got.ok()) << got.error();
+  ASSERT_EQ(got.value(), IoStatus::kOk);
+  const Result<FrameHeader> reply =
+      DecodeFrameHeader(header.data(), header.size());
+  ASSERT_TRUE(reply.ok()) << reply.error();
+  EXPECT_EQ(reply.value().opcode, Opcode::kError);
+  std::vector<std::uint8_t> payload(reply.value().payload_size);
+  ASSERT_TRUE(
+      ReadFull(fd.value(), payload.data(), payload.size(), 2'000).ok());
+  const Result<ErrorReply> error =
+      DecodeError(payload.data(), payload.size());
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error.value().code, ErrorCode::kMalformedFrame);
+
+  // After the error the server closes: the next read sees EOF.
+  std::uint8_t byte = 0;
+  const Result<IoStatus> eof = ReadFull(fd.value(), &byte, 1, 2'000);
+  ASSERT_TRUE(eof.ok()) << eof.error();
+  EXPECT_EQ(eof.value(), IoStatus::kClosed);
+  CloseFd(fd.value());
+
+  // Other connections are unaffected.
+  Client client = ConnectOrDie(port);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, ResponseOpcodeAsRequestIsUnsupportedNotFatal) {
+  const std::uint16_t port = Serve();
+  Client client = ConnectOrDie(port);
+  // Reach into the wire directly: a PONG is a known opcode, so it frames
+  // fine, but it is not a request.
+  const Result<int> fd = ConnectTcp("127.0.0.1", port, 2'000);
+  ASSERT_TRUE(fd.ok());
+  const auto frame = EncodeFrame(Opcode::kPong, {});
+  ASSERT_TRUE(WriteFull(fd.value(), frame.data(), frame.size(), 2'000).ok());
+  std::vector<std::uint8_t> header(kHeaderSize);
+  ASSERT_TRUE(ReadFull(fd.value(), header.data(), header.size(), 2'000).ok());
+  const Result<FrameHeader> reply =
+      DecodeFrameHeader(header.data(), header.size());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().opcode, Opcode::kError);
+  std::vector<std::uint8_t> payload(reply.value().payload_size);
+  ASSERT_TRUE(
+      ReadFull(fd.value(), payload.data(), payload.size(), 2'000).ok());
+  const Result<ErrorReply> error =
+      DecodeError(payload.data(), payload.size());
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error.value().code, ErrorCode::kUnsupportedOpcode);
+  // Connection stays open: a real request on it still works.
+  const auto ping = EncodeFrame(Opcode::kPing, {});
+  ASSERT_TRUE(WriteFull(fd.value(), ping.data(), ping.size(), 2'000).ok());
+  ASSERT_TRUE(ReadFull(fd.value(), header.data(), header.size(), 2'000).ok());
+  const Result<FrameHeader> pong =
+      DecodeFrameHeader(header.data(), header.size());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong.value().opcode, Opcode::kPong);
+  CloseFd(fd.value());
+}
+
+TEST_F(ServerTest, ConnectionLimitAnswersBusy) {
+  ServerConfig config;
+  config.max_connections = 2;
+  const std::uint16_t port = Serve(config);
+  Client first = ConnectOrDie(port);
+  Client second = ConnectOrDie(port);
+  ASSERT_TRUE(first.Ping().ok());
+  ASSERT_TRUE(second.Ping().ok());
+
+  // The third connection is accepted at the TCP level, told BUSY, and
+  // closed — an explicit retry signal, not a silent drop.
+  Result<Client> third = Client::Connect("127.0.0.1", port, 2'000);
+  ASSERT_TRUE(third.ok()) << third.error();
+  const Result<std::vector<std::uint8_t>> ping = third.value().Ping();
+  ASSERT_FALSE(ping.ok());
+  EXPECT_TRUE(Client::IsBusy(ping.error())) << ping.error();
+  EXPECT_GE(server_->metrics().connections_rejected.value(), 1u);
+
+  // Freeing a slot lets the next connection in. The slot is released when
+  // a reader observes the close; poll briefly rather than assuming
+  // instant accounting.
+  first.Close();
+  bool ok = false;
+  for (int attempt = 0; attempt < 50 && !ok; ++attempt) {
+    Result<Client> retry = Client::Connect("127.0.0.1", port, 2'000);
+    ASSERT_TRUE(retry.ok());
+    ok = retry.value().Ping().ok();
+  }
+  EXPECT_TRUE(ok) << "slot never freed after a client disconnect";
+}
+
+TEST_F(ServerTest, StopDrainsGracefullyWithClientsConnected) {
+  const std::uint16_t port = Serve();
+  Client client = ConnectOrDie(port);
+  ASSERT_TRUE(client.Ping().ok());
+
+  server_->Stop();
+  // After the drain the port no longer accepts.
+  EXPECT_FALSE(Client::Connect("127.0.0.1", port, 300).ok());
+  // And the old connection is gone (EOF or reset, surfaced as an error).
+  EXPECT_FALSE(client.Ping().ok());
+  server_.reset();
+}
+
+TEST_F(ServerTest, LoadGeneratorSmokeOverConcurrentConnections) {
+  ServerConfig config;
+  config.reader_threads = 2;
+  const std::uint16_t port = Serve(config);
+
+  loadgen::Options options;
+  options.port = port;
+  options.connections = 3;
+  options.total_frames = 600;
+  options.batch_size = 4;
+  options.addresses =
+      loadgen::SyntheticAddresses(512, IpAddress(10, 0, 0, 0), 8);
+  const Result<loadgen::Report> report = loadgen::Run(options);
+  ASSERT_TRUE(report.ok()) << report.error();
+  EXPECT_EQ(report.value().errors, 0u) << report.value().first_error;
+  EXPECT_EQ(report.value().frames_sent, 600u);
+  EXPECT_EQ(report.value().lookups_done, 2'400u);
+  // Every synthetic address sits inside the seeded 10.0.0.0/8.
+  EXPECT_EQ(report.value().found, report.value().lookups_done);
+  EXPECT_GT(report.value().qps, 0.0);
+  const std::string json = report.value().ToJson();
+  EXPECT_NE(json.find("\"qps\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netclust::server

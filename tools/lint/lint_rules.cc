@@ -200,7 +200,8 @@ void CheckParserInt(std::string_view path,
 void CheckNakedThread(std::string_view path,
                       const std::vector<ScannedLine>& lines,
                       std::vector<Finding>* findings) {
-  if (StartsWith(path, "src/engine/") || path == "src/core/parallel.cc") {
+  if (StartsWith(path, "src/engine/") || StartsWith(path, "src/server/") ||
+      path == "src/core/parallel.cc") {
     return;
   }
   for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -215,11 +216,66 @@ void CheckNakedThread(std::string_view path,
           (!IsIdentChar(code[after]) && code.compare(after, 2, "::") != 0)) {
         findings->push_back(
             {std::string(path), static_cast<int>(i + 1), "naked-thread",
-             "raw std::thread outside src/engine/ and src/core/parallel.cc "
-             "— use core::ParallelFor or the engine's shard workers"});
+             "raw std::thread outside src/engine/, src/server/ and "
+             "src/core/parallel.cc — use core::ParallelFor, the server's "
+             "reader pool or the engine's shard workers"});
         break;  // one finding per line is enough
       }
       pos = after;
+    }
+  }
+}
+
+void CheckRawIo(std::string_view path,
+                const std::vector<ScannedLine>& lines,
+                std::vector<Finding>* findings) {
+  // Raw POSIX I/O is EINTR-unsafe and deadline-blind; the wrappers in
+  // src/server/io_util.* are the single vetted home (exempted via the
+  // suppression file, so the exception stays visible in one place).
+  static constexpr std::string_view kRawCalls[] = {
+      "read",  "write",  "pread",    "pwrite",  "readv",   "writev",
+      "recv",  "send",   "recvfrom", "sendto",  "recvmsg", "sendmsg",
+      "accept", "accept4"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    bool flagged = false;
+    for (std::string_view fn : kRawCalls) {
+      std::size_t pos = 0;
+      while (!flagged &&
+             (pos = code.find(fn, pos)) != std::string::npos) {
+        const std::size_t after = pos + fn.size();
+        const bool whole_left = pos == 0 || !IsIdentChar(code[pos - 1]);
+        const bool whole_right = after >= code.size() ||
+                                 !IsIdentChar(code[after]);
+        if (!whole_left || !whole_right) {
+          pos = after;
+          continue;
+        }
+        // Member calls (stream.write(...), msg->send(...)) are someone
+        // else's API, not a syscall; only free calls — `write(` or the
+        // explicit `::write(` — count. Require the `(` so declarations
+        // and plain words in code (a variable named `send`) stay legal.
+        const bool member =
+            (pos >= 1 && code[pos - 1] == '.') ||
+            (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>');
+        std::size_t paren = after;
+        while (paren < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[paren]))) {
+          ++paren;
+        }
+        const bool call = paren < code.size() && code[paren] == '(';
+        if (!member && call) {
+          findings->push_back(
+              {std::string(path), static_cast<int>(i + 1), "raw-io",
+               "raw '" + std::string(fn) +
+                   "(...)' — use the EINTR-safe wrappers in "
+                   "src/server/io_util.h (RetryRead/WriteFull/RetryAccept "
+                   "and friends)"});
+          flagged = true;  // one finding per line is enough
+        }
+        pos = after;
+      }
+      if (flagged) break;
     }
   }
 }
@@ -273,6 +329,7 @@ std::vector<Finding> LintFile(std::string_view path,
   CheckOrderComment(path, lines, &findings);
   CheckParserInt(path, lines, &findings);
   CheckNakedThread(path, lines, &findings);
+  CheckRawIo(path, lines, &findings);
   CheckIostreamInclude(path, lines, &findings);
   CheckHeaderGuard(path, lines, &findings);
   std::sort(findings.begin(), findings.end(),

@@ -14,9 +14,15 @@
 //                   parser code (src/bgp/, src/weblog/) — use
 //                   std::from_chars; locale- and overflow-unsafe parsing
 //                   was the PR 2 bug class.
-//   naked-thread    no std::thread outside src/engine/ and
+//   naked-thread    no std::thread outside src/engine/, src/server/ and
 //                   src/core/parallel.cc — thread management goes through
-//                   the engine's ShardWorker or core::ParallelFor.
+//                   the engine's ShardWorker, the server's reader pool or
+//                   core::ParallelFor.
+//   raw-io          no raw POSIX I/O calls (read / write / accept /
+//                   recv / send and friends) in library code — every
+//                   syscall goes through the EINTR-safe, deadline-aware
+//                   wrappers in src/server/io_util.*; that file itself is
+//                   the single vetted suppression.
 //   iostream-include no #include <iostream> in library code under src/
 //                   (iostream pulls in static init + locale machinery;
 //                   CLI tools are vetted via the suppression file).

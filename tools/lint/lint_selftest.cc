@@ -118,6 +118,42 @@ void TestNakedThread() {
                     "std::this_thread::yield();\n"),
            "naked-thread")
             .empty());
+  // The server's reader pool is an allowed home too.
+  CHECK(Of(LintFile("src/server/server.cc",
+                    "std::vector<std::thread> readers_;\n"),
+           "naked-thread")
+            .empty());
+}
+
+void TestRawIo() {
+  // Bad: free calls to the POSIX syscalls, bare or ::-qualified.
+  const auto bad = Of(LintFile("src/core/x.cc",
+                               "ssize_t n = ::read(fd, buf, len);\n"),
+                      "raw-io");
+  CHECK(bad.size() == 1);
+  CHECK(!bad.empty() && bad[0].line == 1);
+  CHECK(Of(LintFile("src/core/x.cc", "write(fd, buf, len);\n"), "raw-io")
+            .size() == 1);
+  CHECK(Of(LintFile("src/core/x.cc",
+                    "int c = accept4(fd, nullptr, nullptr, 0);\n"),
+           "raw-io")
+            .size() == 1);
+  CHECK(Of(LintFile("src/core/x.cc", "send(fd, buf, len, 0);\n"), "raw-io")
+            .size() == 1);
+  // Good: member calls are someone else's API, not syscalls.
+  CHECK(Of(LintFile("src/core/x.cc", "out.write(buf, len);\n"), "raw-io")
+            .empty());
+  CHECK(Of(LintFile("src/core/x.cc", "sock->send(frame);\n"), "raw-io")
+            .empty());
+  // Good: the token without a call, and longer identifiers.
+  CHECK(Of(LintFile("src/core/x.cc", "bool send = true;\n"), "raw-io")
+            .empty());
+  CHECK(Of(LintFile("src/core/x.cc", "RetryRead(fd, buf, len);\n"),
+           "raw-io")
+            .empty());
+  CHECK(Of(LintFile("src/core/x.cc", "// call read(2) to drain\n"),
+           "raw-io")
+            .empty());
 }
 
 void TestIostreamInclude() {
@@ -196,6 +232,7 @@ int main() {
   TestOrderComment();
   TestParserInt();
   TestNakedThread();
+  TestRawIo();
   TestIostreamInclude();
   TestHeaderGuard();
   TestSuppressions();

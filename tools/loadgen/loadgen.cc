@@ -1,0 +1,205 @@
+#include "loadgen.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "engine/metrics.h"
+#include "server/client.h"
+#include "server/metrics.h"
+#include "weblog/log.h"
+
+namespace netclust::loadgen {
+
+namespace {
+
+/// Per-thread slice of the total frame budget.
+std::size_t SliceSize(std::size_t total, int threads, int index) {
+  const auto n = static_cast<std::size_t>(threads);
+  return total / n + (static_cast<std::size_t>(index) < total % n ? 1 : 0);
+}
+
+struct SharedState {
+  engine::LatencyHistogram latency;
+  std::atomic<std::size_t> frames{0};
+  std::atomic<std::size_t> lookups{0};
+  std::atomic<std::size_t> found{0};
+  std::atomic<std::size_t> busy{0};
+  std::atomic<std::size_t> errors{0};
+  std::mutex error_mu;
+  std::string first_error;
+
+  void RecordError(const std::string& message) {
+    errors.fetch_add(1);
+    const std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.empty()) first_error = message;
+  }
+};
+
+/// One connection worker: sends `budget` frames, cycling through the
+/// shared address stream starting at its own offset.
+void Worker(const Options& options, int index, std::size_t budget,
+            SharedState* state) {
+  auto client =
+      server::Client::Connect(options.host, options.port, options.timeout_ms);
+  if (!client.ok()) {
+    state->RecordError("connect: " + client.error());
+    return;
+  }
+  server::Client conn = std::move(client).value();
+
+  const std::vector<net::IpAddress>& addresses = options.addresses;
+  std::size_t cursor = static_cast<std::size_t>(index) % addresses.size();
+  std::vector<net::IpAddress> batch;
+  batch.reserve(options.batch_size);
+
+  for (std::size_t f = 0; f < budget; ++f) {
+    batch.clear();
+    for (std::size_t b = 0; b < options.batch_size; ++b) {
+      batch.push_back(addresses[cursor]);
+      cursor = (cursor + 1) % addresses.size();
+    }
+
+    bool done = false;
+    for (int attempt = 0; attempt <= options.busy_retries && !done;
+         ++attempt) {
+      const std::uint64_t start = engine::NowNs();
+      std::size_t answered = 0;
+      std::size_t matched = 0;
+      std::string error;
+      if (options.batch_size == 1) {
+        auto record = conn.Lookup(batch[0]);
+        if (record.ok()) {
+          answered = 1;
+          matched = record.value().found ? 1 : 0;
+        } else {
+          error = record.error();
+        }
+      } else {
+        auto records = conn.BatchLookup(batch);
+        if (records.ok()) {
+          answered = records.value().size();
+          for (const server::LookupRecord& r : records.value()) {
+            if (r.found) ++matched;
+          }
+        } else {
+          error = records.error();
+        }
+      }
+      if (error.empty()) {
+        state->latency.Record(engine::NowNs() - start);
+        state->frames.fetch_add(1);
+        state->lookups.fetch_add(answered);
+        state->found.fetch_add(matched);
+        done = true;
+      } else if (server::Client::IsBusy(error)) {
+        state->busy.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      } else {
+        state->RecordError(error);
+        return;  // transport broken; this worker is done
+      }
+    }
+    if (!done) {
+      state->RecordError("BUSY retry budget exhausted");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Report::ToJson() const {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"qps\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
+      "\"frames\": %zu, \"lookups\": %zu, \"found\": %zu, "
+      "\"busy_retries\": %zu, \"errors\": %zu, \"elapsed_ms\": %.1f}",
+      qps, static_cast<double>(p50_ns) / 1e3,
+      static_cast<double>(p99_ns) / 1e3, frames_sent, lookups_done, found,
+      busy_retries, errors, static_cast<double>(elapsed_ns) / 1e6);
+  return buffer;
+}
+
+Result<Report> Run(const Options& options) {
+  if (options.addresses.empty()) return Fail("no addresses to replay");
+  if (options.connections < 1) return Fail("need at least one connection");
+  if (options.batch_size < 1) return Fail("batch size must be >= 1");
+  if (options.batch_size > server::kMaxBatch) {
+    return Fail("batch size exceeds protocol kMaxBatch");
+  }
+
+  SharedState state;
+  const std::uint64_t start = engine::NowNs();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(options.connections));
+  for (int i = 0; i < options.connections; ++i) {
+    const std::size_t budget =
+        SliceSize(options.total_frames, options.connections, i);
+    workers.emplace_back(Worker, std::cref(options), i, budget, &state);
+  }
+  for (std::thread& t : workers) t.join();
+  const std::uint64_t elapsed = engine::NowNs() - start;
+
+  Report report;
+  report.frames_sent = state.frames.load();
+  report.lookups_done = state.lookups.load();
+  report.found = state.found.load();
+  report.busy_retries = state.busy.load();
+  report.errors = state.errors.load();
+  report.elapsed_ns = elapsed;
+  report.qps = elapsed > 0 ? static_cast<double>(report.lookups_done) /
+                                 (static_cast<double>(elapsed) / 1e9)
+                           : 0.0;
+  report.p50_ns = server::HistogramQuantileNs(state.latency, 0.50);
+  report.p99_ns = server::HistogramQuantileNs(state.latency, 0.99);
+  report.first_error = state.first_error;
+  return report;
+}
+
+std::vector<net::IpAddress> SyntheticAddresses(std::size_t count,
+                                               net::IpAddress base_prefix,
+                                               int prefix_len,
+                                               std::uint64_t seed) {
+  std::vector<net::IpAddress> out;
+  out.reserve(count);
+  const int host_bits = 32 - prefix_len;
+  const std::uint32_t host_mask =
+      host_bits >= 32 ? 0xFFFFFFFFu : (1u << host_bits) - 1u;
+  const std::uint32_t network = base_prefix.bits() & ~host_mask;
+  std::uint64_t lcg = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (std::size_t i = 0; i < count; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const auto scatter = static_cast<std::uint32_t>(lcg >> 32);
+    out.emplace_back(network | (scatter & host_mask));
+  }
+  return out;
+}
+
+Result<std::vector<net::IpAddress>> AddressesFromClf(const std::string& path,
+                                                     std::size_t limit) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail("cannot open CLF log: " + path);
+  weblog::ServerLog log(path);
+  std::size_t malformed = 0;
+  log.AppendClfStream(in, &malformed);
+  if (log.request_count() == 0) {
+    return Fail("no parseable CLF records in " + path +
+                " (malformed lines: " + std::to_string(malformed) + ")");
+  }
+  std::vector<net::IpAddress> out;
+  const std::size_t n = limit > 0 && limit < log.request_count()
+                            ? limit
+                            : log.request_count();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(log.requests()[i].client);
+  }
+  return out;
+}
+
+}  // namespace netclust::loadgen

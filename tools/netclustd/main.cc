@@ -1,0 +1,162 @@
+// netclustd: the cluster-lookup daemon.
+//
+//   $ netclustd --snapshot rib.txt --port 4730
+//
+// Owns one engine::Engine, seeds its prefix table from routing-table
+// snapshot files (text or MRT, auto-detected), then serves the binary
+// wire protocol (src/server/proto.h) on loopback: lock-free LOOKUP /
+// BATCH_LOOKUP from N reader threads, INGEST_UPDATE through the single
+// ingest thread, STATS and PING. SIGTERM/SIGINT trigger a graceful
+// drain — stop accepting, finish in-flight frames, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bgp/io.h"
+#include "engine/engine.h"
+#include "server/io_util.h"
+#include "server/server.h"
+
+namespace {
+
+// Self-pipe for async-signal-safe shutdown: the handler only write()s one
+// byte; main blocks reading the other end.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnTermSignal(int) {
+  const char byte = 1;
+  // A failed wake (full pipe) is fine: one byte is already in flight.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --port N              listen port on 127.0.0.1 (default 4730; 0 = ephemeral)\n"
+      "  --snapshot FILE       seed the table from FILE (repeatable; one source each)\n"
+      "  --live-sources N      extra empty ingest sources for live feeds (default 1)\n"
+      "  --readers N           reader threads (default 2)\n"
+      "  --shards N            engine worker shards (default 1)\n"
+      "  --max-connections N   connection ceiling (default 64)\n"
+      "  --max-inflight N      in-flight frame ceiling (default 128)\n"
+      "  --idle-timeout-ms N   reap idle connections after N ms (default 30000)\n"
+      "  --print-port          print only the bound port on stdout (for scripts)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace netclust;
+
+  server::ServerConfig config;
+  config.port = 4730;
+  engine::EngineConfig engine_config;
+  engine_config.shards = 1;
+  engine_config.log_name = "netclustd";
+  std::vector<std::string> snapshot_paths;
+  int live_sources = 1;
+  bool print_port = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--port" && has_value) {
+      config.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--snapshot" && has_value) {
+      snapshot_paths.emplace_back(argv[++i]);
+    } else if (arg == "--live-sources" && has_value) {
+      live_sources = std::atoi(argv[++i]);
+    } else if (arg == "--readers" && has_value) {
+      config.reader_threads = std::atoi(argv[++i]);
+    } else if (arg == "--shards" && has_value) {
+      engine_config.shards = std::atoi(argv[++i]);
+    } else if (arg == "--max-connections" && has_value) {
+      config.max_connections = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-inflight" && has_value) {
+      config.max_inflight_frames =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--idle-timeout-ms" && has_value) {
+      config.idle_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--print-port") {
+      print_port = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  engine::Engine engine(engine_config);
+  int sources = 0;
+  std::size_t seeded_prefixes = 0;
+  for (const std::string& path : snapshot_paths) {
+    auto loaded = bgp::LoadSnapshotFile(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "netclustd: %s: %s\n", path.c_str(),
+                   loaded.error().c_str());
+      return 1;
+    }
+    const int id = engine.SeedSnapshot(loaded.value().snapshot);
+    std::fprintf(stderr,
+                 "netclustd: source %d <- %s (%zu entries, %zu skipped)\n", id,
+                 path.c_str(), loaded.value().snapshot.entries.size(),
+                 loaded.value().skipped);
+    seeded_prefixes += loaded.value().snapshot.entries.size();
+    ++sources;
+  }
+  for (int i = 0; i < live_sources; ++i) {
+    bgp::SnapshotInfo info;
+    info.name = "live" + std::to_string(i);
+    info.kind = bgp::SourceKind::kBgpTable;
+    info.comment = "runtime INGEST_UPDATE feed";
+    const int id = engine.AddSource(info);
+    std::fprintf(stderr, "netclustd: source %d <- %s (live)\n", id,
+                 info.name.c_str());
+    ++sources;
+  }
+  config.source_count = sources;
+
+  engine.Start();
+  server::Server daemon(&engine, config);
+  auto port = daemon.Serve();
+  if (!port.ok()) {
+    std::fprintf(stderr, "netclustd: %s\n", port.error().c_str());
+    return 1;
+  }
+  if (print_port) {
+    std::printf("%u\n", port.value());
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr,
+               "netclustd: listening on 127.0.0.1:%u (%zu seeded entries, "
+               "table %zu prefixes, %d sources)\n",
+               port.value(), seeded_prefixes, engine.AcquireTable()->size(),
+               sources);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "netclustd: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = OnTermSignal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // Block until a termination signal lands (EINTR-safe).
+  char byte = 0;
+  (void)server::RetryRead(g_signal_pipe[0], &byte, 1);
+
+  std::fprintf(stderr, "netclustd: draining...\n");
+  daemon.Stop();
+  engine.Stop();
+  std::fprintf(stderr, "netclustd: drained, exiting\n");
+  return 0;
+}
