@@ -1,8 +1,10 @@
 #include "server/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include <sys/epoll.h>
@@ -86,7 +88,9 @@ Result<std::uint16_t> Server::Serve() {
     readers_.emplace_back([this] { ReaderLoop(); });
   }
   ingest_thread_ = std::thread([this] { IngestLoop(); });
-  if (config_.idle_timeout_ms > 0) {
+  // The reaper enforces BOTH timeouts; disabling just the idle one must
+  // not silently drop the mid-frame read cutoff (or vice versa).
+  if (config_.idle_timeout_ms > 0 || config_.read_timeout_ms > 0) {
     reaper_thread_ = std::thread([this] { ReaperLoop(); });
   }
   return port_;
@@ -270,10 +274,24 @@ void Server::ServiceConnection(const std::shared_ptr<Connection>& conn) {
   // Release-before-rearm, or a new event could land while busy is still
   // set and be dropped by the CAS (oneshot events are not redelivered).
   conn->busy.store(false);
-  if (!RearmConnection(*conn)) {
+  if (!RearmIfCurrent(conn)) {
     // Benign race with the reaper closing the descriptor under us.
     return;
   }
+}
+
+bool Server::RearmIfCurrent(const std::shared_ptr<Connection>& conn) {
+  // Between the busy release and this rearm the reaper can close and erase
+  // the connection and the kernel can recycle the fd number for a newly
+  // accepted one; a stale MOD would then rearm the new connection's
+  // oneshot and make its reader lose the busy CAS (dropping an event).
+  // Close-and-erase and accept-and-insert both happen under conn_mu_, so
+  // validating pointer identity and issuing the MOD under the same lock
+  // guarantees the descriptor cannot be recycled in between.
+  base::MutexLock lock(&conn_mu_);
+  auto it = connections_.find(conn->fd);
+  if (it == connections_.end() || it->second != conn) return false;
+  return RearmConnection(*conn);
 }
 
 bool Server::RearmConnection(const Connection& conn) {
@@ -466,12 +484,23 @@ void Server::IngestLoop() {
       base::MutexLock lock(&job->mu);
       job->done = true;
       job->table_version = version;
+      // Notify while still holding job->mu: the job lives on the waiting
+      // reader's stack, and the reader cannot return from Wait() (and
+      // destroy the job) until this mutex is released — signalling after
+      // unlocking would race the job's destruction.
+      job->cv.NotifyAll();
     }
-    job->cv.NotifyAll();
   }
 }
 
 void Server::ReaperLoop() {
+  // A non-positive timeout means "never": the thread runs whenever either
+  // timeout is active, so disabling one leaves the other enforced.
+  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t read_limit =
+      config_.read_timeout_ms > 0 ? config_.read_timeout_ms : kNever;
+  const std::int64_t idle_limit =
+      config_.idle_timeout_ms > 0 ? config_.idle_timeout_ms : kNever;
   while (!stopping_.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(25));
     const std::int64_t now = NowMs();
@@ -481,7 +510,8 @@ void Server::ReaperLoop() {
       for (auto& [fd, conn] : connections_) {
         // Cheap pre-filter on the shorter threshold (the decoder cannot be
         // inspected before claiming the connection).
-        if (now - conn->last_activity_ms.load() < config_.read_timeout_ms) {
+        if (now - conn->last_activity_ms.load() <
+            std::min(read_limit, idle_limit)) {
           continue;
         }
         bool expected = false;
@@ -491,9 +521,8 @@ void Server::ReaperLoop() {
         if (!conn->busy.compare_exchange_strong(expected, true)) continue;
         // A stalled mid-frame peer is cut off on the (shorter) read
         // timeout; a merely quiet one on the idle timeout.
-        const std::int64_t limit = conn->decoder.buffered() > 0
-                                       ? config_.read_timeout_ms
-                                       : config_.idle_timeout_ms;
+        const std::int64_t limit =
+            conn->decoder.buffered() > 0 ? read_limit : idle_limit;
         if (now - conn->last_activity_ms.load() >= limit) {
           victims.push_back(conn);
           continue;

@@ -55,12 +55,15 @@ struct ServerConfig {
   /// Decoded-but-unanswered frame ceiling across all connections (this
   /// bounds the ingest queue too); excess frames get BUSY replies.
   std::size_t max_inflight_frames = 128;
-  /// Idle-connection reap threshold. <= 0 disables the reaper.
+  /// Idle-connection reap threshold. <= 0 disables idle reaping only;
+  /// read_timeout_ms stays enforced (the reaper runs while either timeout
+  /// is positive).
   int idle_timeout_ms = 30'000;
   /// Per-connection deadline for writing one response.
   int write_timeout_ms = 5'000;
   /// Deadline for draining a partially received frame once its first bytes
-  /// have arrived (a peer that stalls mid-frame is cut off).
+  /// have arrived (a peer that stalls mid-frame is cut off). <= 0 disables
+  /// the mid-frame cutoff.
   int read_timeout_ms = 5'000;
   int listen_backlog = 64;
   /// Engine source ids in [0, source_count) are accepted from
@@ -145,8 +148,17 @@ class Server {
   void CloseConnection(const std::shared_ptr<Connection>& conn,
                        engine::Counter* reason);
 
-  /// Rearms an EPOLLONESHOT descriptor for the next readable event.
-  [[nodiscard]] bool RearmConnection(const Connection& conn);
+  /// Rearms an EPOLLONESHOT descriptor for the next readable event, but
+  /// only after validating under conn_mu_ that the fd still maps to this
+  /// Connection — guards against the reaper closing it and the kernel
+  /// recycling the fd between the busy release and the rearm.
+  [[nodiscard]] bool RearmIfCurrent(const std::shared_ptr<Connection>& conn);
+
+  /// Rearms an EPOLLONESHOT descriptor for the next readable event. The
+  /// caller must hold conn_mu_ so the fd cannot be closed and recycled
+  /// between its membership check and the epoll_ctl.
+  [[nodiscard]] bool RearmConnection(const Connection& conn)
+      REQUIRES(conn_mu_);
 
   engine::Engine* const engine_;
   const ServerConfig config_;

@@ -92,6 +92,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Install signal handling before any long-running work (snapshot
+  // loading, engine start, serving): a SIGTERM/SIGINT landing at any point
+  // after this must take the graceful-drain path, never the default
+  // action, and writes to dead sockets must never raise SIGPIPE.
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "netclustd: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = OnTermSignal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
   engine::Engine engine(engine_config);
   int sources = 0;
   std::size_t seeded_prefixes = 0;
@@ -138,17 +153,6 @@ int main(int argc, char** argv) {
                "table %zu prefixes, %d sources)\n",
                port.value(), seeded_prefixes, engine.AcquireTable()->size(),
                sources);
-
-  if (::pipe(g_signal_pipe) != 0) {
-    std::fprintf(stderr, "netclustd: pipe: %s\n", std::strerror(errno));
-    return 1;
-  }
-  struct sigaction action {};
-  action.sa_handler = OnTermSignal;
-  ::sigemptyset(&action.sa_mask);
-  ::sigaction(SIGTERM, &action, nullptr);
-  ::sigaction(SIGINT, &action, nullptr);
-  ::signal(SIGPIPE, SIG_IGN);
 
   // Block until a termination signal lands (EINTR-safe).
   char byte = 0;
