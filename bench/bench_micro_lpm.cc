@@ -2,10 +2,24 @@
 // under a realistic merged table — the ablation behind the paper's claim
 // that the method is "computationally non-intensive".
 //
-// Compares: path-compressed Patricia trie (production), uncompressed
-// binary trie, linear scan (oracle), and end-to-end clustering throughput.
+// Compares: path-compressed Patricia trie (production mutable structure),
+// uncompressed binary trie, linear scan (oracle), the flat directory
+// compiled at publish time (single and batched), and end-to-end
+// clustering throughput.
+//
+// Besides the google-benchmark registrations, a hand-rolled section
+// measures the serving-plane ladder — PrefixTable::LongestMatch (Patricia
+// walk) vs FlatLpm single vs FlatLpm batched — writes it to
+// BENCH_lpm.json, and enforces the floor the flat path exists for:
+// batched flat lookups must clear 2x the Patricia single-lookup
+// throughput. `--floor-only` skips the google-benchmark suite and runs
+// just that section (CI's bench smoke).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -14,6 +28,7 @@
 #include "core/streaming.h"
 #include "synth/rng.h"
 #include "trie/binary_trie.h"
+#include "trie/flat_lpm.h"
 #include "trie/linear_lpm.h"
 #include "trie/patricia_trie.h"
 
@@ -95,6 +110,45 @@ void BM_LinearLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_LinearLookup);
 
+void BM_FlatCompile(benchmark::State& state) {
+  // The cost every RCU publish pays to carry a compiled data plane.
+  const auto& table = bench::GetScenario().table;
+  for (auto _ : state) {
+    const bgp::PrefixTable::Flat flat = table.CompileFlat();
+    benchmark::DoNotOptimize(flat.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * table.size()));
+}
+BENCHMARK(BM_FlatCompile);
+
+void BM_FlatLookup(benchmark::State& state) {
+  static const bgp::PrefixTable::Flat flat =
+      bench::GetScenario().table.CompileFlat();
+  const auto probes = ProbeAddresses(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flat.LongestMatch(probes[i]));
+    i = (i + 1) % probes.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatLookup);
+
+void BM_FlatLookupBatch(benchmark::State& state) {
+  static const bgp::PrefixTable::Flat flat =
+      bench::GetScenario().table.CompileFlat();
+  const auto probes = ProbeAddresses(4096);
+  std::vector<bgp::PrefixTable::Flat::Match> out(probes.size());
+  for (auto _ : state) {
+    flat.LookupBatch(probes, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * probes.size()));
+}
+BENCHMARK(BM_FlatLookupBatch);
+
 void BM_PrefixTableLookup(benchmark::State& state) {
   // The production path: primary/secondary semantics over the full union.
   const auto& table = bench::GetScenario().table;
@@ -156,6 +210,125 @@ void BM_ClusterLog(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterLog);
 
+// ---------------------------------------------------------------------------
+// The serving-plane ladder + BENCH_lpm.json + the 2x floor.
+
+using Clock = std::chrono::steady_clock;
+
+/// Runs `body(probe_index)` over the probe cycle until ~250ms have
+/// elapsed (after one untimed warmup pass) and returns lookups/second.
+template <typename Body>
+double MeasureQps(std::size_t probe_count, const Body& body) {
+  for (std::size_t i = 0; i < probe_count; ++i) body(i);  // warmup
+  std::size_t done = 0;
+  const Clock::time_point start = Clock::now();
+  Clock::time_point now = start;
+  while (now - start < std::chrono::milliseconds(250)) {
+    for (std::size_t i = 0; i < probe_count; ++i) body(i);
+    done += probe_count;
+    now = Clock::now();
+  }
+  const double seconds =
+      std::chrono::duration<double>(now - start).count();
+  return static_cast<double>(done) / seconds;
+}
+
+int RunFloor() {
+  const auto& table = bench::GetScenario().table;
+  const bgp::PrefixTable::Flat flat = table.CompileFlat();
+  const auto probes = ProbeAddresses(4096);
+
+  std::printf("\nserving-plane ladder (%zu prefixes, %zu probe addresses)\n",
+              table.size(), probes.size());
+  std::printf("  flat directory: %s bytes, %zu child blocks\n",
+              bench::Fmt(static_cast<double>(flat.directory_bytes())).c_str(),
+              flat.block_count());
+
+  const double patricia_single = MeasureQps(probes.size(), [&](std::size_t i) {
+    benchmark::DoNotOptimize(table.LongestMatch(probes[i]));
+  });
+  const double flat_single = MeasureQps(probes.size(), [&](std::size_t i) {
+    benchmark::DoNotOptimize(flat.LongestMatch(probes[i]));
+  });
+  // Batched: whole-probe-set batches, the Engine::LookupBatch shape.
+  std::vector<bgp::PrefixTable::Flat::Match> out(probes.size());
+  flat.LookupBatch(probes, out);  // warmup
+  std::size_t batched_done = 0;
+  const Clock::time_point start = Clock::now();
+  Clock::time_point now = start;
+  while (now - start < std::chrono::milliseconds(250)) {
+    flat.LookupBatch(probes, out);
+    benchmark::DoNotOptimize(out.data());
+    batched_done += probes.size();
+    now = Clock::now();
+  }
+  const double flat_batch =
+      static_cast<double>(batched_done) /
+      std::chrono::duration<double>(now - start).count();
+
+  const double speedup = flat_batch / patricia_single;
+  constexpr double kFloor = 2.0;
+  const bool passed = speedup >= kFloor;
+
+  std::printf("  %-28s %s lookups/s\n", "patricia single",
+              bench::Fmt(patricia_single).c_str());
+  std::printf("  %-28s %s lookups/s\n", "flat single",
+              bench::Fmt(flat_single).c_str());
+  std::printf("  %-28s %s lookups/s\n", "flat batched",
+              bench::Fmt(flat_batch).c_str());
+  std::printf("  %-28s %.2fx (floor %.1fx)\n", "batched vs patricia",
+              speedup, kFloor);
+
+  char json[512];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"table_prefixes\": %zu, \"probe_addresses\": %zu, "
+      "\"directory_bytes\": %zu, \"patricia_single_qps\": %.0f, "
+      "\"flat_single_qps\": %.0f, \"flat_batch_qps\": %.0f, "
+      "\"speedup_batch_vs_patricia\": %.2f, \"floor\": %.1f, "
+      "\"passed\": %s}",
+      table.size(), probes.size(), flat.directory_bytes(), patricia_single,
+      flat_single, flat_batch, speedup, kFloor, passed ? "true" : "false");
+  std::FILE* file = std::fopen("BENCH_lpm.json", "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_micro_lpm: cannot write BENCH_lpm.json\n");
+    return 1;
+  }
+  std::fprintf(file, "%s\n", json);
+  std::fclose(file);
+  std::printf("\nwrote BENCH_lpm.json: %s\n", json);
+
+  if (!passed) {
+    std::fprintf(stderr,
+                 "bench_micro_lpm: flat batched is only %.2fx patricia "
+                 "single — below the %.1fx floor\n",
+                 speedup, kFloor);
+    return 1;
+  }
+  std::printf("batched-lookup floor (%.1fx patricia single): cleared\n",
+              kFloor);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool floor_only = false;
+  // Strip our flag before google-benchmark sees the argument list.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--floor-only") == 0) {
+      floor_only = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!floor_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return RunFloor();
+}

@@ -5,15 +5,25 @@
 namespace netclust::bgp {
 
 int PrefixTable::AddSource(const SnapshotInfo& info) {
-  assert(sources_.size() < kMaxSources);
+  // The id is a bit position in the 32-bit source_mask: registration past
+  // kMaxSources must fail here, detectably, because Insert's shift cannot
+  // represent source 32 (UB in release builds, where the old assert-only
+  // guard compiled away).
+  if (sources_.size() >= static_cast<std::size_t>(kMaxSources)) {
+    return kInvalidSource;
+  }
   sources_.push_back(SourceStats{.info = info});
   return static_cast<int>(sources_.size()) - 1;
 }
 
 void PrefixTable::Insert(const net::Prefix& prefix, int source_id,
                          AsNumber origin_as) {
-  assert(source_id >= 0 &&
-         source_id < static_cast<int>(sources_.size()));
+  if (source_id < 0 || source_id >= static_cast<int>(sources_.size())) {
+    // A propagated kInvalidSource (or any stray id) is dropped, counted —
+    // never shifted into source_mask.
+    ++rejected_inserts_;
+    return;
+  }
   SourceStats& stats = sources_[static_cast<std::size_t>(source_id)];
   ++stats.entries;
 
@@ -47,6 +57,7 @@ AsNumber PrefixTable::OriginAs(const net::Prefix& prefix) const {
 
 int PrefixTable::AddSnapshot(const Snapshot& snapshot) {
   const int id = AddSource(snapshot.info);
+  if (id == kInvalidSource) return kInvalidSource;
   for (const RouteEntry& entry : snapshot.entries) {
     Insert(entry.prefix, id,
            entry.as_path.empty() ? 0 : entry.as_path.back());
@@ -72,6 +83,22 @@ std::optional<PrefixTable::Match> PrefixTable::LongestMatch(
   });
   if (best_bgp.has_value()) return best_bgp;
   return best_dump;
+}
+
+PrefixTable::Flat PrefixTable::CompileFlat() const {
+  std::vector<Flat::Entry> entries;
+  entries.reserve(trie_.size());
+  trie_.Visit([&](const net::Prefix& prefix, const Origin& origin) {
+    // Same classification as LongestMatch: a prefix any BGP source
+    // contributed counts as BGP, and BGP (priority 1) beats every
+    // network-dump prefix (priority 0) regardless of length.
+    const SourceKind kind = origin.from_bgp ? SourceKind::kBgpTable
+                                            : SourceKind::kNetworkDump;
+    entries.push_back(Flat::Entry{
+        prefix, origin.from_bgp ? 1 : 0,
+        Match{prefix, kind, origin.source_mask, origin.origin_as}});
+  });
+  return Flat::Compile(std::move(entries));
 }
 
 std::vector<net::Prefix> PrefixTable::AllPrefixes() const {

@@ -16,6 +16,7 @@
 #include "bgp/route_entry.h"
 #include "net/ip_address.h"
 #include "net/prefix.h"
+#include "trie/flat_lpm.h"
 #include "trie/patricia_trie.h"
 
 namespace netclust::bgp {
@@ -24,6 +25,10 @@ namespace netclust::bgp {
 class PrefixTable {
  public:
   static constexpr int kMaxSources = 32;
+  /// AddSource() return value when the source-id space is exhausted.
+  /// Insert() with it (or any other out-of-range id) is a counted no-op,
+  /// so a 33rd source can never shift past the 32-bit source_mask.
+  static constexpr int kInvalidSource = -1;
 
   struct Match {
     net::Prefix prefix;
@@ -45,13 +50,24 @@ class PrefixTable {
     std::size_t new_prefixes = 0;    // prefixes no earlier source had
   };
 
-  /// Registers a source and returns its id. At most kMaxSources.
-  int AddSource(const SnapshotInfo& info);
+  /// Registers a source and returns its id, or kInvalidSource once
+  /// kMaxSources are registered (the id space is a 32-bit mask; a 33rd
+  /// registration must fail detectably, not shift into undefined
+  /// behaviour). Callers that cannot continue without the source should
+  /// treat a negative id as an error.
+  [[nodiscard]] int AddSource(const SnapshotInfo& info);
 
   /// Inserts one prefix attributed to `source_id`, optionally annotated
   /// with its origin AS (0 = unknown; the first known origin wins).
+  /// An out-of-range source id (e.g. a propagated kInvalidSource) drops
+  /// the insert and bumps rejected_inserts() instead of corrupting masks.
   void Insert(const net::Prefix& prefix, int source_id,
               AsNumber origin_as = 0);
+
+  /// Inserts dropped because their source id was invalid.
+  [[nodiscard]] std::size_t rejected_inserts() const {
+    return rejected_inserts_;
+  }
 
   /// Origin AS recorded for `prefix`, or 0.
   [[nodiscard]] AsNumber OriginAs(const net::Prefix& prefix) const;
@@ -62,13 +78,25 @@ class PrefixTable {
   bool Remove(const net::Prefix& prefix) { return trie_.Remove(prefix); }
 
   /// Registers `snapshot.info` and inserts all its entries. Returns the
-  /// source id.
+  /// source id, or kInvalidSource (inserting nothing) when the source
+  /// space is exhausted.
   int AddSnapshot(const Snapshot& snapshot);
 
   /// Longest-prefix match under the primary/secondary rule. nullopt when no
   /// prefix at all covers `address` (the paper's ~0.1% unclusterable case).
   [[nodiscard]] std::optional<Match> LongestMatch(
       net::IpAddress address) const;
+
+  /// The flat, immutable lookup structure compiled from one table state.
+  /// Priority classes encode the primary/secondary rule, so
+  /// Flat::LongestMatch is bit-identical to PrefixTable::LongestMatch
+  /// (the *value pointed at is the complete Match, prefix included).
+  using Flat = trie::FlatLpm<Match>;
+
+  /// Compiles the current table into its flat form — one pass over the
+  /// trie plus the directory paint. Called by RcuTableSlot::Publish so
+  /// every published snapshot carries its compiled data plane.
+  [[nodiscard]] Flat CompileFlat() const;
 
   /// Number of distinct prefixes in the merged table.
   [[nodiscard]] std::size_t size() const { return trie_.size(); }
@@ -93,6 +121,7 @@ class PrefixTable {
 
   trie::PatriciaTrie<Origin> trie_;
   std::vector<SourceStats> sources_;
+  std::size_t rejected_inserts_ = 0;
 };
 
 }  // namespace netclust::bgp

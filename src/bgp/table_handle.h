@@ -43,6 +43,12 @@ class TableHandle {
   }
   explicit operator bool() const { return state_ != nullptr; }
 
+  /// The flat LPM compiled from this snapshot at publish time. Immutable
+  /// like the table itself; this is the structure the serving plane reads
+  /// (Engine::Lookup / Engine::LookupBatch), the trie being kept for the
+  /// mutation-side bookkeeping and as the equivalence oracle.
+  [[nodiscard]] const PrefixTable::Flat& flat() const { return state_->flat; }
+
   /// Monotonic publication sequence number (0 = never published).
   [[nodiscard]] std::uint64_t version() const {
     return state_ == nullptr ? 0 : state_->version;
@@ -59,6 +65,7 @@ class TableHandle {
   friend class RcuTableSlot;
   struct State {
     PrefixTable table;
+    PrefixTable::Flat flat;  // compiled from `table` at publish time
     std::uint64_t version = 0;
   };
   explicit TableHandle(std::shared_ptr<const State> state)
@@ -76,8 +83,8 @@ class RcuTableSlot {
   RcuTableSlot() {
     // order: release — pairs with the acquire in Acquire()/Publish();
     // publishes the initial State before any handle to the slot escapes.
-    slot_.store(std::make_shared<const TableHandle::State>(
-                    TableHandle::State{PrefixTable{}, 1}),
+    slot_.store(std::make_shared<const TableHandle::State>(TableHandle::State{
+                    PrefixTable{}, PrefixTable::Flat{}, 1}),
                 std::memory_order_release);
   }
 
@@ -99,8 +106,12 @@ class RcuTableSlot {
     // the contract is ever widened to externally-locked multi-writer.
     const std::uint64_t next =
         slot_.load(std::memory_order_acquire)->version + 1;
+    // Compile the snapshot's flat data plane before publication: readers
+    // that see the new pointer see a fully built directory, and the cost
+    // lands on the single publisher, never on a lookup.
+    PrefixTable::Flat flat = table.CompileFlat();
     auto state = std::make_shared<const TableHandle::State>(
-        TableHandle::State{std::move(table), next});
+        TableHandle::State{std::move(table), std::move(flat), next});
     // order: release — pairs with Acquire(); readers must see the complete
     // State (table contents + version) before the pointer swap is visible.
     slot_.store(state, std::memory_order_release);

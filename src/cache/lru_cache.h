@@ -42,10 +42,13 @@ class LruByteCache {
   }
 
   /// Inserts or replaces `key`, then evicts LRU entries until the cache
-  /// fits. An entry larger than the whole capacity is not admitted.
+  /// fits. An entry larger than the whole capacity is not admitted — and
+  /// the rejection leaves any existing copy under `key` untouched: a stale
+  /// revalidation whose body outgrew the cache must not destroy the
+  /// smaller, still-servable copy the proxy already holds (callers that
+  /// really want it gone say so with Erase()).
   void Insert(std::uint32_t key, const CacheEntry& entry) {
     if (capacity_ != 0 && entry.size > capacity_) {
-      Erase(key);
       return;
     }
     if (const auto it = index_.find(key); it != index_.end()) {

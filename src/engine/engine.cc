@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "base/sync.h"
@@ -49,6 +50,7 @@ int Engine::AddSource(const bgp::SnapshotInfo& info) {
 int Engine::SeedSnapshot(const bgp::Snapshot& snapshot) {
   base::AssumeThreadRole ingest(ingest_role_);
   const int id = master_.AddSnapshot(snapshot);
+  if (id == bgp::PrefixTable::kInvalidSource) return id;  // nothing inserted
   PublishDelta({}, {});
   return id;
 }
@@ -163,7 +165,41 @@ std::size_t Engine::ObserveLog(const weblog::ServerLog& log) {
 std::optional<bgp::PrefixTable::Match> Engine::Lookup(
     net::IpAddress address) const {
   metrics_.lookups_served.Inc();
-  return slot_.Acquire()->LongestMatch(address);
+  // Resolve against the flat directory compiled at publish time: at most
+  // three contiguous-array reads instead of a Patricia node walk. The
+  // stored payload IS the complete Match (prefix included).
+  const bgp::TableHandle handle = slot_.Acquire();
+  const auto match = handle.flat().LongestMatch(address);
+  if (!match.has_value()) return std::nullopt;
+  return *match->value;
+}
+
+std::size_t Engine::LookupBatch(
+    std::span<const net::IpAddress> addresses,
+    std::span<std::optional<bgp::PrefixTable::Match>> out) const {
+  const std::size_t count = std::min(addresses.size(), out.size());
+  metrics_.lookups_served.Inc(count);
+  metrics_.batch_lookups.Inc();
+  // One RCU acquire covers the whole batch: every answer comes from the
+  // same snapshot, and the per-lookup refcount traffic is amortized away.
+  const bgp::TableHandle handle = slot_.Acquire();
+  const bgp::PrefixTable::Flat& flat = handle.flat();
+  std::size_t found = 0;
+  constexpr std::size_t kChunk = 256;
+  bgp::PrefixTable::Flat::Match matches[kChunk];
+  for (std::size_t base = 0; base < count; base += kChunk) {
+    const std::size_t n = std::min(kChunk, count - base);
+    flat.LookupBatch(addresses.subspan(base, n), std::span(matches, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (matches[i].value == nullptr) {
+        out[base + i] = std::nullopt;
+      } else {
+        out[base + i] = *matches[i].value;
+        ++found;
+      }
+    }
+  }
+  return found;
 }
 
 void Engine::Drain() {

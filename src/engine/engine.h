@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -65,8 +66,10 @@ class Engine {
 
   // --- routing plane (ingest thread) ---
 
-  /// Registers a source (mirrors bgp::PrefixTable::AddSource).
-  int AddSource(const bgp::SnapshotInfo& info);
+  /// Registers a source (mirrors bgp::PrefixTable::AddSource). Returns
+  /// bgp::PrefixTable::kInvalidSource once kMaxSources are registered;
+  /// ingest attributed to an invalid id is dropped, never applied.
+  [[nodiscard]] int AddSource(const bgp::SnapshotInfo& info);
 
   /// Seeds the table from a full snapshot, intended before any traffic (no
   /// client re-resolution — same contract as StreamingClusterer).
@@ -107,8 +110,23 @@ class Engine {
   /// A lookup races only with the *publication* of a new snapshot, never
   /// with its construction: it sees the old table or the new one, complete
   /// either way.
+  ///
+  /// Since PR 5 this resolves against the snapshot's flat LPM directory
+  /// (trie::FlatLpm, compiled at publish time) rather than walking the
+  /// Patricia trie; results are bit-identical (property-tested).
   [[nodiscard]] std::optional<bgp::PrefixTable::Match> Lookup(
       net::IpAddress address) const;
+
+  /// Batched serving-plane lookup: resolves
+  /// min(addresses.size(), out.size()) addresses against ONE snapshot
+  /// (single RCU acquire for the whole batch, software prefetch across
+  /// the directory levels) and returns how many matched. Same thread
+  /// contract as Lookup(): any thread, any time, lock-free. All answers
+  /// come from the same table version — a guarantee per-address Lookup()
+  /// calls cannot make across a concurrent publish.
+  std::size_t LookupBatch(
+      std::span<const net::IpAddress> addresses,
+      std::span<std::optional<bgp::PrefixTable::Match>> out) const;
 
   /// The current published snapshot (refcounted; callers may hold it as
   /// long as they like).

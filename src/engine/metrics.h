@@ -94,7 +94,8 @@ struct EngineMetrics {
   Counter updates_ingested;    // routing events offered to the engine
   Counter swaps_published;     // table snapshots published (RCU swaps)
   Counter reassignments;       // clients moved between clusters by churn
-  Counter lookups_served;      // serving-plane Lookup() calls
+  Counter lookups_served;      // serving-plane lookups (single + batched)
+  Counter batch_lookups;       // LookupBatch() calls (batches, not lookups)
   Counter drains;              // Drain() barriers completed
   LatencyHistogram ingest_ns;      // producer-side ring push
   LatencyHistogram lookup_ns;      // worker-side resolve + account
@@ -114,6 +115,7 @@ struct EngineMetrics {
     counter("swaps_published", swaps_published);
     counter("reassignments", reassignments);
     counter("lookups_served", lookups_served);
+    counter("batch_lookups", batch_lookups);
     counter("drains", drains);
     const auto histogram = [&out](const char* name,
                                   const LatencyHistogram& h) {

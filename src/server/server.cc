@@ -386,10 +386,16 @@ bool Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
         metrics_.frames_rejected.Inc();
         return SendError(conn, ErrorCode::kMalformedPayload, req.error());
       }
+      // One engine batch call: single RCU acquire + prefetched flat-LPM
+      // resolution, and every record answers from the same table version.
+      const std::vector<net::IpAddress>& addresses = req.value().addresses;
+      std::vector<std::optional<bgp::PrefixTable::Match>> matches(
+          addresses.size());
+      engine_->LookupBatch(addresses, matches);
       std::vector<LookupRecord> records;
-      records.reserve(req.value().addresses.size());
-      for (const net::IpAddress address : req.value().addresses) {
-        records.push_back(LookupRecord::FromMatch(engine_->Lookup(address)));
+      records.reserve(addresses.size());
+      for (const auto& match : matches) {
+        records.push_back(LookupRecord::FromMatch(match));
       }
       if (!SendFrame(conn, Opcode::kBatchResult, EncodeBatchResult(records))) {
         return false;

@@ -1,0 +1,259 @@
+// Flat, snapshot-compiled longest-prefix match.
+//
+// PatriciaTrie is the right structure for a table that mutates, but every
+// lookup walks heap nodes — a chain of dependent cache misses. Snapshots
+// published through bgp::RcuTableSlot are immutable, so each one can be
+// compiled ONCE into a multibit directory the way a router's FIB is:
+//
+//   level 1   root_[addr >> 16]          2^16 slots, covers /0../16
+//   level 2   256-slot block             covers /17../24 of one /16
+//   level 3   256-slot block             covers /25../32 of one /24
+//
+// (DIR-24-8 with the first level split 16+8 so an empty or small table
+// costs 256 KiB, not 64 MiB — compilation runs on every RCU publish.)
+//
+// A slot either holds a result id (direct) or, with the high bit set, the
+// id of a child block. A lookup is therefore at most three array reads of
+// contiguous memory — no heap nodes, no per-lookup pointer chasing — and
+// LookupBatch() software-prefetches each level across the whole batch so
+// the misses of independent addresses overlap.
+//
+// Longest-prefix semantics are compiled in by PAINTING: entries are
+// sorted by (priority class, prefix length) ascending and written over
+// the address ranges they cover, so the last write anywhere is the
+// highest-class, longest prefix covering that address. The priority class
+// generalizes plain LPM to bgp::PrefixTable's primary/secondary rule (a
+// BGP prefix of any length beats every network-dump prefix) without this
+// layer knowing anything about BGP.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/ip_address.h"
+#include "net/prefix.h"
+
+namespace netclust::trie {
+
+/// Portable read-prefetch hint; a no-op where unavailable.
+inline void PrefetchForRead(const void* address) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/3);
+#else
+  (void)address;
+#endif
+}
+
+/// Immutable flat LPM over payloads of type T. Build with Compile(); the
+/// structure cannot be mutated afterwards, which is exactly the contract
+/// of an RCU-published snapshot.
+template <typename T>
+class FlatLpm {
+ public:
+  /// Mirrors PatriciaTrie<T>::Match: the winning prefix plus a pointer to
+  /// the stored payload (stable for the lifetime of the FlatLpm).
+  struct Match {
+    net::Prefix prefix;
+    const T* value;
+  };
+
+  /// One input entry. Higher `priority` wins over ANY length of a lower
+  /// priority; within a priority the longest covering prefix wins (plain
+  /// LPM is "all entries priority 0"). Prefixes must be distinct.
+  struct Entry {
+    net::Prefix prefix;
+    int priority = 0;
+    T value;
+  };
+
+  /// Matches nothing (the state of a table before any snapshot).
+  FlatLpm() : root_(kRootSlots, 0) {}
+
+  /// One-pass build: sort by (priority, length) ascending, then paint each
+  /// entry's range; the last paint at any address is its winner.
+  static FlatLpm Compile(std::vector<Entry> entries) {
+    FlatLpm flat;
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                       if (a.priority != b.priority) {
+                         return a.priority < b.priority;
+                       }
+                       return a.prefix.length() < b.prefix.length();
+                     });
+    flat.stored_.reserve(entries.size());
+    for (Entry& entry : entries) {
+      flat.stored_.push_back(
+          Stored{entry.prefix, std::move(entry.value)});
+      // Result ids are 1-based (0 = no match) and must fit in 31 bits
+      // beside the indirect flag; 2^31 entries is far past any IPv4 table.
+      const auto id = static_cast<std::uint32_t>(flat.stored_.size());
+      assert((id & kIndirectBit) == 0);
+      flat.Paint(entry.prefix, id);
+    }
+    return flat;
+  }
+
+  /// Longest-prefix match (under priority classes) for `address`.
+  [[nodiscard]] std::optional<Match> LongestMatch(
+      net::IpAddress address) const {
+    const std::uint32_t id = Resolve(address.bits());
+    if (id == 0) return std::nullopt;
+    const Stored& stored = stored_[id - 1];
+    return Match{stored.prefix, &stored.value};
+  }
+
+  /// Batched lookup: resolves min(addresses.size(), out.size()) addresses;
+  /// out[i].value == nullptr means no match. Each directory level is
+  /// prefetched across a chunk before any element needs it, so the cache
+  /// misses of independent addresses overlap instead of serializing.
+  void LookupBatch(std::span<const net::IpAddress> addresses,
+                   std::span<Match> out) const {
+    const std::size_t count = std::min(addresses.size(), out.size());
+    constexpr std::size_t kChunk = 16;
+    std::uint32_t slots[kChunk];
+    for (std::size_t base = 0; base < count; base += kChunk) {
+      const std::size_t n = std::min(kChunk, count - base);
+      for (std::size_t i = 0; i < n; ++i) {
+        PrefetchForRead(&root_[addresses[base + i].bits() >> 16]);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t bits = addresses[base + i].bits();
+        const std::uint32_t slot = root_[bits >> 16];
+        if ((slot & kIndirectBit) != 0) {
+          PrefetchForRead(&blocks_[BlockBase(slot) + ((bits >> 8) & 0xFF)]);
+        }
+        slots[i] = slot;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t bits = addresses[base + i].bits();
+        std::uint32_t slot = slots[i];
+        if ((slot & kIndirectBit) != 0) {
+          slot = blocks_[BlockBase(slot) + ((bits >> 8) & 0xFF)];
+          if ((slot & kIndirectBit) != 0) {
+            slot = blocks_[BlockBase(slot) + (bits & 0xFF)];
+          }
+        }
+        if (slot == 0) {
+          out[base + i] = Match{net::Prefix{}, nullptr};
+        } else {
+          const Stored& stored = stored_[slot - 1];
+          out[base + i] = Match{stored.prefix, &stored.value};
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return stored_.size(); }
+  [[nodiscard]] bool empty() const { return stored_.empty(); }
+
+  /// Footprint of the directory itself (root + child blocks + payload
+  /// records), for the memory/space trade-off accounting in DESIGN.md.
+  [[nodiscard]] std::size_t directory_bytes() const {
+    return root_.size() * sizeof(std::uint32_t) +
+           blocks_.size() * sizeof(std::uint32_t) +
+           stored_.size() * sizeof(Stored);
+  }
+  [[nodiscard]] std::size_t block_count() const {
+    return blocks_.size() / kBlockSlots;
+  }
+
+ private:
+  static constexpr std::size_t kRootSlots = 1u << 16;
+  static constexpr std::size_t kBlockSlots = 256;
+  static constexpr std::uint32_t kIndirectBit = 0x80000000u;
+
+  struct Stored {
+    net::Prefix prefix;
+    T value;
+  };
+
+  [[nodiscard]] std::size_t BlockBase(std::uint32_t slot) const {
+    return static_cast<std::size_t>(slot & ~kIndirectBit) * kBlockSlots;
+  }
+
+  [[nodiscard]] std::uint32_t Resolve(std::uint32_t bits) const {
+    std::uint32_t slot = root_[bits >> 16];
+    if ((slot & kIndirectBit) != 0) {
+      slot = blocks_[BlockBase(slot) + ((bits >> 8) & 0xFF)];
+      if ((slot & kIndirectBit) != 0) {
+        slot = blocks_[BlockBase(slot) + (bits & 0xFF)];
+      }
+    }
+    return slot;
+  }
+
+  /// Appends a fresh child block whose slots all start as `fill`, and
+  /// returns its indirect slot encoding.
+  std::uint32_t AllocBlock(std::uint32_t fill) {
+    const auto id = static_cast<std::uint32_t>(blocks_.size() / kBlockSlots);
+    assert((id & kIndirectBit) == 0);
+    blocks_.insert(blocks_.end(), kBlockSlots, fill);
+    return id | kIndirectBit;
+  }
+
+  /// Writes `id` over one slot, descending into child blocks so that
+  /// every address under the slot adopts the new result. Depth is bounded
+  /// by the level structure: level-3 slots are never indirect.
+  void PaintSlot(std::uint32_t& slot, std::uint32_t id) {
+    if ((slot & kIndirectBit) == 0) {
+      slot = id;
+      return;
+    }
+    const std::size_t base = BlockBase(slot);
+    for (std::size_t i = 0; i < kBlockSlots; ++i) {
+      PaintSlot(blocks_[base + i], id);
+    }
+  }
+
+  /// Paints result `id` over every address `prefix` covers.
+  void Paint(const net::Prefix& prefix, std::uint32_t id) {
+    const std::uint32_t network = prefix.network().bits();
+    const int length = prefix.length();
+    if (length <= 16) {
+      const std::size_t first = network >> 16;
+      const std::size_t span = std::size_t{1} << (16 - length);
+      for (std::size_t i = 0; i < span; ++i) {
+        PaintSlot(root_[first + i], id);
+      }
+      return;
+    }
+    // Ensure the /16 root slot points at a level-2 block.
+    std::uint32_t& root_slot = root_[network >> 16];
+    if ((root_slot & kIndirectBit) == 0) {
+      root_slot = AllocBlock(root_slot);
+    }
+    const std::size_t level2 = BlockBase(root_slot);
+    if (length <= 24) {
+      const std::size_t first = (network >> 8) & 0xFF;
+      const std::size_t span = std::size_t{1} << (24 - length);
+      for (std::size_t i = 0; i < span; ++i) {
+        PaintSlot(blocks_[level2 + first + i], id);
+      }
+      return;
+    }
+    // Ensure the /24 slot points at a level-3 block; its slots are final.
+    // Indexed (not held by reference): AllocBlock may reallocate blocks_.
+    const std::size_t mid = level2 + ((network >> 8) & 0xFF);
+    if ((blocks_[mid] & kIndirectBit) == 0) {
+      const std::uint32_t indirect = AllocBlock(blocks_[mid]);
+      blocks_[mid] = indirect;
+    }
+    const std::size_t level3 = BlockBase(blocks_[mid]);
+    const std::size_t first = network & 0xFF;
+    const std::size_t span = std::size_t{1} << (32 - length);
+    for (std::size_t i = 0; i < span; ++i) {
+      blocks_[level3 + first + i] = id;
+    }
+  }
+
+  std::vector<std::uint32_t> root_;    // 2^16 slots, top 16 address bits
+  std::vector<std::uint32_t> blocks_;  // 256-slot child blocks, flattened
+  std::vector<Stored> stored_;         // result id - 1 -> payload
+};
+
+}  // namespace netclust::trie

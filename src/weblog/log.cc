@@ -55,10 +55,20 @@ bool ServerLog::Append(const LogRecord& record) {
   row.method = record.method;
 
   // Agent ids are a byte; saturate rare overflow into the last slot rather
-  // than rejecting the record (agents only feed a proxy heuristic).
-  const std::uint32_t agent =
-      record.user_agent.empty() ? 0 : agents_.Intern(record.user_agent) + 1;
-  row.agent_id = static_cast<std::uint8_t>(std::min(agent, 255u));
+  // than rejecting the record (agents only feed a proxy heuristic). Once
+  // the id space is full, new strings are NOT interned: an adversarial log
+  // cycling User-Agent values must not grow agents_ without bound when
+  // every overflow id collapses to slot 255 anyway.
+  row.agent_id = 0;
+  if (!record.user_agent.empty()) {
+    std::uint32_t id = agents_.Find(record.user_agent);
+    if (id == StringInterner::kNotFound) {
+      id = agents_.size() < kMaxAgents ? agents_.Intern(record.user_agent)
+                                       : kMaxAgents - 1;
+    }
+    row.agent_id = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(id + 1, kMaxAgents));
+  }
 
   if (requests_.empty()) {
     start_time_ = end_time_ = row.timestamp;

@@ -86,6 +86,13 @@ class ServerLog {
   [[nodiscard]] std::size_t request_count() const { return requests_.size(); }
   [[nodiscard]] std::size_t unique_clients() const { return clients_.size(); }
   [[nodiscard]] std::size_t unique_urls() const { return urls_.size(); }
+  /// Distinct User-Agent strings interned so far; bounded by kMaxAgents —
+  /// past that, new agents collapse into the last id without interning.
+  [[nodiscard]] std::size_t unique_agents() const { return agents_.size(); }
+
+  /// The one-byte agent-id space: ids 1..255 (0 = unknown), so at most
+  /// 255 distinct strings are ever interned.
+  static constexpr std::uint32_t kMaxAgents = 255;
 
   [[nodiscard]] const std::string& url(std::uint32_t id) const {
     return urls_.Lookup(id);

@@ -372,6 +372,61 @@ TEST(Engine, ConcurrentLookupVsIngestIsRaceFree) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched serving: LookupBatch must agree with per-address Lookup answer
+// for answer, including across table churn, and count its own metrics.
+
+TEST(Engine, LookupBatchMatchesSingleLookups) {
+  EngineConfig config;
+  config.shards = 1;
+  config.log_name = "batch";
+  Engine engine(config);
+  const int source =
+      engine.AddSource({"FEED", "1/1/2000", bgp::SourceKind::kBgpTable, ""});
+  ASSERT_GE(source, 0);
+  engine.Announce(P("10.0.0.0/8"), source, 65000);
+  engine.Announce(P("10.1.0.0/16"), source, 65001);
+  engine.Announce(P("10.1.2.0/24"), source, 65002);
+
+  const auto probe_all = [&](std::size_t expected_found) {
+    std::vector<IpAddress> addresses;
+    for (std::uint32_t i = 0; i < 300; ++i) {
+      // Mix of /24, /16, /8 coverage plus uncovered space.
+      addresses.push_back(IpAddress(0x0A010200u + (i & 0xFF)));
+      addresses.push_back(IpAddress(0x0A010000u + (i * 257u & 0xFFFFu)));
+      addresses.push_back(IpAddress(0x0A000000u + (i * 65537u & 0xFFFFFFu)));
+      addresses.push_back(IpAddress(0x63000000u + i));  // 99/8: no match
+    }
+    std::vector<std::optional<bgp::PrefixTable::Match>> batched(
+        addresses.size());
+    const std::size_t found = engine.LookupBatch(addresses, batched);
+    std::size_t single_found = 0;
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      const auto single = engine.Lookup(addresses[i]);
+      ASSERT_EQ(batched[i].has_value(), single.has_value()) << i;
+      if (!single.has_value()) continue;
+      ++single_found;
+      EXPECT_EQ(batched[i]->prefix, single->prefix) << i;
+      EXPECT_EQ(batched[i]->kind, single->kind) << i;
+      EXPECT_EQ(batched[i]->source_mask, single->source_mask) << i;
+      EXPECT_EQ(batched[i]->origin_as, single->origin_as) << i;
+    }
+    EXPECT_EQ(found, single_found);
+    EXPECT_EQ(found, expected_found);
+  };
+  probe_all(900);  // all but the 99/8 probes resolve
+
+  // Withdraw the /24: batched answers must follow the new snapshot.
+  engine.Withdraw(P("10.1.2.0/24"));
+  probe_all(900);  // still covered by /16 and /8, different prefixes
+
+  // A short output span bounds the batch; the extra addresses are ignored.
+  std::vector<IpAddress> addresses(10, IpAddress(10, 1, 2, 3));
+  std::vector<std::optional<bgp::PrefixTable::Match>> small(4);
+  EXPECT_EQ(engine.LookupBatch(addresses, small), 4u);
+  EXPECT_GT(engine.metrics().batch_lookups.value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Metrics: counters and histograms are wired and exposed as plain text.
 
 TEST(Engine, MetricsExpositionCoversAllPaths) {

@@ -64,12 +64,17 @@ TEST(LruByteCache, OversizedEntryIsNotAdmitted) {
   EXPECT_NE(cache.Touch(1), nullptr);  // and must not nuke everything else
 }
 
-TEST(LruByteCache, OversizedReplacementErasesOldCopy) {
+TEST(LruByteCache, OversizedReplacementKeepsOldCopy) {
+  // Admission rejection is not eviction: re-inserting a key with a body
+  // larger than the whole cache must leave the existing smaller copy
+  // untouched (a stale revalidation that outgrew the cache must not
+  // destroy the still-servable copy the proxy already holds).
   LruByteCache cache(100);
   cache.Insert(1, Entry(50));
-  cache.Insert(1, Entry(500));  // the stale 50-byte copy must not linger
-  EXPECT_EQ(cache.Touch(1), nullptr);
-  EXPECT_EQ(cache.used_bytes(), 0u);
+  cache.Insert(1, Entry(500));  // rejected, NOT erased
+  ASSERT_NE(cache.Touch(1), nullptr);
+  EXPECT_EQ(cache.Touch(1)->size, 50u);
+  EXPECT_EQ(cache.used_bytes(), 50u);
 }
 
 TEST(LruByteCache, EraseRemovesAndReportsPresence) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 namespace netclust::bgp {
 namespace {
@@ -102,6 +103,84 @@ TEST(PrefixTable, SamePrefixFromBothKindsCountsAsBgp) {
   EXPECT_EQ(match->kind, SourceKind::kBgpTable);
   EXPECT_EQ(match->source_mask, (1u << bgp) | (1u << dump));
   EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PrefixTable, SourceRegistrationFailsDetectablyAtTheLimit) {
+  // Regression (PR 5): AddSource used to guard kMaxSources with an assert
+  // only, so an NDEBUG build registering a 33rd source handed out id 32 and
+  // `1u << 32` on a uint32 mask — UB. Registration must fail detectably.
+  PrefixTable table;
+  for (int i = 0; i < PrefixTable::kMaxSources; ++i) {
+    const std::string name = "S" + std::to_string(i);
+    const int id = table.AddSource(BgpInfo(name.c_str()));
+    EXPECT_EQ(id, i);
+  }
+  // The 33rd registration is refused, not UB.
+  const int overflow = table.AddSource(BgpInfo("ONE-TOO-MANY"));
+  EXPECT_EQ(overflow, PrefixTable::kInvalidSource);
+  EXPECT_EQ(table.sources().size(),
+            static_cast<std::size_t>(PrefixTable::kMaxSources));
+
+  // Inserting through the invalid id is a counted no-op, and a valid
+  // insert afterwards is unharmed.
+  table.Insert(P("12.0.0.0/8"), overflow);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.rejected_inserts(), 1u);
+  table.Insert(P("12.0.0.0/8"), PrefixTable::kMaxSources - 1);
+  const auto match = table.LongestMatch(A("12.1.2.3"));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->source_mask, 1u << (PrefixTable::kMaxSources - 1));
+}
+
+TEST(PrefixTable, SnapshotLoadFailsCleanlyAtSourceLimit) {
+  PrefixTable table;
+  for (int i = 0; i < PrefixTable::kMaxSources; ++i) {
+    ASSERT_GE(table.AddSource(BgpInfo(("S" + std::to_string(i)).c_str())), 0);
+  }
+  Snapshot snapshot;
+  snapshot.info = BgpInfo("OVERFLOW");
+  snapshot.entries.push_back(RouteEntry{P("10.0.0.0/8"), {}, {}, "", ""});
+  EXPECT_EQ(table.AddSnapshot(snapshot), PrefixTable::kInvalidSource);
+  EXPECT_EQ(table.size(), 0u);  // nothing from the refused snapshot landed
+}
+
+TEST(PrefixTable, CompileFlatMatchesLongestMatchSemantics) {
+  PrefixTable table;
+  const int bgp = table.AddSource(BgpInfo("OREGON"));
+  const int dump = table.AddSource(DumpInfo("ARIN"));
+  // The §3.1.1 shadowing case: a longer dump prefix must not beat BGP...
+  table.Insert(P("12.65.0.0/16"), bgp, 7018);
+  table.Insert(P("12.65.128.0/19"), dump);
+  // ...a hole only the dump covers...
+  table.Insert(P("151.198.0.0/16"), dump);
+  // ...and a prefix known to both kinds (counts as BGP).
+  table.Insert(P("24.48.0.0/15"), dump);
+  table.Insert(P("24.48.0.0/15"), bgp, 6172);
+
+  const PrefixTable::Flat flat = table.CompileFlat();
+  EXPECT_EQ(flat.size(), table.size());
+  const IpAddress probes[] = {A("12.65.147.94"), A("151.198.194.17"),
+                              A("24.48.2.9"), A("99.1.2.3")};
+  for (const IpAddress address : probes) {
+    const auto expected = table.LongestMatch(address);
+    const auto got = flat.LongestMatch(address);
+    ASSERT_EQ(expected.has_value(), got.has_value()) << address.ToString();
+    if (!expected.has_value()) continue;
+    EXPECT_EQ(got->value->prefix, expected->prefix) << address.ToString();
+    EXPECT_EQ(got->value->kind, expected->kind) << address.ToString();
+    EXPECT_EQ(got->value->source_mask, expected->source_mask)
+        << address.ToString();
+    EXPECT_EQ(got->value->origin_as, expected->origin_as)
+        << address.ToString();
+  }
+  // Spot-check the interesting verdicts directly.
+  EXPECT_EQ(flat.LongestMatch(A("12.65.147.94"))->value->prefix,
+            P("12.65.0.0/16"));  // BGP beats the longer dump prefix
+  EXPECT_EQ(flat.LongestMatch(A("151.198.194.17"))->value->kind,
+            SourceKind::kNetworkDump);
+  EXPECT_EQ(flat.LongestMatch(A("24.48.2.9"))->value->kind,
+            SourceKind::kBgpTable);
+  EXPECT_FALSE(flat.LongestMatch(A("99.1.2.3")).has_value());
 }
 
 TEST(PrefixTable, AllPrefixesEnumeratesUnion) {

@@ -70,6 +70,38 @@ TEST_F(ProxyCacheTest, ModifiedResourceIsRefetched) {
   EXPECT_EQ(stats.validated_hits, 0u);
 }
 
+TEST_F(ProxyCacheTest, OversizedRevalidationKeepsSmallerCachedCopy) {
+  // Regression (PR 5): a stale revalidation whose body grew past the whole
+  // cache capacity is rejected from admission — but the rejection must not
+  // destroy the smaller copy the proxy still holds. Before the fix,
+  // LruByteCache::Insert erased the key on the oversized path, so one
+  // oversized 200 emptied the cache of a still-servable resource.
+  config_.capacity_bytes = 300;
+  config_.ttl_seconds = 100;
+  // Piggyback off: it would legitimately drop the modified copy afterwards
+  // and hide the admission-path behaviour under test.
+  config_.piggyback_validation = false;
+  // Find a URL that changes between t=0 and t=5000 (forces the 200 path).
+  std::uint32_t churning = 0;
+  bool found = false;
+  for (std::uint32_t url = 0; url < 100000; ++url) {
+    if (origin_.VersionAt(url, 0) != origin_.VersionAt(url, 5000)) {
+      churning = url;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  ProxyCache proxy(config_, &origin_);
+  proxy.HandleRequest(churning, 200, 0);  // cold miss, 200-byte copy cached
+  ASSERT_EQ(proxy.cache().size(), 1u);
+  // Stale + modified + now larger than the whole cache: the refetch cannot
+  // be admitted, and the old copy must survive.
+  proxy.HandleRequest(churning, 500, 5000);
+  EXPECT_EQ(proxy.cache().size(), 1u);
+  EXPECT_EQ(proxy.cache().used_bytes(), 200u);
+}
+
 TEST_F(ProxyCacheTest, PiggybackRenewsStaleEntriesForFree) {
   ProxyCache proxy(config_, &origin_);
   // Warm three resources, let them all expire, then touch a fourth: the

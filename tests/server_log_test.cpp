@@ -95,6 +95,37 @@ TEST(ServerLog, InternsUrlsAndAgents) {
             "AgentY");
 }
 
+TEST(ServerLog, AgentInterningIsBoundedByIdSpace) {
+  // Regression (PR 5): the agent-id field is one byte (0 = unknown,
+  // ids 1..255), but the interner kept accepting new strings after the id
+  // space saturated — unbounded memory on a hostile/diverse agent mix.
+  // Past kMaxAgents distinct agents, new strings collapse into the last id
+  // without being interned.
+  ServerLog log("test");
+  const std::uint32_t kDistinct = ServerLog::kMaxAgents + 50;
+  for (std::uint32_t i = 0; i < kDistinct; ++i) {
+    const std::string agent = "Agent/" + std::to_string(i);
+    log.Append(MakeRecord("1.2.3.4", 100 + i, "/a", 200, 10, agent.c_str()));
+  }
+  EXPECT_EQ(log.unique_agents(), ServerLog::kMaxAgents);
+
+  const auto& requests = log.requests();
+  ASSERT_EQ(requests.size(), kDistinct);
+  // Agents seen before saturation keep their exact identity.
+  EXPECT_EQ(requests[0].agent_id, 1);
+  EXPECT_EQ(log.agent(static_cast<std::uint8_t>(requests[0].agent_id - 1)),
+            "Agent/0");
+  EXPECT_EQ(requests[100].agent_id, 101);
+  // Everything past the id space lands in the saturation slot.
+  for (std::uint32_t i = ServerLog::kMaxAgents; i < kDistinct; ++i) {
+    EXPECT_EQ(requests[i].agent_id, ServerLog::kMaxAgents) << i;
+  }
+  // A pre-saturation agent re-appearing later still resolves exactly.
+  log.Append(MakeRecord("1.2.3.4", 9000, "/a", 200, 10, "Agent/100"));
+  EXPECT_EQ(log.requests().back().agent_id, 101);
+  EXPECT_EQ(log.unique_agents(), ServerLog::kMaxAgents);
+}
+
 TEST(ServerLog, SaturatesOversizedByteCounts) {
   ServerLog log("test");
   log.Append(MakeRecord("1.2.3.4", 100, "/big", 200, 0x1FFFFFFFFull));

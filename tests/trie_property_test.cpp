@@ -1,11 +1,14 @@
-// Property tests: on randomized prefix sets, both tries must agree with
-// the linear-scan oracle on every lookup, under inserts and removals.
+// Property tests: on randomized prefix sets, both tries and the compiled
+// flat directory must agree with the linear-scan oracle on every lookup,
+// under inserts, removals and recompiles.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "synth/rng.h"
 #include "trie/binary_trie.h"
+#include "trie/flat_lpm.h"
 #include "trie/linear_lpm.h"
 #include "trie/patricia_trie.h"
 
@@ -56,6 +59,16 @@ std::vector<IpAddress> ProbePoints(const std::vector<Prefix>& prefixes,
   return probes;
 }
 
+// Recompiles a FlatLpm from whatever the Patricia trie currently holds —
+// the same one-pass Visit + Compile the RCU publish step performs.
+FlatLpm<int> CompileFrom(const PatriciaTrie<int>& patricia) {
+  std::vector<FlatLpm<int>::Entry> entries;
+  patricia.Visit([&entries](const Prefix& prefix, const int& value) {
+    entries.push_back(FlatLpm<int>::Entry{prefix, 0, value});
+  });
+  return FlatLpm<int>::Compile(std::move(entries));
+}
+
 TEST_P(LpmAgreementSweep, TriesMatchLinearOracle) {
   const SweepParams params = GetParam();
   synth::Rng rng(params.seed);
@@ -75,20 +88,36 @@ TEST_P(LpmAgreementSweep, TriesMatchLinearOracle) {
   }
   EXPECT_EQ(binary.size(), oracle.size());
   EXPECT_EQ(patricia.size(), oracle.size());
+  const FlatLpm<int> flat = CompileFrom(patricia);
+  EXPECT_EQ(flat.size(), oracle.size());
 
-  for (const IpAddress probe : ProbePoints(inserted, rng)) {
+  const std::vector<IpAddress> probes = ProbePoints(inserted, rng);
+  std::vector<FlatLpm<int>::Match> batched(probes.size());
+  flat.LookupBatch(probes, batched);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const IpAddress probe = probes[i];
     const auto expected = oracle.LongestMatch(probe);
     const auto from_binary = binary.LongestMatch(probe);
     const auto from_patricia = patricia.LongestMatch(probe);
+    const auto from_flat = flat.LongestMatch(probe);
     ASSERT_EQ(from_binary.has_value(), expected.has_value())
         << probe.ToString();
     ASSERT_EQ(from_patricia.has_value(), expected.has_value())
+        << probe.ToString();
+    ASSERT_EQ(from_flat.has_value(), expected.has_value())
+        << probe.ToString();
+    ASSERT_EQ(batched[i].value != nullptr, expected.has_value())
         << probe.ToString();
     if (!expected.has_value()) continue;
     EXPECT_EQ(from_binary->prefix, expected->prefix) << probe.ToString();
     EXPECT_EQ(*from_binary->value, *expected->value) << probe.ToString();
     EXPECT_EQ(from_patricia->prefix, expected->prefix) << probe.ToString();
     EXPECT_EQ(*from_patricia->value, *expected->value) << probe.ToString();
+    EXPECT_EQ(from_flat->prefix, expected->prefix) << probe.ToString();
+    EXPECT_EQ(*from_flat->value, *expected->value) << probe.ToString();
+    // Batched answers are the same objects the single path returns.
+    EXPECT_EQ(batched[i].prefix, expected->prefix) << probe.ToString();
+    EXPECT_EQ(*batched[i].value, *expected->value) << probe.ToString();
   }
 }
 
@@ -117,19 +146,133 @@ TEST_P(LpmAgreementSweep, AgreementSurvivesRemovals) {
   }
   EXPECT_EQ(binary.size(), oracle.size());
   EXPECT_EQ(patricia.size(), oracle.size());
+  // A post-removal recompile must reflect exactly the surviving entries.
+  const FlatLpm<int> flat = CompileFrom(patricia);
+  EXPECT_EQ(flat.size(), oracle.size());
 
   for (const IpAddress probe : ProbePoints(inserted, rng)) {
     const auto expected = oracle.LongestMatch(probe);
     const auto from_binary = binary.LongestMatch(probe);
     const auto from_patricia = patricia.LongestMatch(probe);
+    const auto from_flat = flat.LongestMatch(probe);
     ASSERT_EQ(from_binary.has_value(), expected.has_value())
         << probe.ToString();
     ASSERT_EQ(from_patricia.has_value(), expected.has_value())
         << probe.ToString();
+    ASSERT_EQ(from_flat.has_value(), expected.has_value())
+        << probe.ToString();
     if (!expected.has_value()) continue;
     EXPECT_EQ(from_binary->prefix, expected->prefix) << probe.ToString();
     EXPECT_EQ(from_patricia->prefix, expected->prefix) << probe.ToString();
+    EXPECT_EQ(from_flat->prefix, expected->prefix) << probe.ToString();
   }
+}
+
+TEST_P(LpmAgreementSweep, FlatRecompileSurvivesChurn) {
+  // The engine recompiles the flat directory at every publish, so it must
+  // stay bit-identical to the mutating structures through arbitrary
+  // insert/remove interleavings — not just a single build.
+  const SweepParams params = GetParam();
+  synth::Rng rng(params.seed ^ 0xC4E7);
+
+  LinearLpm<int> oracle;
+  PatriciaTrie<int> patricia;
+  std::vector<Prefix> touched;
+  // Always-interesting edges: the default route and a /32 host. The
+  // default route paints every root slot; the host paints exactly one
+  // level-3 entry.
+  touched.push_back(Prefix(IpAddress(0u), 0));
+  touched.push_back(Prefix(IpAddress(0xC0A80101u), 32));
+
+  int next_value = 0;
+  for (int phase = 0; phase < 6; ++phase) {
+    // Insert a batch...
+    for (int i = 0; i < params.entries / 4 + 1; ++i) {
+      const Prefix prefix =
+          RandomPrefix(rng, params.min_length, params.max_length);
+      touched.push_back(prefix);
+      oracle.Insert(prefix, next_value);
+      patricia.Insert(prefix, next_value);
+      ++next_value;
+    }
+    if (phase % 2 == 0) {
+      oracle.Insert(touched[0], next_value);
+      patricia.Insert(touched[0], next_value);
+      ++next_value;
+      oracle.Insert(touched[1], next_value);
+      patricia.Insert(touched[1], next_value);
+      ++next_value;
+    }
+    // ...remove a pseudo-random third of everything ever touched (repeat
+    // removals must agree on failure too)...
+    for (std::size_t i = phase % 3; i < touched.size(); i += 3) {
+      EXPECT_EQ(patricia.Remove(touched[i]), oracle.Remove(touched[i]));
+    }
+    // ...then recompile and compare — exactly what a publish does.
+    const FlatLpm<int> flat = CompileFrom(patricia);
+    ASSERT_EQ(flat.size(), oracle.size());
+    for (const IpAddress probe : ProbePoints(touched, rng)) {
+      const auto expected = oracle.LongestMatch(probe);
+      const auto from_flat = flat.LongestMatch(probe);
+      ASSERT_EQ(from_flat.has_value(), expected.has_value())
+          << "phase " << phase << " " << probe.ToString();
+      if (!expected.has_value()) continue;
+      ASSERT_EQ(from_flat->prefix, expected->prefix)
+          << "phase " << phase << " " << probe.ToString();
+      ASSERT_EQ(*from_flat->value, *expected->value)
+          << "phase " << phase << " " << probe.ToString();
+    }
+  }
+}
+
+TEST(FlatLpm, DefaultRouteAndHostRouteEdges) {
+  // 0.0.0.0/0 answers everything; a /32 overrides exactly one address.
+  std::vector<FlatLpm<int>::Entry> entries;
+  entries.push_back(FlatLpm<int>::Entry{Prefix(IpAddress(0u), 0), 0, 1});
+  entries.push_back(
+      FlatLpm<int>::Entry{Prefix(IpAddress(0xC0A80101u), 32), 0, 2});
+  const FlatLpm<int> flat = FlatLpm<int>::Compile(std::move(entries));
+  ASSERT_TRUE(flat.LongestMatch(IpAddress(0u)).has_value());
+  EXPECT_EQ(*flat.LongestMatch(IpAddress(0u))->value, 1);
+  EXPECT_EQ(*flat.LongestMatch(IpAddress(0xFFFFFFFFu))->value, 1);
+  EXPECT_EQ(*flat.LongestMatch(IpAddress(0xC0A80101u))->value, 2);
+  EXPECT_EQ(flat.LongestMatch(IpAddress(0xC0A80101u))->prefix.length(), 32);
+  EXPECT_EQ(*flat.LongestMatch(IpAddress(0xC0A80100u))->value, 1);
+  EXPECT_EQ(*flat.LongestMatch(IpAddress(0xC0A80102u))->value, 1);
+}
+
+TEST(FlatLpm, PriorityClassBeatsLength) {
+  // The primary/secondary rule the bgp layer compiles in: a higher
+  // priority class wins even against a longer lower-class prefix.
+  std::vector<FlatLpm<int>::Entry> entries;
+  entries.push_back(
+      FlatLpm<int>::Entry{Prefix(IpAddress(0x0C410000u), 16), 1, 10});
+  entries.push_back(
+      FlatLpm<int>::Entry{Prefix(IpAddress(0x0C418000u), 19), 0, 20});
+  const FlatLpm<int> flat = FlatLpm<int>::Compile(std::move(entries));
+  // Inside the /19: the /16 still wins (higher class).
+  EXPECT_EQ(*flat.LongestMatch(IpAddress(0x0C418123u))->value, 10);
+  EXPECT_EQ(flat.LongestMatch(IpAddress(0x0C418123u))->prefix.length(), 16);
+  // Outside the /19 but inside the /16: unchanged.
+  EXPECT_EQ(*flat.LongestMatch(IpAddress(0x0C410001u))->value, 10);
+  // Same class, longer wins.
+  entries.clear();
+  entries.push_back(
+      FlatLpm<int>::Entry{Prefix(IpAddress(0x0C410000u), 16), 1, 10});
+  entries.push_back(
+      FlatLpm<int>::Entry{Prefix(IpAddress(0x0C418000u), 19), 1, 30});
+  const FlatLpm<int> same = FlatLpm<int>::Compile(std::move(entries));
+  EXPECT_EQ(*same.LongestMatch(IpAddress(0x0C418123u))->value, 30);
+}
+
+TEST(FlatLpm, EmptyTableMatchesNothing) {
+  const FlatLpm<int> flat;
+  EXPECT_FALSE(flat.LongestMatch(IpAddress(0x01020304u)).has_value());
+  EXPECT_TRUE(flat.empty());
+  const std::vector<IpAddress> probes(5, IpAddress(0x01020304u));
+  std::vector<FlatLpm<int>::Match> out(5);
+  flat.LookupBatch(probes, out);
+  for (const auto& match : out) EXPECT_EQ(match.value, nullptr);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -118,6 +118,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     const int id = engine.SeedSnapshot(loaded.value().snapshot);
+    if (id == bgp::PrefixTable::kInvalidSource) {
+      std::fprintf(stderr, "netclustd: %s: source limit (%d) exhausted\n",
+                   path.c_str(), bgp::PrefixTable::kMaxSources);
+      return 1;
+    }
     std::fprintf(stderr,
                  "netclustd: source %d <- %s (%zu entries, %zu skipped)\n", id,
                  path.c_str(), loaded.value().snapshot.entries.size(),
@@ -131,6 +136,11 @@ int main(int argc, char** argv) {
     info.kind = bgp::SourceKind::kBgpTable;
     info.comment = "runtime INGEST_UPDATE feed";
     const int id = engine.AddSource(info);
+    if (id == bgp::PrefixTable::kInvalidSource) {
+      std::fprintf(stderr, "netclustd: live source limit (%d) exhausted\n",
+                   bgp::PrefixTable::kMaxSources);
+      return 1;
+    }
     std::fprintf(stderr, "netclustd: source %d <- %s (live)\n", id,
                  info.name.c_str());
     ++sources;
