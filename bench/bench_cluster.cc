@@ -1,0 +1,172 @@
+// Fleet throughput: does sharding netclustd horizontally actually scale?
+//
+// Stands up a 3-node cluster in-process — three engines, three cluster-
+// mode daemons on ephemeral loopback ports, one shared topology built by
+// the routing-aware partitioner from the seeded snapshot's prefixes —
+// then drives the whole fleet through the loadgen core's multi-endpoint
+// mode (topology-routed BATCH_LOOKUPs, scatter/gathered per shard) and
+// reports aggregate queries/s. The report is written as
+// BENCH_cluster.json so CI can trend it next to BENCH_server.json.
+//
+// Floor: the 3-node fleet must clear 100k lookups/s aggregate — 2x the
+// single-node 50k floor of bench_server_latency. Anything less means the
+// sharding layer is serializing instead of scaling.
+//
+//   bench_cluster [--floor-only]   # --floor-only: terse CI mode
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/partitioner.h"
+#include "engine/engine.h"
+#include "loadgen.h"
+#include "server/server.h"
+
+int main(int argc, char** argv) {
+  using namespace netclust;
+
+  bool floor_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--floor-only") == 0) {
+      floor_only = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--floor-only]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!floor_only) {
+    bench::PrintHeader(
+        "cluster mode — 3-node fleet aggregate throughput",
+        "routing-aware shards answer in parallel: aggregate qps must "
+        "clear 2x the single-node floor");
+  }
+
+  const auto& scenario = bench::GetScenario();
+  const auto generated = bench::MakeLog(bench::LogPreset::kNagano);
+  const auto& log = generated.log;
+  const bgp::Snapshot seed = scenario.vantages().MakeSnapshot(0, 0);
+  std::vector<net::Prefix> prefixes;
+  prefixes.reserve(seed.entries.size());
+  for (const bgp::RouteEntry& entry : seed.entries) {
+    prefixes.push_back(entry.prefix);
+  }
+
+  constexpr int kNodes = 3;
+  std::vector<std::unique_ptr<engine::Engine>> engines;
+  std::vector<std::unique_ptr<server::Server>> daemons;
+  std::vector<server::NodeInfo> members;
+  for (int n = 0; n < kNodes; ++n) {
+    engine::EngineConfig config;
+    config.shards = 1;
+    config.log_name = "node" + std::to_string(n + 1);
+    engines.push_back(std::make_unique<engine::Engine>(config));
+    engines.back()->SeedSnapshot(seed);  // full replication: every node
+    engines.back()->Start();
+
+    server::ServerConfig server_config;
+    server_config.port = 0;  // ephemeral
+    server_config.reader_threads = 1;
+    server_config.cluster_node_id = n + 1;
+    daemons.push_back(
+        std::make_unique<server::Server>(engines.back().get(),
+                                         server_config));
+    const Result<std::uint16_t> port = daemons.back()->Serve();
+    if (!port.ok()) {
+      std::fprintf(stderr, "bench_cluster: serve: %s\n",
+                   port.error().c_str());
+      return 1;
+    }
+    members.push_back(server::NodeInfo{static_cast<std::uint32_t>(n + 1),
+                                       net::IpAddress(127, 0, 0, 1),
+                                       port.value()});
+  }
+
+  const Result<server::Topology> topo =
+      cluster::BuildTopology(1, members, prefixes);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "bench_cluster: topology: %s\n",
+                 topo.error().c_str());
+    return 1;
+  }
+  for (const auto& daemon : daemons) {
+    const Result<bool> installed = daemon->SetTopology(topo.value());
+    if (!installed.ok()) {
+      std::fprintf(stderr, "bench_cluster: install: %s\n",
+                   installed.error().c_str());
+      return 1;
+    }
+  }
+
+  loadgen::Options options;
+  for (const server::NodeInfo& node : members) {
+    options.endpoints.push_back(node.host.ToString() + ":" +
+                                std::to_string(node.port));
+  }
+  options.connections = 3;
+  options.total_frames = floor_only ? 12'000 : 20'000;
+  options.batch_size = 8;
+  for (const auto& request : log.requests()) {
+    options.addresses.push_back(request.client);
+  }
+  if (!floor_only) {
+    std::printf("\nfleet:  %d cluster nodes on loopback, %zu shard ranges, "
+                "table %zu prefixes each\n",
+                kNodes, topo.value().ranges.size(), seed.entries.size());
+    std::printf("load:   %zu log requests cycled, %d connections x "
+                "%zu-address batches, %zu frames\n",
+                options.addresses.size(), options.connections,
+                options.batch_size, options.total_frames);
+  }
+
+  const Result<loadgen::Report> run = loadgen::Run(options);
+  for (const auto& daemon : daemons) daemon->Stop();
+  for (const auto& engine : engines) engine->Stop();
+  if (!run.ok()) {
+    std::fprintf(stderr, "bench_cluster: loadgen: %s\n",
+                 run.error().c_str());
+    return 1;
+  }
+  const loadgen::Report& report = run.value();
+
+  if (!floor_only) {
+    std::printf("\n  %-28s %s\n", "lookups served",
+                bench::Fmt(static_cast<double>(report.lookups_done)).c_str());
+    std::printf("  %-28s %s lookups/s\n", "aggregate throughput",
+                bench::Fmt(report.qps).c_str());
+    std::printf("  %-28s %.1f us\n", "round-trip p50",
+                static_cast<double>(report.p50_ns) / 1000.0);
+    std::printf("  %-28s %.1f us\n", "round-trip p99",
+                static_cast<double>(report.p99_ns) / 1000.0);
+    std::printf("  %-28s %zu\n", "redirects followed", report.redirects);
+    std::printf("  %-28s %zu\n", "errors", report.errors);
+  }
+
+  const std::string json = report.ToJson();
+  std::FILE* out = std::fopen("BENCH_cluster.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_cluster: cannot write BENCH_cluster.json\n");
+    return 1;
+  }
+  std::fprintf(out, "%s\n", json.c_str());
+  std::fclose(out);
+  std::printf("%swrote BENCH_cluster.json: %s\n", floor_only ? "" : "\n",
+              json.c_str());
+
+  if (report.errors != 0) {
+    std::fprintf(stderr, "bench_cluster: %zu request errors (first: %s)\n",
+                 report.errors, report.first_error.c_str());
+    return 1;
+  }
+  // 2x the single-node 50k floor of bench_server_latency.
+  if (report.qps < 100'000.0) {
+    std::fprintf(stderr, "bench_cluster: %.0f lookups/s is below the 100k "
+                 "aggregate floor (2x single-node)\n",
+                 report.qps);
+    return 1;
+  }
+  std::printf("aggregate floor (100k lookups/s, 2x single-node): cleared\n");
+  return 0;
+}

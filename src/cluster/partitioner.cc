@@ -1,0 +1,214 @@
+#include "cluster/partitioner.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace netclust::cluster {
+
+namespace {
+
+/// Merges adjacent same-owner ranges into the canonical (minimal) form
+/// ValidateTopology requires. Input must already be sorted and gap-free.
+std::vector<server::ShardRange> MergeAdjacent(
+    std::vector<server::ShardRange> ranges) {
+  std::vector<server::ShardRange> merged;
+  for (const server::ShardRange& range : ranges) {
+    if (!merged.empty() && merged.back().node_index == range.node_index) {
+      merged.back().block_count += range.block_count;
+    } else {
+      merged.push_back(range);
+    }
+  }
+  return merged;
+}
+
+/// Compresses a per-block owner map into canonical ranges.
+std::vector<server::ShardRange> CompressOwners(
+    const std::vector<std::uint16_t>& owner) {
+  std::vector<server::ShardRange> ranges;
+  std::uint32_t start = 0;
+  for (std::uint32_t b = 1; b <= owner.size(); ++b) {
+    if (b == owner.size() || owner[b] != owner[start]) {
+      ranges.push_back(server::ShardRange{start, b - start, owner[start]});
+      start = b;
+    }
+  }
+  return ranges;
+}
+
+}  // namespace
+
+std::uint64_t RendezvousScore(std::uint32_t block, std::uint32_t node_id) {
+  // SplitMix64 finalizer over the (block, node) pair: uniform, cheap, and
+  // stable across platforms so every fleet member computes the same map.
+  std::uint64_t x = (std::uint64_t{block} << 32) | node_id;
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint16_t BaseOwner(const std::vector<server::NodeInfo>& nodes,
+                        std::uint32_t block) {
+  std::uint16_t best = 0;
+  std::uint64_t best_score = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::uint64_t score = RendezvousScore(block, nodes[i].id);
+    // Ties (score collisions) break toward the lower index so the winner
+    // is a pure function of the node set.
+    if (i == 0 || score > best_score) {
+      best = static_cast<std::uint16_t>(i);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+Result<server::Topology> BuildTopology(
+    std::uint64_t epoch, std::vector<server::NodeInfo> nodes,
+    const std::vector<net::Prefix>& prefixes) {
+  if (nodes.empty()) return Fail("cannot partition across zero nodes");
+  if (nodes.size() > server::kMaxClusterNodes) {
+    return Fail("fleet exceeds kMaxClusterNodes");
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const server::NodeInfo& a, const server::NodeInfo& b) {
+              return a.id < b.id;
+            });
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i].id == nodes[i - 1].id) return Fail("duplicate node id");
+  }
+
+  std::vector<std::uint16_t> owner(server::kShardBlockCount);
+  for (std::uint32_t b = 0; b < server::kShardBlockCount; ++b) {
+    owner[b] = BaseOwner(nodes, b);
+  }
+
+  // Alignment pass: prefixes wider than a /16 span several blocks; paint
+  // each such span with one owner, shortest prefixes first so that a more
+  // specific covering route repaints its narrower span afterwards and
+  // every longest-match region ends up on exactly one node.
+  std::vector<net::Prefix> wide;
+  for (const net::Prefix& prefix : prefixes) {
+    if (prefix.length() < 16) wide.push_back(prefix);
+  }
+  std::sort(wide.begin(), wide.end(),
+            [](const net::Prefix& a, const net::Prefix& b) {
+              if (a.length() != b.length()) return a.length() < b.length();
+              return a.network().bits() < b.network().bits();
+            });
+  for (const net::Prefix& prefix : wide) {
+    const std::uint32_t first = prefix.network().bits() >> 16;
+    const std::uint32_t count = 1u << (16 - prefix.length());
+    const std::uint16_t painted = BaseOwner(nodes, first);
+    for (std::uint32_t b = 0; b < count; ++b) owner[first + b] = painted;
+  }
+
+  server::Topology topo;
+  topo.epoch = epoch;
+  topo.nodes = std::move(nodes);
+  topo.ranges = CompressOwners(owner);
+  auto valid = server::ValidateTopology(topo);
+  if (!valid.ok()) return Fail(valid.error());
+  return topo;
+}
+
+Result<server::Topology> RebalanceAfterLeave(const server::Topology& topo,
+                                             std::uint32_t node_id) {
+  const int leaving = server::NodeIndexOf(topo, node_id);
+  if (leaving < 0) return Fail("leaving node is not a member");
+  if (topo.nodes.size() == 1) return Fail("cannot remove the last node");
+
+  std::vector<server::NodeInfo> survivors;
+  std::vector<std::uint16_t> remap(topo.nodes.size(), 0);
+  for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+    if (static_cast<int>(i) == leaving) continue;
+    remap[i] = static_cast<std::uint16_t>(survivors.size());
+    survivors.push_back(topo.nodes[i]);
+  }
+
+  // Each departed range re-scores among the survivors as ONE unit: the
+  // range edges were placed on prefix boundaries by BuildTopology, so
+  // moving ranges wholesale preserves alignment, and survivor-owned
+  // ranges never move at all (minimal movement).
+  std::vector<server::ShardRange> ranges;
+  ranges.reserve(topo.ranges.size());
+  for (const server::ShardRange& range : topo.ranges) {
+    server::ShardRange next = range;
+    next.node_index = range.node_index == leaving
+                          ? BaseOwner(survivors, range.first_block)
+                          : remap[range.node_index];
+    ranges.push_back(next);
+  }
+
+  server::Topology out;
+  out.epoch = topo.epoch + 1;
+  out.nodes = std::move(survivors);
+  out.ranges = MergeAdjacent(std::move(ranges));
+  auto valid = server::ValidateTopology(out);
+  if (!valid.ok()) return Fail(valid.error());
+  return out;
+}
+
+Result<server::Topology> RebalanceAfterJoin(const server::Topology& topo,
+                                            const server::NodeInfo& node) {
+  if (server::NodeIndexOf(topo, node.id) >= 0) {
+    return Fail("joining node id is already a member");
+  }
+  if (topo.nodes.size() >= server::kMaxClusterNodes) {
+    return Fail("fleet exceeds kMaxClusterNodes");
+  }
+
+  std::vector<server::NodeInfo> nodes = topo.nodes;
+  nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end(),
+            [](const server::NodeInfo& a, const server::NodeInfo& b) {
+              return a.id < b.id;
+            });
+  const int joined = server::NodeIndexOf(
+      server::Topology{0, nodes, {}}, node.id);
+  std::vector<std::uint16_t> remap(topo.nodes.size(), 0);
+  for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+    remap[i] = static_cast<std::uint16_t>(
+        server::NodeIndexOf(server::Topology{0, nodes, {}},
+                            topo.nodes[i].id));
+  }
+
+  // A range moves exactly when the newcomer wins the rendezvous for its
+  // first block — the blocks it would have owned in a from-scratch build.
+  // Everything else keeps its owner, so movement is bounded by ~1/N.
+  std::vector<server::ShardRange> ranges;
+  ranges.reserve(topo.ranges.size());
+  for (const server::ShardRange& range : topo.ranges) {
+    server::ShardRange next = range;
+    next.node_index = BaseOwner(nodes, range.first_block) ==
+                              static_cast<std::uint16_t>(joined)
+                          ? static_cast<std::uint16_t>(joined)
+                          : remap[range.node_index];
+    ranges.push_back(next);
+  }
+
+  server::Topology out;
+  out.epoch = topo.epoch + 1;
+  out.nodes = std::move(nodes);
+  out.ranges = MergeAdjacent(std::move(ranges));
+  auto valid = server::ValidateTopology(out);
+  if (!valid.ok()) return Fail(valid.error());
+  return out;
+}
+
+double MovedBlockFraction(const server::Topology& before,
+                          const server::Topology& after) {
+  const std::vector<std::uint16_t> a = server::CompileOwners(before);
+  const std::vector<std::uint16_t> b = server::CompileOwners(after);
+  std::uint32_t moved = 0;
+  for (std::uint32_t i = 0; i < server::kShardBlockCount; ++i) {
+    // Compare owning node IDS, not indexes: indexes shift on membership
+    // change even when the block did not move.
+    if (before.nodes[a[i]].id != after.nodes[b[i]].id) ++moved;
+  }
+  return static_cast<double>(moved) /
+         static_cast<double>(server::kShardBlockCount);
+}
+
+}  // namespace netclust::cluster

@@ -1,0 +1,71 @@
+// Routing-aware partitioning of the IPv4 address space across a netclustd
+// fleet (ROADMAP item 2; scheme after Gürsun's routing-aware partitioning,
+// PAPERS.md).
+//
+// The unit of ownership is the /16 block (proto.h kShardBlockCount of
+// them). Each block's BASE owner comes from rendezvous (highest-random-
+// weight) hashing over (block, node id): every node scores every block and
+// the highest score wins, so a node join or leave only moves the blocks
+// that node wins or held — the consistent-hashing property, with no ring
+// or virtual-node bookkeeping.
+//
+// Routing-awareness is an alignment pass on top: a BGP prefix SHORTER than
+// /16 spans multiple blocks, and the paper's network-aware clusters must
+// never straddle a shard edge — a longest-prefix match answered by a node
+// that owns only part of the covering prefix could disagree with the
+// oracle. BuildTopology therefore paints every block under such a prefix
+// with one owner (the base owner of the prefix's first block), shortest
+// prefixes first so more-specific routes repaint their narrower span last.
+// Prefixes /16 and longer already live inside one block and need no work.
+//
+// Rebalance keeps the same invariants with minimal movement: on leave,
+// only the departed node's ranges move (each re-scored among survivors as
+// one unit, preserving alignment); on join, a range moves only if the new
+// node out-scores its current owner for the range's first block. Every
+// rebalance bumps the epoch by one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/prefix.h"
+#include "net/result.h"
+#include "server/proto.h"
+
+namespace netclust::cluster {
+
+/// Rendezvous weight of `node_id` for /16 block `block` — a SplitMix64
+/// finalizer over the pair, uniform and stable across builds.
+[[nodiscard]] std::uint64_t RendezvousScore(std::uint32_t block,
+                                            std::uint32_t node_id);
+
+/// The rendezvous winner for `block` among `nodes` (index into `nodes`).
+/// `nodes` must be non-empty.
+[[nodiscard]] std::uint16_t BaseOwner(
+    const std::vector<server::NodeInfo>& nodes, std::uint32_t block);
+
+/// Builds an epoch-`epoch` topology over `nodes` (ids must be unique;
+/// sorted internally into canonical strictly-increasing order), aligned so
+/// that no prefix in `prefixes` straddles a shard boundary.
+[[nodiscard]] Result<server::Topology> BuildTopology(
+    std::uint64_t epoch, std::vector<server::NodeInfo> nodes,
+    const std::vector<net::Prefix>& prefixes);
+
+/// Topology after `node_id` leaves: its ranges re-score among the
+/// survivors, everything else stays put, epoch advances by one. Fails if
+/// the node is absent or the last member.
+[[nodiscard]] Result<server::Topology> RebalanceAfterLeave(
+    const server::Topology& topo, std::uint32_t node_id);
+
+/// Topology after `node` joins: a range moves to the new node exactly when
+/// it wins the rendezvous for the range's first block, epoch advances by
+/// one. Fails if the id is already a member or the fleet is full.
+[[nodiscard]] Result<server::Topology> RebalanceAfterJoin(
+    const server::Topology& topo, const server::NodeInfo& node);
+
+/// Fraction of the block space whose owner differs between two topologies
+/// (for movement bounds in tests). Both must be valid.
+[[nodiscard]] double MovedBlockFraction(const server::Topology& before,
+                                        const server::Topology& after);
+
+}  // namespace netclust::cluster

@@ -271,8 +271,61 @@ void CheckProtoPayload(const server::Frame& frame) {
                            "ERROR payload round trip changed bytes");
       return;
     }
+    case Opcode::kClusterLookup: {
+      const auto req = server::DecodeClusterLookup(payload, size);
+      if (!req.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeClusterLookup(req.value()) == frame.payload,
+          "CLUSTER_LOOKUP payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kClusterResult: {
+      const auto result = server::DecodeClusterResult(payload, size);
+      if (!result.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeClusterResult(result.value()) == frame.payload,
+          "CLUSTER_RESULT payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kTopology:
+      return;  // request carries no payload
+    case Opcode::kSetTopology:
+    case Opcode::kTopologyReply: {
+      // Decoder accepts only the canonical form, so acceptance implies
+      // byte-exact re-encoding.
+      const auto topo = server::DecodeTopology(payload, size);
+      if (!topo.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeTopology(topo.value()) == frame.payload,
+          "TOPOLOGY payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kSetTopologyAck: {
+      const auto epoch = server::DecodeTopologyAck(payload, size);
+      if (!epoch.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeTopologyAck(epoch.value()) == frame.payload,
+          "SET_TOPOLOGY_ACK payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kRedirect: {
+      const auto redirect = server::DecodeRedirect(payload, size);
+      if (!redirect.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeRedirect(redirect.value()) == frame.payload,
+          "REDIRECT payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kClusterStatsReply: {
+      const auto record = server::DecodeClusterStats(payload, size);
+      if (!record.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeClusterStats(record.value()) == frame.payload,
+          "CLUSTER_STATS_REPLY payload round trip changed bytes");
+      return;
+    }
     default:
-      return;  // PING/PONG/STATS/STATS_TEXT/BUSY payloads are free-form
+      return;  // PING/PONG/STATS/STATS_TEXT/BUSY/CLUSTER_STATS are free-form
   }
 }
 

@@ -323,6 +323,83 @@ int main(int argc, char** argv) {
                                {server::ErrorCode::kMalformedPayload,
                                 "BATCH_LOOKUP length disagrees"})));
 
+    // Cluster-mode opcodes (PR 6): topology, routed lookups, redirect,
+    // stats record — canonical payloads so mutations explore the strict
+    // decoders from valid starting points.
+    {
+      server::Topology topo;
+      topo.epoch = 3;
+      topo.nodes = {{1, net::IpAddress(127, 0, 0, 1), 4730},
+                    {2, net::IpAddress(127, 0, 0, 1), 4731},
+                    {5, net::IpAddress(127, 0, 0, 1), 4732}};
+      topo.ranges = {{0, 20000, 0},
+                     {20000, 30000, 2},
+                     {50000, server::kShardBlockCount - 50000, 1}};
+      const std::vector<std::uint8_t> wire = server::EncodeTopology(topo);
+      WriteBytes(root / "proto" / "seed-set-topology",
+                 EncodeFrame(Opcode::kSetTopology, wire));
+      WriteBytes(root / "proto" / "seed-topology-reply",
+                 EncodeFrame(Opcode::kTopologyReply, wire));
+      WriteBytes(root / "proto" / "seed-topology",
+                 EncodeFrame(Opcode::kTopology, {}));
+      WriteBytes(root / "proto" / "seed-set-topology-ack",
+                 EncodeFrame(Opcode::kSetTopologyAck,
+                             server::EncodeTopologyAck(topo.epoch)));
+
+      // Non-canonical reject: a gap in the block coverage. The decoder
+      // must refuse it (and chunked/whole must agree).
+      server::Topology gap = topo;
+      gap.ranges[1].block_count -= 1;
+      WriteBytes(root / "proto" / "seed-set-topology-gap",
+                 EncodeFrame(Opcode::kSetTopology,
+                             server::EncodeTopology(gap)));
+    }
+    {
+      server::ClusterLookupRequest req;
+      req.epoch = 3;
+      req.addresses = {net::IpAddress(12, 65, 143, 222),
+                       net::IpAddress(151, 198, 194, 17)};
+      WriteBytes(root / "proto" / "seed-cluster-lookup",
+                 EncodeFrame(Opcode::kClusterLookup,
+                             server::EncodeClusterLookup(req)));
+
+      server::LookupRecord found;
+      found.found = true;
+      found.prefix = net::Prefix::Parse("151.198.192.0/18").value();
+      found.kind = bgp::SourceKind::kBgpTable;
+      found.origin_as = 1742;
+      found.source_mask = 0x1;
+      server::ClusterResult result;
+      result.epoch = 3;
+      result.records = {found, server::LookupRecord{}};
+      WriteBytes(root / "proto" / "seed-cluster-result",
+                 EncodeFrame(Opcode::kClusterResult,
+                             server::EncodeClusterResult(result)));
+    }
+    WriteBytes(root / "proto" / "seed-redirect",
+               EncodeFrame(Opcode::kRedirect,
+                           server::EncodeRedirect(
+                               {server::RedirectReason::kStaleEpoch, 4})));
+    {
+      server::ClusterStatsRecord record;
+      record.epoch = 3;
+      record.node_id = 2;
+      record.frames_decoded = 1200;
+      record.lookups_served = 800;
+      record.cluster_lookups_served = 350;
+      record.busy_replies = 4;
+      record.redirects_sent = 2;
+      record.connections_active = 3;
+      record.latency_sum_ns = 9'000'000;
+      record.latency_buckets[3] = 700;
+      record.latency_buckets[4] = 100;
+      WriteBytes(root / "proto" / "seed-cluster-stats-reply",
+                 EncodeFrame(Opcode::kClusterStatsReply,
+                             server::EncodeClusterStats(record)));
+      WriteBytes(root / "proto" / "seed-cluster-stats",
+                 EncodeFrame(Opcode::kClusterStats, {}));
+    }
+
     // Crafted rejects: each pins one framing bound. None may crash, and
     // chunked/whole decode must agree on the verdict.
     {

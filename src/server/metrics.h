@@ -52,6 +52,10 @@ struct ServerMetrics {
   engine::Counter ingests_applied;     // INGEST_UPDATE frames acked
   engine::Counter stats_served;
   engine::Counter pings_served;
+  engine::Counter redirects_sent;          // cluster REDIRECT responses
+  engine::Counter cluster_lookups_served;  // addresses answered via CLUSTER_LOOKUP
+  engine::Counter topology_installs;       // SET_TOPOLOGY frames adopted
+  engine::Counter cluster_stats_served;    // CLUSTER_STATS frames answered
   engine::Counter bytes_read;
   engine::Counter bytes_written;
   /// Frame service time: last payload byte decoded -> response fully
@@ -78,6 +82,10 @@ struct ServerMetrics {
     counter("ingests_applied", ingests_applied);
     counter("stats_served", stats_served);
     counter("pings_served", pings_served);
+    counter("redirects_sent", redirects_sent);
+    counter("cluster_lookups_served", cluster_lookups_served);
+    counter("topology_installs", topology_installs);
+    counter("cluster_stats_served", cluster_stats_served);
     counter("bytes_read", bytes_read);
     counter("bytes_written", bytes_written);
     // order: relaxed — scrape-style read, same contract as the counters.

@@ -9,6 +9,10 @@ bool IsRequestOpcode(Opcode opcode) {
     case Opcode::kBatchLookup:
     case Opcode::kIngestUpdate:
     case Opcode::kStats:
+    case Opcode::kClusterLookup:
+    case Opcode::kTopology:
+    case Opcode::kSetTopology:
+    case Opcode::kClusterStats:
       return true;
     default:
       return false;
@@ -22,13 +26,22 @@ bool IsKnownOpcode(std::uint8_t raw) {
     case Opcode::kBatchLookup:
     case Opcode::kIngestUpdate:
     case Opcode::kStats:
+    case Opcode::kClusterLookup:
+    case Opcode::kTopology:
+    case Opcode::kSetTopology:
+    case Opcode::kClusterStats:
     case Opcode::kPong:
     case Opcode::kLookupResult:
     case Opcode::kBatchResult:
     case Opcode::kIngestAck:
     case Opcode::kStatsText:
+    case Opcode::kClusterResult:
+    case Opcode::kTopologyReply:
+    case Opcode::kSetTopologyAck:
+    case Opcode::kClusterStatsReply:
     case Opcode::kBusy:
     case Opcode::kError:
+    case Opcode::kRedirect:
       return true;
   }
   return false;
@@ -46,6 +59,14 @@ const char* OpcodeName(Opcode opcode) {
       return "INGEST_UPDATE";
     case Opcode::kStats:
       return "STATS";
+    case Opcode::kClusterLookup:
+      return "CLUSTER_LOOKUP";
+    case Opcode::kTopology:
+      return "TOPOLOGY";
+    case Opcode::kSetTopology:
+      return "SET_TOPOLOGY";
+    case Opcode::kClusterStats:
+      return "CLUSTER_STATS";
     case Opcode::kPong:
       return "PONG";
     case Opcode::kLookupResult:
@@ -56,10 +77,20 @@ const char* OpcodeName(Opcode opcode) {
       return "INGEST_ACK";
     case Opcode::kStatsText:
       return "STATS_TEXT";
+    case Opcode::kClusterResult:
+      return "CLUSTER_RESULT";
+    case Opcode::kTopologyReply:
+      return "TOPOLOGY_REPLY";
+    case Opcode::kSetTopologyAck:
+      return "SET_TOPOLOGY_ACK";
+    case Opcode::kClusterStatsReply:
+      return "CLUSTER_STATS_REPLY";
     case Opcode::kBusy:
       return "BUSY";
     case Opcode::kError:
       return "ERROR";
+    case Opcode::kRedirect:
+      return "REDIRECT";
   }
   return "UNKNOWN";
 }
@@ -325,6 +356,256 @@ Result<ErrorReply> DecodeError(const std::uint8_t* data, std::size_t size) {
   error.code = static_cast<ErrorCode>(code);
   error.message.assign(reinterpret_cast<const char*>(data + 1), size - 1);
   return error;
+}
+
+// --- cluster-mode codecs ---
+
+Result<bool> ValidateTopology(const Topology& topo) {
+  if (topo.nodes.empty()) return Fail("topology has no nodes");
+  if (topo.nodes.size() > kMaxClusterNodes) {
+    return Fail("topology node count exceeds bound");
+  }
+  for (std::size_t i = 1; i < topo.nodes.size(); ++i) {
+    if (topo.nodes[i].id <= topo.nodes[i - 1].id) {
+      return Fail("topology node ids must be strictly increasing");
+    }
+  }
+  if (topo.ranges.empty()) return Fail("topology has no shard ranges");
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < topo.ranges.size(); ++i) {
+    const ShardRange& range = topo.ranges[i];
+    if (range.block_count == 0) return Fail("empty shard range");
+    if (range.first_block != covered) {
+      return Fail("shard ranges must be sorted and gap-free");
+    }
+    if (range.node_index >= topo.nodes.size()) {
+      return Fail("shard range names a node index out of bounds");
+    }
+    if (i > 0 && range.node_index == topo.ranges[i - 1].node_index) {
+      return Fail("adjacent shard ranges with one owner must be merged");
+    }
+    covered += range.block_count;
+    if (covered > kShardBlockCount) {
+      return Fail("shard ranges overflow the block space");
+    }
+  }
+  if (covered != kShardBlockCount) {
+    return Fail("shard ranges must cover every /16 block");
+  }
+  return true;
+}
+
+std::vector<std::uint16_t> CompileOwners(const Topology& topo) {
+  std::vector<std::uint16_t> owner(kShardBlockCount, 0);
+  for (const ShardRange& range : topo.ranges) {
+    for (std::uint32_t b = 0; b < range.block_count; ++b) {
+      owner[range.first_block + b] = range.node_index;
+    }
+  }
+  return owner;
+}
+
+int NodeIndexOf(const Topology& topo, std::uint32_t node_id) {
+  for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+    if (topo.nodes[i].id == node_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::uint8_t> EncodeTopology(const Topology& topo) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + 2 + 10 * topo.nodes.size() + 4 + 10 * topo.ranges.size());
+  PutU64(&out, topo.epoch);
+  PutU16(&out, static_cast<std::uint16_t>(topo.nodes.size()));
+  for (const NodeInfo& node : topo.nodes) {
+    PutU32(&out, node.id);
+    PutU32(&out, node.host.bits());
+    PutU16(&out, node.port);
+  }
+  PutU32(&out, static_cast<std::uint32_t>(topo.ranges.size()));
+  for (const ShardRange& range : topo.ranges) {
+    PutU32(&out, range.first_block);
+    PutU32(&out, range.block_count);
+    PutU16(&out, range.node_index);
+  }
+  return out;
+}
+
+Result<Topology> DecodeTopology(const std::uint8_t* data, std::size_t size) {
+  if (size < 10) return Fail("topology payload truncated");
+  Topology topo;
+  topo.epoch = GetU64(data);
+  const std::uint16_t node_count = GetU16(data + 8);
+  std::size_t offset = 10;
+  if (size < offset + std::size_t{node_count} * 10 + 4) {
+    return Fail("topology payload truncated in the node list");
+  }
+  topo.nodes.reserve(node_count);
+  for (std::uint16_t i = 0; i < node_count; ++i) {
+    NodeInfo node;
+    node.id = GetU32(data + offset);
+    node.host = net::IpAddress(GetU32(data + offset + 4));
+    node.port = GetU16(data + offset + 8);
+    topo.nodes.push_back(node);
+    offset += 10;
+  }
+  const std::uint32_t range_count = GetU32(data + offset);
+  offset += 4;
+  if (range_count > kShardBlockCount) {
+    return Fail("topology range count exceeds the block space");
+  }
+  if (size != offset + std::size_t{range_count} * 10) {
+    return Fail("topology length disagrees with its range count");
+  }
+  topo.ranges.reserve(range_count);
+  for (std::uint32_t i = 0; i < range_count; ++i) {
+    ShardRange range;
+    range.first_block = GetU32(data + offset);
+    range.block_count = GetU32(data + offset + 4);
+    range.node_index = GetU16(data + offset + 8);
+    topo.ranges.push_back(range);
+    offset += 10;
+  }
+  auto valid = ValidateTopology(topo);
+  if (!valid.ok()) return Fail(valid.error());
+  return topo;
+}
+
+std::vector<std::uint8_t> EncodeClusterLookup(const ClusterLookupRequest& req) {
+  std::vector<std::uint8_t> out;
+  out.reserve(12 + 4 * req.addresses.size());
+  PutU64(&out, req.epoch);
+  PutU32(&out, static_cast<std::uint32_t>(req.addresses.size()));
+  for (const net::IpAddress address : req.addresses) {
+    PutU32(&out, address.bits());
+  }
+  return out;
+}
+
+Result<ClusterLookupRequest> DecodeClusterLookup(const std::uint8_t* data,
+                                                 std::size_t size) {
+  if (size < 12) return Fail("CLUSTER_LOOKUP payload truncated");
+  ClusterLookupRequest req;
+  req.epoch = GetU64(data);
+  const std::uint32_t count = GetU32(data + 8);
+  if (count > kMaxBatch) return Fail("CLUSTER_LOOKUP count exceeds bound");
+  if (size != 12 + std::size_t{count} * 4) {
+    return Fail("CLUSTER_LOOKUP length disagrees with its count");
+  }
+  req.addresses.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    req.addresses.emplace_back(GetU32(data + 12 + std::size_t{i} * 4));
+  }
+  return req;
+}
+
+std::vector<std::uint8_t> EncodeClusterResult(const ClusterResult& result) {
+  std::vector<std::uint8_t> out;
+  out.reserve(12 + kLookupRecordSize * result.records.size());
+  PutU64(&out, result.epoch);
+  PutU32(&out, static_cast<std::uint32_t>(result.records.size()));
+  for (const LookupRecord& record : result.records) {
+    const std::vector<std::uint8_t> encoded = EncodeLookupRecord(record);
+    out.insert(out.end(), encoded.begin(), encoded.end());
+  }
+  return out;
+}
+
+Result<ClusterResult> DecodeClusterResult(const std::uint8_t* data,
+                                          std::size_t size) {
+  if (size < 12) return Fail("CLUSTER_RESULT payload truncated");
+  ClusterResult result;
+  result.epoch = GetU64(data);
+  const std::uint32_t count = GetU32(data + 8);
+  if (count > kMaxBatch) return Fail("CLUSTER_RESULT count exceeds bound");
+  if (size != 12 + std::size_t{count} * kLookupRecordSize) {
+    return Fail("CLUSTER_RESULT length disagrees with its count");
+  }
+  result.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto record = DecodeLookupRecord(
+        data + 12 + std::size_t{i} * kLookupRecordSize, kLookupRecordSize);
+    if (!record.ok()) return Fail(record.error());
+    result.records.push_back(std::move(record).value());
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> EncodeRedirect(const RedirectReply& redirect) {
+  std::vector<std::uint8_t> out;
+  out.reserve(9);
+  out.push_back(static_cast<std::uint8_t>(redirect.reason));
+  PutU64(&out, redirect.epoch);
+  return out;
+}
+
+Result<RedirectReply> DecodeRedirect(const std::uint8_t* data,
+                                     std::size_t size) {
+  if (size != 9) return Fail("REDIRECT payload must be exactly 9 bytes");
+  if (data[0] < 1 || data[0] > 2) return Fail("REDIRECT reason out of range");
+  RedirectReply redirect;
+  redirect.reason = static_cast<RedirectReason>(data[0]);
+  redirect.epoch = GetU64(data + 1);
+  return redirect;
+}
+
+std::vector<std::uint8_t> EncodeClusterStats(const ClusterStatsRecord& record) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kClusterStatsRecordSize);
+  PutU64(&out, record.epoch);
+  PutU32(&out, record.node_id);
+  PutU64(&out, record.frames_decoded);
+  PutU64(&out, record.lookups_served);
+  PutU64(&out, record.cluster_lookups_served);
+  PutU64(&out, record.ingests_applied);
+  PutU64(&out, record.busy_replies);
+  PutU64(&out, record.errors_sent);
+  PutU64(&out, record.redirects_sent);
+  PutU64(&out, record.connections_active);
+  PutU64(&out, record.latency_sum_ns);
+  for (const std::uint64_t bucket : record.latency_buckets) {
+    PutU64(&out, bucket);
+  }
+  return out;
+}
+
+Result<ClusterStatsRecord> DecodeClusterStats(const std::uint8_t* data,
+                                              std::size_t size) {
+  if (size != kClusterStatsRecordSize) {
+    return Fail("CLUSTER_STATS_REPLY payload has the wrong size");
+  }
+  ClusterStatsRecord record;
+  record.epoch = GetU64(data);
+  record.node_id = GetU32(data + 8);
+  std::size_t offset = 12;
+  std::uint64_t* const counters[] = {
+      &record.frames_decoded, &record.lookups_served,
+      &record.cluster_lookups_served, &record.ingests_applied,
+      &record.busy_replies, &record.errors_sent,
+      &record.redirects_sent, &record.connections_active,
+      &record.latency_sum_ns,
+  };
+  for (std::uint64_t* counter : counters) {
+    *counter = GetU64(data + offset);
+    offset += 8;
+  }
+  for (std::uint64_t& bucket : record.latency_buckets) {
+    bucket = GetU64(data + offset);
+    offset += 8;
+  }
+  return record;
+}
+
+std::vector<std::uint8_t> EncodeTopologyAck(std::uint64_t epoch) {
+  std::vector<std::uint8_t> out;
+  PutU64(&out, epoch);
+  return out;
+}
+
+Result<std::uint64_t> DecodeTopologyAck(const std::uint8_t* data,
+                                        std::size_t size) {
+  if (size != 8) return Fail("SET_TOPOLOGY_ACK payload must be exactly 8 bytes");
+  return GetU64(data);
 }
 
 }  // namespace netclust::server

@@ -11,10 +11,14 @@
 //   3       1     opcode
 //   4       4     payload length (<= kMaxPayload)
 //
-// Requests: PING, LOOKUP, BATCH_LOOKUP, INGEST_UPDATE, STATS.
-// Responses mirror them (PONG, LOOKUP_RESULT, ...) plus ERROR and BUSY —
-// BUSY is the explicit backpressure signal (connection or in-flight-frame
-// limit hit), distinct from ERROR so clients can retry instead of failing.
+// Requests: PING, LOOKUP, BATCH_LOOKUP, INGEST_UPDATE, STATS, plus the
+// cluster-mode family CLUSTER_LOOKUP, TOPOLOGY, SET_TOPOLOGY and
+// CLUSTER_STATS. Responses mirror them (PONG, LOOKUP_RESULT, ...) plus
+// ERROR, BUSY and REDIRECT — BUSY is the explicit backpressure signal
+// (connection or in-flight-frame limit hit) and REDIRECT is the
+// routing-staleness signal (the request's topology epoch is not current,
+// or the addressed keys are owned by another shard); both are retryable,
+// distinct from ERROR so clients retry instead of failing.
 //
 // Decoders are written in the library's Result<T> style (no exceptions,
 // strict bounds, canonical-form checks) so the whole grammar is fuzzable
@@ -25,6 +29,7 @@
 // can forward the wire bytes it already has.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -50,6 +55,15 @@ inline constexpr std::uint32_t kMaxBatch = 4096;
 /// PING echo payloads are capped: the echo exists for liveness probing,
 /// not bulk transfer.
 inline constexpr std::uint32_t kMaxPingEcho = 64;
+/// The client address space is partitioned for cluster mode at /16
+/// granularity: block i owns addresses [i<<16, (i+1)<<16).
+inline constexpr std::uint32_t kShardBlockCount = 1u << 16;
+/// Fleet size bound (topology payloads stay well under kMaxPayload).
+inline constexpr std::uint32_t kMaxClusterNodes = 64;
+/// Latency histogram bucket count carried by CLUSTER_STATS replies.
+/// Mirrors engine::LatencyHistogram::kBuckets (static_assert in server.cc)
+/// without dragging the engine headers into the wire layer.
+inline constexpr std::size_t kStatsLatencyBuckets = 14;
 
 /// Request opcodes occupy 0x01-0x7F; their responses set the high bit.
 enum class Opcode : std::uint8_t {
@@ -58,14 +72,23 @@ enum class Opcode : std::uint8_t {
   kBatchLookup = 0x03,
   kIngestUpdate = 0x04,
   kStats = 0x05,
+  kClusterLookup = 0x06,
+  kTopology = 0x07,
+  kSetTopology = 0x08,
+  kClusterStats = 0x09,
 
   kPong = 0x81,
   kLookupResult = 0x82,
   kBatchResult = 0x83,
   kIngestAck = 0x84,
   kStatsText = 0x85,
+  kClusterResult = 0x86,
+  kTopologyReply = 0x87,
+  kSetTopologyAck = 0x88,
+  kClusterStatsReply = 0x89,
   kBusy = 0xE0,
   kError = 0xE1,
+  kRedirect = 0xE2,
 };
 
 [[nodiscard]] bool IsRequestOpcode(Opcode opcode);
@@ -193,6 +216,113 @@ struct ErrorReply {
   friend bool operator==(const ErrorReply&, const ErrorReply&) = default;
 };
 
+// --- cluster-mode payloads ---
+
+/// One fleet member. `id` is the stable operator-assigned identity (it
+/// survives rebalances); the index of a node inside Topology::nodes is
+/// positional and changes as members join and leave.
+struct NodeInfo {
+  std::uint32_t id = 0;
+  net::IpAddress host;  // IPv4, matching the data plane
+  std::uint16_t port = 0;
+
+  friend bool operator==(const NodeInfo&, const NodeInfo&) = default;
+};
+
+/// A run of consecutive /16 blocks owned by one node.
+struct ShardRange {
+  std::uint32_t first_block = 0;
+  std::uint32_t block_count = 0;
+  std::uint16_t node_index = 0;  // into Topology::nodes
+
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+/// An epoch-stamped shard map: which node owns which /16 blocks. Canonical
+/// form (enforced by ValidateTopology and the decoder, which is what makes
+/// the codec fuzzable byte-exactly): node ids strictly increasing; ranges
+/// sorted, gap-free and exactly covering all kShardBlockCount blocks, with
+/// adjacent ranges owned by different nodes (equal neighbours must be
+/// merged). Epochs only ever advance; a request stamped with an older
+/// epoch draws a REDIRECT, never an answer from a stale shard map.
+struct Topology {
+  std::uint64_t epoch = 0;
+  std::vector<NodeInfo> nodes;
+  std::vector<ShardRange> ranges;
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+};
+
+/// ok(true) when `topo` is canonical; the error spells out the violation.
+[[nodiscard]] Result<bool> ValidateTopology(const Topology& topo);
+
+/// Flat owner map for a validated topology: block (address >> 16) ->
+/// node index. One array read per route decision.
+[[nodiscard]] std::vector<std::uint16_t> CompileOwners(const Topology& topo);
+
+/// Index of the node with `node_id` in topo.nodes, or -1 when absent
+/// (a node that was rebalanced out still serves, but owns nothing).
+[[nodiscard]] int NodeIndexOf(const Topology& topo, std::uint32_t node_id);
+
+/// CLUSTER_LOOKUP: like BATCH_LOOKUP, but stamped with the client's
+/// topology epoch so a stale shard map is detected before any key is
+/// answered by the wrong node.
+struct ClusterLookupRequest {
+  std::uint64_t epoch = 0;
+  std::vector<net::IpAddress> addresses;  // size <= kMaxBatch
+
+  friend bool operator==(const ClusterLookupRequest&,
+                         const ClusterLookupRequest&) = default;
+};
+
+/// CLUSTER_RESULT: records in request order, answered under `epoch`.
+struct ClusterResult {
+  std::uint64_t epoch = 0;
+  std::vector<LookupRecord> records;
+
+  friend bool operator==(const ClusterResult&, const ClusterResult&) = default;
+};
+
+/// Why a CLUSTER_LOOKUP was redirected instead of answered.
+enum class RedirectReason : std::uint8_t {
+  kStaleEpoch = 1,  // request epoch != the node's current epoch
+  kNotOwner = 2,    // epoch current, but a key belongs to another shard
+};
+
+/// REDIRECT payload: retryable routing miss. The client refreshes its
+/// topology (the replying node's is at least `epoch`) and re-routes.
+struct RedirectReply {
+  RedirectReason reason = RedirectReason::kStaleEpoch;
+  std::uint64_t epoch = 0;  // the replying node's current epoch
+
+  friend bool operator==(const RedirectReply&, const RedirectReply&) = default;
+};
+
+/// CLUSTER_STATS_REPLY: one node's counters plus its full service-time
+/// histogram. Carrying the buckets (not just quantiles) is what lets the
+/// fleet rollup merge latency distributions exactly instead of averaging
+/// percentiles.
+struct ClusterStatsRecord {
+  std::uint64_t epoch = 0;
+  std::uint32_t node_id = 0;
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t lookups_served = 0;
+  std::uint64_t cluster_lookups_served = 0;
+  std::uint64_t ingests_applied = 0;
+  std::uint64_t busy_replies = 0;
+  std::uint64_t errors_sent = 0;
+  std::uint64_t redirects_sent = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t latency_sum_ns = 0;
+  std::array<std::uint64_t, kStatsLatencyBuckets> latency_buckets{};
+
+  friend bool operator==(const ClusterStatsRecord&,
+                         const ClusterStatsRecord&) = default;
+};
+/// Wire size of a CLUSTER_STATS_REPLY payload.
+inline constexpr std::size_t kClusterStatsRecordSize =
+    8 + 4 + 8 * 8 + 8 + 8 * kStatsLatencyBuckets;
+
 [[nodiscard]] std::vector<std::uint8_t> EncodeLookup(const LookupRequest& req);
 [[nodiscard]] Result<LookupRequest> DecodeLookup(const std::uint8_t* data,
                                                  std::size_t size);
@@ -223,5 +353,37 @@ struct ErrorReply {
 [[nodiscard]] std::vector<std::uint8_t> EncodeError(const ErrorReply& error);
 [[nodiscard]] Result<ErrorReply> DecodeError(const std::uint8_t* data,
                                              std::size_t size);
+
+/// Topology is the payload of both TOPOLOGY_REPLY and SET_TOPOLOGY; the
+/// decoder enforces canonical form, so decode(x).ok() implies
+/// encode(decode(x)) == x.
+[[nodiscard]] std::vector<std::uint8_t> EncodeTopology(const Topology& topo);
+[[nodiscard]] Result<Topology> DecodeTopology(const std::uint8_t* data,
+                                              std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeClusterLookup(
+    const ClusterLookupRequest& req);
+[[nodiscard]] Result<ClusterLookupRequest> DecodeClusterLookup(
+    const std::uint8_t* data, std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeClusterResult(
+    const ClusterResult& result);
+[[nodiscard]] Result<ClusterResult> DecodeClusterResult(
+    const std::uint8_t* data, std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeRedirect(
+    const RedirectReply& redirect);
+[[nodiscard]] Result<RedirectReply> DecodeRedirect(const std::uint8_t* data,
+                                                   std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeClusterStats(
+    const ClusterStatsRecord& record);
+[[nodiscard]] Result<ClusterStatsRecord> DecodeClusterStats(
+    const std::uint8_t* data, std::size_t size);
+
+/// SET_TOPOLOGY_ACK payload: the epoch now installed on the node.
+[[nodiscard]] std::vector<std::uint8_t> EncodeTopologyAck(std::uint64_t epoch);
+[[nodiscard]] Result<std::uint64_t> DecodeTopologyAck(const std::uint8_t* data,
+                                                      std::size_t size);
 
 }  // namespace netclust::server

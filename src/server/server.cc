@@ -153,6 +153,74 @@ std::string Server::StatsText() const {
   return metrics_.Exposition() + engine_->MetricsText();
 }
 
+// The wire-level stats record mirrors the engine histogram bucket-for-
+// bucket so a client can merge fleets exactly.
+static_assert(kStatsLatencyBuckets == engine::LatencyHistogram::kBuckets,
+              "ClusterStatsRecord latency buckets must mirror the engine "
+              "histogram layout");
+
+Result<bool> Server::SetTopology(const Topology& topo) {
+  if (config_.cluster_node_id < 0) {
+    return Fail("standalone server cannot install a topology");
+  }
+  auto valid = ValidateTopology(topo);
+  if (!valid.ok()) return Fail(valid.error());
+  auto compiled = std::make_shared<CompiledTopology>();
+  compiled->topo = topo;
+  compiled->owner = CompileOwners(topo);
+  compiled->self_index = NodeIndexOf(
+      topo, static_cast<std::uint32_t>(config_.cluster_node_id));
+  {
+    base::MutexLock lock(&topo_mu_);
+    if (topology_ != nullptr) {
+      if (topo.epoch < topology_->topo.epoch) {
+        return Fail("topology epoch must not regress");
+      }
+      if (topo.epoch == topology_->topo.epoch) {
+        if (topo == topology_->topo) return true;  // idempotent re-push
+        return Fail("conflicting topology at the installed epoch");
+      }
+    }
+    topology_ = std::move(compiled);
+  }
+  metrics_.topology_installs.Inc();
+  return true;
+}
+
+std::optional<Topology> Server::CurrentTopology() const {
+  base::MutexLock lock(&topo_mu_);
+  if (topology_ == nullptr) return std::nullopt;
+  return topology_->topo;
+}
+
+std::shared_ptr<const Server::CompiledTopology> Server::AcquireTopology()
+    const {
+  base::MutexLock lock(&topo_mu_);
+  return topology_;
+}
+
+ClusterStatsRecord Server::BuildClusterStats(
+    const std::shared_ptr<const CompiledTopology>& topo) const {
+  ClusterStatsRecord record;
+  record.epoch = topo != nullptr ? topo->topo.epoch : 0;
+  record.node_id = static_cast<std::uint32_t>(config_.cluster_node_id);
+  record.frames_decoded = metrics_.frames_decoded.value();
+  record.lookups_served = metrics_.lookups_served.value();
+  record.cluster_lookups_served = metrics_.cluster_lookups_served.value();
+  record.ingests_applied = metrics_.ingests_applied.value();
+  record.busy_replies = metrics_.busy_replies.value();
+  record.errors_sent = metrics_.errors_sent.value();
+  record.redirects_sent = metrics_.redirects_sent.value();
+  // order: relaxed — scrape-style read, same contract as the counters.
+  record.connections_active = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, metrics_.connections_active.load(std::memory_order_relaxed)));
+  record.latency_sum_ns = metrics_.lookup_service_ns.sum();
+  for (std::size_t i = 0; i < kStatsLatencyBuckets; ++i) {
+    record.latency_buckets[i] = metrics_.lookup_service_ns.bucket(i);
+  }
+  return record;
+}
+
 void Server::ReaderLoop() {
   constexpr int kMaxEvents = 32;
   epoll_event events[kMaxEvents];
@@ -458,6 +526,120 @@ bool Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
       return SendFrame(
           conn, Opcode::kStatsText,
           std::vector<std::uint8_t>(text.begin(), text.end()));
+    }
+
+    case Opcode::kClusterLookup: {
+      if (config_.cluster_node_id < 0) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kUnsupportedOpcode,
+                         "CLUSTER_LOOKUP requires cluster mode");
+      }
+      auto req =
+          DecodeClusterLookup(frame.payload.data(), frame.payload.size());
+      if (!req.ok()) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload, req.error());
+      }
+      const auto topo = AcquireTopology();
+      if (topo == nullptr) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload,
+                         "no topology installed");
+      }
+      // A redirect is the protocol's "ask again with fresher routing":
+      // never answer for blocks this node does not own at the client's
+      // epoch, or a mid-rebalance client could read a stale shard.
+      if (req.value().epoch != topo->topo.epoch || topo->self_index < 0) {
+        metrics_.redirects_sent.Inc();
+        return SendFrame(conn, Opcode::kRedirect,
+                         EncodeRedirect(RedirectReply{
+                             RedirectReason::kStaleEpoch, topo->topo.epoch}));
+      }
+      const std::vector<net::IpAddress>& addresses = req.value().addresses;
+      for (const net::IpAddress address : addresses) {
+        if (topo->owner[address.bits() >> 16] !=
+            static_cast<std::uint16_t>(topo->self_index)) {
+          metrics_.redirects_sent.Inc();
+          return SendFrame(conn, Opcode::kRedirect,
+                           EncodeRedirect(RedirectReply{
+                               RedirectReason::kNotOwner, topo->topo.epoch}));
+        }
+      }
+      std::vector<std::optional<bgp::PrefixTable::Match>> matches(
+          addresses.size());
+      engine_->LookupBatch(addresses, matches);
+      ClusterResult result;
+      result.epoch = topo->topo.epoch;
+      result.records.reserve(addresses.size());
+      for (const auto& match : matches) {
+        result.records.push_back(LookupRecord::FromMatch(match));
+      }
+      if (!SendFrame(conn, Opcode::kClusterResult,
+                     EncodeClusterResult(result))) {
+        return false;
+      }
+      metrics_.cluster_lookups_served.Inc(result.records.size());
+      metrics_.lookup_service_ns.Record(engine::NowNs() - start_ns);
+      return true;
+    }
+
+    case Opcode::kTopology: {
+      if (config_.cluster_node_id < 0) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kUnsupportedOpcode,
+                         "TOPOLOGY requires cluster mode");
+      }
+      if (!frame.payload.empty()) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload,
+                         "TOPOLOGY takes no payload");
+      }
+      const auto topo = AcquireTopology();
+      if (topo == nullptr) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload,
+                         "no topology installed");
+      }
+      return SendFrame(conn, Opcode::kTopologyReply,
+                       EncodeTopology(topo->topo));
+    }
+
+    case Opcode::kSetTopology: {
+      if (config_.cluster_node_id < 0) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kUnsupportedOpcode,
+                         "SET_TOPOLOGY requires cluster mode");
+      }
+      auto topo = DecodeTopology(frame.payload.data(), frame.payload.size());
+      if (!topo.ok()) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload, topo.error());
+      }
+      auto installed = SetTopology(topo.value());
+      if (!installed.ok()) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload,
+                         installed.error());
+      }
+      return SendFrame(conn, Opcode::kSetTopologyAck,
+                       EncodeTopologyAck(topo.value().epoch));
+    }
+
+    case Opcode::kClusterStats: {
+      if (config_.cluster_node_id < 0) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kUnsupportedOpcode,
+                         "CLUSTER_STATS requires cluster mode");
+      }
+      if (!frame.payload.empty()) {
+        metrics_.frames_rejected.Inc();
+        return SendError(conn, ErrorCode::kMalformedPayload,
+                         "CLUSTER_STATS takes no payload");
+      }
+      const ClusterStatsRecord record = BuildClusterStats(AcquireTopology());
+      metrics_.cluster_stats_served.Inc();
+      return SendFrame(conn, Opcode::kClusterStatsReply,
+                       EncodeClusterStats(record));
     }
 
     default: {

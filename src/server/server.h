@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -70,6 +71,9 @@ struct ServerConfig {
   /// INGEST_UPDATE frames; others get a malformed-payload ERROR. The
   /// daemon sets this to the number of sources it registered.
   int source_count = 0;
+  /// This node's cluster id, or < 0 for standalone mode. Standalone
+  /// servers answer cluster opcodes with an unsupported-opcode ERROR.
+  std::int64_t cluster_node_id = -1;
 };
 
 class Server {
@@ -99,7 +103,27 @@ class Server {
   /// Plain-text STATS body: server exposition + engine exposition.
   [[nodiscard]] std::string StatsText() const;
 
+  /// Installs `topo` as the routing truth for cluster dispatch. Requires
+  /// cluster mode (cluster_node_id >= 0) and an epoch strictly newer than
+  /// the installed one (equal epoch + identical topology is an idempotent
+  /// no-op). This node may be absent from `topo` — a drained node keeps
+  /// serving REDIRECTs so stragglers learn the new epoch. Thread-safe;
+  /// also reachable over the wire via SET_TOPOLOGY.
+  [[nodiscard]] Result<bool> SetTopology(const Topology& topo);
+
+  /// The installed topology, or an empty optional before the first
+  /// SetTopology(). Thread-safe.
+  [[nodiscard]] std::optional<Topology> CurrentTopology() const;
+
  private:
+  /// An installed topology plus its per-/16-block owner map, published as
+  /// an immutable snapshot so cluster frames take one shared_ptr copy
+  /// instead of holding topo_mu_ across engine lookups.
+  struct CompiledTopology {
+    Topology topo;
+    std::vector<std::uint16_t> owner;  // kShardBlockCount entries
+    int self_index = -1;               // this node's index, -1 if absent
+  };
   /// One accepted connection. Owned by connections_; serviced by at most
   /// one reader at a time (EPOLLONESHOT).
   struct Connection {
@@ -171,9 +195,19 @@ class Server {
   std::atomic<bool> stopping_{false};
   bool serving_ = false;  // main-thread lifecycle flag (Serve()/Stop())
 
+  /// Current compiled topology under topo_mu_; null until SetTopology().
+  [[nodiscard]] std::shared_ptr<const CompiledTopology> AcquireTopology() const;
+
+  /// Snapshot of this node's counters for a CLUSTER_STATS rollup.
+  [[nodiscard]] ClusterStatsRecord BuildClusterStats(
+      const std::shared_ptr<const CompiledTopology>& topo) const;
+
   base::Mutex conn_mu_;
   std::unordered_map<int, std::shared_ptr<Connection>> connections_
       GUARDED_BY(conn_mu_);
+
+  mutable base::Mutex topo_mu_;
+  std::shared_ptr<const CompiledTopology> topology_ GUARDED_BY(topo_mu_);
 
   base::Mutex ingest_mu_;
   base::CondVar ingest_cv_;

@@ -1,0 +1,239 @@
+// Partitioner invariants: rendezvous determinism and balance, prefix-
+// boundary alignment, minimal movement across join/leave rebalances, and
+// the topology codec's canonical-form validation.
+#include "cluster/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "server/proto.h"
+
+namespace netclust::cluster {
+namespace {
+
+server::NodeInfo Node(std::uint32_t id, std::uint16_t port) {
+  return server::NodeInfo{id, net::IpAddress(127, 0, 0, 1), port};
+}
+
+std::vector<server::NodeInfo> Fleet3() {
+  return {Node(1, 4730), Node(2, 4731), Node(3, 4732)};
+}
+
+net::Prefix P(const char* text) {
+  return net::Prefix::Parse(text).value();
+}
+
+TEST(RendezvousScore, DeterministicAndSpread) {
+  EXPECT_EQ(RendezvousScore(42, 7), RendezvousScore(42, 7));
+  EXPECT_NE(RendezvousScore(42, 7), RendezvousScore(42, 8));
+  EXPECT_NE(RendezvousScore(42, 7), RendezvousScore(43, 7));
+}
+
+TEST(BuildTopology, CoversEveryBlockAndValidates) {
+  const auto topo = BuildTopology(1, Fleet3(), {});
+  ASSERT_TRUE(topo.ok()) << topo.error();
+  EXPECT_EQ(topo.value().epoch, 1u);
+  EXPECT_EQ(topo.value().nodes.size(), 3u);
+  EXPECT_TRUE(server::ValidateTopology(topo.value()).ok());
+  const auto owner = server::CompileOwners(topo.value());
+  ASSERT_EQ(owner.size(), server::kShardBlockCount);
+}
+
+TEST(BuildTopology, RoughlyBalancedWithoutPrefixes) {
+  const auto topo = BuildTopology(1, Fleet3(), {});
+  ASSERT_TRUE(topo.ok());
+  const auto owner = server::CompileOwners(topo.value());
+  std::map<std::uint16_t, std::uint32_t> counts;
+  for (const std::uint16_t o : owner) ++counts[o];
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [index, count] : counts) {
+    // Rendezvous over 65536 blocks: each of 3 nodes lands well within
+    // ±20% of the fair share (~21845).
+    EXPECT_GT(count, server::kShardBlockCount / 3 * 4 / 5) << index;
+    EXPECT_LT(count, server::kShardBlockCount / 3 * 6 / 5) << index;
+  }
+}
+
+TEST(BuildTopology, WidePrefixNeverStraddlesShards) {
+  const std::vector<net::Prefix> prefixes = {
+      P("10.0.0.0/8"), P("12.64.0.0/12"), P("151.198.0.0/16"),
+      P("151.198.192.0/18")};
+  const auto topo = BuildTopology(1, Fleet3(), prefixes);
+  ASSERT_TRUE(topo.ok()) << topo.error();
+  const auto owner = server::CompileOwners(topo.value());
+  for (const net::Prefix& prefix : prefixes) {
+    if (prefix.length() >= 16) continue;  // single block by construction
+    const std::uint32_t first = prefix.network().bits() >> 16;
+    const std::uint32_t count = 1u << (16 - prefix.length());
+    for (std::uint32_t b = 1; b < count; ++b) {
+      EXPECT_EQ(owner[first + b], owner[first])
+          << prefix.ToString() << " straddles a shard edge at block "
+          << first + b;
+    }
+  }
+}
+
+TEST(BuildTopology, NestedWidePrefixRepaintsItsOwnSpan) {
+  // The /12 nests inside the /8: each must be single-owner over its span
+  // (the /12 may differ from the /8 — its region is more specific).
+  const std::vector<net::Prefix> prefixes = {P("16.0.0.0/8"),
+                                             P("16.16.0.0/12")};
+  const auto topo = BuildTopology(1, Fleet3(), prefixes);
+  ASSERT_TRUE(topo.ok());
+  const auto owner = server::CompileOwners(topo.value());
+  const std::uint32_t eight_first = 16u << 8;   // 16.0.0.0 >> 16
+  const std::uint32_t twelve_first = (16u << 8) | 16u;
+  const std::uint16_t twelve_owner = owner[twelve_first];
+  for (std::uint32_t b = 0; b < 16; ++b) {
+    EXPECT_EQ(owner[twelve_first + b], twelve_owner);
+  }
+  // Blocks of the /8 outside the /12 all share the /8's owner.
+  const std::uint16_t eight_owner = owner[eight_first];
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    const std::uint32_t block = eight_first + b;
+    if (block >= twelve_first && block < twelve_first + 16) continue;
+    EXPECT_EQ(owner[block], eight_owner);
+  }
+}
+
+TEST(BuildTopology, RejectsDuplicateIdsAndEmptyFleet) {
+  EXPECT_FALSE(BuildTopology(1, {}, {}).ok());
+  EXPECT_FALSE(BuildTopology(1, {Node(1, 1), Node(1, 2)}, {}).ok());
+}
+
+TEST(RebalanceAfterLeave, OnlyDepartedRangesMove) {
+  const auto before = BuildTopology(1, Fleet3(), {P("10.0.0.0/8")});
+  ASSERT_TRUE(before.ok());
+  const auto after = RebalanceAfterLeave(before.value(), 2);
+  ASSERT_TRUE(after.ok()) << after.error();
+  EXPECT_EQ(after.value().epoch, 2u);
+  EXPECT_EQ(after.value().nodes.size(), 2u);
+  EXPECT_TRUE(server::ValidateTopology(after.value()).ok());
+
+  // Every block that node 1 or node 3 owned before still belongs to the
+  // same node id after the rebalance.
+  const auto owner_before = server::CompileOwners(before.value());
+  const auto owner_after = server::CompileOwners(after.value());
+  for (std::uint32_t b = 0; b < server::kShardBlockCount; ++b) {
+    const std::uint32_t id_before =
+        before.value().nodes[owner_before[b]].id;
+    const std::uint32_t id_after = after.value().nodes[owner_after[b]].id;
+    if (id_before != 2) {
+      EXPECT_EQ(id_after, id_before) << "surviving block " << b << " moved";
+    } else {
+      EXPECT_NE(id_after, 2u) << "block " << b << " stuck on departed node";
+    }
+  }
+  // Movement is bounded by the departed node's share (~1/3 + slack).
+  EXPECT_LT(MovedBlockFraction(before.value(), after.value()), 0.45);
+}
+
+TEST(RebalanceAfterLeave, RejectsUnknownAndLastNode) {
+  const auto topo = BuildTopology(1, Fleet3(), {});
+  ASSERT_TRUE(topo.ok());
+  EXPECT_FALSE(RebalanceAfterLeave(topo.value(), 99).ok());
+  const auto solo = BuildTopology(1, {Node(7, 1)}, {});
+  ASSERT_TRUE(solo.ok());
+  EXPECT_FALSE(RebalanceAfterLeave(solo.value(), 7).ok());
+}
+
+TEST(RebalanceAfterJoin, MovesOnlyWhatTheNewNodeWins) {
+  const auto before = BuildTopology(1, {Node(1, 1), Node(2, 2)}, {});
+  ASSERT_TRUE(before.ok());
+  const auto after = RebalanceAfterJoin(before.value(), Node(3, 3));
+  ASSERT_TRUE(after.ok()) << after.error();
+  EXPECT_EQ(after.value().epoch, 2u);
+  EXPECT_EQ(after.value().nodes.size(), 3u);
+  EXPECT_TRUE(server::ValidateTopology(after.value()).ok());
+
+  const auto owner_before = server::CompileOwners(before.value());
+  const auto owner_after = server::CompileOwners(after.value());
+  std::uint32_t gained = 0;
+  for (std::uint32_t b = 0; b < server::kShardBlockCount; ++b) {
+    const std::uint32_t id_before =
+        before.value().nodes[owner_before[b]].id;
+    const std::uint32_t id_after = after.value().nodes[owner_after[b]].id;
+    if (id_after == 3) {
+      ++gained;
+    } else {
+      EXPECT_EQ(id_after, id_before)
+          << "block " << b << " moved between survivors";
+    }
+  }
+  EXPECT_GT(gained, 0u);
+  // The newcomer takes roughly a third, never the majority.
+  EXPECT_LT(MovedBlockFraction(before.value(), after.value()), 0.5);
+}
+
+TEST(RebalanceAfterJoin, RejectsDuplicateMember) {
+  const auto topo = BuildTopology(1, Fleet3(), {});
+  ASSERT_TRUE(topo.ok());
+  EXPECT_FALSE(RebalanceAfterJoin(topo.value(), Node(2, 99)).ok());
+}
+
+TEST(RebalanceRoundtrip, LeaveThenRejoinRestoresMostOwnership) {
+  const auto start = BuildTopology(1, Fleet3(), {});
+  ASSERT_TRUE(start.ok());
+  const auto left = RebalanceAfterLeave(start.value(), 3);
+  ASSERT_TRUE(left.ok());
+  const auto back = RebalanceAfterJoin(left.value(), Node(3, 4732));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().epoch, 3u);
+  // Rendezvous is history-independent per block, so a leave+rejoin puts
+  // node 3 back on most of the blocks it originally won. The drift stays
+  // below the departed share (~1/3): rebalances move whole ranges, so a
+  // merged range only follows the joiner when its first block does.
+  EXPECT_LT(MovedBlockFraction(start.value(), back.value()), 0.33);
+}
+
+TEST(TopologyCodec, RoundTripsCanonicalForm) {
+  const auto topo = BuildTopology(5, Fleet3(), {P("10.0.0.0/8")});
+  ASSERT_TRUE(topo.ok());
+  const std::vector<std::uint8_t> wire = server::EncodeTopology(topo.value());
+  const auto decoded = server::DecodeTopology(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), topo.value());
+  EXPECT_EQ(server::EncodeTopology(decoded.value()), wire);
+}
+
+TEST(TopologyCodec, RejectsNonCanonicalForms) {
+  auto base = BuildTopology(1, Fleet3(), {}).value();
+
+  server::Topology gap = base;
+  gap.ranges.back().block_count -= 1;
+  auto wire = server::EncodeTopology(gap);
+  EXPECT_FALSE(server::DecodeTopology(wire.data(), wire.size()).ok());
+
+  server::Topology bad_index = base;
+  bad_index.ranges.front().node_index = 40;
+  wire = server::EncodeTopology(bad_index);
+  EXPECT_FALSE(server::DecodeTopology(wire.data(), wire.size()).ok());
+
+  server::Topology unsorted_nodes = base;
+  std::swap(unsorted_nodes.nodes[0], unsorted_nodes.nodes[1]);
+  wire = server::EncodeTopology(unsorted_nodes);
+  EXPECT_FALSE(server::DecodeTopology(wire.data(), wire.size()).ok());
+
+  // Adjacent same-owner ranges must be pre-merged.
+  server::Topology split = base;
+  ASSERT_GT(split.ranges.front().block_count, 1u);
+  server::ShardRange tail = split.ranges.front();
+  split.ranges.front().block_count = 1;
+  tail.first_block += 1;
+  tail.block_count -= 1;
+  split.ranges.insert(split.ranges.begin() + 1, tail);
+  wire = server::EncodeTopology(split);
+  EXPECT_FALSE(server::DecodeTopology(wire.data(), wire.size()).ok());
+
+  // Truncation anywhere must be rejected, never crash.
+  wire = server::EncodeTopology(base);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(server::DecodeTopology(wire.data(), cut).ok());
+  }
+}
+
+}  // namespace
+}  // namespace netclust::cluster

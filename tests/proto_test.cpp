@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bgp/update.h"
@@ -293,6 +294,233 @@ TEST(ErrorCodec, RoundTripsAndBoundsTheCode) {
   bad[0] = 5;
   EXPECT_FALSE(DecodeError(bad.data(), bad.size()).ok());
   EXPECT_FALSE(DecodeError(bad.data(), 0).ok());
+}
+
+// --- cluster-mode codecs ---
+
+Topology SmallTopology() {
+  Topology topo;
+  topo.epoch = 3;
+  topo.nodes = {NodeInfo{1, IpAddress(127, 0, 0, 1), 4730},
+                NodeInfo{2, IpAddress(127, 0, 0, 1), 4731},
+                NodeInfo{5, IpAddress(10, 0, 0, 9), 4732}};
+  topo.ranges = {ShardRange{0, 20'000, 0}, ShardRange{20'000, 30'000, 2},
+                 ShardRange{50'000, kShardBlockCount - 50'000, 1}};
+  return topo;
+}
+
+TEST(TopologyCodec, EncodesTheDocumentedLayout) {
+  const Topology topo = SmallTopology();
+  const std::vector<std::uint8_t> wire = EncodeTopology(topo);
+  // u64 epoch + u16 node count + 3 x (u32 id, u32 host, u16 port)
+  // + u32 range count + 3 x (u32 first, u32 count, u16 node_index).
+  ASSERT_EQ(wire.size(), 8u + 2 + 3 * 10 + 4 + 3 * 10);
+  EXPECT_EQ(GetU64(wire.data()), 3u);
+  EXPECT_EQ(GetU16(wire.data() + 8), 3u);
+  EXPECT_EQ(GetU32(wire.data() + 10), 1u);          // first node id
+  EXPECT_EQ(GetU32(wire.data() + 14), 0x7F000001u); // 127.0.0.1
+  EXPECT_EQ(GetU16(wire.data() + 18), 4730u);
+  EXPECT_EQ(GetU32(wire.data() + 40), 3u);          // range count
+  EXPECT_EQ(GetU32(wire.data() + 44), 0u);          // first range start
+  EXPECT_EQ(GetU16(wire.data() + 52), 0u);          // first range owner
+
+  const Result<Topology> decoded = DecodeTopology(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), topo);
+  EXPECT_EQ(EncodeTopology(decoded.value()), wire);
+}
+
+TEST(TopologyCodec, DecoderEnforcesCanonicalForm) {
+  // A coverage gap.
+  Topology gap = SmallTopology();
+  gap.ranges[1].block_count -= 1;
+  auto wire = EncodeTopology(gap);
+  EXPECT_FALSE(DecodeTopology(wire.data(), wire.size()).ok());
+
+  // An overlap.
+  Topology overlap = SmallTopology();
+  overlap.ranges[1].first_block -= 1;
+  overlap.ranges[1].block_count += 1;
+  wire = EncodeTopology(overlap);
+  EXPECT_FALSE(DecodeTopology(wire.data(), wire.size()).ok());
+
+  // Node ids must be strictly increasing.
+  Topology unsorted = SmallTopology();
+  std::swap(unsorted.nodes[0], unsorted.nodes[2]);
+  wire = EncodeTopology(unsorted);
+  EXPECT_FALSE(DecodeTopology(wire.data(), wire.size()).ok());
+
+  // A range pointing past the node table.
+  Topology dangling = SmallTopology();
+  dangling.ranges[0].node_index = 3;
+  wire = EncodeTopology(dangling);
+  EXPECT_FALSE(DecodeTopology(wire.data(), wire.size()).ok());
+
+  // Adjacent ranges with the same owner must have been merged.
+  Topology unmerged = SmallTopology();
+  unmerged.ranges[1].node_index = 0;
+  wire = EncodeTopology(unmerged);
+  EXPECT_FALSE(DecodeTopology(wire.data(), wire.size()).ok());
+
+  // An empty range.
+  Topology empty_range = SmallTopology();
+  empty_range.ranges[0].first_block = 20'000;
+  empty_range.ranges[0].block_count = 0;
+  wire = EncodeTopology(empty_range);
+  EXPECT_FALSE(DecodeTopology(wire.data(), wire.size()).ok());
+
+  // No nodes at all.
+  Topology no_nodes = SmallTopology();
+  no_nodes.nodes.clear();
+  no_nodes.ranges.clear();
+  wire = EncodeTopology(no_nodes);
+  EXPECT_FALSE(DecodeTopology(wire.data(), wire.size()).ok());
+
+  // Every truncation is rejected cleanly.
+  wire = EncodeTopology(SmallTopology());
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(DecodeTopology(wire.data(), cut).ok()) << "cut " << cut;
+  }
+}
+
+TEST(CompiledOwners, ExpandRangesAndResolveNodeIds) {
+  const Topology topo = SmallTopology();
+  const std::vector<std::uint16_t> owner = CompileOwners(topo);
+  ASSERT_EQ(owner.size(), kShardBlockCount);
+  EXPECT_EQ(owner[0], 0);
+  EXPECT_EQ(owner[19'999], 0);
+  EXPECT_EQ(owner[20'000], 2);
+  EXPECT_EQ(owner[49'999], 2);
+  EXPECT_EQ(owner[50'000], 1);
+  EXPECT_EQ(owner[kShardBlockCount - 1], 1);
+
+  EXPECT_EQ(NodeIndexOf(topo, 1), 0);
+  EXPECT_EQ(NodeIndexOf(topo, 5), 2);
+  EXPECT_EQ(NodeIndexOf(topo, 4), -1);
+}
+
+TEST(ClusterLookupCodec, RoundTripsAndBoundsTheCount) {
+  ClusterLookupRequest req;
+  req.epoch = 9;
+  req.addresses = {IpAddress(10, 1, 2, 3), IpAddress(151, 198, 200, 40)};
+  const std::vector<std::uint8_t> wire = EncodeClusterLookup(req);
+  ASSERT_EQ(wire.size(), 8u + 4 + 2 * 4);
+  EXPECT_EQ(GetU64(wire.data()), 9u);
+  EXPECT_EQ(GetU32(wire.data() + 8), 2u);
+  EXPECT_EQ(GetU32(wire.data() + 12), IpAddress(10, 1, 2, 3).bits());
+
+  const auto decoded = DecodeClusterLookup(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), req);
+  EXPECT_EQ(EncodeClusterLookup(decoded.value()), wire);
+
+  // Count and length must agree.
+  std::vector<std::uint8_t> lying = wire;
+  lying.push_back(0);
+  EXPECT_FALSE(DecodeClusterLookup(lying.data(), lying.size()).ok());
+  std::vector<std::uint8_t> overcount;
+  PutU64(&overcount, 1);
+  PutU32(&overcount, kMaxBatch + 1);
+  for (std::uint32_t i = 0; i < kMaxBatch + 1; ++i) PutU32(&overcount, i);
+  EXPECT_FALSE(DecodeClusterLookup(overcount.data(), overcount.size()).ok());
+}
+
+TEST(ClusterResultCodec, RoundTripsRecordsUnderTheEpoch) {
+  ClusterResult result;
+  result.epoch = 9;
+  LookupRecord found;
+  found.found = true;
+  found.prefix = P("151.198.192.0/18");
+  found.kind = bgp::SourceKind::kBgpTable;
+  found.origin_as = 1742;
+  found.source_mask = 0x3;
+  result.records = {found, LookupRecord{}};
+  const std::vector<std::uint8_t> wire = EncodeClusterResult(result);
+  ASSERT_EQ(wire.size(), 8u + 4 + 2 * kLookupRecordSize);
+  const auto decoded = DecodeClusterResult(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), result);
+  EXPECT_EQ(EncodeClusterResult(decoded.value()), wire);
+
+  // Record canonical form is enforced through the embedded decoder: a
+  // miss with a nonzero field is rejected.
+  std::vector<std::uint8_t> tainted = wire;
+  tainted[8 + 4 + kLookupRecordSize + 9] = 1;  // second record, origin byte
+  EXPECT_FALSE(DecodeClusterResult(tainted.data(), tainted.size()).ok());
+}
+
+TEST(RedirectCodec, RoundTripsBothReasonsAndRejectsOthers) {
+  for (const RedirectReason reason :
+       {RedirectReason::kStaleEpoch, RedirectReason::kNotOwner}) {
+    RedirectReply redirect;
+    redirect.reason = reason;
+    redirect.epoch = 77;
+    const std::vector<std::uint8_t> wire = EncodeRedirect(redirect);
+    ASSERT_EQ(wire.size(), 9u);
+    EXPECT_EQ(wire[0], static_cast<std::uint8_t>(reason));
+    EXPECT_EQ(GetU64(wire.data() + 1), 77u);
+    const auto decoded = DecodeRedirect(wire.data(), wire.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.error();
+    EXPECT_EQ(decoded.value(), redirect);
+  }
+  const auto bad_reason = Bytes({0, 0, 0, 0, 0, 0, 0, 0, 77});
+  EXPECT_FALSE(DecodeRedirect(bad_reason.data(), bad_reason.size()).ok());
+  const auto short_frame = Bytes({1, 0, 0, 0});
+  EXPECT_FALSE(DecodeRedirect(short_frame.data(), short_frame.size()).ok());
+}
+
+TEST(ClusterStatsCodec, RoundTripsTheFixedRecord) {
+  ClusterStatsRecord record;
+  record.epoch = 4;
+  record.node_id = 2;
+  record.frames_decoded = 100;
+  record.lookups_served = 90;
+  record.cluster_lookups_served = 80;
+  record.ingests_applied = 7;
+  record.busy_replies = 3;
+  record.errors_sent = 1;
+  record.redirects_sent = 5;
+  record.connections_active = 6;
+  record.latency_sum_ns = 123'456;
+  for (std::size_t i = 0; i < kStatsLatencyBuckets; ++i) {
+    record.latency_buckets[i] = i * i;
+  }
+  const std::vector<std::uint8_t> wire = EncodeClusterStats(record);
+  ASSERT_EQ(wire.size(), kClusterStatsRecordSize);
+  const auto decoded = DecodeClusterStats(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), record);
+  EXPECT_EQ(EncodeClusterStats(decoded.value()), wire);
+  // The record is fixed-size: anything else is rejected.
+  EXPECT_FALSE(DecodeClusterStats(wire.data(), wire.size() - 1).ok());
+  std::vector<std::uint8_t> longer = wire;
+  longer.push_back(0);
+  EXPECT_FALSE(DecodeClusterStats(longer.data(), longer.size()).ok());
+}
+
+TEST(TopologyAckCodec, RoundTripsTheEpoch) {
+  const std::vector<std::uint8_t> wire = EncodeTopologyAck(12);
+  ASSERT_EQ(wire.size(), 8u);
+  EXPECT_EQ(GetU64(wire.data()), 12u);
+  const auto decoded = DecodeTopologyAck(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), 12u);
+  EXPECT_FALSE(DecodeTopologyAck(wire.data(), 7).ok());
+}
+
+TEST(ClusterOpcodes, AreKnownAndClassified) {
+  for (const Opcode request : {Opcode::kClusterLookup, Opcode::kTopology,
+                               Opcode::kSetTopology, Opcode::kClusterStats}) {
+    EXPECT_TRUE(IsKnownOpcode(static_cast<std::uint8_t>(request)));
+    EXPECT_TRUE(IsRequestOpcode(request));
+  }
+  for (const Opcode response :
+       {Opcode::kClusterResult, Opcode::kTopologyReply,
+        Opcode::kSetTopologyAck, Opcode::kClusterStatsReply,
+        Opcode::kRedirect}) {
+    EXPECT_TRUE(IsKnownOpcode(static_cast<std::uint8_t>(response)));
+    EXPECT_FALSE(IsRequestOpcode(response));
+  }
 }
 
 }  // namespace

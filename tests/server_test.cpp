@@ -14,9 +14,14 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bgp/update.h"
@@ -299,6 +304,140 @@ TEST_F(ServerTest, StopDrainsGracefullyWithClientsConnected) {
   // And the old connection is gone (EOF or reset, surfaced as an error).
   EXPECT_FALSE(client.Ping().ok());
   server_.reset();
+}
+
+TEST(BusyBackoff, CapsExponentAndJittersWithinBounds) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 200;
+  policy.max_backoff_us = 50'000;
+  std::uint64_t rng = 1;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    // The ceiling doubles per attempt and saturates at max_backoff_us;
+    // jitter keeps every draw inside [ceiling/2, ceiling].
+    std::uint64_t ceiling = policy.base_backoff_us;
+    for (int i = 0; i < attempt && ceiling < policy.max_backoff_us; ++i) {
+      ceiling *= 2;
+    }
+    ceiling = std::min(ceiling, policy.max_backoff_us);
+    for (int draw = 0; draw < 32; ++draw) {
+      const std::uint64_t us = Client::BusyBackoffUs(policy, attempt, &rng);
+      EXPECT_GE(us, ceiling / 2) << "attempt " << attempt;
+      EXPECT_LE(us, ceiling) << "attempt " << attempt;
+    }
+  }
+  // Same seed, same schedule: the jitter is deterministic per stream.
+  std::uint64_t a = 42;
+  std::uint64_t b = 42;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(Client::BusyBackoffUs(policy, attempt, &a),
+              Client::BusyBackoffUs(policy, attempt, &b));
+  }
+  // Degenerate policy: zero backoff means "retry immediately", no jitter.
+  RetryPolicy tiny;
+  tiny.base_backoff_us = 0;
+  tiny.max_backoff_us = 0;
+  std::uint64_t r = 7;
+  EXPECT_EQ(Client::BusyBackoffUs(tiny, 3, &r), 0u);
+}
+
+TEST(ClientBusyRetry, AbsorbsBusyRepliesAndSucceedsOnTheSameConnection) {
+  // A scripted server that answers BUSY twice and then a real result —
+  // backpressure the client must ride out without surfacing an error.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  std::thread backpressured([listener] {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) return;
+    for (int frame = 0;; ++frame) {
+      std::uint8_t header[kHeaderSize];
+      const auto got = ReadFull(conn, header, kHeaderSize, 2'000);
+      if (!got.ok() || got.value() != IoStatus::kOk) break;
+      const auto decoded = DecodeFrameHeader(header, kHeaderSize);
+      if (!decoded.ok()) break;
+      std::vector<std::uint8_t> payload(decoded.value().payload_size);
+      if (!payload.empty() &&
+          !ReadFull(conn, payload.data(), payload.size(), 2'000).ok()) {
+        break;
+      }
+      const std::vector<std::uint8_t> reply =
+          frame < 2 ? EncodeFrame(Opcode::kBusy, {})
+                    : EncodeFrame(Opcode::kLookupResult,
+                                  EncodeLookupRecord(LookupRecord{}));
+      if (!WriteFull(conn, reply.data(), reply.size(), 2'000).ok()) break;
+      if (frame >= 2) break;
+    }
+    CloseFd(conn);
+  });
+
+  Result<Client> client = Client::Connect("127.0.0.1", port, 2'000);
+  ASSERT_TRUE(client.ok()) << client.error();
+  RetryPolicy policy;
+  policy.busy_retries = 8;
+  policy.base_backoff_us = 1;
+  policy.max_backoff_us = 8;
+  client.value().set_retry_policy(policy);
+  const Result<LookupRecord> got =
+      client.value().Lookup(IpAddress(10, 0, 0, 1));
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_FALSE(got.value().found);
+  EXPECT_EQ(client.value().busy_absorbed(), 2u);
+  backpressured.join();
+  CloseFd(listener);
+}
+
+TEST_F(ServerTest, BusyBudgetExhaustionSurfacesTheRetryableError) {
+  ServerConfig config;
+  config.max_inflight_frames = 0;  // every data frame draws BUSY
+  const std::uint16_t port = Serve(config);
+  Client client = ConnectOrDie(port);
+  RetryPolicy policy;
+  policy.busy_retries = 3;
+  policy.base_backoff_us = 1;
+  policy.max_backoff_us = 4;
+  client.set_retry_policy(policy);
+
+  const Result<LookupRecord> got = client.Lookup(IpAddress(10, 0, 0, 1));
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(Client::IsBusy(got.error())) << got.error();
+  EXPECT_EQ(client.busy_absorbed(), 3u);
+  // Budget spent = initial try + 3 retries, every one answered BUSY.
+  EXPECT_GE(server_->metrics().busy_replies.value(), 4u);
+}
+
+TEST_F(ServerTest, BatchLookupSplitsTransparentlyAboveKMaxBatch) {
+  const std::uint16_t port = Serve();
+  Client client = ConnectOrDie(port);
+
+  std::vector<IpAddress> addresses;
+  addresses.reserve(kMaxBatch + 1);
+  for (std::uint32_t i = 0; i < kMaxBatch + 1; ++i) {
+    addresses.emplace_back((10u << 24) | i);  // all inside 10.0.0.0/8
+  }
+  addresses.back() = IpAddress(151, 198, 200, 40);  // tail chunk: /18 hit
+
+  const Result<std::vector<LookupRecord>> got =
+      client.BatchLookup(addresses);
+  ASSERT_TRUE(got.ok()) << got.error();
+  ASSERT_EQ(got.value().size(), static_cast<std::size_t>(kMaxBatch) + 1);
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    ASSERT_EQ(got.value()[i],
+              LookupRecord::FromMatch(engine_->Lookup(addresses[i])))
+        << "split batch diverged at position " << i;
+  }
+  EXPECT_TRUE(got.value().back().found);
+  EXPECT_EQ(got.value().back().prefix, P("151.198.192.0/18"));
 }
 
 TEST_F(ServerTest, LoadGeneratorSmokeOverConcurrentConnections) {

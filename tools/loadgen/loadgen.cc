@@ -6,7 +6,9 @@
 #include <fstream>
 #include <mutex>
 #include <thread>
+#include <utility>
 
+#include "cluster/cluster_client.h"
 #include "engine/metrics.h"
 #include "server/client.h"
 #include "server/metrics.h"
@@ -28,6 +30,7 @@ struct SharedState {
   std::atomic<std::size_t> lookups{0};
   std::atomic<std::size_t> found{0};
   std::atomic<std::size_t> busy{0};
+  std::atomic<std::size_t> redirects{0};
   std::atomic<std::size_t> errors{0};
   std::mutex error_mu;
   std::string first_error;
@@ -104,10 +107,117 @@ void Worker(const Options& options, int index, std::size_t budget,
       }
     }
     if (!done) {
+      state->busy.fetch_add(conn.busy_absorbed());
       state->RecordError("BUSY retry budget exhausted");
       return;
     }
   }
+  // Fold in the BUSY responses the client's internal backoff absorbed, so
+  // the report still counts every backpressure event.
+  state->busy.fetch_add(conn.busy_absorbed());
+}
+
+/// "host:port" -> (dotted-quad host, port).
+Result<std::pair<std::string, std::uint16_t>> ParseEndpoint(
+    const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size()) {
+    return Fail("endpoint wants host:port, got '" + text + "'");
+  }
+  const int port = std::atoi(text.c_str() + colon + 1);
+  if (port <= 0 || port > 0xFFFF) {
+    return Fail("endpoint port out of range in '" + text + "'");
+  }
+  return std::make_pair(text.substr(0, colon),
+                        static_cast<std::uint16_t>(port));
+}
+
+/// Fetches the fleet topology from the first endpoint that answers.
+Result<server::Topology> FetchFleetTopology(const Options& options) {
+  std::string last_error = "no endpoints";
+  for (const std::string& endpoint : options.endpoints) {
+    auto parsed = ParseEndpoint(endpoint);
+    if (!parsed.ok()) return Fail(parsed.error());
+    auto client = server::Client::Connect(
+        parsed.value().first, parsed.value().second, options.timeout_ms);
+    if (!client.ok()) {
+      last_error = client.error();
+      continue;
+    }
+    server::Client conn = std::move(client).value();
+    auto topo = conn.FetchTopology();
+    if (!topo.ok()) {
+      last_error = topo.error();
+      continue;
+    }
+    return topo;
+  }
+  return Fail("no endpoint served a topology: " + last_error);
+}
+
+/// Fleet-mode worker: same replay loop, but every frame routes through a
+/// topology-aware ClusterClient instead of one pinned connection.
+void ClusterWorker(const Options& options, const server::Topology& topo,
+                   int index, std::size_t budget, SharedState* state) {
+  cluster::ClusterClientConfig config;
+  config.timeout_ms = options.timeout_ms;
+  auto created = cluster::ClusterClient::Create(topo, config);
+  if (!created.ok()) {
+    state->RecordError("cluster client: " + created.error());
+    return;
+  }
+  cluster::ClusterClient fleet = std::move(created).value();
+
+  const std::vector<net::IpAddress>& addresses = options.addresses;
+  std::size_t cursor = static_cast<std::size_t>(index) % addresses.size();
+  std::vector<net::IpAddress> batch;
+  batch.reserve(options.batch_size);
+
+  for (std::size_t f = 0; f < budget; ++f) {
+    batch.clear();
+    for (std::size_t b = 0; b < options.batch_size; ++b) {
+      batch.push_back(addresses[cursor]);
+      cursor = (cursor + 1) % addresses.size();
+    }
+
+    const std::uint64_t start = engine::NowNs();
+    std::size_t answered = 0;
+    std::size_t matched = 0;
+    std::string error;
+    if (options.batch_size == 1) {
+      auto record = fleet.Lookup(batch[0]);
+      if (record.ok()) {
+        answered = 1;
+        matched = record.value().found ? 1 : 0;
+      } else {
+        error = record.error();
+      }
+    } else {
+      auto records = fleet.BatchLookup(batch);
+      if (records.ok()) {
+        answered = records.value().size();
+        for (const server::LookupRecord& r : records.value()) {
+          if (r.found) ++matched;
+        }
+      } else {
+        error = records.error();
+      }
+    }
+    if (!error.empty()) {
+      // The ClusterClient already retried through redirects and node
+      // failures; a surviving error ends this worker.
+      state->busy.fetch_add(fleet.busy_absorbed());
+      state->redirects.fetch_add(fleet.redirects_followed());
+      state->RecordError(error);
+      return;
+    }
+    state->latency.Record(engine::NowNs() - start);
+    state->frames.fetch_add(1);
+    state->lookups.fetch_add(answered);
+    state->found.fetch_add(matched);
+  }
+  state->busy.fetch_add(fleet.busy_absorbed());
+  state->redirects.fetch_add(fleet.redirects_followed());
 }
 
 }  // namespace
@@ -118,10 +228,12 @@ std::string Report::ToJson() const {
       buffer, sizeof(buffer),
       "{\"qps\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
       "\"frames\": %zu, \"lookups\": %zu, \"found\": %zu, "
-      "\"busy_retries\": %zu, \"errors\": %zu, \"elapsed_ms\": %.1f}",
+      "\"busy_retries\": %zu, \"redirects\": %zu, \"errors\": %zu, "
+      "\"elapsed_ms\": %.1f}",
       qps, static_cast<double>(p50_ns) / 1e3,
       static_cast<double>(p99_ns) / 1e3, frames_sent, lookups_done, found,
-      busy_retries, errors, static_cast<double>(elapsed_ns) / 1e6);
+      busy_retries, redirects, errors,
+      static_cast<double>(elapsed_ns) / 1e6);
   return buffer;
 }
 
@@ -129,8 +241,16 @@ Result<Report> Run(const Options& options) {
   if (options.addresses.empty()) return Fail("no addresses to replay");
   if (options.connections < 1) return Fail("need at least one connection");
   if (options.batch_size < 1) return Fail("batch size must be >= 1");
-  if (options.batch_size > server::kMaxBatch) {
+  if (options.endpoints.empty() && options.batch_size > server::kMaxBatch) {
+    // Fleet mode has no cap: the ClusterClient splits at kMaxBatch.
     return Fail("batch size exceeds protocol kMaxBatch");
+  }
+
+  server::Topology fleet_topo;
+  if (!options.endpoints.empty()) {
+    auto topo = FetchFleetTopology(options);
+    if (!topo.ok()) return Fail(topo.error());
+    fleet_topo = std::move(topo).value();
   }
 
   SharedState state;
@@ -140,7 +260,12 @@ Result<Report> Run(const Options& options) {
   for (int i = 0; i < options.connections; ++i) {
     const std::size_t budget =
         SliceSize(options.total_frames, options.connections, i);
-    workers.emplace_back(Worker, std::cref(options), i, budget, &state);
+    if (options.endpoints.empty()) {
+      workers.emplace_back(Worker, std::cref(options), i, budget, &state);
+    } else {
+      workers.emplace_back(ClusterWorker, std::cref(options),
+                           std::cref(fleet_topo), i, budget, &state);
+    }
   }
   for (std::thread& t : workers) t.join();
   const std::uint64_t elapsed = engine::NowNs() - start;
@@ -150,6 +275,7 @@ Result<Report> Run(const Options& options) {
   report.lookups_done = state.lookups.load();
   report.found = state.found.load();
   report.busy_retries = state.busy.load();
+  report.redirects = state.redirects.load();
   report.errors = state.errors.load();
   report.elapsed_ns = elapsed;
   report.qps = elapsed > 0 ? static_cast<double>(report.lookups_done) /

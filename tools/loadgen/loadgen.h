@@ -33,6 +33,11 @@ struct Options {
   int busy_retries = 100;
   /// The IP stream, replayed cyclically (connection i starts at offset i).
   std::vector<net::IpAddress> addresses;
+  /// Fleet mode: "host:port" endpoints of a netclustd cluster. Non-empty
+  /// switches every worker to a topology-routed ClusterClient driving the
+  /// whole fleet (host/port above are ignored), and the report's qps is
+  /// the aggregate across shards.
+  std::vector<std::string> endpoints;
 };
 
 struct Report {
@@ -40,6 +45,7 @@ struct Report {
   std::size_t lookups_done = 0;   // addresses answered (batch expanded)
   std::size_t found = 0;          // answers with a covering prefix
   std::size_t busy_retries = 0;   // BUSY responses absorbed by retry
+  std::size_t redirects = 0;      // cluster redirects followed (fleet mode)
   std::size_t errors = 0;
   std::uint64_t elapsed_ns = 0;
   double qps = 0.0;               // lookups_done per wall-clock second

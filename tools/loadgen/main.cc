@@ -22,8 +22,12 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --port N [options]\n"
+      "       %s --endpoints H1:P1,H2:P2,... [options]   (fleet mode)\n"
       "  --host A.B.C.D       server address (default 127.0.0.1)\n"
-      "  --port N             server port (required)\n"
+      "  --port N             server port (required unless --endpoints)\n"
+      "  --endpoints LIST     comma-separated cluster endpoints; drives the\n"
+      "                       whole fleet via topology routing and reports\n"
+      "                       aggregate qps\n"
       "  --clf FILE           replay client IPs from a CLF web log\n"
       "  --clf-limit N        cap the CLF stream at N requests\n"
       "  --synth P/L          synthesize addresses inside prefix P/L\n"
@@ -34,7 +38,7 @@ void Usage(const char* argv0) {
       "  --timeout-ms N       per-call deadline (default 5000)\n"
       "  --json FILE          write the machine-readable report to FILE\n"
       "  --min-qps X          exit 1 if lookups/sec lands below X\n",
-      argv0);
+      argv0, argv0);
 }
 
 }  // namespace
@@ -57,6 +61,19 @@ int main(int argc, char** argv) {
       options.host = argv[++i];
     } else if (arg == "--port" && has_value) {
       options.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--endpoints" && has_value) {
+      std::string list = argv[++i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > start) {
+          options.endpoints.push_back(list.substr(start, end - start));
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else if (arg == "--clf" && has_value) {
       clf_path = argv[++i];
     } else if (arg == "--clf-limit" && has_value) {
@@ -82,7 +99,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (options.port == 0) {
+  if (options.port == 0 && options.endpoints.empty()) {
     Usage(argv[0]);
     return 2;
   }
@@ -106,10 +123,19 @@ int main(int argc, char** argv) {
         synth_count, prefix.value().network(), prefix.value().length());
   }
 
-  std::printf("loadgen: %zu-address stream -> %s:%u, %zu frames x %zu "
-              "addresses over %d connection(s)\n",
-              options.addresses.size(), options.host.c_str(), options.port,
-              options.total_frames, options.batch_size, options.connections);
+  if (options.endpoints.empty()) {
+    std::printf("loadgen: %zu-address stream -> %s:%u, %zu frames x %zu "
+                "addresses over %d connection(s)\n",
+                options.addresses.size(), options.host.c_str(), options.port,
+                options.total_frames, options.batch_size,
+                options.connections);
+  } else {
+    std::printf("loadgen: %zu-address stream -> %zu-node fleet, %zu frames "
+                "x %zu addresses over %d connection(s)\n",
+                options.addresses.size(), options.endpoints.size(),
+                options.total_frames, options.batch_size,
+                options.connections);
+  }
 
   auto run = loadgen::Run(options);
   if (!run.ok()) {

@@ -18,7 +18,9 @@
 #include <unistd.h>
 
 #include "bgp/io.h"
+#include "cluster/partitioner.h"
 #include "engine/engine.h"
+#include "net/prefix.h"
 #include "server/io_util.h"
 #include "server/server.h"
 
@@ -46,8 +48,36 @@ void Usage(const char* argv0) {
       "  --max-connections N   connection ceiling (default 64)\n"
       "  --max-inflight N      in-flight frame ceiling (default 128)\n"
       "  --idle-timeout-ms N   reap idle connections after N ms (default 30000)\n"
-      "  --print-port          print only the bound port on stdout (for scripts)\n",
+      "  --print-port          print only the bound port on stdout (for scripts)\n"
+      "  --cluster-node N      enable cluster mode with this node id\n"
+      "  --peer ID:HOST:PORT   fleet member (repeatable, include this node);\n"
+      "                        with peers given, an epoch-1 topology aligned\n"
+      "                        to the seeded prefixes is installed at boot —\n"
+      "                        without, the node waits for SET_TOPOLOGY\n",
       argv0);
+}
+
+// "ID:HOST:PORT" -> NodeInfo; HOST must be a dotted quad.
+netclust::Result<netclust::server::NodeInfo> ParsePeer(
+    const std::string& text) {
+  using netclust::Fail;
+  const std::size_t first = text.find(':');
+  const std::size_t second =
+      first == std::string::npos ? std::string::npos
+                                 : text.find(':', first + 1);
+  if (second == std::string::npos) {
+    return Fail("--peer wants ID:HOST:PORT, got '" + text + "'");
+  }
+  netclust::server::NodeInfo node;
+  node.id = static_cast<std::uint32_t>(
+      std::atoll(text.substr(0, first).c_str()));
+  auto host = netclust::net::IpAddress::Parse(
+      text.substr(first + 1, second - first - 1));
+  if (!host.ok()) return Fail("--peer host: " + host.error());
+  node.host = host.value();
+  node.port =
+      static_cast<std::uint16_t>(std::atoi(text.substr(second + 1).c_str()));
+  return node;
 }
 
 }  // namespace
@@ -63,6 +93,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> snapshot_paths;
   int live_sources = 1;
   bool print_port = false;
+  std::vector<std::string> peer_specs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,6 +117,10 @@ int main(int argc, char** argv) {
       config.idle_timeout_ms = std::atoi(argv[++i]);
     } else if (arg == "--print-port") {
       print_port = true;
+    } else if (arg == "--cluster-node" && has_value) {
+      config.cluster_node_id = std::atoll(argv[++i]);
+    } else if (arg == "--peer" && has_value) {
+      peer_specs.emplace_back(argv[++i]);
     } else {
       Usage(argv[0]);
       return 2;
@@ -107,15 +142,26 @@ int main(int argc, char** argv) {
   ::sigaction(SIGINT, &action, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
 
+  if (!peer_specs.empty() && config.cluster_node_id < 0) {
+    std::fprintf(stderr, "netclustd: --peer requires --cluster-node\n");
+    return 2;
+  }
+
   engine::Engine engine(engine_config);
   int sources = 0;
   std::size_t seeded_prefixes = 0;
+  std::vector<net::Prefix> seeded_prefix_list;
   for (const std::string& path : snapshot_paths) {
     auto loaded = bgp::LoadSnapshotFile(path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "netclustd: %s: %s\n", path.c_str(),
                    loaded.error().c_str());
       return 1;
+    }
+    if (config.cluster_node_id >= 0) {
+      for (const bgp::RouteEntry& entry : loaded.value().snapshot.entries) {
+        seeded_prefix_list.push_back(entry.prefix);
+      }
     }
     const int id = engine.SeedSnapshot(loaded.value().snapshot);
     if (id == bgp::PrefixTable::kInvalidSource) {
@@ -149,6 +195,36 @@ int main(int argc, char** argv) {
 
   engine.Start();
   server::Server daemon(&engine, config);
+  if (!peer_specs.empty()) {
+    // Shard the address space across the declared fleet, aligned to the
+    // seeded prefixes so no routing cluster straddles a shard edge. Every
+    // peer computes the identical epoch-1 topology from the same flags.
+    std::vector<server::NodeInfo> peers;
+    for (const std::string& spec : peer_specs) {
+      auto node = ParsePeer(spec);
+      if (!node.ok()) {
+        std::fprintf(stderr, "netclustd: %s\n", node.error().c_str());
+        return 2;
+      }
+      peers.push_back(node.value());
+    }
+    auto topo = cluster::BuildTopology(1, std::move(peers),
+                                       seeded_prefix_list);
+    if (!topo.ok()) {
+      std::fprintf(stderr, "netclustd: %s\n", topo.error().c_str());
+      return 1;
+    }
+    auto installed = daemon.SetTopology(topo.value());
+    if (!installed.ok()) {
+      std::fprintf(stderr, "netclustd: %s\n", installed.error().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "netclustd: cluster node %lld, epoch 1 topology over %zu "
+                 "peers (%zu shard ranges)\n",
+                 static_cast<long long>(config.cluster_node_id),
+                 topo.value().nodes.size(), topo.value().ranges.size());
+  }
   auto port = daemon.Serve();
   if (!port.ok()) {
     std::fprintf(stderr, "netclustd: %s\n", port.error().c_str());
