@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
 
     server::ServerConfig server_config;
     server_config.port = 0;  // ephemeral
-    server_config.reader_threads = 1;
+    server_config.reactors = 1;
     server_config.cluster_node_id = n + 1;
     daemons.push_back(
         std::make_unique<server::Server>(engines.back().get(),

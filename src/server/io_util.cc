@@ -50,6 +50,13 @@ ssize_t RetryWrite(int fd, const void* buffer, std::size_t size) {
   }
 }
 
+ssize_t RetryWritev(int fd, const struct iovec* iov, int iovcnt) {
+  for (;;) {
+    const ssize_t n = ::writev(fd, iov, iovcnt);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
 int RetryAccept(int listen_fd) {
   for (;;) {
     const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
@@ -82,12 +89,26 @@ void SetNoDelay(int fd) {
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void SetSendBufferBytes(int fd, int bytes) {
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+}
+
+void SetRecvBufferBytes(int fd, int bytes) {
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+}
+
 Result<int> CreateListener(std::uint16_t port, int backlog,
-                           std::uint32_t bind_address) {
+                           std::uint32_t bind_address, bool reuse_port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Fail(std::string("socket: ") + std::strerror(errno));
   const int one = 1;
   (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    const std::string error = std::strerror(errno);
+    CloseFd(fd);
+    return Fail("setsockopt(SO_REUSEPORT): " + error);
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);

@@ -14,6 +14,7 @@
 #include <string>
 
 #include <sys/types.h>
+#include <sys/uio.h>
 
 #include "net/result.h"
 
@@ -35,6 +36,11 @@ ssize_t RetryRead(int fd, void* buffer, std::size_t size);
 /// when `fd` is a socket-capable descriptor; plain write(2) otherwise.
 ssize_t RetryWrite(int fd, const void* buffer, std::size_t size);
 
+/// writev(2), retried on EINTR. The reactor reply path gathers every
+/// queued frame of a connection into one syscall with this; EAGAIN
+/// surfaces to the caller, which parks the remainder behind EPOLLOUT.
+ssize_t RetryWritev(int fd, const struct iovec* iov, int iovcnt);
+
 /// accept4(2) with SOCK_CLOEXEC, retried on EINTR.
 int RetryAccept(int listen_fd);
 
@@ -55,11 +61,19 @@ bool SetNonBlocking(int fd, bool enabled);
 /// latency. Best-effort (non-TCP descriptors just ignore it).
 void SetNoDelay(int fd);
 
+/// SO_SNDBUF / SO_RCVBUF. Best-effort; the kernel clamps and doubles the
+/// request. Tests use tiny buffers to force EAGAIN on the reply path.
+void SetSendBufferBytes(int fd, int bytes);
+void SetRecvBufferBytes(int fd, int bytes);
+
 /// Listening IPv4 TCP socket on `port` (0 = ephemeral) bound to
 /// `bind_address` (host order; defaults to loopback). Non-blocking,
-/// SO_REUSEADDR. Returns the descriptor.
+/// SO_REUSEADDR. With `reuse_port`, SO_REUSEPORT is set before bind so
+/// several listeners can share one port and the kernel spreads accepts
+/// across them (one listener per reactor). Returns the descriptor.
 Result<int> CreateListener(std::uint16_t port, int backlog,
-                           std::uint32_t bind_address = 0x7F000001);
+                           std::uint32_t bind_address = 0x7F000001,
+                           bool reuse_port = false);
 
 /// Blocking TCP connect to a dotted-quad `host`:`port` with a deadline.
 Result<int> ConnectTcp(const std::string& host, std::uint16_t port,

@@ -37,6 +37,23 @@ namespace netclust::server {
       engine::LatencyHistogram::kFiniteBuckets - 1);
 }
 
+/// Per-reactor observability. Each reactor owns one of these; only its
+/// own thread bumps the counters, but STATS scrapes read them from
+/// whichever reactor serves the frame, so they stay atomics. The summed
+/// view (and the per-reactor breakdown) is appended to the STATS body by
+/// Server::StatsText.
+struct ReactorMetrics {
+  engine::Counter connections_accepted;  // accepts landed on this listener
+  engine::Counter frames_decoded;
+  engine::Counter lookups_served;  // addresses answered (batch expanded)
+  engine::Counter busy_replies;
+  engine::Counter short_writes;  // replies parked behind EPOLLOUT
+  /// Reply frames queued on this reactor's connections but not yet fully
+  /// flushed — the per-reactor backpressure gauge that max_inflight_frames
+  /// bounds. A gauge, not a Counter: it goes down as flushes complete.
+  std::atomic<std::int64_t> inflight_frames{0};
+};
+
 /// The daemon's metric set. A gauge for active connections plus monotonic
 /// counters for every accept/decode/serve outcome.
 struct ServerMetrics {
@@ -58,8 +75,9 @@ struct ServerMetrics {
   engine::Counter cluster_stats_served;    // CLUSTER_STATS frames answered
   engine::Counter bytes_read;
   engine::Counter bytes_written;
-  /// Frame service time: last payload byte decoded -> response fully
-  /// written (LOOKUP and BATCH_LOOKUP frames only — the serving path).
+  /// Frame service time: last payload byte decoded -> response queued on
+  /// the connection (LOOKUP and BATCH_LOOKUP frames only — the serving
+  /// path; wire flush time is the client-side round-trip's share).
   engine::LatencyHistogram lookup_service_ns;
 
   /// Live connection count. A gauge, not a Counter: it goes down.

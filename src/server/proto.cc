@@ -157,18 +157,26 @@ void FrameDecoder::Feed(const std::uint8_t* data, std::size_t size) {
 }
 
 Result<std::optional<Frame>> FrameDecoder::Next() {
+  auto view = NextView();
+  if (!view.ok()) return Fail(view.error());
+  if (!view.value().has_value()) return std::optional<Frame>{};
+  Frame frame;
+  frame.header = view.value()->header;
+  frame.payload.assign(view.value()->payload,
+                       view.value()->payload + frame.header.payload_size);
+  return std::optional<Frame>{std::move(frame)};
+}
+
+Result<std::optional<FrameView>> FrameDecoder::NextView() {
   const std::size_t available = buffer_.size() - consumed_;
-  if (available < kHeaderSize) return std::optional<Frame>{};
+  if (available < kHeaderSize) return std::optional<FrameView>{};
   const std::uint8_t* at = buffer_.data() + consumed_;
   auto header = DecodeFrameHeader(at, available);
   if (!header.ok()) return Fail(header.error());
   const std::size_t total = kHeaderSize + header.value().payload_size;
-  if (available < total) return std::optional<Frame>{};
-  Frame frame;
-  frame.header = header.value();
-  frame.payload.assign(at + kHeaderSize, at + total);
+  if (available < total) return std::optional<FrameView>{};
   consumed_ += total;
-  return std::optional<Frame>{std::move(frame)};
+  return std::optional<FrameView>{FrameView{header.value(), at + kHeaderSize}};
 }
 
 std::vector<std::uint8_t> EncodeLookup(const LookupRequest& req) {
@@ -195,18 +203,27 @@ std::vector<std::uint8_t> EncodeBatchLookup(const BatchLookupRequest& req) {
 
 Result<BatchLookupRequest> DecodeBatchLookup(const std::uint8_t* data,
                                              std::size_t size) {
+  BatchLookupRequest req;
+  auto count = DecodeBatchLookupInto(data, size, &req.addresses);
+  if (!count.ok()) return Fail(count.error());
+  return req;
+}
+
+Result<std::size_t> DecodeBatchLookupInto(const std::uint8_t* data,
+                                          std::size_t size,
+                                          std::vector<net::IpAddress>* out) {
+  out->clear();
   if (size < 4) return Fail("BATCH_LOOKUP payload truncated");
   const std::uint32_t count = GetU32(data);
   if (count > kMaxBatch) return Fail("BATCH_LOOKUP count exceeds bound");
   if (size != 4 + std::size_t{count} * 4) {
     return Fail("BATCH_LOOKUP length disagrees with its count");
   }
-  BatchLookupRequest req;
-  req.addresses.reserve(count);
+  out->reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    req.addresses.emplace_back(GetU32(data + 4 + std::size_t{i} * 4));
+    out->emplace_back(GetU32(data + 4 + std::size_t{i} * 4));
   }
-  return req;
+  return std::size_t{count};
 }
 
 std::vector<std::uint8_t> EncodeIngest(const IngestRequest& req) {
@@ -308,6 +325,33 @@ std::vector<std::uint8_t> EncodeBatchResult(
     out.insert(out.end(), encoded.begin(), encoded.end());
   }
   return out;
+}
+
+void AppendBatchResultFrame(
+    const std::optional<bgp::PrefixTable::Match>* matches, std::size_t count,
+    std::vector<std::uint8_t>* out) {
+  const std::size_t payload_size = 4 + kLookupRecordSize * count;
+  out->reserve(out->size() + kHeaderSize + payload_size);
+  PutU16(out, kMagic);
+  out->push_back(kProtoVersion);
+  out->push_back(static_cast<std::uint8_t>(Opcode::kBatchResult));
+  PutU32(out, static_cast<std::uint32_t>(payload_size));
+  PutU32(out, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::optional<bgp::PrefixTable::Match>& match = matches[i];
+    if (!match.has_value()) {
+      // Canonical absent record: 16 zero bytes (see EncodeLookupRecord).
+      out->insert(out->end(), kLookupRecordSize, 0);
+      continue;
+    }
+    out->push_back(1);
+    out->push_back(static_cast<std::uint8_t>(match->prefix.length()));
+    out->push_back(static_cast<std::uint8_t>(match->kind));
+    out->push_back(0);  // reserved
+    PutU32(out, match->prefix.network().bits());
+    PutU32(out, match->origin_as);
+    PutU32(out, match->source_mask);
+  }
 }
 
 Result<std::vector<LookupRecord>> DecodeBatchResult(const std::uint8_t* data,

@@ -139,9 +139,19 @@ struct Frame {
 [[nodiscard]] Result<FrameHeader> DecodeFrameHeader(const std::uint8_t* data,
                                                     std::size_t size);
 
+/// A decoded frame that still lives inside the decoder's buffer: header
+/// by value, payload by pointer. Valid until the next Feed() (which may
+/// compact the buffer) — the reactor fast path decodes a BATCH_LOOKUP
+/// straight out of this view without ever copying the payload.
+struct FrameView {
+  FrameHeader header;
+  const std::uint8_t* payload = nullptr;  // header.payload_size bytes
+};
+
 /// Incremental frame decoder for a TCP byte stream. Feed() raw reads,
-/// then drain Next() until it reports "need more". A decode error is
-/// sticky: the stream is unsynchronized and the connection must be closed.
+/// then drain Next()/NextView() until it reports "need more". A decode
+/// error is sticky: the stream is unsynchronized and the connection must
+/// be closed.
 class FrameDecoder {
  public:
   void Feed(const std::uint8_t* data, std::size_t size);
@@ -150,6 +160,11 @@ class FrameDecoder {
   /// ok(nullopt)  — the buffer holds only a partial frame; feed more bytes;
   /// error        — protocol violation (bad magic/version/opcode/length).
   [[nodiscard]] Result<std::optional<Frame>> Next();
+
+  /// Zero-copy variant of Next(): the returned payload pointer aliases the
+  /// decoder's buffer and is invalidated by the next Feed(). Drain every
+  /// pending view before feeding again.
+  [[nodiscard]] Result<std::optional<FrameView>> NextView();
 
   /// Bytes buffered but not yet consumed by Next().
   [[nodiscard]] std::size_t buffered() const { return buffer_.size() - consumed_; }
@@ -332,6 +347,13 @@ inline constexpr std::size_t kClusterStatsRecordSize =
 [[nodiscard]] Result<BatchLookupRequest> DecodeBatchLookup(
     const std::uint8_t* data, std::size_t size);
 
+/// Allocation-free BATCH_LOOKUP decode for the reactor fast path: same
+/// grammar as DecodeBatchLookup, but the addresses land in `*out` (cleared,
+/// capacity reused across frames). Returns the address count.
+[[nodiscard]] Result<std::size_t> DecodeBatchLookupInto(
+    const std::uint8_t* data, std::size_t size,
+    std::vector<net::IpAddress>* out);
+
 [[nodiscard]] std::vector<std::uint8_t> EncodeIngest(const IngestRequest& req);
 [[nodiscard]] Result<IngestRequest> DecodeIngest(const std::uint8_t* data,
                                                  std::size_t size);
@@ -345,6 +367,15 @@ inline constexpr std::size_t kClusterStatsRecordSize =
     const std::vector<LookupRecord>& records);
 [[nodiscard]] Result<std::vector<LookupRecord>> DecodeBatchResult(
     const std::uint8_t* data, std::size_t size);
+
+/// Appends a complete BATCH_RESULT wire frame (header included) built
+/// straight from engine matches — byte-identical to
+/// EncodeFrame(kBatchResult, EncodeBatchResult(records)) but with no
+/// LookupRecord materialization and a single size computation, so the
+/// reactor reply path does exactly one append into the connection's
+/// outgoing buffer. `count` must be <= kMaxBatch.
+void AppendBatchResultFrame(const std::optional<bgp::PrefixTable::Match>* matches,
+                            std::size_t count, std::vector<std::uint8_t>* out);
 
 [[nodiscard]] std::vector<std::uint8_t> EncodeIngestAck(const IngestAck& ack);
 [[nodiscard]] Result<IngestAck> DecodeIngestAck(const std::uint8_t* data,

@@ -5,10 +5,13 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
+#include <span>
+#include <sstream>
 #include <utility>
 
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/uio.h>
 
 #include "server/io_util.h"
 
@@ -22,12 +25,26 @@ std::int64_t NowMs() {
       .count();
 }
 
-int EpollWait(int epoll_fd, epoll_event* events, int max_events) {
+int EpollWait(int epoll_fd, epoll_event* events, int max_events,
+              int timeout_ms) {
   for (;;) {
-    const int n = ::epoll_wait(epoll_fd, events, max_events, -1);
+    const int n = ::epoll_wait(epoll_fd, events, max_events, timeout_ms);
     if (n >= 0 || errno != EINTR) return n;
   }
 }
+
+/// Timeout sweep tick; also the epoll_wait budget whenever any deadline
+/// is configured.
+constexpr int kSweepIntervalMs = 25;
+
+/// Gather width of one flush writev: enough to coalesce a deep pipeline
+/// of replies, small enough to live on the stack.
+constexpr int kMaxFlushIov = 64;
+
+/// Read bursts (64 KiB each) serviced per readable event before yielding
+/// back to epoll — level-triggered redelivery keeps the rest pending, so
+/// one firehose connection cannot starve its reactor siblings.
+constexpr int kMaxReadBursts = 4;
 
 }  // namespace
 
@@ -38,89 +55,95 @@ Server::~Server() { Stop(); }
 
 Result<std::uint16_t> Server::Serve() {
   if (serving_) return Fail("Serve() called twice");
+  reactors_.clear();
+  max_inflight_ = static_cast<std::int64_t>(config_.max_inflight_frames);
+  const int count = config_.reactors > 0 ? config_.reactors : 2;
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) {
-    return Fail(std::string("epoll_create1: ") + std::strerror(errno));
-  }
-  auto listener = CreateListener(config_.port, config_.listen_backlog);
-  if (!listener.ok()) {
-    CloseFd(epoll_fd_);
-    epoll_fd_ = -1;
-    return Fail(listener.error());
-  }
-  listen_fd_ = listener.value();
-  auto port = LocalPort(listen_fd_);
-  if (!port.ok()) {
-    Stop();
-    return Fail(port.error());
-  }
-  port_ = port.value();
+  const auto fail = [this](const std::string& error) -> Result<std::uint16_t> {
+    for (auto& r : reactors_) {
+      CloseFd(r->listen_fd);
+      CloseFd(r->wake_fd);
+      CloseFd(r->epoll_fd);
+    }
+    reactors_.clear();
+    return Fail(error);
+  };
 
-  // The wake descriptor is written once at Stop() and never read, so it
-  // stays readable: every reader's epoll_wait returns, sees stopping_ and
-  // exits — no per-thread wakeup bookkeeping.
-  wake_fd_ = ::eventfd(0, EFD_CLOEXEC);
-  if (wake_fd_ < 0) {
-    Stop();
-    return Fail(std::string("eventfd: ") + std::strerror(errno));
-  }
-
-  epoll_event wake_ev{};
-  wake_ev.events = EPOLLIN;
-  wake_ev.data.fd = wake_fd_;
-  epoll_event listen_ev{};
-  // EPOLLONESHOT on the listener too: exactly one reader runs the accept
-  // loop at a time, rearming when it drains to EAGAIN.
-  listen_ev.events = EPOLLIN | EPOLLONESHOT;
-  listen_ev.data.fd = listen_fd_;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_ev) != 0 ||
-      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &listen_ev) != 0) {
-    Stop();
-    return Fail(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  for (int i = 0; i < count; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>());
+    Reactor& r = *reactors_.back();
+    r.index = static_cast<std::size_t>(i);
+    // Every reactor listens on the same port with SO_REUSEPORT: the kernel
+    // hashes each connection's 4-tuple to exactly one listener, so accepts
+    // spread across reactors with no shared accept queue, no EPOLLONESHOT
+    // rearm handshake, and no thundering herd. Reactor 0 resolves an
+    // ephemeral port request; the rest join the resolved port.
+    auto listener =
+        CreateListener(i == 0 ? config_.port : port_, config_.listen_backlog,
+                       0x7F000001, /*reuse_port=*/true);
+    if (!listener.ok()) return fail(listener.error());
+    r.listen_fd = listener.value();
+    if (i == 0) {
+      auto port = LocalPort(r.listen_fd);
+      if (!port.ok()) return fail(port.error());
+      port_ = port.value();
+    }
+    r.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (r.epoll_fd < 0) {
+      return fail(std::string("epoll_create1: ") + std::strerror(errno));
+    }
+    // The wake descriptor is written once at Stop() and never read, so it
+    // stays readable: the reactor's epoll_wait returns, sees stopping_ and
+    // drains — no per-thread wakeup bookkeeping.
+    r.wake_fd = ::eventfd(0, EFD_CLOEXEC);
+    if (r.wake_fd < 0) {
+      return fail(std::string("eventfd: ") + std::strerror(errno));
+    }
+    epoll_event wake_ev{};
+    wake_ev.events = EPOLLIN;
+    wake_ev.data.fd = r.wake_fd;
+    epoll_event listen_ev{};
+    listen_ev.events = EPOLLIN;
+    listen_ev.data.fd = r.listen_fd;
+    if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, r.wake_fd, &wake_ev) != 0 ||
+        ::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, r.listen_fd, &listen_ev) != 0) {
+      return fail(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+    }
   }
 
   stopping_.store(false);
+  {
+    base::MutexLock lock(&ingest_mu_);
+    ingest_stopping_ = false;
+  }
   serving_ = true;
-  const int readers = config_.reader_threads > 0 ? config_.reader_threads : 2;
-  readers_.reserve(static_cast<std::size_t>(readers));
-  for (int i = 0; i < readers; ++i) {
-    readers_.emplace_back([this] { ReaderLoop(); });
+  for (auto& r : reactors_) {
+    r->thread = std::thread([this, reactor = r.get()] { ReactorLoop(*reactor); });
   }
   ingest_thread_ = std::thread([this] { IngestLoop(); });
-  // The reaper enforces BOTH timeouts; disabling just the idle one must
-  // not silently drop the mid-frame read cutoff (or vice versa).
-  if (config_.idle_timeout_ms > 0 || config_.read_timeout_ms > 0) {
-    reaper_thread_ = std::thread([this] { ReaperLoop(); });
-  }
   return port_;
 }
 
 void Server::Stop() {
-  if (!serving_) {
-    // Partial Serve() failure cleanup: no threads were spawned yet.
-    CloseFd(listen_fd_);
-    CloseFd(wake_fd_);
-    CloseFd(epoll_fd_);
-    listen_fd_ = wake_fd_ = epoll_fd_ = -1;
-    return;
-  }
+  // Partial Serve() failures clean up after themselves, and completed
+  // reactors are kept (fds closed, threads joined) so their metrics stay
+  // readable after Stop(); re-Serve() clears them.
+  if (!serving_) return;
   serving_ = false;
 
-  // 1. Stop accepting: pull the listener out of the interest set (its
-  //    oneshot event may already be claimed — AcceptNew checks stopping_).
+  // 1. Flag the drain and wake every reactor. Each stops accepting,
+  //    finishes the frames it has decoded (including waiting out queued
+  //    ingest acks), flushes queued replies within the write deadline,
+  //    closes its connections and exits.
   stopping_.store(true);
-  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-
-  // 2. Wake every reader. They finish the frames they have claimed
-  //    (including waiting out queued ingest acks) and exit.
   const std::uint64_t one = 1;
-  (void)RetryWrite(wake_fd_, &one, sizeof(one));
-  for (std::thread& t : readers_) t.join();
-  readers_.clear();
+  for (auto& r : reactors_) (void)RetryWrite(r->wake_fd, &one, sizeof(one));
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
 
-  // 3. With the readers gone, no job is left waiting: the ingest queue is
-  //    empty or holds only jobs whose readers already got their acks.
+  // 2. With the reactors gone, no job is left waiting: the ingest queue is
+  //    empty or holds only jobs whose reactors already got their acks.
   //    Signal shutdown and let the loop drain what remains.
   {
     base::MutexLock lock(&ingest_mu_);
@@ -128,29 +151,42 @@ void Server::Stop() {
   }
   ingest_cv_.NotifyAll();
   if (ingest_thread_.joinable()) ingest_thread_.join();
-  if (reaper_thread_.joinable()) reaper_thread_.join();
 
-  // 4. Close whatever connections survived the drain.
-  {
-    base::MutexLock lock(&conn_mu_);
-    for (auto& [fd, conn] : connections_) {
-      (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-      CloseFd(fd);
-      metrics_.connections_closed.Inc();
-      // order: relaxed — gauge bookkeeping only.
-      metrics_.connections_active.fetch_sub(1, std::memory_order_relaxed);
-    }
-    connections_.clear();
+  for (auto& r : reactors_) {
+    CloseFd(r->listen_fd);
+    CloseFd(r->wake_fd);
+    CloseFd(r->epoll_fd);
+    r->listen_fd = r->wake_fd = r->epoll_fd = -1;
   }
-
-  CloseFd(listen_fd_);
-  CloseFd(wake_fd_);
-  CloseFd(epoll_fd_);
-  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
 }
 
 std::string Server::StatsText() const {
-  return metrics_.Exposition() + engine_->MetricsText();
+  std::ostringstream out;
+  out << metrics_.Exposition();
+  std::int64_t inflight_sum = 0;
+  for (const auto& r : reactors_) {
+    // order: relaxed — scrape-style read, same contract as the counters.
+    const std::int64_t inflight =
+        r->metrics.inflight_frames.load(std::memory_order_relaxed);
+    inflight_sum += inflight;
+    const auto tag = "{reactor=\"" + std::to_string(r->index) + "\"} ";
+    out << "netclust_server_reactor_connections_accepted_total" << tag
+        << r->metrics.connections_accepted.value() << "\n";
+    out << "netclust_server_reactor_frames_decoded_total" << tag
+        << r->metrics.frames_decoded.value() << "\n";
+    out << "netclust_server_reactor_lookups_served_total" << tag
+        << r->metrics.lookups_served.value() << "\n";
+    out << "netclust_server_reactor_busy_replies_total" << tag
+        << r->metrics.busy_replies.value() << "\n";
+    out << "netclust_server_reactor_short_writes_total" << tag
+        << r->metrics.short_writes.value() << "\n";
+    out << "netclust_server_reactor_inflight_frames" << tag << inflight
+        << "\n";
+  }
+  // The summed view of the per-reactor backpressure gauges: with N
+  // reactors the fleet-wide admission bound is N * max_inflight_frames.
+  out << "netclust_server_inflight_frames_sum " << inflight_sum << "\n";
+  return out.str() + engine_->MetricsText();
 }
 
 // The wire-level stats record mirrors the engine histogram bucket-for-
@@ -221,49 +257,88 @@ ClusterStatsRecord Server::BuildClusterStats(
   return record;
 }
 
-void Server::ReaderLoop() {
-  constexpr int kMaxEvents = 32;
+void Server::ReactorLoop(Reactor& r) {
+  constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
-  for (;;) {
-    const int n = EpollWait(epoll_fd_, events, kMaxEvents);
-    if (n < 0) return;  // epoll descriptor gone: shutdown
+  // The epoll timeout doubles as the timeout-sweep tick — the sweep is
+  // folded into this loop (no reaper thread, no claim handshake) because
+  // this thread exclusively owns every connection it would inspect.
+  const bool sweeping = config_.idle_timeout_ms > 0 ||
+                        config_.read_timeout_ms > 0 ||
+                        config_.write_timeout_ms > 0;
+  const int wait_ms = sweeping ? kSweepIntervalMs : -1;
+  std::int64_t last_sweep_ms = NowMs();
+  while (!stopping_.load()) {
+    const int n = EpollWait(r.epoll_fd, events, kMaxEvents, wait_ms);
+    if (n < 0) break;  // epoll descriptor gone: shutdown
+    // Connection events first, accepts second: an fd closed in this batch
+    // cannot be recycled by an accept until its stale events are skipped.
+    bool accept_ready = false;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == wake_fd_) return;  // Stop() was called
-      if (fd == listen_fd_) {
-        if (!stopping_.load()) AcceptNew();
+      if (fd == r.wake_fd) continue;  // stop flag checked by the loop
+      if (fd == r.listen_fd) {
+        accept_ready = true;
         continue;
       }
-      std::shared_ptr<Connection> conn;
-      {
-        base::MutexLock lock(&conn_mu_);
-        auto it = connections_.find(fd);
-        if (it != connections_.end()) conn = it->second;
+      const auto it = r.conns.find(fd);
+      if (it == r.conns.end()) continue;  // closed earlier in this batch
+      Connection* conn = it->second.get();
+      const std::uint32_t ev = events[i].events;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(r, conn, nullptr);
+        continue;
       }
-      if (!conn) continue;  // raced with a close; stale event
-      bool expected = false;
-      if (!conn->busy.compare_exchange_strong(expected, true)) {
-        continue;  // the reaper claimed it first
+      if ((ev & EPOLLOUT) != 0 && !FlushConnection(r, conn)) {
+        CloseConnection(r, conn, nullptr);
+        continue;
       }
-      ServiceConnection(conn);
+      if ((ev & (EPOLLIN | EPOLLRDHUP)) != 0) {
+        ServiceReadable(r, conn);  // closes the connection itself if needed
+      }
     }
-    if (stopping_.load()) return;
+    if (accept_ready && !stopping_.load()) AcceptNew(r);
+    if (sweeping) {
+      const std::int64_t now = NowMs();
+      if (now - last_sweep_ms >= kSweepIntervalMs) {
+        SweepTimeouts(r, now);
+        last_sweep_ms = now;
+      }
+    }
   }
+
+  // Graceful drain: every decoded frame was answered inline, so the only
+  // outstanding work is queued reply bytes. Flush them within the write
+  // deadline, then close everything this reactor owns.
+  (void)::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, r.listen_fd, nullptr);
+  for (auto& [fd, conn] : r.conns) {
+    FlushBlocking(r, conn.get());
+    if (!conn->outq.empty()) {
+      // order: relaxed — gauge bookkeeping only.
+      r.metrics.inflight_frames.fetch_sub(
+          static_cast<std::int64_t>(conn->outq.size()),
+          std::memory_order_relaxed);
+    }
+    (void)::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    CloseFd(fd);
+    metrics_.connections_closed.Inc();
+    // order: relaxed — gauge bookkeeping only.
+    metrics_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+    connections_total_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  r.conns.clear();
 }
 
-void Server::AcceptNew() {
+void Server::AcceptNew(Reactor& r) {
   for (;;) {
-    const int fd = RetryAccept(listen_fd_);
-    if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      break;  // transient accept error; the listener stays armed
-    }
-    bool over_limit = false;
-    {
-      base::MutexLock lock(&conn_mu_);
-      over_limit = connections_.size() >= config_.max_connections;
-    }
-    if (over_limit || stopping_.load()) {
+    const int fd = RetryAccept(r.listen_fd);
+    if (fd < 0) break;  // EAGAIN (drained) or transient error
+    // order: relaxed — approximate admission bound; a transient overshoot
+    // under concurrent accepts on other reactors only shifts where the
+    // BUSY kicks in.
+    const std::int64_t total = connections_total_.load(std::memory_order_relaxed);
+    if (total >= static_cast<std::int64_t>(config_.max_connections) ||
+        stopping_.load()) {
       // Explicit backpressure: tell the client we are full, then close.
       metrics_.connections_rejected.Inc();
       metrics_.busy_replies.Inc();
@@ -277,292 +352,407 @@ void Server::AcceptNew() {
       continue;
     }
     SetNoDelay(fd);
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
-    conn->last_activity_ms.store(NowMs());
-    {
-      base::MutexLock lock(&conn_mu_);
-      connections_.emplace(fd, conn);
+    if (config_.accepted_sndbuf_bytes > 0) {
+      SetSendBufferBytes(fd, config_.accepted_sndbuf_bytes);
     }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->last_activity_ms = NowMs();
     epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLONESHOT | EPOLLRDHUP;
+    ev.events = EPOLLIN | EPOLLRDHUP;
     ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      base::MutexLock lock(&conn_mu_);
-      connections_.erase(fd);
+    if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
       CloseFd(fd);
       continue;
     }
+    r.conns.emplace(fd, std::move(conn));
     metrics_.connections_accepted.Inc();
-    // order: relaxed — gauge bookkeeping only.
+    r.metrics.connections_accepted.Inc();
+    // order: relaxed ×2 — gauge bookkeeping only.
     metrics_.connections_active.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (!stopping_.load()) {
-    epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLONESHOT;
-    ev.data.fd = listen_fd_;
-    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev);
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void Server::ServiceConnection(const std::shared_ptr<Connection>& conn) {
-  std::uint8_t buffer[16384];
+void Server::ServiceReadable(Reactor& r, Connection* conn) {
+  std::uint8_t buffer[65536];
+  bool close = false;
+  int bursts = 0;
   for (;;) {
     const ssize_t n = RetryRead(conn->fd, buffer, sizeof(buffer));
     if (n > 0) {
       metrics_.bytes_read.Inc(static_cast<std::uint64_t>(n));
-      conn->last_activity_ms.store(NowMs());
+      conn->last_activity_ms = NowMs();
       conn->decoder.Feed(buffer, static_cast<std::size_t>(n));
       for (;;) {
-        auto next = conn->decoder.Next();
+        auto next = conn->decoder.NextView();
         if (!next.ok()) {
           // The stream is unsynchronized; report and hang up.
           metrics_.frames_rejected.Inc();
-          (void)SendError(conn, ErrorCode::kMalformedFrame, next.error());
-          CloseConnection(conn, nullptr);
-          return;
+          QueueError(r, conn, ErrorCode::kMalformedFrame, next.error());
+          close = true;
+          break;
         }
         if (!next.value().has_value()) break;  // partial frame; read more
-        if (!DispatchFrame(conn, *next.value())) {
-          CloseConnection(conn, nullptr);
-          return;
+        if (!DispatchFrame(r, conn, *next.value())) {
+          close = true;
+          break;
         }
+      }
+      if (close) break;
+      if (static_cast<std::size_t>(n) < sizeof(buffer) ||
+          ++bursts >= kMaxReadBursts) {
+        break;  // drained, or burst budget spent (epoll redelivers)
       }
       continue;
     }
-    if (n == 0) {  // orderly EOF
-      CloseConnection(conn, nullptr);
-      return;
+    if (n == 0) {  // orderly EOF; deliver queued replies, then close
+      close = true;
+      break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    CloseConnection(conn, nullptr);  // hard socket error
+    close = true;  // hard socket error
+    break;
+  }
+  if (close) {
+    // Best-effort: a half-closed pipelining peer still gets its answers,
+    // and a protocol violator gets the ERROR frame before the RST.
+    FlushBlocking(r, conn);
+    CloseConnection(r, conn, nullptr);
     return;
   }
-  // Drained to EAGAIN: release the claim, then rearm for the next event.
-  // Release-before-rearm, or a new event could land while busy is still
-  // set and be dropped by the CAS (oneshot events are not redelivered).
-  conn->busy.store(false);
-  if (!RearmIfCurrent(conn)) {
-    // Benign race with the reaper closing the descriptor under us.
-    return;
+  // One coalesced writev for every reply this burst produced.
+  if (!FlushConnection(r, conn)) CloseConnection(r, conn, nullptr);
+}
+
+void Server::QueueFrame(Reactor& r, Connection* conn,
+                        std::vector<std::uint8_t> wire) {
+  if (conn->outq.empty()) conn->last_write_progress_ms = NowMs();
+  conn->outq.push_back(std::move(wire));
+  // order: relaxed — single-writer gauge; scrapes read it cross-thread.
+  r.metrics.inflight_frames.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::QueueReply(Reactor& r, Connection* conn, Opcode opcode,
+                        const std::vector<std::uint8_t>& payload) {
+  QueueFrame(r, conn, EncodeFrame(opcode, payload));
+}
+
+void Server::QueueError(Reactor& r, Connection* conn, ErrorCode code,
+                        const std::string& message) {
+  metrics_.errors_sent.Inc();
+  QueueReply(r, conn, Opcode::kError, EncodeError(ErrorReply{code, message}));
+}
+
+bool Server::FlushConnection(Reactor& r, Connection* conn) {
+  while (!conn->outq.empty()) {
+    iovec iov[kMaxFlushIov];
+    int cnt = 0;
+    std::size_t skip = conn->out_off;
+    for (auto it = conn->outq.begin();
+         it != conn->outq.end() && cnt < kMaxFlushIov; ++it) {
+      iov[cnt].iov_base = it->data() + skip;
+      iov[cnt].iov_len = it->size() - skip;
+      skip = 0;  // only the oldest frame can be partially written
+      ++cnt;
+    }
+    const ssize_t n = RetryWritev(conn->fd, iov, cnt);
+    if (n <= 0) {
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        return false;  // peer gone (EPIPE/ECONNRESET/...)
+      }
+      // Short write: the socket buffer is full. Park the remainder on the
+      // connection and let EPOLLOUT resume the flush — the reactor moves
+      // on to its other connections instead of blocking on this one.
+      r.metrics.short_writes.Inc();
+      if (!conn->want_write) {
+        conn->want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP;
+        ev.data.fd = conn->fd;
+        (void)::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+      return true;
+    }
+    metrics_.bytes_written.Inc(static_cast<std::uint64_t>(n));
+    conn->last_write_progress_ms = NowMs();
+    std::size_t remaining = static_cast<std::size_t>(n);
+    while (remaining > 0) {
+      std::vector<std::uint8_t>& front = conn->outq.front();
+      const std::size_t left = front.size() - conn->out_off;
+      if (remaining < left) {
+        conn->out_off += remaining;
+        break;
+      }
+      remaining -= left;
+      conn->out_off = 0;
+      conn->outq.pop_front();
+      // order: relaxed — single-writer gauge; scrapes read cross-thread.
+      r.metrics.inflight_frames.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
-}
-
-bool Server::RearmIfCurrent(const std::shared_ptr<Connection>& conn) {
-  // Between the busy release and this rearm the reaper can close and erase
-  // the connection and the kernel can recycle the fd number for a newly
-  // accepted one; a stale MOD would then rearm the new connection's
-  // oneshot and make its reader lose the busy CAS (dropping an event).
-  // Close-and-erase and accept-and-insert both happen under conn_mu_, so
-  // validating pointer identity and issuing the MOD under the same lock
-  // guarantees the descriptor cannot be recycled in between.
-  base::MutexLock lock(&conn_mu_);
-  auto it = connections_.find(conn->fd);
-  if (it == connections_.end() || it->second != conn) return false;
-  return RearmConnection(*conn);
-}
-
-bool Server::RearmConnection(const Connection& conn) {
-  epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLONESHOT | EPOLLRDHUP;
-  ev.data.fd = conn.fd;
-  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0;
-}
-
-void Server::CloseConnection(const std::shared_ptr<Connection>& conn,
-                             engine::Counter* reason) {
-  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
-  {
-    base::MutexLock lock(&conn_mu_);
-    connections_.erase(conn->fd);
+  if (conn->want_write) {
+    conn->want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = conn->fd;
+    (void)::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
   }
-  CloseFd(conn->fd);
-  metrics_.connections_closed.Inc();
-  if (reason != nullptr) reason->Inc();
-  // order: relaxed — gauge bookkeeping only.
-  metrics_.connections_active.fetch_sub(1, std::memory_order_relaxed);
-}
-
-bool Server::SendFrame(const std::shared_ptr<Connection>& conn, Opcode opcode,
-                       const std::vector<std::uint8_t>& payload) {
-  const std::vector<std::uint8_t> wire = EncodeFrame(opcode, payload);
-  auto written =
-      WriteFull(conn->fd, wire.data(), wire.size(), config_.write_timeout_ms);
-  if (!written.ok() || written.value() != IoStatus::kOk) return false;
-  metrics_.bytes_written.Inc(wire.size());
-  conn->last_activity_ms.store(NowMs());
   return true;
 }
 
-bool Server::SendError(const std::shared_ptr<Connection>& conn, ErrorCode code,
-                       const std::string& message) {
-  metrics_.errors_sent.Inc();
-  return SendFrame(conn, Opcode::kError,
-                   EncodeError(ErrorReply{code, message}));
+void Server::FlushBlocking(Reactor& r, Connection* conn) {
+  while (!conn->outq.empty()) {
+    std::vector<std::uint8_t>& front = conn->outq.front();
+    const std::size_t left = front.size() - conn->out_off;
+    auto written = WriteFull(conn->fd, front.data() + conn->out_off, left,
+                             config_.write_timeout_ms);
+    if (!written.ok() || written.value() != IoStatus::kOk) return;
+    metrics_.bytes_written.Inc(left);
+    conn->out_off = 0;
+    conn->outq.pop_front();
+    // order: relaxed — single-writer gauge; scrapes read cross-thread.
+    r.metrics.inflight_frames.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
-bool Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
-                           const Frame& frame) {
-  metrics_.frames_decoded.Inc();
-  const std::uint64_t start_ns = engine::NowNs();
-  // order: relaxed ×2 — approximate load-shedding threshold; an off-by-one
-  // under contention only shifts where BUSY kicks in.
-  const std::int64_t inflight =
-      inflight_frames_.fetch_add(1, std::memory_order_relaxed) + 1;
-  struct InflightGuard {
-    std::atomic<std::int64_t>* counter;
-    ~InflightGuard() {
-      counter->fetch_sub(1, std::memory_order_relaxed);  // order: relaxed
-    }
-  } guard{&inflight_frames_};
+void Server::CloseConnection(Reactor& r, Connection* conn,
+                             engine::Counter* reason) {
+  if (!conn->outq.empty()) {
+    // Undelivered replies die with the connection; release their slots.
+    // order: relaxed — gauge bookkeeping only.
+    r.metrics.inflight_frames.fetch_sub(
+        static_cast<std::int64_t>(conn->outq.size()),
+        std::memory_order_relaxed);
+  }
+  const int fd = conn->fd;
+  (void)::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  CloseFd(fd);
+  metrics_.connections_closed.Inc();
+  if (reason != nullptr) reason->Inc();
+  // order: relaxed ×2 — gauge bookkeeping only.
+  metrics_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  connections_total_.fetch_sub(1, std::memory_order_relaxed);
+  r.conns.erase(fd);  // destroys *conn
+}
 
-  if (inflight > static_cast<std::int64_t>(config_.max_inflight_frames)) {
+void Server::SweepTimeouts(Reactor& r, std::int64_t now_ms) {
+  // A non-positive timeout means "never": each deadline can be disabled
+  // independently without silently dropping the others.
+  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t read_limit =
+      config_.read_timeout_ms > 0 ? config_.read_timeout_ms : kNever;
+  const std::int64_t idle_limit =
+      config_.idle_timeout_ms > 0 ? config_.idle_timeout_ms : kNever;
+  const std::int64_t write_limit =
+      config_.write_timeout_ms > 0 ? config_.write_timeout_ms : kNever;
+  std::vector<int> victims;
+  for (const auto& [fd, conn] : r.conns) {
+    // A peer with queued replies is judged on write progress; a stalled
+    // mid-frame sender on the (shorter) read deadline; a merely quiet
+    // connection on the idle deadline.
+    if (!conn->outq.empty()) {
+      if (now_ms - conn->last_write_progress_ms >= write_limit) {
+        victims.push_back(fd);
+      }
+    } else if (conn->decoder.buffered() > 0) {
+      if (now_ms - conn->last_activity_ms >= read_limit) {
+        victims.push_back(fd);
+      }
+    } else if (now_ms - conn->last_activity_ms >= idle_limit) {
+      victims.push_back(fd);
+    }
+  }
+  for (const int fd : victims) {
+    const auto it = r.conns.find(fd);
+    if (it != r.conns.end()) {
+      CloseConnection(r, it->second.get(), &metrics_.connections_reaped);
+    }
+  }
+}
+
+bool Server::DispatchFrame(Reactor& r, Connection* conn,
+                           const FrameView& frame) {
+  metrics_.frames_decoded.Inc();
+  r.metrics.frames_decoded.Inc();
+  const std::uint64_t start_ns = engine::NowNs();
+  const std::uint8_t* payload = frame.payload;
+  const std::size_t size = frame.header.payload_size;
+
+  // Per-reactor backpressure: the gauge counts reply frames queued on this
+  // reactor's connections and not yet flushed; admitting this frame would
+  // push it past the per-reactor bound, so shed it instead. Each reactor
+  // is an independent arena — a flooded sibling never BUSYs this one.
+  // order: relaxed — only this thread mutates the gauge.
+  const std::int64_t inflight =
+      r.metrics.inflight_frames.load(std::memory_order_relaxed);
+  if (inflight + 1 > max_inflight_) {
     metrics_.busy_replies.Inc();
-    return SendFrame(conn, Opcode::kBusy, {});
+    r.metrics.busy_replies.Inc();
+    QueueReply(r, conn, Opcode::kBusy, {});
+    return true;
   }
 
   switch (frame.header.opcode) {
     case Opcode::kPing: {
-      if (frame.payload.size() > kMaxPingEcho) {
+      if (size > kMaxPingEcho) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload,
-                         "PING echo payload too large");
+        QueueError(r, conn, ErrorCode::kMalformedPayload,
+                   "PING echo payload too large");
+        return true;
       }
       metrics_.pings_served.Inc();
-      return SendFrame(conn, Opcode::kPong, frame.payload);
+      QueueReply(r, conn, Opcode::kPong,
+                 std::vector<std::uint8_t>(payload, payload + size));
+      return true;
     }
 
     case Opcode::kLookup: {
-      auto req = DecodeLookup(frame.payload.data(), frame.payload.size());
+      auto req = DecodeLookup(payload, size);
       if (!req.ok()) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload, req.error());
+        QueueError(r, conn, ErrorCode::kMalformedPayload, req.error());
+        return true;
       }
       const LookupRecord record =
           LookupRecord::FromMatch(engine_->Lookup(req.value().address));
-      if (!SendFrame(conn, Opcode::kLookupResult, EncodeLookupRecord(record))) {
-        return false;
-      }
+      QueueReply(r, conn, Opcode::kLookupResult, EncodeLookupRecord(record));
       metrics_.lookups_served.Inc();
+      r.metrics.lookups_served.Inc();
       metrics_.lookup_service_ns.Record(engine::NowNs() - start_ns);
       return true;
     }
 
     case Opcode::kBatchLookup: {
-      auto req = DecodeBatchLookup(frame.payload.data(), frame.payload.size());
-      if (!req.ok()) {
+      // The fast path end-to-end: decode straight out of the frame view
+      // into the reactor's reusable address buffer, resolve the whole
+      // batch in one engine call (single RCU acquire, prefetched flat
+      // directory), and append the complete reply frame directly — no
+      // LookupRecord vector, no payload copy, no per-frame allocation
+      // once the scratch buffers are warm.
+      auto count = DecodeBatchLookupInto(payload, size, &r.batch_addrs);
+      if (!count.ok()) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload, req.error());
+        QueueError(r, conn, ErrorCode::kMalformedPayload, count.error());
+        return true;
       }
-      // One engine batch call: single RCU acquire + prefetched flat-LPM
-      // resolution, and every record answers from the same table version.
-      const std::vector<net::IpAddress>& addresses = req.value().addresses;
-      std::vector<std::optional<bgp::PrefixTable::Match>> matches(
-          addresses.size());
-      engine_->LookupBatch(addresses, matches);
-      std::vector<LookupRecord> records;
-      records.reserve(addresses.size());
-      for (const auto& match : matches) {
-        records.push_back(LookupRecord::FromMatch(match));
-      }
-      if (!SendFrame(conn, Opcode::kBatchResult, EncodeBatchResult(records))) {
-        return false;
-      }
-      metrics_.lookups_served.Inc(records.size());
+      const std::size_t batch = count.value();
+      if (r.batch_matches.size() < batch) r.batch_matches.resize(batch);
+      engine_->LookupBatch(
+          std::span<const net::IpAddress>(r.batch_addrs.data(), batch),
+          std::span<std::optional<bgp::PrefixTable::Match>>(
+              r.batch_matches.data(), batch));
+      std::vector<std::uint8_t> wire;
+      AppendBatchResultFrame(r.batch_matches.data(), batch, &wire);
+      QueueFrame(r, conn, std::move(wire));
+      metrics_.lookups_served.Inc(batch);
+      r.metrics.lookups_served.Inc(batch);
       metrics_.lookup_service_ns.Record(engine::NowNs() - start_ns);
       return true;
     }
 
     case Opcode::kIngestUpdate: {
-      auto req = DecodeIngest(frame.payload.data(), frame.payload.size());
+      auto req = DecodeIngest(payload, size);
       if (!req.ok()) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload, req.error());
+        QueueError(r, conn, ErrorCode::kMalformedPayload, req.error());
+        return true;
       }
       if (req.value().source_id >=
           static_cast<std::uint32_t>(
               config_.source_count < 0 ? 0 : config_.source_count)) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload,
-                         "unknown ingest source id");
+        QueueError(r, conn, ErrorCode::kMalformedPayload,
+                   "unknown ingest source id");
+        return true;
       }
       IngestJob job;
       job.request = std::move(req).value();
       {
         base::MutexLock lock(&ingest_mu_);
         if (ingest_stopping_) {
-          return SendError(conn, ErrorCode::kShuttingDown,
-                           "server is draining");
+          QueueError(r, conn, ErrorCode::kShuttingDown, "server is draining");
+          return true;
         }
         if (ingest_queue_.size() >= config_.max_inflight_frames) {
           metrics_.busy_replies.Inc();
-          return SendFrame(conn, Opcode::kBusy, {});
+          r.metrics.busy_replies.Inc();
+          QueueReply(r, conn, Opcode::kBusy, {});
+          return true;
         }
         ingest_queue_.push_back(&job);
       }
       ingest_cv_.NotifyOne();
+      // Control-plane wait: the reactor parks until the single ingest
+      // thread has applied the update, so the ack it queues is a real
+      // visibility guarantee. Lookups on OTHER reactors proceed
+      // unimpeded; this reactor's arena is briefly paused, bounded by
+      // the ingest queue cap.
       std::uint64_t version = 0;
       {
         base::MutexLock lock(&job.mu);
         while (!job.done) job.cv.Wait(job.mu);
         version = job.table_version;
       }
-      if (!SendFrame(conn, Opcode::kIngestAck,
-                     EncodeIngestAck(IngestAck{version}))) {
-        return false;
-      }
+      QueueReply(r, conn, Opcode::kIngestAck,
+                 EncodeIngestAck(IngestAck{version}));
       metrics_.ingests_applied.Inc();
       return true;
     }
 
     case Opcode::kStats: {
-      if (!frame.payload.empty()) {
+      if (size != 0) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload,
-                         "STATS takes no payload");
+        QueueError(r, conn, ErrorCode::kMalformedPayload,
+                   "STATS takes no payload");
+        return true;
       }
       const std::string text = StatsText();
       metrics_.stats_served.Inc();
-      return SendFrame(
-          conn, Opcode::kStatsText,
-          std::vector<std::uint8_t>(text.begin(), text.end()));
+      QueueReply(r, conn, Opcode::kStatsText,
+                 std::vector<std::uint8_t>(text.begin(), text.end()));
+      return true;
     }
 
     case Opcode::kClusterLookup: {
       if (config_.cluster_node_id < 0) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kUnsupportedOpcode,
-                         "CLUSTER_LOOKUP requires cluster mode");
+        QueueError(r, conn, ErrorCode::kUnsupportedOpcode,
+                   "CLUSTER_LOOKUP requires cluster mode");
+        return true;
       }
-      auto req =
-          DecodeClusterLookup(frame.payload.data(), frame.payload.size());
+      auto req = DecodeClusterLookup(payload, size);
       if (!req.ok()) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload, req.error());
+        QueueError(r, conn, ErrorCode::kMalformedPayload, req.error());
+        return true;
       }
       const auto topo = AcquireTopology();
       if (topo == nullptr) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload,
-                         "no topology installed");
+        QueueError(r, conn, ErrorCode::kMalformedPayload,
+                   "no topology installed");
+        return true;
       }
       // A redirect is the protocol's "ask again with fresher routing":
       // never answer for blocks this node does not own at the client's
       // epoch, or a mid-rebalance client could read a stale shard.
       if (req.value().epoch != topo->topo.epoch || topo->self_index < 0) {
         metrics_.redirects_sent.Inc();
-        return SendFrame(conn, Opcode::kRedirect,
-                         EncodeRedirect(RedirectReply{
-                             RedirectReason::kStaleEpoch, topo->topo.epoch}));
+        QueueReply(r, conn, Opcode::kRedirect,
+                   EncodeRedirect(RedirectReply{RedirectReason::kStaleEpoch,
+                                                topo->topo.epoch}));
+        return true;
       }
       const std::vector<net::IpAddress>& addresses = req.value().addresses;
       for (const net::IpAddress address : addresses) {
         if (topo->owner[address.bits() >> 16] !=
             static_cast<std::uint16_t>(topo->self_index)) {
           metrics_.redirects_sent.Inc();
-          return SendFrame(conn, Opcode::kRedirect,
-                           EncodeRedirect(RedirectReply{
-                               RedirectReason::kNotOwner, topo->topo.epoch}));
+          QueueReply(r, conn, Opcode::kRedirect,
+                     EncodeRedirect(RedirectReply{RedirectReason::kNotOwner,
+                                                  topo->topo.epoch}));
+          return true;
         }
       }
       std::vector<std::optional<bgp::PrefixTable::Match>> matches(
@@ -574,10 +764,7 @@ bool Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
       for (const auto& match : matches) {
         result.records.push_back(LookupRecord::FromMatch(match));
       }
-      if (!SendFrame(conn, Opcode::kClusterResult,
-                     EncodeClusterResult(result))) {
-        return false;
-      }
+      QueueReply(r, conn, Opcode::kClusterResult, EncodeClusterResult(result));
       metrics_.cluster_lookups_served.Inc(result.records.size());
       metrics_.lookup_service_ns.Record(engine::NowNs() - start_ns);
       return true;
@@ -586,67 +773,77 @@ bool Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
     case Opcode::kTopology: {
       if (config_.cluster_node_id < 0) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kUnsupportedOpcode,
-                         "TOPOLOGY requires cluster mode");
+        QueueError(r, conn, ErrorCode::kUnsupportedOpcode,
+                   "TOPOLOGY requires cluster mode");
+        return true;
       }
-      if (!frame.payload.empty()) {
+      if (size != 0) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload,
-                         "TOPOLOGY takes no payload");
+        QueueError(r, conn, ErrorCode::kMalformedPayload,
+                   "TOPOLOGY takes no payload");
+        return true;
       }
       const auto topo = AcquireTopology();
       if (topo == nullptr) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload,
-                         "no topology installed");
+        QueueError(r, conn, ErrorCode::kMalformedPayload,
+                   "no topology installed");
+        return true;
       }
-      return SendFrame(conn, Opcode::kTopologyReply,
-                       EncodeTopology(topo->topo));
+      QueueReply(r, conn, Opcode::kTopologyReply, EncodeTopology(topo->topo));
+      return true;
     }
 
     case Opcode::kSetTopology: {
       if (config_.cluster_node_id < 0) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kUnsupportedOpcode,
-                         "SET_TOPOLOGY requires cluster mode");
+        QueueError(r, conn, ErrorCode::kUnsupportedOpcode,
+                   "SET_TOPOLOGY requires cluster mode");
+        return true;
       }
-      auto topo = DecodeTopology(frame.payload.data(), frame.payload.size());
+      auto topo = DecodeTopology(payload, size);
       if (!topo.ok()) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload, topo.error());
+        QueueError(r, conn, ErrorCode::kMalformedPayload, topo.error());
+        return true;
       }
       auto installed = SetTopology(topo.value());
       if (!installed.ok()) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload,
-                         installed.error());
+        QueueError(r, conn, ErrorCode::kMalformedPayload, installed.error());
+        return true;
       }
-      return SendFrame(conn, Opcode::kSetTopologyAck,
-                       EncodeTopologyAck(topo.value().epoch));
+      QueueReply(r, conn, Opcode::kSetTopologyAck,
+                 EncodeTopologyAck(topo.value().epoch));
+      return true;
     }
 
     case Opcode::kClusterStats: {
       if (config_.cluster_node_id < 0) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kUnsupportedOpcode,
-                         "CLUSTER_STATS requires cluster mode");
+        QueueError(r, conn, ErrorCode::kUnsupportedOpcode,
+                   "CLUSTER_STATS requires cluster mode");
+        return true;
       }
-      if (!frame.payload.empty()) {
+      if (size != 0) {
         metrics_.frames_rejected.Inc();
-        return SendError(conn, ErrorCode::kMalformedPayload,
-                         "CLUSTER_STATS takes no payload");
+        QueueError(r, conn, ErrorCode::kMalformedPayload,
+                   "CLUSTER_STATS takes no payload");
+        return true;
       }
       const ClusterStatsRecord record = BuildClusterStats(AcquireTopology());
       metrics_.cluster_stats_served.Inc();
-      return SendFrame(conn, Opcode::kClusterStatsReply,
-                       EncodeClusterStats(record));
+      QueueReply(r, conn, Opcode::kClusterStatsReply,
+                 EncodeClusterStats(record));
+      return true;
     }
 
     default: {
       metrics_.frames_rejected.Inc();
-      return SendError(conn, ErrorCode::kUnsupportedOpcode,
-                       std::string("not a request opcode: ") +
-                           OpcodeName(frame.header.opcode));
+      QueueError(r, conn, ErrorCode::kUnsupportedOpcode,
+                 std::string("not a request opcode: ") +
+                     OpcodeName(frame.header.opcode));
+      return true;
     }
   }
 }
@@ -673,56 +870,10 @@ void Server::IngestLoop() {
       job->done = true;
       job->table_version = version;
       // Notify while still holding job->mu: the job lives on the waiting
-      // reader's stack, and the reader cannot return from Wait() (and
+      // reactor's stack, and the reactor cannot return from Wait() (and
       // destroy the job) until this mutex is released — signalling after
       // unlocking would race the job's destruction.
       job->cv.NotifyAll();
-    }
-  }
-}
-
-void Server::ReaperLoop() {
-  // A non-positive timeout means "never": the thread runs whenever either
-  // timeout is active, so disabling one leaves the other enforced.
-  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
-  const std::int64_t read_limit =
-      config_.read_timeout_ms > 0 ? config_.read_timeout_ms : kNever;
-  const std::int64_t idle_limit =
-      config_.idle_timeout_ms > 0 ? config_.idle_timeout_ms : kNever;
-  while (!stopping_.load()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(25));
-    const std::int64_t now = NowMs();
-    std::vector<std::shared_ptr<Connection>> victims;
-    {
-      base::MutexLock lock(&conn_mu_);
-      for (auto& [fd, conn] : connections_) {
-        // Cheap pre-filter on the shorter threshold (the decoder cannot be
-        // inspected before claiming the connection).
-        if (now - conn->last_activity_ms.load() <
-            std::min(read_limit, idle_limit)) {
-          continue;
-        }
-        bool expected = false;
-        // Claiming makes the inspection and close exclusive: a reader that
-        // loses this CAS drops its event, so the descriptor cannot be
-        // mid-service underneath us.
-        if (!conn->busy.compare_exchange_strong(expected, true)) continue;
-        // A stalled mid-frame peer is cut off on the (shorter) read
-        // timeout; a merely quiet one on the idle timeout.
-        const std::int64_t limit =
-            conn->decoder.buffered() > 0 ? read_limit : idle_limit;
-        if (now - conn->last_activity_ms.load() >= limit) {
-          victims.push_back(conn);
-          continue;
-        }
-        // Not expired after all: release the claim and rearm, recovering
-        // any oneshot event a reader dropped while we held the claim.
-        conn->busy.store(false);
-        (void)RearmConnection(*conn);
-      }
-    }
-    for (const auto& conn : victims) {
-      CloseConnection(conn, &metrics_.connections_reaped);
     }
   }
 }

@@ -3,28 +3,51 @@
 //
 // Threading model (see DESIGN.md "Service layer" for the diagram):
 //
-//   * N reader threads share one epoll instance. Connection descriptors
-//     are armed EPOLLONESHOT, so at most one reader services a connection
-//     at a time — all I/O for a connection happens on whichever reader
-//     claimed its event, and no per-frame locking is needed.
-//   * LOOKUP / BATCH_LOOKUP are answered directly on the reader thread via
-//     Engine::Lookup() — lock-free reads of the RCU-published PrefixTable
-//     snapshot, never blocking on ingest.
+//   * N shared-nothing reactors. Each reactor owns its own epoll
+//     instance, its own SO_REUSEPORT listener on the shared port (the
+//     kernel spreads accepts across them — no thundering herd, no
+//     accept serialization), its own connection table, and its own
+//     reusable batch-lookup buffers. A connection lives its whole life
+//     on the reactor that accepted it, so the data plane takes no locks:
+//     no shared connection map, no EPOLLONESHOT claim CAS, no cross-core
+//     cache-line traffic per frame.
+//   * LOOKUP / BATCH_LOOKUP are answered on the owning reactor via
+//     Engine::Lookup()/LookupBatch() — lock-free reads of the
+//     RCU-published PrefixTable snapshot, never blocking on ingest.
+//     BATCH_LOOKUP is the fast path end-to-end: the frame payload is
+//     decoded straight out of the FrameDecoder's buffer into the
+//     reactor's address vector, one LookupBatch call resolves it, and
+//     the reply frame is appended directly to the connection's outgoing
+//     buffer (AppendBatchResultFrame — no intermediate LookupRecord or
+//     payload vector).
+//   * Replies are queued on the connection and flushed with writev(2),
+//     coalescing every frame produced by one readable burst into one
+//     syscall. A flush that hits EAGAIN parks the remainder and arms
+//     EPOLLOUT — a slow reader costs memory on its own connection, never
+//     a blocked reactor.
 //   * INGEST_UPDATE frames are forwarded to ONE ingest thread through a
 //     bounded queue (the engine's routing-plane API is single-threaded by
-//     contract). The reader blocks until the ingest thread has applied the
-//     update, then writes the IngestAck itself — so an ack in hand
+//     contract). The reactor blocks until the ingest thread has applied
+//     the update, then queues the IngestAck itself — so an ack in hand
 //     guarantees later lookups see a table version >= the acked one.
-//   * A reaper thread closes connections idle past the configured timeout.
+//     Ingest is control-plane traffic; the wait is bounded by the queue
+//     cap and does not sit on the lookup path.
+//   * Idle/stalled connections are reaped by their own reactor between
+//     epoll waits (the epoll timeout doubles as the sweep tick) — there
+//     is no separate reaper thread and no claim handshake.
 //
 // Backpressure is explicit, never silent: over max_connections the
-// listener accepts, writes one BUSY frame and closes; a full ingest queue
-// or too many in-flight frames answers the offending frame with BUSY and
-// keeps the connection open so the client can retry.
+// accepting reactor writes one BUSY frame and closes; a full ingest
+// queue or too many in-flight frames ON THAT REACTOR answers the
+// offending frame with BUSY and keeps the connection open so the client
+// can retry. max_inflight_frames is a per-reactor bound (each reactor is
+// an independent arena); STATS exposes both the per-reactor gauges and
+// their sum.
 //
 // Shutdown (Stop(), or SIGTERM in the daemon) is a graceful drain: stop
-// accepting, let every claimed frame finish (including queued ingests),
-// join the threads, then close what remains.
+// accepting, let every decoded frame finish (including queued ingests),
+// flush every queued reply within the write deadline, join the threads,
+// then close what remains.
 #pragma once
 
 #include <atomic>
@@ -49,24 +72,31 @@ struct ServerConfig {
   /// TCP port to bind on loopback; 0 picks an ephemeral port (read it back
   /// with Server::port()).
   std::uint16_t port = 0;
-  /// Reader thread count; <= 0 selects 2.
-  int reader_threads = 2;
-  /// Accepted-connection ceiling; the listener BUSY+closes beyond it.
+  /// Reactor count (one epoll + listener + connection arena each);
+  /// <= 0 selects 2.
+  int reactors = 2;
+  /// Accepted-connection ceiling across all reactors; the accepting
+  /// reactor BUSY+closes beyond it.
   std::size_t max_connections = 64;
-  /// Decoded-but-unanswered frame ceiling across all connections (this
-  /// bounds the ingest queue too); excess frames get BUSY replies.
+  /// Decoded-but-unanswered frame ceiling PER REACTOR (a reply still
+  /// queued on a connection counts until it is flushed; this bounds the
+  /// ingest queue too). Excess frames get BUSY replies.
   std::size_t max_inflight_frames = 128;
   /// Idle-connection reap threshold. <= 0 disables idle reaping only;
-  /// read_timeout_ms stays enforced (the reaper runs while either timeout
+  /// read_timeout_ms stays enforced (the sweep runs while any timeout
   /// is positive).
   int idle_timeout_ms = 30'000;
-  /// Per-connection deadline for writing one response.
+  /// Deadline for a connection with queued reply bytes to make write
+  /// progress; a peer that stops reading is cut off.
   int write_timeout_ms = 5'000;
   /// Deadline for draining a partially received frame once its first bytes
   /// have arrived (a peer that stalls mid-frame is cut off). <= 0 disables
   /// the mid-frame cutoff.
   int read_timeout_ms = 5'000;
   int listen_backlog = 64;
+  /// SO_SNDBUF for accepted sockets; <= 0 keeps the kernel default. Tests
+  /// shrink it to force EAGAIN on the reply path.
+  int accepted_sndbuf_bytes = 0;
   /// Engine source ids in [0, source_count) are accepted from
   /// INGEST_UPDATE frames; others get a malformed-payload ERROR. The
   /// daemon sets this to the number of sources it registered.
@@ -86,13 +116,13 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, arms the epoll loop and spawns the reader/ingest/reaper
-  /// threads. Returns the bound port.
+  /// Binds one SO_REUSEPORT listener per reactor, spawns the reactor and
+  /// ingest threads. Returns the bound port.
   [[nodiscard]] Result<std::uint16_t> Serve();
 
-  /// Graceful drain: stop accepting, finish in-flight frames, join all
-  /// threads, close remaining connections. Idempotent; the destructor
-  /// calls it.
+  /// Graceful drain: stop accepting, finish in-flight frames, flush
+  /// queued replies, join all threads, close remaining connections.
+  /// Idempotent; the destructor calls it.
   void Stop();
 
   /// Bound port (valid after Serve()).
@@ -100,7 +130,18 @@ class Server {
 
   [[nodiscard]] const ServerMetrics& metrics() const { return metrics_; }
 
-  /// Plain-text STATS body: server exposition + engine exposition.
+  /// Reactors actually running (valid after Serve()).
+  [[nodiscard]] std::size_t reactor_count() const { return reactors_.size(); }
+
+  /// Reactor `i`'s own counters — which listener a connection landed on,
+  /// how much it served, its current inflight gauge. Tests use the deltas
+  /// to discover the (kernel-chosen) connection->reactor assignment.
+  [[nodiscard]] const ReactorMetrics& reactor_metrics(std::size_t i) const {
+    return reactors_[i]->metrics;
+  }
+
+  /// Plain-text STATS body: server exposition (including the per-reactor
+  /// inflight gauges and their sum) + engine exposition.
   [[nodiscard]] std::string StatsText() const;
 
   /// Installs `topo` as the routing truth for cluster dispatch. Requires
@@ -124,20 +165,43 @@ class Server {
     std::vector<std::uint16_t> owner;  // kShardBlockCount entries
     int self_index = -1;               // this node's index, -1 if absent
   };
-  /// One accepted connection. Owned by connections_; serviced by at most
-  /// one reader at a time (EPOLLONESHOT).
+
+  /// One accepted connection. Owned by exactly one reactor's table and
+  /// touched only from that reactor's thread — every member is plain.
   struct Connection {
     int fd = -1;
     FrameDecoder decoder;
-    /// Last activity stamp (ms, steady clock) for the idle reaper.
-    std::atomic<std::int64_t> last_activity_ms{0};
-    /// Set while a reader services the connection; the reaper skips busy
-    /// connections so it never closes a descriptor mid-frame.
-    std::atomic<bool> busy{false};
+    /// Reply frames not yet fully written, oldest first. outq.front() may
+    /// be partially flushed (out_off bytes already on the wire).
+    std::deque<std::vector<std::uint8_t>> outq;
+    std::size_t out_off = 0;
+    /// True while EPOLLOUT is armed (outq non-empty after an EAGAIN).
+    bool want_write = false;
+    /// Last byte received (idle/read-stall sweep).
+    std::int64_t last_activity_ms = 0;
+    /// Last write progress while outq is non-empty (write-stall sweep).
+    std::int64_t last_write_progress_ms = 0;
   };
 
-  /// A decoded INGEST_UPDATE parked for the ingest thread. The reader
-  /// waits on `done` and then writes the ack itself.
+  /// One shared-nothing event loop: epoll + listener + wake descriptor +
+  /// connection arena + reusable batch buffers, all owned by one thread.
+  struct Reactor {
+    std::size_t index = 0;
+    int epoll_fd = -1;
+    int listen_fd = -1;
+    int wake_fd = -1;  // eventfd; written once at Stop(), never read
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+    /// BATCH_LOOKUP scratch, reused across frames: the decoded addresses
+    /// and the engine's answers live here, capacity warm after the first
+    /// big batch.
+    std::vector<net::IpAddress> batch_addrs;
+    std::vector<std::optional<bgp::PrefixTable::Match>> batch_matches;
+    ReactorMetrics metrics;
+    std::thread thread;
+  };
+
+  /// A decoded INGEST_UPDATE parked for the ingest thread. The reactor
+  /// waits on `done` and then queues the ack itself.
   struct IngestJob {
     IngestRequest request;
     base::Mutex mu;
@@ -146,54 +210,63 @@ class Server {
     std::uint64_t table_version GUARDED_BY(mu) = 0;
   };
 
-  void ReaderLoop();
+  void ReactorLoop(Reactor& r);
   void IngestLoop();
-  void ReaperLoop();
 
-  /// Accepts until EAGAIN; enforces max_connections with BUSY+close.
-  void AcceptNew();
+  /// Accepts until EAGAIN on `r`'s listener; enforces max_connections
+  /// (global gauge) with BUSY+close.
+  void AcceptNew(Reactor& r);
 
-  /// Services one readable connection: drain the socket, decode and answer
-  /// every complete frame, then rearm (or close on error/EOF).
-  void ServiceConnection(const std::shared_ptr<Connection>& conn);
+  /// Services one readable connection: drain the socket, decode and
+  /// dispatch every complete frame, then flush the replies in one writev.
+  void ServiceReadable(Reactor& r, Connection* conn);
 
-  /// Dispatches one decoded frame. Returns false when the connection must
-  /// be closed (write failure or protocol violation).
-  [[nodiscard]] bool DispatchFrame(const std::shared_ptr<Connection>& conn,
-                                   const Frame& frame);
+  /// Dispatches one decoded frame; the reply is appended to conn->outq.
+  /// Returns false when the connection must be closed (protocol
+  /// violation) — the caller flushes best-effort, then closes.
+  [[nodiscard]] bool DispatchFrame(Reactor& r, Connection* conn,
+                                   const FrameView& frame);
 
-  [[nodiscard]] bool SendFrame(const std::shared_ptr<Connection>& conn,
-                               Opcode opcode,
-                               const std::vector<std::uint8_t>& payload);
-  [[nodiscard]] bool SendError(const std::shared_ptr<Connection>& conn,
-                               ErrorCode code, const std::string& message);
+  /// Appends one encoded reply frame to the connection's queue and bumps
+  /// the reactor's inflight gauge (released as the frame flushes).
+  void QueueFrame(Reactor& r, Connection* conn,
+                  std::vector<std::uint8_t> wire);
+  void QueueReply(Reactor& r, Connection* conn, Opcode opcode,
+                  const std::vector<std::uint8_t>& payload);
+  void QueueError(Reactor& r, Connection* conn, ErrorCode code,
+                  const std::string& message);
 
-  /// Removes the connection from epoll + the table and closes it.
-  void CloseConnection(const std::shared_ptr<Connection>& conn,
-                       engine::Counter* reason);
+  /// Gathers conn->outq into writev until drained or EAGAIN (which arms
+  /// EPOLLOUT). Returns false on a fatal write error (peer gone).
+  [[nodiscard]] bool FlushConnection(Reactor& r, Connection* conn);
 
-  /// Rearms an EPOLLONESHOT descriptor for the next readable event, but
-  /// only after validating under conn_mu_ that the fd still maps to this
-  /// Connection — guards against the reaper closing it and the kernel
-  /// recycling the fd between the busy release and the rearm.
-  [[nodiscard]] bool RearmIfCurrent(const std::shared_ptr<Connection>& conn);
+  /// Removes the connection from the reactor's epoll + table and closes
+  /// it, releasing any still-queued inflight frames.
+  void CloseConnection(Reactor& r, Connection* conn, engine::Counter* reason);
 
-  /// Rearms an EPOLLONESHOT descriptor for the next readable event. The
-  /// caller must hold conn_mu_ so the fd cannot be closed and recycled
-  /// between its membership check and the epoll_ctl.
-  [[nodiscard]] bool RearmConnection(const Connection& conn)
-      REQUIRES(conn_mu_);
+  /// Best-effort bounded flush of whatever is queued (error replies on a
+  /// closing connection; drain). Blocking with the write deadline.
+  void FlushBlocking(Reactor& r, Connection* conn);
+
+  /// One pass over `r`'s connections enforcing the idle / read-stall /
+  /// write-stall deadlines. Runs between epoll waits on `r`'s thread.
+  void SweepTimeouts(Reactor& r, std::int64_t now_ms);
 
   engine::Engine* const engine_;
   const ServerConfig config_;
   mutable ServerMetrics metrics_;
 
-  int epoll_fd_ = -1;
-  int listen_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd; written once at Stop() to wake all readers
+  std::vector<std::unique_ptr<Reactor>> reactors_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   bool serving_ = false;  // main-thread lifecycle flag (Serve()/Stop())
+  /// Per-reactor decoded-but-unflushed ceiling (config, resolved once).
+  std::int64_t max_inflight_ = 0;
+
+  /// Live connection count across reactors, for the max_connections
+  /// check on accept. The one cross-reactor atomic on the accept path;
+  /// the lookup path never touches it.
+  std::atomic<std::int64_t> connections_total_{0};
 
   /// Current compiled topology under topo_mu_; null until SetTopology().
   [[nodiscard]] std::shared_ptr<const CompiledTopology> AcquireTopology() const;
@@ -201,10 +274,6 @@ class Server {
   /// Snapshot of this node's counters for a CLUSTER_STATS rollup.
   [[nodiscard]] ClusterStatsRecord BuildClusterStats(
       const std::shared_ptr<const CompiledTopology>& topo) const;
-
-  base::Mutex conn_mu_;
-  std::unordered_map<int, std::shared_ptr<Connection>> connections_
-      GUARDED_BY(conn_mu_);
 
   mutable base::Mutex topo_mu_;
   std::shared_ptr<const CompiledTopology> topology_ GUARDED_BY(topo_mu_);
@@ -214,12 +283,7 @@ class Server {
   std::deque<IngestJob*> ingest_queue_ GUARDED_BY(ingest_mu_);
   bool ingest_stopping_ GUARDED_BY(ingest_mu_) = false;
 
-  /// Decoded-but-unanswered frames across all connections (backpressure).
-  std::atomic<std::int64_t> inflight_frames_{0};
-
-  std::vector<std::thread> readers_;
   std::thread ingest_thread_;
-  std::thread reaper_thread_;
 };
 
 }  // namespace netclust::server

@@ -80,6 +80,10 @@ class FleetTest : public ::testing::Test {
 
       server::ServerConfig config;
       config.port = 0;
+      // Two reactors per node: fleet behavior (redirects, kill-one-node
+      // bit-identity, rebalance) must hold on the multi-reactor data
+      // plane, not just the single-loop degenerate case.
+      config.reactors = 2;
       config.source_count = 2;
       config.cluster_node_id = n + 1;
       servers_.push_back(std::make_unique<server::Server>(
@@ -405,6 +409,7 @@ TEST_F(FleetTest, JoiningANodeRebalancesAndServesItsShare) {
   engines_.push_back(SeedEngine("node4"));
   server::ServerConfig config;
   config.port = 0;
+  config.reactors = 2;
   config.source_count = 2;
   config.cluster_node_id = 4;
   servers_.push_back(std::make_unique<server::Server>(

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -506,6 +507,135 @@ TEST(TopologyAckCodec, RoundTripsTheEpoch) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.value(), 12u);
   EXPECT_FALSE(DecodeTopologyAck(wire.data(), 7).ok());
+}
+
+TEST(FrameDecoderViews, NextViewMatchesNextByteForByte) {
+  // NextView() is the reactor fast path: same frames, zero copies. Drive
+  // two decoders with the identical byte stream in awkward chunk sizes
+  // and require view and value decodes to agree exactly.
+  std::vector<std::uint8_t> stream;
+  const auto append = [&stream](const std::vector<std::uint8_t>& wire) {
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  };
+  append(EncodeFrame(Opcode::kPing, {1, 2, 3}));
+  append(EncodeFrame(Opcode::kLookup,
+                     EncodeLookup({IpAddress(151, 198, 200, 40)})));
+  BatchLookupRequest batch;
+  batch.addresses = {IpAddress(10, 0, 0, 1), IpAddress(192, 0, 2, 9)};
+  append(EncodeFrame(Opcode::kBatchLookup, EncodeBatchLookup(batch)));
+  append(EncodeFrame(Opcode::kStats, {}));
+
+  FrameDecoder by_value;
+  FrameDecoder by_view;
+  std::vector<Frame> values;
+  std::vector<Frame> views;
+  std::size_t offset = 0;
+  std::size_t chunk = 1;
+  while (offset < stream.size()) {
+    const std::size_t n = std::min(chunk, stream.size() - offset);
+    by_value.Feed(stream.data() + offset, n);
+    by_view.Feed(stream.data() + offset, n);
+    offset += n;
+    chunk = chunk * 2 + 1;  // 1, 3, 7, ... — split across every boundary
+    while (true) {
+      auto frame = by_value.Next();
+      ASSERT_TRUE(frame.ok()) << frame.error();
+      if (!frame.value().has_value()) break;
+      values.push_back(std::move(*frame.value()));
+    }
+    while (true) {
+      auto view = by_view.NextView();
+      ASSERT_TRUE(view.ok()) << view.error();
+      if (!view.value().has_value()) break;
+      Frame copied;
+      copied.header = view.value()->header;
+      copied.payload.assign(
+          view.value()->payload,
+          view.value()->payload + view.value()->header.payload_size);
+      views.push_back(std::move(copied));
+    }
+  }
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_EQ(values, views);
+  EXPECT_EQ(by_view.buffered(), 0u);
+
+  // Both variants reject the same garbage.
+  FrameDecoder bad;
+  const std::vector<std::uint8_t> junk(kHeaderSize, 0xFF);
+  bad.Feed(junk.data(), junk.size());
+  EXPECT_FALSE(bad.NextView().ok());
+}
+
+TEST(BatchLookupCodec, DecodeIntoMatchesDecodeAndReusesCapacity) {
+  BatchLookupRequest request;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    request.addresses.emplace_back((10u << 24) | (i * 7919u));
+  }
+  const std::vector<std::uint8_t> wire = EncodeBatchLookup(request);
+
+  const auto boxed = DecodeBatchLookup(wire.data(), wire.size());
+  ASSERT_TRUE(boxed.ok()) << boxed.error();
+
+  std::vector<IpAddress> into;
+  const auto count = DecodeBatchLookupInto(wire.data(), wire.size(), &into);
+  ASSERT_TRUE(count.ok()) << count.error();
+  EXPECT_EQ(count.value(), request.addresses.size());
+  EXPECT_EQ(into, boxed.value().addresses);
+
+  // The out-vector is a reusable scratch buffer: decoding a smaller batch
+  // into it must clear the stale tail, not append.
+  BatchLookupRequest small;
+  small.addresses = {IpAddress(192, 0, 2, 1)};
+  const std::vector<std::uint8_t> small_wire = EncodeBatchLookup(small);
+  const auto again =
+      DecodeBatchLookupInto(small_wire.data(), small_wire.size(), &into);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 1u);
+  ASSERT_EQ(into.size(), 1u);
+  EXPECT_EQ(into[0], IpAddress(192, 0, 2, 1));
+
+  // Same strictness as the boxed decode: truncated payloads are rejected.
+  EXPECT_FALSE(DecodeBatchLookupInto(wire.data(), wire.size() - 1, &into).ok());
+  EXPECT_FALSE(DecodeBatchLookupInto(wire.data(), 3, &into).ok());
+}
+
+TEST(BatchResultCodec, AppendBatchResultFrameIsByteIdenticalToEncodeFrame) {
+  // The reactor writes BATCH_RESULT frames straight from the engine's
+  // match array; the slow path goes Match -> LookupRecord ->
+  // EncodeBatchResult -> EncodeFrame. The two must produce the same
+  // bytes, or pipelined clients would see the data plane's answers
+  // diverge from the documented codec.
+  std::vector<std::optional<bgp::PrefixTable::Match>> matches;
+  matches.push_back(std::nullopt);
+  matches.push_back(bgp::PrefixTable::Match{
+      P("151.198.192.0/18"), bgp::SourceKind::kBgpTable, 0x5u, 1742u});
+  matches.push_back(bgp::PrefixTable::Match{
+      P("10.0.0.0/8"), bgp::SourceKind::kNetworkDump, 0x2u, 65000u});
+  matches.push_back(std::nullopt);
+  matches.push_back(bgp::PrefixTable::Match{
+      P("0.0.0.0/0"), bgp::SourceKind::kBgpTable, 0x1u, 0u});
+
+  std::vector<LookupRecord> records;
+  for (const auto& match : matches) {
+    records.push_back(LookupRecord::FromMatch(match));
+  }
+  const std::vector<std::uint8_t> expected =
+      EncodeFrame(Opcode::kBatchResult, EncodeBatchResult(records));
+
+  // Appending must also preserve whatever the buffer already holds (the
+  // reply queue may carry earlier frames).
+  std::vector<std::uint8_t> out{0xAA, 0xBB};
+  AppendBatchResultFrame(matches.data(), matches.size(), &out);
+  ASSERT_EQ(out.size(), 2 + expected.size());
+  EXPECT_EQ(out[0], 0xAA);
+  EXPECT_EQ(out[1], 0xBB);
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(), out.begin() + 2))
+      << "fast-path BATCH_RESULT bytes diverged from the codec";
+
+  // Empty batch: still a well-formed frame with count 0.
+  std::vector<std::uint8_t> empty;
+  AppendBatchResultFrame(nullptr, 0, &empty);
+  EXPECT_EQ(empty, EncodeFrame(Opcode::kBatchResult, EncodeBatchResult({})));
 }
 
 TEST(ClusterOpcodes, AreKnownAndClassified) {

@@ -4,20 +4,28 @@
 //
 //   * wire lookups are bit-identical to direct Engine::Lookup calls;
 //   * an INGEST_UPDATE acked mid-test is visible to subsequent lookups;
-//   * backpressure surfaces as BUSY (retryable), not as dropped bytes;
+//   * backpressure surfaces as BUSY (retryable), not as dropped bytes —
+//     and it is per-reactor: flooding one reactor leaves the others
+//     answering;
+//   * a reply that overruns the socket buffer parks behind EPOLLOUT and
+//     is delivered byte-exactly, without stalling the reactor;
+//   * accepts spread across the per-reactor SO_REUSEPORT listeners;
 //   * malformed frames draw an ERROR and close only that connection;
-//   * Stop() drains gracefully with clients still connected.
+//   * Stop() drains gracefully with clients still connected, including
+//     mid-pipeline (whole frames then EOF, never a torn frame).
 //
-// The whole file is run under TSan in CI (reader threads, the ingest
-// thread, and the reaper all cross the engine's RCU boundary here).
+// The whole file is run under TSan in CI (reactor threads and the ingest
+// thread all cross the engine's RCU boundary here).
 #include "server/server.h"
 
 #include <gtest/gtest.h>
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -442,7 +450,7 @@ TEST_F(ServerTest, BatchLookupSplitsTransparentlyAboveKMaxBatch) {
 
 TEST_F(ServerTest, LoadGeneratorSmokeOverConcurrentConnections) {
   ServerConfig config;
-  config.reader_threads = 2;
+  config.reactors = 4;
   const std::uint16_t port = Serve(config);
 
   loadgen::Options options;
@@ -462,6 +470,326 @@ TEST_F(ServerTest, LoadGeneratorSmokeOverConcurrentConnections) {
   EXPECT_GT(report.value().qps, 0.0);
   const std::string json = report.value().ToJson();
   EXPECT_NE(json.find("\"qps\""), std::string::npos);
+
+  // Same traffic pipelined: 4 frames in flight per connection, same
+  // totals, same full coverage.
+  options.pipeline = 4;
+  const Result<loadgen::Report> pipelined = loadgen::Run(options);
+  ASSERT_TRUE(pipelined.ok()) << pipelined.error();
+  EXPECT_EQ(pipelined.value().errors, 0u) << pipelined.value().first_error;
+  EXPECT_EQ(pipelined.value().frames_sent, 600u);
+  EXPECT_EQ(pipelined.value().lookups_done, 2'400u);
+  EXPECT_EQ(pipelined.value().found, pipelined.value().lookups_done);
+  EXPECT_NE(pipelined.value().ToJson().find("\"pipeline\": 4"),
+            std::string::npos);
+}
+
+// --- the reactor data plane's own acceptance contract ---
+
+/// Raw-socket helper: one request frame out, one reply frame back.
+Result<Frame> RoundTripRaw(int fd, const std::vector<std::uint8_t>& wire,
+                           int timeout_ms = 2'000) {
+  auto sent = WriteFull(fd, wire.data(), wire.size(), timeout_ms);
+  if (!sent.ok()) return Fail(sent.error());
+  if (sent.value() != IoStatus::kOk) return Fail("send did not complete");
+  std::uint8_t header_bytes[kHeaderSize];
+  auto got = ReadFull(fd, header_bytes, kHeaderSize, timeout_ms);
+  if (!got.ok()) return Fail(got.error());
+  if (got.value() != IoStatus::kOk) return Fail("no reply header");
+  auto header = DecodeFrameHeader(header_bytes, kHeaderSize);
+  if (!header.ok()) return Fail(header.error());
+  Frame frame;
+  frame.header = header.value();
+  frame.payload.resize(header.value().payload_size);
+  if (!frame.payload.empty()) {
+    auto body = ReadFull(fd, frame.payload.data(), frame.payload.size(),
+                         timeout_ms);
+    if (!body.ok()) return Fail(body.error());
+    if (body.value() != IoStatus::kOk) return Fail("torn reply payload");
+  }
+  return frame;
+}
+
+/// Which reactor owns the connection on `fd`? The kernel's SO_REUSEPORT
+/// hash decides, so tests discover it: ping once and see whose
+/// frames_decoded counter moved.
+int ReactorOf(Server* server, int fd) {
+  std::vector<std::uint64_t> before;
+  for (std::size_t i = 0; i < server->reactor_count(); ++i) {
+    before.push_back(server->reactor_metrics(i).frames_decoded.value());
+  }
+  auto pong = RoundTripRaw(fd, EncodeFrame(Opcode::kPing, {}));
+  if (!pong.ok() || pong.value().header.opcode != Opcode::kPong) return -1;
+  for (std::size_t i = 0; i < server->reactor_count(); ++i) {
+    if (server->reactor_metrics(i).frames_decoded.value() > before[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+TEST_F(ServerTest, AcceptsSpreadAcrossReactorListeners) {
+  // The single-listener bug this guards against: one EPOLLONESHOT
+  // listener serialized every accept through whichever thread won the
+  // rearm race. With one SO_REUSEPORT listener per reactor, the kernel's
+  // 4-tuple hash spreads connections — with 32 connections on 4
+  // listeners, all landing on one is a ~4^-31 event.
+  ServerConfig config;
+  config.reactors = 4;
+  const std::uint16_t port = Serve(config);
+  ASSERT_EQ(server_->reactor_count(), 4u);
+
+  std::vector<Client> clients;
+  for (int i = 0; i < 32; ++i) {
+    clients.push_back(ConnectOrDie(port));
+    ASSERT_TRUE(clients.back().Ping().ok());
+  }
+  int listeners_hit = 0;
+  std::uint64_t accepted_sum = 0;
+  for (std::size_t i = 0; i < server_->reactor_count(); ++i) {
+    const std::uint64_t accepted =
+        server_->reactor_metrics(i).connections_accepted.value();
+    accepted_sum += accepted;
+    if (accepted > 0) ++listeners_hit;
+  }
+  EXPECT_EQ(accepted_sum, 32u);
+  EXPECT_GE(listeners_hit, 2) << "accepts did not distribute across reactors";
+}
+
+TEST_F(ServerTest, SlowReaderGetsByteExactReplyWithoutStallingTheReactor) {
+  // Regression: the old reply path wrote with a blocking WriteFull, so a
+  // peer that stopped reading parked the reader thread for the whole
+  // write deadline. Now the overrun parks behind EPOLLOUT instead. One
+  // reactor, a tiny send buffer, and a 4096-address batch (a ~64KiB
+  // reply) guarantee the overrun.
+  ServerConfig config;
+  config.reactors = 1;
+  config.accepted_sndbuf_bytes = 4'096;
+  const std::uint16_t port = Serve(config);
+
+  std::vector<IpAddress> addresses;
+  addresses.reserve(kMaxBatch);
+  for (std::uint32_t i = 0; i < kMaxBatch; ++i) {
+    addresses.emplace_back((10u << 24) | (i * 977u));
+  }
+  std::vector<LookupRecord> expected_records;
+  for (const IpAddress address : addresses) {
+    expected_records.push_back(LookupRecord::FromMatch(
+        engine_->Lookup(address)));
+  }
+  const std::vector<std::uint8_t> expected =
+      EncodeFrame(Opcode::kBatchResult, EncodeBatchResult(expected_records));
+
+  const Result<int> fd = ConnectTcp("127.0.0.1", port, 2'000);
+  ASSERT_TRUE(fd.ok()) << fd.error();
+  SetRecvBufferBytes(fd.value(), 4'096);
+  BatchLookupRequest request;
+  request.addresses = addresses;
+  const auto wire =
+      EncodeFrame(Opcode::kBatchLookup, EncodeBatchLookup(request));
+  ASSERT_TRUE(WriteFull(fd.value(), wire.data(), wire.size(), 2'000).ok());
+
+  // While the big reply sits queued on the slow connection, the reactor
+  // must keep answering others. (Before the fix this ping blocked until
+  // the slow reader drained or the write deadline fired.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Client prober = ConnectOrDie(port);
+  const auto ping_start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(prober.Ping().ok());
+  const auto ping_elapsed = std::chrono::steady_clock::now() - ping_start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                ping_elapsed).count(),
+            1'000)
+      << "reactor stalled behind a slow reader";
+
+  // Dribble the reply out 512 bytes at a time and require byte-exact
+  // delivery of the whole frame.
+  std::vector<std::uint8_t> received;
+  received.reserve(expected.size());
+  std::uint8_t chunk[512];
+  while (received.size() < expected.size()) {
+    if (PollOne(fd.value(), POLLIN, 2'000) <= 0) break;
+    const ssize_t n = RetryRead(fd.value(), chunk,
+                                std::min(sizeof(chunk),
+                                         expected.size() - received.size()));
+    if (n <= 0) break;
+    received.insert(received.end(), chunk, chunk + n);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(received.size(), expected.size());
+  EXPECT_EQ(received, expected) << "short-write continuation corrupted the "
+                                   "reply stream";
+
+  std::uint64_t short_writes = 0;
+  for (std::size_t i = 0; i < server_->reactor_count(); ++i) {
+    short_writes += server_->reactor_metrics(i).short_writes.value();
+  }
+  EXPECT_GE(short_writes, 1u) << "the EPOLLOUT path never engaged";
+  CloseFd(fd.value());
+}
+
+TEST_F(ServerTest, BackpressureIsPerReactorNotGlobal) {
+  // Regression: the inflight gauge used to be one global atomic, so a
+  // flood on one thread's connections drew BUSY for everyone (and N
+  // threads could overshoot the cap N-fold). Now each reactor budgets its
+  // own arena: flood one reactor's connection until it answers BUSY and
+  // a connection on the other reactor must still get real answers,
+  // first try.
+  ServerConfig config;
+  config.reactors = 2;
+  config.max_inflight_frames = 2;
+  config.accepted_sndbuf_bytes = 4'096;
+  const std::uint16_t port = Serve(config);
+  ASSERT_EQ(server_->reactor_count(), 2u);
+
+  // Collect raw connections until both reactors are represented.
+  std::vector<int> fds;
+  int on_a = -1;
+  int on_b = -1;
+  for (int i = 0; i < 64 && (on_a < 0 || on_b < 0); ++i) {
+    const Result<int> fd = ConnectTcp("127.0.0.1", port, 2'000);
+    ASSERT_TRUE(fd.ok()) << fd.error();
+    SetRecvBufferBytes(fd.value(), 4'096);
+    fds.push_back(fd.value());
+    const int reactor = ReactorOf(&*server_, fd.value());
+    ASSERT_GE(reactor, 0);
+    if (reactor == 0 && on_a < 0) on_a = fd.value();
+    if (reactor == 1 && on_b < 0) on_b = fd.value();
+  }
+  ASSERT_GE(on_a, 0) << "no connection landed on reactor 0";
+  ASSERT_GE(on_b, 0) << "no connection landed on reactor 1";
+
+  // Flood reactor 0: big batch replies that cannot fit the tiny socket
+  // buffer pile up unflushed, holding the inflight gauge above the cap.
+  BatchLookupRequest request;
+  for (std::uint32_t i = 0; i < kMaxBatch; ++i) {
+    request.addresses.emplace_back((10u << 24) | i);
+  }
+  const auto flood_wire =
+      EncodeFrame(Opcode::kBatchLookup, EncodeBatchLookup(request));
+  for (int frame = 0; frame < 8; ++frame) {
+    ASSERT_TRUE(
+        WriteFull(on_a, flood_wire.data(), flood_wire.size(), 2'000).ok());
+  }
+
+  // Wait until reactor 0 has actually answered BUSY at least once.
+  bool flooded = false;
+  for (int attempt = 0; attempt < 200 && !flooded; ++attempt) {
+    flooded = server_->reactor_metrics(0).busy_replies.value() > 0;
+    if (!flooded) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(flooded) << "flooding never tripped reactor 0's inflight cap";
+
+  // Reactor 1 must be unaffected: a single-attempt lookup (no BUSY
+  // retries) succeeds while its sibling is saturated.
+  const auto lookup_wire =
+      EncodeFrame(Opcode::kLookup, EncodeLookup({IpAddress(10, 0, 0, 1)}));
+  const Result<Frame> reply = RoundTripRaw(on_b, lookup_wire);
+  ASSERT_TRUE(reply.ok()) << reply.error();
+  EXPECT_EQ(reply.value().header.opcode, Opcode::kLookupResult)
+      << "reactor 1 answered " << OpcodeName(reply.value().header.opcode)
+      << " while reactor 0 was flooded — backpressure leaked across "
+         "reactors";
+  EXPECT_EQ(server_->reactor_metrics(1).busy_replies.value(), 0u);
+
+  // STATS reports both the per-reactor gauges and their sum.
+  const std::string stats = server_->StatsText();
+  EXPECT_NE(stats.find("netclust_server_reactor_inflight_frames{reactor=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(stats.find("netclust_server_inflight_frames_sum"),
+            std::string::npos);
+
+  for (const int fd : fds) CloseFd(fd);
+}
+
+TEST_F(ServerTest, StopDrainsMidPipelineWithWholeFramesThenEof) {
+  ServerConfig config;
+  config.reactors = 2;
+  const std::uint16_t port = Serve(config);
+  const Result<int> fd = ConnectTcp("127.0.0.1", port, 2'000);
+  ASSERT_TRUE(fd.ok()) << fd.error();
+
+  // Pipeline 100 lookups, read back only the first 10 replies, then pull
+  // the plug. The drain contract: whatever else arrives is whole frames,
+  // then a clean EOF — never a torn frame.
+  const auto wire =
+      EncodeFrame(Opcode::kLookup, EncodeLookup({IpAddress(10, 0, 0, 1)}));
+  std::vector<std::uint8_t> burst;
+  for (int i = 0; i < 100; ++i) {
+    burst.insert(burst.end(), wire.begin(), wire.end());
+  }
+  ASSERT_TRUE(WriteFull(fd.value(), burst.data(), burst.size(), 2'000).ok());
+
+  FrameDecoder decoder;
+  std::size_t frames_seen = 0;
+  std::uint8_t chunk[4'096];
+  while (frames_seen < 10) {
+    ASSERT_GT(PollOne(fd.value(), POLLIN, 2'000), 0);
+    const ssize_t n = RetryRead(fd.value(), chunk, sizeof(chunk));
+    ASSERT_GT(n, 0);
+    decoder.Feed(chunk, static_cast<std::size_t>(n));
+    while (true) {
+      auto frame = decoder.Next();
+      ASSERT_TRUE(frame.ok()) << frame.error();
+      if (!frame.value().has_value()) break;
+      EXPECT_EQ(frame.value()->header.opcode, Opcode::kLookupResult);
+      ++frames_seen;
+    }
+  }
+
+  server_->Stop();
+
+  // Drain to EOF; every remaining byte must frame cleanly.
+  while (true) {
+    if (PollOne(fd.value(), POLLIN, 2'000) <= 0) break;
+    const ssize_t n = RetryRead(fd.value(), chunk, sizeof(chunk));
+    if (n <= 0) break;
+    decoder.Feed(chunk, static_cast<std::size_t>(n));
+    while (true) {
+      auto frame = decoder.Next();
+      ASSERT_TRUE(frame.ok()) << frame.error();
+      if (!frame.value().has_value()) break;
+      EXPECT_EQ(frame.value()->header.opcode, Opcode::kLookupResult);
+      ++frames_seen;
+    }
+  }
+  EXPECT_EQ(decoder.buffered(), 0u)
+      << "drain left a torn frame on the wire";
+  EXPECT_GE(frames_seen, 10u);
+  EXPECT_LE(frames_seen, 100u);
+  CloseFd(fd.value());
+  server_.reset();
+}
+
+TEST_F(ServerTest, LookupsAreBitIdenticalAcrossReactorCounts) {
+  // The reactor count is a deployment knob, not a semantic one: the same
+  // probes must answer identically at 1 and at 4 reactors (and both match
+  // the engine directly).
+  const std::vector<IpAddress> probes{
+      IpAddress(10, 1, 2, 3),
+      IpAddress(151, 198, 10, 1),
+      IpAddress(151, 198, 200, 40),
+      IpAddress(192, 0, 2, 55),
+      IpAddress(0, 0, 0, 0),
+      IpAddress(255, 255, 255, 255),
+  };
+  for (const int reactors : {1, 4}) {
+    ServerConfig config;
+    config.reactors = reactors;
+    const std::uint16_t port = Serve(config);
+    ASSERT_EQ(server_->reactor_count(), static_cast<std::size_t>(reactors));
+    Client client = ConnectOrDie(port);
+    const Result<std::vector<LookupRecord>> batch =
+        client.BatchLookup(probes);
+    ASSERT_TRUE(batch.ok()) << batch.error();
+    ASSERT_EQ(batch.value().size(), probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      EXPECT_EQ(batch.value()[i],
+                LookupRecord::FromMatch(engine_->Lookup(probes[i])))
+          << "reactors=" << reactors << " diverged at probe " << i;
+    }
+    server_->Stop();
+  }
 }
 
 }  // namespace

@@ -200,8 +200,8 @@ void CheckParserInt(std::string_view path,
 void CheckNakedThread(std::string_view path,
                       const std::vector<ScannedLine>& lines,
                       std::vector<Finding>* findings) {
-  if (StartsWith(path, "src/engine/") || StartsWith(path, "src/server/") ||
-      path == "src/core/parallel.cc") {
+  if (StartsWith(path, "src/engine/") || path == "src/server/server.cc" ||
+      path == "src/server/server.h" || path == "src/core/parallel.cc") {
     return;
   }
   for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -216,9 +216,9 @@ void CheckNakedThread(std::string_view path,
           (!IsIdentChar(code[after]) && code.compare(after, 2, "::") != 0)) {
         findings->push_back(
             {std::string(path), static_cast<int>(i + 1), "naked-thread",
-             "raw std::thread outside src/engine/, src/server/ and "
-             "src/core/parallel.cc — use core::ParallelFor, the server's "
-             "reader pool or the engine's shard workers"});
+             "raw std::thread outside src/engine/, src/server/server.{h,cc} "
+             "and src/core/parallel.cc — use core::ParallelFor, the "
+             "server's reactor spawn or the engine's shard workers"});
         break;  // one finding per line is enough
       }
       pos = after;

@@ -14,9 +14,11 @@
 //                   parser code (src/bgp/, src/weblog/) — use
 //                   std::from_chars; locale- and overflow-unsafe parsing
 //                   was the PR 2 bug class.
-//   naked-thread    no std::thread outside src/engine/, src/server/ and
-//                   src/core/parallel.cc — thread management goes through
-//                   the engine's ShardWorker, the server's reader pool or
+//   naked-thread    no std::thread outside src/engine/,
+//                   src/server/server.{h,cc} and src/core/parallel.cc —
+//                   thread management goes through the engine's
+//                   ShardWorker, the server's reactor spawn (the one
+//                   vetted spawn site in the service layer) or
 //                   core::ParallelFor.
 //   raw-io          no raw POSIX I/O calls (read / write / accept /
 //                   recv / send and friends) in library code — every

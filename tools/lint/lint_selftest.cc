@@ -118,11 +118,18 @@ void TestNakedThread() {
                     "std::this_thread::yield();\n"),
            "naked-thread")
             .empty());
-  // The server's reader pool is an allowed home too.
+  // The reactor spawn site is the one allowed home in the service layer…
   CHECK(Of(LintFile("src/server/server.cc",
-                    "std::vector<std::thread> readers_;\n"),
+                    "std::vector<std::thread> reactors_;\n"),
            "naked-thread")
             .empty());
+  CHECK(Of(LintFile("src/server/server.h", "std::thread thread;\n"),
+           "naked-thread")
+            .empty());
+  // …and only that site: the rest of src/server/ is NOT exempt.
+  CHECK(Of(LintFile("src/server/client.cc", "std::thread helper([] {});\n"),
+           "naked-thread")
+            .size() == 1);
 }
 
 void TestRawIo() {

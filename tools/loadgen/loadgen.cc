@@ -3,15 +3,20 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include <poll.h>
+
 #include "cluster/cluster_client.h"
 #include "engine/metrics.h"
 #include "server/client.h"
+#include "server/io_util.h"
 #include "server/metrics.h"
+#include "server/proto.h"
 #include "weblog/log.h"
 
 namespace netclust::loadgen {
@@ -115,6 +120,178 @@ void Worker(const Options& options, int index, std::size_t budget,
   // Fold in the BUSY responses the client's internal backoff absorbed, so
   // the report still counts every backpressure event.
   state->busy.fetch_add(conn.busy_absorbed());
+}
+
+/// One request frame in flight on a pipelined connection: the encoded
+/// wire bytes (kept for BUSY resends), when it was sent, and how many
+/// addresses it carries.
+struct InflightFrame {
+  std::vector<std::uint8_t> wire;
+  std::uint64_t sent_ns = 0;
+  std::size_t batch = 0;
+  int attempts = 0;
+};
+
+/// Pipelined worker: keeps `options.pipeline` request frames outstanding
+/// on one connection instead of round-tripping each frame. The protocol
+/// answers a connection's frames strictly in order, so replies pair FIFO
+/// with a deque of in-flight sends — no sequence numbers needed. A BUSY
+/// reply re-enqueues the same frame at the back of the window after a 1ms
+/// backoff (a resend is just a new request frame, so ordering holds).
+/// Replies are light-scanned rather than fully decoded: the hot loop
+/// checks the frame shape and counts `found` flags straight out of the
+/// payload, which keeps the generator cheap enough to saturate the server.
+void PipelinedWorker(const Options& options, int index, std::size_t budget,
+                     SharedState* state) {
+  auto connected =
+      server::ConnectTcp(options.host, options.port, options.timeout_ms);
+  if (!connected.ok()) {
+    state->RecordError("connect: " + connected.error());
+    return;
+  }
+  const int sock = connected.value();
+  server::SetNoDelay(sock);
+
+  const std::vector<net::IpAddress>& addresses = options.addresses;
+  std::size_t cursor = static_cast<std::size_t>(index) % addresses.size();
+  std::vector<net::IpAddress> batch;
+  batch.reserve(options.batch_size);
+
+  server::FrameDecoder decoder;
+  std::deque<InflightFrame> window;
+  std::size_t sent = 0;
+  std::size_t done = 0;
+  bool failed = false;
+
+  const auto send_frame = [&](InflightFrame frame) {
+    frame.sent_ns = engine::NowNs();
+    auto wrote = server::WriteFull(sock, frame.wire.data(), frame.wire.size(),
+                                   options.timeout_ms);
+    if (!wrote.ok() || wrote.value() != server::IoStatus::kOk) {
+      state->RecordError(wrote.ok() ? "pipelined send timed out"
+                                    : wrote.error());
+      failed = true;
+      return;
+    }
+    window.push_back(std::move(frame));
+  };
+
+  const auto next_frame = [&] {
+    batch.clear();
+    for (std::size_t b = 0; b < options.batch_size; ++b) {
+      batch.push_back(addresses[cursor]);
+      cursor = (cursor + 1) % addresses.size();
+    }
+    InflightFrame frame;
+    frame.batch = batch.size();
+    if (options.batch_size == 1) {
+      frame.wire = server::EncodeFrame(server::Opcode::kLookup,
+                                       server::EncodeLookup({batch[0]}));
+    } else {
+      server::BatchLookupRequest request;
+      request.addresses = batch;
+      frame.wire = server::EncodeFrame(server::Opcode::kBatchLookup,
+                                       server::EncodeBatchLookup(request));
+    }
+    return frame;
+  };
+
+  // Light-scan one reply against the oldest in-flight frame. Success and
+  // hard failures consume the frame; BUSY re-enqueues it.
+  const auto handle_reply = [&](const server::FrameView& view) {
+    InflightFrame frame = std::move(window.front());
+    window.pop_front();
+    const std::uint8_t* payload = view.payload;
+    const std::size_t size = view.header.payload_size;
+    switch (view.header.opcode) {
+      case server::Opcode::kLookupResult: {
+        if (frame.batch != 1 || size != server::kLookupRecordSize) {
+          state->RecordError("pipelined reply shape mismatch (LOOKUP_RESULT)");
+          failed = true;
+          return;
+        }
+        state->latency.Record(engine::NowNs() - frame.sent_ns);
+        state->frames.fetch_add(1);
+        state->lookups.fetch_add(1);
+        if (payload[0] != 0) state->found.fetch_add(1);
+        ++done;
+        return;
+      }
+      case server::Opcode::kBatchResult: {
+        // BATCH_RESULT: u32 count, then `count` 16-byte records whose
+        // first byte is the found flag.
+        if (size < 4 || server::GetU32(payload) != frame.batch ||
+            size != 4 + server::kLookupRecordSize * frame.batch) {
+          state->RecordError("pipelined reply shape mismatch (BATCH_RESULT)");
+          failed = true;
+          return;
+        }
+        std::size_t matched = 0;
+        for (std::size_t i = 0; i < frame.batch; ++i) {
+          if (payload[4 + server::kLookupRecordSize * i] != 0) ++matched;
+        }
+        state->latency.Record(engine::NowNs() - frame.sent_ns);
+        state->frames.fetch_add(1);
+        state->lookups.fetch_add(frame.batch);
+        state->found.fetch_add(matched);
+        ++done;
+        return;
+      }
+      case server::Opcode::kBusy: {
+        state->busy.fetch_add(1);
+        if (++frame.attempts > options.busy_retries) {
+          state->RecordError("BUSY retry budget exhausted");
+          failed = true;
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        send_frame(std::move(frame));
+        return;
+      }
+      default:
+        state->RecordError(std::string("unexpected pipelined reply: ") +
+                           server::OpcodeName(view.header.opcode));
+        failed = true;
+    }
+  };
+
+  std::vector<std::uint8_t> rxbuf(64 * 1024);
+  while (done < budget && !failed) {
+    // Top up the window, then drain every decodable reply before blocking
+    // for more bytes.
+    while (!failed && window.size() < options.pipeline && sent < budget) {
+      send_frame(next_frame());
+      ++sent;
+    }
+    if (failed || window.empty()) break;
+
+    bool progressed = false;
+    while (!failed) {
+      auto view = decoder.NextView();
+      if (!view.ok()) {
+        state->RecordError(view.error());
+        failed = true;
+        break;
+      }
+      if (!view.value().has_value()) break;
+      progressed = true;
+      handle_reply(*view.value());
+    }
+    if (failed || progressed) continue;
+
+    if (server::PollOne(sock, POLLIN, options.timeout_ms) <= 0) {
+      state->RecordError("pipelined read timed out");
+      break;
+    }
+    const ssize_t n = server::RetryRead(sock, rxbuf.data(), rxbuf.size());
+    if (n <= 0) {
+      state->RecordError(n == 0 ? "server closed mid-pipeline"
+                                : "pipelined read failed");
+      break;
+    }
+    decoder.Feed(rxbuf.data(), static_cast<std::size_t>(n));
+  }
+  server::CloseFd(sock);
 }
 
 /// "host:port" -> (dotted-quad host, port).
@@ -227,12 +404,12 @@ std::string Report::ToJson() const {
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"qps\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
-      "\"frames\": %zu, \"lookups\": %zu, \"found\": %zu, "
+      "\"frames\": %zu, \"pipeline\": %zu, \"lookups\": %zu, \"found\": %zu, "
       "\"busy_retries\": %zu, \"redirects\": %zu, \"errors\": %zu, "
       "\"elapsed_ms\": %.1f}",
       qps, static_cast<double>(p50_ns) / 1e3,
-      static_cast<double>(p99_ns) / 1e3, frames_sent, lookups_done, found,
-      busy_retries, redirects, errors,
+      static_cast<double>(p99_ns) / 1e3, frames_sent, pipeline, lookups_done,
+      found, busy_retries, redirects, errors,
       static_cast<double>(elapsed_ns) / 1e6);
   return buffer;
 }
@@ -241,6 +418,10 @@ Result<Report> Run(const Options& options) {
   if (options.addresses.empty()) return Fail("no addresses to replay");
   if (options.connections < 1) return Fail("need at least one connection");
   if (options.batch_size < 1) return Fail("batch size must be >= 1");
+  if (options.pipeline < 1) return Fail("pipeline depth must be >= 1");
+  if (options.pipeline > 1 && !options.endpoints.empty()) {
+    return Fail("pipelined mode drives a single daemon, not a fleet");
+  }
   if (options.endpoints.empty() && options.batch_size > server::kMaxBatch) {
     // Fleet mode has no cap: the ClusterClient splits at kMaxBatch.
     return Fail("batch size exceeds protocol kMaxBatch");
@@ -261,7 +442,12 @@ Result<Report> Run(const Options& options) {
     const std::size_t budget =
         SliceSize(options.total_frames, options.connections, i);
     if (options.endpoints.empty()) {
-      workers.emplace_back(Worker, std::cref(options), i, budget, &state);
+      if (options.pipeline > 1) {
+        workers.emplace_back(PipelinedWorker, std::cref(options), i, budget,
+                             &state);
+      } else {
+        workers.emplace_back(Worker, std::cref(options), i, budget, &state);
+      }
     } else {
       workers.emplace_back(ClusterWorker, std::cref(options),
                            std::cref(fleet_topo), i, budget, &state);
@@ -272,6 +458,7 @@ Result<Report> Run(const Options& options) {
 
   Report report;
   report.frames_sent = state.frames.load();
+  report.pipeline = options.pipeline;
   report.lookups_done = state.lookups.load();
   report.found = state.found.load();
   report.busy_retries = state.busy.load();

@@ -27,6 +27,12 @@ struct Options {
   std::size_t total_frames = 10'000;
   /// Addresses per frame: 1 sends LOOKUP, >1 sends BATCH_LOOKUP.
   std::size_t batch_size = 1;
+  /// Request frames kept in flight per connection. 1 round-trips each
+  /// frame (one request, wait, one response); >1 pipelines: the worker
+  /// primes this many frames, then sends a new one for every response it
+  /// reads, hiding the per-frame RTT behind the server's reply coalescing.
+  /// Pipelining drives a single daemon — incompatible with `endpoints`.
+  std::size_t pipeline = 1;
   int timeout_ms = 5'000;
   /// How many times a BUSY response is retried (with 1ms backoff) before
   /// the frame counts as an error.
@@ -42,6 +48,7 @@ struct Options {
 
 struct Report {
   std::size_t frames_sent = 0;
+  std::size_t pipeline = 1;       // frames in flight per connection
   std::size_t lookups_done = 0;   // addresses answered (batch expanded)
   std::size_t found = 0;          // answers with a covering prefix
   std::size_t busy_retries = 0;   // BUSY responses absorbed by retry

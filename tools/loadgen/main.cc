@@ -35,6 +35,8 @@ void Usage(const char* argv0) {
       "  --count N            total request frames (default 10000)\n"
       "  --connections N      concurrent connections (default 1)\n"
       "  --batch N            addresses per frame; >1 uses BATCH_LOOKUP\n"
+      "  --pipeline N         frames in flight per connection (default 1;\n"
+      "                       >1 pipelines — standalone mode only)\n"
       "  --timeout-ms N       per-call deadline (default 5000)\n"
       "  --json FILE          write the machine-readable report to FILE\n"
       "  --min-qps X          exit 1 if lookups/sec lands below X\n",
@@ -88,6 +90,8 @@ int main(int argc, char** argv) {
       options.connections = std::atoi(argv[++i]);
     } else if (arg == "--batch" && has_value) {
       options.batch_size = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--pipeline" && has_value) {
+      options.pipeline = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--timeout-ms" && has_value) {
       options.timeout_ms = std::atoi(argv[++i]);
     } else if (arg == "--json" && has_value) {
@@ -125,10 +129,10 @@ int main(int argc, char** argv) {
 
   if (options.endpoints.empty()) {
     std::printf("loadgen: %zu-address stream -> %s:%u, %zu frames x %zu "
-                "addresses over %d connection(s)\n",
+                "addresses over %d connection(s), pipeline %zu\n",
                 options.addresses.size(), options.host.c_str(), options.port,
-                options.total_frames, options.batch_size,
-                options.connections);
+                options.total_frames, options.batch_size, options.connections,
+                options.pipeline);
   } else {
     std::printf("loadgen: %zu-address stream -> %zu-node fleet, %zu frames "
                 "x %zu addresses over %d connection(s)\n",

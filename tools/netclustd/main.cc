@@ -5,7 +5,8 @@
 // Owns one engine::Engine, seeds its prefix table from routing-table
 // snapshot files (text or MRT, auto-detected), then serves the binary
 // wire protocol (src/server/proto.h) on loopback: lock-free LOOKUP /
-// BATCH_LOOKUP from N reader threads, INGEST_UPDATE through the single
+// BATCH_LOOKUP on N shared-nothing reactors (one epoll + SO_REUSEPORT
+// listener + connection arena each), INGEST_UPDATE through the single
 // ingest thread, STATS and PING. SIGTERM/SIGINT trigger a graceful
 // drain — stop accepting, finish in-flight frames, exit 0.
 #include <csignal>
@@ -43,7 +44,8 @@ void Usage(const char* argv0) {
       "  --port N              listen port on 127.0.0.1 (default 4730; 0 = ephemeral)\n"
       "  --snapshot FILE       seed the table from FILE (repeatable; one source each)\n"
       "  --live-sources N      extra empty ingest sources for live feeds (default 1)\n"
-      "  --readers N           reader threads (default 2)\n"
+      "  --reactors N          shared-nothing reactors (default 2;\n"
+      "                        --readers is accepted as an alias)\n"
       "  --shards N            engine worker shards (default 1)\n"
       "  --max-connections N   connection ceiling (default 64)\n"
       "  --max-inflight N      in-flight frame ceiling (default 128)\n"
@@ -104,8 +106,10 @@ int main(int argc, char** argv) {
       snapshot_paths.emplace_back(argv[++i]);
     } else if (arg == "--live-sources" && has_value) {
       live_sources = std::atoi(argv[++i]);
-    } else if (arg == "--readers" && has_value) {
-      config.reader_threads = std::atoi(argv[++i]);
+    } else if ((arg == "--reactors" || arg == "--readers") && has_value) {
+      // --readers predates the reactor model; kept as an alias so older
+      // scripts keep working.
+      config.reactors = std::atoi(argv[++i]);
     } else if (arg == "--shards" && has_value) {
       engine_config.shards = std::atoi(argv[++i]);
     } else if (arg == "--max-connections" && has_value) {
