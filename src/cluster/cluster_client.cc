@@ -36,6 +36,9 @@ std::uint64_t MergedQuantileNs(
 
 Result<ClusterClient> ClusterClient::Create(server::Topology initial,
                                             ClusterClientConfig config) {
+  // The creating thread is the owner until the instance is handed to its
+  // driving thread (single-owner contract in the header).
+  base::AssumeThreadRole owner(owner_role_);
   auto valid = server::ValidateTopology(initial);
   if (!valid.ok()) return Fail(valid.error());
   ClusterClient client;
@@ -77,12 +80,14 @@ Result<server::Client*> ClusterClient::Conn(std::size_t i) {
 }
 
 std::uint64_t ClusterClient::busy_absorbed() const {
+  base::AssumeThreadRole owner(owner_role_);
   std::uint64_t total = busy_absorbed_closed_;
   for (const server::Client& conn : conns_) total += conn.busy_absorbed();
   return total;
 }
 
 Result<bool> ClusterClient::RefreshTopology() {
+  base::AssumeThreadRole owner(owner_role_);
   std::string last_error = "fleet is empty";
   for (std::size_t k = 0; k < topo_.nodes.size(); ++k) {
     const std::size_t i = (refresh_cursor_ + k) % topo_.nodes.size();
@@ -134,6 +139,7 @@ void ClusterClient::BackoffAndRefresh() {
 }
 
 Result<server::LookupRecord> ClusterClient::Lookup(net::IpAddress address) {
+  base::AssumeThreadRole owner(owner_role_);
   std::string last_error;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     const std::uint16_t shard = OwnerOf(address);
@@ -163,6 +169,7 @@ Result<server::LookupRecord> ClusterClient::Lookup(net::IpAddress address) {
 
 Result<std::vector<server::LookupRecord>> ClusterClient::BatchLookup(
     const std::vector<net::IpAddress>& addresses) {
+  base::AssumeThreadRole owner(owner_role_);
   std::vector<server::LookupRecord> records(addresses.size());
   if (addresses.empty()) return records;
   std::string last_error;
@@ -222,6 +229,7 @@ Result<std::vector<server::LookupRecord>> ClusterClient::BatchLookup(
 
 Result<std::uint64_t> ClusterClient::IngestUpdate(
     std::uint32_t source_id, const bgp::UpdateMessage& update) {
+  base::AssumeThreadRole owner(owner_role_);
   // Replication, not routing: every node applies every update so any node
   // can answer for any range the moment ownership flips to it.
   std::uint64_t min_version = 0;
@@ -246,6 +254,7 @@ Result<std::uint64_t> ClusterClient::IngestUpdate(
 }
 
 Result<StatsRollup> ClusterClient::Stats() {
+  base::AssumeThreadRole owner(owner_role_);
   StatsRollup rollup;
   rollup.epoch = topo_.epoch;
   std::string last_error = "fleet is empty";
@@ -288,6 +297,7 @@ Result<StatsRollup> ClusterClient::Stats() {
 }
 
 Result<bool> ClusterClient::PushTopology(const server::Topology& topo) {
+  base::AssumeThreadRole owner(owner_role_);
   auto valid = server::ValidateTopology(topo);
   if (!valid.ok()) return Fail(valid.error());
   if (topo.epoch <= topo_.epoch) {
@@ -326,12 +336,14 @@ Result<bool> ClusterClient::PushTopology(const server::Topology& topo) {
 }
 
 Result<bool> ClusterClient::RemoveNode(std::uint32_t node_id) {
+  base::AssumeThreadRole owner(owner_role_);
   auto rebalanced = RebalanceAfterLeave(topo_, node_id);
   if (!rebalanced.ok()) return Fail(rebalanced.error());
   return PushTopology(rebalanced.value());
 }
 
 Result<bool> ClusterClient::AddNode(const server::NodeInfo& node) {
+  base::AssumeThreadRole owner(owner_role_);
   auto rebalanced = RebalanceAfterJoin(topo_, node);
   if (!rebalanced.ok()) return Fail(rebalanced.error());
   return PushTopology(rebalanced.value());

@@ -15,7 +15,13 @@
 // single-node oracle across exactly that).
 //
 // NOT thread-safe: one ClusterClient per thread (the load generator gives
-// each worker its own), matching server::Client.
+// each worker its own), matching server::Client. That contract is
+// compiler-visible: all routing state (topology, owner map, connections,
+// scatter/gather bookkeeping) is GUARDED_BY(owner_role_), every private
+// routing helper REQUIRES it, and each public entry point asserts it via
+// base::AssumeThreadRole — so under Clang's -Wthread-safety a new helper
+// cannot touch the topology or connection table without declaring the
+// single-owner requirement.
 #pragma once
 
 #include <array>
@@ -24,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "base/sync.h"
 #include "bgp/update.h"
 #include "net/ip_address.h"
 #include "net/result.h"
@@ -104,11 +111,17 @@ class ClusterClient {
   /// its epoch is newer than the local one.
   [[nodiscard]] Result<bool> RefreshTopology();
 
-  [[nodiscard]] const server::Topology& topology() const { return topo_; }
+  [[nodiscard]] const server::Topology& topology() const {
+    // Single-owner contract: the caller is the owning thread by the class
+    // contract above; the assertion makes the guarded read well-typed.
+    base::AssumeThreadRole owner(owner_role_);
+    return topo_;
+  }
 
   /// Redirects followed + BUSY replies absorbed across all connections
   /// (for load-generator accounting).
   [[nodiscard]] std::uint64_t redirects_followed() const {
+    base::AssumeThreadRole owner(owner_role_);
     return redirects_followed_;
   }
   [[nodiscard]] std::uint64_t busy_absorbed() const;
@@ -118,37 +131,48 @@ class ClusterClient {
 
   /// Adopts a validated topology: recompiles the owner map and drops
   /// connections to nodes that left.
-  void Adopt(server::Topology topo);
+  void Adopt(server::Topology topo) REQUIRES(owner_role_);
 
   /// The connection for node index `i`, dialing if necessary.
-  [[nodiscard]] Result<server::Client*> Conn(std::size_t i);
+  [[nodiscard]] Result<server::Client*> Conn(std::size_t i)
+      REQUIRES(owner_role_);
 
   /// Routing recovery after a REDIRECT from node index `from_idx`: pull
   /// the newer topology from the redirecting node when it is ahead,
   /// otherwise poll the rest of the fleet.
   void FollowRedirect(const server::RedirectReply& redirect,
-                      std::size_t from_idx);
+                      std::size_t from_idx) REQUIRES(owner_role_);
 
   /// Routing recovery after a transport failure: back off, then try to
   /// refresh the topology from any reachable node.
-  void BackoffAndRefresh();
+  void BackoffAndRefresh() REQUIRES(owner_role_);
 
   /// Shard index owning `address` under the current topology.
-  [[nodiscard]] std::uint16_t OwnerOf(net::IpAddress address) const {
+  [[nodiscard]] std::uint16_t OwnerOf(net::IpAddress address) const
+      REQUIRES(owner_role_) {
     return owner_[address.bits() >> 16];
   }
 
-  server::Topology topo_;
-  std::vector<std::uint16_t> owner_;
+  /// The single-owner capability. One static zero-byte role for all
+  /// instances: it models "the thread driving THIS ClusterClient", and
+  /// because role assertions are scoped per function the shared
+  /// declaration loses nothing — what the analysis enforces is that every
+  /// path to the guarded members below passes through an entry point that
+  /// asserts ownership. (An instance member would delete the move
+  /// constructor Create() relies on.)
+  static inline const base::ThreadRole owner_role_{};
+
+  server::Topology topo_ GUARDED_BY(owner_role_);
+  std::vector<std::uint16_t> owner_ GUARDED_BY(owner_role_);
   /// Parallel to topo_.nodes; !connected() means "dial on next use".
-  std::vector<server::Client> conns_;
-  ClusterClientConfig config_;
-  std::uint64_t redirects_followed_ = 0;
+  std::vector<server::Client> conns_ GUARDED_BY(owner_role_);
+  ClusterClientConfig config_ GUARDED_BY(owner_role_);
+  std::uint64_t redirects_followed_ GUARDED_BY(owner_role_) = 0;
   /// BUSY retries absorbed by connections since closed (survivor counters
   /// live in conns_).
-  std::uint64_t busy_absorbed_closed_ = 0;
+  std::uint64_t busy_absorbed_closed_ GUARDED_BY(owner_role_) = 0;
   /// Round-robin cursor so topology refreshes don't hammer node 0.
-  std::size_t refresh_cursor_ = 0;
+  std::size_t refresh_cursor_ GUARDED_BY(owner_role_) = 0;
 };
 
 }  // namespace netclust::cluster

@@ -72,6 +72,7 @@ struct ServerMetrics {
   engine::Counter redirects_sent;          // cluster REDIRECT responses
   engine::Counter cluster_lookups_served;  // addresses answered via CLUSTER_LOOKUP
   engine::Counter topology_installs;       // SET_TOPOLOGY frames adopted
+  engine::Counter topologies_served;       // TOPOLOGY fetches answered
   engine::Counter cluster_stats_served;    // CLUSTER_STATS frames answered
   engine::Counter bytes_read;
   engine::Counter bytes_written;
@@ -103,6 +104,7 @@ struct ServerMetrics {
     counter("redirects_sent", redirects_sent);
     counter("cluster_lookups_served", cluster_lookups_served);
     counter("topology_installs", topology_installs);
+    counter("topologies_served", topologies_served);
     counter("cluster_stats_served", cluster_stats_served);
     counter("bytes_read", bytes_read);
     counter("bytes_written", bytes_written);

@@ -66,16 +66,23 @@ inline constexpr std::uint32_t kMaxClusterNodes = 64;
 inline constexpr std::size_t kStatsLatencyBuckets = 14;
 
 /// Request opcodes occupy 0x01-0x7F; their responses set the high bit.
+///
+/// Every request opcode carries a `// stats: <counter>` annotation naming
+/// the ServerMetrics counter that proves it is served. netclust_lint's
+/// opcode-coverage rule parses this enum and fails the build if any
+/// opcode is missing from the server dispatch switch, the fuzz corpus
+/// seed set, or the annotated STATS counter — see DESIGN.md "Static
+/// analysis: adding an opcode end-to-end".
 enum class Opcode : std::uint8_t {
-  kPing = 0x01,
-  kLookup = 0x02,
-  kBatchLookup = 0x03,
-  kIngestUpdate = 0x04,
-  kStats = 0x05,
-  kClusterLookup = 0x06,
-  kTopology = 0x07,
-  kSetTopology = 0x08,
-  kClusterStats = 0x09,
+  kPing = 0x01,          // stats: pings_served
+  kLookup = 0x02,        // stats: lookups_served
+  kBatchLookup = 0x03,   // stats: lookups_served
+  kIngestUpdate = 0x04,  // stats: ingests_applied
+  kStats = 0x05,         // stats: stats_served
+  kClusterLookup = 0x06,  // stats: cluster_lookups_served
+  kTopology = 0x07,       // stats: topologies_served
+  kSetTopology = 0x08,    // stats: topology_installs
+  kClusterStats = 0x09,   // stats: cluster_stats_served
 
   kPong = 0x81,
   kLookupResult = 0x82,

@@ -61,6 +61,9 @@ Result<std::uint16_t> Server::Serve() {
 
   const auto fail = [this](const std::string& error) -> Result<std::uint16_t> {
     for (auto& r : reactors_) {
+      // Quiescent: fail runs before any reactor thread is spawned, so the
+      // caller is the only thread that has ever seen these reactors.
+      base::AssumeThreadRole own(r->role);
       CloseFd(r->listen_fd);
       CloseFd(r->wake_fd);
       CloseFd(r->epoll_fd);
@@ -72,6 +75,9 @@ Result<std::uint16_t> Server::Serve() {
   for (int i = 0; i < count; ++i) {
     reactors_.push_back(std::make_unique<Reactor>());
     Reactor& r = *reactors_.back();
+    // Quiescent: r's thread is spawned only after every reactor is fully
+    // set up, so until then the Serve() caller is r's owning thread.
+    base::AssumeThreadRole own(r.role);
     r.index = static_cast<std::size_t>(i);
     // Every reactor listens on the same port with SO_REUSEPORT: the kernel
     // hashes each connection's 4-tuple to exactly one listener, so accepts
@@ -111,7 +117,9 @@ Result<std::uint16_t> Server::Serve() {
     }
   }
 
-  stopping_.store(false);
+  // order: relaxed — the flag is re-armed before any thread is spawned;
+  // thread creation itself orders this store.
+  stopping_.store(false, std::memory_order_relaxed);
   {
     base::MutexLock lock(&ingest_mu_);
     ingest_stopping_ = false;
@@ -135,7 +143,10 @@ void Server::Stop() {
   //    finishes the frames it has decoded (including waiting out queued
   //    ingest acks), flushes queued replies within the write deadline,
   //    closes its connections and exits.
-  stopping_.store(true);
+  // order: relaxed — the flag carries no data; the eventfd write below
+  // (a syscall the reactor's epoll_wait observes) is what forces each
+  // loop around to a fresh load, and the loop re-polls until it sees it.
+  stopping_.store(true, std::memory_order_relaxed);
   const std::uint64_t one = 1;
   for (auto& r : reactors_) (void)RetryWrite(r->wake_fd, &one, sizeof(one));
   for (auto& r : reactors_) {
@@ -153,6 +164,9 @@ void Server::Stop() {
   if (ingest_thread_.joinable()) ingest_thread_.join();
 
   for (auto& r : reactors_) {
+    // Quiescent: r's thread was joined above, so ownership of its state
+    // has passed back to the Stop() caller.
+    base::AssumeThreadRole own(r->role);
     CloseFd(r->listen_fd);
     CloseFd(r->wake_fd);
     CloseFd(r->epoll_fd);
@@ -258,6 +272,9 @@ ClusterStatsRecord Server::BuildClusterStats(
 }
 
 void Server::ReactorLoop(Reactor& r) {
+  // This function IS the reactor thread's main: the one place r.role is
+  // assumed while the thread runs. Everything downstream REQUIRES(r.role).
+  base::AssumeThreadRole own(r.role);
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   // The epoll timeout doubles as the timeout-sweep tick — the sweep is
@@ -268,7 +285,9 @@ void Server::ReactorLoop(Reactor& r) {
                         config_.write_timeout_ms > 0;
   const int wait_ms = sweeping ? kSweepIntervalMs : -1;
   std::int64_t last_sweep_ms = NowMs();
-  while (!stopping_.load()) {
+  // order: relaxed — pure stop flag (see Stop()); every protected state
+  // handoff happens after the join, not through this load.
+  while (!stopping_.load(std::memory_order_relaxed)) {
     const int n = EpollWait(r.epoll_fd, events, kMaxEvents, wait_ms);
     if (n < 0) break;  // epoll descriptor gone: shutdown
     // Connection events first, accepts second: an fd closed in this batch
@@ -297,7 +316,8 @@ void Server::ReactorLoop(Reactor& r) {
         ServiceReadable(r, conn);  // closes the connection itself if needed
       }
     }
-    if (accept_ready && !stopping_.load()) AcceptNew(r);
+    // order: relaxed — same stop-flag contract as the loop condition.
+    if (accept_ready && !stopping_.load(std::memory_order_relaxed)) AcceptNew(r);
     if (sweeping) {
       const std::int64_t now = NowMs();
       if (now - last_sweep_ms >= kSweepIntervalMs) {
@@ -338,7 +358,7 @@ void Server::AcceptNew(Reactor& r) {
     // BUSY kicks in.
     const std::int64_t total = connections_total_.load(std::memory_order_relaxed);
     if (total >= static_cast<std::int64_t>(config_.max_connections) ||
-        stopping_.load()) {
+        stopping_.load(std::memory_order_relaxed)) {
       // Explicit backpressure: tell the client we are full, then close.
       metrics_.connections_rejected.Inc();
       metrics_.busy_replies.Inc();
@@ -791,6 +811,7 @@ bool Server::DispatchFrame(Reactor& r, Connection* conn,
         return true;
       }
       QueueReply(r, conn, Opcode::kTopologyReply, EncodeTopology(topo->topo));
+      metrics_.topologies_served.Inc();
       return true;
     }
 
@@ -849,6 +870,10 @@ bool Server::DispatchFrame(Reactor& r, Connection* conn,
 }
 
 void Server::IngestLoop() {
+  // Thread main for the ingest thread: the one place ingest_role_ is
+  // assumed, making this thread the only code path that can reach
+  // ApplyIngest (and through it the engine's mutating routing-plane API).
+  base::AssumeThreadRole own(ingest_role_);
   for (;;) {
     IngestJob* job = nullptr;
     {
@@ -860,21 +885,25 @@ void Server::IngestLoop() {
       job = ingest_queue_.front();
       ingest_queue_.pop_front();
     }
-    // This thread is the engine's single routing-plane caller while the
-    // server runs (Engine's documented ingest-thread contract).
-    engine_->ApplyUpdate(job->request.update,
-                         static_cast<int>(job->request.source_id));
-    const std::uint64_t version = engine_->table_version();
-    {
-      base::MutexLock lock(&job->mu);
-      job->done = true;
-      job->table_version = version;
-      // Notify while still holding job->mu: the job lives on the waiting
-      // reactor's stack, and the reactor cannot return from Wait() (and
-      // destroy the job) until this mutex is released — signalling after
-      // unlocking would race the job's destruction.
-      job->cv.NotifyAll();
-    }
+    ApplyIngest(job);
+  }
+}
+
+void Server::ApplyIngest(IngestJob* job) {
+  // This thread is the engine's single routing-plane caller while the
+  // server runs (Engine's documented ingest-thread contract).
+  engine_->ApplyUpdate(job->request.update,
+                       static_cast<int>(job->request.source_id));
+  const std::uint64_t version = engine_->table_version();
+  {
+    base::MutexLock lock(&job->mu);
+    job->done = true;
+    job->table_version = version;
+    // Notify while still holding job->mu: the job lives on the waiting
+    // reactor's stack, and the reactor cannot return from Wait() (and
+    // destroy the job) until this mutex is released — signalling after
+    // unlocking would race the job's destruction.
+    job->cv.NotifyAll();
   }
 }
 

@@ -185,17 +185,37 @@ class Server {
 
   /// One shared-nothing event loop: epoll + listener + wake descriptor +
   /// connection arena + reusable batch buffers, all owned by one thread.
+  ///
+  /// The ownership claim is compiler-enforced: `role` is the reactor's
+  /// thread capability (base::ThreadRole), every member the loop thread
+  /// owns is ONLY_THREAD(role), and every reactor-path method REQUIRES
+  /// it. Serve()/Stop() assert the role only at quiescent points (before
+  /// the thread is spawned / after it is joined), each with a comment
+  /// saying why no other thread can race — see DESIGN.md "Static
+  /// analysis".
   struct Reactor {
     std::size_t index = 0;
-    int epoll_fd = -1;
-    int listen_fd = -1;
-    int wake_fd = -1;  // eventfd; written once at Stop(), never read
-    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+    /// Ownership capability: held (via base::AssumeThreadRole) by the one
+    /// thread allowed to touch the ONLY_THREAD members below.
+    base::ThreadRole role;
+    int epoll_fd ONLY_THREAD(role) = -1;
+    int listen_fd ONLY_THREAD(role) = -1;
+    /// eventfd; deliberately NOT role-guarded: Stop() writes it from the
+    /// caller's thread to interrupt the loop's epoll_wait while the
+    /// reactor thread is still running. Set before spawn, closed after
+    /// join, written (8-byte counter add) cross-thread in between — the
+    /// one sanctioned cross-thread touch of reactor state.
+    int wake_fd = -1;
+    std::unordered_map<int, std::unique_ptr<Connection>> conns
+        ONLY_THREAD(role);
     /// BATCH_LOOKUP scratch, reused across frames: the decoded addresses
     /// and the engine's answers live here, capacity warm after the first
     /// big batch.
-    std::vector<net::IpAddress> batch_addrs;
-    std::vector<std::optional<bgp::PrefixTable::Match>> batch_matches;
+    std::vector<net::IpAddress> batch_addrs ONLY_THREAD(role);
+    std::vector<std::optional<bgp::PrefixTable::Match>> batch_matches
+        ONLY_THREAD(role);
+    /// Atomics by design: only the loop thread bumps them, but STATS
+    /// scrapes read them from whichever reactor serves the frame.
     ReactorMetrics metrics;
     std::thread thread;
   };
@@ -210,47 +230,58 @@ class Server {
     std::uint64_t table_version GUARDED_BY(mu) = 0;
   };
 
+  /// Thread main for reactor `r`: asserts r.role once (it IS the owning
+  /// thread) and runs the event loop until Stop() drains it.
   void ReactorLoop(Reactor& r);
   void IngestLoop();
 
+  /// Applies one parked INGEST_UPDATE to the engine and signals the
+  /// waiting reactor. The REQUIRES makes the engine's single routing-plane
+  /// caller contract compiler-visible: only code holding ingest_role_ (the
+  /// ingest thread, via IngestLoop's assertion) may reach the engine's
+  /// mutating API through the server.
+  void ApplyIngest(IngestJob* job) REQUIRES(ingest_role_);
+
   /// Accepts until EAGAIN on `r`'s listener; enforces max_connections
   /// (global gauge) with BUSY+close.
-  void AcceptNew(Reactor& r);
+  void AcceptNew(Reactor& r) REQUIRES(r.role);
 
   /// Services one readable connection: drain the socket, decode and
   /// dispatch every complete frame, then flush the replies in one writev.
-  void ServiceReadable(Reactor& r, Connection* conn);
+  void ServiceReadable(Reactor& r, Connection* conn) REQUIRES(r.role);
 
   /// Dispatches one decoded frame; the reply is appended to conn->outq.
   /// Returns false when the connection must be closed (protocol
   /// violation) — the caller flushes best-effort, then closes.
   [[nodiscard]] bool DispatchFrame(Reactor& r, Connection* conn,
-                                   const FrameView& frame);
+                                   const FrameView& frame) REQUIRES(r.role);
 
   /// Appends one encoded reply frame to the connection's queue and bumps
   /// the reactor's inflight gauge (released as the frame flushes).
   void QueueFrame(Reactor& r, Connection* conn,
-                  std::vector<std::uint8_t> wire);
+                  std::vector<std::uint8_t> wire) REQUIRES(r.role);
   void QueueReply(Reactor& r, Connection* conn, Opcode opcode,
-                  const std::vector<std::uint8_t>& payload);
+                  const std::vector<std::uint8_t>& payload) REQUIRES(r.role);
   void QueueError(Reactor& r, Connection* conn, ErrorCode code,
-                  const std::string& message);
+                  const std::string& message) REQUIRES(r.role);
 
   /// Gathers conn->outq into writev until drained or EAGAIN (which arms
   /// EPOLLOUT). Returns false on a fatal write error (peer gone).
-  [[nodiscard]] bool FlushConnection(Reactor& r, Connection* conn);
+  [[nodiscard]] bool FlushConnection(Reactor& r, Connection* conn)
+      REQUIRES(r.role);
 
   /// Removes the connection from the reactor's epoll + table and closes
   /// it, releasing any still-queued inflight frames.
-  void CloseConnection(Reactor& r, Connection* conn, engine::Counter* reason);
+  void CloseConnection(Reactor& r, Connection* conn, engine::Counter* reason)
+      REQUIRES(r.role);
 
   /// Best-effort bounded flush of whatever is queued (error replies on a
   /// closing connection; drain). Blocking with the write deadline.
-  void FlushBlocking(Reactor& r, Connection* conn);
+  void FlushBlocking(Reactor& r, Connection* conn) REQUIRES(r.role);
 
   /// One pass over `r`'s connections enforcing the idle / read-stall /
   /// write-stall deadlines. Runs between epoll waits on `r`'s thread.
-  void SweepTimeouts(Reactor& r, std::int64_t now_ms);
+  void SweepTimeouts(Reactor& r, std::int64_t now_ms) REQUIRES(r.role);
 
   engine::Engine* const engine_;
   const ServerConfig config_;
@@ -282,6 +313,11 @@ class Server {
   base::CondVar ingest_cv_;
   std::deque<IngestJob*> ingest_queue_ GUARDED_BY(ingest_mu_);
   bool ingest_stopping_ GUARDED_BY(ingest_mu_) = false;
+
+  /// Capability of the server's single ingest thread — the engine's one
+  /// routing-plane caller while the server runs (see the constructor
+  /// contract). IngestLoop asserts it; ApplyIngest REQUIRES it.
+  base::ThreadRole ingest_role_;
 
   std::thread ingest_thread_;
 };

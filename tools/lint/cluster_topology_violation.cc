@@ -1,0 +1,47 @@
+// Seed for the cluster-topology compile-fail check.
+//
+// Models the src/cluster ClusterClient single-owner contract: the cached
+// topology is GUARDED_BY(owner_role_), so only code that has asserted the
+// owner role (the client's documented single-caller API surface) may read
+// or replace it. Compiled two ways by tools/lint/CMakeLists.txt on Clang:
+//   * default — the seeded unguarded topology access below MUST be
+//     rejected by -Wthread-safety -Werror=thread-safety;
+//   * -DNETCLUST_TSA_EXPECT_CLEAN — the variant that asserts the owner
+//     role first MUST compile (positive control).
+// On non-Clang compilers the annotations are no-ops and this file is not
+// exercised.
+
+#include "base/sync.h"
+
+namespace {
+
+class TopologyClient {
+ public:
+  int epoch() const {
+#ifdef NETCLUST_TSA_EXPECT_CLEAN
+    netclust::base::AssumeThreadRole owner(owner_role_);
+    return topology_epoch_;
+#else
+    // Seeded violation: reads the cached topology without holding the
+    // owner role — exactly the cross-thread peek the client forbids.
+    return topology_epoch_;
+#endif
+  }
+
+  void Refresh() {
+    netclust::base::AssumeThreadRole owner(owner_role_);
+    topology_epoch_ += 1;
+  }
+
+ private:
+  static inline const netclust::base::ThreadRole owner_role_{};
+  int topology_epoch_ GUARDED_BY(owner_role_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  TopologyClient client;
+  client.Refresh();
+  return client.epoch() == 1 ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Seed for the ingest-role compile-fail check.
+//
+// Models the src/server ingest contract: Server::ApplyIngest is
+// REQUIRES(ingest_role_) — only the ingest thread's main loop, which
+// asserts the role at its top, may apply topology updates. Compiled two
+// ways by tools/lint/CMakeLists.txt on Clang:
+//   * default — the seeded role-less ApplyIngest call below MUST be
+//     rejected by -Wthread-safety -Werror=thread-safety;
+//   * -DNETCLUST_TSA_EXPECT_CLEAN — the variant that calls through the
+//     role-asserting ingest loop MUST compile (positive control).
+// On non-Clang compilers the annotations are no-ops and this file is not
+// exercised.
+
+#include "base/sync.h"
+
+namespace {
+
+class IngestServer {
+ public:
+  void ApplyIngest(int delta) REQUIRES(ingest_role_) { applied_ += delta; }
+
+  /// The ingest thread's main: the one sanctioned holder of the role.
+  void IngestLoop() {
+    netclust::base::AssumeThreadRole own(ingest_role_);
+    ApplyIngest(1);
+  }
+
+  void HandleFrame() {
+#ifdef NETCLUST_TSA_EXPECT_CLEAN
+    IngestLoop();
+#else
+    // Seeded violation: a reactor-side frame handler applying an update
+    // directly, without holding the ingest role.
+    ApplyIngest(1);
+#endif
+  }
+
+ private:
+  netclust::base::ThreadRole ingest_role_;
+  int applied_ ONLY_THREAD(ingest_role_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  IngestServer server;
+  server.HandleFrame();
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <cstdio>
 
 namespace netclust::lint {
 namespace {
@@ -152,12 +154,15 @@ void CheckOrderComment(std::string_view path,
                        const std::vector<ScannedLine>& lines,
                        std::vector<Finding>* findings) {
   for (std::size_t i = 0; i < lines.size(); ++i) {
+    // "memory_order" alone catches the C++20 enum-class spellings
+    // (std::memory_order::acquire) that the suffixed tokens miss.
     if (!HasToken(lines[i].code, "memory_order_relaxed") &&
         !HasToken(lines[i].code, "memory_order_acquire") &&
         !HasToken(lines[i].code, "memory_order_release") &&
         !HasToken(lines[i].code, "memory_order_acq_rel") &&
         !HasToken(lines[i].code, "memory_order_seq_cst") &&
-        !HasToken(lines[i].code, "memory_order_consume")) {
+        !HasToken(lines[i].code, "memory_order_consume") &&
+        !HasToken(lines[i].code, "memory_order")) {
       continue;
     }
     bool justified = false;
@@ -320,6 +325,308 @@ void CheckHeaderGuard(std::string_view path,
   }
 }
 
+/// The data-plane layers where concurrency and wire rules apply in full.
+bool IsWireLayer(std::string_view path) {
+  return StartsWith(path, "src/server/") || StartsWith(path, "src/cluster/");
+}
+
+// How far below an atomic operation its memory-order argument may sit
+// (multi-line call: the op on one line, the order two lines down).
+constexpr std::size_t kAtomicOrderWindow = 2;
+
+void CheckAtomicOrder(std::string_view path,
+                      const std::vector<ScannedLine>& lines,
+                      std::vector<Finding>* findings) {
+  if (!IsWireLayer(path) && !StartsWith(path, "tools/")) return;
+  static constexpr std::string_view kAtomicOps[] = {
+      ".load(",          ".store(",     ".exchange(",
+      ".fetch_add(",     ".fetch_sub(", ".fetch_and(",
+      ".fetch_or(",      ".fetch_xor(", ".compare_exchange_weak(",
+      ".compare_exchange_strong("};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    for (std::string_view op : kAtomicOps) {
+      if (code.find(op) == std::string::npos) continue;
+      bool explicit_order = false;
+      const std::size_t last = std::min(i + kAtomicOrderWindow,
+                                        lines.size() - 1);
+      for (std::size_t j = i; j <= last && !explicit_order; ++j) {
+        explicit_order = lines[j].code.find("memory_order") !=
+                         std::string::npos;
+      }
+      if (!explicit_order) {
+        findings->push_back(
+            {std::string(path), static_cast<int>(i + 1), "atomic-order",
+             "atomic '" + std::string(op.substr(1, op.size() - 2)) +
+                 "' with implicit seq_cst — spell the memory order and "
+                 "justify it with an '// order:' comment"});
+      }
+      break;  // one finding per line is enough
+    }
+  }
+}
+
+void CheckWireCast(std::string_view path,
+                   const std::vector<ScannedLine>& lines,
+                   std::vector<Finding>* findings) {
+  if (!IsWireLayer(path)) return;
+  static constexpr std::string_view kCasts[] = {"memcpy", "reinterpret_cast",
+                                                "const_cast"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::string_view cast : kCasts) {
+      if (HasToken(lines[i].code, cast)) {
+        findings->push_back(
+            {std::string(path), static_cast<int>(i + 1), "wire-cast",
+             "'" + std::string(cast) +
+                 "' in wire-layer code — network bytes go through the "
+                 "bounds-checked GetU*/Decode* codecs, never through "
+                 "reinterpreted buffer memory"});
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
+/// Trailing word of `text` (identifier characters), or empty.
+std::string_view LastWord(std::string_view text) {
+  std::size_t end = text.size();
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && IsIdentChar(text[begin - 1])) --begin;
+  return text.substr(begin, end - begin);
+}
+
+void CheckWireDecodeResult(std::string_view path,
+                           const std::vector<ScannedLine>& lines,
+                           std::vector<Finding>* findings) {
+  if (!IsWireLayer(path)) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    std::size_t pos = 0;
+    while ((pos = code.find("Decode", pos)) != std::string::npos) {
+      if (pos > 0 && IsIdentChar(code[pos - 1])) {
+        pos += 6;
+        continue;
+      }
+      std::size_t end = pos;
+      while (end < code.size() && IsIdentChar(code[end])) ++end;
+      std::size_t paren = end;
+      while (paren < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[paren]))) {
+        ++paren;
+      }
+      if (paren >= code.size() || code[paren] != '(') {
+        pos = end;
+        continue;
+      }
+      // Declaration vs call site: walk the text left of the name. Strip
+      // namespace qualifiers first (both `ns::DecodeFoo(` calls and
+      // out-of-line definitions), then classify by what remains.
+      std::string prefix(code.substr(0, pos));
+      for (;;) {
+        while (!prefix.empty() &&
+               std::isspace(static_cast<unsigned char>(prefix.back()))) {
+          prefix.pop_back();
+        }
+        if (prefix.size() >= 2 &&
+            prefix.compare(prefix.size() - 2, 2, "::") == 0) {
+          prefix.resize(prefix.size() - 2);
+          while (!prefix.empty() && IsIdentChar(prefix.back())) {
+            prefix.pop_back();
+          }
+          continue;
+        }
+        break;
+      }
+      bool declaration;
+      if (prefix.empty()) {
+        // Continuation line: the return type (if this is a declaration)
+        // sits on the previous line, checked below.
+        declaration = true;
+      } else {
+        const char back = prefix.back();
+        const bool logical_op =
+            prefix.size() >= 2 && (prefix.compare(prefix.size() - 2, 2,
+                                                  "&&") == 0 ||
+                                   prefix.compare(prefix.size() - 2, 2,
+                                                  "||") == 0);
+        const std::string_view word = LastWord(prefix);
+        if (logical_op || back == '=' || back == '(' || back == ',' ||
+            back == '!' || back == '{' || back == ';' || back == ':' ||
+            back == '<' || back == '?' || word == "return" ||
+            word == "co_return" || word == "case" || word == "goto") {
+          declaration = false;  // call site
+        } else {
+          // What remains reads like a return type (identifier, '>', '*',
+          // '&', ']' from an attribute...).
+          declaration = true;
+        }
+      }
+      if (declaration) {
+        bool returns_result =
+            StripSpaces(code).find("Result<") != std::string::npos;
+        if (!returns_result && i > 0) {
+          returns_result = StripSpaces(lines[i - 1].code).find("Result<") !=
+                           std::string::npos;
+        }
+        if (!returns_result) {
+          findings->push_back(
+              {std::string(path), static_cast<int>(i + 1),
+               "wire-decode-result",
+               "'" + std::string(code.substr(pos, end - pos)) +
+                   "' does not return Result<T> — a decoder that cannot "
+                   "report malformed input forces its caller to guess"});
+        }
+      }
+      pos = end;
+    }
+  }
+}
+
+void CheckWireBounds(std::string_view path,
+                     const std::vector<ScannedLine>& lines,
+                     std::vector<Finding>* findings) {
+  // The codec home: every GetU* there sits behind the decoder's size
+  // check (and proto.h declares them).
+  if (path == "src/server/proto.cc" || path == "src/server/proto.h") return;
+  static constexpr std::string_view kReads[] = {"GetU16", "GetU32", "GetU64"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::string_view fn : kReads) {
+      if (HasToken(lines[i].code, fn)) {
+        findings->push_back(
+            {std::string(path), static_cast<int>(i + 1), "wire-bounds",
+             "'" + std::string(fn) +
+                 "' outside src/server/proto.cc — raw big-endian reads "
+                 "belong in the codec home where every read sits behind "
+                 "the decoder's bounds check"});
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
+/// Index just past the ')' matching the '(' at `open`, or npos when the
+/// call does not close on this line.
+std::size_t MatchParen(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+void CheckFdLifecycle(std::string_view path,
+                      const std::vector<ScannedLine>& lines,
+                      std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+
+    // fd-unchecked: epoll_ctl in statement position with the result
+    // silently dropped. `(void)epoll_ctl(...)` is an explicit discard
+    // (teardown paths); anything consuming the result (if/!=/=) passes.
+    std::size_t pos = 0;
+    while ((pos = code.find("epoll_ctl", pos)) != std::string::npos) {
+      const std::size_t after = pos + 9;
+      const bool whole = (pos == 0 || !IsIdentChar(code[pos - 1])) &&
+                         (after >= code.size() || !IsIdentChar(code[after]));
+      std::size_t paren = after;
+      while (paren < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[paren]))) {
+        ++paren;
+      }
+      if (!whole || paren >= code.size() || code[paren] != '(') {
+        pos = after;
+        continue;
+      }
+      std::string prefix = StripSpaces(code.substr(0, pos));
+      if (prefix.size() >= 2 &&
+          prefix.compare(prefix.size() - 2, 2, "::") == 0) {
+        prefix.resize(prefix.size() - 2);
+      }
+      const bool statement_position = prefix.empty();
+      const bool explicit_discard =
+          prefix.size() >= 6 &&
+          prefix.compare(prefix.size() - 6, 6, "(void)") == 0;
+      const std::size_t close = MatchParen(code, paren);
+      const bool discarded =
+          statement_position && close != std::string::npos &&
+          StripSpaces(code.substr(close)) == ";";
+      if (discarded && !explicit_discard) {
+        findings->push_back(
+            {std::string(path), static_cast<int>(i + 1), "fd-unchecked",
+             "epoll_ctl result silently discarded — check it (a failed "
+             "registration strands the connection) or discard explicitly "
+             "with (void)"});
+      }
+      pos = after;
+    }
+
+    // fd-close: raw close() anywhere — CloseFd (io_util) is EINTR-correct
+    // and the single vetted close site (suppression-file entry).
+    pos = 0;
+    while ((pos = code.find("close", pos)) != std::string::npos) {
+      const std::size_t after = pos + 5;
+      const bool whole = (pos == 0 || !IsIdentChar(code[pos - 1])) &&
+                         (after >= code.size() || !IsIdentChar(code[after]));
+      const bool member =
+          (pos >= 1 && code[pos - 1] == '.') ||
+          (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>');
+      std::size_t paren = after;
+      while (paren < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[paren]))) {
+        ++paren;
+      }
+      const bool call = paren < code.size() && code[paren] == '(';
+      if (whole && call && !member) {
+        findings->push_back(
+            {std::string(path), static_cast<int>(i + 1), "fd-close",
+             "raw 'close(...)' — use CloseFd (src/server/io_util.h), the "
+             "EINTR-correct single close site"});
+        pos = after;
+        continue;
+      }
+      pos = after;
+    }
+
+    // fd-dup: descriptor duplication in the reactor layers breaks the
+    // 1:1 fd-to-owner mapping the role capabilities guard.
+    if (IsWireLayer(path)) {
+      for (std::string_view fn : {std::string_view("dup"),
+                                  std::string_view("dup2")}) {
+        std::size_t p = 0;
+        while ((p = code.find(fn, p)) != std::string::npos) {
+          const std::size_t after_fn = p + fn.size();
+          const bool whole =
+              (p == 0 || !IsIdentChar(code[p - 1])) &&
+              (after_fn >= code.size() || !IsIdentChar(code[after_fn]));
+          const bool member =
+              (p >= 1 && code[p - 1] == '.') ||
+              (p >= 2 && code[p - 2] == '-' && code[p - 1] == '>');
+          std::size_t q = after_fn;
+          while (q < code.size() &&
+                 std::isspace(static_cast<unsigned char>(code[q]))) {
+            ++q;
+          }
+          if (whole && !member && q < code.size() && code[q] == '(') {
+            findings->push_back(
+                {std::string(path), static_cast<int>(i + 1), "fd-dup",
+                 "'" + std::string(fn) +
+                     "(...)' duplicates a descriptor — reactor-owned fds "
+                     "are 1:1 with their owner; a copy escapes the role "
+                     "capability guarding its lifetime"});
+            break;
+          }
+          p = after_fn;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> LintFile(std::string_view path,
@@ -327,15 +634,160 @@ std::vector<Finding> LintFile(std::string_view path,
   const std::vector<ScannedLine> lines = ScanLines(content);
   std::vector<Finding> findings;
   CheckOrderComment(path, lines, &findings);
+  CheckAtomicOrder(path, lines, &findings);
   CheckParserInt(path, lines, &findings);
   CheckNakedThread(path, lines, &findings);
   CheckRawIo(path, lines, &findings);
+  CheckWireCast(path, lines, &findings);
+  CheckWireDecodeResult(path, lines, &findings);
+  CheckWireBounds(path, lines, &findings);
+  CheckFdLifecycle(path, lines, &findings);
   CheckIostreamInclude(path, lines, &findings);
   CheckHeaderGuard(path, lines, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return a.line < b.line;
             });
+  return findings;
+}
+
+std::vector<OpcodeInfo> ParseOpcodeEnum(std::string_view proto_header) {
+  const std::vector<ScannedLine> lines = ScanLines(proto_header);
+  std::vector<OpcodeInfo> opcodes;
+  bool in_enum = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    if (!in_enum) {
+      if (HasToken(code, "enum") && HasToken(code, "Opcode")) in_enum = true;
+      continue;
+    }
+    if (code.find('}') != std::string::npos) break;
+    // Enumerator shape: kName = 0xNN,
+    std::size_t p = 0;
+    while (p < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[p]))) {
+      ++p;
+    }
+    if (p >= code.size() || code[p] != 'k') continue;
+    std::size_t end = p;
+    while (end < code.size() && IsIdentChar(code[end])) ++end;
+    OpcodeInfo info;
+    info.name = code.substr(p, end - p);
+    info.line = static_cast<int>(i + 1);
+    const std::size_t eq = code.find('=', end);
+    if (eq == std::string::npos) continue;
+    std::size_t v = eq + 1;
+    while (v < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[v]))) {
+      ++v;
+    }
+    int base = 10;
+    if (code.compare(v, 2, "0x") == 0 || code.compare(v, 2, "0X") == 0) {
+      base = 16;
+      v += 2;
+    }
+    const char* begin = code.data() + v;
+    const char* stop = code.data() + code.size();
+    unsigned value = 0;
+    if (std::from_chars(begin, stop, value, base).ptr == begin) continue;
+    info.value = value;
+    // `// stats: <counter>` annotation on the enumerator's line.
+    const std::size_t stats = lines[i].comment.find("stats:");
+    if (stats != std::string::npos) {
+      std::size_t c = stats + 6;
+      while (c < lines[i].comment.size() &&
+             std::isspace(static_cast<unsigned char>(lines[i].comment[c]))) {
+        ++c;
+      }
+      std::size_t cend = c;
+      while (cend < lines[i].comment.size() &&
+             IsIdentChar(lines[i].comment[cend])) {
+        ++cend;
+      }
+      info.counter = lines[i].comment.substr(c, cend - c);
+    }
+    opcodes.push_back(std::move(info));
+  }
+  return opcodes;
+}
+
+std::vector<Finding> CheckOpcodeCoverage(const OpcodeCoverageInput& input) {
+  std::vector<Finding> findings;
+  const std::vector<OpcodeInfo> opcodes =
+      ParseOpcodeEnum(input.proto_content);
+  if (opcodes.empty()) {
+    findings.push_back({input.proto_path, 1, "opcode-coverage",
+                        "no 'enum class Opcode' enumerators found — the "
+                        "exhaustiveness check has nothing to anchor on"});
+    return findings;
+  }
+
+  // Pre-scan the dispatch and metrics contents once.
+  std::vector<std::string> dispatch_stripped;
+  std::string dispatch_code;
+  for (const ScannedLine& line : ScanLines(input.dispatch_content)) {
+    dispatch_stripped.push_back(StripSpaces(line.code));
+    dispatch_code.append(line.code);
+    dispatch_code.push_back('\n');
+  }
+  std::string metrics_code;
+  for (const ScannedLine& line : ScanLines(input.metrics_content)) {
+    metrics_code.append(line.code);
+    metrics_code.push_back('\n');
+  }
+
+  const auto dispatched = [&](const std::string& name) {
+    const std::string needle = "caseOpcode::" + name + ":";
+    for (const std::string& line : dispatch_stripped) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  for (const OpcodeInfo& op : opcodes) {
+    const bool request = op.value < 0x80;
+    char hex[8];
+    std::snprintf(hex, sizeof hex, "0x%02X", op.value);
+
+    if (request && !dispatched(op.name)) {
+      findings.push_back(
+          {input.proto_path, op.line, "opcode-coverage",
+           "request opcode " + op.name + " (" + hex +
+               ") has no 'case Opcode::" + op.name +
+               "' in the server dispatch switch"});
+    }
+    if (std::find(input.corpus_opcodes.begin(), input.corpus_opcodes.end(),
+                  op.value) == input.corpus_opcodes.end()) {
+      findings.push_back(
+          {input.proto_path, op.line, "opcode-coverage",
+           "opcode " + op.name + " (" + hex +
+               ") has no fuzz corpus seed (tests/corpus/proto) carrying "
+               "its opcode byte"});
+    }
+    if (request) {
+      if (op.counter.empty()) {
+        findings.push_back(
+            {input.proto_path, op.line, "opcode-coverage",
+             "request opcode " + op.name +
+                 " has no '// stats: <counter>' annotation naming its "
+                 "ServerMetrics counter"});
+      } else {
+        if (!HasToken(metrics_code, op.counter)) {
+          findings.push_back(
+              {input.proto_path, op.line, "opcode-coverage",
+               "request opcode " + op.name + " claims counter '" +
+                   op.counter + "' which does not exist in ServerMetrics"});
+        }
+        if (!HasToken(dispatch_code, op.counter)) {
+          findings.push_back(
+              {input.proto_path, op.line, "opcode-coverage",
+               "request opcode " + op.name + " claims counter '" +
+                   op.counter + "' which is never bumped in the dispatch "
+                                "translation unit"});
+        }
+      }
+    }
+  }
   return findings;
 }
 
@@ -367,12 +819,45 @@ std::vector<Suppression> ParseSuppressions(std::string_view text) {
   return suppressions;
 }
 
+int MatchSuppression(const Finding& finding,
+                     const std::vector<Suppression>& suppressions) {
+  for (std::size_t i = 0; i < suppressions.size(); ++i) {
+    if (suppressions[i].rule == finding.rule &&
+        suppressions[i].file == finding.file) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
 bool IsSuppressed(const Finding& finding,
                   const std::vector<Suppression>& suppressions) {
-  for (const Suppression& s : suppressions) {
-    if (s.rule == finding.rule && s.file == finding.file) return true;
+  return MatchSuppression(finding, suppressions) >= 0;
+}
+
+std::vector<Finding> StaleSuppressions(
+    const std::vector<Suppression>& suppressions,
+    const std::vector<std::size_t>& hits,
+    const std::vector<bool>& file_exists) {
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i < suppressions.size(); ++i) {
+    const Suppression& s = suppressions[i];
+    const bool exists = i < file_exists.size() && file_exists[i];
+    const std::size_t used = i < hits.size() ? hits[i] : 0;
+    if (!exists) {
+      findings.push_back(
+          {s.file, 0, "stale-suppression",
+           "suppression '" + s.rule + ":" + s.file +
+               "' names a file that no longer exists — delete the entry"});
+    } else if (used == 0) {
+      findings.push_back(
+          {s.file, 0, "stale-suppression",
+           "suppression '" + s.rule + ":" + s.file +
+               "' matched no finding this run — the violation is gone; "
+               "delete the entry"});
+    }
   }
-  return false;
+  return findings;
 }
 
 }  // namespace netclust::lint

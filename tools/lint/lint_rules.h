@@ -4,12 +4,19 @@
 // -Wthread-safety cannot express (see DESIGN.md "Static analysis" for the
 // rule catalog and rationale). The rule engine is a pure function of
 // (path, file content) so the self-test can feed it snippets directly;
-// netclust_lint.cc wraps it in a filesystem walk + suppression file.
+// netclust_lint.cc wraps it in a filesystem walk + suppression file and
+// the cross-file opcode-coverage check.
 //
-// Rules (ids are stable; the suppression file references them):
-//   order-comment   every memory_order_* use carries an adjacent
+// Per-file rules (ids are stable; the suppression file references them):
+//   order-comment   every memory_order use (memory_order_* or the C++20
+//                   memory_order:: spellings) carries an adjacent
 //                   `// order:` rationale comment (same line or within
 //                   the preceding comment block).
+//   atomic-order    atomic .load/.store/.exchange/.fetch_*/
+//                   .compare_exchange_* in the data-plane layers
+//                   (src/server/, src/cluster/, tools/) must spell the
+//                   memory order — implicit seq_cst hides the strongest,
+//                   most expensive ordering behind a default.
 //   parser-int      no atoi / std::stoi / sscanf / strtol-family in
 //                   parser code (src/bgp/, src/weblog/) — use
 //                   std::from_chars; locale- and overflow-unsafe parsing
@@ -25,13 +32,53 @@
 //                   syscall goes through the EINTR-safe, deadline-aware
 //                   wrappers in src/server/io_util.*; that file itself is
 //                   the single vetted suppression.
+//   wire-cast       no memcpy / reinterpret_cast / const_cast in the wire
+//                   layers (src/server/, src/cluster/): network bytes are
+//                   read through the bounds-checked GetU*/Decode* codecs,
+//                   never by reinterpreting buffer memory. The two vetted
+//                   homes (proto.cc's string assign, io_util.cc's
+//                   sockaddr casts) are suppression-file entries.
+//   wire-decode-result
+//                   every Decode* function declared in the wire layers
+//                   returns Result<T> — a decoder that cannot report
+//                   malformed input forces its caller to guess.
+//   wire-bounds     GetU16/GetU32/GetU64 (raw big-endian reads from a
+//                   byte buffer) may appear only in src/server/proto.cc,
+//                   the codec home where every read sits behind the
+//                   decoder's size check; other call sites re-derive
+//                   bounds ad hoc and are where PR 4's off-by-frame bugs
+//                   lived.
+//   fd-unchecked    an epoll_ctl(...) whose result is silently discarded
+//                   (statement position, no (void), no check) — a failed
+//                   registration strands a connection; either check it or
+//                   discard explicitly with (void).
+//   fd-close        no raw close(...) — CloseFd (src/server/io_util.h)
+//                   is EINTR-correct and the single close site; io_util's
+//                   own definition is the vetted suppression.
+//   fd-dup          no dup/dup2 in src/server/ or src/cluster/: reactor
+//                   ownership of a descriptor is 1:1 by design, and a
+//                   duplicated fd escapes the role capability that guards
+//                   its lifetime.
 //   iostream-include no #include <iostream> in library code under src/
 //                   (iostream pulls in static init + locale machinery;
 //                   CLI tools are vetted via the suppression file).
 //   header-guard    every header under src/ uses #pragma once (the repo
 //                   convention), not #ifndef guards.
+//
+// Cross-file rules (driver-level; see netclust_lint.cc):
+//   opcode-coverage every opcode parsed from src/server/proto.h must be
+//                   dispatched (request opcodes: `case Opcode::kX` in
+//                   server.cc), fuzz-seeded (all opcodes: a
+//                   tests/corpus/proto seed whose opcode byte matches),
+//                   and counted (request opcodes: a `// stats: <counter>`
+//                   annotation naming a ServerMetrics counter that exists
+//                   in metrics.h and is bumped in server.cc).
+//   stale-suppression a suppression entry whose file no longer exists or
+//                   no longer triggers its rule fails the run — dead
+//                   suppressions otherwise rot into blanket exemptions.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -45,10 +92,40 @@ struct Finding {
   std::string message;
 };
 
-/// Runs every rule over one file. `path` must be repo-relative with '/'
-/// separators — rule scoping (parser dirs, engine allowance) matches on it.
+/// Runs every per-file rule over one file. `path` must be repo-relative
+/// with '/' separators — rule scoping (parser dirs, wire layers, engine
+/// allowance) matches on it.
 std::vector<Finding> LintFile(std::string_view path,
                               std::string_view content);
+
+/// One opcode parsed out of the proto.h enum.
+struct OpcodeInfo {
+  std::string name;     // e.g. "kLookup"
+  unsigned value = 0;   // e.g. 0x02
+  std::string counter;  // from the `// stats: <counter>` annotation; may
+                        // be empty (a coverage finding for requests)
+  int line = 0;         // 1-based line of the enumerator
+};
+
+/// Parses `enum class Opcode` out of proto.h content. Returns an empty
+/// vector when no opcode enum is found (itself a coverage finding).
+std::vector<OpcodeInfo> ParseOpcodeEnum(std::string_view proto_header);
+
+/// Inputs for the cross-file opcode-coverage rule. All contents are raw
+/// file text; corpus_opcodes is the opcode byte (offset 3) of every
+/// corpus seed large enough to carry one.
+struct OpcodeCoverageInput {
+  std::string proto_path;        // for Finding::file, e.g. src/server/proto.h
+  std::string proto_content;     // the enum + // stats: annotations
+  std::string dispatch_content;  // server.cc: the dispatch switch + bumps
+  std::string metrics_content;   // metrics.h: the ServerMetrics counters
+  std::vector<unsigned> corpus_opcodes;
+};
+
+/// The cross-file exhaustiveness check: adding an opcode without dispatch,
+/// corpus, or STATS coverage produces findings here (rule
+/// "opcode-coverage"), so the gap breaks the lint ctest, not production.
+std::vector<Finding> CheckOpcodeCoverage(const OpcodeCoverageInput& input);
 
 /// One suppression: exempts `rule` findings in `file` (exact
 /// repo-relative path match).
@@ -61,8 +138,24 @@ struct Suppression {
 /// '#' comments and blank lines ignored.
 std::vector<Suppression> ParseSuppressions(std::string_view text);
 
+/// Index into `suppressions` of the entry covering `finding`, or -1.
+/// The driver uses the index to count per-entry hits for the
+/// stale-suppression check.
+int MatchSuppression(const Finding& finding,
+                     const std::vector<Suppression>& suppressions);
+
 /// True when `finding` is covered by an entry in `suppressions`.
 bool IsSuppressed(const Finding& finding,
                   const std::vector<Suppression>& suppressions);
+
+/// The stale-suppression rule: entry i is dead when its file is gone
+/// (`file_exists[i]` false) or when it matched no finding this run
+/// (`hits[i]` zero). Dead entries become findings (rule
+/// "stale-suppression") so the suppression file can only shrink back in
+/// step with the code it excuses.
+std::vector<Finding> StaleSuppressions(
+    const std::vector<Suppression>& suppressions,
+    const std::vector<std::size_t>& hits,
+    const std::vector<bool>& file_exists);
 
 }  // namespace netclust::lint

@@ -213,6 +213,293 @@ void TestSuppressions() {
   CHECK(!netclust::lint::IsSuppressed(other_rule, suppressions));
 }
 
+void TestAtomicOrder() {
+  // Bad: implicit seq_cst in a data-plane layer.
+  const auto bad = Of(LintFile("src/server/x.cc",
+                               "void f() { counter.fetch_add(1); }\n"),
+                      "atomic-order");
+  CHECK(bad.size() == 1);
+  CHECK(!bad.empty() && bad[0].line == 1);
+  CHECK(Of(LintFile("src/cluster/x.cc", "bool s = flag.load();\n"),
+           "atomic-order")
+            .size() == 1);
+  CHECK(Of(LintFile("tools/loadgen/x.cc", "flag.store(true);\n"),
+           "atomic-order")
+            .size() == 1);
+  // Good: explicit order, same line or within the two-line window of a
+  // wrapped call.
+  CHECK(Of(LintFile("src/server/x.cc",
+                    "counter.fetch_add(1, std::memory_order_relaxed);\n"),
+           "atomic-order")
+            .empty());
+  CHECK(Of(LintFile("src/server/x.cc",
+                    "gauge.fetch_sub(\n"
+                    "    static_cast<std::int64_t>(n),\n"
+                    "    std::memory_order_relaxed);\n"),
+           "atomic-order")
+            .empty());
+  // Out of scope: the engine's atomics are not this rule's concern.
+  CHECK(Of(LintFile("src/engine/x.cc", "counter.fetch_add(1);\n"),
+           "atomic-order")
+            .empty());
+}
+
+void TestWireCast() {
+  // Bad: buffer reinterpretation in the wire layers.
+  const auto bad =
+      Of(LintFile("src/server/x.cc",
+                  "std::memcpy(&value, payload, sizeof value);\n"),
+         "wire-cast");
+  CHECK(bad.size() == 1);
+  CHECK(Of(LintFile("src/cluster/x.cc",
+                    "auto* h = reinterpret_cast<const Header*>(data);\n"),
+           "wire-cast")
+            .size() == 1);
+  CHECK(Of(LintFile("src/server/x.cc",
+                    "char* p = const_cast<char*>(s.data());\n"),
+           "wire-cast")
+            .size() == 1);
+  // Good: out of the wire layers, and tokens in comments/strings.
+  CHECK(Of(LintFile("src/core/x.cc",
+                    "std::memcpy(dst, src, n);\n"),
+           "wire-cast")
+            .empty());
+  CHECK(Of(LintFile("src/server/x.cc",
+                    "// no memcpy here: the codec bounds-checks\n"),
+           "wire-cast")
+            .empty());
+}
+
+void TestWireDecodeResult() {
+  // Bad: a Decode* declaration in a wire layer that cannot report
+  // malformed input.
+  const auto bad = Of(LintFile("src/server/x.h",
+                               "#pragma once\n"
+                               "std::uint32_t DecodeCount(const "
+                               "std::uint8_t* p, std::size_t n);\n"),
+                      "wire-decode-result");
+  CHECK(bad.size() == 1);
+  CHECK(!bad.empty() && bad[0].line == 2);
+  // Good: Result<T> on the declaration line or the line above
+  // (wrapped declaration).
+  CHECK(Of(LintFile("src/server/x.h",
+                    "#pragma once\n"
+                    "[[nodiscard]] Result<LookupRequest> DecodeLookup(\n"
+                    "    const std::uint8_t* p, std::size_t n);\n"),
+           "wire-decode-result")
+            .empty());
+  CHECK(Of(LintFile("src/server/x.h",
+                    "#pragma once\n"
+                    "[[nodiscard]] Result<IngestRequest>\n"
+                    "DecodeIngest(const std::uint8_t* p, std::size_t n);\n"),
+           "wire-decode-result")
+            .empty());
+  // Good: call sites are not declarations — assignment, qualified call,
+  // return, and condition forms.
+  CHECK(Of(LintFile("src/server/x.cc",
+                    "auto r = DecodeLookup(p, n);\n"),
+           "wire-decode-result")
+            .empty());
+  CHECK(Of(LintFile("src/cluster/x.cc",
+                    "auto u = bgp::DecodeUpdate(p, n);\n"),
+           "wire-decode-result")
+            .empty());
+  CHECK(Of(LintFile("src/server/x.cc",
+                    "return DecodeFrameHeader(p, n);\n"),
+           "wire-decode-result")
+            .empty());
+  CHECK(Of(LintFile("src/server/x.cc",
+                    "if (!DecodeLookup(p, n).ok()) return false;\n"),
+           "wire-decode-result")
+            .empty());
+  // Out of scope: parsers outside the wire layers have their own rules.
+  CHECK(Of(LintFile("src/bgp/x.h",
+                    "#pragma once\n"
+                    "int DecodeHeaderLength(const std::uint8_t* p);\n"),
+           "wire-decode-result")
+            .empty());
+}
+
+void TestWireBounds() {
+  // Bad: a raw big-endian read outside the codec home.
+  const auto bad = Of(LintFile("src/server/server.cc",
+                               "const std::uint32_t n = GetU32(payload);\n"),
+                      "wire-bounds");
+  CHECK(bad.size() == 1);
+  CHECK(Of(LintFile("tools/loadgen/x.cc",
+                    "if (server::GetU16(p) != magic) return;\n"),
+           "wire-bounds")
+            .size() == 1);
+  // Good: the codec home itself (definitions and declarations).
+  CHECK(Of(LintFile("src/server/proto.cc",
+                    "const std::uint32_t n = GetU32(p + 4);\n"),
+           "wire-bounds")
+            .empty());
+  CHECK(Of(LintFile("src/server/proto.h",
+                    "#pragma once\n"
+                    "[[nodiscard]] std::uint16_t GetU16(const "
+                    "std::uint8_t* p);\n"),
+           "wire-bounds")
+            .empty());
+}
+
+void TestFdLifecycle() {
+  // Bad: epoll_ctl in statement position with the result dropped.
+  const auto bad = Of(LintFile("src/server/x.cc",
+                               "epoll_ctl(ep, EPOLL_CTL_DEL, fd, "
+                               "nullptr);\n"),
+                      "fd-unchecked");
+  CHECK(bad.size() == 1);
+  CHECK(Of(LintFile("src/server/x.cc",
+                    "::epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev);\n"),
+           "fd-unchecked")
+            .size() == 1);
+  // Good: checked, explicitly discarded, or assigned.
+  CHECK(Of(LintFile("src/server/x.cc",
+                    "if (::epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev) != 0) {\n"),
+           "fd-unchecked")
+            .empty());
+  CHECK(Of(LintFile("src/server/x.cc",
+                    "(void)::epoll_ctl(ep, EPOLL_CTL_DEL, fd, nullptr);\n"),
+           "fd-unchecked")
+            .empty());
+  CHECK(Of(LintFile("src/server/x.cc",
+                    "const int rc = epoll_ctl(ep, EPOLL_CTL_MOD, fd, "
+                    "&ev);\n"),
+           "fd-unchecked")
+            .empty());
+
+  // fd-close: raw close anywhere; CloseFd and member .close() are fine.
+  CHECK(Of(LintFile("src/core/x.cc", "::close(fd);\n"), "fd-close").size() ==
+        1);
+  CHECK(Of(LintFile("src/core/x.cc", "close(fd);\n"), "fd-close").size() ==
+        1);
+  CHECK(Of(LintFile("src/core/x.cc", "CloseFd(fd);\n"), "fd-close").empty());
+  CHECK(Of(LintFile("src/core/x.cc", "stream.close();\n"), "fd-close")
+            .empty());
+  CHECK(Of(LintFile("src/core/x.cc", "bool closed = true;\n"), "fd-close")
+            .empty());
+
+  // fd-dup: descriptor copies in the reactor layers only.
+  CHECK(Of(LintFile("src/server/x.cc", "int copy = dup(fd);\n"), "fd-dup")
+            .size() == 1);
+  CHECK(Of(LintFile("src/cluster/x.cc", "dup2(fd, target);\n"), "fd-dup")
+            .size() == 1);
+  CHECK(Of(LintFile("src/core/x.cc", "int copy = dup(fd);\n"), "fd-dup")
+            .empty());
+  CHECK(Of(LintFile("src/server/x.cc", "dedup(values);\n"), "fd-dup")
+            .empty());
+}
+
+/// A minimal but complete proto.h/server.cc/metrics.h triple the
+/// opcode-coverage fixtures perturb.
+constexpr const char* kProtoFixture =
+    "enum class Opcode : std::uint8_t {\n"
+    "  kPing = 0x01,    // stats: pings_served\n"
+    "  kLookup = 0x02,  // stats: lookups_served\n"
+    "  kPong = 0x81,\n"
+    "};\n";
+constexpr const char* kDispatchFixture =
+    "switch (opcode) {\n"
+    "  case Opcode::kPing:\n"
+    "    metrics_.pings_served.Inc();\n"
+    "    break;\n"
+    "  case Opcode::kLookup:\n"
+    "    metrics_.lookups_served.Inc();\n"
+    "    break;\n"
+    "}\n";
+constexpr const char* kMetricsFixture =
+    "struct ServerMetrics {\n"
+    "  engine::Counter pings_served;\n"
+    "  engine::Counter lookups_served;\n"
+    "};\n";
+
+void TestOpcodeCoverage() {
+  using netclust::lint::CheckOpcodeCoverage;
+  using netclust::lint::OpcodeCoverageInput;
+  using netclust::lint::ParseOpcodeEnum;
+
+  const auto parsed = ParseOpcodeEnum(kProtoFixture);
+  CHECK(parsed.size() == 3);
+  CHECK(parsed.size() == 3 && parsed[0].name == "kPing" &&
+        parsed[0].value == 0x01 && parsed[0].counter == "pings_served");
+  CHECK(parsed.size() == 3 && parsed[2].name == "kPong" &&
+        parsed[2].value == 0x81 && parsed[2].counter.empty());
+
+  OpcodeCoverageInput covered;
+  covered.proto_path = "src/server/proto.h";
+  covered.proto_content = kProtoFixture;
+  covered.dispatch_content = kDispatchFixture;
+  covered.metrics_content = kMetricsFixture;
+  covered.corpus_opcodes = {0x01, 0x02, 0x81};
+  CHECK(CheckOpcodeCoverage(covered).empty());
+
+  // Adding an opcode to the enum WITHOUT dispatch/corpus/STATS coverage
+  // must fail three ways — this is the check's whole reason to exist.
+  OpcodeCoverageInput uncovered = covered;
+  uncovered.proto_content =
+      "enum class Opcode : std::uint8_t {\n"
+      "  kPing = 0x01,    // stats: pings_served\n"
+      "  kLookup = 0x02,  // stats: lookups_served\n"
+      "  kDrain = 0x0A,\n"
+      "  kPong = 0x81,\n"
+      "};\n";
+  const auto findings = Of(CheckOpcodeCoverage(uncovered), "opcode-coverage");
+  CHECK(findings.size() == 3);  // no dispatch, no corpus seed, no stats
+  for (const Finding& f : findings) {
+    CHECK(f.message.find("kDrain") != std::string::npos);
+    CHECK(f.line == 4);
+  }
+
+  // A response opcode needs a corpus seed but no dispatch case/counter.
+  OpcodeCoverageInput unseeded = covered;
+  unseeded.corpus_opcodes = {0x01, 0x02};
+  const auto missing_seed =
+      Of(CheckOpcodeCoverage(unseeded), "opcode-coverage");
+  CHECK(missing_seed.size() == 1);
+  CHECK(!missing_seed.empty() &&
+        missing_seed[0].message.find("kPong") != std::string::npos);
+
+  // An annotation naming a counter that does not exist (or is never
+  // bumped) is a lie, and lies fail.
+  OpcodeCoverageInput bad_counter = covered;
+  bad_counter.metrics_content =
+      "struct ServerMetrics { engine::Counter pings_served; };\n";
+  CHECK(Of(CheckOpcodeCoverage(bad_counter), "opcode-coverage").size() == 1);
+
+  // No enum at all: one anchoring finding, not silence.
+  OpcodeCoverageInput no_enum = covered;
+  no_enum.proto_content = "int x;\n";
+  CHECK(Of(CheckOpcodeCoverage(no_enum), "opcode-coverage").size() == 1);
+}
+
+void TestStaleSuppressions() {
+  using netclust::lint::StaleSuppressions;
+  const std::vector<netclust::lint::Suppression> suppressions = {
+      {"raw-io", "src/server/io_util.cc"},
+      {"wire-cast", "src/server/gone.cc"},
+      {"fd-close", "src/server/io_util.cc"},
+  };
+  // Entry 0 matched findings; entry 1's file is gone; entry 2 is live
+  // code but matched nothing this run.
+  const auto stale = StaleSuppressions(suppressions, {3, 0, 0},
+                                       {true, false, true});
+  CHECK(stale.size() == 2);
+  CHECK(stale.size() == 2 && stale[0].rule == "stale-suppression" &&
+        stale[0].message.find("no longer exists") != std::string::npos);
+  CHECK(stale.size() == 2 &&
+        stale[1].message.find("matched no finding") != std::string::npos);
+  // All live and all used: silence.
+  CHECK(StaleSuppressions(suppressions, {1, 2, 1}, {true, true, true})
+            .empty());
+
+  // MatchSuppression returns the index the driver counts hits with.
+  Finding hit{"src/server/io_util.cc", 7, "fd-close", ""};
+  CHECK(netclust::lint::MatchSuppression(hit, suppressions) == 2);
+  Finding miss{"src/server/io_util.cc", 7, "wire-cast", ""};
+  CHECK(netclust::lint::MatchSuppression(miss, suppressions) == -1);
+}
+
 void TestCommentAndStringScanner() {
   // Rules must ignore code inside block comments and raw strings.
   CHECK(Of(LintFile("src/bgp/p.cc",
@@ -237,12 +524,19 @@ void TestCommentAndStringScanner() {
 
 int main() {
   TestOrderComment();
+  TestAtomicOrder();
   TestParserInt();
   TestNakedThread();
   TestRawIo();
+  TestWireCast();
+  TestWireDecodeResult();
+  TestWireBounds();
+  TestFdLifecycle();
   TestIostreamInclude();
   TestHeaderGuard();
   TestSuppressions();
+  TestOpcodeCoverage();
+  TestStaleSuppressions();
   TestCommentAndStringScanner();
   if (g_failures != 0) {
     std::fprintf(stderr, "lint_selftest: %d failure(s)\n", g_failures);

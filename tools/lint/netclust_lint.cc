@@ -1,9 +1,15 @@
-// netclust_lint driver: walks src/ under --root, runs the rule engine
-// (lint_rules.h) on every .h/.cc, subtracts the checked-in suppressions,
-// and exits non-zero when findings remain. Registered as the `lint.netclust`
-// ctest so `ctest -R lint` enforces the rules locally, without CI.
+// netclust_lint driver: walks src/ and tools/ under --root, runs the rule
+// engine (lint_rules.h) on every .h/.cc, runs the cross-file
+// opcode-coverage check over proto.h + server.cc + metrics.h + the fuzz
+// corpus, subtracts the checked-in suppressions, and exits non-zero when
+// findings remain. Suppressions are themselves checked: an entry whose
+// file is gone or that matched nothing this run is a stale-suppression
+// finding, so the exemption list can only shrink in step with the code.
+// Registered as the `lint.netclust` ctest so `ctest -R lint` enforces the
+// rules locally, without CI.
 //
 // Usage: netclust_lint --root <repo-root> [--suppressions <file>]
+//                      [--no-opcode-coverage]
 
 #include <algorithm>
 #include <cstdio>
@@ -31,21 +37,39 @@ std::string RelativePath(const fs::path& path, const fs::path& root) {
   return fs::relative(path, root).generic_string();
 }
 
+/// Opcode byte (frame header offset 3: magic u16, version u8, opcode u8)
+/// of every corpus seed long enough to carry one.
+std::vector<unsigned> CorpusOpcodes(const fs::path& corpus_dir) {
+  std::vector<unsigned> opcodes;
+  if (!fs::is_directory(corpus_dir)) return opcodes;
+  for (const auto& entry : fs::directory_iterator(corpus_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string bytes = ReadFile(entry.path());
+    if (bytes.size() >= 4) {
+      opcodes.push_back(static_cast<unsigned char>(bytes[3]));
+    }
+  }
+  return opcodes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root;
   fs::path suppressions_path;
+  bool opcode_coverage = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--suppressions" && i + 1 < argc) {
       suppressions_path = argv[++i];
+    } else if (arg == "--no-opcode-coverage") {
+      opcode_coverage = false;
     } else {
       std::fprintf(stderr,
                    "usage: netclust_lint --root <repo-root> "
-                   "[--suppressions <file>]\n");
+                   "[--suppressions <file>] [--no-opcode-coverage]\n");
       return 2;
     }
   }
@@ -59,31 +83,71 @@ int main(int argc, char** argv) {
     suppressions =
         netclust::lint::ParseSuppressions(ReadFile(suppressions_path));
   }
+  std::vector<std::size_t> suppression_hits(suppressions.size(), 0);
+  std::vector<bool> suppression_file_exists(suppressions.size(), false);
+  for (std::size_t i = 0; i < suppressions.size(); ++i) {
+    suppression_file_exists[i] = fs::exists(root / suppressions[i].file);
+  }
 
   // Deterministic order: collect, then sort.
   std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+  for (const char* dir : {"src", "tools"}) {
+    if (!fs::is_directory(root / dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(root / dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+    }
   }
   std::sort(files.begin(), files.end());
 
   int reported = 0;
   int suppressed = 0;
+  const auto consume = [&](const netclust::lint::Finding& finding) {
+    const int match = netclust::lint::MatchSuppression(finding, suppressions);
+    if (match >= 0) {
+      ++suppression_hits[static_cast<std::size_t>(match)];
+      ++suppressed;
+      return;
+    }
+    std::printf("%s:%d: [%s] %s\n", finding.file.c_str(), finding.line,
+                finding.rule.c_str(), finding.message.c_str());
+    ++reported;
+  };
+
   for (const fs::path& file : files) {
     const std::string rel = RelativePath(file, root);
     for (const netclust::lint::Finding& finding :
          netclust::lint::LintFile(rel, ReadFile(file))) {
-      if (netclust::lint::IsSuppressed(finding, suppressions)) {
-        ++suppressed;
-        continue;
-      }
-      std::printf("%s:%d: [%s] %s\n", finding.file.c_str(), finding.line,
-                  finding.rule.c_str(), finding.message.c_str());
-      ++reported;
+      consume(finding);
     }
   }
+
+  // Cross-file exhaustiveness: the opcode enum vs the dispatch switch,
+  // the fuzz corpus, and the STATS counters.
+  if (opcode_coverage) {
+    netclust::lint::OpcodeCoverageInput input;
+    input.proto_path = "src/server/proto.h";
+    input.proto_content = ReadFile(root / "src/server/proto.h");
+    input.dispatch_content = ReadFile(root / "src/server/server.cc");
+    input.metrics_content = ReadFile(root / "src/server/metrics.h");
+    input.corpus_opcodes = CorpusOpcodes(root / "tests/corpus/proto");
+    for (const netclust::lint::Finding& finding :
+         netclust::lint::CheckOpcodeCoverage(input)) {
+      consume(finding);
+    }
+  }
+
+  // Stale suppressions are findings too (never suppressible themselves:
+  // they are emitted after the matching pass).
+  for (const netclust::lint::Finding& finding :
+       netclust::lint::StaleSuppressions(suppressions, suppression_hits,
+                                         suppression_file_exists)) {
+    std::printf("%s: [%s] %s\n", finding.file.c_str(), finding.rule.c_str(),
+                finding.message.c_str());
+    ++reported;
+  }
+
   std::printf("netclust_lint: %zu files, %d finding(s), %d suppressed\n",
               files.size(), reported, suppressed);
   return reported == 0 ? 0 : 1;

@@ -1,0 +1,46 @@
+// Seed for the reactor-affinity compile-fail check.
+//
+// Models the src/server shared-nothing reactor contract: each Reactor
+// carries a base::ThreadRole and its hot state (epoll set, connection
+// table) is ONLY_THREAD(role). Compiled two ways by tools/lint/
+// CMakeLists.txt on Clang:
+//   * default — the seeded cross-reactor touch below (reactor 0's thread
+//     reaching into reactor 1's connection table) MUST be rejected by
+//     -Wthread-safety -Werror=thread-safety;
+//   * -DNETCLUST_TSA_EXPECT_CLEAN — the affine variant (each thread
+//     touches only the state of the role it holds) MUST compile, proving
+//     the negative case fails for the seeded violation and nothing else.
+// On non-Clang compilers the annotations are no-ops and this file is not
+// exercised.
+
+#include "base/sync.h"
+
+namespace {
+
+struct Reactor {
+  netclust::base::ThreadRole role;
+  int epoll_fd ONLY_THREAD(role) = -1;
+  int open_conns ONLY_THREAD(role) = 0;
+};
+
+/// The reactor thread's main: holds exactly its own reactor's role.
+void ReactorLoop(Reactor& self, Reactor& peer) {
+  netclust::base::AssumeThreadRole own(self.role);
+  self.open_conns += 1;
+#ifdef NETCLUST_TSA_EXPECT_CLEAN
+  (void)peer;
+#else
+  // Seeded violation: cross-reactor touch — this thread holds self.role,
+  // not peer.role, so peer's connection count is another thread's state.
+  peer.open_conns += 1;
+#endif
+}
+
+}  // namespace
+
+int main() {
+  Reactor a;
+  Reactor b;
+  ReactorLoop(a, b);
+  return 0;
+}

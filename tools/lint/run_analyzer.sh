@@ -1,0 +1,71 @@
+#!/bin/sh
+# Runs the GCC static analyzer (-fanalyzer) over the data-plane TUs
+# (src/server/*.cc, src/cluster/*.cc) with analyzer warnings treated as
+# errors. Known false positives are filtered through
+# tools/lint/analyzer_suppressions.txt (one grep -E pattern per line).
+#
+# Usage: tools/lint/run_analyzer.sh [findings-file]
+#   findings-file: where to write the raw analyzer output (default:
+#                  analyzer-findings.txt in the current directory); CI
+#                  uploads it as a build artifact.
+#
+# Exits 0 when clean, 1 on unsuppressed findings, 77 (the automake/ctest
+# SKIP code) when no -fanalyzer-capable GCC is available — so non-GCC
+# machines skip gracefully while CI enforces.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+OUT="${1:-analyzer-findings.txt}"
+SUPPRESSIONS="$ROOT/tools/lint/analyzer_suppressions.txt"
+
+GCC="${NETCLUST_GCC:-g++}"
+if ! command -v "$GCC" >/dev/null 2>&1; then
+  echo "run_analyzer.sh: $GCC not found; skipping" >&2
+  exit 77
+fi
+# -fanalyzer is GCC-only (and GCC >= 10); probe with an empty TU rather
+# than parsing version strings.
+if ! printf '' | "$GCC" -fanalyzer -fsyntax-only -x c++ - 2>/dev/null; then
+  echo "run_analyzer.sh: $GCC does not support -fanalyzer; skipping" >&2
+  exit 77
+fi
+
+# The analyzer's interprocedural passes want optimization context; -O1
+# keeps runtime sane while still inlining the io_util wrappers the
+# fd-leak checks care about.
+: > "$OUT"
+for tu in "$ROOT"/src/server/*.cc "$ROOT"/src/cluster/*.cc; do
+  "$GCC" -std=c++20 -O1 -fanalyzer -fsyntax-only \
+         -I"$ROOT/src" "$tu" 2>>"$OUT" || {
+    echo "run_analyzer.sh: $tu failed to compile (see $OUT)" >&2
+    exit 1
+  }
+done
+
+# Findings are the '[-Wanalyzer-*]' warning lines; everything else in the
+# stderr stream is the analyzer's supporting path commentary (kept in
+# $OUT for the artifact, not counted).
+FINDINGS=$(grep -E '\[-Wanalyzer-' "$OUT" || true)
+
+# Subtract vetted false positives (pattern per line; '#' comments). A
+# suppression hides one diagnostic line, never a whole file.
+if [ -n "$FINDINGS" ] && [ -f "$SUPPRESSIONS" ]; then
+  PATTERNS=$(sed -e 's/#.*//' -e '/^[[:space:]]*$/d' "$SUPPRESSIONS")
+  if [ -n "$PATTERNS" ]; then
+    PATTERN_FILE=$(mktemp)
+    printf '%s\n' "$PATTERNS" > "$PATTERN_FILE"
+    FINDINGS=$(printf '%s\n' "$FINDINGS" |
+               grep -Ev -f "$PATTERN_FILE" || true)
+    rm -f "$PATTERN_FILE"
+  fi
+fi
+
+if [ -n "$FINDINGS" ]; then
+  printf '%s\n' "$FINDINGS" >&2
+  COUNT=$(printf '%s\n' "$FINDINGS" | wc -l)
+  echo "run_analyzer.sh: $COUNT unsuppressed analyzer finding(s)" >&2
+  exit 1
+fi
+
+echo "run_analyzer.sh: -fanalyzer clean over src/server + src/cluster"
+exit 0

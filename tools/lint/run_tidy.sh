@@ -39,14 +39,18 @@ if [ -z "$FILES" ]; then
   exit 77
 fi
 
+# One clang-tidy process per TU, NETCLUST_TIDY_JOBS of them at a time
+# (default: one per core). Each TU is independent — the config lives in
+# the repo-root .clang-tidy and --quiet keeps output to actual findings —
+# so findings interleave per-file, never mid-line. xargs exits non-zero
+# when any invocation fails.
+JOBS="${NETCLUST_TIDY_JOBS:-$(nproc 2>/dev/null || echo 4)}"
 STATUS=0
-for f in $FILES; do
-  # --quiet keeps the output to actual findings; the config lives in the
-  # repo-root .clang-tidy.
-  "$TIDY" --quiet -p "$BUILD_DIR" "$f" || STATUS=1
-done
+printf '%s\n' $FILES |
+  xargs -P "$JOBS" -n 1 "$TIDY" --quiet -p "$BUILD_DIR" || STATUS=1
 
 if [ "$STATUS" -eq 0 ]; then
-  echo "run_tidy.sh: clang-tidy clean over $(echo "$FILES" | wc -l) files"
+  echo "run_tidy.sh: clang-tidy clean over $(echo "$FILES" | wc -l) files" \
+       "($JOBS jobs)"
 fi
 exit $STATUS

@@ -5,12 +5,12 @@
 #include <cstdio>
 #include <deque>
 #include <fstream>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include <poll.h>
 
+#include "base/sync.h"
 #include "cluster/cluster_client.h"
 #include "engine/metrics.h"
 #include "server/client.h"
@@ -37,12 +37,13 @@ struct SharedState {
   std::atomic<std::size_t> busy{0};
   std::atomic<std::size_t> redirects{0};
   std::atomic<std::size_t> errors{0};
-  std::mutex error_mu;
-  std::string first_error;
+  base::Mutex error_mu;
+  std::string first_error GUARDED_BY(error_mu);
 
   void RecordError(const std::string& message) {
-    errors.fetch_add(1);
-    const std::lock_guard<std::mutex> lock(error_mu);
+    // order: relaxed — statistics counter, read once after joins.
+    errors.fetch_add(1, std::memory_order_relaxed);
+    base::MutexLock lock(&error_mu);
     if (first_error.empty()) first_error = message;
   }
 };
@@ -99,12 +100,13 @@ void Worker(const Options& options, int index, std::size_t budget,
       }
       if (error.empty()) {
         state->latency.Record(engine::NowNs() - start);
-        state->frames.fetch_add(1);
-        state->lookups.fetch_add(answered);
-        state->found.fetch_add(matched);
+        // order: relaxed — per-worker stats, read after the joins.
+        state->frames.fetch_add(1, std::memory_order_relaxed);
+        state->lookups.fetch_add(answered, std::memory_order_relaxed);
+        state->found.fetch_add(matched, std::memory_order_relaxed);
         done = true;
       } else if (server::Client::IsBusy(error)) {
-        state->busy.fetch_add(1);
+        state->busy.fetch_add(1, std::memory_order_relaxed);
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       } else {
         state->RecordError(error);
@@ -112,14 +114,16 @@ void Worker(const Options& options, int index, std::size_t budget,
       }
     }
     if (!done) {
-      state->busy.fetch_add(conn.busy_absorbed());
+      // order: relaxed — per-worker stats, read after the joins.
+      state->busy.fetch_add(conn.busy_absorbed(), std::memory_order_relaxed);
       state->RecordError("BUSY retry budget exhausted");
       return;
     }
   }
   // Fold in the BUSY responses the client's internal backoff absorbed, so
   // the report still counts every backpressure event.
-  state->busy.fetch_add(conn.busy_absorbed());
+  // order: relaxed — per-worker stats, read after the joins.
+  state->busy.fetch_add(conn.busy_absorbed(), std::memory_order_relaxed);
 }
 
 /// One request frame in flight on a pipelined connection: the encoded
@@ -211,9 +215,10 @@ void PipelinedWorker(const Options& options, int index, std::size_t budget,
           return;
         }
         state->latency.Record(engine::NowNs() - frame.sent_ns);
-        state->frames.fetch_add(1);
-        state->lookups.fetch_add(1);
-        if (payload[0] != 0) state->found.fetch_add(1);
+        // order: relaxed — per-worker stats, read after the joins.
+        state->frames.fetch_add(1, std::memory_order_relaxed);
+        state->lookups.fetch_add(1, std::memory_order_relaxed);
+        if (payload[0] != 0) state->found.fetch_add(1, std::memory_order_relaxed);
         ++done;
         return;
       }
@@ -231,14 +236,16 @@ void PipelinedWorker(const Options& options, int index, std::size_t budget,
           if (payload[4 + server::kLookupRecordSize * i] != 0) ++matched;
         }
         state->latency.Record(engine::NowNs() - frame.sent_ns);
-        state->frames.fetch_add(1);
-        state->lookups.fetch_add(frame.batch);
-        state->found.fetch_add(matched);
+        // order: relaxed — per-worker stats, read after the joins.
+        state->frames.fetch_add(1, std::memory_order_relaxed);
+        state->lookups.fetch_add(frame.batch, std::memory_order_relaxed);
+        state->found.fetch_add(matched, std::memory_order_relaxed);
         ++done;
         return;
       }
       case server::Opcode::kBusy: {
-        state->busy.fetch_add(1);
+        // order: relaxed — per-worker stats, read after the joins.
+        state->busy.fetch_add(1, std::memory_order_relaxed);
         if (++frame.attempts > options.busy_retries) {
           state->RecordError("BUSY retry budget exhausted");
           failed = true;
@@ -383,18 +390,21 @@ void ClusterWorker(const Options& options, const server::Topology& topo,
     if (!error.empty()) {
       // The ClusterClient already retried through redirects and node
       // failures; a surviving error ends this worker.
-      state->busy.fetch_add(fleet.busy_absorbed());
-      state->redirects.fetch_add(fleet.redirects_followed());
+      // order: relaxed — per-worker stats, read after the joins.
+      state->busy.fetch_add(fleet.busy_absorbed(), std::memory_order_relaxed);
+      state->redirects.fetch_add(fleet.redirects_followed(), std::memory_order_relaxed);
       state->RecordError(error);
       return;
     }
     state->latency.Record(engine::NowNs() - start);
-    state->frames.fetch_add(1);
-    state->lookups.fetch_add(answered);
-    state->found.fetch_add(matched);
+    // order: relaxed — per-worker stats, read after the joins.
+    state->frames.fetch_add(1, std::memory_order_relaxed);
+    state->lookups.fetch_add(answered, std::memory_order_relaxed);
+    state->found.fetch_add(matched, std::memory_order_relaxed);
   }
-  state->busy.fetch_add(fleet.busy_absorbed());
-  state->redirects.fetch_add(fleet.redirects_followed());
+  // order: relaxed — per-worker stats, read after the joins.
+  state->busy.fetch_add(fleet.busy_absorbed(), std::memory_order_relaxed);
+  state->redirects.fetch_add(fleet.redirects_followed(), std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -457,13 +467,14 @@ Result<Report> Run(const Options& options) {
   const std::uint64_t elapsed = engine::NowNs() - start;
 
   Report report;
-  report.frames_sent = state.frames.load();
   report.pipeline = options.pipeline;
-  report.lookups_done = state.lookups.load();
-  report.found = state.found.load();
-  report.busy_retries = state.busy.load();
-  report.redirects = state.redirects.load();
-  report.errors = state.errors.load();
+  // order: relaxed — workers joined above; these are quiescent reads.
+  report.frames_sent = state.frames.load(std::memory_order_relaxed);
+  report.lookups_done = state.lookups.load(std::memory_order_relaxed);
+  report.found = state.found.load(std::memory_order_relaxed);
+  report.busy_retries = state.busy.load(std::memory_order_relaxed);
+  report.redirects = state.redirects.load(std::memory_order_relaxed);
+  report.errors = state.errors.load(std::memory_order_relaxed);
   report.elapsed_ns = elapsed;
   report.qps = elapsed > 0 ? static_cast<double>(report.lookups_done) /
                                  (static_cast<double>(elapsed) / 1e9)
