@@ -1,14 +1,24 @@
-// Byte-capacity LRU cache of web resources.
+// LRU caches: the byte-capacity resource cache of the §4.1 proxy
+// simulation, and the entry-count cache backing the server's mapping
+// tier.
 //
-// The replacement policy of every proxy in the §4.1 simulation ("We use
-// LRU as the cache replacement policy"). Keys are interned URL ids; each
-// entry carries the resource size, the origin version it holds and its
-// TTL expiry.
+// LruByteCache is the replacement policy of every proxy in the §4.1
+// simulation ("We use LRU as the cache replacement policy"). Keys are
+// interned URL ids; each entry carries the resource size, the origin
+// version it holds and its TTL expiry.
+//
+// NOTE the two classes give capacity 0 OPPOSITE meanings, each matching
+// its workload: LruByteCache treats 0 as unbounded (the paper's "infinite
+// cache" proxy experiment needs one), LruEntryCache treats 0 as disabled
+// (a mapping tier configured off must cost nothing and cache nothing —
+// the pre-fix code asserted instead; see the lru_cache_test regression).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <utility>
 
 namespace netclust::cache {
 
@@ -100,6 +110,72 @@ class LruByteCache {
   std::uint64_t used_ = 0;
   std::list<Node> order_;  // front = most recent
   std::unordered_map<std::uint32_t, std::list<Node>::iterator> index_;
+};
+
+/// Entry-count LRU over arbitrary values — the store behind the server's
+/// per-reactor mapping tier (key = client /24, value = cached lookup
+/// answer). Single-threaded by design: each reactor owns its own
+/// instance, so there is no lock to take on the fast path.
+///
+/// capacity == 0 constructs a DISABLED cache: every Touch misses, every
+/// Insert is refused, and no memory is held — mirroring the PR 2
+/// `ring_capacity=0` floor fix instead of asserting in the constructor.
+template <typename Value>
+class LruEntryCache {
+ public:
+  explicit LruEntryCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// True when the cache can ever hold an entry (capacity > 0).
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  /// Value for `key`, promoted to most-recently-used. nullptr on miss
+  /// (always, when disabled).
+  Value* Touch(std::uint32_t key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->value;
+  }
+
+  /// Inserts or replaces `key`. Returns false (and stores nothing) when
+  /// the cache is disabled. At capacity, the LRU entry is evicted; the
+  /// caller can observe that via size() staying flat.
+  bool Insert(std::uint32_t key, Value value) {
+    if (capacity_ == 0) return false;
+    if (const auto it = index_.find(key); it != index_.end()) {
+      it->second->value = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return true;
+    }
+    if (index_.size() >= capacity_) {
+      assert(!order_.empty());
+      index_.erase(order_.back().key);
+      order_.pop_back();
+    }
+    order_.push_front(Node{key, std::move(value)});
+    index_.emplace(key, order_.begin());
+    return true;
+  }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return order_.empty(); }
+
+ private:
+  struct Node {
+    std::uint32_t key;
+    Value value;
+  };
+
+  std::size_t capacity_;
+  std::list<Node> order_;  // front = most recent
+  std::unordered_map<std::uint32_t, typename std::list<Node>::iterator>
+      index_;
 };
 
 }  // namespace netclust::cache

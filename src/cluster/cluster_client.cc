@@ -227,6 +227,35 @@ Result<std::vector<server::LookupRecord>> ClusterClient::BatchLookup(
               " attempts: " + last_error);
 }
 
+Result<server::AssignReply> ClusterClient::Assign(net::IpAddress address) {
+  base::AssumeThreadRole owner(owner_role_);
+  std::string last_error;
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    const std::uint16_t shard = OwnerOf(address);
+    auto conn = Conn(shard);
+    if (!conn.ok()) {
+      last_error = conn.error();
+      BackoffAndRefresh();
+      continue;
+    }
+    auto reply = conn.value()->Assign(topo_.epoch, address);
+    if (!reply.ok()) {
+      last_error = reply.error();
+      BackoffAndRefresh();
+      continue;
+    }
+    if (reply.value().redirect.has_value()) {
+      last_error = "redirected";
+      FollowRedirect(*reply.value().redirect, shard);
+      continue;
+    }
+    return reply.value().reply;
+  }
+  return Fail("cluster assign failed after " +
+              std::to_string(config_.max_attempts) +
+              " attempts: " + last_error);
+}
+
 Result<std::uint64_t> ClusterClient::IngestUpdate(
     std::uint32_t source_id, const bgp::UpdateMessage& update) {
   base::AssumeThreadRole owner(owner_role_);

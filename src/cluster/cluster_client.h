@@ -94,6 +94,11 @@ class ClusterClient {
   [[nodiscard]] Result<std::uint64_t> IngestUpdate(
       std::uint32_t source_id, const bgp::UpdateMessage& update);
 
+  /// CDN assignment for one address, routed to the owning shard with the
+  /// same redirect-following recovery as Lookup(). The returned reply is
+  /// always a served answer (redirects are resolved internally).
+  [[nodiscard]] Result<server::AssignReply> Assign(net::IpAddress address);
+
   /// Cluster-wide stats rollup over every reachable node; fails only when
   /// no node responds.
   [[nodiscard]] Result<StatsRollup> Stats();

@@ -324,6 +324,36 @@ void CheckProtoPayload(const server::Frame& frame) {
           "CLUSTER_STATS_REPLY payload round trip changed bytes");
       return;
     }
+    case Opcode::kRank: {
+      const auto req = server::DecodeRank(payload, size);
+      if (!req.ok()) return;
+      NETCLUST_FUZZ_ASSERT(server::EncodeRank(req.value()) == frame.payload,
+                           "RANK payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kRankReply: {
+      const auto reply = server::DecodeRankReply(payload, size);
+      if (!reply.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeRankReply(reply.value()) == frame.payload,
+          "RANK_REPLY payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kAssign: {
+      const auto req = server::DecodeAssign(payload, size);
+      if (!req.ok()) return;
+      NETCLUST_FUZZ_ASSERT(server::EncodeAssign(req.value()) == frame.payload,
+                           "ASSIGN payload round trip changed bytes");
+      return;
+    }
+    case Opcode::kAssignReply: {
+      const auto reply = server::DecodeAssignReply(payload, size);
+      if (!reply.ok()) return;
+      NETCLUST_FUZZ_ASSERT(
+          server::EncodeAssignReply(reply.value()) == frame.payload,
+          "ASSIGN_REPLY payload round trip changed bytes");
+      return;
+    }
     default:
       return;  // PING/PONG/STATS/STATS_TEXT/BUSY/CLUSTER_STATS are free-form
   }

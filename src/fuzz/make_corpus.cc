@@ -399,6 +399,34 @@ int main(int argc, char** argv) {
       WriteBytes(root / "proto" / "seed-cluster-stats",
                  EncodeFrame(Opcode::kClusterStats, {}));
     }
+    {
+      // CDN assignment opcodes: the paper's resold-/24 example address
+      // keeps the seeds on the interesting path (split-block lookups).
+      const net::IpAddress client(151, 198, 194, 17);
+      WriteBytes(root / "proto" / "seed-rank",
+                 EncodeFrame(Opcode::kRank,
+                             server::EncodeRank({3, client})));
+      WriteBytes(root / "proto" / "seed-assign",
+                 EncodeFrame(Opcode::kAssign,
+                             server::EncodeAssign({3, client})));
+
+      server::RankReply ranking;
+      ranking.epoch = 3;
+      ranking.cluster_as = 1742;
+      ranking.servers = {2, 0, 5, 1};
+      WriteBytes(root / "proto" / "seed-rank-reply",
+                 EncodeFrame(Opcode::kRankReply,
+                             server::EncodeRankReply(ranking)));
+
+      server::AssignReply assigned;
+      assigned.epoch = 3;
+      assigned.status = server::AssignStatus::kClusterRanked;
+      assigned.server_id = 2;
+      assigned.cluster_as = 1742;
+      WriteBytes(root / "proto" / "seed-assign-reply",
+                 EncodeFrame(Opcode::kAssignReply,
+                             server::EncodeAssignReply(assigned)));
+    }
 
     // Crafted rejects: each pins one framing bound. None may crash, and
     // chunked/whole decode must agree on the verdict.
@@ -467,6 +495,21 @@ int main(int argc, char** argv) {
       noncanonical.U32(0);  // source mask
       WriteBytes(root / "proto" / "seed-noncanonical-absent",
                  noncanonical.bytes);
+
+      // ASSIGN_REPLY claiming "no server" while naming one: violates the
+      // canonical-form rule (server_id must be zero at kNoServer).
+      ByteWriter phantom;
+      phantom.U16(0x4E43);
+      phantom.U8(1);
+      phantom.U8(0x8B);
+      phantom.U32(15);
+      phantom.U32(0);  // epoch hi
+      phantom.U32(3);  // epoch lo
+      phantom.U8(0);   // status kNoServer
+      phantom.U16(7);  // ...but a server id anyway
+      phantom.U32(1742);
+      WriteBytes(root / "proto" / "seed-assign-no-server-lies",
+                 phantom.bytes);
     }
   }
 

@@ -1,0 +1,70 @@
+#include "mapping/coras.h"
+
+#include <cmath>
+
+namespace netclust::mapping {
+namespace {
+
+/// sum_i (1 - e^{-p_i t}): the expected number of distinct items
+/// requested within characteristic time t. Strictly increasing in t.
+double ExpectedOccupancy(const std::vector<double>& p, double t) {
+  double sum = 0.0;
+  for (const double pi : p) {
+    sum += 1.0 - std::exp(-pi * t);
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<double> ZipfPopularity(std::size_t n, double alpha) {
+  std::vector<double> p(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = std::pow(static_cast<double>(i + 1), -alpha);
+    total += p[i];
+  }
+  for (double& pi : p) pi /= total;
+  return p;
+}
+
+double PredictedHitRatio(const std::vector<double>& popularity,
+                         std::size_t capacity) {
+  // Normalize and drop zero-mass items (they never occupy the cache).
+  std::vector<double> p;
+  p.reserve(popularity.size());
+  double total = 0.0;
+  for (const double pi : popularity) {
+    if (pi > 0.0) {
+      p.push_back(pi);
+      total += pi;
+    }
+  }
+  if (capacity == 0 || p.empty() || total <= 0.0) return 0.0;
+  if (capacity >= p.size()) return 1.0;  // every item fits; IRM never misses
+  for (double& pi : p) pi /= total;
+
+  // Bisect C = ExpectedOccupancy(T): the target is in (0, n), and the
+  // occupancy crosses it exactly once. Grow the upper bracket first.
+  const auto target = static_cast<double>(capacity);
+  double lo = 0.0;
+  double hi = static_cast<double>(p.size());
+  while (ExpectedOccupancy(p, hi) < target) hi *= 2.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ExpectedOccupancy(p, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double t = 0.5 * (lo + hi);
+
+  double hit = 0.0;
+  for (const double pi : p) {
+    hit += pi * (1.0 - std::exp(-pi * t));
+  }
+  return hit;
+}
+
+}  // namespace netclust::mapping

@@ -1,0 +1,40 @@
+// Analytical LRU hit-ratio prediction (Coras et al., "An Analytical
+// Model for Loc/ID Mappings Caches").
+//
+// For an LRU cache of C entries serving independent requests drawn from a
+// fixed popularity distribution p_1..p_n (the IRM), Che's approximation —
+// the working-set form Coras et al. validate for mapping caches — gives
+// the hit ratio in closed form up to one scalar: the characteristic time
+// T solves
+//
+//     C = sum_i (1 - e^{-p_i T})
+//
+// (each item occupies the cache iff it was requested within the last T
+// requests), and then
+//
+//     h = sum_i p_i (1 - e^{-p_i T}).
+//
+// T is found by bisection: the right-hand side is strictly increasing in
+// T, from 0 toward n. The mapping_test compares this prediction against
+// the hit ratio the server's mapping tier actually observes for a
+// Zipf-replayed trace.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace netclust::mapping {
+
+/// Normalized Zipf popularity over `n` items: P(i) proportional to
+/// 1/(i+1)^alpha, matching synth::ZipfSampler's mass function so the
+/// model and the trace generator describe the same workload.
+[[nodiscard]] std::vector<double> ZipfPopularity(std::size_t n, double alpha);
+
+/// Che-approximation hit ratio for an LRU cache of `capacity` entries
+/// under IRM requests with the given popularity vector (need not be
+/// normalized; it is normalized internally). Returns 0 when the cache
+/// cannot hold anything and 1 when it holds every item.
+[[nodiscard]] double PredictedHitRatio(const std::vector<double>& popularity,
+                                       std::size_t capacity);
+
+}  // namespace netclust::mapping

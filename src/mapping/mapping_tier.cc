@@ -1,0 +1,68 @@
+#include "mapping/mapping_tier.h"
+
+#include "bgp/table_handle.h"
+
+namespace netclust::mapping {
+
+void MappingTier::SyncEpoch(const bgp::TableHandle& handle) {
+  const std::uint64_t version = handle.version();
+  if (version == epoch_) return;
+  // The handle's version and flat directory come from one atomic
+  // acquisition, so after this flush every entry filled below is
+  // consistent with `version` — an entry from the old snapshot cannot
+  // survive into the new epoch.
+  if (epoch_ != 0) {
+    cache_.Clear();
+    counters_->invalidations.Inc();
+  }
+  epoch_ = version;
+}
+
+std::optional<bgp::PrefixTable::Match> MappingTier::Resolve(
+    const bgp::TableHandle& handle, net::IpAddress address) {
+  const std::uint32_t key = address.bits() >> 8;
+  if (const auto* cached = cache_.Touch(key)) {
+    counters_->hits.Inc();
+    return *cached;
+  }
+  counters_->misses.Inc();
+  bool uniform24 = false;
+  const auto match = handle.flat().LongestMatchUniform24(address, &uniform24);
+  std::optional<bgp::PrefixTable::Match> out;
+  if (match.has_value()) out = *match->value;  // full copy, no snapshot ptr
+  if (uniform24) {
+    // Touch() missed, so this key is absent: an insert at capacity
+    // displaces exactly one LRU entry.
+    const bool at_capacity = cache_.size() == cache_.capacity();
+    if (cache_.Insert(key, out)) {
+      counters_->inserts.Inc();
+      if (at_capacity) counters_->evictions.Inc();
+    }
+  }
+  return out;
+}
+
+std::optional<bgp::PrefixTable::Match> MappingTier::Lookup(
+    net::IpAddress address) {
+  if (!enabled()) return engine_->Lookup(address);
+  const bgp::TableHandle handle = engine_->AcquireTable();
+  SyncEpoch(handle);
+  return Resolve(handle, address);
+}
+
+std::size_t MappingTier::LookupBatch(
+    std::span<const net::IpAddress> addresses,
+    std::span<std::optional<bgp::PrefixTable::Match>> out) {
+  if (!enabled()) return engine_->LookupBatch(addresses, out);
+  const std::size_t count = std::min(addresses.size(), out.size());
+  const bgp::TableHandle handle = engine_->AcquireTable();
+  SyncEpoch(handle);
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = Resolve(handle, addresses[i]);
+    if (out[i].has_value()) ++found;
+  }
+  return found;
+}
+
+}  // namespace netclust::mapping

@@ -1,0 +1,92 @@
+// Per-reactor mapping cache in front of the engine's serving plane.
+//
+// The paper's clusters are /24-or-coarser almost everywhere: prefixes
+// longer than /24 are the rare ISP-resale corner (§3.1's 151.198.194.x
+// example). So a reactor can answer most lookups from a tiny
+// /24-keyed LRU instead of walking the snapshot's flat directory —
+// provided two hazards are handled exactly:
+//
+//   * SHARING: a /24 may be split by longer prefixes, in which case its
+//     addresses do NOT share one answer. The flat directory already knows
+//     (FlatLpm::LongestMatchUniform24 reports whether resolution touched
+//     a level-3 block); only uniform /24s are ever cached.
+//   * STALENESS: every RCU publish can change any answer. The cache is
+//     versioned by the snapshot's publication sequence: each entry batch
+//     re-reads the version from the SAME TableHandle it resolves against
+//     (handle.version() and handle.flat() are one atomic acquisition),
+//     and a version change flushes the cache before any lookup — a stale
+//     entry cannot outlive the epoch that produced it.
+//
+// Shared-nothing by construction (PR 7): each reactor owns one
+// MappingTier, calls it only from its own role thread, and bumps plain
+// per-reactor counters. Nothing here takes a lock; cross-thread STATS
+// reads go through MappingCounters' relaxed atomics like ReactorMetrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "bgp/prefix_table.h"
+#include "cache/lru_cache.h"
+#include "engine/engine.h"
+#include "engine/metrics.h"
+#include "net/ip_address.h"
+
+namespace netclust::mapping {
+
+/// Mapping-tier statistics. Lives unguarded in the reactor (single
+/// writer: the owning reactor thread; readers: STATS exposition from any
+/// reactor), same deliberate pattern as server::ReactorMetrics.
+struct MappingCounters {
+  engine::Counter hits;           // answers served from the cache
+  engine::Counter misses;         // answers resolved via the directory
+  engine::Counter inserts;        // uniform-/24 answers admitted
+  engine::Counter evictions;      // LRU entries displaced at capacity
+  engine::Counter invalidations;  // whole-cache flushes on an RCU publish
+};
+
+/// One reactor's client-prefix → lookup-answer cache. capacity == 0
+/// constructs a disabled tier whose lookups are exactly the engine's
+/// direct path (no counters, no cache probe).
+class MappingTier {
+ public:
+  MappingTier(const engine::Engine* engine, std::size_t capacity,
+              MappingCounters* counters)
+      : engine_(engine), counters_(counters), cache_(capacity) {}
+
+  [[nodiscard]] bool enabled() const { return cache_.enabled(); }
+
+  /// Cache-fronted Engine::Lookup. Same answers, by construction: cached
+  /// values are full Match copies (never pointers into a snapshot), and
+  /// only /24s the directory reports uniform are ever admitted.
+  [[nodiscard]] std::optional<bgp::PrefixTable::Match> Lookup(
+      net::IpAddress address);
+
+  /// Cache-fronted Engine::LookupBatch: one RCU acquire and one epoch
+  /// check cover the whole batch. Returns the number of found matches.
+  std::size_t LookupBatch(
+      std::span<const net::IpAddress> addresses,
+      std::span<std::optional<bgp::PrefixTable::Match>> out);
+
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  /// Flushes the cache when `handle` belongs to a newer snapshot than the
+  /// entries were filled from.
+  void SyncEpoch(const bgp::TableHandle& handle);
+
+  /// Resolves one address against `handle`, probing and filling the
+  /// cache. The handle must already be epoch-synced.
+  std::optional<bgp::PrefixTable::Match> Resolve(
+      const bgp::TableHandle& handle, net::IpAddress address);
+
+  const engine::Engine* engine_;
+  MappingCounters* counters_;
+  std::uint64_t epoch_ = 0;  // snapshot version the entries were filled from
+  cache::LruEntryCache<std::optional<bgp::PrefixTable::Match>> cache_;
+};
+
+}  // namespace netclust::mapping

@@ -1,0 +1,74 @@
+// Per-cluster CDN server rankings.
+//
+// The paper's headline application: server selection should key on the
+// client's network-aware CLUSTER (the origin AS of its longest routing
+// match), not on its /24. A RankTable holds, per cluster, the
+// preference-ordered list of content-server ids — the output of Gürsun's
+// routing-aware server-ranking pipeline — plus one table-wide default
+// ranking for clients whose cluster has no measurement yet.
+//
+// The table is built once (by the operator / the synth CDN scenario) and
+// installed on the server as a shared_ptr<const RankTable> before
+// Serve(); reactors only ever read it, so there is nothing to lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+
+namespace netclust::mapping {
+
+class RankTable {
+ public:
+  /// Ranking length bound; mirrors server::kMaxRankServers (static_assert
+  /// in server.cc) so every installed ranking fits a RANK_REPLY.
+  static constexpr std::size_t kMaxServers = 256;
+
+  /// Installs the fallback ranking used when a cluster has no entry.
+  /// Rankings longer than kMaxServers are truncated to the bound.
+  void SetDefault(std::vector<std::uint16_t> servers) {
+    Clamp(&servers);
+    default_ = std::move(servers);
+  }
+
+  /// Installs (or, with an empty list, removes) the ranking for one
+  /// cluster. Rankings longer than kMaxServers are truncated.
+  void SetRanking(bgp::AsNumber cluster_as,
+                  std::vector<std::uint16_t> servers) {
+    if (servers.empty()) {
+      per_cluster_.erase(cluster_as);
+      return;
+    }
+    Clamp(&servers);
+    per_cluster_[cluster_as] = std::move(servers);
+  }
+
+  /// The ranking for `cluster_as`, or nullptr when the cluster has none
+  /// (the caller falls back to default_ranking()).
+  [[nodiscard]] const std::vector<std::uint16_t>* Ranking(
+      bgp::AsNumber cluster_as) const {
+    const auto it = per_cluster_.find(cluster_as);
+    return it == per_cluster_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::vector<std::uint16_t>& default_ranking() const {
+    return default_;
+  }
+  [[nodiscard]] std::size_t cluster_count() const {
+    return per_cluster_.size();
+  }
+
+ private:
+  static void Clamp(std::vector<std::uint16_t>* servers) {
+    if (servers->size() > kMaxServers) servers->resize(kMaxServers);
+  }
+
+  std::vector<std::uint16_t> default_;
+  std::unordered_map<bgp::AsNumber, std::vector<std::uint16_t>> per_cluster_;
+};
+
+}  // namespace netclust::mapping

@@ -251,6 +251,47 @@ Result<ClusterLookupReply> Client::ClusterLookup(
   return reply;
 }
 
+Result<RankRoundTrip> Client::Rank(std::uint64_t epoch,
+                                   net::IpAddress address) {
+  auto frame = RoundTrip(Opcode::kRank, EncodeRank(RankRequest{epoch, address}),
+                         Opcode::kRankReply, Opcode::kRedirect);
+  if (!frame.ok()) return Fail(frame.error());
+  RankRoundTrip trip;
+  if (frame.value().header.opcode == Opcode::kRedirect) {
+    auto redirect = DecodeRedirect(frame.value().payload.data(),
+                                   frame.value().payload.size());
+    if (!redirect.ok()) return Fail(redirect.error());
+    trip.redirect = redirect.value();
+    return trip;
+  }
+  auto reply = DecodeRankReply(frame.value().payload.data(),
+                               frame.value().payload.size());
+  if (!reply.ok()) return Fail(reply.error());
+  trip.reply = std::move(reply).value();
+  return trip;
+}
+
+Result<AssignRoundTrip> Client::Assign(std::uint64_t epoch,
+                                       net::IpAddress address) {
+  auto frame = RoundTrip(Opcode::kAssign,
+                         EncodeAssign(AssignRequest{epoch, address}),
+                         Opcode::kAssignReply, Opcode::kRedirect);
+  if (!frame.ok()) return Fail(frame.error());
+  AssignRoundTrip trip;
+  if (frame.value().header.opcode == Opcode::kRedirect) {
+    auto redirect = DecodeRedirect(frame.value().payload.data(),
+                                   frame.value().payload.size());
+    if (!redirect.ok()) return Fail(redirect.error());
+    trip.redirect = redirect.value();
+    return trip;
+  }
+  auto reply = DecodeAssignReply(frame.value().payload.data(),
+                                 frame.value().payload.size());
+  if (!reply.ok()) return Fail(reply.error());
+  trip.reply = reply.value();
+  return trip;
+}
+
 Result<Topology> Client::FetchTopology() {
   auto frame = RoundTrip(Opcode::kTopology, {}, Opcode::kTopologyReply);
   if (!frame.ok()) return Fail(frame.error());

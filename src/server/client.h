@@ -39,6 +39,20 @@ struct ClusterLookupReply {
   ClusterResult result;  // meaningful only when !redirect
 };
 
+/// Reply to a RANK: the cluster's server ranking, or a redirect (cluster
+/// mode only) telling the caller to refresh its topology and re-route.
+struct RankRoundTrip {
+  std::optional<RedirectReply> redirect;
+  RankReply reply;  // meaningful only when !redirect
+};
+
+/// Reply to an ASSIGN: the chosen server, or a redirect (cluster mode
+/// only) telling the caller to refresh its topology and re-route.
+struct AssignRoundTrip {
+  std::optional<RedirectReply> redirect;
+  AssignReply reply;  // meaningful only when !redirect
+};
+
 class Client {
  public:
   /// Error-message prefix for BUSY (retryable backpressure) responses.
@@ -105,6 +119,18 @@ class Client {
 
   /// The node's cluster-stats counter snapshot.
   [[nodiscard]] Result<ClusterStatsRecord> ClusterStats();
+
+  /// Full CDN server ranking for `address`'s cluster. Standalone servers
+  /// require `epoch` 0; cluster nodes may answer with a redirect instead
+  /// (a non-error outcome the caller resolves by refreshing routing).
+  [[nodiscard]] Result<RankRoundTrip> Rank(std::uint64_t epoch,
+                                           net::IpAddress address);
+
+  /// Single-server CDN assignment for `address` — RANK's front entry plus
+  /// a status byte saying whether the cluster ranking or the default was
+  /// used. Same epoch/redirect contract as Rank().
+  [[nodiscard]] Result<AssignRoundTrip> Assign(std::uint64_t epoch,
+                                               net::IpAddress address);
 
   /// BUSY retry schedule for every call on this client.
   void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }

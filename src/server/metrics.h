@@ -74,6 +74,8 @@ struct ServerMetrics {
   engine::Counter topology_installs;       // SET_TOPOLOGY frames adopted
   engine::Counter topologies_served;       // TOPOLOGY fetches answered
   engine::Counter cluster_stats_served;    // CLUSTER_STATS frames answered
+  engine::Counter ranks_served;            // RANK frames answered
+  engine::Counter assigns_served;          // ASSIGN frames answered
   engine::Counter bytes_read;
   engine::Counter bytes_written;
   /// Frame service time: last payload byte decoded -> response queued on
@@ -106,6 +108,8 @@ struct ServerMetrics {
     counter("topology_installs", topology_installs);
     counter("topologies_served", topologies_served);
     counter("cluster_stats_served", cluster_stats_served);
+    counter("ranks_served", ranks_served);
+    counter("assigns_served", assigns_served);
     counter("bytes_read", bytes_read);
     counter("bytes_written", bytes_written);
     // order: relaxed — scrape-style read, same contract as the counters.

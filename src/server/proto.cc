@@ -13,6 +13,8 @@ bool IsRequestOpcode(Opcode opcode) {
     case Opcode::kTopology:
     case Opcode::kSetTopology:
     case Opcode::kClusterStats:
+    case Opcode::kRank:
+    case Opcode::kAssign:
       return true;
     default:
       return false;
@@ -30,6 +32,8 @@ bool IsKnownOpcode(std::uint8_t raw) {
     case Opcode::kTopology:
     case Opcode::kSetTopology:
     case Opcode::kClusterStats:
+    case Opcode::kRank:
+    case Opcode::kAssign:
     case Opcode::kPong:
     case Opcode::kLookupResult:
     case Opcode::kBatchResult:
@@ -39,6 +43,8 @@ bool IsKnownOpcode(std::uint8_t raw) {
     case Opcode::kTopologyReply:
     case Opcode::kSetTopologyAck:
     case Opcode::kClusterStatsReply:
+    case Opcode::kRankReply:
+    case Opcode::kAssignReply:
     case Opcode::kBusy:
     case Opcode::kError:
     case Opcode::kRedirect:
@@ -67,6 +73,10 @@ const char* OpcodeName(Opcode opcode) {
       return "SET_TOPOLOGY";
     case Opcode::kClusterStats:
       return "CLUSTER_STATS";
+    case Opcode::kRank:
+      return "RANK";
+    case Opcode::kAssign:
+      return "ASSIGN";
     case Opcode::kPong:
       return "PONG";
     case Opcode::kLookupResult:
@@ -85,6 +95,10 @@ const char* OpcodeName(Opcode opcode) {
       return "SET_TOPOLOGY_ACK";
     case Opcode::kClusterStatsReply:
       return "CLUSTER_STATS_REPLY";
+    case Opcode::kRankReply:
+      return "RANK_REPLY";
+    case Opcode::kAssignReply:
+      return "ASSIGN_REPLY";
     case Opcode::kBusy:
       return "BUSY";
     case Opcode::kError:
@@ -638,6 +652,98 @@ Result<ClusterStatsRecord> DecodeClusterStats(const std::uint8_t* data,
     offset += 8;
   }
   return record;
+}
+
+// --- CDN assignment codecs (mapping tier) ---
+
+std::vector<std::uint8_t> EncodeRank(const RankRequest& req) {
+  std::vector<std::uint8_t> out;
+  out.reserve(12);
+  PutU64(&out, req.epoch);
+  PutU32(&out, req.address.bits());
+  return out;
+}
+
+Result<RankRequest> DecodeRank(const std::uint8_t* data, std::size_t size) {
+  if (size != 12) return Fail("RANK payload must be exactly 12 bytes");
+  RankRequest req;
+  req.epoch = GetU64(data);
+  req.address = net::IpAddress(GetU32(data + 8));
+  return req;
+}
+
+std::vector<std::uint8_t> EncodeRankReply(const RankReply& reply) {
+  std::vector<std::uint8_t> out;
+  out.reserve(14 + 2 * reply.servers.size());
+  PutU64(&out, reply.epoch);
+  PutU32(&out, reply.cluster_as);
+  PutU16(&out, static_cast<std::uint16_t>(reply.servers.size()));
+  for (const std::uint16_t server : reply.servers) {
+    PutU16(&out, server);
+  }
+  return out;
+}
+
+Result<RankReply> DecodeRankReply(const std::uint8_t* data, std::size_t size) {
+  if (size < 14) return Fail("RANK_REPLY payload truncated");
+  RankReply reply;
+  reply.epoch = GetU64(data);
+  reply.cluster_as = GetU32(data + 8);
+  const std::uint16_t count = GetU16(data + 12);
+  if (count > kMaxRankServers) return Fail("RANK_REPLY count exceeds bound");
+  if (size != 14 + std::size_t{count} * 2) {
+    return Fail("RANK_REPLY length disagrees with its count");
+  }
+  reply.servers.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    reply.servers.push_back(GetU16(data + 14 + std::size_t{i} * 2));
+  }
+  return reply;
+}
+
+std::vector<std::uint8_t> EncodeAssign(const AssignRequest& req) {
+  std::vector<std::uint8_t> out;
+  out.reserve(12);
+  PutU64(&out, req.epoch);
+  PutU32(&out, req.address.bits());
+  return out;
+}
+
+Result<AssignRequest> DecodeAssign(const std::uint8_t* data,
+                                   std::size_t size) {
+  if (size != 12) return Fail("ASSIGN payload must be exactly 12 bytes");
+  AssignRequest req;
+  req.epoch = GetU64(data);
+  req.address = net::IpAddress(GetU32(data + 8));
+  return req;
+}
+
+std::vector<std::uint8_t> EncodeAssignReply(const AssignReply& reply) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kAssignReplySize);
+  PutU64(&out, reply.epoch);
+  out.push_back(static_cast<std::uint8_t>(reply.status));
+  PutU16(&out, reply.server_id);
+  PutU32(&out, reply.cluster_as);
+  return out;
+}
+
+Result<AssignReply> DecodeAssignReply(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size != kAssignReplySize) {
+    return Fail("ASSIGN_REPLY payload must be exactly 15 bytes");
+  }
+  const std::uint8_t status = data[8];
+  if (status > 2) return Fail("ASSIGN_REPLY status out of range");
+  AssignReply reply;
+  reply.epoch = GetU64(data);
+  reply.status = static_cast<AssignStatus>(status);
+  reply.server_id = GetU16(data + 9);
+  reply.cluster_as = GetU32(data + 11);
+  if (reply.status == AssignStatus::kNoServer && reply.server_id != 0) {
+    return Fail("ASSIGN_REPLY carries a server id without a ranking");
+  }
+  return reply;
 }
 
 std::vector<std::uint8_t> EncodeTopologyAck(std::uint64_t epoch) {

@@ -64,6 +64,10 @@ inline constexpr std::uint32_t kMaxClusterNodes = 64;
 /// Mirrors engine::LatencyHistogram::kBuckets (static_assert in server.cc)
 /// without dragging the engine headers into the wire layer.
 inline constexpr std::size_t kStatsLatencyBuckets = 14;
+/// RANK_REPLY server-list bound. Mirrors mapping::RankTable::kMaxServers
+/// (static_assert in server.cc) without dragging the mapping headers into
+/// the wire layer.
+inline constexpr std::uint32_t kMaxRankServers = 256;
 
 /// Request opcodes occupy 0x01-0x7F; their responses set the high bit.
 ///
@@ -83,6 +87,8 @@ enum class Opcode : std::uint8_t {
   kTopology = 0x07,       // stats: topologies_served
   kSetTopology = 0x08,    // stats: topology_installs
   kClusterStats = 0x09,   // stats: cluster_stats_served
+  kRank = 0x0A,           // stats: ranks_served
+  kAssign = 0x0B,         // stats: assigns_served
 
   kPong = 0x81,
   kLookupResult = 0x82,
@@ -93,6 +99,8 @@ enum class Opcode : std::uint8_t {
   kTopologyReply = 0x87,
   kSetTopologyAck = 0x88,
   kClusterStatsReply = 0x89,
+  kRankReply = 0x8A,
+  kAssignReply = 0x8B,
   kBusy = 0xE0,
   kError = 0xE1,
   kRedirect = 0xE2,
@@ -345,6 +353,61 @@ struct ClusterStatsRecord {
 inline constexpr std::size_t kClusterStatsRecordSize =
     8 + 4 + 8 * 8 + 8 + 8 * kStatsLatencyBuckets;
 
+// --- CDN assignment payloads (mapping tier) ---
+
+/// RANK: "give me the server preference order for this client". The
+/// server resolves the client to its cluster (origin AS of the longest
+/// match) and answers with that cluster's ranking. Stamped with the
+/// topology epoch for the same staleness contract as CLUSTER_LOOKUP;
+/// standalone servers require epoch == 0.
+struct RankRequest {
+  std::uint64_t epoch = 0;
+  net::IpAddress address;
+
+  friend bool operator==(const RankRequest&, const RankRequest&) = default;
+};
+
+/// RANK_REPLY: the preference-ordered server ids for the client's
+/// cluster. `cluster_as` is the cluster the address resolved to (0 when
+/// the lookup missed and the default ranking applies); `servers` may be
+/// empty when no ranking is installed at all.
+struct RankReply {
+  std::uint64_t epoch = 0;
+  std::uint32_t cluster_as = 0;
+  std::vector<std::uint16_t> servers;  // size <= kMaxRankServers
+
+  friend bool operator==(const RankReply&, const RankReply&) = default;
+};
+
+/// ASSIGN: RANK collapsed to one answer — "which server takes this
+/// client". One 15-byte reply instead of a ranking list, for the
+/// request-mapping hot path.
+struct AssignRequest {
+  std::uint64_t epoch = 0;
+  net::IpAddress address;
+
+  friend bool operator==(const AssignRequest&, const AssignRequest&) = default;
+};
+
+/// How an ASSIGN_REPLY's server was chosen.
+enum class AssignStatus : std::uint8_t {
+  kNoServer = 0,        // no ranking installed; server_id must be 0
+  kClusterRanked = 1,   // the client's cluster has its own ranking
+  kDefaultRanking = 2,  // fell back to the table-wide default ranking
+};
+
+/// ASSIGN_REPLY payload: epoch u64, status u8, server_id u16,
+/// cluster_as u32 — exactly 15 bytes.
+struct AssignReply {
+  std::uint64_t epoch = 0;
+  AssignStatus status = AssignStatus::kNoServer;
+  std::uint16_t server_id = 0;
+  std::uint32_t cluster_as = 0;
+
+  friend bool operator==(const AssignReply&, const AssignReply&) = default;
+};
+inline constexpr std::size_t kAssignReplySize = 15;
+
 [[nodiscard]] std::vector<std::uint8_t> EncodeLookup(const LookupRequest& req);
 [[nodiscard]] Result<LookupRequest> DecodeLookup(const std::uint8_t* data,
                                                  std::size_t size);
@@ -423,5 +486,22 @@ void AppendBatchResultFrame(const std::optional<bgp::PrefixTable::Match>* matche
 [[nodiscard]] std::vector<std::uint8_t> EncodeTopologyAck(std::uint64_t epoch);
 [[nodiscard]] Result<std::uint64_t> DecodeTopologyAck(const std::uint8_t* data,
                                                       std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeRank(const RankRequest& req);
+[[nodiscard]] Result<RankRequest> DecodeRank(const std::uint8_t* data,
+                                             std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeRankReply(const RankReply& reply);
+[[nodiscard]] Result<RankReply> DecodeRankReply(const std::uint8_t* data,
+                                                std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeAssign(const AssignRequest& req);
+[[nodiscard]] Result<AssignRequest> DecodeAssign(const std::uint8_t* data,
+                                                 std::size_t size);
+
+[[nodiscard]] std::vector<std::uint8_t> EncodeAssignReply(
+    const AssignReply& reply);
+[[nodiscard]] Result<AssignReply> DecodeAssignReply(const std::uint8_t* data,
+                                                    std::size_t size);
 
 }  // namespace netclust::server

@@ -79,6 +79,10 @@ Result<std::uint16_t> Server::Serve() {
     // set up, so until then the Serve() caller is r's owning thread.
     base::AssumeThreadRole own(r.role);
     r.index = static_cast<std::size_t>(i);
+    // Each reactor gets its own private mapping cache — shared-nothing
+    // like the rest of its arena, so the lookup fast path stays lock-free.
+    r.mapping = std::make_unique<mapping::MappingTier>(
+        engine_, config_.mapping_cache_capacity, &r.mapping_metrics);
     // Every reactor listens on the same port with SO_REUSEPORT: the kernel
     // hashes each connection's 4-tuple to exactly one listener, so accepts
     // spread across reactors with no shared accept queue, no EPOLLONESHOT
@@ -196,6 +200,16 @@ std::string Server::StatsText() const {
         << r->metrics.short_writes.value() << "\n";
     out << "netclust_server_reactor_inflight_frames" << tag << inflight
         << "\n";
+    out << "netclust_server_reactor_mapping_hits_total" << tag
+        << r->mapping_metrics.hits.value() << "\n";
+    out << "netclust_server_reactor_mapping_misses_total" << tag
+        << r->mapping_metrics.misses.value() << "\n";
+    out << "netclust_server_reactor_mapping_inserts_total" << tag
+        << r->mapping_metrics.inserts.value() << "\n";
+    out << "netclust_server_reactor_mapping_evictions_total" << tag
+        << r->mapping_metrics.evictions.value() << "\n";
+    out << "netclust_server_reactor_mapping_invalidations_total" << tag
+        << r->mapping_metrics.invalidations.value() << "\n";
   }
   // The summed view of the per-reactor backpressure gauges: with N
   // reactors the fleet-wide admission bound is N * max_inflight_frames.
@@ -208,6 +222,10 @@ std::string Server::StatsText() const {
 static_assert(kStatsLatencyBuckets == engine::LatencyHistogram::kBuckets,
               "ClusterStatsRecord latency buckets must mirror the engine "
               "histogram layout");
+
+// Every installed ranking must fit a RANK_REPLY payload.
+static_assert(kMaxRankServers == mapping::RankTable::kMaxServers,
+              "RANK_REPLY server bound must mirror RankTable::kMaxServers");
 
 Result<bool> Server::SetTopology(const Topology& topo) {
   if (config_.cluster_node_id < 0) {
@@ -591,6 +609,51 @@ void Server::SweepTimeouts(Reactor& r, std::int64_t now_ms) {
   }
 }
 
+bool Server::AdmitMappingRequest(Reactor& r, Connection* conn,
+                                 const char* opcode_name, std::uint64_t epoch,
+                                 net::IpAddress address,
+                                 std::uint64_t* reply_epoch) {
+  *reply_epoch = 0;
+  if (config_.cluster_node_id < 0) {
+    // Standalone: there is no topology epoch to agree on, so a nonzero
+    // stamp means the client is confused about the deployment mode.
+    if (epoch != 0) {
+      metrics_.frames_rejected.Inc();
+      QueueError(r, conn, ErrorCode::kMalformedPayload,
+                 std::string(opcode_name) +
+                     " epoch must be zero on a standalone server");
+      return false;
+    }
+    return true;
+  }
+  const auto topo = AcquireTopology();
+  if (topo == nullptr) {
+    metrics_.frames_rejected.Inc();
+    QueueError(r, conn, ErrorCode::kMalformedPayload, "no topology installed");
+    return false;
+  }
+  // Same redirect discipline as CLUSTER_LOOKUP: an assignment computed
+  // against a stale shard map could hand the client a server ranked for
+  // somebody else's cluster, so never answer past the epoch fence.
+  if (epoch != topo->topo.epoch || topo->self_index < 0) {
+    metrics_.redirects_sent.Inc();
+    QueueReply(r, conn, Opcode::kRedirect,
+               EncodeRedirect(
+                   RedirectReply{RedirectReason::kStaleEpoch, topo->topo.epoch}));
+    return false;
+  }
+  if (topo->owner[address.bits() >> 16] !=
+      static_cast<std::uint16_t>(topo->self_index)) {
+    metrics_.redirects_sent.Inc();
+    QueueReply(r, conn, Opcode::kRedirect,
+               EncodeRedirect(
+                   RedirectReply{RedirectReason::kNotOwner, topo->topo.epoch}));
+    return false;
+  }
+  *reply_epoch = topo->topo.epoch;
+  return true;
+}
+
 bool Server::DispatchFrame(Reactor& r, Connection* conn,
                            const FrameView& frame) {
   metrics_.frames_decoded.Inc();
@@ -635,7 +698,7 @@ bool Server::DispatchFrame(Reactor& r, Connection* conn,
         return true;
       }
       const LookupRecord record =
-          LookupRecord::FromMatch(engine_->Lookup(req.value().address));
+          LookupRecord::FromMatch(r.mapping->Lookup(req.value().address));
       QueueReply(r, conn, Opcode::kLookupResult, EncodeLookupRecord(record));
       metrics_.lookups_served.Inc();
       r.metrics.lookups_served.Inc();
@@ -658,7 +721,7 @@ bool Server::DispatchFrame(Reactor& r, Connection* conn,
       }
       const std::size_t batch = count.value();
       if (r.batch_matches.size() < batch) r.batch_matches.resize(batch);
-      engine_->LookupBatch(
+      r.mapping->LookupBatch(
           std::span<const net::IpAddress>(r.batch_addrs.data(), batch),
           std::span<std::optional<bgp::PrefixTable::Match>>(
               r.batch_matches.data(), batch));
@@ -777,7 +840,7 @@ bool Server::DispatchFrame(Reactor& r, Connection* conn,
       }
       std::vector<std::optional<bgp::PrefixTable::Match>> matches(
           addresses.size());
-      engine_->LookupBatch(addresses, matches);
+      r.mapping->LookupBatch(addresses, matches);
       ClusterResult result;
       result.epoch = topo->topo.epoch;
       result.records.reserve(addresses.size());
@@ -786,6 +849,69 @@ bool Server::DispatchFrame(Reactor& r, Connection* conn,
       }
       QueueReply(r, conn, Opcode::kClusterResult, EncodeClusterResult(result));
       metrics_.cluster_lookups_served.Inc(result.records.size());
+      metrics_.lookup_service_ns.Record(engine::NowNs() - start_ns);
+      return true;
+    }
+
+    case Opcode::kRank: {
+      auto req = DecodeRank(payload, size);
+      if (!req.ok()) {
+        metrics_.frames_rejected.Inc();
+        QueueError(r, conn, ErrorCode::kMalformedPayload, req.error());
+        return true;
+      }
+      std::uint64_t reply_epoch = 0;
+      if (!AdmitMappingRequest(r, conn, "RANK", req.value().epoch,
+                               req.value().address, &reply_epoch)) {
+        return true;
+      }
+      const auto match = r.mapping->Lookup(req.value().address);
+      RankReply reply;
+      reply.epoch = reply_epoch;
+      reply.cluster_as = match.has_value() ? match->origin_as : 0;
+      if (const mapping::RankTable* table = config_.rank_table.get()) {
+        const std::vector<std::uint16_t>* ranking =
+            reply.cluster_as != 0 ? table->Ranking(reply.cluster_as) : nullptr;
+        reply.servers =
+            ranking != nullptr ? *ranking : table->default_ranking();
+      }
+      QueueReply(r, conn, Opcode::kRankReply, EncodeRankReply(reply));
+      metrics_.ranks_served.Inc();
+      metrics_.lookup_service_ns.Record(engine::NowNs() - start_ns);
+      return true;
+    }
+
+    case Opcode::kAssign: {
+      auto req = DecodeAssign(payload, size);
+      if (!req.ok()) {
+        metrics_.frames_rejected.Inc();
+        QueueError(r, conn, ErrorCode::kMalformedPayload, req.error());
+        return true;
+      }
+      std::uint64_t reply_epoch = 0;
+      if (!AdmitMappingRequest(r, conn, "ASSIGN", req.value().epoch,
+                               req.value().address, &reply_epoch)) {
+        return true;
+      }
+      const auto match = r.mapping->Lookup(req.value().address);
+      AssignReply reply;
+      reply.epoch = reply_epoch;
+      reply.status = AssignStatus::kNoServer;
+      reply.server_id = 0;
+      reply.cluster_as = match.has_value() ? match->origin_as : 0;
+      if (const mapping::RankTable* table = config_.rank_table.get()) {
+        const std::vector<std::uint16_t>* ranking =
+            reply.cluster_as != 0 ? table->Ranking(reply.cluster_as) : nullptr;
+        const bool cluster_ranked = ranking != nullptr;
+        if (ranking == nullptr) ranking = &table->default_ranking();
+        if (!ranking->empty()) {
+          reply.status = cluster_ranked ? AssignStatus::kClusterRanked
+                                        : AssignStatus::kDefaultRanking;
+          reply.server_id = ranking->front();
+        }
+      }
+      QueueReply(r, conn, Opcode::kAssignReply, EncodeAssignReply(reply));
+      metrics_.assigns_served.Inc();
       metrics_.lookup_service_ns.Record(engine::NowNs() - start_ns);
       return true;
     }

@@ -62,6 +62,8 @@
 
 #include "base/sync.h"
 #include "engine/engine.h"
+#include "mapping/mapping_tier.h"
+#include "mapping/rank_table.h"
 #include "net/result.h"
 #include "server/metrics.h"
 #include "server/proto.h"
@@ -104,6 +106,13 @@ struct ServerConfig {
   /// This node's cluster id, or < 0 for standalone mode. Standalone
   /// servers answer cluster opcodes with an unsupported-opcode ERROR.
   std::int64_t cluster_node_id = -1;
+  /// Per-reactor mapping-cache capacity in /24 entries; 0 disables the
+  /// tier (lookups go straight to the engine, exactly the pre-tier path).
+  std::size_t mapping_cache_capacity = 0;
+  /// CDN server rankings served by RANK/ASSIGN. May be null (no ranking
+  /// installed: RANK answers empty, ASSIGN answers kNoServer). Installed
+  /// before Serve() and immutable afterwards; reactors only read it.
+  std::shared_ptr<const mapping::RankTable> rank_table;
 };
 
 class Server {
@@ -138,6 +147,12 @@ class Server {
   /// to discover the (kernel-chosen) connection->reactor assignment.
   [[nodiscard]] const ReactorMetrics& reactor_metrics(std::size_t i) const {
     return reactors_[i]->metrics;
+  }
+
+  /// Reactor `i`'s mapping-tier counters (hit/miss/insert/evict/flush).
+  [[nodiscard]] const mapping::MappingCounters& mapping_counters(
+      std::size_t i) const {
+    return reactors_[i]->mapping_metrics;
   }
 
   /// Plain-text STATS body: server exposition (including the per-reactor
@@ -214,9 +229,17 @@ class Server {
     std::vector<net::IpAddress> batch_addrs ONLY_THREAD(role);
     std::vector<std::optional<bgp::PrefixTable::Match>> batch_matches
         ONLY_THREAD(role);
+    /// The reactor's private mapping cache (client /24 -> lookup answer),
+    /// fronting the engine on the LOOKUP/BATCH_LOOKUP/RANK/ASSIGN paths.
+    /// Shared-nothing like everything else here; constructed before spawn
+    /// at a quiescent point.
+    std::unique_ptr<mapping::MappingTier> mapping ONLY_THREAD(role);
     /// Atomics by design: only the loop thread bumps them, but STATS
     /// scrapes read them from whichever reactor serves the frame.
     ReactorMetrics metrics;
+    /// Mapping-tier counters; same cross-thread-read contract as
+    /// `metrics` (single writer: the loop thread; readers: STATS).
+    mapping::MappingCounters mapping_metrics;
     std::thread thread;
   };
 
@@ -255,6 +278,19 @@ class Server {
   /// violation) — the caller flushes best-effort, then closes.
   [[nodiscard]] bool DispatchFrame(Reactor& r, Connection* conn,
                                    const FrameView& frame) REQUIRES(r.role);
+
+  /// Shared RANK/ASSIGN admission: epoch + ownership routing. Standalone
+  /// servers demand a zero epoch and answer with epoch 0; cluster nodes
+  /// apply the CLUSTER_LOOKUP redirect discipline (stale epoch / not
+  /// owner) and stamp the topology epoch into *reply_epoch. Returns true
+  /// when the request may be served; false when the redirect or error
+  /// reply has already been queued.
+  [[nodiscard]] bool AdmitMappingRequest(Reactor& r, Connection* conn,
+                                         const char* opcode_name,
+                                         std::uint64_t epoch,
+                                         net::IpAddress address,
+                                         std::uint64_t* reply_epoch)
+      REQUIRES(r.role);
 
   /// Appends one encoded reply frame to the connection's queue and bumps
   /// the reactor's inflight gauge (released as the frame flushes).

@@ -1,0 +1,188 @@
+#include "synth/cdn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace netclust::synth {
+
+namespace {
+
+/// Ring distance between regions — the cost model's geography.
+std::size_t RingDistance(std::size_t a, std::size_t b, std::size_t n) {
+  const std::size_t d = a > b ? a - b : b - a;
+  return std::min(d, n - d);
+}
+
+/// Servers sorted best-first for a client homed in `region`; RTT ties
+/// break toward the lower server id so rankings are total orders.
+std::vector<std::uint16_t> RankFor(const CdnScenario& scenario,
+                                   std::size_t region) {
+  std::vector<std::uint16_t> order(scenario.servers.size());
+  std::iota(order.begin(), order.end(), std::uint16_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint16_t a, std::uint16_t b) {
+                     return scenario.rtt_ms[region][a] <
+                            scenario.rtt_ms[region][b];
+                   });
+  return order;
+}
+
+}  // namespace
+
+CdnScenario GenerateCdn(const CdnConfig& config) {
+  assert(config.regions > 0 && config.clusters > 0 &&
+         config.blocks_per_cluster > 0);
+  CdnScenario scenario;
+  scenario.config = config;
+  Rng rng(config.seed);
+
+  for (std::size_t r = 0; r < config.regions; ++r) {
+    scenario.servers.push_back(
+        CdnServer{static_cast<std::uint16_t>(r), r});
+  }
+
+  // RTT: ring geography plus stable per-pair jitter, so rankings differ
+  // across regions but never change between runs.
+  scenario.rtt_ms.assign(config.regions,
+                         std::vector<double>(scenario.servers.size(), 0.0));
+  for (std::size_t r = 0; r < config.regions; ++r) {
+    for (std::size_t s = 0; s < scenario.servers.size(); ++s) {
+      const std::size_t hops =
+          RingDistance(r, scenario.servers[s].region, config.regions);
+      const double jitter =
+          4.0 * HashToUnit(config.seed, (r << 16) ^ (s + 1));
+      scenario.rtt_ms[r][s] = 5.0 + 25.0 * static_cast<double>(hops) + jitter;
+    }
+  }
+
+  // Cluster c is homed by stable hash, never by draw order, so adding
+  // blocks does not re-home existing clusters.
+  std::vector<std::size_t> home(config.clusters);
+  for (std::size_t c = 0; c < config.clusters; ++c) {
+    home[c] = static_cast<std::size_t>(
+        HashToUnit(config.seed ^ 0xC1D4u, c) *
+        static_cast<double>(config.regions));
+    if (home[c] >= config.regions) home[c] = config.regions - 1;
+  }
+
+  const auto as_of = [](std::size_t c) {
+    return static_cast<bgp::AsNumber>(64512 + c);  // private-use ASNs
+  };
+  const auto best_for = [&](std::size_t region) {
+    std::uint16_t best = 0;
+    for (std::size_t s = 1; s < scenario.servers.size(); ++s) {
+      if (scenario.rtt_ms[region][s] < scenario.rtt_ms[region][best]) {
+        best = static_cast<std::uint16_t>(s);
+      }
+    }
+    return best;
+  };
+
+  // Carve /24 blocks sequentially out of 10.0.0.0/8.
+  std::uint32_t block = 0;
+  for (std::size_t c = 0; c < config.clusters; ++c) {
+    for (std::size_t b = 0; b < config.blocks_per_cluster; ++b, ++block) {
+      const std::uint32_t base = (10u << 24) | (block << 8);
+      const bool mixed = rng.Bernoulli(config.mixed24_fraction) &&
+                         config.regions > 1;
+      if (!mixed) {
+        scenario.allocations.push_back(
+            CdnAllocation{net::Prefix(net::IpAddress(base), 24), as_of(c),
+                          home[c], best_for(home[c])});
+        continue;
+      }
+      // Split block: the lower /25 stays with cluster c; the upper /25
+      // goes to a cluster homed in a DIFFERENT region (forced by
+      // construction, or the split would be invisible to assignment).
+      std::size_t other = (c + 1 + rng.Uniform(config.clusters - 1)) %
+                          config.clusters;
+      if (home[other] == home[c]) {
+        for (std::size_t probe = 0; probe < config.clusters; ++probe) {
+          other = (other + 1) % config.clusters;
+          if (home[other] != home[c]) break;
+        }
+      }
+      if (home[other] == home[c]) {
+        // Every cluster landed in one region (tiny configs): no split
+        // can cross regions, keep the block whole.
+        scenario.allocations.push_back(
+            CdnAllocation{net::Prefix(net::IpAddress(base), 24), as_of(c),
+                          home[c], best_for(home[c])});
+        continue;
+      }
+      ++scenario.mixed_blocks;
+      scenario.allocations.push_back(
+          CdnAllocation{net::Prefix(net::IpAddress(base), 25), as_of(c),
+                        home[c], best_for(home[c])});
+      scenario.allocations.push_back(
+          CdnAllocation{net::Prefix(net::IpAddress(base | 0x80u), 25),
+                        as_of(other), home[other], best_for(home[other])});
+    }
+  }
+
+  for (std::size_t c = 0; c < config.clusters; ++c) {
+    scenario.rankings.push_back(CdnRanking{as_of(c), {}});
+  }
+  for (CdnRanking& ranking : scenario.rankings) {
+    const std::size_t c = static_cast<std::size_t>(ranking.as) - 64512;
+    ranking.servers = RankFor(scenario, home[c]);
+  }
+  scenario.default_ranking = RankFor(scenario, 0);
+  return scenario;
+}
+
+std::vector<CdnRequest> SampleCdnRequests(const CdnScenario& scenario,
+                                          std::size_t count, double alpha,
+                                          Rng& rng) {
+  std::vector<CdnRequest> requests;
+  requests.reserve(count);
+  if (scenario.allocations.empty()) return requests;
+  ZipfSampler popularity(scenario.allocations.size(), alpha);
+  for (std::size_t i = 0; i < count; ++i) {
+    const CdnAllocation& alloc =
+        scenario.allocations[popularity.Sample(rng)];
+    const std::uint32_t host_span = 1u << (32 - alloc.prefix.length());
+    const std::uint32_t bits =
+        alloc.prefix.network().bits() +
+        static_cast<std::uint32_t>(rng.Uniform(host_span));
+    requests.push_back(CdnRequest{net::IpAddress(bits), alloc.best_server});
+  }
+  return requests;
+}
+
+std::uint16_t NaiveAssign(const CdnScenario& scenario, net::IpAddress address) {
+  // One probe per /24: whatever allocation owns the block's lowest
+  // address decides for everyone in it.
+  const std::uint32_t probe = address.bits() & 0xFFFFFF00u;
+  const CdnAllocation* owner = nullptr;
+  for (const CdnAllocation& alloc : scenario.allocations) {
+    if (alloc.prefix.Contains(net::IpAddress(probe))) {
+      owner = &alloc;
+      break;
+    }
+  }
+  return owner == nullptr ? 0 : owner->best_server;
+}
+
+CdnScore ScoreAssignments(const CdnScenario& scenario,
+                          const std::vector<CdnRequest>& requests,
+                          const std::vector<std::uint16_t>& assigned) {
+  assert(requests.size() == assigned.size());
+  CdnScore score;
+  score.requests = requests.size();
+  std::vector<std::size_t> load(scenario.servers.size(), 0);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (assigned[i] != requests[i].best_server) ++score.misassigned;
+    if (assigned[i] < load.size()) ++load[assigned[i]];
+  }
+  if (!requests.empty() && !load.empty()) {
+    const double even = static_cast<double>(requests.size()) /
+                        static_cast<double>(load.size());
+    const std::size_t peak = *std::max_element(load.begin(), load.end());
+    score.load_skew = static_cast<double>(peak) / even;
+  }
+  return score;
+}
+
+}  // namespace netclust::synth

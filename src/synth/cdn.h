@@ -1,0 +1,116 @@
+// Synthetic CDN server-selection scenario for the RANK/ASSIGN workload.
+//
+// Models the paper's motivating failure of /24-based client grouping
+// (§2.1's 151.198.194.x example: one /24 resold across unrelated
+// networks): a fraction of /24 blocks is deliberately split into two
+// sub-/24 allocations owned by clusters homed in different regions. A
+// /24-naive CDN assigns the whole block from one probe and misdirects
+// the other half; network-aware assignment follows the routing table's
+// longest match to the owning cluster and its per-cluster server
+// ranking, so the split is invisible to it.
+//
+// Deterministic: the same config + seed reproduces the same scenario
+// (allocations, homes, RTT matrix, rankings and ground truth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "net/ip_address.h"
+#include "net/prefix.h"
+#include "synth/rng.h"
+
+namespace netclust::synth {
+
+struct CdnConfig {
+  std::uint64_t seed = 1;
+  /// CDN footprint: one server per region.
+  std::size_t regions = 6;
+  /// Client clusters (origin ASes), each homed in one region.
+  std::size_t clusters = 64;
+  /// /24 blocks allocated per cluster.
+  std::size_t blocks_per_cluster = 4;
+  /// Fraction of /24 blocks split into two /25s owned by clusters homed
+  /// in different regions — the misassignment driver.
+  double mixed24_fraction = 0.3;
+};
+
+/// One CDN server; id doubles as the wire-level server_id.
+struct CdnServer {
+  std::uint16_t id = 0;
+  std::size_t region = 0;
+};
+
+/// One routable allocation: the prefix a cluster announces, where that
+/// cluster is homed, and the ground-truth best server for its clients.
+struct CdnAllocation {
+  net::Prefix prefix;
+  bgp::AsNumber as = 0;
+  std::size_t region = 0;
+  std::uint16_t best_server = 0;
+};
+
+/// One cluster's server preference list, RankTable-shaped but kept as
+/// plain data so synth stays independent of the serving layers.
+struct CdnRanking {
+  bgp::AsNumber as = 0;
+  std::vector<std::uint16_t> servers;  // best first
+};
+
+struct CdnScenario {
+  CdnConfig config;
+  std::vector<CdnServer> servers;
+  /// Sorted by prefix network; split blocks contribute two entries.
+  std::vector<CdnAllocation> allocations;
+  /// rtt_ms[region][server index]: the ground-truth cost model.
+  std::vector<std::vector<double>> rtt_ms;
+  std::vector<CdnRanking> rankings;
+  /// Fleet-wide fallback ranking (best server for region 0's clients).
+  std::vector<std::uint16_t> default_ranking;
+  /// /24 blocks whose ownership is split across regions.
+  std::size_t mixed_blocks = 0;
+};
+
+/// Builds the scenario. Allocations are carved sequentially out of
+/// 10.0.0.0/8, one /24 block per (cluster, block) pair; mixed blocks
+/// become two /25s with distinct owners.
+[[nodiscard]] CdnScenario GenerateCdn(const CdnConfig& config);
+
+/// One client request plus its ground-truth best server.
+struct CdnRequest {
+  net::IpAddress address;
+  std::uint16_t best_server = 0;
+};
+
+/// Samples `count` client requests: allocation popularity is Zipf(alpha)
+/// over the allocation list, host bits uniform within the allocation.
+[[nodiscard]] std::vector<CdnRequest> SampleCdnRequests(
+    const CdnScenario& scenario, std::size_t count, double alpha, Rng& rng);
+
+/// The /24-naive baseline: every address in a /24 block is assigned the
+/// server that is best for the block's LOWEST address — one probe speaks
+/// for the whole block, exactly the aggregation the paper faults.
+[[nodiscard]] std::uint16_t NaiveAssign(const CdnScenario& scenario,
+                                        net::IpAddress address);
+
+/// Aggregate quality of an assignment run.
+struct CdnScore {
+  std::size_t requests = 0;
+  std::size_t misassigned = 0;  // assigned != ground-truth best server
+  /// max per-server load over the ideal even share (1.0 = perfectly flat).
+  double load_skew = 0.0;
+  [[nodiscard]] double misassignment_rate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(misassigned) / static_cast<double>(requests);
+  }
+};
+
+/// Scores one assignment vector (parallel to `requests`) against the
+/// ground truth carried by the requests.
+[[nodiscard]] CdnScore ScoreAssignments(
+    const CdnScenario& scenario, const std::vector<CdnRequest>& requests,
+    const std::vector<std::uint16_t>& assigned);
+
+}  // namespace netclust::synth

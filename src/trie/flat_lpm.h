@@ -107,6 +107,29 @@ class FlatLpm {
     return Match{stored.prefix, &stored.value};
   }
 
+  /// LongestMatch plus a cacheability signal: `*uniform24` is set true
+  /// exactly when the resolution never consulted a level-3 block, which
+  /// by the directory structure means every address in the same /24
+  /// resolves to this same result — the mapping tier may cache the answer
+  /// keyed by `bits >> 8`. A level-3 descent means prefixes longer than
+  /// /24 split the /24, so the answer must not be shared.
+  [[nodiscard]] std::optional<Match> LongestMatchUniform24(
+      net::IpAddress address, bool* uniform24) const {
+    const std::uint32_t bits = address.bits();
+    *uniform24 = true;
+    std::uint32_t slot = root_[bits >> 16];
+    if ((slot & kIndirectBit) != 0) {
+      slot = blocks_[BlockBase(slot) + ((bits >> 8) & 0xFF)];
+      if ((slot & kIndirectBit) != 0) {
+        *uniform24 = false;
+        slot = blocks_[BlockBase(slot) + (bits & 0xFF)];
+      }
+    }
+    if (slot == 0) return std::nullopt;
+    const Stored& stored = stored_[slot - 1];
+    return Match{stored.prefix, &stored.value};
+  }
+
   /// Batched lookup: resolves min(addresses.size(), out.size()) addresses;
   /// out[i].value == nullptr means no match. Each directory level is
   /// prefetched across a chunk before any element needs it, so the cache

@@ -104,6 +104,60 @@ TEST(LruByteCache, LruKeyTracksOrder) {
   EXPECT_EQ(cache.lru_key(), 2u);
 }
 
+TEST(LruEntryCache, InsertTouchAndReplace) {
+  LruEntryCache<int> cache(4);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_TRUE(cache.Insert(1, 10));
+  EXPECT_TRUE(cache.Insert(2, 20));
+  ASSERT_NE(cache.Touch(1), nullptr);
+  EXPECT_EQ(*cache.Touch(1), 10);
+  EXPECT_EQ(cache.Touch(3), nullptr);
+  EXPECT_TRUE(cache.Insert(1, 11));  // replace promotes, not duplicates
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.Touch(1), 11);
+}
+
+TEST(LruEntryCache, EvictsLeastRecentlyUsedAtCapacity) {
+  LruEntryCache<int> cache(3);
+  cache.Insert(1, 1);
+  cache.Insert(2, 2);
+  cache.Insert(3, 3);
+  cache.Touch(1);      // order now: 1,3,2
+  cache.Insert(4, 4);  // evicts 2
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.Touch(2), nullptr);
+  EXPECT_NE(cache.Touch(1), nullptr);
+  EXPECT_NE(cache.Touch(3), nullptr);
+  EXPECT_NE(cache.Touch(4), nullptr);
+}
+
+TEST(LruEntryCache, ClearEmptiesWithoutDisabling) {
+  LruEntryCache<int> cache(2);
+  cache.Insert(1, 1);
+  cache.Clear();
+  EXPECT_TRUE(cache.empty());
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_TRUE(cache.Insert(1, 1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// Regression: constructing with capacity 0 used to assert instead of
+// producing a disabled cache. A mapping tier configured off must cost
+// nothing and cache nothing — every Insert refused, every Touch a miss.
+TEST(LruEntryCache, CapacityZeroIsDisabledNotFatal) {
+  LruEntryCache<int> cache(0);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.capacity(), 0u);
+  for (std::uint32_t key = 0; key < 64; ++key) {
+    EXPECT_FALSE(cache.Insert(key, static_cast<int>(key)));
+    EXPECT_EQ(cache.Touch(key), nullptr);
+  }
+  EXPECT_TRUE(cache.empty());
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Clear();  // harmless when disabled
+  EXPECT_TRUE(cache.empty());
+}
+
 TEST(OriginServer, VersionsAdvanceMonotonically) {
   const OriginServer origin(1, 24.0);
   for (std::uint32_t url = 0; url < 50; ++url) {

@@ -509,6 +509,103 @@ TEST(TopologyAckCodec, RoundTripsTheEpoch) {
   EXPECT_FALSE(DecodeTopologyAck(wire.data(), 7).ok());
 }
 
+TEST(RankCodec, RequestRoundTripsAndRejectsWrongSize) {
+  const RankRequest req{3, IpAddress(151, 198, 194, 17)};
+  const std::vector<std::uint8_t> wire = EncodeRank(req);
+  ASSERT_EQ(wire.size(), 12u);
+  EXPECT_EQ(GetU64(wire.data()), 3u);
+  EXPECT_EQ(GetU32(wire.data() + 8), req.address.bits());
+  const auto decoded = DecodeRank(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), req);
+  EXPECT_EQ(EncodeRank(decoded.value()), wire);
+  // ASSIGN shares the 12-byte shape; both are exact-size.
+  EXPECT_FALSE(DecodeRank(wire.data(), 11).ok());
+  EXPECT_FALSE(DecodeAssign(wire.data(), 13).ok());
+  const auto assign = DecodeAssign(wire.data(), wire.size());
+  ASSERT_TRUE(assign.ok());
+  EXPECT_EQ(assign.value().address, req.address);
+}
+
+TEST(RankCodec, ReplyRoundTripsIncludingEmptyAndBoundsTheCount) {
+  RankReply reply;
+  reply.epoch = 3;
+  reply.cluster_as = 1742;
+  reply.servers = {2, 0, 5, 1};
+  const std::vector<std::uint8_t> wire = EncodeRankReply(reply);
+  ASSERT_EQ(wire.size(), 8u + 4 + 2 + 4 * 2);
+  EXPECT_EQ(GetU32(wire.data() + 8), 1742u);
+  EXPECT_EQ(GetU16(wire.data() + 12), 4u);
+  EXPECT_EQ(GetU16(wire.data() + 14), 2u);  // order preserved, best first
+  const auto decoded = DecodeRankReply(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), reply);
+  EXPECT_EQ(EncodeRankReply(decoded.value()), wire);
+
+  // Empty ranking (no rank table installed) is a legal reply.
+  RankReply empty;
+  empty.epoch = 1;
+  const std::vector<std::uint8_t> none = EncodeRankReply(empty);
+  ASSERT_EQ(none.size(), 14u);
+  const auto redecoded = DecodeRankReply(none.data(), none.size());
+  ASSERT_TRUE(redecoded.ok());
+  EXPECT_TRUE(redecoded.value().servers.empty());
+
+  // Count and length must agree, and the count is bounded.
+  std::vector<std::uint8_t> lying = wire;
+  lying.push_back(0);
+  EXPECT_FALSE(DecodeRankReply(lying.data(), lying.size()).ok());
+  std::vector<std::uint8_t> overcount;
+  PutU64(&overcount, 1);
+  PutU32(&overcount, 1742);
+  PutU16(&overcount, static_cast<std::uint16_t>(kMaxRankServers + 1));
+  for (std::uint32_t i = 0; i <= kMaxRankServers; ++i) {
+    PutU16(&overcount, static_cast<std::uint16_t>(i));
+  }
+  EXPECT_FALSE(DecodeRankReply(overcount.data(), overcount.size()).ok());
+}
+
+TEST(AssignCodec, ReplyRoundTripsEveryStatusAndEnforcesCanonicalForm) {
+  for (const AssignStatus status :
+       {AssignStatus::kNoServer, AssignStatus::kClusterRanked,
+        AssignStatus::kDefaultRanking}) {
+    AssignReply reply;
+    reply.epoch = 3;
+    reply.status = status;
+    reply.server_id = status == AssignStatus::kNoServer ? 0 : 7;
+    reply.cluster_as = 1742;
+    const std::vector<std::uint8_t> wire = EncodeAssignReply(reply);
+    ASSERT_EQ(wire.size(), kAssignReplySize);
+    EXPECT_EQ(wire[8], static_cast<std::uint8_t>(status));
+    const auto decoded = DecodeAssignReply(wire.data(), wire.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.error();
+    EXPECT_EQ(decoded.value(), reply);
+    EXPECT_EQ(EncodeAssignReply(decoded.value()), wire);
+  }
+
+  // Fixed 15-byte record: any other length is rejected.
+  const std::vector<std::uint8_t> wire = EncodeAssignReply(AssignReply{});
+  EXPECT_FALSE(DecodeAssignReply(wire.data(), wire.size() - 1).ok());
+  std::vector<std::uint8_t> longer = wire;
+  longer.push_back(0);
+  EXPECT_FALSE(DecodeAssignReply(longer.data(), longer.size()).ok());
+
+  // Unknown status byte is rejected.
+  std::vector<std::uint8_t> bad_status = wire;
+  bad_status[8] = 3;
+  EXPECT_FALSE(DecodeAssignReply(bad_status.data(), bad_status.size()).ok());
+
+  // Canonical rule: kNoServer must carry server_id 0 — a phantom server
+  // under "no server chosen" is a lie, not a representation choice.
+  std::vector<std::uint8_t> phantom;
+  PutU64(&phantom, 3);
+  phantom.push_back(0);  // kNoServer
+  PutU16(&phantom, 7);   // ...yet names a server
+  PutU32(&phantom, 1742);
+  ASSERT_EQ(phantom.size(), kAssignReplySize);
+  EXPECT_FALSE(DecodeAssignReply(phantom.data(), phantom.size()).ok());
+}
+
 TEST(FrameDecoderViews, NextViewMatchesNextByteForByte) {
   // NextView() is the reactor fast path: same frames, zero copies. Drive
   // two decoders with the identical byte stream in awkward chunk sizes

@@ -17,6 +17,7 @@
 #include "server/io_util.h"
 #include "server/metrics.h"
 #include "server/proto.h"
+#include "synth/rng.h"
 #include "weblog/log.h"
 
 namespace netclust::loadgen {
@@ -79,7 +80,20 @@ void Worker(const Options& options, int index, std::size_t budget,
       std::size_t answered = 0;
       std::size_t matched = 0;
       std::string error;
-      if (options.batch_size == 1) {
+      if (options.assign_mode) {
+        auto reply = conn.Assign(0, batch[0]);
+        if (!reply.ok()) {
+          error = reply.error();
+        } else if (reply.value().redirect.has_value()) {
+          error = "unexpected REDIRECT from a standalone ASSIGN";
+        } else {
+          answered = 1;
+          matched = reply.value().reply.status !=
+                            server::AssignStatus::kNoServer
+                        ? 1
+                        : 0;
+        }
+      } else if (options.batch_size == 1) {
         auto record = conn.Lookup(batch[0]);
         if (record.ok()) {
           answered = 1;
@@ -368,7 +382,16 @@ void ClusterWorker(const Options& options, const server::Topology& topo,
     std::size_t answered = 0;
     std::size_t matched = 0;
     std::string error;
-    if (options.batch_size == 1) {
+    if (options.assign_mode) {
+      auto reply = fleet.Assign(batch[0]);
+      if (reply.ok()) {
+        answered = 1;
+        matched =
+            reply.value().status != server::AssignStatus::kNoServer ? 1 : 0;
+      } else {
+        error = reply.error();
+      }
+    } else if (options.batch_size == 1) {
       auto record = fleet.Lookup(batch[0]);
       if (record.ok()) {
         answered = 1;
@@ -416,11 +439,11 @@ std::string Report::ToJson() const {
       "{\"qps\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
       "\"frames\": %zu, \"pipeline\": %zu, \"lookups\": %zu, \"found\": %zu, "
       "\"busy_retries\": %zu, \"redirects\": %zu, \"errors\": %zu, "
-      "\"elapsed_ms\": %.1f}",
+      "\"elapsed_ms\": %.1f, \"zipf_s\": %.3f}",
       qps, static_cast<double>(p50_ns) / 1e3,
       static_cast<double>(p99_ns) / 1e3, frames_sent, pipeline, lookups_done,
       found, busy_retries, redirects, errors,
-      static_cast<double>(elapsed_ns) / 1e6);
+      static_cast<double>(elapsed_ns) / 1e6, zipf_s);
   return buffer;
 }
 
@@ -436,10 +459,31 @@ Result<Report> Run(const Options& options) {
     // Fleet mode has no cap: the ClusterClient splits at kMaxBatch.
     return Fail("batch size exceeds protocol kMaxBatch");
   }
+  if (options.assign_mode &&
+      (options.batch_size != 1 || options.pipeline != 1)) {
+    return Fail("assign mode sends one ASSIGN per frame (batch 1, no pipeline)");
+  }
+  if (options.zipf_s < 0.0) return Fail("zipf skew must be >= 0");
+
+  // Zipf shaping: resample the stream so address rank k (first-appearance
+  // order) is drawn with P(k) ∝ 1/(k+1)^s. Workers still cycle the shaped
+  // stream deterministically, so runs stay reproducible.
+  Options shaped = options;
+  if (options.zipf_s > 0.0) {
+    synth::Rng rng(1);
+    const synth::ZipfSampler sampler(options.addresses.size(),
+                                     options.zipf_s);
+    std::vector<net::IpAddress> stream;
+    stream.reserve(options.addresses.size());
+    for (std::size_t i = 0; i < options.addresses.size(); ++i) {
+      stream.push_back(options.addresses[sampler.Sample(rng)]);
+    }
+    shaped.addresses = std::move(stream);
+  }
 
   server::Topology fleet_topo;
-  if (!options.endpoints.empty()) {
-    auto topo = FetchFleetTopology(options);
+  if (!shaped.endpoints.empty()) {
+    auto topo = FetchFleetTopology(shaped);
     if (!topo.ok()) return Fail(topo.error());
     fleet_topo = std::move(topo).value();
   }
@@ -447,19 +491,19 @@ Result<Report> Run(const Options& options) {
   SharedState state;
   const std::uint64_t start = engine::NowNs();
   std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(options.connections));
-  for (int i = 0; i < options.connections; ++i) {
+  workers.reserve(static_cast<std::size_t>(shaped.connections));
+  for (int i = 0; i < shaped.connections; ++i) {
     const std::size_t budget =
-        SliceSize(options.total_frames, options.connections, i);
-    if (options.endpoints.empty()) {
-      if (options.pipeline > 1) {
-        workers.emplace_back(PipelinedWorker, std::cref(options), i, budget,
+        SliceSize(shaped.total_frames, shaped.connections, i);
+    if (shaped.endpoints.empty()) {
+      if (shaped.pipeline > 1) {
+        workers.emplace_back(PipelinedWorker, std::cref(shaped), i, budget,
                              &state);
       } else {
-        workers.emplace_back(Worker, std::cref(options), i, budget, &state);
+        workers.emplace_back(Worker, std::cref(shaped), i, budget, &state);
       }
     } else {
-      workers.emplace_back(ClusterWorker, std::cref(options),
+      workers.emplace_back(ClusterWorker, std::cref(shaped),
                            std::cref(fleet_topo), i, budget, &state);
     }
   }
@@ -468,6 +512,7 @@ Result<Report> Run(const Options& options) {
 
   Report report;
   report.pipeline = options.pipeline;
+  report.zipf_s = options.zipf_s;
   // order: relaxed — workers joined above; these are quiescent reads.
   report.frames_sent = state.frames.load(std::memory_order_relaxed);
   report.lookups_done = state.lookups.load(std::memory_order_relaxed);

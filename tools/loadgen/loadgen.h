@@ -39,6 +39,16 @@ struct Options {
   int busy_retries = 100;
   /// The IP stream, replayed cyclically (connection i starts at offset i).
   std::vector<net::IpAddress> addresses;
+  /// Zipf skew exponent s: when > 0, the stream is resampled so address
+  /// rank k (first-appearance order) is drawn with P(k) ∝ 1/(k+1)^s —
+  /// the paper's observed client-popularity shape, and what makes the
+  /// server-side mapping cache earn its hit ratio. 0 leaves the stream
+  /// untouched.
+  double zipf_s = 0.0;
+  /// CDN assignment mode: send ASSIGN instead of LOOKUP (epoch 0
+  /// standalone, topology epoch in fleet mode). Requires batch_size 1 and
+  /// no pipelining; `found` counts replies that named a server.
+  bool assign_mode = false;
   /// Fleet mode: "host:port" endpoints of a netclustd cluster. Non-empty
   /// switches every worker to a topology-routed ClusterClient driving the
   /// whole fleet (host/port above are ignored), and the report's qps is
@@ -58,6 +68,9 @@ struct Report {
   double qps = 0.0;               // lookups_done per wall-clock second
   std::uint64_t p50_ns = 0;
   std::uint64_t p99_ns = 0;
+  /// Zipf skew the stream was shaped with (0 = unshaped), echoed into the
+  /// JSON so benchmark artifacts carry their workload shape.
+  double zipf_s = 0.0;
   std::string first_error;
 
   /// One-line machine-readable summary (the BENCH_server.json schema).

@@ -37,6 +37,10 @@ void Usage(const char* argv0) {
       "  --batch N            addresses per frame; >1 uses BATCH_LOOKUP\n"
       "  --pipeline N         frames in flight per connection (default 1;\n"
       "                       >1 pipelines — standalone mode only)\n"
+      "  --zipf S             reshape the stream to Zipf(S) popularity\n"
+      "                       (rank = first appearance; 0 = off)\n"
+      "  --assign             send ASSIGN (CDN server selection) instead of\n"
+      "                       LOOKUP; batch 1, no pipelining\n"
       "  --timeout-ms N       per-call deadline (default 5000)\n"
       "  --json FILE          write the machine-readable report to FILE\n"
       "  --min-qps X          exit 1 if lookups/sec lands below X\n",
@@ -92,6 +96,10 @@ int main(int argc, char** argv) {
       options.batch_size = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--pipeline" && has_value) {
       options.pipeline = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--zipf" && has_value) {
+      options.zipf_s = std::atof(argv[++i]);
+    } else if (arg == "--assign") {
+      options.assign_mode = true;
     } else if (arg == "--timeout-ms" && has_value) {
       options.timeout_ms = std::atoi(argv[++i]);
     } else if (arg == "--json" && has_value) {

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "bgp/io.h"
 #include "cluster/partitioner.h"
 #include "engine/engine.h"
+#include "mapping/rank_table.h"
 #include "net/prefix.h"
 #include "server/io_util.h"
 #include "server/server.h"
@@ -50,6 +52,10 @@ void Usage(const char* argv0) {
       "  --max-connections N   connection ceiling (default 64)\n"
       "  --max-inflight N      in-flight frame ceiling (default 128)\n"
       "  --idle-timeout-ms N   reap idle connections after N ms (default 30000)\n"
+      "  --mapping-cache N     per-reactor /24 mapping-cache entries\n"
+      "                        (default 0 = disabled)\n"
+      "  --rank-default LIST   comma-separated server ids installed as the\n"
+      "                        default CDN ranking for RANK/ASSIGN\n"
       "  --print-port          print only the bound port on stdout (for scripts)\n"
       "  --cluster-node N      enable cluster mode with this node id\n"
       "  --peer ID:HOST:PORT   fleet member (repeatable, include this node);\n"
@@ -96,6 +102,7 @@ int main(int argc, char** argv) {
   int live_sources = 1;
   bool print_port = false;
   std::vector<std::string> peer_specs;
+  std::string rank_default;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -119,6 +126,11 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--idle-timeout-ms" && has_value) {
       config.idle_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--mapping-cache" && has_value) {
+      config.mapping_cache_capacity =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--rank-default" && has_value) {
+      rank_default = argv[++i];
     } else if (arg == "--print-port") {
       print_port = true;
     } else if (arg == "--cluster-node" && has_value) {
@@ -196,6 +208,34 @@ int main(int argc, char** argv) {
     ++sources;
   }
   config.source_count = sources;
+
+  if (!rank_default.empty()) {
+    // "1,2,3" -> default ranking. Per-cluster rankings arrive via future
+    // tooling; the default makes ASSIGN answer on every daemon today.
+    std::vector<std::uint16_t> servers;
+    std::size_t start = 0;
+    while (start <= rank_default.size()) {
+      const std::size_t comma = rank_default.find(',', start);
+      const std::size_t end =
+          comma == std::string::npos ? rank_default.size() : comma;
+      if (end > start) {
+        servers.push_back(static_cast<std::uint16_t>(
+            std::atoi(rank_default.substr(start, end - start).c_str())));
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (servers.empty()) {
+      std::fprintf(stderr, "netclustd: --rank-default has no server ids\n");
+      return 2;
+    }
+    auto ranks = std::make_shared<mapping::RankTable>();
+    ranks->SetDefault(std::move(servers));
+    config.rank_table = std::move(ranks);
+    std::fprintf(stderr,
+                 "netclustd: default CDN ranking installed (%zu servers)\n",
+                 config.rank_table->default_ranking().size());
+  }
 
   engine.Start();
   server::Server daemon(&engine, config);
