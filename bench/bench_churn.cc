@@ -1,0 +1,275 @@
+// Churn absorption: sustained BGP UPDATE rate through the incremental
+// recompile path while the lock-free serving plane keeps answering.
+//
+// The live-feed pipeline (netclustd --live-bgp4mp) batches decoded UPDATEs
+// into Engine::ApplyUpdateBatch: one delta recompile + one RCU swap per
+// burst. This bench drives that path in-process and answers the question
+// the delta compiler exists for — can the table absorb a BGP-scale update
+// stream without the readers noticing?
+//
+//   1. Quiescent baseline: one reader thread runs LookupBatch over a
+//      client-population probe set with no ingest; exact p99 over the
+//      per-batch latencies.
+//   2. Churn: the ingest thread replays announce/withdraw pairs of /24s
+//      (drawn from the same client population, so deltas land in populated
+//      table regions) in bursts, while the same reader keeps measuring.
+//
+// Floors (--floor-only, the CI mode, writes BENCH_churn.json):
+//   - sustained updates/s >= 10k
+//   - churn-time lookup p99 <= 2x the quiescent p99
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "bgp/update.h"
+#include "engine/engine.h"
+#include "net/prefix.h"
+
+namespace {
+
+using namespace netclust;
+
+double Seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Exact (not bucketed) p99 of a latency sample set, ns. 0 when empty.
+std::uint64_t ExactP99(std::vector<std::uint64_t> samples) {
+  if (samples.empty()) return 0;
+  const std::size_t rank = samples.size() * 99 / 100;
+  const std::size_t index = rank < samples.size() ? rank : samples.size() - 1;
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(index),
+                   samples.end());
+  return samples[index];
+}
+
+constexpr std::size_t kProbeBatch = 256;
+
+/// One timed LookupBatch sweep over the probe set; appends the per-batch
+/// latency (ns) to `latencies`.
+void ProbeOnce(const engine::Engine& engine,
+               const std::vector<net::IpAddress>& probes, std::size_t* cursor,
+               std::vector<std::uint64_t>* latencies,
+               std::uint64_t* matched) {
+  std::array<net::IpAddress, kProbeBatch> batch;
+  std::array<std::optional<bgp::PrefixTable::Match>, kProbeBatch> out;
+  for (std::size_t i = 0; i < kProbeBatch; ++i) {
+    batch[i] = probes[*cursor];
+    if (++*cursor == probes.size()) *cursor = 0;
+  }
+  const std::uint64_t start = engine::NowNs();
+  *matched += engine.LookupBatch(batch, out);
+  latencies->push_back(engine::NowNs() - start);
+}
+
+struct ChurnResult {
+  double updates_per_s = 0.0;
+  std::size_t updates = 0;
+  std::size_t changed = 0;
+  std::uint64_t p99_quiescent_ns = 0;
+  std::uint64_t p99_churn_ns = 0;
+};
+
+/// The measurement core: quiescent baseline, then `seconds` of sustained
+/// churn in `burst`-sized ApplyUpdateBatch calls with a concurrent reader.
+ChurnResult MeasureChurn(engine::Engine* engine, int source_id,
+                         const std::vector<bgp::UpdateMessage>& stream,
+                         const std::vector<net::IpAddress>& probes,
+                         std::size_t burst, double seconds) {
+  ChurnResult result;
+
+  // --- quiescent baseline (reader alone) ---
+  {
+    std::vector<std::uint64_t> latencies;
+    latencies.reserve(1 << 16);
+    std::size_t cursor = 0;
+    std::uint64_t matched = 0;
+    const auto start = std::chrono::steady_clock::now();
+    while (Seconds(start) < seconds * 0.5) {
+      ProbeOnce(*engine, probes, &cursor, &latencies, &matched);
+    }
+    result.p99_quiescent_ns = ExactP99(std::move(latencies));
+  }
+
+  // --- churn with a concurrent reader ---
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> churn_latencies;
+  churn_latencies.reserve(1 << 16);
+  std::thread reader([&] {
+    std::size_t cursor = 0;
+    std::uint64_t matched = 0;
+    // order: relaxed — plain stop flag; no data is handed across it that
+    // the join below doesn't already order.
+    while (!stop.load(std::memory_order_relaxed)) {
+      ProbeOnce(*engine, probes, &cursor, &churn_latencies, &matched);
+    }
+  });
+
+  std::size_t at = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (Seconds(start) < seconds) {
+    const std::size_t take = std::min(burst, stream.size() - at);
+    result.changed += engine->ApplyUpdateBatch(
+        std::span<const bgp::UpdateMessage>(stream.data() + at, take),
+        source_id);
+    result.updates += take;
+    at += take;
+    if (at == stream.size()) at = 0;
+  }
+  const double elapsed = Seconds(start);
+  // order: relaxed — see the reader's load.
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  result.updates_per_s = static_cast<double>(result.updates) / elapsed;
+  result.p99_churn_ns = ExactP99(std::move(churn_latencies));
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool floor_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--floor-only") == 0) {
+      floor_only = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--floor-only]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  if (!floor_only) {
+    bench::PrintHeader(
+        "churn — live BGP UPDATE absorption vs serving-plane latency",
+        "incremental FlatLpm recompile (delta publish) absorbs a sustained "
+        "update stream while lock-free lookup p99 stays flat");
+  }
+
+  const auto& scenario = bench::GetScenario();
+  const auto generated = bench::MakeLog(bench::LogPreset::kNagano);
+  const auto& log = generated.log;
+  const bgp::Snapshot seed = scenario.vantages().MakeSnapshot(0, 0);
+
+  engine::EngineConfig config;
+  config.shards = 2;
+  config.log_name = "nagano";
+  engine::Engine engine(config);
+  engine.SeedSnapshot(seed);
+  bgp::SnapshotInfo live_info;
+  live_info.name = "churn-bench";
+  live_info.comment = "synthetic announce/withdraw stream";
+  const int source = engine.AddSource(live_info);
+  engine.Start();
+
+  // Probe set: the log's client population (strided), the same stream the
+  // serving benches replay.
+  std::vector<net::IpAddress> probes;
+  const auto& clients = log.clients();
+  const std::size_t stride = std::max<std::size_t>(clients.size() / 4096, 1);
+  for (std::size_t i = 0; i < clients.size(); i += stride) {
+    probes.push_back(clients[i]);
+  }
+
+  // Churn stream: announce/withdraw pairs of the /24s covering the client
+  // population — every update lands in a populated region of the table,
+  // so each delta repaints live directory blocks.
+  std::vector<bgp::UpdateMessage> stream;
+  stream.reserve(2 * probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const net::Prefix p24(probes[i], 24);
+    bgp::UpdateMessage announce;
+    announce.announced.push_back(p24);
+    announce.as_path = {static_cast<bgp::AsNumber>(64512 + (i & 0xFF))};
+    announce.next_hop = net::IpAddress(0x0A000001u);
+    stream.push_back(std::move(announce));
+    bgp::UpdateMessage withdraw;
+    withdraw.withdrawn.push_back(p24);
+    stream.push_back(std::move(withdraw));
+  }
+
+  if (!floor_only) {
+    std::printf("\nseed: %zu-prefix table; churn stream: %zu updates "
+                "(announce/withdraw /24 pairs); probes: %zu addresses, "
+                "batches of %zu\n",
+                seed.entries.size(), stream.size(), probes.size(),
+                kProbeBatch);
+    std::printf("\n  %-12s %12s %12s %14s %14s %7s\n", "burst",
+                "updates/s", "changed", "p99 quiet", "p99 churn", "ratio");
+    for (const std::size_t burst : {std::size_t{1}, std::size_t{16},
+                                    std::size_t{64}, std::size_t{256}}) {
+      const ChurnResult r =
+          MeasureChurn(&engine, source, stream, probes, burst, 1.0);
+      std::printf("  %-12zu %12s %11.0f%% %11.1f us %11.1f us %6.2fx\n",
+                  burst, bench::Fmt(r.updates_per_s).c_str(),
+                  100.0 * static_cast<double>(r.changed) /
+                      static_cast<double>(std::max<std::size_t>(r.updates, 1)),
+                  static_cast<double>(r.p99_quiescent_ns) / 1e3,
+                  static_cast<double>(r.p99_churn_ns) / 1e3,
+                  static_cast<double>(r.p99_churn_ns) /
+                      static_cast<double>(std::max<std::uint64_t>(
+                          r.p99_quiescent_ns, 1)));
+    }
+  }
+
+  // The CI measurement: the live feeder's default burst size.
+  constexpr std::size_t kBurst = 64;
+  constexpr double kFloorUpdatesPerSec = 10'000.0;
+  constexpr double kMaxP99Ratio = 2.0;
+  const ChurnResult r = MeasureChurn(&engine, source, stream, probes, kBurst,
+                                     floor_only ? 1.5 : 2.0);
+  engine.Stop();
+
+  const double ratio =
+      static_cast<double>(r.p99_churn_ns) /
+      static_cast<double>(std::max<std::uint64_t>(r.p99_quiescent_ns, 1));
+  char json[512];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"updates_per_s\": %.1f, \"burst\": %zu, \"updates\": %zu, "
+      "\"changed\": %zu, \"p99_quiescent_us\": %.3f, "
+      "\"p99_churn_us\": %.3f, \"p99_ratio\": %.3f, "
+      "\"floor_updates_per_s\": %.1f, \"max_p99_ratio\": %.1f}",
+      r.updates_per_s, kBurst, r.updates, r.changed,
+      static_cast<double>(r.p99_quiescent_ns) / 1e3,
+      static_cast<double>(r.p99_churn_ns) / 1e3, ratio, kFloorUpdatesPerSec,
+      kMaxP99Ratio);
+
+  std::FILE* out = std::fopen("BENCH_churn.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_churn: cannot write BENCH_churn.json\n");
+    return 1;
+  }
+  std::fprintf(out, "%s\n", json);
+  std::fclose(out);
+  std::printf("%swrote BENCH_churn.json: %s\n", floor_only ? "" : "\n", json);
+
+  if (r.updates_per_s < kFloorUpdatesPerSec) {
+    std::fprintf(stderr,
+                 "bench_churn: %.0f updates/s is below the %.0f floor\n",
+                 r.updates_per_s, kFloorUpdatesPerSec);
+    return 1;
+  }
+  if (ratio > kMaxP99Ratio) {
+    std::fprintf(stderr,
+                 "bench_churn: churn-time lookup p99 (%.1f us) is %.2fx the "
+                 "quiescent p99 (%.1f us); floor is %.1fx\n",
+                 static_cast<double>(r.p99_churn_ns) / 1e3, ratio,
+                 static_cast<double>(r.p99_quiescent_ns) / 1e3, kMaxP99Ratio);
+    return 1;
+  }
+  std::printf("floors: %.0f updates/s cleared (>= %.0f); churn p99 %.2fx "
+              "quiescent (<= %.1fx)\n",
+              r.updates_per_s, kFloorUpdatesPerSec, ratio, kMaxP99Ratio);
+  return 0;
+}

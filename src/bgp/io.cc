@@ -10,9 +10,14 @@
 namespace netclust::bgp {
 namespace {
 
+// Format sniffing reads the type halfword at bytes[4..5]; anything
+// shorter cannot carry it. Callers reject such files before sniffing.
+constexpr std::size_t kSniffBytes = 6;
+
 // MRT records open with a 4-byte timestamp and a big-endian type that is
 // 12 (TABLE_DUMP) or 13 (TABLE_DUMP_V2); text dumps start with printable
-// characters, so this sniff cannot misfire on either.
+// characters, so this sniff cannot misfire on either. Requires at least
+// kSniffBytes of input.
 bool LooksLikeMrt(const std::vector<std::uint8_t>& bytes) {
   if (bytes.size() < 12) return false;
   const std::uint16_t type =
@@ -28,6 +33,13 @@ Result<LoadedSnapshot> LoadSnapshotFile(const std::string& path,
   if (!in) return Fail("cannot open " + path);
   const std::vector<std::uint8_t> bytes(
       (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (bytes.size() < kSniffBytes) {
+    // Too short to even sniff the format (the type halfword sits at
+    // bytes[4..5]): a clean parse error, never an out-of-bounds read and
+    // never a silently-empty snapshot.
+    return Fail(path + ": file too short to be a routing snapshot (" +
+                std::to_string(bytes.size()) + " bytes)");
+  }
 
   LoadedSnapshot loaded;
   const SnapshotInfo info{name.empty() ? path : std::move(name), "",
@@ -37,7 +49,9 @@ Result<LoadedSnapshot> LoadSnapshotFile(const std::string& path,
     auto snapshot = ReadMrt(bytes, info, &stats);
     if (!snapshot.ok()) return Fail(path + ": " + snapshot.error());
     loaded.snapshot = std::move(snapshot).value();
-    loaded.skipped = stats.skipped_records;
+    // A truncated tail record is survivable (the reader keeps everything
+    // before it) but still a record the caller did not get.
+    loaded.skipped = stats.skipped_records + stats.truncated_records;
     // V2 files open with a PEER_INDEX_TABLE (type 13); V1 with a route.
     loaded.format = bytes[5] == 13 ? SnapshotFileFormat::kMrtV2
                                    : SnapshotFileFormat::kMrtV1;

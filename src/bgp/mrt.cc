@@ -10,10 +10,20 @@ namespace {
 // --- MRT constants (RFC 6396) ---
 constexpr std::uint16_t kTypeTableDump = 12;  // legacy, one route/record
 constexpr std::uint16_t kTypeTableDumpV2 = 13;
+constexpr std::uint16_t kTypeBgp4mp = 16;  // live UPDATE/state stream
 constexpr std::uint16_t kSubtypeAfiIpv4 = 1;
 constexpr std::uint16_t kSubtypePeerIndexTable = 1;
 constexpr std::uint16_t kSubtypeRibIpv4Unicast = 2;
+// BGP4MP subtypes (RFC 6396 §4.4, RFC 8050 leaves these unchanged).
+constexpr std::uint16_t kSubtypeBgp4mpStateChange = 0;
+constexpr std::uint16_t kSubtypeBgp4mpMessage = 1;
+constexpr std::uint16_t kSubtypeBgp4mpMessageAs4 = 4;
+constexpr std::uint16_t kSubtypeBgp4mpStateChangeAs4 = 5;
+constexpr std::uint16_t kAfiIpv4 = 1;
 constexpr std::uint32_t kAsTrans = 23456;
+// BGP message header: 16-byte marker + 2-byte length + 1-byte type.
+constexpr std::size_t kBgpHeaderSize = 19;
+constexpr std::uint8_t kBgpTypeUpdate = 2;
 
 // BGP path attribute types (RFC 4271).
 constexpr std::uint8_t kAttrOrigin = 1;
@@ -208,8 +218,7 @@ std::vector<std::uint8_t> WriteMrt(const Snapshot& snapshot,
       if (stats != nullptr) ++stats->clamped_view_names;
     }
     body.U16(static_cast<std::uint16_t>(view.size()));
-    body.Bytes(reinterpret_cast<const std::uint8_t*>(view.data()),
-               view.size());
+    for (const char c : view) body.U8(static_cast<std::uint8_t>(c));
     body.U16(1);           // peer count
     body.U8(0x02);         // peer type: IPv4 address, 4-byte AS
     body.U32(0x0A000002);  // peer BGP ID
@@ -275,16 +284,17 @@ std::vector<std::uint8_t> WriteMrtV1(const Snapshot& snapshot,
 namespace {
 
 // Decodes the BGP path attributes of one RIB entry into `*entry`.
-bool DecodePathAttributes(Reader attrs, RouteEntry* entry, bool wide_asn) {
+Result<bool> DecodePathAttributes(Reader attrs, RouteEntry* entry,
+                                  bool wide_asn) {
   while (!attrs.AtEnd()) {
     const std::uint8_t flags = attrs.U8();
     const std::uint8_t type = attrs.U8();
     const std::size_t length = (flags & kAttrFlagExtendedLength) != 0
                                    ? attrs.U16()
                                    : attrs.U8();
-    if (!attrs.Ok()) return false;
+    if (!attrs.Ok()) return Fail("truncated attribute header");
     Reader value = attrs.Sub(length);
-    if (!attrs.Ok()) return false;
+    if (!attrs.Ok()) return Fail("attribute overruns its block");
 
     switch (type) {
       case kAttrAsPath:
@@ -297,18 +307,18 @@ bool DecodePathAttributes(Reader attrs, RouteEntry* entry, bool wide_asn) {
               entry->as_path.push_back(asn);
             }
           }
-          if (!value.Ok()) return false;
+          if (!value.Ok()) return Fail("truncated AS_PATH segment");
         }
         break;
       case kAttrNextHop:
-        if (length != 4) return false;
+        if (length != 4) return Fail("bad NEXT_HOP length");
         entry->next_hop = net::IpAddress(value.U32());
         break;
       default:
         break;  // ORIGIN and anything else: ignored.
     }
   }
-  return attrs.Ok();
+  return true;
 }
 
 }  // namespace
@@ -326,9 +336,21 @@ Result<Snapshot> ReadMrt(const std::vector<std::uint8_t>& bytes,
     const std::uint16_t type = in.U16();
     const std::uint16_t subtype = in.U16();
     const std::uint32_t length = in.U32();
-    if (!in.Ok()) return Fail("truncated MRT header");
+    if (!in.Ok()) {
+      // Header cut mid-field: the file was truncated in flight. Count it
+      // and keep everything decoded so far — one sheared tail record must
+      // not void the complete records before it.
+      ++local.truncated_records;
+      break;
+    }
     Reader body = in.Sub(length);
-    if (!in.Ok()) return Fail("truncated MRT record body");
+    if (!in.Ok()) {
+      // Declared length overruns the remaining buffer. The length field is
+      // attacker-controlled, so it is never trusted past the view: skip to
+      // end, counted, stopping at the last complete record.
+      ++local.truncated_records;
+      break;
+    }
     ++local.records;
 
     if (type == kTypeTableDump) {
@@ -352,7 +374,7 @@ Result<Snapshot> ReadMrt(const std::vector<std::uint8_t>& bytes,
 
       RouteEntry entry;
       entry.prefix = net::Prefix(net::IpAddress(network), prefix_len);
-      if (!DecodePathAttributes(attrs, &entry, /*wide_asn=*/false)) {
+      if (!DecodePathAttributes(attrs, &entry, /*wide_asn=*/false).ok()) {
         return Fail("malformed TABLE_DUMP path attributes");
       }
       snapshot.entries.push_back(std::move(entry));
@@ -407,7 +429,7 @@ Result<Snapshot> ReadMrt(const std::vector<std::uint8_t>& bytes,
 
       RouteEntry entry;
       entry.prefix = net::Prefix(net::IpAddress(network), prefix_len);
-      if (!DecodePathAttributes(attrs, &entry, /*wide_asn=*/true)) {
+      if (!DecodePathAttributes(attrs, &entry, /*wide_asn=*/true).ok()) {
         return Fail("malformed path attributes");
       }
       snapshot.entries.push_back(std::move(entry));
@@ -417,6 +439,204 @@ Result<Snapshot> ReadMrt(const std::vector<std::uint8_t>& bytes,
 
   if (stats != nullptr) *stats = local;
   return snapshot;
+}
+
+// --- BGP4MP (RFC 6396 §4.4) ---
+
+namespace {
+
+/// The fixed BGP4MP body prologue: peer AS, local AS (2 or 4 bytes each by
+/// subtype), interface index, AFI, peer IP, local IP. Writes the decoded
+/// peer identity into `*event`; false (with no event mutation promised) on
+/// truncation or a non-IPv4 AFI (`*ipv4` reports which).
+bool ReadBgp4mpPrologue(Reader& body, bool as4, Bgp4mpEvent* event,
+                        bool* ipv4) {
+  const AsNumber peer_as = as4 ? body.U32() : body.U16();
+  if (as4) {
+    body.Skip(4);  // local AS
+  } else {
+    body.Skip(2);
+  }
+  body.Skip(2);  // interface index
+  const std::uint16_t afi = body.U16();
+  const std::uint32_t peer_ip = body.U32();
+  body.Skip(4);  // local IP
+  if (!body.Ok()) return false;
+  *ipv4 = afi == kAfiIpv4;
+  event->peer_as = peer_as;
+  event->peer_ip = net::IpAddress(peer_ip);
+  return true;
+}
+
+void WriteBgp4mpPrologue(Writer& body, AsNumber peer_as,
+                         net::IpAddress peer_ip, bool as4) {
+  if (as4) {
+    body.U32(peer_as);
+    body.U32(64512);  // local AS (synthetic collector)
+  } else {
+    body.U16(static_cast<std::uint16_t>(peer_as > 0xFFFF ? kAsTrans
+                                                         : peer_as));
+    body.U16(64512);
+  }
+  body.U16(0);  // interface index
+  body.U16(kAfiIpv4);
+  body.U32(peer_ip.bits());
+  body.U32(0x0A000001);  // local IP (synthetic collector)
+}
+
+}  // namespace
+
+void Bgp4mpStream::Feed(const std::uint8_t* data, std::size_t size) {
+  // Compact the consumed prefix before growing, so a long-lived feed's
+  // buffer stays bounded by one record plus one chunk.
+  if (pos_ > 0 && (pos_ == buffer_.size() || pos_ >= kMaxRecordBytes)) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Bgp4mpEvent> Bgp4mpStream::Next() {
+  for (;;) {
+    const std::size_t available = buffer_.size() - pos_;
+    if (available < 12) {
+      if (finished_ && available > 0) {
+        // Dangling partial header at end of input.
+        ++stats_.truncated_records;
+        pos_ = buffer_.size();
+      }
+      return std::nullopt;
+    }
+    Reader header(buffer_.data() + pos_, 12);
+    std::uint32_t timestamp = header.U32();
+    const std::uint16_t type = header.U16();
+    const std::uint16_t subtype = header.U16();
+    const std::uint32_t length = header.U32();
+    if (length > kMaxRecordBytes) {
+      // Hostile length field: never buffer toward it. Count, resync past
+      // the header, and keep scanning — the streaming form of the
+      // never-read-past-the-view rule.
+      ++stats_.truncated_records;
+      pos_ += 12;
+      continue;
+    }
+    if (available - 12 < length) {
+      if (finished_) {
+        // Declared length overruns what the stream will ever deliver.
+        ++stats_.truncated_records;
+        pos_ = buffer_.size();
+        return std::nullopt;
+      }
+      return std::nullopt;  // wait for the rest of the record
+    }
+    Reader body(buffer_.data() + pos_ + 12, length);
+    pos_ += 12 + length;
+    ++stats_.records;
+
+    if (type != kTypeBgp4mp) {
+      ++stats_.skipped_records;
+      continue;
+    }
+    const bool as4 = subtype == kSubtypeBgp4mpMessageAs4 ||
+                     subtype == kSubtypeBgp4mpStateChangeAs4;
+    const bool is_message =
+        subtype == kSubtypeBgp4mpMessage || subtype == kSubtypeBgp4mpMessageAs4;
+    const bool is_state_change = subtype == kSubtypeBgp4mpStateChange ||
+                                 subtype == kSubtypeBgp4mpStateChangeAs4;
+    if (!is_message && !is_state_change) {
+      ++stats_.skipped_records;
+      continue;
+    }
+
+    Bgp4mpEvent event;
+    event.timestamp = timestamp;
+    bool ipv4 = false;
+    if (!ReadBgp4mpPrologue(body, as4, &event, &ipv4)) {
+      ++stats_.malformed_records;
+      continue;
+    }
+    if (!ipv4) {
+      ++stats_.skipped_records;  // IPv6 feeds: out of scope, not an error
+      continue;
+    }
+
+    if (is_state_change) {
+      event.kind = Bgp4mpEventKind::kStateChange;
+      event.old_state = body.U16();
+      event.new_state = body.U16();
+      if (!body.Ok() || !body.AtEnd()) {
+        ++stats_.malformed_records;
+        continue;
+      }
+      ++stats_.state_changes;
+      return event;
+    }
+
+    // MESSAGE / MESSAGE_AS4: the rest of the record is one BGP message.
+    const std::size_t message_size = body.remaining();
+    const std::uint8_t* message = body.BytesPtr(message_size);
+    if (message == nullptr || message_size < kBgpHeaderSize) {
+      ++stats_.malformed_records;
+      continue;
+    }
+    if (message[18] != kBgpTypeUpdate) {
+      // KEEPALIVE / OPEN / NOTIFICATION ride the same record family on a
+      // real session; they carry no routes.
+      ++stats_.skipped_records;
+      continue;
+    }
+    std::size_t offset = 0;
+    auto update = DecodeUpdate(message, message_size, &offset, as4);
+    if (!update.ok() || offset != message_size) {
+      // Trailing bytes after the one message a record carries are as
+      // malformed as a bad attribute: reject the whole record.
+      ++stats_.malformed_records;
+      continue;
+    }
+    event.kind = Bgp4mpEventKind::kUpdate;
+    event.update = std::move(update).value();
+    ++stats_.updates;
+    return event;
+  }
+}
+
+void Bgp4mpStream::Finish() { finished_ = true; }
+
+std::vector<std::uint8_t> WriteBgp4mpUpdate(const UpdateMessage& update,
+                                            std::uint32_t timestamp,
+                                            AsNumber peer_as,
+                                            net::IpAddress peer_ip,
+                                            bool as4) {
+  Writer body;
+  WriteBgp4mpPrologue(body, peer_as, peer_ip, as4);
+  body.Append(EncodeUpdate(update, /*wide_asn=*/as4));
+
+  Writer out;
+  WriteMrtHeader(out, timestamp, kTypeBgp4mp,
+                 as4 ? kSubtypeBgp4mpMessageAs4 : kSubtypeBgp4mpMessage,
+                 static_cast<std::uint32_t>(body.bytes().size()));
+  out.Append(body.bytes());
+  return out.Take();
+}
+
+std::vector<std::uint8_t> WriteBgp4mpStateChange(std::uint32_t timestamp,
+                                                 AsNumber peer_as,
+                                                 net::IpAddress peer_ip,
+                                                 std::uint16_t old_state,
+                                                 std::uint16_t new_state,
+                                                 bool as4) {
+  Writer body;
+  WriteBgp4mpPrologue(body, peer_as, peer_ip, as4);
+  body.U16(old_state);
+  body.U16(new_state);
+
+  Writer out;
+  WriteMrtHeader(out, timestamp, kTypeBgp4mp,
+                 as4 ? kSubtypeBgp4mpStateChangeAs4 : kSubtypeBgp4mpStateChange,
+                 static_cast<std::uint32_t>(body.bytes().size()));
+  out.Append(body.bytes());
+  return out.Take();
 }
 
 }  // namespace netclust::bgp

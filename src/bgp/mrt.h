@@ -1,4 +1,5 @@
-// MRT (Multi-Threaded Routing Toolkit) TABLE_DUMP_V2 reader/writer.
+// MRT (Multi-Threaded Routing Toolkit) TABLE_DUMP_V2 reader/writer and
+// BGP4MP live-update stream decoder.
 //
 // Implements the RFC 6396 subset needed to exchange RIB snapshots the way
 // route collectors (Oregon RouteViews, RIPE RIS — the successors of the
@@ -10,19 +11,27 @@
 //     record with 2-byte AS numbers
 //   * TABLE_DUMP_V2 / PEER_INDEX_TABLE   (type 13, subtype 1)
 //   * TABLE_DUMP_V2 / RIB_IPV4_UNICAST   (type 13, subtype 2)
+//   * BGP4MP        / STATE_CHANGE[_AS4] (type 16, subtypes 0 / 5)
+//   * BGP4MP        / MESSAGE[_AS4]      (type 16, subtypes 1 / 4) — the
+//     live UPDATE feed format (§3.5's real-time source), announce and
+//     withdraw routes carried as standard BGP-4 messages
 //   * BGP path attributes ORIGIN, AS_PATH (2- or 4-byte ASNs by format),
 //     NEXT_HOP
 //
-// ReadMrt handles both generations in one stream. Unknown record types and
-// path attributes are skipped, not rejected, so a real RouteViews file
-// with extra records still parses.
+// ReadMrt handles both snapshot generations in one stream; Bgp4mpStream
+// decodes the live family incrementally, so a tail -f'd collector feed can
+// be drained chunk by chunk. Unknown record types and path attributes are
+// skipped, not rejected, so a real RouteViews file with extra records
+// still parses.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bgp/route_entry.h"
+#include "bgp/update.h"
 #include "net/result.h"
 
 namespace netclust::bgp {
@@ -32,6 +41,11 @@ struct MrtStats {
   std::size_t records = 0;
   std::size_t rib_records = 0;
   std::size_t skipped_records = 0;  // non-TABLE_DUMP_V2 or non-IPv4 subtypes
+  /// Records whose declared length overran the remaining buffer (or a
+  /// header cut mid-field at end of input). The reader never trusts the
+  /// length past the view: the truncated tail is counted here and parsing
+  /// stops at the last complete record instead of failing the whole file.
+  std::size_t truncated_records = 0;
   std::size_t peers = 0;
 };
 
@@ -66,10 +80,105 @@ std::vector<std::uint8_t> WriteMrtV1(const Snapshot& snapshot,
                                      std::uint32_t timestamp,
                                      MrtWriteStats* stats = nullptr);
 
-/// Decodes an MRT TABLE_DUMP_V2 byte stream produced by WriteMrt or a route
-/// collector. Fails on structural corruption (truncated records, RIB entry
-/// referencing an unknown peer); skips unknown record types.
+/// Decodes an MRT TABLE_DUMP / TABLE_DUMP_V2 byte stream produced by
+/// WriteMrt or a route collector. Fails on structural corruption inside a
+/// complete record (bad prefix length, RIB entry referencing an unknown
+/// peer); skips unknown record types. A record whose declared length
+/// overruns the remaining bytes is truncation, not corruption: it is
+/// counted in MrtStats::truncated_records and parsing stops there, keeping
+/// every record decoded before it.
 Result<Snapshot> ReadMrt(const std::vector<std::uint8_t>& bytes,
                          const SnapshotInfo& info, MrtStats* stats = nullptr);
+
+// --- BGP4MP: the live UPDATE stream family (RFC 6396 §4.4) ---
+
+/// What one BGP4MP record decoded into.
+enum class Bgp4mpEventKind : std::uint8_t {
+  kUpdate,       // MESSAGE / MESSAGE_AS4 carrying a BGP-4 UPDATE
+  kStateChange,  // STATE_CHANGE / STATE_CHANGE_AS4 (peer FSM transition)
+};
+
+/// One decoded BGP4MP event.
+struct Bgp4mpEvent {
+  Bgp4mpEventKind kind = Bgp4mpEventKind::kUpdate;
+  std::uint32_t timestamp = 0;  // MRT header timestamp (UNIX seconds)
+  AsNumber peer_as = 0;
+  net::IpAddress peer_ip;
+  /// kUpdate only: the announce/withdraw payload.
+  UpdateMessage update;
+  /// kStateChange only: BGP FSM states (1=Idle .. 6=Established).
+  std::uint16_t old_state = 0;
+  std::uint16_t new_state = 0;
+
+  friend bool operator==(const Bgp4mpEvent&, const Bgp4mpEvent&) = default;
+};
+
+/// BGP4MP stream statistics.
+struct Bgp4mpStats {
+  std::size_t records = 0;        // complete MRT records consumed
+  std::size_t updates = 0;        // kUpdate events yielded
+  std::size_t state_changes = 0;  // kStateChange events yielded
+  /// Non-BGP4MP record types, non-IPv4 AFIs, unknown BGP4MP subtypes, and
+  /// MESSAGE records carrying a non-UPDATE BGP message (KEEPALIVE et al.).
+  std::size_t skipped_records = 0;
+  /// Records whose body failed to decode (bad marker, overrunning
+  /// attribute, trailing garbage). Counted and dropped — one bad record
+  /// must not poison a live feed.
+  std::size_t malformed_records = 0;
+  /// Partial record left at end of stream (Finish() called with a dangling
+  /// header or short body), plus records whose declared length exceeds the
+  /// kMaxRecordBytes sanity cap — the never-read-past-the-view rule in
+  /// streaming form.
+  std::size_t truncated_records = 0;
+};
+
+/// Incremental BGP4MP decoder: Feed() arbitrary byte chunks, then drain
+/// Next() until it returns nullopt (more bytes needed). Chunking is
+/// invariant: any split of the same byte stream yields the same events.
+/// Call Finish() at end of input so a dangling partial record is counted
+/// as truncated instead of waited on forever.
+class Bgp4mpStream {
+ public:
+  /// Declared record lengths above this are hostile (a BGP message caps at
+  /// 4096 bytes; the BGP4MP envelope adds tens): counted as truncated and
+  /// resynced past the header instead of buffering unboundedly.
+  static constexpr std::uint32_t kMaxRecordBytes = 64 * 1024;
+
+  /// Appends a chunk of the stream.
+  void Feed(const std::uint8_t* data, std::size_t size);
+
+  /// Decodes the next event. nullopt means the buffer holds no complete
+  /// decodable record — feed more bytes (or, after Finish(), the stream is
+  /// drained). Skipped and malformed records are counted, never fatal.
+  std::optional<Bgp4mpEvent> Next();
+
+  /// Marks end of input: leftover partial bytes become truncated_records.
+  void Finish();
+
+  [[nodiscard]] const Bgp4mpStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;  // consumed prefix of buffer_
+  bool finished_ = false;
+  Bgp4mpStats stats_;
+};
+
+/// Encodes one BGP4MP MESSAGE (as4=false) or MESSAGE_AS4 (as4=true) record
+/// carrying `update` as a standard BGP-4 UPDATE. AS_PATH ASNs are 4-byte
+/// in the AS4 flavor, 2-byte (with AS_TRANS clamping) otherwise.
+std::vector<std::uint8_t> WriteBgp4mpUpdate(const UpdateMessage& update,
+                                            std::uint32_t timestamp,
+                                            AsNumber peer_as,
+                                            net::IpAddress peer_ip,
+                                            bool as4);
+
+/// Encodes one BGP4MP STATE_CHANGE (as4=false) or STATE_CHANGE_AS4 record.
+std::vector<std::uint8_t> WriteBgp4mpStateChange(std::uint32_t timestamp,
+                                                 AsNumber peer_as,
+                                                 net::IpAddress peer_ip,
+                                                 std::uint16_t old_state,
+                                                 std::uint16_t new_state,
+                                                 bool as4);
 
 }  // namespace netclust::bgp

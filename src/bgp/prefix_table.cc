@@ -1,5 +1,6 @@
 #include "bgp/prefix_table.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace netclust::bgp {
@@ -16,13 +17,13 @@ int PrefixTable::AddSource(const SnapshotInfo& info) {
   return static_cast<int>(sources_.size()) - 1;
 }
 
-void PrefixTable::Insert(const net::Prefix& prefix, int source_id,
+bool PrefixTable::Insert(const net::Prefix& prefix, int source_id,
                          AsNumber origin_as) {
   if (source_id < 0 || source_id >= static_cast<int>(sources_.size())) {
     // A propagated kInvalidSource (or any stray id) is dropped, counted —
     // never shifted into source_mask.
     ++rejected_inserts_;
-    return;
+    return false;
   }
   SourceStats& stats = sources_[static_cast<std::size_t>(source_id)];
   ++stats.entries;
@@ -37,8 +38,12 @@ void PrefixTable::Insert(const net::Prefix& prefix, int source_id,
     updated.from_bgp |= is_bgp;
     updated.from_dump |= !is_bgp;
     if (updated.origin_as == 0) updated.origin_as = origin_as;
-    trie_.Insert(prefix, updated);
-    return;
+    const bool changed = updated.source_mask != existing->source_mask ||
+                         updated.from_bgp != existing->from_bgp ||
+                         updated.from_dump != existing->from_dump ||
+                         updated.origin_as != existing->origin_as;
+    if (changed) trie_.Insert(prefix, updated);
+    return changed;
   }
   Origin origin;
   origin.source_mask = bit;
@@ -48,6 +53,7 @@ void PrefixTable::Insert(const net::Prefix& prefix, int source_id,
   trie_.Insert(prefix, origin);
   ++stats.unique_prefixes;
   ++stats.new_prefixes;
+  return true;
 }
 
 AsNumber PrefixTable::OriginAs(const net::Prefix& prefix) const {
@@ -99,6 +105,59 @@ PrefixTable::Flat PrefixTable::CompileFlat() const {
         Match{prefix, kind, origin.source_mask, origin.origin_as}});
   });
   return Flat::Compile(std::move(entries));
+}
+
+PrefixTable::Flat PrefixTable::CompileFlatDelta(
+    const Flat& prev, std::span<const net::Prefix> changed) const {
+  if (changed.empty()) return prev;
+  // Compaction bound: every delta appends fresh payload records and
+  // orphans replaced blocks inside the copy, so a long churn run would
+  // grow the directory without bound. Once the previous compile holds
+  // more than twice the live entries (plus slack so tiny tables never
+  // trip it), recompile from scratch instead.
+  if (prev.size() > 2 * trie_.size() + 1024) return CompileFlat();
+
+  // Every /16 root slot a changed prefix covers must be repainted: a
+  // short prefix covers a run of root slots, a long one exactly one.
+  std::vector<std::uint32_t> touched;
+  for (const net::Prefix& prefix : changed) {
+    const std::uint32_t first = prefix.network().bits() >> 16;
+    const std::size_t span =
+        prefix.length() <= 16 ? std::size_t{1} << (16 - prefix.length()) : 1;
+    for (std::size_t i = 0; i < span; ++i) {
+      touched.push_back(first + static_cast<std::uint32_t>(i));
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  std::vector<Flat::RootPatch> patches;
+  patches.reserve(touched.size());
+  for (const std::uint32_t root_index : touched) {
+    Flat::RootPatch patch;
+    patch.root_index = root_index;
+    const auto add = [&](const net::Prefix& prefix, const Origin& origin) {
+      const SourceKind kind = origin.from_bgp ? SourceKind::kBgpTable
+                                              : SourceKind::kNetworkDump;
+      patch.entries.push_back(Flat::Entry{
+          prefix, origin.from_bgp ? 1 : 0,
+          Match{prefix, kind, origin.source_mask, origin.origin_as}});
+    };
+    const net::IpAddress base(root_index << 16);
+    // Covering prefixes (length <= 16) blanket the whole slot; interior
+    // ones (length > 16) live under it. The split at 16 keeps the /16
+    // entry itself — returned by both traversals — counted once.
+    trie_.AllMatches(base, [&](const net::Prefix& prefix,
+                               const Origin& origin) {
+      if (prefix.length() <= 16) add(prefix, origin);
+    });
+    trie_.VisitUnder(net::Prefix(base, 16),
+                     [&](const net::Prefix& prefix, const Origin& origin) {
+                       if (prefix.length() > 16) add(prefix, origin);
+                     });
+    patches.push_back(std::move(patch));
+  }
+  return Flat::CompileDelta(prev, std::move(patches));
 }
 
 std::vector<net::Prefix> PrefixTable::AllPrefixes() const {

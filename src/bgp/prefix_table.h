@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,11 @@ class PrefixTable {
     /// Origin AS (last element of the AS path) of the winning prefix, or 0
     /// when unknown. §4.1.4 groups proxies by it.
     AsNumber origin_as;
+
+    /// Field-wise equality, so Flat::ResolvesIdentically can compare what
+    /// two compiled directories resolve to (the churn-equivalence bar for
+    /// the incremental recompile).
+    friend bool operator==(const Match&, const Match&) = default;
   };
 
   /// Per-source accounting (one row of Table 1 plus merge stats).
@@ -61,7 +67,11 @@ class PrefixTable {
   /// with its origin AS (0 = unknown; the first known origin wins).
   /// An out-of-range source id (e.g. a propagated kInvalidSource) drops
   /// the insert and bumps rejected_inserts() instead of corrupting masks.
-  void Insert(const net::Prefix& prefix, int source_id,
+  /// Returns true when the table's lookup-visible state changed — a new
+  /// prefix, or an existing one whose origin record was updated. A re-
+  /// announce that changes nothing returns false, which is what lets the
+  /// engine skip recompiling (and re-publishing) for duplicate updates.
+  bool Insert(const net::Prefix& prefix, int source_id,
               AsNumber origin_as = 0);
 
   /// Inserts dropped because their source id was invalid.
@@ -97,6 +107,21 @@ class PrefixTable {
   /// trie plus the directory paint. Called by RcuTableSlot::Publish so
   /// every published snapshot carries its compiled data plane.
   [[nodiscard]] Flat CompileFlat() const;
+
+  /// Incremental recompile: copies `prev`'s directory and repaints only
+  /// the root (/16) ranges a prefix in `changed` covers, gathering each
+  /// touched range's candidate entries from the trie (covering prefixes
+  /// via AllMatches, interior ones via VisitUnder). The result resolves
+  /// every address identically to CompileFlat() — the churn equivalence
+  /// suite asserts exactly that — at a cost proportional to the touched
+  /// ranges, not the table.
+  ///
+  /// Repeated deltas orphan replaced blocks inside the copy; once the
+  /// accumulated garbage would double the directory (prev holds more than
+  /// 2x the live entries, plus slack for small tables) this falls back to
+  /// a from-scratch CompileFlat(), which is the compaction step.
+  [[nodiscard]] Flat CompileFlatDelta(
+      const Flat& prev, std::span<const net::Prefix> changed) const;
 
   /// Number of distinct prefixes in the merged table.
   [[nodiscard]] std::size_t size() const { return trie_.size(); }

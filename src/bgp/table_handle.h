@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 
 #include "base/sync.h"
@@ -114,6 +115,30 @@ class RcuTableSlot {
         TableHandle::State{std::move(table), std::move(flat), next});
     // order: release — pairs with Acquire(); readers must see the complete
     // State (table contents + version) before the pointer swap is visible.
+    slot_.store(state, std::memory_order_release);
+    return TableHandle(std::move(state));
+  }
+
+  /// Delta publish: like Publish(), but the flat directory is compiled
+  /// incrementally from the previous snapshot's, repainting only the root
+  /// ranges a prefix in `changed` covers (PrefixTable::CompileFlatDelta).
+  /// The previous flat is copied, never mutated, and the touched blocks
+  /// are rebuilt inside the copy — readers holding the old handle keep an
+  /// intact directory, and readers that see the new pointer see a fully
+  /// repainted one; no interleaving exposes a torn state.
+  TableHandle Publish(PrefixTable table,
+                      std::span<const net::Prefix> changed)
+      REQUIRES(publisher_role_) {
+    // order: acquire — same single-publisher read as Publish() above; the
+    // previous State supplies both the version and the flat to delta from.
+    const std::shared_ptr<const TableHandle::State> prev =
+        slot_.load(std::memory_order_acquire);
+    PrefixTable::Flat flat = table.CompileFlatDelta(prev->flat, changed);
+    auto state = std::make_shared<const TableHandle::State>(
+        TableHandle::State{std::move(table), std::move(flat),
+                           prev->version + 1});
+    // order: release — pairs with Acquire(); readers must see the complete
+    // repainted directory before the pointer swap is visible.
     slot_.store(state, std::memory_order_release);
     return TableHandle(std::move(state));
   }

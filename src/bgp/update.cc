@@ -1,5 +1,6 @@
 #include "bgp/update.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace netclust::bgp {
@@ -86,7 +87,8 @@ bool ReadNlri(Cursor& in, net::Prefix* prefix) {
 
 }  // namespace
 
-std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& update) {
+std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& update,
+                                       bool wide_asn) {
   std::vector<std::uint8_t> withdrawn;
   for (const net::Prefix& prefix : update.withdrawn) {
     PutNlri(withdrawn, prefix);
@@ -99,17 +101,28 @@ std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& update) {
     attrs.push_back(kAttrOrigin);
     attrs.push_back(1);
     attrs.push_back(0);
-    // AS_PATH: one AS_SEQUENCE of 2-byte ASNs.
+    // AS_PATH: one AS_SEQUENCE (2- or 4-byte ASNs by speaker capability).
+    // The attribute length here is one byte, so the path is clamped to
+    // what fits — a short-but-decodable record instead of a corrupt one
+    // (real UPDATE paths are well under the ~63-hop 4-byte ceiling).
+    const std::size_t asn_size = wide_asn ? 4 : 2;
+    const std::size_t hops =
+        std::min(update.as_path.size(), (std::size_t{255} - 2) / asn_size);
     attrs.push_back(kFlagTransitive);
     attrs.push_back(kAttrAsPath);
-    attrs.push_back(static_cast<std::uint8_t>(
-        update.as_path.empty() ? 0 : 2 + 2 * update.as_path.size()));
-    if (!update.as_path.empty()) {
+    attrs.push_back(
+        static_cast<std::uint8_t>(hops == 0 ? 0 : 2 + asn_size * hops));
+    if (hops > 0) {
       attrs.push_back(kSegmentSequence);
-      attrs.push_back(static_cast<std::uint8_t>(update.as_path.size()));
-      for (const AsNumber asn : update.as_path) {
-        PutU16(attrs, static_cast<std::uint16_t>(
-                          asn > 0xFFFF ? kAsTrans : asn));
+      attrs.push_back(static_cast<std::uint8_t>(hops));
+      for (std::size_t i = 0; i < hops; ++i) {
+        const AsNumber asn = update.as_path[i];
+        if (wide_asn) {
+          PutU32(attrs, asn);
+        } else {
+          PutU16(attrs, static_cast<std::uint16_t>(
+                            asn > 0xFFFF ? kAsTrans : asn));
+        }
       }
     }
     // NEXT_HOP.
@@ -135,23 +148,23 @@ std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& update) {
   return message;
 }
 
-Result<UpdateMessage> DecodeUpdate(const std::vector<std::uint8_t>& bytes,
-                                   std::size_t* offset) {
-  if (bytes.size() - *offset < kHeaderSize) {
+Result<UpdateMessage> DecodeUpdate(const std::uint8_t* data, std::size_t size,
+                                   std::size_t* offset, bool wide_asn) {
+  if (size - *offset < kHeaderSize) {
     return Fail("truncated BGP header");
   }
   for (std::size_t i = 0; i < 16; ++i) {
-    if (bytes[*offset + i] != 0xFF) return Fail("bad BGP marker");
+    if (data[*offset + i] != 0xFF) return Fail("bad BGP marker");
   }
-  const std::size_t length = (static_cast<std::size_t>(bytes[*offset + 16]) << 8) |
-                             bytes[*offset + 17];
-  const std::uint8_t type = bytes[*offset + 18];
-  if (length < kHeaderSize || bytes.size() - *offset < length) {
+  const std::size_t length =
+      (static_cast<std::size_t>(data[*offset + 16]) << 8) | data[*offset + 17];
+  const std::uint8_t type = data[*offset + 18];
+  if (length < kHeaderSize || size - *offset < length) {
     return Fail("bad BGP message length");
   }
   if (type != kTypeUpdate) return Fail("not an UPDATE message");
 
-  Cursor in{bytes.data() + *offset + kHeaderSize, length - kHeaderSize};
+  Cursor in{data + *offset + kHeaderSize, length - kHeaderSize};
   UpdateMessage update;
 
   const std::uint16_t withdrawn_len = in.U16();
@@ -186,7 +199,7 @@ Result<UpdateMessage> DecodeUpdate(const std::vector<std::uint8_t>& bytes,
           const std::uint8_t segment = in.U8();
           const std::uint8_t count = in.U8();
           for (int i = 0; i < count && !in.failed; ++i) {
-            const AsNumber asn = in.U16();
+            const AsNumber asn = wide_asn ? in.U32() : in.U16();
             if (segment == kSegmentSequence) {
               update.as_path.push_back(asn);
             }
@@ -214,6 +227,12 @@ Result<UpdateMessage> DecodeUpdate(const std::vector<std::uint8_t>& bytes,
 
   *offset += length;
   return update;
+}
+
+Result<UpdateMessage> DecodeUpdate(const std::vector<std::uint8_t>& bytes,
+                                   std::size_t* offset) {
+  return DecodeUpdate(bytes.data(), bytes.size(), offset,
+                      /*wide_asn=*/false);
 }
 
 Result<std::vector<UpdateMessage>> DecodeUpdateStream(

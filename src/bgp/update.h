@@ -32,12 +32,21 @@ struct UpdateMessage {
 
 /// Encodes `update` as a BGP-4 UPDATE message (16-byte marker, length,
 /// type 2, withdrawn routes, ORIGIN/AS_PATH/NEXT_HOP attributes, NLRI).
-/// AS numbers above 65535 are clamped to AS_TRANS (23456), as a 2-byte
-/// speaker would send.
-std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& update);
+/// With `wide_asn` false AS numbers above 65535 are clamped to AS_TRANS
+/// (23456), as a 2-byte speaker would send; true emits the 4-byte AS_PATH
+/// encoding an AS4-capable peer uses (BGP4MP MESSAGE_AS4 payloads).
+std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& update,
+                                       bool wide_asn = false);
 
-/// Decodes one UPDATE message from `bytes` starting at `*offset`, which is
-/// advanced past the message. Fails on malformed framing or attributes.
+/// Decodes one UPDATE message from `size` bytes at `data` starting at
+/// `*offset`, which is advanced past the message. `wide_asn` selects the
+/// 4-byte AS_PATH encoding (MESSAGE_AS4 payloads). Fails on malformed
+/// framing or attributes.
+Result<UpdateMessage> DecodeUpdate(const std::uint8_t* data, std::size_t size,
+                                   std::size_t* offset,
+                                   bool wide_asn = false);
+
+/// Vector convenience overload (2-byte ASNs, the paper-era wire format).
 Result<UpdateMessage> DecodeUpdate(const std::vector<std::uint8_t>& bytes,
                                    std::size_t* offset);
 

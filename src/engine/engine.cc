@@ -51,7 +51,7 @@ int Engine::SeedSnapshot(const bgp::Snapshot& snapshot) {
   base::AssumeThreadRole ingest(ingest_role_);
   const int id = master_.AddSnapshot(snapshot);
   if (id == bgp::PrefixTable::kInvalidSource) return id;  // nothing inserted
-  PublishDelta({}, {});
+  PublishDelta({}, {}, {});
   return id;
 }
 
@@ -60,48 +60,109 @@ void Engine::Announce(const net::Prefix& prefix, int source_id,
   base::AssumeThreadRole ingest(ingest_role_);
   metrics_.updates_ingested.Inc();
   const bool existed = master_.Contains(prefix);
-  master_.Insert(prefix, source_id, origin_as);
-  // A refresh still publishes (attributes changed) but carries no delta,
-  // so no client is re-resolved — same as StreamingClusterer::Announce.
-  PublishDelta({}, existed ? std::vector<net::Prefix>{}
-                           : std::vector<net::Prefix>{prefix});
+  if (!master_.Insert(prefix, source_id, origin_as)) {
+    // Duplicate re-announce: the lookup-visible table is unchanged, so
+    // neither a recompile nor a version bump happens — a version bump
+    // would needlessly invalidate every mapping-tier cache keyed on it.
+    metrics_.updates_noop.Inc();
+    return;
+  }
+  // A refresh still publishes (attributes changed, so the directory must
+  // repaint the prefix) but carries no re-resolution delta — no client
+  // moves, same as StreamingClusterer::Announce.
+  PublishDelta({},
+               existed ? std::vector<net::Prefix>{}
+                       : std::vector<net::Prefix>{prefix},
+               {prefix});
 }
 
 void Engine::Withdraw(const net::Prefix& prefix) {
   base::AssumeThreadRole ingest(ingest_role_);
   metrics_.updates_ingested.Inc();
-  if (!master_.Remove(prefix)) return;  // spurious: table unchanged
-  PublishDelta({prefix}, {});
+  if (!master_.Remove(prefix)) {
+    metrics_.updates_noop.Inc();  // spurious: table unchanged, no publish
+    return;
+  }
+  PublishDelta({prefix}, {}, {prefix});
+}
+
+void Engine::AbsorbUpdate(const bgp::UpdateMessage& update, int source_id,
+                          std::vector<net::Prefix>* withdrawn,
+                          std::vector<net::Prefix>* announced,
+                          std::vector<net::Prefix>* touched) {
+  for (const net::Prefix& prefix : update.withdrawn) {
+    if (master_.Remove(prefix)) {
+      withdrawn->push_back(prefix);
+      touched->push_back(prefix);
+    }
+  }
+  const bgp::AsNumber origin =
+      update.as_path.empty() ? 0 : update.as_path.back();
+  for (const net::Prefix& prefix : update.announced) {
+    const bool existed = master_.Contains(prefix);
+    if (!master_.Insert(prefix, source_id, origin)) continue;  // duplicate
+    if (!existed) announced->push_back(prefix);
+    touched->push_back(prefix);
+  }
 }
 
 void Engine::ApplyUpdate(const bgp::UpdateMessage& update, int source_id) {
   base::AssumeThreadRole ingest(ingest_role_);
   metrics_.updates_ingested.Inc();
   std::vector<net::Prefix> withdrawn;
-  for (const net::Prefix& prefix : update.withdrawn) {
-    if (master_.Remove(prefix)) withdrawn.push_back(prefix);
-  }
-  const bgp::AsNumber origin =
-      update.as_path.empty() ? 0 : update.as_path.back();
   std::vector<net::Prefix> announced;
-  for (const net::Prefix& prefix : update.announced) {
-    const bool existed = master_.Contains(prefix);
-    master_.Insert(prefix, source_id, origin);
-    if (!existed) announced.push_back(prefix);
+  std::vector<net::Prefix> touched;
+  AbsorbUpdate(update, source_id, &withdrawn, &announced, &touched);
+  if (touched.empty()) {
+    // Duplicate announces and spurious withdraws only: nothing in the
+    // table changed, so publishing would churn caches for no reason.
+    metrics_.updates_noop.Inc();
+    return;
   }
-  if (withdrawn.empty() && announced.empty() && update.announced.empty()) {
-    return;  // nothing changed at all, not even attributes
+  PublishDelta(std::move(withdrawn), std::move(announced),
+               std::move(touched));
+}
+
+std::size_t Engine::ApplyUpdateBatch(
+    std::span<const bgp::UpdateMessage> updates, int source_id) {
+  base::AssumeThreadRole ingest(ingest_role_);
+  metrics_.update_batches.Inc();
+  std::vector<net::Prefix> withdrawn;
+  std::vector<net::Prefix> announced;
+  std::vector<net::Prefix> touched;
+  std::size_t changed = 0;
+  for (const bgp::UpdateMessage& update : updates) {
+    metrics_.updates_ingested.Inc();
+    const std::size_t before = touched.size();
+    AbsorbUpdate(update, source_id, &withdrawn, &announced, &touched);
+    if (touched.size() == before) {
+      metrics_.updates_noop.Inc();
+    } else {
+      ++changed;
+    }
   }
-  PublishDelta(std::move(withdrawn), std::move(announced));
+  if (touched.empty()) return 0;
+  PublishDelta(std::move(withdrawn), std::move(announced),
+               std::move(touched));
+  return changed;
 }
 
 void Engine::PublishDelta(std::vector<net::Prefix> withdrawn,
-                          std::vector<net::Prefix> announced) {
+                          std::vector<net::Prefix> announced,
+                          std::vector<net::Prefix> touched) {
   const std::uint64_t start = NowNs();
   bgp::PrefixTable copy = master_;  // deep clone; readers keep the old one
   // The ingest thread is the slot's one publisher.
   base::AssumeThreadRole publisher(slot_.publisher_role());
-  const bgp::TableHandle handle = slot_.Publish(std::move(copy));
+  bgp::TableHandle handle;
+  if (touched.empty()) {
+    // The seed path: everything changed, compile from scratch.
+    handle = slot_.Publish(std::move(copy));
+    metrics_.full_publishes.Inc();
+  } else {
+    handle = slot_.Publish(std::move(copy), touched);
+    metrics_.delta_publishes.Inc();
+  }
   metrics_.swaps_published.Inc();
   metrics_.swap_build_ns.Record(NowNs() - start);
 

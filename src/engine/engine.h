@@ -84,8 +84,18 @@ class Engine {
   void Withdraw(const net::Prefix& prefix);
 
   /// Applies one BGP UPDATE as a single batch: one new table snapshot, one
-  /// RCU swap, one delta broadcast to every shard.
+  /// RCU swap, one delta broadcast to every shard. An update that changes
+  /// nothing (duplicate announce, withdraw of an absent prefix) is a
+  /// counted no-op: no recompile, no version bump, no cache invalidation.
   void ApplyUpdate(const bgp::UpdateMessage& update, int source_id);
+
+  /// Applies a burst of UPDATEs as ONE published snapshot: the working
+  /// table absorbs every message, then a single incremental recompile +
+  /// RCU swap + shard broadcast covers them all. This is the live-feed
+  /// path (netclustd --live-bgp4mp): batching amortizes the publish cost
+  /// across the burst. Returns how many updates changed the table.
+  std::size_t ApplyUpdateBatch(std::span<const bgp::UpdateMessage> updates,
+                               int source_id);
 
   // --- data plane (ingest thread) ---
 
@@ -161,8 +171,23 @@ class Engine {
  private:
   /// Clones the working table, publishes it, and broadcasts the delta to
   /// every shard (control events always block — they are never dropped).
+  /// `touched` drives the incremental flat recompile (every prefix whose
+  /// painted range must be redone — withdrawn, announced, AND refreshed);
+  /// `withdrawn`/`announced` drive shard-side client re-resolution only.
+  /// An empty `touched` means "everything" (the seed path) and compiles
+  /// from scratch.
   void PublishDelta(std::vector<net::Prefix> withdrawn,
-                    std::vector<net::Prefix> announced)
+                    std::vector<net::Prefix> announced,
+                    std::vector<net::Prefix> touched)
+      REQUIRES(ingest_role_);
+
+  /// Applies one UPDATE to the working table, appending what it removed /
+  /// newly added / changed-at-all to the three accumulators. Shared by
+  /// the single-update and batched ingest paths.
+  void AbsorbUpdate(const bgp::UpdateMessage& update, int source_id,
+                    std::vector<net::Prefix>* withdrawn,
+                    std::vector<net::Prefix>* announced,
+                    std::vector<net::Prefix>* touched)
       REQUIRES(ingest_role_);
 
   // The single ingest/control thread's role; every public ingest-side

@@ -92,7 +92,11 @@ struct EngineMetrics {
   Counter requests_dropped;    // rejected by drop-policy backpressure
   Counter requests_processed;  // resolved + accounted by a worker
   Counter updates_ingested;    // routing events offered to the engine
+  Counter updates_noop;        // updates that changed nothing (no publish)
+  Counter update_batches;      // ApplyUpdateBatch() calls (bursts)
   Counter swaps_published;     // table snapshots published (RCU swaps)
+  Counter delta_publishes;     // snapshots compiled incrementally
+  Counter full_publishes;      // snapshots compiled from scratch (seeds)
   Counter reassignments;       // clients moved between clusters by churn
   Counter lookups_served;      // serving-plane lookups (single + batched)
   Counter batch_lookups;       // LookupBatch() calls (batches, not lookups)
@@ -112,7 +116,11 @@ struct EngineMetrics {
     counter("requests_dropped", requests_dropped);
     counter("requests_processed", requests_processed);
     counter("updates_ingested", updates_ingested);
+    counter("updates_noop", updates_noop);
+    counter("update_batches", update_batches);
     counter("swaps_published", swaps_published);
+    counter("delta_publishes", delta_publishes);
+    counter("full_publishes", full_publishes);
     counter("reassignments", reassignments);
     counter("lookups_served", lookups_served);
     counter("batch_lookups", batch_lookups);

@@ -138,12 +138,131 @@ void CheckQuadConsistency(std::string_view token) {
   }
 }
 
+// One accepted BGP4MP event must re-encode (in both the 2- and 4-byte AS
+// flavors) into a record that decodes back to the same event, modulo the
+// documented narrowings: 2-byte encoding clamps ASNs above 65535 to
+// AS_TRANS, and the UPDATE encoder's single-segment AS_PATH caps the hop
+// count (multi-segment paths a fuzzed record carried may come back as a
+// clamped prefix).
+void CheckBgp4mpEventRoundtrip(const bgp::Bgp4mpEvent& event) {
+  for (const bool as4 : {false, true}) {
+    const std::vector<std::uint8_t> wire =
+        event.kind == bgp::Bgp4mpEventKind::kUpdate
+            ? bgp::WriteBgp4mpUpdate(event.update, event.timestamp,
+                                     event.peer_as, event.peer_ip, as4)
+            : bgp::WriteBgp4mpStateChange(event.timestamp, event.peer_as,
+                                          event.peer_ip, event.old_state,
+                                          event.new_state, as4);
+    bgp::Bgp4mpStream stream;
+    stream.Feed(wire.data(), wire.size());
+    stream.Finish();
+    const auto decoded = stream.Next();
+    NETCLUST_FUZZ_ASSERT(decoded.has_value(),
+                         "re-encoded BGP4MP record failed to decode");
+    NETCLUST_FUZZ_ASSERT(!stream.Next().has_value(),
+                         "re-encoded BGP4MP record yielded extra events");
+    NETCLUST_FUZZ_ASSERT(stream.stats().malformed_records == 0 &&
+                             stream.stats().skipped_records == 0 &&
+                             stream.stats().truncated_records == 0,
+                         "re-encoded BGP4MP record was not cleanly accepted");
+    const bgp::Bgp4mpEvent& b = *decoded;
+    NETCLUST_FUZZ_ASSERT(b.kind == event.kind,
+                         "BGP4MP round trip changed the event kind");
+    NETCLUST_FUZZ_ASSERT(b.timestamp == event.timestamp,
+                         "BGP4MP round trip changed the timestamp");
+    NETCLUST_FUZZ_ASSERT(b.peer_ip == event.peer_ip,
+                         "BGP4MP round trip changed the peer IP");
+    const bgp::AsNumber want_peer =
+        !as4 && event.peer_as > 0xFFFF ? kAsTrans : event.peer_as;
+    NETCLUST_FUZZ_ASSERT(b.peer_as == want_peer,
+                         "BGP4MP peer-AS clamp mismatch");
+    if (event.kind == bgp::Bgp4mpEventKind::kStateChange) {
+      NETCLUST_FUZZ_ASSERT(b.old_state == event.old_state &&
+                               b.new_state == event.new_state,
+                           "BGP4MP round trip changed the FSM states");
+      continue;
+    }
+    NETCLUST_FUZZ_ASSERT(b.update.withdrawn == event.update.withdrawn,
+                         "BGP4MP round trip changed the withdrawn routes");
+    NETCLUST_FUZZ_ASSERT(b.update.announced == event.update.announced,
+                         "BGP4MP round trip changed the announced routes");
+    if (!event.update.announced.empty()) {
+      // Withdraw-only UPDATEs carry no path attributes, so these fields
+      // only survive when something was announced.
+      NETCLUST_FUZZ_ASSERT(b.update.next_hop == event.update.next_hop,
+                           "BGP4MP round trip changed the next hop");
+      const std::size_t cap = (std::size_t{255} - 2) / (as4 ? 4 : 2);
+      NETCLUST_FUZZ_ASSERT(
+          b.update.as_path.size() ==
+              std::min(event.update.as_path.size(), cap),
+          "BGP4MP AS_PATH hop count survived neither intact nor clamped");
+      for (std::size_t i = 0; i < b.update.as_path.size(); ++i) {
+        const bgp::AsNumber want = !as4 && event.update.as_path[i] > 0xFFFF
+                                       ? kAsTrans
+                                       : event.update.as_path[i];
+        NETCLUST_FUZZ_ASSERT(b.update.as_path[i] == want,
+                             "BGP4MP AS_PATH hop clamp mismatch");
+      }
+    }
+  }
+}
+
+// The live-path differential: the same bytes through Bgp4mpStream must
+// yield the same events and the same stats however the stream is chunked
+// (the decoder serves a tail -f'd feed, so TCP chunking must be
+// invisible), and every accepted event must survive a re-encode.
+void CheckBgp4mpStream(const std::uint8_t* data, std::size_t size) {
+  bgp::Bgp4mpStream whole;
+  whole.Feed(data, size);
+  whole.Finish();
+  std::vector<bgp::Bgp4mpEvent> events;
+  while (auto event = whole.Next()) events.push_back(std::move(*event));
+
+  bgp::Bgp4mpStream chunked;
+  std::vector<bgp::Bgp4mpEvent> events2;
+  std::size_t fed = 0;
+  for (;;) {
+    auto event = chunked.Next();
+    if (event.has_value()) {
+      events2.push_back(std::move(*event));
+      continue;
+    }
+    if (fed == size) break;
+    const std::size_t chunk = std::min<std::size_t>(7, size - fed);
+    chunked.Feed(data + fed, chunk);
+    fed += chunk;
+  }
+  chunked.Finish();
+  while (auto event = chunked.Next()) events2.push_back(std::move(*event));
+
+  NETCLUST_FUZZ_ASSERT(events == events2,
+                       "chunking changed the BGP4MP event sequence");
+  const bgp::Bgp4mpStats& a = whole.stats();
+  const bgp::Bgp4mpStats& b = chunked.stats();
+  NETCLUST_FUZZ_ASSERT(a.records == b.records && a.updates == b.updates &&
+                           a.state_changes == b.state_changes &&
+                           a.skipped_records == b.skipped_records &&
+                           a.malformed_records == b.malformed_records &&
+                           a.truncated_records == b.truncated_records,
+                       "chunking changed the BGP4MP stream stats");
+  NETCLUST_FUZZ_ASSERT(a.updates + a.state_changes == events.size(),
+                       "BGP4MP stats disagree with the yielded event count");
+
+  for (const bgp::Bgp4mpEvent& event : events) {
+    CheckBgp4mpEventRoundtrip(event);
+  }
+}
+
 }  // namespace
 
 void FuzzMrt(const std::uint8_t* data, std::size_t size) {
   const std::vector<std::uint8_t> bytes(data, data + size);
   bgp::MrtStats stats;
   const auto snapshot = bgp::ReadMrt(bytes, Info(), &stats);
+  // The same bytes also ride the live-stream decoder: a BGP4MP burst is
+  // rejected by ReadMrt's snapshot grammar but must decode here (and any
+  // input must leave both decoders un-crashed and chunking-invariant).
+  CheckBgp4mpStream(data, size);
   if (!snapshot.ok()) return;
   NETCLUST_FUZZ_ASSERT(stats.rib_records <= stats.records,
                        "MRT stats count more RIB records than records");

@@ -7,7 +7,10 @@
 //
 //   FuzzMrt         ReadMrt never crashes; any accepted stream re-encodes
 //                   via WriteMrt/WriteMrtV1 into streams that decode back
-//                   to the same entries (modulo documented clamping).
+//                   to the same entries (modulo documented clamping). The
+//                   same bytes also ride Bgp4mpStream: chunking must not
+//                   change the event sequence or stats, and every accepted
+//                   BGP4MP event must survive WriteBgp4mp* re-encoding.
 //   FuzzTextParser  ParseSnapshotText never crashes, its stats are
 //                   internally consistent, and ParsePrefixEntry agrees
 //                   with IpAddress::Parse on full dotted quads.

@@ -181,6 +181,43 @@ int main(int argc, char** argv) {
     WriteBytes(root / "mrt" / "seed-mixed-generations", mixed);
   }
 
+  // --- BGP4MP live-feed seeds: announce, withdraw, AS4 and state-change
+  // records, as a collector's tail would deliver them. ---
+  {
+    const net::IpAddress peer(10, 0, 0, 2);
+    bgp::UpdateMessage announce;
+    announce.announced = {net::Prefix::Parse("10.0.1.0/24").value(),
+                          net::Prefix::Parse("151.198.192.0/18").value()};
+    announce.as_path = {7018, 1742};
+    announce.next_hop = peer;
+    WriteBytes(root / "mrt" / "seed-bgp4mp-announce",
+               bgp::WriteBgp4mpUpdate(announce, 100, 7018, peer, false));
+
+    bgp::UpdateMessage withdraw;
+    withdraw.withdrawn = {net::Prefix::Parse("10.0.1.0/24").value()};
+    WriteBytes(root / "mrt" / "seed-bgp4mp-withdraw",
+               bgp::WriteBgp4mpUpdate(withdraw, 101, 7018, peer, false));
+
+    // AS4 flavor: a 4-byte-only AS number that the 2-byte encoding would
+    // clamp to AS_TRANS.
+    bgp::UpdateMessage wide = announce;
+    wide.as_path = {70'000, 1742};
+    WriteBytes(root / "mrt" / "seed-bgp4mp-as4",
+               bgp::WriteBgp4mpUpdate(wide, 102, 70'000, peer, true));
+
+    // A session bounce around an UPDATE, one stream: the decoder must
+    // interleave state-change and update events.
+    std::vector<std::uint8_t> bounce =
+        bgp::WriteBgp4mpStateChange(103, 7018, peer, 6, 1, false);
+    const std::vector<std::uint8_t> mid =
+        bgp::WriteBgp4mpUpdate(withdraw, 104, 7018, peer, false);
+    const std::vector<std::uint8_t> up =
+        bgp::WriteBgp4mpStateChange(105, 7018, peer, 1, 6, true);
+    bounce.insert(bounce.end(), mid.begin(), mid.end());
+    bounce.insert(bounce.end(), up.begin(), up.end());
+    WriteBytes(root / "mrt" / "seed-bgp4mp-state-change", bounce);
+  }
+
   WriteText(root / "text" / "seed-cidr",
             bgp::WriteSnapshotText(small, net::PrefixStyle::kCidr));
   WriteText(root / "text" / "seed-dotted-mask",
@@ -242,6 +279,19 @@ int main(int argc, char** argv) {
   WriteText(root / "text" / "seed-leading-zero-prefix", "012.65/16\n");
   // WriteMrt truncated the AS_PATH segment count byte for paths > 255 hops.
   WriteBytes(root / "mrt" / "crash-mrt-aspath-overflow", AsPathOverflowMrt());
+  // ReadMrt hard-failed a stream whose trailing record declares more bytes
+  // than remain (a partial collector download), discarding every record
+  // decoded before the cut. Now a counted truncation: this seed is a valid
+  // v2 snapshot followed by a header claiming a 4 KiB body that never
+  // arrives, and must yield the snapshot plus truncated_records == 1.
+  {
+    std::vector<std::uint8_t> cut = bgp::WriteMrt(tiny, 12);
+    ByteWriter dangling;
+    dangling.Header(13, 2, 4096);
+    dangling.U32(0);  // 4 of the 4096 promised bytes
+    cut.insert(cut.end(), dangling.bytes.begin(), dangling.bytes.end());
+    WriteBytes(root / "mrt" / "crash-mrt-truncated-header", cut);
+  }
   WriteBytes(root / "roundtrip" / "crash-roundtrip-aspath-overflow",
              WithMode(0, AsPathOverflowMrt()));
   // ParseClfTimestamp accepted a zone-shifted instant in year 10000, which

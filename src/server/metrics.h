@@ -67,6 +67,10 @@ struct ServerMetrics {
   engine::Counter errors_sent;
   engine::Counter lookups_served;      // addresses answered (batch expanded)
   engine::Counter ingests_applied;     // INGEST_UPDATE frames acked
+  engine::Counter live_updates;        // UPDATEs absorbed from --live-bgp4mp
+  engine::Counter live_batches;        // live-feed bursts published
+  engine::Counter live_state_changes;  // peer FSM transitions in the feed
+  engine::Counter live_decode_errors;  // malformed/truncated live records
   engine::Counter stats_served;
   engine::Counter pings_served;
   engine::Counter redirects_sent;          // cluster REDIRECT responses
@@ -101,6 +105,10 @@ struct ServerMetrics {
     counter("errors_sent", errors_sent);
     counter("lookups_served", lookups_served);
     counter("ingests_applied", ingests_applied);
+    counter("live_updates", live_updates);
+    counter("live_batches", live_batches);
+    counter("live_state_changes", live_state_changes);
+    counter("live_decode_errors", live_decode_errors);
     counter("stats_served", stats_served);
     counter("pings_served", pings_served);
     counter("redirects_sent", redirects_sent);

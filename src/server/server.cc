@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <span>
 #include <sstream>
@@ -13,6 +15,7 @@
 #include <sys/eventfd.h>
 #include <sys/uio.h>
 
+#include "bgp/mrt.h"
 #include "server/io_util.h"
 
 namespace netclust::server {
@@ -133,6 +136,9 @@ Result<std::uint16_t> Server::Serve() {
     r->thread = std::thread([this, reactor = r.get()] { ReactorLoop(*reactor); });
   }
   ingest_thread_ = std::thread([this] { IngestLoop(); });
+  if (!config_.live_bgp4mp_path.empty()) {
+    live_thread_ = std::thread([this] { LiveFeedLoop(); });
+  }
   return port_;
 }
 
@@ -156,6 +162,11 @@ void Server::Stop() {
   for (auto& r : reactors_) {
     if (r->thread.joinable()) r->thread.join();
   }
+
+  // 1.5. The live feeder checks stopping_ between bursts, and any burst
+  //      it is waiting on completes because the ingest thread is still
+  //      running — so this join is bounded by one batch publish.
+  if (live_thread_.joinable()) live_thread_.join();
 
   // 2. With the reactors gone, no job is left waiting: the ingest queue is
   //    empty or holds only jobs whose reactors already got their acks.
@@ -1018,8 +1029,13 @@ void Server::IngestLoop() {
 void Server::ApplyIngest(IngestJob* job) {
   // This thread is the engine's single routing-plane caller while the
   // server runs (Engine's documented ingest-thread contract).
-  engine_->ApplyUpdate(job->request.update,
-                       static_cast<int>(job->request.source_id));
+  if (!job->batch.empty()) {
+    // A live-feed burst: one incremental publish covers the whole batch.
+    (void)engine_->ApplyUpdateBatch(job->batch, job->batch_source);
+  } else {
+    engine_->ApplyUpdate(job->request.update,
+                         static_cast<int>(job->request.source_id));
+  }
   const std::uint64_t version = engine_->table_version();
   {
     base::MutexLock lock(&job->mu);
@@ -1031,6 +1047,63 @@ void Server::ApplyIngest(IngestJob* job) {
     // unlocking would race the job's destruction.
     job->cv.NotifyAll();
   }
+}
+
+bool Server::SubmitLiveBatch(std::vector<bgp::UpdateMessage>* batch) {
+  IngestJob job;
+  job.batch = std::move(*batch);
+  job.batch_source = config_.live_source_id;
+  {
+    base::MutexLock lock(&ingest_mu_);
+    if (ingest_stopping_) return false;  // draining: abandon the burst
+    ingest_queue_.push_back(&job);
+  }
+  ingest_cv_.NotifyOne();
+  // One burst in flight at a time: the feeder's natural pacing is the
+  // publish latency, so churn can never queue unboundedly behind lookups.
+  {
+    base::MutexLock lock(&job.mu);
+    while (!job.done) job.cv.Wait(job.mu);
+  }
+  metrics_.live_batches.Inc();
+  metrics_.live_updates.Inc(job.batch.size());
+  batch->clear();
+  return true;
+}
+
+void Server::LiveFeedLoop() {
+  std::ifstream in(config_.live_bgp4mp_path, std::ios::binary);
+  if (!in) {
+    metrics_.live_decode_errors.Inc();
+    return;
+  }
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  bgp::Bgp4mpStream stream;
+  stream.Feed(bytes.data(), bytes.size());
+  stream.Finish();
+
+  std::vector<bgp::UpdateMessage> batch;
+  const std::size_t cap = std::max<std::size_t>(1, config_.live_batch_size);
+  batch.reserve(cap);
+  for (;;) {
+    // order: relaxed — pure stop flag, same contract as the reactor loop.
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    auto event = stream.Next();
+    if (!event.has_value()) break;  // file fully replayed
+    if (event->kind == bgp::Bgp4mpEventKind::kStateChange) {
+      // FSM transitions are churn-monitoring signal, not table mutations;
+      // a session reset shows up as the withdraw burst that follows it.
+      metrics_.live_state_changes.Inc();
+      continue;
+    }
+    batch.push_back(std::move(event->update));
+    if (batch.size() >= cap && !SubmitLiveBatch(&batch)) return;
+  }
+  if (!batch.empty()) (void)SubmitLiveBatch(&batch);
+  const bgp::Bgp4mpStats& stats = stream.stats();
+  metrics_.live_decode_errors.Inc(stats.malformed_records +
+                                  stats.truncated_records);
 }
 
 }  // namespace netclust::server

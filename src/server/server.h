@@ -113,6 +113,17 @@ struct ServerConfig {
   /// installed: RANK answers empty, ASSIGN answers kNoServer). Installed
   /// before Serve() and immutable afterwards; reactors only read it.
   std::shared_ptr<const mapping::RankTable> rank_table;
+  /// Path to an MRT BGP4MP file replayed as a live churn feed
+  /// (netclustd --live-bgp4mp). Empty disables the feeder. The feeder
+  /// thread decodes announce/withdraw/state-change records and hands
+  /// UPDATE bursts to the single ingest thread, which publishes each
+  /// burst as one incremental table snapshot.
+  std::string live_bgp4mp_path;
+  /// Engine source id the live feed's announcements are attributed to
+  /// (must be registered with the engine before Serve()).
+  int live_source_id = 0;
+  /// Updates coalesced into one engine publish by the live feeder.
+  std::size_t live_batch_size = 64;
 };
 
 class Server {
@@ -243,10 +254,15 @@ class Server {
     std::thread thread;
   };
 
-  /// A decoded INGEST_UPDATE parked for the ingest thread. The reactor
-  /// waits on `done` and then queues the ack itself.
+  /// A decoded INGEST_UPDATE (or a live-feed burst) parked for the ingest
+  /// thread. The submitter waits on `done`; a reactor then queues the ack
+  /// itself, the live feeder just moves on to the next burst.
   struct IngestJob {
-    IngestRequest request;
+    IngestRequest request;  // single-update wire path (batch empty)
+    /// Live-feed burst; non-empty selects Engine::ApplyUpdateBatch with
+    /// `batch_source` attribution instead of the wire request above.
+    std::vector<bgp::UpdateMessage> batch;
+    int batch_source = 0;
     base::Mutex mu;
     base::CondVar cv;
     bool done GUARDED_BY(mu) = false;
@@ -257,6 +273,18 @@ class Server {
   /// thread) and runs the event loop until Stop() drains it.
   void ReactorLoop(Reactor& r);
   void IngestLoop();
+
+  /// Thread main for the --live-bgp4mp feeder: decodes the configured
+  /// MRT file with bgp::Bgp4mpStream and submits UPDATE bursts to the
+  /// ingest thread (one publish per burst). Exits when the file is fully
+  /// replayed or Stop() begins. Never touches the engine directly — the
+  /// single-ingest-thread contract stays with IngestLoop.
+  void LiveFeedLoop();
+
+  /// Parks one live burst on the ingest queue and waits for the ingest
+  /// thread to publish it. Returns false when the server is draining
+  /// (the burst is abandoned). Consumes and clears *batch.
+  bool SubmitLiveBatch(std::vector<bgp::UpdateMessage>* batch);
 
   /// Applies one parked INGEST_UPDATE to the engine and signals the
   /// waiting reactor. The REQUIRES makes the engine's single routing-plane
@@ -356,6 +384,9 @@ class Server {
   base::ThreadRole ingest_role_;
 
   std::thread ingest_thread_;
+  /// The --live-bgp4mp feeder thread (joined by Stop() before the ingest
+  /// thread shuts down, since its bursts ride the ingest queue).
+  std::thread live_thread_;
 };
 
 }  // namespace netclust::server

@@ -98,6 +98,73 @@ class FlatLpm {
     return flat;
   }
 
+  /// One delta-recompile work unit: a touched root (/16) slot plus EVERY
+  /// entry whose painted range intersects it — both covering prefixes of
+  /// length <= 16 and interior prefixes inside the /16. The caller (the
+  /// table layer) gathers candidates; this layer only repaints.
+  struct RootPatch {
+    std::uint32_t root_index = 0;
+    std::vector<Entry> entries;
+  };
+
+  /// Incremental rebuild: copies `prev`'s directory, then repaints ONLY
+  /// the root slots named in `patches`. Each touched slot is reset and its
+  /// candidate entries replayed in the same (priority, length) order
+  /// Compile() uses, so the repainted slot is slot-for-slot equivalent to
+  /// a from-scratch compile (ResolvesIdentically() checks exactly that).
+  ///
+  /// The copy is the double-buffer: `prev` is never written, and child
+  /// blocks it shares with the copy are replaced — not mutated — by the
+  /// repaint (a reset root slot re-allocates fresh blocks, orphaning the
+  /// stale ones inside the new table). Readers of the previous snapshot
+  /// therefore never observe a torn directory. Orphans accumulate across
+  /// repeated deltas; the table layer bounds them by falling back to a
+  /// full compile when the garbage ratio grows.
+  static FlatLpm CompileDelta(const FlatLpm& prev,
+                              std::vector<RootPatch> patches) {
+    FlatLpm next;
+    next.root_ = prev.root_;
+    next.blocks_ = prev.blocks_;
+    next.stored_ = prev.stored_;
+    for (RootPatch& patch : patches) {
+      std::stable_sort(patch.entries.begin(), patch.entries.end(),
+                       [](const Entry& a, const Entry& b) {
+                         if (a.priority != b.priority) {
+                           return a.priority < b.priority;
+                         }
+                         return a.prefix.length() < b.prefix.length();
+                       });
+      next.root_[patch.root_index] = 0;
+      for (Entry& entry : patch.entries) {
+        next.stored_.push_back(Stored{entry.prefix, std::move(entry.value)});
+        const auto id = static_cast<std::uint32_t>(next.stored_.size());
+        assert((id & kIndirectBit) == 0);
+        if (entry.prefix.length() <= 16) {
+          // Covers this whole root slot. Restrict the repaint to it: the
+          // full-span Paint() would stomp sibling roots that were NOT
+          // invalidated and still hold longer-prefix blocks.
+          next.PaintSlot(next.root_[patch.root_index], id);
+        } else {
+          next.Paint(entry.prefix, id);
+        }
+      }
+    }
+    return next;
+  }
+
+  /// True when every address resolves to the same (prefix, value) in both
+  /// tables. Structural: expands a slot pair only where either side has
+  /// finer blocks, so the walk is proportional to directory size, not to
+  /// 2^32 addresses. Requires T to be equality-comparable.
+  [[nodiscard]] bool ResolvesIdentically(const FlatLpm& other) const {
+    for (std::size_t i = 0; i < kRootSlots; ++i) {
+      if (!SlotsEquivalent(*this, root_[i], other, other.root_[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   /// Longest-prefix match (under priority classes) for `address`.
   [[nodiscard]] std::optional<Match> LongestMatch(
       net::IpAddress address) const {
@@ -197,6 +264,36 @@ class FlatLpm {
 
   [[nodiscard]] std::size_t BlockBase(std::uint32_t slot) const {
     return static_cast<std::size_t>(slot & ~kIndirectBit) * kBlockSlots;
+  }
+
+  /// Direct ids resolve to the same answer when the stored records they
+  /// name are equal — ids themselves may differ between a delta-compiled
+  /// table and a from-scratch one (deltas append duplicates).
+  static bool SameResult(const FlatLpm& a, std::uint32_t ida,
+                         const FlatLpm& b, std::uint32_t idb) {
+    if ((ida == 0) != (idb == 0)) return false;
+    if (ida == 0) return true;
+    const Stored& sa = a.stored_[ida - 1];
+    const Stored& sb = b.stored_[idb - 1];
+    return sa.prefix == sb.prefix && sa.value == sb.value;
+  }
+
+  /// Compares what two slots resolve to. A direct slot stands in for all
+  /// 256 children when the other side is indirect; recursion depth is
+  /// bounded by the level structure (level-3 slots are never indirect).
+  static bool SlotsEquivalent(const FlatLpm& a, std::uint32_t slot_a,
+                              const FlatLpm& b, std::uint32_t slot_b) {
+    const bool indirect_a = (slot_a & kIndirectBit) != 0;
+    const bool indirect_b = (slot_b & kIndirectBit) != 0;
+    if (!indirect_a && !indirect_b) return SameResult(a, slot_a, b, slot_b);
+    for (std::size_t i = 0; i < kBlockSlots; ++i) {
+      const std::uint32_t child_a =
+          indirect_a ? a.blocks_[a.BlockBase(slot_a) + i] : slot_a;
+      const std::uint32_t child_b =
+          indirect_b ? b.blocks_[b.BlockBase(slot_b) + i] : slot_b;
+      if (!SlotsEquivalent(a, child_a, b, child_b)) return false;
+    }
+    return true;
   }
 
   [[nodiscard]] std::uint32_t Resolve(std::uint32_t bits) const {

@@ -427,6 +427,55 @@ TEST(Engine, LookupBatchMatchesSingleLookups) {
 }
 
 // ---------------------------------------------------------------------------
+// The live-feed ingest contract: a burst of UPDATEs publishes ONCE, and
+// updates that change nothing publish NOT AT ALL (counted no-ops).
+
+TEST(Engine, UpdateBatchPublishesOnceAndCountsNoops) {
+  EngineConfig config;
+  config.shards = 1;
+  config.log_name = "burst";
+  Engine engine(config);
+  const int source =
+      engine.AddSource({"FEED", "1/1/2000", bgp::SourceKind::kBgpTable, ""});
+  ASSERT_GE(source, 0);
+  engine.Start();
+
+  std::vector<bgp::UpdateMessage> burst(4);
+  burst[0].announced = {P("10.0.0.0/8")};
+  burst[0].as_path = {65000};
+  burst[1].announced = {P("10.1.0.0/16")};
+  burst[1].as_path = {65001};
+  burst[2].announced = {P("10.1.0.0/16")};  // duplicate: counted no-op
+  burst[2].as_path = {65001};
+  burst[3].withdrawn = {P("172.16.0.0/12")};  // absent: counted no-op
+  const std::uint64_t version_before = engine.table_version();
+  EXPECT_EQ(engine.ApplyUpdateBatch(burst, source), 2u);
+  EXPECT_EQ(engine.metrics().update_batches.value(), 1u);
+  EXPECT_EQ(engine.metrics().updates_ingested.value(), 4u);
+  EXPECT_EQ(engine.metrics().updates_noop.value(), 2u);
+  // One burst, one swap: the version moved exactly once for 4 updates.
+  EXPECT_EQ(engine.table_version(), version_before + 1);
+  EXPECT_EQ(engine.metrics().swaps_published.value(), 1u);
+
+  // An all-no-op burst must not publish at all — no recompile, no version
+  // bump, nothing for the mapping tier to invalidate.
+  std::vector<bgp::UpdateMessage> idle(2);
+  idle[0].announced = {P("10.0.0.0/8")};
+  idle[0].as_path = {65000};
+  idle[1].withdrawn = {P("192.0.2.0/24")};
+  EXPECT_EQ(engine.ApplyUpdateBatch(idle, source), 0u);
+  EXPECT_EQ(engine.table_version(), version_before + 1);
+  EXPECT_EQ(engine.metrics().swaps_published.value(), 1u);
+  EXPECT_EQ(engine.metrics().updates_noop.value(), 4u);
+
+  // Serving reflects the burst's net effect.
+  const auto match = engine.Lookup(IpAddress(10, 1, 2, 3));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->prefix, P("10.1.0.0/16"));
+  engine.Stop();
+}
+
+// ---------------------------------------------------------------------------
 // Metrics: counters and histograms are wired and exposed as plain text.
 
 TEST(Engine, MetricsExpositionCoversAllPaths) {

@@ -67,6 +67,30 @@ TEST_F(FileRoundTrip, LoadRejectsMissingFile) {
   EXPECT_FALSE(loaded.ok());
 }
 
+// Format sniffing reads the first 6 bytes; files shorter than that must
+// come back as a clean parse error, not an out-of-bounds read of the
+// sniff buffer. (The sniffer used to index bytes[5] unconditionally.)
+TEST_F(FileRoundTrip, LoadRejectsEmptyFileCleanly) {
+  const fs::path path = dir_ / "empty.mrt";
+  { std::ofstream out(path, std::ios::binary); }
+  const auto loaded = bgp::LoadSnapshotFile(path.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("too short"), std::string::npos)
+      << loaded.error();
+}
+
+TEST_F(FileRoundTrip, LoadRejectsFiveByteFileCleanly) {
+  const fs::path path = dir_ / "tiny.mrt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("\x00\x00\x00\x00\x00", 5);
+  }
+  const auto loaded = bgp::LoadSnapshotFile(path.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("too short"), std::string::npos)
+      << loaded.error();
+}
+
 TEST_F(FileRoundTrip, ClfLogRoundTripsLosslessly) {
   const auto& world = testing::GetSmallWorld();
   const auto& original = world.generated.log;

@@ -116,6 +116,14 @@ class MappingServerTest : public ::testing::Test {
     return total;
   }
 
+  std::uint64_t TotalHits() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < server_->reactor_count(); ++i) {
+      total += server_->mapping_counters(i).hits.value();
+    }
+    return total;
+  }
+
   std::optional<engine::Engine> engine_;
   std::optional<Server> server_;
   int seed_source_ = -1;
@@ -216,6 +224,58 @@ TEST_F(MappingServerTest, IngestMoveIsVisibleToTheNextAssignNoStaleCache) {
   EXPECT_EQ(after.value().reply.status, AssignStatus::kClusterRanked);
   EXPECT_GT(TotalInvalidations(), flushes_before)
       << "the move must have flushed the serving reactor's cache";
+}
+
+// The flip side of the staleness contract: an ingest whose delta is EMPTY
+// (duplicate announce, withdraw of an absent prefix) must not publish at
+// all — no version bump, no recompile, and no mapping-cache flush. The
+// warmed entries keep serving hits across the no-op.
+TEST_F(MappingServerTest, DuplicateAnnounceDoesNotFlushWarmCaches) {
+  const std::uint16_t port = Serve();
+  Client client = ConnectOrDie(port);
+  const Prefix stable = P("198.51.100.0/24");
+
+  bgp::UpdateMessage announce;
+  announce.announced = {stable};
+  announce.as_path = {65001};
+  const Result<IngestAck> first = client.IngestUpdate(
+      static_cast<std::uint32_t>(live_source_), announce);
+  ASSERT_TRUE(first.ok()) << first.error();
+
+  // Warm the serving reactor's cache on the /24.
+  for (int i = 0; i < 32; ++i) {
+    const Result<AssignRoundTrip> warm = client.Assign(
+        0, IpAddress(198, 51, 100, static_cast<std::uint8_t>(i)));
+    ASSERT_TRUE(warm.ok()) << warm.error();
+    ASSERT_EQ(warm.value().reply.server_id, 5) << "cluster 65001 ranks 5";
+  }
+  const std::uint64_t hits_before = TotalHits();
+  const std::uint64_t flushes_before = TotalInvalidations();
+
+  // Byte-identical re-announce: the lookup-visible table is unchanged,
+  // so the ack must carry the same RCU version as the first announce.
+  const Result<IngestAck> duplicate = client.IngestUpdate(
+      static_cast<std::uint32_t>(live_source_), announce);
+  ASSERT_TRUE(duplicate.ok()) << duplicate.error();
+  EXPECT_EQ(duplicate.value().table_version, first.value().table_version)
+      << "a no-op ingest bumped the RCU version";
+
+  // Withdraw of a prefix nobody announced: the other empty-delta shape.
+  bgp::UpdateMessage spurious;
+  spurious.withdrawn = {P("203.0.113.0/24")};
+  const Result<IngestAck> ghost = client.IngestUpdate(
+      static_cast<std::uint32_t>(live_source_), spurious);
+  ASSERT_TRUE(ghost.ok()) << ghost.error();
+  EXPECT_EQ(ghost.value().table_version, first.value().table_version);
+
+  EXPECT_EQ(TotalInvalidations(), flushes_before)
+      << "an empty delta flushed a mapping cache";
+  const Result<AssignRoundTrip> again =
+      client.Assign(0, IpAddress(198, 51, 100, 7));
+  ASSERT_TRUE(again.ok()) << again.error();
+  EXPECT_EQ(again.value().reply.server_id, 5);
+  EXPECT_GT(TotalHits(), hits_before)
+      << "the warmed entry stopped serving hits after the no-op ingest";
 }
 
 // Same contract with the race made real: reader connections hammer ASSIGN

@@ -69,16 +69,43 @@ TEST(Mrt, EmptySnapshotRoundTrips) {
   EXPECT_TRUE(decoded.value().entries.empty());
 }
 
-TEST(Mrt, RejectsTruncatedHeader) {
+// A partial download cut mid-header must not discard the file: truncation
+// is counted and everything decoded before the cut survives. (ReadMrt used
+// to hard-fail here, losing every complete record in the stream.)
+TEST(Mrt, TruncatedHeaderIsCountedNotFatal) {
   auto bytes = WriteMrt(SampleSnapshot(), 1);
-  bytes.resize(6);  // mid-header
-  EXPECT_FALSE(ReadMrt(bytes, Info()).ok());
+  bytes.resize(6);  // mid-header of the first record
+  MrtStats stats;
+  const auto decoded = ReadMrt(bytes, Info(), &stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_TRUE(decoded.value().entries.empty());
+  EXPECT_EQ(stats.truncated_records, 1u);
 }
 
-TEST(Mrt, RejectsTruncatedBody) {
-  auto bytes = WriteMrt(SampleSnapshot(), 1);
-  bytes.resize(bytes.size() - 3);
-  EXPECT_FALSE(ReadMrt(bytes, Info()).ok());
+TEST(Mrt, TruncatedBodyKeepsRecordsBeforeTheCut) {
+  const Snapshot original = SampleSnapshot();
+  auto bytes = WriteMrt(original, 1);
+  bytes.resize(bytes.size() - 3);  // cuts the last RIB record short
+  MrtStats stats;
+  const auto decoded = ReadMrt(bytes, Info(), &stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().entries.size(), original.entries.size() - 1);
+  EXPECT_EQ(stats.truncated_records, 1u);
+}
+
+// The corpus crasher shape: a complete snapshot followed by a header whose
+// declared length promises bytes that never arrive.
+TEST(Mrt, DanglingDeclaredLengthKeepsWholeSnapshot) {
+  const Snapshot original = SampleSnapshot();
+  auto bytes = WriteMrt(original, 1);
+  const std::uint8_t dangling[] = {0, 0, 0, 0, 0, 13, 0, 2,
+                                   0, 0, 16, 0, 0, 0, 0, 0};
+  bytes.insert(bytes.end(), std::begin(dangling), std::end(dangling));
+  MrtStats stats;
+  const auto decoded = ReadMrt(bytes, Info(), &stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().entries.size(), original.entries.size());
+  EXPECT_EQ(stats.truncated_records, 1u);
 }
 
 TEST(Mrt, RejectsRibBeforePeerIndex) {
@@ -158,10 +185,15 @@ TEST(MrtV1, MixedGenerationStreamParses) {
   EXPECT_EQ(stats.rib_records, 2 * original.entries.size());
 }
 
-TEST(MrtV1, RejectsTruncatedRecord) {
-  auto bytes = WriteMrtV1(SampleSnapshot(), 1);
-  bytes.resize(bytes.size() - 2);
-  EXPECT_FALSE(ReadMrt(bytes, Info()).ok());
+TEST(MrtV1, TruncatedRecordKeepsRecordsBeforeTheCut) {
+  const Snapshot original = SampleSnapshot();
+  auto bytes = WriteMrtV1(original, 1);
+  bytes.resize(bytes.size() - 2);  // cuts the last record short
+  MrtStats stats;
+  const auto decoded = ReadMrt(bytes, Info(), &stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().entries.size(), original.entries.size() - 1);
+  EXPECT_EQ(stats.truncated_records, 1u);
 }
 
 TEST(Mrt, LongAsPathSplitsIntoSegmentsAndRoundTrips) {
@@ -230,6 +262,220 @@ TEST(Mrt, RejectsCorruptPrefixLength) {
   const std::size_t rib_prefix_len_at = 12 + peer_len + 12 + 4;
   bytes[rib_prefix_len_at] = 200;  // > 32
   EXPECT_FALSE(ReadMrt(bytes, Info()).ok());
+}
+
+// --- BGP4MP: the live UPDATE stream family ---
+
+UpdateMessage SampleUpdate() {
+  UpdateMessage update;
+  update.withdrawn = {net::Prefix::Parse("24.48.2.0/23").value()};
+  update.announced = {net::Prefix::Parse("12.0.48.0/20").value(),
+                      net::Prefix::Parse("151.198.194.16/28").value()};
+  update.as_path = {7018, 1742, 4969};
+  update.next_hop = net::IpAddress(198, 32, 8, 1);
+  return update;
+}
+
+void DrainAll(Bgp4mpStream& stream, std::vector<Bgp4mpEvent>* events) {
+  while (auto event = stream.Next()) events->push_back(std::move(*event));
+}
+
+TEST(Bgp4mp, UpdateRoundTripsInBothAsFlavors) {
+  const UpdateMessage update = SampleUpdate();
+  for (const bool as4 : {false, true}) {
+    const auto wire = WriteBgp4mpUpdate(update, 946684800, 7018,
+                                        net::IpAddress(10, 0, 0, 2), as4);
+    Bgp4mpStream stream;
+    stream.Feed(wire.data(), wire.size());
+    stream.Finish();
+    const auto event = stream.Next();
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->kind, Bgp4mpEventKind::kUpdate);
+    EXPECT_EQ(event->timestamp, 946684800u);
+    EXPECT_EQ(event->peer_as, 7018u);
+    EXPECT_EQ(event->peer_ip, net::IpAddress(10, 0, 0, 2));
+    EXPECT_EQ(event->update, update);
+    EXPECT_FALSE(stream.Next().has_value());
+    EXPECT_EQ(stream.stats().updates, 1u);
+    EXPECT_EQ(stream.stats().malformed_records, 0u);
+    EXPECT_EQ(stream.stats().truncated_records, 0u);
+  }
+}
+
+TEST(Bgp4mp, WithdrawOnlyUpdateRoundTrips) {
+  UpdateMessage update;
+  update.withdrawn = {net::Prefix::Parse("12.6.208.0/20").value()};
+  const auto wire = WriteBgp4mpUpdate(update, 5, 1742,
+                                      net::IpAddress(10, 0, 0, 3), false);
+  Bgp4mpStream stream;
+  stream.Feed(wire.data(), wire.size());
+  const auto event = stream.Next();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->update.withdrawn, update.withdrawn);
+  EXPECT_TRUE(event->update.announced.empty());
+}
+
+TEST(Bgp4mp, As2EncodingClampsWideAsNumbers) {
+  UpdateMessage update = SampleUpdate();
+  update.as_path = {70'000, 1742};
+  const auto wire = WriteBgp4mpUpdate(update, 6, 70'000,
+                                      net::IpAddress(10, 0, 0, 2), false);
+  Bgp4mpStream stream;
+  stream.Feed(wire.data(), wire.size());
+  const auto event = stream.Next();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->peer_as, 23456u);  // AS_TRANS
+  ASSERT_EQ(event->update.as_path.size(), 2u);
+  EXPECT_EQ(event->update.as_path[0], 23456u);
+  EXPECT_EQ(event->update.as_path[1], 1742u);
+
+  // The AS4 flavor carries the same numbers losslessly.
+  const auto wide = WriteBgp4mpUpdate(update, 6, 70'000,
+                                      net::IpAddress(10, 0, 0, 2), true);
+  Bgp4mpStream stream4;
+  stream4.Feed(wide.data(), wide.size());
+  const auto event4 = stream4.Next();
+  ASSERT_TRUE(event4.has_value());
+  EXPECT_EQ(event4->peer_as, 70'000u);
+  EXPECT_EQ(event4->update.as_path, update.as_path);
+}
+
+TEST(Bgp4mp, StateChangeRoundTrips) {
+  for (const bool as4 : {false, true}) {
+    const auto wire = WriteBgp4mpStateChange(7, 7018,
+                                             net::IpAddress(10, 0, 0, 2),
+                                             6, 1, as4);
+    Bgp4mpStream stream;
+    stream.Feed(wire.data(), wire.size());
+    const auto event = stream.Next();
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->kind, Bgp4mpEventKind::kStateChange);
+    EXPECT_EQ(event->old_state, 6u);
+    EXPECT_EQ(event->new_state, 1u);
+    EXPECT_EQ(stream.stats().state_changes, 1u);
+  }
+}
+
+TEST(Bgp4mp, ByteAtATimeFeedingMatchesWholeBuffer) {
+  std::vector<std::uint8_t> wire = WriteBgp4mpUpdate(
+      SampleUpdate(), 1, 7018, net::IpAddress(10, 0, 0, 2), false);
+  const auto bounce = WriteBgp4mpStateChange(2, 7018,
+                                             net::IpAddress(10, 0, 0, 2),
+                                             6, 1, true);
+  const auto as4 = WriteBgp4mpUpdate(SampleUpdate(), 3, 70'000,
+                                     net::IpAddress(10, 0, 0, 2), true);
+  wire.insert(wire.end(), bounce.begin(), bounce.end());
+  wire.insert(wire.end(), as4.begin(), as4.end());
+
+  Bgp4mpStream whole;
+  whole.Feed(wire.data(), wire.size());
+  whole.Finish();
+  std::vector<Bgp4mpEvent> expected;
+  DrainAll(whole, &expected);
+  ASSERT_EQ(expected.size(), 3u);
+
+  Bgp4mpStream chunked;
+  std::vector<Bgp4mpEvent> got;
+  for (const std::uint8_t byte : wire) {
+    chunked.Feed(&byte, 1);
+    DrainAll(chunked, &got);
+  }
+  chunked.Finish();
+  DrainAll(chunked, &got);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(chunked.stats().updates, whole.stats().updates);
+  EXPECT_EQ(chunked.stats().state_changes, whole.stats().state_changes);
+}
+
+TEST(Bgp4mp, SkipsKeepaliveMessages) {
+  // Patch the BGP type byte (prologue is 16 bytes for the 2-byte-AS
+  // flavor; the type sits 18 bytes into the BGP message) to KEEPALIVE.
+  auto wire = WriteBgp4mpUpdate(SampleUpdate(), 1, 7018,
+                                net::IpAddress(10, 0, 0, 2), false);
+  wire[12 + 16 + 18] = 4;  // KEEPALIVE
+  Bgp4mpStream stream;
+  stream.Feed(wire.data(), wire.size());
+  stream.Finish();
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_EQ(stream.stats().skipped_records, 1u);
+  EXPECT_EQ(stream.stats().malformed_records, 0u);
+}
+
+TEST(Bgp4mp, MalformedUpdateIsCountedAndDoesNotPoisonTheFeed) {
+  // Corrupt the BGP marker of the first record; the second must still
+  // decode — one bad record must not kill a live feed.
+  auto wire = WriteBgp4mpUpdate(SampleUpdate(), 1, 7018,
+                                net::IpAddress(10, 0, 0, 2), false);
+  wire[12 + 16] = 0x00;  // first marker byte
+  const auto good = WriteBgp4mpUpdate(SampleUpdate(), 2, 7018,
+                                      net::IpAddress(10, 0, 0, 2), false);
+  wire.insert(wire.end(), good.begin(), good.end());
+
+  Bgp4mpStream stream;
+  stream.Feed(wire.data(), wire.size());
+  stream.Finish();
+  const auto event = stream.Next();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->timestamp, 2u);
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_EQ(stream.stats().malformed_records, 1u);
+  EXPECT_EQ(stream.stats().updates, 1u);
+}
+
+TEST(Bgp4mp, SkipsForeignRecordTypes) {
+  // A TABLE_DUMP_V2 snapshot through the live decoder: every record is a
+  // counted skip, never an error.
+  Snapshot snapshot;
+  snapshot.info = Info();
+  RouteEntry entry;
+  entry.prefix = net::Prefix::Parse("10.0.0.0/8").value();
+  snapshot.entries.push_back(entry);
+  const auto wire = WriteMrt(snapshot, 1);
+
+  Bgp4mpStream stream;
+  stream.Feed(wire.data(), wire.size());
+  stream.Finish();
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_EQ(stream.stats().skipped_records, 2u);  // peer index + RIB
+  EXPECT_EQ(stream.stats().malformed_records, 0u);
+}
+
+TEST(Bgp4mp, OversizedDeclaredLengthResyncsPastTheHeader) {
+  // A hostile record claiming a body beyond kMaxRecordBytes: the decoder
+  // must not buffer toward it — count it truncated, resync, and decode
+  // the valid record that follows.
+  std::vector<std::uint8_t> wire = {0, 0, 0, 0, 0, 16, 0, 1,
+                                    0xFF, 0xFF, 0xFF, 0xFF};
+  const auto good = WriteBgp4mpUpdate(SampleUpdate(), 9, 7018,
+                                      net::IpAddress(10, 0, 0, 2), false);
+  wire.insert(wire.end(), good.begin(), good.end());
+
+  Bgp4mpStream stream;
+  stream.Feed(wire.data(), wire.size());
+  stream.Finish();
+  const auto event = stream.Next();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->timestamp, 9u);
+  EXPECT_EQ(stream.stats().truncated_records, 1u);
+}
+
+TEST(Bgp4mp, DanglingPartialRecordIsTruncatedAtFinish) {
+  auto wire = WriteBgp4mpUpdate(SampleUpdate(), 1, 7018,
+                                net::IpAddress(10, 0, 0, 2), false);
+  const auto partial = WriteBgp4mpUpdate(SampleUpdate(), 2, 7018,
+                                         net::IpAddress(10, 0, 0, 2), false);
+  wire.insert(wire.end(), partial.begin(), partial.end() - 5);
+
+  Bgp4mpStream stream;
+  stream.Feed(wire.data(), wire.size());
+  const auto first = stream.Next();
+  ASSERT_TRUE(first.has_value());
+  // Without Finish() the tail just waits for more bytes.
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_EQ(stream.stats().truncated_records, 0u);
+  stream.Finish();
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_EQ(stream.stats().truncated_records, 1u);
 }
 
 }  // namespace

@@ -326,8 +326,11 @@ void CheckHeaderGuard(std::string_view path,
 }
 
 /// The data-plane layers where concurrency and wire rules apply in full.
+/// The BGP4MP/UPDATE decoders joined when the live feed made them a
+/// network-facing ingest surface (netclustd --live-bgp4mp).
 bool IsWireLayer(std::string_view path) {
-  return StartsWith(path, "src/server/") || StartsWith(path, "src/cluster/");
+  return StartsWith(path, "src/server/") || StartsWith(path, "src/cluster/") ||
+         StartsWith(path, "src/bgp/mrt") || StartsWith(path, "src/bgp/update");
 }
 
 // How far below an atomic operation its memory-order argument may sit

@@ -11,7 +11,9 @@
 #include <poll.h>
 
 #include "base/sync.h"
+#include "bgp/update.h"
 #include "cluster/cluster_client.h"
+#include "net/prefix.h"
 #include "engine/metrics.h"
 #include "server/client.h"
 #include "server/io_util.h"
@@ -136,6 +138,78 @@ void Worker(const Options& options, int index, std::size_t budget,
   }
   // Fold in the BUSY responses the client's internal backoff absorbed, so
   // the report still counts every backpressure event.
+  // order: relaxed — per-worker stats, read after the joins.
+  state->busy.fetch_add(conn.busy_absorbed(), std::memory_order_relaxed);
+}
+
+/// Churn worker: replays the address stream as announce/withdraw pairs of
+/// covering /24s through INGEST_UPDATE, exercising the daemon's single
+/// ingest thread and the delta-recompile publish path. The ack carries the
+/// published table version, so `found` counts acks that actually moved the
+/// table forward (duplicate announces and spurious withdraws are counted
+/// no-ops server-side and leave the version alone).
+void ChurnWorker(const Options& options, int index, std::size_t budget,
+                 SharedState* state) {
+  auto client =
+      server::Client::Connect(options.host, options.port, options.timeout_ms);
+  if (!client.ok()) {
+    state->RecordError("connect: " + client.error());
+    return;
+  }
+  server::Client conn = std::move(client).value();
+
+  const std::vector<net::IpAddress>& addresses = options.addresses;
+  std::size_t cursor = static_cast<std::size_t>(index) % addresses.size();
+  std::uint64_t last_version = 0;
+  net::Prefix current;
+  bool withdraw = false;
+
+  for (std::size_t f = 0; f < budget; ++f) {
+    if (!withdraw) {
+      current = net::Prefix(addresses[cursor], 24);
+      cursor = (cursor + 1) % addresses.size();
+    }
+    bgp::UpdateMessage update;
+    if (withdraw) {
+      update.withdrawn.push_back(current);
+    } else {
+      update.announced.push_back(current);
+      update.as_path = {static_cast<bgp::AsNumber>(64512 + index)};
+      update.next_hop = net::IpAddress(0x0A000001u + static_cast<std::uint32_t>(index));
+    }
+    withdraw = !withdraw;
+
+    bool done = false;
+    for (int attempt = 0; attempt <= options.busy_retries && !done;
+         ++attempt) {
+      const std::uint64_t start = engine::NowNs();
+      auto ack = conn.IngestUpdate(options.churn_source, update);
+      if (ack.ok()) {
+        state->latency.Record(engine::NowNs() - start);
+        // order: relaxed — per-worker stats, read after the joins.
+        state->frames.fetch_add(1, std::memory_order_relaxed);
+        state->lookups.fetch_add(1, std::memory_order_relaxed);
+        if (ack.value().table_version > last_version) {
+          state->found.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_version = ack.value().table_version;
+        done = true;
+      } else if (server::Client::IsBusy(ack.error())) {
+        // order: relaxed — per-worker stats, read after the joins.
+        state->busy.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      } else {
+        state->RecordError(ack.error());
+        return;  // transport broken; this worker is done
+      }
+    }
+    if (!done) {
+      // order: relaxed — per-worker stats, read after the joins.
+      state->busy.fetch_add(conn.busy_absorbed(), std::memory_order_relaxed);
+      state->RecordError("BUSY retry budget exhausted");
+      return;
+    }
+  }
   // order: relaxed — per-worker stats, read after the joins.
   state->busy.fetch_add(conn.busy_absorbed(), std::memory_order_relaxed);
 }
@@ -463,6 +537,13 @@ Result<Report> Run(const Options& options) {
       (options.batch_size != 1 || options.pipeline != 1)) {
     return Fail("assign mode sends one ASSIGN per frame (batch 1, no pipeline)");
   }
+  if (options.churn_mode &&
+      (options.batch_size != 1 || options.pipeline != 1 ||
+       options.assign_mode || !options.endpoints.empty())) {
+    return Fail(
+        "churn mode sends one INGEST_UPDATE per frame "
+        "(batch 1, no pipeline, no assign, no fleet)");
+  }
   if (options.zipf_s < 0.0) return Fail("zipf skew must be >= 0");
 
   // Zipf shaping: resample the stream so address rank k (first-appearance
@@ -496,7 +577,10 @@ Result<Report> Run(const Options& options) {
     const std::size_t budget =
         SliceSize(shaped.total_frames, shaped.connections, i);
     if (shaped.endpoints.empty()) {
-      if (shaped.pipeline > 1) {
+      if (shaped.churn_mode) {
+        workers.emplace_back(ChurnWorker, std::cref(shaped), i, budget,
+                             &state);
+      } else if (shaped.pipeline > 1) {
         workers.emplace_back(PipelinedWorker, std::cref(shaped), i, budget,
                              &state);
       } else {

@@ -49,6 +49,15 @@ struct Options {
   /// standalone, topology epoch in fleet mode). Requires batch_size 1 and
   /// no pipelining; `found` counts replies that named a server.
   bool assign_mode = false;
+  /// Churn mode: each frame is an INGEST_UPDATE instead of a lookup —
+  /// frame 2k announces the /24 covering the next stream address, frame
+  /// 2k+1 withdraws it, driving the daemon's single ingest thread and the
+  /// incremental-recompile publish path. Requires batch_size 1, no
+  /// pipelining, no fleet endpoints; `found` counts acks whose published
+  /// table version advanced (the rest were counted no-ops server-side).
+  bool churn_mode = false;
+  /// Registered source id churn updates are attributed to.
+  std::uint32_t churn_source = 0;
   /// Fleet mode: "host:port" endpoints of a netclustd cluster. Non-empty
   /// switches every worker to a topology-routed ClusterClient driving the
   /// whole fleet (host/port above are ignored), and the report's qps is

@@ -41,6 +41,10 @@ void Usage(const char* argv0) {
       "                       (rank = first appearance; 0 = off)\n"
       "  --assign             send ASSIGN (CDN server selection) instead of\n"
       "                       LOOKUP; batch 1, no pipelining\n"
+      "  --churn              send INGEST_UPDATE churn (announce/withdraw\n"
+      "                       pairs of /24s from the stream) instead of\n"
+      "                       lookups; batch 1, no pipelining, standalone\n"
+      "  --churn-source N     source id for churn updates (default 0)\n"
       "  --timeout-ms N       per-call deadline (default 5000)\n"
       "  --json FILE          write the machine-readable report to FILE\n"
       "  --min-qps X          exit 1 if lookups/sec lands below X\n",
@@ -100,6 +104,10 @@ int main(int argc, char** argv) {
       options.zipf_s = std::atof(argv[++i]);
     } else if (arg == "--assign") {
       options.assign_mode = true;
+    } else if (arg == "--churn") {
+      options.churn_mode = true;
+    } else if (arg == "--churn-source" && has_value) {
+      options.churn_source = static_cast<std::uint32_t>(std::atoll(argv[++i]));
     } else if (arg == "--timeout-ms" && has_value) {
       options.timeout_ms = std::atoi(argv[++i]);
     } else if (arg == "--json" && has_value) {

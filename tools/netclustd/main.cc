@@ -46,6 +46,10 @@ void Usage(const char* argv0) {
       "  --port N              listen port on 127.0.0.1 (default 4730; 0 = ephemeral)\n"
       "  --snapshot FILE       seed the table from FILE (repeatable; one source each)\n"
       "  --live-sources N      extra empty ingest sources for live feeds (default 1)\n"
+      "  --live-bgp4mp FILE    replay FILE (MRT BGP4MP) as a live churn feed:\n"
+      "                        decoded UPDATE bursts flow through the ingest\n"
+      "                        thread, one incremental publish per burst\n"
+      "  --live-batch N        updates per live-feed publish (default 64)\n"
       "  --reactors N          shared-nothing reactors (default 2;\n"
       "                        --readers is accepted as an alias)\n"
       "  --shards N            engine worker shards (default 1)\n"
@@ -99,6 +103,7 @@ int main(int argc, char** argv) {
   engine_config.shards = 1;
   engine_config.log_name = "netclustd";
   std::vector<std::string> snapshot_paths;
+  std::string live_bgp4mp_path;
   int live_sources = 1;
   bool print_port = false;
   std::vector<std::string> peer_specs;
@@ -113,6 +118,10 @@ int main(int argc, char** argv) {
       snapshot_paths.emplace_back(argv[++i]);
     } else if (arg == "--live-sources" && has_value) {
       live_sources = std::atoi(argv[++i]);
+    } else if (arg == "--live-bgp4mp" && has_value) {
+      live_bgp4mp_path = argv[++i];
+    } else if (arg == "--live-batch" && has_value) {
+      config.live_batch_size = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if ((arg == "--reactors" || arg == "--readers") && has_value) {
       // --readers predates the reactor model; kept as an alias so older
       // scripts keep working.
@@ -205,6 +214,25 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "netclustd: source %d <- %s (live)\n", id,
                  info.name.c_str());
+    ++sources;
+  }
+  if (!live_bgp4mp_path.empty()) {
+    // The churn feed gets its own attributed source, so STATS can tell
+    // replayed-feed prefixes apart from wire INGEST_UPDATE traffic.
+    bgp::SnapshotInfo info;
+    info.name = "live-bgp4mp";
+    info.kind = bgp::SourceKind::kBgpTable;
+    info.comment = live_bgp4mp_path;
+    const int id = engine.AddSource(info);
+    if (id == bgp::PrefixTable::kInvalidSource) {
+      std::fprintf(stderr, "netclustd: live source limit (%d) exhausted\n",
+                   bgp::PrefixTable::kMaxSources);
+      return 1;
+    }
+    config.live_bgp4mp_path = live_bgp4mp_path;
+    config.live_source_id = id;
+    std::fprintf(stderr, "netclustd: source %d <- %s (live BGP4MP feed)\n",
+                 id, live_bgp4mp_path.c_str());
     ++sources;
   }
   config.source_count = sources;
